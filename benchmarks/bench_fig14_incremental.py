@@ -1,0 +1,92 @@
+"""Figure 14: attacking an incrementally trained CE model.
+
+The training workload is split into five parts; after each incremental
+training round, PACE attacks the current model. Paper: the first round
+(model still under-trained) degrades most; later rounds stabilize around a
+consistent degradation factor.
+"""
+
+from common import once, print_table
+
+import numpy as np
+
+from repro.attack import GeneratorTrainConfig, PaceAttack, PaceConfig, SurrogateConfig
+from repro.ce import (
+    DeployedEstimator,
+    TrainConfig,
+    create_model,
+    evaluate_q_errors,
+    train_model,
+)
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.harness import make_workloads
+from repro.utils.config import get_scale
+from repro.workload import QueryEncoder
+
+SCALE = get_scale()
+DATASETS = ("dmv",) if SCALE.name == "smoke" else ("dmv", "imdb", "tpch", "stats")
+ROUNDS = 5
+
+
+def _incremental_rounds(dataset: str) -> list[tuple[float, float]]:
+    db = load_dataset(dataset, scale=SCALE, seed=0)
+    executor = Executor(db)
+    train_wl, test_wl = make_workloads(db, executor, SCALE, seed=0)
+    encoder = QueryEncoder(db.schema)
+    model = create_model("fcn", encoder, hidden_dim=SCALE.hidden_dim, seed=0)
+    chunks = train_wl.chunks(ROUNDS)
+
+    results = []
+    epochs = max(SCALE.train_epochs // ROUNDS, 5)
+    for round_index, chunk in enumerate(chunks):
+        if round_index == 0:
+            train_model(model, chunk, TrainConfig(epochs=epochs, seed=0))
+        else:
+            from repro.ce import incremental_update
+
+            incremental_update(model, chunk, steps=SCALE.update_steps * 2)
+        deployed = DeployedEstimator(model, executor, update_steps=SCALE.update_steps)
+        snapshot = deployed.snapshot()
+        before = evaluate_q_errors(model, test_wl).mean()
+        config = PaceConfig(
+            poison_queries=SCALE.poison_queries,
+            attacker_queries=max(SCALE.train_queries // 2, 30),
+            speculate=False,
+            forced_model_type="fcn",
+            use_detector=False,
+            surrogate=SurrogateConfig(hidden_dim=SCALE.hidden_dim, seed=round_index),
+            generator=GeneratorTrainConfig(
+                poison_batch=SCALE.poison_queries,
+                update_steps=SCALE.update_steps,
+                iterations=max(SCALE.generator_steps, 12),
+                seed=round_index,
+            ),
+            seed=round_index,
+        )
+        attack = PaceAttack(db, deployed, test_wl, config)
+        attack.attack()
+        after = evaluate_q_errors(model, test_wl).mean()
+        deployed.restore(snapshot)  # the next round trains on clean params
+        results.append((before, after))
+    return results
+
+
+def test_fig14_incremental_training(benchmark):
+    def run():
+        return {ds: _incremental_rounds(ds) for ds in DATASETS}
+
+    results = once(benchmark, run)
+    rows = []
+    for dataset, rounds in results.items():
+        for i, (before, after) in enumerate(rounds):
+            rows.append([dataset, i + 1, before, after, after / max(before, 1e-9)])
+    print()
+    print_table(
+        ["dataset", "round", "clean Q-err", "attacked Q-err", "factor"],
+        rows,
+        title="Fig. 14: PACE vs an incrementally trained FCN",
+    )
+    factors = [after / max(before, 1e-9) for rounds in results.values()
+               for before, after in rounds]
+    print(f"mean degradation factor per round: {np.mean(factors):.1f}x (paper: 22.4x)")

@@ -1,0 +1,37 @@
+"""Figure 15: convergence of the Eq. 10 optimization objective.
+
+We report the loss (negative poisoning objective) trace per dataset.
+Paper shape: fluctuating but trending down, converging by the end.
+"""
+
+from common import bench_datasets, cached_outcome, once, print_table
+
+import numpy as np
+
+
+def test_fig15_convergence(benchmark):
+    def run():
+        return {
+            dataset: cached_outcome(dataset, "fcn", "pace").objective_curve
+            for dataset in bench_datasets()
+        }
+
+    curves = once(benchmark, run)
+    rows = []
+    for dataset, curve in curves.items():
+        curve = np.asarray(curve)
+        quarter = max(len(curve) // 4, 1)
+        rows.append(
+            [dataset, len(curve), curve[:quarter].mean(), curve[-quarter:].mean(),
+             curve.min()]
+        )
+    print()
+    print_table(
+        ["dataset", "iterations", "early mean loss", "late mean loss", "best loss"],
+        rows,
+        title="Fig. 15: generator-training loss (negative objective) trace",
+    )
+    for dataset, curve in curves.items():
+        trace = " ".join(f"{v:+.3f}" for v in curve)
+        print(f"{dataset}: {trace}")
+    print()

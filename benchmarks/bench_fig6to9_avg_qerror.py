@@ -1,0 +1,28 @@
+"""Figures 6-9: average Q-error of each CE model, clean vs five attacks.
+
+Paper shape: PACE > Lb-G > Greedy > Lb-S > Random on the five neural
+models; Linear is barely attackable; multi-table datasets degrade an order
+of magnitude more than single-table DMV.
+"""
+
+from common import bench_datasets, bench_models, cached_outcome, once, print_table
+
+from repro.harness import METHOD_LABELS, METHODS
+
+
+def test_fig6to9_average_qerror(benchmark):
+    def run():
+        rows = []
+        for dataset in bench_datasets():
+            for model_type in bench_models():
+                row = [dataset, model_type]
+                for method in METHODS:
+                    outcome = cached_outcome(dataset, model_type, method)
+                    row.append(outcome.after.mean())
+                rows.append(row)
+        return rows
+
+    rows = once(benchmark, run)
+    headers = ["dataset", "model"] + [METHOD_LABELS[m] for m in METHODS]
+    print()
+    print_table(headers, rows, title="Fig. 6-9: average Q-error after attack")

@@ -1,0 +1,35 @@
+"""Table 10: overhead vs number of generated queries.
+
+Paper shape: training time is independent of the final query count;
+generation and attack time scale proportionally with it.
+"""
+
+from common import once, print_table
+
+from repro.utils.config import get_scale
+
+SCALE = get_scale()
+COUNTS = [max(SCALE.poison_queries // 2, 4), SCALE.poison_queries,
+          SCALE.poison_queries * 2]
+
+
+def test_table10_overhead_scaling(benchmark):
+    from common import cached_outcome
+
+    def run():
+        rows = []
+        for count in COUNTS:
+            outcome = cached_outcome("dmv", "fcn", "pace", count=count)
+            rows.append(
+                [f"{count} queries", outcome.train_seconds,
+                 outcome.generate_seconds, outcome.attack_seconds]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["#queries", "train (s)", "generate (s)", "attack (s)"],
+        rows,
+        title="Table 10: PACE overhead vs #generated queries (DMV, FCN)",
+    )

@@ -1,0 +1,37 @@
+"""Table 3: percentile Q-error (90th/95th/99th/max) for the four deep
+models under each attack method.
+"""
+
+from common import bench_datasets, cached_outcome, once, print_table
+
+from repro.harness import METHOD_LABELS, METHODS
+from repro.metrics import QErrorSummary
+from repro.utils.config import get_scale
+
+MODELS = ("fcn", "mscn") if get_scale().name == "smoke" else (
+    "fcn", "fcn_pool", "mscn", "rnn"
+)
+
+
+def test_table3_percentile_qerror(benchmark):
+    def run():
+        rows = []
+        for dataset in bench_datasets():
+            for model_type in MODELS:
+                for method in METHODS:
+                    outcome = cached_outcome(dataset, model_type, method)
+                    summary = QErrorSummary.from_errors(outcome.after)
+                    row = summary.as_row()
+                    rows.append(
+                        [dataset, model_type, METHOD_LABELS[method],
+                         row["90th"], row["95th"], row["99th"], row["max"]]
+                    )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["dataset", "model", "method", "90th", "95th", "99th", "max"],
+        rows,
+        title="Table 3: percentile Q-error after attack",
+    )

@@ -1,0 +1,56 @@
+"""Table 4: percentile Q-error (95th/max) for LSTM and Linear.
+
+Paper shape: LSTM is attackable like the other deep models; Linear barely
+moves (few parameters => robust).
+"""
+
+from common import cached_outcome, once, print_table
+
+from repro.harness import METHOD_LABELS, METHODS
+from repro.metrics import QErrorSummary
+from repro.utils.config import get_scale
+
+DATASETS = ("dmv",) if get_scale().name == "smoke" else ("dmv", "imdb", "tpch")
+
+
+def test_table4_lstm_linear(benchmark):
+    def run():
+        rows = []
+        for dataset in DATASETS:
+            for model_type in ("lstm", "linear"):
+                for method in METHODS:
+                    outcome = cached_outcome(dataset, model_type, method)
+                    summary = QErrorSummary.from_errors(outcome.after)
+                    rows.append(
+                        [dataset, model_type, METHOD_LABELS[method],
+                         summary.p95, summary.max]
+                    )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["dataset", "model", "method", "95th", "max"],
+        rows,
+        title="Table 4: percentile Q-error, LSTM and Linear",
+    )
+
+
+def test_table4_linear_robustness_report(benchmark):
+    """Report the paper's Linear-robustness claim.
+
+    Paper: Linear barely degrades (few parameters => low fitting ability =>
+    robustness). At smoke scale our incremental-update step is large
+    relative to the tiny training workload, so even Linear's global bias
+    can be shifted; see EXPERIMENTS.md for the deviation discussion. The
+    number is reported, not asserted.
+    """
+
+    def run():
+        pace = cached_outcome("dmv", "linear", "pace")
+        clean = cached_outcome("dmv", "linear", "clean")
+        return pace.after.mean() / clean.after.mean()
+
+    factor = once(benchmark, run)
+    print(f"\nLinear model degradation under PACE: {factor:.2f}x (paper: ~1x; "
+          "see EXPERIMENTS.md on scale sensitivity)")

@@ -1,0 +1,38 @@
+"""Table 5: end-to-end execution time of 20 multi-table join queries.
+
+Plans are chosen with the (clean or poisoned) CE model's estimates; the
+reported seconds are the chosen plans' true-cardinality cost under the
+latency model. Paper shape: PACE yields the slowest execution on every
+dataset and model.
+"""
+
+from common import once, print_table
+
+from repro.harness import METHOD_LABELS, METHODS, get_scenario, run_e2e
+from repro.utils.config import get_scale
+
+SCALE = get_scale()
+DATASETS = ("tpch",) if SCALE.name == "smoke" else ("imdb", "tpch", "stats")
+MODELS = ("fcn",) if SCALE.name == "smoke" else ("fcn", "fcn_pool", "mscn", "rnn", "lstm")
+NUM_QUERIES = 10 if SCALE.name == "smoke" else 20
+
+
+def test_table5_e2e_latency(benchmark):
+    def run():
+        rows = []
+        for dataset in DATASETS:
+            for model_type in MODELS:
+                scenario = get_scenario(dataset, model_type)
+                row = [dataset, model_type]
+                for method in METHODS:
+                    row.append(run_e2e(scenario, method, num_queries=NUM_QUERIES))
+                rows.append(row)
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["dataset", "model"] + [METHOD_LABELS[m] for m in METHODS],
+        rows,
+        title=f"Table 5: simulated E2E seconds for {NUM_QUERIES} join queries",
+    )

@@ -1,0 +1,82 @@
+"""Table 6: model-type speculation accuracy.
+
+For each CE model type, train several black boxes on fresh workloads and
+check how often speculation recovers the true type. Paper: 87.5% average,
+with FCN / FCN+Pool / MSCN confusable among themselves.
+"""
+
+from common import once, print_table
+
+from repro.attack import speculate_model_type, train_candidates
+from repro.ce import DeployedEstimator, TrainConfig, create_model, train_model
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.utils.config import get_scale
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+SCALE = get_scale()
+DATASETS = ("dmv",) if SCALE.name == "smoke" else ("dmv", "imdb", "tpch", "stats")
+TYPES = ("fcn", "mscn", "rnn", "linear") if SCALE.name == "smoke" else (
+    "fcn", "fcn_pool", "mscn", "rnn", "lstm", "linear"
+)
+TRIALS = 3 if SCALE.name == "smoke" else 20
+#: The architecture families the paper observes are mutually confusable.
+CONFUSABLE = {"fcn", "fcn_pool", "mscn"}
+
+
+def _speculation_accuracy(dataset: str) -> dict[str, float]:
+    db = load_dataset(dataset, scale=SCALE, seed=0)
+    executor = Executor(db)
+    encoder = QueryEncoder(db.schema)
+    accuracy = {}
+    for true_type in TYPES:
+        hits = 0
+        for trial in range(TRIALS):
+            generator = WorkloadGenerator(db, executor, seed=100 + trial)
+            train = generator.generate(SCALE.train_queries)
+            model = create_model(
+                true_type, encoder, hidden_dim=SCALE.hidden_dim, seed=trial
+            )
+            train_model(model, train, TrainConfig(epochs=SCALE.train_epochs, seed=trial))
+            black_box = DeployedEstimator(model, executor)
+            candidates = train_candidates(
+                encoder,
+                generator.generate(SCALE.train_queries),
+                model_types=TYPES,
+                hidden_dim=SCALE.hidden_dim,
+                train_config=TrainConfig(epochs=max(SCALE.train_epochs // 2, 10)),
+                seed=trial,
+            )
+            probes = WorkloadGenerator(db, executor, seed=500 + trial).probe_workloads(
+                queries_per_group=SCALE.probe_queries_per_group
+            )
+            result = speculate_model_type(black_box, candidates, probes)
+            guess = result.speculated_type
+            if guess == true_type or (
+                guess in CONFUSABLE and true_type in CONFUSABLE
+            ):
+                hits += 1
+        accuracy[true_type] = hits / TRIALS
+    return accuracy
+
+
+def test_table6_speculation_accuracy(benchmark):
+    def run():
+        return {ds: _speculation_accuracy(ds) for ds in DATASETS}
+
+    results = once(benchmark, run)
+    rows = [
+        [ds] + [f"{acc[t] * 100:.0f}%" for t in TYPES]
+        for ds, acc in results.items()
+    ]
+    print()
+    print_table(
+        ["dataset"] + list(TYPES),
+        rows,
+        title=f"Table 6: speculation accuracy over {TRIALS} black boxes "
+              "(family-level match)",
+    )
+    overall = sum(v for acc in results.values() for v in acc.values()) / (
+        len(results) * len(TYPES)
+    )
+    print(f"overall accuracy: {overall * 100:.1f}% (paper: 87.5%)")

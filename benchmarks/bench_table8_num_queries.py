@@ -1,0 +1,37 @@
+"""Table 8: attack effect vs number of poisoning queries.
+
+Paper: the full effect arrives by ~5% of the training workload (450 of
+10000); doubling beyond that adds little.
+"""
+
+from common import cached_outcome, once, print_table
+
+from repro.utils.config import get_scale
+
+SCALE = get_scale()
+DATASETS = ("dmv",) if SCALE.name == "smoke" else ("dmv", "imdb")
+#: Counts mirroring the paper's 225 / 450 / 900 / 1800 at the current scale.
+COUNTS = [max(SCALE.poison_queries // 2, 4), SCALE.poison_queries,
+          SCALE.poison_queries * 2, SCALE.poison_queries * 4]
+
+
+def test_table8_vary_poison_count(benchmark):
+    def run():
+        rows = []
+        for dataset in DATASETS:
+            row = [dataset]
+            for count in COUNTS:
+                outcome = cached_outcome(dataset, "fcn", "pace", count=count)
+                row.append(outcome.degradation)
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["dataset"] + [f"n={c}" for c in COUNTS],
+        rows,
+        title="Table 8: Q-error degradation factor vs #poisoning queries "
+              f"(default n={SCALE.poison_queries} ~ "
+              f"{SCALE.poison_ratio:.0%} of training)",
+    )

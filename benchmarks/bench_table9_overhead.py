@@ -1,0 +1,35 @@
+"""Table 9: attack overhead — training / generation / attack seconds.
+
+Paper shape: training dominates (minutes-hours), generation and attacking
+are sub-second-to-seconds; single-table DMV trains fastest (no join
+generator work).
+"""
+
+from common import bench_datasets, cached_outcome, once, print_table
+
+
+def test_table9_overhead(benchmark):
+    def run():
+        rows = []
+        for dataset in bench_datasets():
+            outcome = cached_outcome(dataset, "fcn", "pace")
+            rows.append(
+                [dataset, outcome.train_seconds, outcome.generate_seconds,
+                 outcome.attack_seconds]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["dataset", "train (s)", "generate (s)", "attack (s)"],
+        rows,
+        title="Table 9: PACE overhead on FCN",
+    )
+    train_times = {row[0]: row[1] for row in rows}
+    if "dmv" in train_times and len(train_times) > 1:
+        others = [v for k, v in train_times.items() if k != "dmv"]
+        print(
+            "single-table DMV trains fastest:",
+            train_times["dmv"] <= min(others) * 1.5,
+        )

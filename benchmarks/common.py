@@ -1,0 +1,63 @@
+"""Shared plumbing for the per-table / per-figure benchmark harnesses.
+
+Every bench prints the same rows the paper's corresponding table or figure
+reports, at the scale selected by ``REPRO_SCALE`` (default ``smoke``).
+Attack outcomes are cached per (dataset, model, method, options) within the
+pytest session, so benches that slice the same experiment differently
+(e.g. Fig. 6-9 averages vs Table 3 percentiles) do not re-run attacks.
+"""
+
+from __future__ import annotations
+
+from repro.harness import AttackOutcome, get_scenario, run_attack
+from repro.metrics import print_table  # re-exported for the benches
+from repro.utils.config import get_scale
+
+__all__ = [
+    "print_table",
+    "bench_scale",
+    "bench_datasets",
+    "bench_models",
+    "cached_outcome",
+    "once",
+]
+
+_OUTCOMES: dict[tuple, AttackOutcome] = {}
+
+
+def bench_scale():
+    return get_scale()
+
+
+def bench_datasets() -> tuple[str, ...]:
+    """Datasets exercised at the current scale (all four beyond smoke)."""
+    if bench_scale().name == "smoke":
+        return ("dmv", "tpch")
+    return ("dmv", "imdb", "tpch", "stats")
+
+
+def bench_models() -> tuple[str, ...]:
+    """CE model types exercised at the current scale."""
+    if bench_scale().name == "smoke":
+        return ("fcn", "mscn")
+    return ("fcn", "fcn_pool", "mscn", "rnn", "lstm", "linear")
+
+
+def cached_outcome(
+    dataset: str,
+    model_type: str,
+    method: str,
+    seed: int = 0,
+    **options,
+) -> AttackOutcome:
+    """Run (or fetch) one attack outcome."""
+    key = (dataset, model_type, method, seed, tuple(sorted(options.items())))
+    if key not in _OUTCOMES:
+        scenario = get_scenario(dataset, model_type, seed=seed)
+        _OUTCOMES[key] = run_attack(scenario, method, seed=seed, **options)
+    return _OUTCOMES[key]
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Defense playbook: use PACE itself to harden a learned DBMS.
+
+Implements the paper's Section 8 "improve the learned database systems"
+directions:
+
+1. Generate poisoning queries with PACE and train a classifier on them;
+   install the classifier as the DBMS's update filter.
+2. Attack every candidate CE model type and recommend the most robust one
+   (spoiler, matching the paper: the linear model, whose tiny parameter
+   count trades accuracy for robustness).
+
+Run:  python examples/defense_playbook.py
+"""
+
+from repro.attack import PoisonClassifier, recommend_robust_model
+from repro.ce import evaluate_q_errors
+from repro.harness import get_scenario, run_attack
+import numpy as np
+
+
+def classifier_defense() -> None:
+    print("=== 1. classifier defense ===")
+    scenario = get_scenario("dmv", "fcn", scale="smoke", seed=0)
+    # Red team: run an (undisguised) PACE attack to harvest poison samples.
+    outcome = run_attack(scenario, "pace", use_detector=False)
+    print(f"undefended attack degradation: {outcome.degradation:.1f}x")
+
+    normal = scenario.train_workload.encode(scenario.encoder)
+    poison = scenario.encoder.encode_many(outcome.poison_queries)
+    repeat = max(len(normal) // max(len(poison), 1), 1)
+    classifier = PoisonClassifier(scenario.encoder.dim, seed=0)
+    classifier.fit(normal, np.tile(poison, (repeat, 1)), epochs=80, seed=0)
+    print(f"classifier balanced accuracy: "
+          f"{classifier.accuracy(normal, poison):.2f}")
+
+    # Blue team: install the classifier as the update filter and replay.
+    scenario.reset()
+    scenario.deployed.anomaly_filter = classifier.classifier_filter(scenario.encoder)
+    before = evaluate_q_errors(scenario.model, scenario.test_workload).mean()
+    report = scenario.deployed.execute(outcome.poison_queries)
+    after = evaluate_q_errors(scenario.model, scenario.test_workload).mean()
+    print(f"with filter: {report.rejected}/{len(outcome.poison_queries)} "
+          f"queries rejected, degradation {after / before:.1f}x")
+    scenario.deployed.anomaly_filter = None
+    scenario.reset()
+
+
+def robustness_advisor() -> None:
+    print("\n=== 2. robustness advisor ===")
+    degradation = {}
+    for model_type in ("fcn", "mscn", "linear"):
+        scenario = get_scenario("dmv", model_type, scale="smoke", seed=0)
+        outcome = run_attack(scenario, "pace")
+        degradation[model_type] = outcome.degradation
+        print(f"{model_type:8s} degradation under PACE: {outcome.degradation:6.1f}x")
+    report = recommend_robust_model(degradation)
+    print(f"recommended (most attack-robust) model type: {report.recommended}")
+
+
+if __name__ == "__main__":
+    classifier_defense()
+    robustness_advisor()

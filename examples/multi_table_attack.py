@@ -1,0 +1,48 @@
+"""Attack a multi-table (TPC-H) estimator and measure the E2E plan damage.
+
+This is the paper's Section 7.3 scenario: the poisoned estimator feeds the
+query optimizer wrong cardinalities, the optimizer picks bad join orders,
+and end-to-end execution slows down. The E2E testbed is the cost-based
+planner simulator: plans chosen with *estimates*, latency charged with
+*true* cardinalities.
+
+Run:  python examples/multi_table_attack.py
+"""
+
+from repro.ce import evaluate_q_errors
+from repro.harness import e2e_join_queries, get_scenario, run_attack
+from repro.planner import E2ESimulator
+
+
+def main() -> None:
+    scenario = get_scenario("tpch", "fcn", scale="smoke", seed=0)
+    simulator = E2ESimulator(scenario.executor)
+    join_queries = e2e_join_queries(scenario, count=8)
+
+    # Baseline: the clean estimator's plans.
+    scenario.reset()
+    clean_q = evaluate_q_errors(scenario.model, scenario.test_workload).mean()
+    clean_e2e = simulator.run(join_queries, scenario.model).total_seconds
+    optimal = simulator.run_optimal(join_queries).total_seconds
+    print(f"clean estimator: mean Q-error {clean_q:9.2f}, "
+          f"E2E {clean_e2e:.2f}s (perfect-cardinality bound {optimal:.2f}s)")
+
+    # The attack (crafting + executing poisoning queries).
+    outcome = run_attack(scenario, "pace")
+
+    # Re-poison the deployed model to inspect the E2E effect.
+    scenario.reset()
+    scenario.deployed.execute(outcome.poison_queries)
+    poisoned_q = evaluate_q_errors(scenario.model, scenario.test_workload).mean()
+    poisoned_e2e = simulator.run(join_queries, scenario.model).total_seconds
+    scenario.reset()
+
+    print(f"poisoned estimator: mean Q-error {poisoned_q:9.2f}, "
+          f"E2E {poisoned_e2e:.2f}s")
+    print(f"Q-error degradation: {outcome.degradation:.1f}x")
+    print(f"E2E slowdown: {poisoned_e2e / clean_e2e:.2f}x")
+    print(f"poisoning workload divergence from history: {outcome.divergence:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: poison a learned cardinality estimator in ~30 lines.
+
+Builds a synthetic DMV database, trains an FCN cardinality estimator,
+deploys it behind the black-box interface, and runs the full PACE attack:
+type speculation -> surrogate training -> generator (+ detector) training
+-> poisoning-query execution. Prints the before/after Q-error.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.attack import PaceAttack, PaceConfig, GeneratorTrainConfig
+from repro.ce import DeployedEstimator, TrainConfig, create_model, evaluate_q_errors, train_model
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+
+def main() -> None:
+    # 1. A database and its ground-truth executor.
+    database = load_dataset("dmv", scale="smoke", seed=0)
+    executor = Executor(database)
+
+    # 2. Train a query-driven CE model the way a DBMS would.
+    generator = WorkloadGenerator(database, executor, seed=1)
+    train_workload = generator.generate(120)
+    test_workload = generator.generate(60)
+    encoder = QueryEncoder(database.schema)
+    model = create_model("fcn", encoder, hidden_dim=16, seed=0)
+    train_model(model, train_workload, TrainConfig(epochs=30, seed=0))
+
+    # 3. Deploy it: from here on, only explain/count/execute are visible.
+    black_box = DeployedEstimator(model, executor, update_steps=5)
+    before = evaluate_q_errors(model, test_workload)
+    print(f"clean model   mean Q-error: {before.mean():8.2f}")
+
+    # 4. The attack. PACE only touches the black box's public surface.
+    config = PaceConfig(
+        poison_queries=24,              # 20% of the tiny training workload
+        attacker_queries=100,
+        generator=GeneratorTrainConfig(iterations=16, seed=0),
+        seed=0,
+    )
+    attack = PaceAttack(database, black_box, test_workload, config)
+    result = attack.attack()
+
+    # 5. Damage report.
+    after = evaluate_q_errors(model, test_workload)
+    print(f"speculated model type: {result.speculation.speculated_type}")
+    print(f"poisoned model mean Q-error: {after.mean():8.2f}")
+    print(f"degradation factor: {after.mean() / before.mean():.1f}x")
+    cards = np.array([black_box.count(q) for q in result.poison_queries])
+    print(f"poisoning queries executed: {len(result.poison_queries)} "
+          f"(all satisfiable: {bool((cards > 0).all())})")
+
+
+if __name__ == "__main__":
+    main()

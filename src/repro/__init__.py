@@ -1,0 +1,16 @@
+"""PACE reproduction: poisoning attacks on learned cardinality estimation.
+
+Subpackages:
+
+- ``repro.nn`` -- numpy autodiff / neural-network substrate.
+- ``repro.db`` -- in-memory relational engine (ground-truth cardinalities).
+- ``repro.datasets`` -- synthetic DMV / IMDB / TPC-H / STATS generators.
+- ``repro.workload`` -- SPJ queries, encodings, workload generators.
+- ``repro.ce`` -- the six query-driven CE models and their trainer.
+- ``repro.planner`` -- cost-based join-order planner + E2E latency simulator.
+- ``repro.attack`` -- the PACE attack system and baselines (the paper's
+  primary contribution).
+- ``repro.metrics`` -- Q-error statistics and distribution divergence.
+"""
+
+__version__ = "1.0.0"

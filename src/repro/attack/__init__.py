@@ -1,0 +1,61 @@
+"""PACE: the black-box poisoning attack system (the paper's contribution)."""
+
+from repro.attack.algorithms import (
+    GeneratorTrainConfig,
+    GeneratorTrainResult,
+    train_generator_accelerated,
+    train_generator_basic,
+)
+from repro.attack.baselines import (
+    greedy_search,
+    loss_based_selection,
+    random_poison,
+    train_generator_loss_based,
+)
+from repro.attack.budget import PenaltyBudget, poisoning_influence, select_most_effective
+from repro.attack.defense import PoisonClassifier, RobustnessReport, recommend_robust_model
+from repro.attack.detector import VAEAnomalyDetector
+from repro.attack.generator import GeneratedBatch, PoisonQueryGenerator, project_to_valid_join
+from repro.attack.pace import PaceAttack, PaceConfig, PaceResult
+from repro.attack.surrogate import (
+    SpeculationResult,
+    SurrogateConfig,
+    output_agreement,
+    parameter_similarity,
+    performance_vector,
+    speculate_model_type,
+    train_candidates,
+    train_surrogate,
+)
+
+__all__ = [
+    "PaceAttack",
+    "PaceConfig",
+    "PaceResult",
+    "PoisonQueryGenerator",
+    "GeneratedBatch",
+    "project_to_valid_join",
+    "VAEAnomalyDetector",
+    "GeneratorTrainConfig",
+    "GeneratorTrainResult",
+    "train_generator_accelerated",
+    "train_generator_basic",
+    "train_generator_loss_based",
+    "random_poison",
+    "loss_based_selection",
+    "greedy_search",
+    "SpeculationResult",
+    "SurrogateConfig",
+    "speculate_model_type",
+    "train_candidates",
+    "train_surrogate",
+    "parameter_similarity",
+    "output_agreement",
+    "performance_vector",
+    "PoisonClassifier",
+    "RobustnessReport",
+    "recommend_robust_model",
+    "PenaltyBudget",
+    "poisoning_influence",
+    "select_most_effective",
+]

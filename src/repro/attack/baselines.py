@@ -1,0 +1,200 @@
+"""The four baseline poisoning-query crafters (Section 7.1).
+
+* ``Random`` — random workload-style queries.
+* ``Lb-S`` (loss-based selection) — generate a pool, keep the 10% with the
+  highest inference loss on the *unpoisoned* surrogate.
+* ``Greedy`` — per query: random join pattern, 10 candidate range
+  conditions per attribute, greedily pick the condition maximizing the
+  unpoisoned surrogate's inference loss.
+* ``Lb-G`` (loss-based generation) — PACE's generator architecture trained
+  to maximize the unpoisoned surrogate's inference loss (no unrolled
+  update — the ablation showing why the bivariate objective matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.algorithms import GeneratorTrainConfig, GeneratorTrainResult, _Session
+from repro.attack.generator import PoisonQueryGenerator
+from repro.ce.base import CardinalityEstimator
+from repro.db.executor import Executor
+from repro.db.query import Query
+from repro.db.table import Database
+from repro.nn.tensor import Tensor, grad
+from repro.utils.errors import ExecutionBudgetError, TrainingError
+from repro.utils.rng import derive_rng
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.workload import Workload
+
+
+def _inference_losses(model: CardinalityEstimator, queries, cards: np.ndarray) -> np.ndarray:
+    """Per-query |log est - log true| on the unpoisoned model."""
+    estimates = np.maximum(model.estimate(queries), 1e-9)
+    truths = np.maximum(np.asarray(cards, dtype=np.float64), 1.0)
+    return np.abs(np.log(estimates) - np.log(truths))
+
+
+def random_poison(
+    database: Database, executor: Executor, count: int, seed=0, max_tables: int = 4
+) -> list[Query]:
+    """``Random`` baseline: ordinary random workload queries."""
+    generator = WorkloadGenerator(database, executor, seed=seed)
+    return generator.generate(count, max_tables=max_tables).queries
+
+
+def loss_based_selection(
+    database: Database,
+    executor: Executor,
+    surrogate: CardinalityEstimator,
+    count: int,
+    seed=0,
+    pool_factor: int = 10,
+    max_tables: int = 4,
+) -> list[Query]:
+    """``Lb-S``: top-``count`` of a ``pool_factor * count`` random pool."""
+    generator = WorkloadGenerator(database, executor, seed=seed)
+    pool = generator.generate(count * pool_factor, max_tables=max_tables)
+    losses = _inference_losses(surrogate, pool.queries, pool.cardinalities)
+    top = np.argsort(-losses)[:count]
+    return [pool.queries[i] for i in top]
+
+
+def greedy_search(
+    database: Database,
+    executor: Executor,
+    surrogate: CardinalityEstimator,
+    count: int,
+    seed=0,
+    candidates_per_attribute: int = 10,
+    max_tables: int = 4,
+) -> list[Query]:
+    """``Greedy``: per-attribute greedy condition selection.
+
+    For each query: sample a join pattern, then walk its attributes in
+    order; for each attribute try ``candidates_per_attribute`` random range
+    conditions (plus "no condition") and keep whichever maximizes the
+    surrogate's inference loss of the partially built query.
+    """
+    rng = derive_rng(seed)
+    generator = WorkloadGenerator(database, executor, seed=rng)
+    schema = database.schema
+    queries: list[Query] = []
+    attempts = 0
+    while len(queries) < count and attempts < count * 20:
+        attempts += 1
+        join_set = generator.random_join_set(max_tables=max_tables)
+        attributes = [tc for t in sorted(join_set) for tc in schema.attributes_of(t)]
+        predicates: dict[tuple[str, str], tuple[float, float]] = {}
+        for table, col in attributes:
+            best_bounds = None
+            best_loss = None
+            options: list[tuple[float, float] | None] = [None]
+            for _ in range(candidates_per_attribute):
+                width = float(np.exp(rng.uniform(np.log(0.02), np.log(0.9))))
+                center = float(rng.uniform(0.0, 1.0))
+                low = float(np.clip(center - width / 2, 0.0, 1.0))
+                high = float(np.clip(center + width / 2, 0.0, 1.0))
+                if high > low:
+                    options.append((low, high))
+            for bounds in options:
+                trial = dict(predicates)
+                if bounds is not None:
+                    trial[(table, col)] = bounds
+                query = Query.build(schema, join_set, trial)
+                try:
+                    card = executor.count(query)
+                except ExecutionBudgetError:
+                    continue
+                if card == 0:
+                    continue
+                loss = float(_inference_losses(surrogate, [query], np.array([card]))[0])
+                if best_loss is None or loss > best_loss:
+                    best_loss = loss
+                    best_bounds = bounds
+            if best_bounds is not None:
+                predicates[(table, col)] = best_bounds
+        query = Query.build(schema, join_set, predicates)
+        try:
+            if executor.count(query) == 0:
+                continue
+        except ExecutionBudgetError:
+            continue
+        queries.append(query)
+    if len(queries) < count:
+        raise TrainingError(f"greedy search produced only {len(queries)}/{count} queries")
+    return queries
+
+
+def train_generator_loss_based(
+    generator: PoisonQueryGenerator,
+    surrogate: CardinalityEstimator,
+    executor: Executor,
+    test_workload: Workload,
+    config: GeneratorTrainConfig | None = None,
+) -> GeneratorTrainResult:
+    """``Lb-G``: train the generator against the *unpoisoned* surrogate.
+
+    Identical machinery to PACE minus the unrolled update: the objective is
+    the surrogate's inference loss on the generated queries themselves, so
+    it never accounts for how the model will move once updated.
+    """
+    config = config or GeneratorTrainConfig()
+    session = _Session(generator, surrogate, executor, test_workload, config)
+    import time
+
+    start = time.perf_counter()
+    snapshot_every = max(config.iterations // 6, 1)
+    snapshots = []
+    for iteration in range(config.iterations):
+        batch = session.generator.generate(config.poison_batch, session.rng)
+        session.join_step(batch)
+        labels_norm, nonempty, oversized = session.label_batch(batch)
+        if nonempty.any():
+            rows = np.nonzero(nonempty)[0]
+            prediction = surrogate(batch.encodings[rows])
+            objective = (prediction - Tensor(labels_norm[rows])).abs().mean()
+        else:
+            objective = Tensor(np.zeros(()))
+        loss = objective * -1.0
+        empty_rows = np.nonzero(~nonempty & ~oversized)[0]
+        if empty_rows.size:
+            loss = loss + session.emptiness_penalty(batch, empty_rows)
+        if not loss.requires_grad:
+            session.result.objective_curve.append(-float(objective.item()))
+            continue
+        grads = grad(loss, session.bound_params)
+        for p, g in zip(session.bound_params, grads):
+            p.grad = g
+        session.bound_optimizer.step()
+        session.bound_optimizer.zero_grad()
+        session.result.objective_curve.append(-float(objective.item()))
+        if (iteration + 1) % snapshot_every == 0 or iteration == config.iterations - 1:
+            snapshots.append(generator.state_dict())
+
+    # Select the snapshot whose fresh queries have the highest inference
+    # loss on the unpoisoned surrogate — Lb-G's own criterion. (PACE's
+    # selection instead simulates the post-update error; this difference is
+    # exactly what the Fig. 6-9 gap between Lb-G and PACE measures.)
+    best_value, best_state = -np.inf, None
+    probe_rng = np.random.default_rng(config.seed + 4242)
+    for state in snapshots:
+        generator.load_state_dict(state)
+        queries = generator.generate_queries(config.poison_batch, probe_rng)
+        cards = np.zeros(len(queries))
+        for i, q in enumerate(queries):
+            try:
+                cards[i] = executor.count(q)
+            except ExecutionBudgetError:
+                cards[i] = 0.0
+        keep = cards > 0
+        if not keep.any():
+            continue
+        kept = [q for q, k in zip(queries, keep) if k]
+        value = float(_inference_losses(surrogate, kept, cards[keep]).mean())
+        if value > best_value:
+            best_value, best_state = value, state
+    if best_state is not None:
+        generator.load_state_dict(best_state)
+    session.result.wall_seconds = time.perf_counter() - start
+    return session.result

@@ -1,0 +1,98 @@
+"""Budget-constrained attacks (Section 8's second future-work direction).
+
+The attacker has a budget ``B`` on how many poisoning queries it may
+execute. Two mechanisms, composable:
+
+* :func:`select_most_effective` — influence-style subset selection: score
+  each candidate poisoning query by how much a one-step update on it alone
+  raises the surrogate's test error, and keep the top ``B``.
+* :class:`PenaltyBudget` — the penalty-function formulation the paper
+  sketches: a differentiable penalty added to the generator objective that
+  punishes queries whose predicates deviate from "cheap" wide ranges,
+  steering the generator toward making *few, individually strong* queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.generator import PoisonQueryGenerator
+from repro.ce.base import CardinalityEstimator
+from repro.ce.trainer import unrolled_update
+from repro.db.query import Query
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.errors import TrainingError
+from repro.workload.workload import Workload
+
+
+def poisoning_influence(
+    surrogate: CardinalityEstimator,
+    candidates: list[Query],
+    cardinalities: np.ndarray,
+    test_workload: Workload,
+    update_lr: float = 2.0,
+    update_steps: int = 3,
+) -> np.ndarray:
+    """Per-query influence: post-update test error if updated on it alone."""
+    if len(candidates) == 0:
+        raise TrainingError("influence scoring needs candidate queries")
+    test_x = Tensor(test_workload.encode(surrogate.encoder))
+    test_y = Tensor(surrogate.normalize_log(test_workload.cardinalities))
+    encodings = surrogate.encoder.encode_many(candidates)
+    labels = surrogate.normalize_log(np.maximum(cardinalities, 1.0))
+    scores = np.zeros(len(candidates))
+    for i in range(len(candidates)):
+        x = Tensor(encodings[i : i + 1])
+        y = Tensor(labels[i : i + 1])
+        poisoned = unrolled_update(surrogate, x, y, steps=update_steps, lr=update_lr)
+        with no_grad():
+            prediction = poisoned(test_x)
+            scores[i] = float(np.abs(prediction.data - test_y.data).mean())
+    return scores
+
+
+def select_most_effective(
+    surrogate: CardinalityEstimator,
+    candidates: list[Query],
+    cardinalities: np.ndarray,
+    test_workload: Workload,
+    budget: int,
+    update_lr: float = 2.0,
+) -> list[Query]:
+    """Keep the ``budget`` candidates with the highest poisoning influence."""
+    if budget <= 0:
+        raise TrainingError(f"budget must be positive, got {budget}")
+    if budget >= len(candidates):
+        return list(candidates)
+    scores = poisoning_influence(
+        surrogate, candidates, cardinalities, test_workload, update_lr=update_lr
+    )
+    keep = np.argsort(-scores)[:budget]
+    return [candidates[i] for i in sorted(keep)]
+
+
+@dataclass
+class PenaltyBudget:
+    """Differentiable budget penalty for the generator objective.
+
+    ``strength`` scales the penalty; ``target_selectivity_width`` is the
+    predicate width below which a query is considered "expensive" (narrow
+    predicates require precise crafting; a budgeted attacker prefers fewer,
+    sharper queries, so the penalty *rewards* narrowness up to the target
+    and punishes diffuse, wasteful ranges).
+    """
+
+    strength: float = 0.1
+    target_width: float = 0.3
+
+    def penalty(self, generator: PoisonQueryGenerator, encodings: Tensor) -> Tensor:
+        """Mean squared excess of predicate widths over the target."""
+        num_tables = generator.encoder.num_tables
+        bounds = encodings[:, num_tables:]
+        batch, width = bounds.shape
+        pairs = bounds.reshape((batch, width // 2, 2))
+        spans = pairs[:, :, 1] - pairs[:, :, 0]
+        excess = (spans - self.target_width).relu()
+        return (excess * excess).mean() * self.strength

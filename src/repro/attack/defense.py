@@ -1,0 +1,120 @@
+"""Defenses built *from* PACE (the paper's Section 8 future-work items).
+
+1. :class:`PoisonClassifier` — a supervised classifier trained on
+   historical (normal) vs PACE-generated (poisoning) queries; a DBMS can
+   screen its update stream with it.
+2. :func:`recommend_robust_model` — attack every candidate CE model type
+   and rank them by post-attack degradation, recommending the most robust
+   one for deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Sigmoid, mlp
+from repro.nn.losses import bce_loss
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.errors import TrainingError
+from repro.utils.rng import derive_rng
+
+
+class PoisonClassifier(Module):
+    """Binary classifier: P(query is a poisoning query)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int = 32, seed=0) -> None:
+        super().__init__()
+        rng = derive_rng(seed)
+        self.net = mlp(input_dim, [hidden_dim, hidden_dim], 1, rng=rng,
+                       final_activation=Sigmoid())
+        self.input_dim = input_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x).reshape((x.shape[0],))
+
+    def fit(
+        self,
+        normal_encodings: np.ndarray,
+        poison_encodings: np.ndarray,
+        epochs: int = 80,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed=0,
+    ) -> list[float]:
+        """Train on labeled encodings (0 = normal, 1 = poison)."""
+        normal = np.atleast_2d(np.asarray(normal_encodings, dtype=np.float64))
+        poison = np.atleast_2d(np.asarray(poison_encodings, dtype=np.float64))
+        if normal.shape[0] == 0 or poison.shape[0] == 0:
+            raise TrainingError("classifier training needs both classes")
+        x_all = np.vstack([normal, poison])
+        y_all = np.concatenate([np.zeros(normal.shape[0]), np.ones(poison.shape[0])])
+        rng = derive_rng(seed)
+        optimizer = Adam(self.parameters(), lr=lr)
+        n = x_all.shape[0]
+        batch = min(batch_size, n)
+        losses = []
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss, steps = 0.0, 0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                loss = bce_loss(self.forward(Tensor(x_all[idx])), Tensor(y_all[idx]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                steps += 1
+            losses.append(epoch_loss / max(steps, 1))
+        return losses
+
+    def predict_proba(self, encodings: np.ndarray) -> np.ndarray:
+        with no_grad():
+            out = self.forward(Tensor(np.atleast_2d(encodings)))
+        return out.data
+
+    def predict(self, encodings: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return self.predict_proba(encodings) > threshold
+
+    def accuracy(self, normal_encodings: np.ndarray, poison_encodings: np.ndarray) -> float:
+        """Balanced accuracy on a labeled evaluation set."""
+        normal_ok = 1.0 - self.predict(normal_encodings).mean()
+        poison_ok = self.predict(poison_encodings).mean()
+        return float((normal_ok + poison_ok) / 2.0)
+
+    def classifier_filter(self, encoder, threshold: float = 0.5):
+        """An ``anomaly_filter`` callable for ``DeployedEstimator``."""
+
+        def fn(queries):
+            return self.predict(encoder.encode_many(queries), threshold=threshold)
+
+        return fn
+
+
+@dataclass
+class RobustnessReport:
+    """Post-attack degradation per CE model type, best (most robust) first."""
+
+    degradation: dict[str, float]
+
+    @property
+    def recommended(self) -> str:
+        return min(self.degradation, key=self.degradation.get)
+
+    def ranking(self) -> list[tuple[str, float]]:
+        return sorted(self.degradation.items(), key=lambda kv: kv[1])
+
+
+def recommend_robust_model(degradation_by_type: dict[str, float]) -> RobustnessReport:
+    """Wrap measured degradation factors into a recommendation.
+
+    The degradation factors come from running the attack harness per model
+    type (see ``benchmarks/bench_fig6to9_avg_qerror.py``); this helper only
+    ranks them, so tests can cover the policy without re-running attacks.
+    """
+    if not degradation_by_type:
+        raise TrainingError("need at least one model type's degradation factor")
+    return RobustnessReport(dict(degradation_by_type))

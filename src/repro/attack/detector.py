@@ -1,0 +1,174 @@
+"""VAE-based anomaly detector (Section 6 of the paper).
+
+Trained unsupervised on *historical* query encodings with an MSE
+reconstruction loss (Eq. 11-12); a query is abnormal when its
+reconstruction error exceeds a threshold ``epsilon`` (the paper sweeps 5%
+to 10% in Fig. 13). The detector serves two roles:
+
+* defense: the DBMS can reject abnormal queries from the update stream
+  (plug :meth:`is_abnormal` into ``DeployedEstimator.anomaly_filter``);
+* adversary-in-the-loop: during generator training, the reconstruction
+  loss of generated-and-flagged queries is backpropagated into the
+  generator so poisoning queries stay distributionally close to history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, Sequential, Sigmoid, mlp
+from repro.nn.losses import kl_standard_normal
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.errors import TrainingError
+from repro.utils.rng import derive_rng
+
+
+class VAEAnomalyDetector(Module):
+    """A small VAE over query encodings.
+
+    Reconstruction at detection time is deterministic (decode the posterior
+    mean), so thresholds are stable; sampling is only used while training.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        latent_dim: int = 8,
+        hidden_dim: int = 32,
+        seed=0,
+    ) -> None:
+        super().__init__()
+        rng = derive_rng(seed)
+        self._sample_rng = derive_rng(int(rng.integers(2**31)))
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.encoder_net = Sequential(
+            Linear(input_dim, hidden_dim, rng=rng), ReLU(),
+            Linear(hidden_dim, hidden_dim, rng=rng), ReLU(),
+        )
+        self.mu_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.logvar_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.decoder_net = mlp(
+            latent_dim, [hidden_dim, hidden_dim], input_dim, rng=rng,
+            final_activation=Sigmoid(),
+        )
+        #: Abnormality threshold on per-query reconstruction MSE; set by
+        #: :meth:`fit` / :meth:`set_threshold`.
+        self.threshold = 0.05
+
+    # ------------------------------------------------------------------
+    # VAE plumbing
+    # ------------------------------------------------------------------
+    def encode(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        hidden = self.encoder_net(x)
+        return self.mu_head(hidden), self.logvar_head(hidden)
+
+    def reconstruct(self, x: Tensor, sample: bool = False) -> Tensor:
+        """Decode ``x``; stochastic only when ``sample`` (training)."""
+        mu, logvar = self.encode(x)
+        if sample:
+            noise = Tensor(self._sample_rng.standard_normal(mu.shape))
+            z = mu + (logvar * 0.5).exp() * noise
+        else:
+            z = mu
+        return self.decoder_net(z)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.reconstruct(x, sample=self.training)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        encodings: np.ndarray,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        kl_weight: float = 1e-3,
+        threshold_quantile: float = 0.95,
+        seed=0,
+    ) -> list[float]:
+        """Train on historical encodings; calibrate the threshold.
+
+        The threshold defaults to the ``threshold_quantile`` of the
+        training reconstruction errors — i.e. ~5% of genuine historical
+        queries would be flagged, mirroring the paper's 5% default epsilon.
+        Returns per-epoch losses.
+        """
+        x_all = np.atleast_2d(np.asarray(encodings, dtype=np.float64))
+        if x_all.shape[0] < 2:
+            raise TrainingError("VAE training needs at least 2 historical queries")
+        if x_all.shape[1] != self.input_dim:
+            raise TrainingError(
+                f"encoding width {x_all.shape[1]} != detector input {self.input_dim}"
+            )
+        rng = derive_rng(seed)
+        optimizer = Adam(self.parameters(), lr=lr)
+        n = x_all.shape[0]
+        batch = min(batch_size, n)
+        losses: list[float] = []
+        self.train()
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss, steps = 0.0, 0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                x = Tensor(x_all[idx])
+                mu, logvar = self.encode(x)
+                noise = Tensor(self._sample_rng.standard_normal(mu.shape))
+                z = mu + (logvar * 0.5).exp() * noise
+                recon = self.decoder_net(z)
+                diff = recon - x
+                loss = (diff * diff).mean() + kl_standard_normal(mu, logvar) * kl_weight
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                steps += 1
+            losses.append(epoch_loss / max(steps, 1))
+        self.eval()
+        train_errors = self.reconstruction_errors(x_all)
+        self.threshold = float(np.quantile(train_errors, threshold_quantile))
+        return losses
+
+    def set_threshold(self, threshold: float) -> None:
+        """Override the abnormality threshold (the Fig. 13 sweep knob)."""
+        if threshold <= 0:
+            raise TrainingError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def reconstruction_errors(self, encodings: np.ndarray) -> np.ndarray:
+        """Deterministic per-query reconstruction MSE (no gradients)."""
+        x_all = np.atleast_2d(np.asarray(encodings, dtype=np.float64))
+        with no_grad():
+            recon = self.reconstruct(Tensor(x_all), sample=False)
+        return ((recon.data - x_all) ** 2).mean(axis=1)
+
+    def is_abnormal(self, encodings: np.ndarray) -> np.ndarray:
+        """Boolean abnormality flags against the calibrated threshold."""
+        return self.reconstruction_errors(encodings) > self.threshold
+
+    def reconstruction_loss(self, x: Tensor) -> Tensor:
+        """Differentiable per-batch reconstruction MSE.
+
+        Gradients flow into *both* the detector and whatever produced
+        ``x`` — the generator uses the latter to make its queries look
+        normal (Section 6.2).
+        """
+        recon = self.reconstruct(x, sample=False)
+        diff = recon - x
+        return (diff * diff).mean()
+
+    def abnormal_filter(self, encoder):
+        """An ``anomaly_filter`` callable for ``DeployedEstimator``."""
+
+        def fn(queries):
+            return self.is_abnormal(encoder.encode_many(queries))
+
+        return fn

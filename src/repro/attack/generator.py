@@ -1,0 +1,268 @@
+"""The poisoning-query generator (Section 5.2 of the paper).
+
+Three sub-generators map Gaussian noise to a query encoding:
+
+* ``G_join`` — noise -> sigmoid table-membership scores; thresholded at
+  0.5 into a binary join vector, resampled / projected until it is a valid
+  (connected, non-empty) join set, and trained with a cross-entropy loss
+  toward the accepted valid pattern (Eq. 8);
+* ``G_low`` — (noise ++ join vector) -> predicate lower bounds in (0, 1);
+* ``G_rng`` — (noise ++ join vector) -> range sizes; upper bounds are
+  ``low + size * (1 - low)``, which keeps ``low < high <= 1`` while staying
+  differentiable (the paper adds the raw size and clips; the rescaled form
+  avoids a dead clip gradient at the boundary).
+
+Attributes of tables outside the join set are masked to the open interval
+``[0, 1]``, matching the query-encoding convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.query import Query
+from repro.db.schema import DatabaseSchema
+from repro.nn.layers import Sigmoid, mlp
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.errors import QueryError
+from repro.utils.rng import derive_rng
+from repro.workload.encoding import QueryEncoder
+
+
+def project_to_valid_join(schema: DatabaseSchema, scores: np.ndarray) -> np.ndarray:
+    """Project join-membership scores onto a valid join pattern.
+
+    Greedy: seed with the highest-scoring table, then repeatedly add the
+    neighboring table with the highest score as long as that score clears
+    the 0.5 threshold. Always returns a non-empty connected pattern.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    names = schema.table_names
+    chosen = {names[int(np.argmax(scores))]}
+    while True:
+        frontier = sorted({n for t in chosen for n in schema.neighbors(t)} - chosen)
+        if not frontier:
+            break
+        best = max(frontier, key=lambda t: scores[schema.table_index(t)])
+        if scores[schema.table_index(best)] <= 0.5:
+            break
+        chosen.add(best)
+    binary = np.zeros(len(names))
+    for t in chosen:
+        binary[schema.table_index(t)] = 1.0
+    return binary
+
+
+@dataclass
+class GeneratedBatch:
+    """One generator forward pass.
+
+    Attributes:
+        encodings: ``(batch, dim)`` differentiable query encodings.
+        join_probs: ``(batch, T)`` raw ``G_join`` sigmoid outputs (graph
+            tensor, consumed by the Eq. 8 loss).
+        join_binary: ``(batch, T)`` accepted valid binary join patterns.
+        join_targets: ``(batch, T)`` training targets for ``G_join`` — the
+            accepted pattern each row was resolved to.
+        resamples: total noise redraws spent fixing invalid join patterns.
+    """
+
+    encodings: Tensor
+    join_probs: Tensor
+    join_binary: np.ndarray
+    join_targets: np.ndarray
+    resamples: int
+
+
+class PoisonQueryGenerator(Module):
+    """The three-headed generator G = (G_join, G_low, G_rng)."""
+
+    def __init__(
+        self,
+        encoder: QueryEncoder,
+        noise_dim: int = 16,
+        hidden_dim: int = 32,
+        join_layers: int = 2,
+        bound_layers: int = 2,
+        low_bias: float = -4.5,
+        range_bias: float = 4.5,
+        seed=0,
+    ) -> None:
+        """Args:
+            low_bias/range_bias: initial bias of the final ``G_low``/``G_rng``
+                layers. The defaults start every predicate essentially
+                unconstrained (``low ~ 0.01``, ``high ~ 0.99``, inside the
+                decoder's snap band) so initial queries are satisfiable —
+                the generator emits bounds for *every* attribute, and a
+                cold start of mid-width conjunctions is almost always empty
+                on skewed data, zeroing the poisoning gradient. Training
+                then narrows predicates selectively where it pays off.
+        """
+        super().__init__()
+        rng = derive_rng(seed)
+        self.encoder = encoder
+        self.schema = encoder.schema
+        self.noise_dim = noise_dim
+        num_tables = encoder.num_tables
+        num_attrs = encoder.num_attributes
+        self.g_join = mlp(
+            noise_dim, [hidden_dim] * join_layers, num_tables, rng=rng,
+            final_activation=Sigmoid(),
+        )
+        bound_in = noise_dim + num_tables
+        self.g_low = mlp(
+            bound_in, [hidden_dim] * bound_layers, num_attrs, rng=rng,
+            final_activation=Sigmoid(),
+        )
+        self.g_rng = mlp(
+            bound_in, [hidden_dim] * bound_layers, num_attrs, rng=rng,
+            final_activation=Sigmoid(),
+        )
+        self._bias_final_layer(self.g_low, low_bias)
+        self._bias_final_layer(self.g_rng, range_bias)
+
+    @staticmethod
+    def _bias_final_layer(net, bias_value: float) -> None:
+        linear_layers = [m for m in net if hasattr(m, "bias")]
+        if linear_layers:
+            linear_layers[-1].bias.data[:] = bias_value
+
+    # ------------------------------------------------------------------
+    # join patterns
+    # ------------------------------------------------------------------
+    def sample_joins(
+        self, batch_size: int, rng: np.random.Generator, max_resamples: int = 20
+    ) -> tuple[Tensor, Tensor, np.ndarray, np.ndarray, int]:
+        """Draw noise and resolve every row to a valid join pattern.
+
+        Invalid rows get fresh noise up to ``max_resamples`` times (the
+        paper's regeneration step); stubborn rows are projected onto the
+        nearest valid pattern. Returns
+        ``(noise, join_probs, join_binary, join_targets, resamples)``.
+        """
+        noise_data = rng.standard_normal((batch_size, self.noise_dim))
+        resamples = 0
+        names = self.schema.table_names
+        if len(names) == 1:
+            noise = Tensor(noise_data)
+            probs = self.g_join(noise)
+            ones = np.ones((batch_size, 1))
+            return noise, probs, ones.copy(), ones.copy(), 0
+        for _attempt in range(max_resamples):
+            probs_np = self._join_probs_np(noise_data)
+            binary = (probs_np > 0.5).astype(np.float64)
+            invalid = [
+                i
+                for i in range(batch_size)
+                if not self.schema.is_valid_join_set(
+                    {names[j] for j in np.nonzero(binary[i])[0]}
+                )
+            ]
+            if not invalid:
+                break
+            resamples += len(invalid)
+            noise_data[invalid] = rng.standard_normal((len(invalid), self.noise_dim))
+        noise = Tensor(noise_data)
+        probs = self.g_join(noise)
+        binary = (probs.data > 0.5).astype(np.float64)
+        targets = binary.copy()
+        for i in range(batch_size):
+            tables = {names[j] for j in np.nonzero(binary[i])[0]}
+            if not self.schema.is_valid_join_set(tables):
+                targets[i] = project_to_valid_join(self.schema, probs.data[i])
+                binary[i] = targets[i]
+        return noise, probs, binary, targets, resamples
+
+    def _join_probs_np(self, noise_data: np.ndarray) -> np.ndarray:
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            return self.g_join(Tensor(noise_data)).data
+
+    # ------------------------------------------------------------------
+    # full generation
+    # ------------------------------------------------------------------
+    def generate(self, batch_size: int, rng: np.random.Generator) -> GeneratedBatch:
+        """Generate a differentiable batch of poisoning-query encodings."""
+        if batch_size <= 0:
+            raise QueryError(f"batch_size must be positive, got {batch_size}")
+        noise, probs, binary, targets, resamples = self.sample_joins(batch_size, rng)
+        encodings = self.assemble(noise, binary)
+        return GeneratedBatch(
+            encodings=encodings,
+            join_probs=probs,
+            join_binary=binary,
+            join_targets=targets,
+            resamples=resamples,
+        )
+
+    def assemble(self, noise: Tensor, join_binary: np.ndarray) -> Tensor:
+        """Differentiable encoding assembly for fixed join patterns."""
+        batch_size = noise.shape[0]
+        join_const = Tensor(join_binary)
+        bound_input = concat([noise, join_const], axis=1)
+        low = self.g_low(bound_input)
+        size = self.g_rng(bound_input)
+        high = low + size * (1.0 - low)
+        attr_mask = Tensor(self.encoder.expand_attribute_mask(join_binary))
+        low_masked = low * attr_mask
+        high_masked = high * attr_mask + (1.0 - attr_mask)
+        bounds = stack([low_masked, high_masked], axis=2).reshape(
+            (batch_size, 2 * self.encoder.num_attributes)
+        )
+        return concat([join_const, bounds], axis=1)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def to_queries(self, encodings: Tensor | np.ndarray) -> list[Query]:
+        """Decode generated encodings into executable queries."""
+        data = encodings.data if isinstance(encodings, Tensor) else np.asarray(encodings)
+        return self.encoder.decode_many(data, repair=True)
+
+    def generate_queries(self, count: int, rng: np.random.Generator) -> list[Query]:
+        """Convenience: generate ``count`` ready-to-run poisoning queries."""
+        batch = self.generate(count, rng)
+        return self.to_queries(batch.encodings)
+
+    def generate_usable_queries(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        executor,
+        max_attempt_factor: int = 8,
+    ) -> list[Query]:
+        """Generate ``count`` queries the DBMS will actually train on.
+
+        The attacker holds COUNT(*) privileges, so before submitting the
+        poisoning workload it screens candidates: queries that are empty
+        (dropped from the update) or that blow the execution budget
+        (statement timeout — conspicuous and useless) are regenerated.
+        Falls back to unscreened queries if the generator cannot produce
+        enough usable ones within the attempt budget.
+        """
+        from repro.utils.errors import ExecutionBudgetError
+
+        usable: list[Query] = []
+        spares: list[Query] = []
+        attempts = 0
+        while len(usable) < count and attempts < count * max_attempt_factor:
+            remaining = count - len(usable)
+            batch_queries = self.generate_queries(remaining, rng)
+            attempts += remaining
+            for query in batch_queries:
+                try:
+                    card = executor.count(query)
+                except ExecutionBudgetError:
+                    spares.append(query)
+                    continue
+                if card > 0:
+                    usable.append(query)
+                else:
+                    spares.append(query)
+        if len(usable) < count:
+            usable.extend(spares[: count - len(usable)])
+        return usable[:count]

@@ -1,0 +1,263 @@
+"""The PACE attack system end to end (Section 3's workflow).
+
+:class:`PaceAttack` drives the three stages against a black-box
+:class:`~repro.ce.deployment.DeployedEstimator`:
+
+(a) surrogate acquisition — probe, speculate the model type, train a
+    white-box surrogate from EXPLAIN outputs + COUNT(*) ground truth;
+(b) poisoning-data generation — train the three-headed generator (with the
+    optional VAE detector adversary) against the unrolled surrogate update;
+(c) attacking — execute the generated queries so the DBMS poisons itself.
+
+Everything the attack consumes flows through the black box's public
+surface (``explain`` / ``count`` / ``execute``) plus the schema, matching
+the paper's threat model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.algorithms import (
+    GeneratorTrainConfig,
+    GeneratorTrainResult,
+    train_generator_accelerated,
+    train_generator_basic,
+)
+from repro.attack.detector import VAEAnomalyDetector
+from repro.attack.generator import PoisonQueryGenerator
+from repro.attack.surrogate import (
+    SpeculationResult,
+    SurrogateConfig,
+    speculate_model_type,
+    train_candidates,
+    train_surrogate,
+)
+from repro.ce.base import CardinalityEstimator
+from repro.ce.deployment import DeployedEstimator, ExecutionReport
+from repro.ce.trainer import TrainConfig
+from repro.db.query import Query
+from repro.db.table import Database
+from repro.utils.errors import TrainingError
+from repro.utils.rng import derive_rng
+from repro.workload.encoding import QueryEncoder
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.workload import Workload
+
+
+class _BlackBoxExecutor:
+    """Adapter giving attack internals an Executor-like COUNT(*) surface.
+
+    Routes every count through the black box's public SQL interface, so
+    the attack code never touches the private relational engine directly.
+    """
+
+    def __init__(self, black_box: DeployedEstimator) -> None:
+        self._black_box = black_box
+
+    def count(self, query: Query) -> int:
+        return self._black_box.count(query)
+
+    def count_many(self, queries) -> np.ndarray:
+        return np.array([self.count(q) for q in queries], dtype=np.float64)
+
+
+@dataclass
+class PaceConfig:
+    """Top-level attack configuration (paper defaults scaled by the caller).
+
+    ``algorithm`` selects the Fig. 5 variant: ``"accelerated"`` (default)
+    or ``"basic"``. ``speculate=False`` skips stage (a)'s probing and uses
+    ``forced_model_type`` (the Table 7 wrong-surrogate experiment).
+    """
+
+    poison_queries: int = 24
+    attacker_queries: int = 120
+    probe_queries_per_group: int = 8
+    algorithm: str = "accelerated"
+    speculate: bool = True
+    forced_model_type: str | None = None
+    use_detector: bool = True
+    detector_threshold: float | None = None
+    surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
+    generator: GeneratorTrainConfig = field(default_factory=GeneratorTrainConfig)
+    candidate_train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=30))
+    noise_dim: int = 16
+    generator_hidden: int = 32
+    max_tables: int = 4
+    seed: int = 0
+
+
+@dataclass
+class PaceResult:
+    """Everything the attack produced, plus Table 9/10 timings."""
+
+    speculation: SpeculationResult | None
+    surrogate: CardinalityEstimator
+    generator: PoisonQueryGenerator
+    detector: VAEAnomalyDetector | None
+    training: GeneratorTrainResult
+    poison_queries: list[Query]
+    train_seconds: float
+    generate_seconds: float
+    attack_seconds: float = 0.0
+    execution: ExecutionReport | None = None
+
+
+class PaceAttack:
+    """Orchestrates the full black-box attack."""
+
+    def __init__(
+        self,
+        database: Database,
+        black_box: DeployedEstimator,
+        test_workload: Workload,
+        config: PaceConfig | None = None,
+        history_workload: Workload | None = None,
+    ) -> None:
+        """Args:
+            database: schema + data; the attack itself only reads the
+                schema, but the attacker-side workload generator labels its
+                probe queries through the black box's COUNT(*) surface.
+            black_box: the deployed estimator under attack.
+            test_workload: the workload whose estimates the attacker wants
+                to corrupt (the problem definition's given test set).
+            history_workload: historical queries for the detector; defaults
+                to attacker-generated workload-like queries.
+        """
+        self.database = database
+        self.schema = database.schema
+        self.black_box = black_box
+        self.test_workload = test_workload
+        self.config = config or PaceConfig()
+        self.encoder = QueryEncoder(self.schema)
+        self._executor = _BlackBoxExecutor(black_box)
+        self._rng = derive_rng(self.config.seed)
+        self._workload_gen = WorkloadGenerator(
+            database,
+            executor=_CountingExecutor(self._executor, database),
+            seed=derive_rng(self.config.seed + 1),
+        )
+        self.history_workload = history_workload
+
+    # ------------------------------------------------------------------
+    # stage (a): surrogate acquisition
+    # ------------------------------------------------------------------
+    def acquire_surrogate(self) -> tuple[SpeculationResult | None, CardinalityEstimator]:
+        config = self.config
+        attacker_workload = self._workload_gen.generate(
+            config.attacker_queries, max_tables=config.max_tables
+        )
+        speculation = None
+        if config.speculate:
+            candidates = train_candidates(
+                self.encoder,
+                attacker_workload,
+                hidden_dim=config.surrogate.hidden_dim,
+                train_config=config.candidate_train,
+                seed=config.seed,
+            )
+            probe_groups = self._workload_gen.probe_workloads(
+                queries_per_group=config.probe_queries_per_group
+            )
+            speculation = speculate_model_type(self.black_box, candidates, probe_groups)
+            model_type = speculation.speculated_type
+        else:
+            if config.forced_model_type is None:
+                raise TrainingError("speculate=False requires forced_model_type")
+            model_type = config.forced_model_type
+        surrogate = train_surrogate(
+            model_type, self.encoder, attacker_workload, self.black_box, config.surrogate
+        )
+        self._attacker_workload = attacker_workload
+        return speculation, surrogate
+
+    # ------------------------------------------------------------------
+    # stage (b): generator (+ detector) training
+    # ------------------------------------------------------------------
+    def build_detector(self) -> VAEAnomalyDetector | None:
+        if not self.config.use_detector:
+            return None
+        history = self.history_workload or self._attacker_workload
+        detector = VAEAnomalyDetector(self.encoder.dim, seed=self.config.seed)
+        detector.fit(history.encode(self.encoder), epochs=40, seed=self.config.seed)
+        if self.config.detector_threshold is not None:
+            detector.set_threshold(self.config.detector_threshold)
+        return detector
+
+    def train_generator(
+        self, surrogate: CardinalityEstimator, detector: VAEAnomalyDetector | None
+    ) -> GeneratorTrainResult:
+        config = self.config
+        generator = PoisonQueryGenerator(
+            self.encoder,
+            noise_dim=config.noise_dim,
+            hidden_dim=config.generator_hidden,
+            seed=config.seed,
+        )
+        gen_config = config.generator
+        gen_config.detector = detector
+        trainer = {
+            "accelerated": train_generator_accelerated,
+            "basic": train_generator_basic,
+        }.get(config.algorithm)
+        if trainer is None:
+            raise TrainingError(f"unknown algorithm {self.config.algorithm!r}")
+        return trainer(generator, surrogate, self._executor, self.test_workload, gen_config)
+
+    # ------------------------------------------------------------------
+    # full pipeline
+    # ------------------------------------------------------------------
+    def prepare(self) -> PaceResult:
+        """Run stages (a) and (b); craft the poisoning workload."""
+        start = time.perf_counter()
+        speculation, surrogate = self.acquire_surrogate()
+        detector = self.build_detector()
+        training = self.train_generator(surrogate, detector)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        queries = training.generator.generate_usable_queries(
+            self.config.poison_queries, self._rng, self._executor
+        )
+        generate_seconds = time.perf_counter() - start
+        return PaceResult(
+            speculation=speculation,
+            surrogate=surrogate,
+            generator=training.generator,
+            detector=detector,
+            training=training,
+            poison_queries=queries,
+            train_seconds=train_seconds,
+            generate_seconds=generate_seconds,
+        )
+
+    def attack(self, result: PaceResult | None = None) -> PaceResult:
+        """Stage (c): execute the poisoning queries against the DBMS."""
+        result = result or self.prepare()
+        start = time.perf_counter()
+        result.execution = self.black_box.execute(result.poison_queries)
+        result.attack_seconds = time.perf_counter() - start
+        return result
+
+
+class _CountingExecutor:
+    """Executor facade backed by the black box's COUNT(*) surface.
+
+    WorkloadGenerator expects an object with ``count``; this keeps the
+    attacker's workload generation on the public interface while sharing
+    the underlying database object for value sampling.
+    """
+
+    def __init__(self, bb_executor: _BlackBoxExecutor, database: Database) -> None:
+        self._bb = bb_executor
+        self.database = database
+
+    def count(self, query: Query) -> int:
+        return self._bb.count(query)
+
+    def count_many(self, queries) -> np.ndarray:
+        return self._bb.count_many(queries)

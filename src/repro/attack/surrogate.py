@@ -1,0 +1,247 @@
+"""Surrogate CE model acquisition (Section 4 of the paper).
+
+Two steps turn the black box into a near-white box:
+
+1. **Type speculation** (§4.1): train one candidate model per known type,
+   probe all of them plus the black box with property-grouped workloads
+   (varying filtered-column count and predicate range size), build a
+   performance vector ``[accuracy | latency]`` per model, and pick the
+   candidate whose vector has the highest cosine similarity to the black
+   box's (Eq. 5).
+2. **Surrogate training** (§4.2): train a model of the speculated type on
+   the attacker's own labeled queries using the combined loss of Eq. 7 —
+   imitate the black box's outputs *and* fit the ground-truth labels — or,
+   for the Fig. 10 ablation, the direct-imitation loss of Eq. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ce.base import CardinalityEstimator
+from repro.ce.deployment import DeployedEstimator
+from repro.ce.registry import MODEL_TYPES, create_model
+from repro.ce.trainer import TrainConfig, train_model
+from repro.metrics.qerror import q_errors
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.errors import TrainingError
+from repro.utils.rng import derive_rng
+from repro.workload.encoding import QueryEncoder
+from repro.workload.workload import Workload
+
+
+# ----------------------------------------------------------------------
+# type speculation
+# ----------------------------------------------------------------------
+@dataclass
+class SpeculationResult:
+    """Outcome of model-type speculation."""
+
+    speculated_type: str
+    similarities: dict[str, float]
+    black_box_vector: np.ndarray
+    candidate_vectors: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def performance_vector(estimate_fn, probe_groups, timing_repeats: int = 3) -> np.ndarray:
+    """``[mean log q-error, latency]`` per probe group, concatenated.
+
+    ``estimate_fn(queries) -> (estimates, seconds)``; groups come from
+    :meth:`WorkloadGenerator.probe_workloads`. Latency is the median of
+    ``timing_repeats`` timed calls — wall-clock jitter otherwise leaks into
+    the similarity comparison and destabilizes the speculated type.
+    """
+    accuracy_parts: list[float] = []
+    latency_parts: list[float] = []
+    for _name, workload in probe_groups:
+        estimates, seconds = estimate_fn(workload.queries)
+        timings = [seconds]
+        for _ in range(max(timing_repeats - 1, 0)):
+            _, extra = estimate_fn(workload.queries)
+            timings.append(extra)
+        errors = q_errors(estimates, workload.cardinalities)
+        accuracy_parts.append(float(np.log(errors).mean()))
+        latency_parts.append(float(np.median(timings)) / max(len(workload), 1))
+    return np.array(accuracy_parts + latency_parts, dtype=np.float64)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def _timed_estimator(model: CardinalityEstimator):
+    import time
+
+    def fn(queries):
+        start = time.perf_counter()
+        estimates = model.estimate(queries)
+        return estimates, time.perf_counter() - start
+
+    return fn
+
+
+def train_candidates(
+    encoder: QueryEncoder,
+    workload: Workload,
+    model_types=MODEL_TYPES,
+    hidden_dim: int = 32,
+    train_config: TrainConfig | None = None,
+    seed=0,
+) -> dict[str, CardinalityEstimator]:
+    """Train one candidate model per type on the attacker's own workload."""
+    rng = derive_rng(seed)
+    candidates: dict[str, CardinalityEstimator] = {}
+    for model_type in model_types:
+        model = create_model(
+            model_type, encoder, hidden_dim=hidden_dim, seed=int(rng.integers(2**31))
+        )
+        train_model(model, workload, train_config or TrainConfig())
+        candidates[model_type] = model
+    return candidates
+
+
+def speculate_model_type(
+    black_box: DeployedEstimator,
+    candidates: dict[str, CardinalityEstimator],
+    probe_groups,
+    latency_weight: float = 1.0,
+) -> SpeculationResult:
+    """Pick the candidate type most similar to the black box (Eq. 5).
+
+    Accuracy and latency sections of each performance vector are
+    standardized across models before the cosine comparison so neither
+    scale dominates; ``latency_weight`` scales the latency section.
+    """
+    if not candidates:
+        raise TrainingError("speculation needs at least one candidate model")
+    bb_vector = performance_vector(black_box.explain_timed, probe_groups)
+    vectors = {
+        name: performance_vector(_timed_estimator(model), probe_groups)
+        for name, model in candidates.items()
+    }
+    groups = len(probe_groups)
+    all_vecs = np.stack([bb_vector] + list(vectors.values()))
+    mean = all_vecs.mean(axis=0)
+    std = all_vecs.std(axis=0) + 1e-12
+    weights = np.concatenate([np.ones(groups), np.full(groups, latency_weight)])
+
+    def standardize(v: np.ndarray) -> np.ndarray:
+        return (v - mean) / std * weights
+
+    bb_std = standardize(bb_vector)
+    similarities = {
+        name: cosine_similarity(bb_std, standardize(vec)) for name, vec in vectors.items()
+    }
+    best = max(similarities, key=similarities.get)
+    return SpeculationResult(
+        speculated_type=best,
+        similarities=similarities,
+        black_box_vector=bb_vector,
+        candidate_vectors=vectors,
+    )
+
+
+# ----------------------------------------------------------------------
+# surrogate training
+# ----------------------------------------------------------------------
+@dataclass
+class SurrogateConfig:
+    """Hyper-parameters for surrogate training.
+
+    ``strategy`` is ``"combined"`` (Eq. 7, the PACE default) or
+    ``"direct"`` (Eq. 6, imitation only — the Fig. 10 ablation).
+    ``imitation_weight`` balances the two loss terms of Eq. 7.
+    """
+
+    strategy: str = "combined"
+    imitation_weight: float = 1.0
+    epochs: int = 60
+    batch_size: int = 64
+    lr: float = 1e-3
+    hidden_dim: int = 32
+    num_layers: int = 2
+    seed: int = 0
+
+
+def train_surrogate(
+    model_type: str,
+    encoder: QueryEncoder,
+    workload: Workload,
+    black_box: DeployedEstimator,
+    config: SurrogateConfig | None = None,
+) -> CardinalityEstimator:
+    """Train a white-box stand-in for ``black_box`` (Eq. 6 / Eq. 7).
+
+    ``workload`` is the attacker's own labeled query set; black-box outputs
+    for it are collected through ``EXPLAIN``.
+    """
+    config = config or SurrogateConfig()
+    if config.strategy not in ("combined", "direct"):
+        raise TrainingError(f"unknown surrogate strategy {config.strategy!r}")
+    if len(workload) == 0:
+        raise TrainingError("surrogate training needs a non-empty workload")
+
+    surrogate = create_model(
+        model_type,
+        encoder,
+        hidden_dim=config.hidden_dim,
+        num_layers=config.num_layers,
+        seed=config.seed,
+    )
+    surrogate.calibrate_normalization(workload.cardinalities)
+
+    x_all = workload.encode(encoder)
+    bb_estimates = black_box.explain_many(workload.queries)
+    y_imitate = surrogate.normalize_log(bb_estimates)
+    y_truth = surrogate.normalize_log(workload.cardinalities)
+
+    rng = derive_rng(config.seed)
+    optimizer = Adam(surrogate.parameters(), lr=config.lr)
+    n = len(workload)
+    batch = min(config.batch_size, n)
+    for _epoch in range(config.epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch):
+            idx = order[start : start + batch]
+            x = Tensor(x_all[idx])
+            prediction = surrogate(x)
+            loss = mse_loss(prediction, Tensor(y_imitate[idx])) * config.imitation_weight
+            if config.strategy == "combined":
+                loss = loss + mse_loss(prediction, Tensor(y_truth[idx]))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return surrogate
+
+
+def parameter_similarity(a: CardinalityEstimator, b: CardinalityEstimator) -> float:
+    """Cosine similarity of flattened parameters (same architecture only).
+
+    Supports the §3.2 claim that the trained surrogate's parameters end up
+    highly similar to the black box's.
+    """
+    fa, fb = a.flat_parameters(), b.flat_parameters()
+    if fa.shape != fb.shape:
+        raise TrainingError(
+            "parameter similarity requires identical architectures "
+            f"({fa.shape} vs {fb.shape})"
+        )
+    return cosine_similarity(fa, fb)
+
+
+def output_agreement(
+    a: CardinalityEstimator, b_estimates: np.ndarray, queries, log_space: bool = True
+) -> float:
+    """Mean |log(est_a) - log(est_b)| on shared queries (imitation quality)."""
+    ea = np.maximum(a.estimate(queries), 1e-9)
+    eb = np.maximum(np.asarray(b_estimates, dtype=np.float64), 1e-9)
+    if log_space:
+        return float(np.abs(np.log(ea) - np.log(eb)).mean())
+    return float(np.abs(ea - eb).mean())

@@ -1,0 +1,49 @@
+"""Query-driven learned cardinality estimation (the attack's target)."""
+
+from repro.ce.base import CardinalityEstimator
+from repro.ce.deployment import DeployedEstimator, ExecutionReport
+from repro.ce.models import FCN, MSCN, FCNPool, LinearCE, LSTMCE, RNNCE
+from repro.ce.registry import (
+    MODEL_REGISTRY,
+    MODEL_TYPES,
+    NEURAL_MODEL_TYPES,
+    create_model,
+    register_model,
+)
+from repro.ce.trainer import (
+    DEFAULT_UPDATE_LR,
+    DEFAULT_UPDATE_STEPS,
+    TrainConfig,
+    TrainResult,
+    evaluate_q_errors,
+    incremental_update,
+    train_model,
+    training_loss,
+    unrolled_update,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "FCN",
+    "FCNPool",
+    "MSCN",
+    "RNNCE",
+    "LSTMCE",
+    "LinearCE",
+    "MODEL_REGISTRY",
+    "MODEL_TYPES",
+    "NEURAL_MODEL_TYPES",
+    "create_model",
+    "register_model",
+    "TrainConfig",
+    "TrainResult",
+    "train_model",
+    "training_loss",
+    "incremental_update",
+    "unrolled_update",
+    "evaluate_q_errors",
+    "DEFAULT_UPDATE_LR",
+    "DEFAULT_UPDATE_STEPS",
+    "DeployedEstimator",
+    "ExecutionReport",
+]

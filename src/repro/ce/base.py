@@ -1,0 +1,92 @@
+"""Base class for query-driven cardinality estimators.
+
+All six paper models share this contract: the network maps a query
+encoding to a *normalized log-cardinality* in ``(0, 1)`` (final sigmoid —
+the paper notes this is why estimates are always strictly positive), and
+the estimator denormalizes with a per-model log cap fitted from its
+training workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.errors import TrainingError
+from repro.workload.encoding import QueryEncoder
+
+#: Floor on denormalized cardinalities (sigmoid never emits exactly 0).
+_MIN_CARD = 1.0
+
+
+class CardinalityEstimator(Module):
+    """Common functionality: normalization, estimation, loss plumbing.
+
+    Subclasses implement :meth:`forward` mapping a ``(batch, dim)`` tensor
+    of query encodings to a ``(batch,)`` tensor of normalized
+    log-cardinalities in ``(0, 1)``.
+
+    Attributes:
+        model_type: registry name (``fcn``, ``mscn``, ...), set per class.
+    """
+
+    model_type: str = "abstract"
+
+    def __init__(self, encoder: QueryEncoder) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.input_dim = encoder.dim
+        # Log-cardinality cap; calibrated from the training workload before
+        # the first fit (see calibrate_normalization).
+        self.log_cap = 20.0
+
+    # ------------------------------------------------------------------
+    # normalization
+    # ------------------------------------------------------------------
+    def calibrate_normalization(self, cardinalities: np.ndarray) -> None:
+        """Fit the log cap so training labels map well inside ``(0, 1)``."""
+        cards = np.asarray(cardinalities, dtype=np.float64)
+        if cards.size == 0 or np.any(cards <= 0):
+            raise TrainingError("normalization needs a non-empty positive cardinality sample")
+        self.log_cap = float(np.log(cards.max()) * 1.2 + 1.0)
+
+    def normalize_log(self, cardinalities: np.ndarray) -> np.ndarray:
+        """Map positive cardinalities to normalized log space ``(0, 1)``."""
+        cards = np.maximum(np.asarray(cardinalities, dtype=np.float64), _MIN_CARD)
+        return np.clip(np.log(cards) / self.log_cap, 1e-6, 1.0 - 1e-6)
+
+    def denormalize_log(self, normalized: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize_log` (numpy arrays)."""
+        return np.exp(np.asarray(normalized) * self.log_cap)
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate_encoded(self, encodings: np.ndarray) -> np.ndarray:
+        """Estimated cardinalities for pre-encoded queries (no gradients)."""
+        with no_grad():
+            out = self.forward(Tensor(np.atleast_2d(encodings)))
+        return self.denormalize_log(out.data)
+
+    def estimate(self, queries) -> np.ndarray:
+        """Estimated cardinalities for :class:`~repro.db.query.Query` objects."""
+        encodings = self.encoder.encode_many(queries)
+        return self.estimate_encoded(encodings)
+
+    def log_cardinality(self, x: Tensor) -> Tensor:
+        """Differentiable natural-log cardinality for a batch tensor."""
+        return self.forward(x) * self.log_cap
+
+    # ------------------------------------------------------------------
+    # introspection used by the surrogate-acquisition experiments
+    # ------------------------------------------------------------------
+    def flat_parameters(self) -> np.ndarray:
+        """All parameters concatenated (parameter-similarity metric, §7.4)."""
+        return np.concatenate([p.data.reshape(-1) for p in self.parameters()])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(type={self.model_type!r}, "
+            f"params={self.num_parameters()}, log_cap={self.log_cap:.2f})"
+        )

@@ -1,0 +1,131 @@
+"""The deployed (black-box) learned estimator the attacker interacts with.
+
+Models the paper's threat surface exactly (Section 2.2): the attacker can
+
+* run ``COUNT(*)`` queries (:meth:`DeployedEstimator.count`),
+* read the optimizer's estimate via ``EXPLAIN`` (:meth:`explain`),
+* execute queries, which the DBMS then uses to incrementally retrain its
+  CE model (:meth:`execute`) — optionally after an anomaly filter.
+
+Nothing else is exposed: the model object, its type, and its parameters
+stay private attributes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ce.base import CardinalityEstimator
+from repro.ce.trainer import (
+    DEFAULT_UPDATE_LR,
+    DEFAULT_UPDATE_STEPS,
+    incremental_update,
+)
+from repro.db.executor import Executor
+from repro.db.query import LabeledQuery, Query
+from repro.utils.errors import TrainingError
+from repro.workload.workload import Workload
+
+
+@dataclass
+class ExecutionReport:
+    """What happened when a batch of queries was executed."""
+
+    executed: int
+    rejected: int
+    update_losses: list[float]
+
+
+class DeployedEstimator:
+    """A learned CE model deployed inside a database.
+
+    Args:
+        model: the trained CE model (becomes private).
+        executor: ground-truth executor of the underlying database.
+        update_steps/update_lr: the DBMS's incremental-update mechanism
+            (Eq. 9 parameters).
+        anomaly_filter: optional callable ``(list[Query]) -> ndarray[bool]``
+            returning True for queries to *reject* from the update (the
+            defense the PACE detector is designed to slip past).
+    """
+
+    def __init__(
+        self,
+        model: CardinalityEstimator,
+        executor: Executor,
+        update_steps: int = DEFAULT_UPDATE_STEPS,
+        update_lr: float = DEFAULT_UPDATE_LR,
+        anomaly_filter=None,
+    ) -> None:
+        self._model = model
+        self._executor = executor
+        self.update_steps = update_steps
+        self.update_lr = update_lr
+        self.anomaly_filter = anomaly_filter
+        self.history: list[LabeledQuery] = []
+
+    # ------------------------------------------------------------------
+    # the attacker-visible surface
+    # ------------------------------------------------------------------
+    def explain(self, query: Query) -> float:
+        """The optimizer's cardinality estimate (``EXPLAIN``)."""
+        return float(self._model.estimate([query])[0])
+
+    def explain_many(self, queries) -> np.ndarray:
+        """Vectorized :meth:`explain`, with wall-clock timing retained."""
+        return self._model.estimate(list(queries))
+
+    def explain_timed(self, queries) -> tuple[np.ndarray, float]:
+        """Estimates plus elapsed seconds (probe latency for speculation)."""
+        start = time.perf_counter()
+        estimates = self._model.estimate(list(queries))
+        return estimates, time.perf_counter() - start
+
+    def count(self, query: Query) -> int:
+        """True cardinality via ``COUNT(*)`` (the attacker may execute SQL)."""
+        return self._executor.count(query)
+
+    def execute(self, queries) -> ExecutionReport:
+        """Execute queries; the DBMS retrains its CE model on them.
+
+        Mirrors the paper's attack step (Section 3.4): executed queries and
+        their true cardinalities become incremental training data. Queries
+        flagged by the anomaly filter are executed but *not* used to update
+        the model.
+        """
+        queries = list(queries)
+        if not queries:
+            raise TrainingError("execute() needs at least one query")
+        if self.anomaly_filter is not None:
+            abnormal = np.asarray(self.anomaly_filter(queries), dtype=bool)
+        else:
+            abnormal = np.zeros(len(queries), dtype=bool)
+        accepted = [q for q, bad in zip(queries, abnormal) if not bad]
+        rejected = int(abnormal.sum())
+        if not accepted:
+            return ExecutionReport(executed=len(queries), rejected=rejected, update_losses=[])
+        workload = Workload.from_queries(accepted, self._executor, drop_empty=True)
+        if len(workload) == 0:
+            return ExecutionReport(executed=len(queries), rejected=rejected, update_losses=[])
+        self.history.extend(workload.examples)
+        losses = incremental_update(
+            self._model, workload, steps=self.update_steps, lr=self.update_lr
+        )
+        return ExecutionReport(executed=len(queries), rejected=rejected, update_losses=losses)
+
+    # ------------------------------------------------------------------
+    # evaluation-only access (not part of the attacker surface)
+    # ------------------------------------------------------------------
+    def inspect_model(self) -> CardinalityEstimator:
+        """The private model — for the evaluation harness, not the attacker."""
+        return self._model
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Parameter snapshot, so experiments can restore a clean model."""
+        return self._model.state_dict()
+
+    def restore(self, state: dict[str, np.ndarray]) -> None:
+        self._model.load_state_dict(state)

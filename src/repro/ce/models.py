@@ -1,0 +1,183 @@
+"""The six query-driven CE model architectures the paper evaluates.
+
+==========  =====================================================
+``linear``  single affine layer + sigmoid (the robust baseline)
+``fcn``     fully connected net (Dutt et al., 2019)
+``fcn_pool``three FCN branches pooled (Kim et al., 2022)
+``mscn``    multi-set convolutional net (Kipf et al., 2019)
+``rnn``     recurrent net over encoding chunks (Ortiz et al., 2019)
+``lstm``    LSTM variant of the same
+==========  =====================================================
+
+All consume the shared flat query encoding and emit a normalized
+log-cardinality in ``(0, 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ce.base import CardinalityEstimator
+from repro.nn.layers import Linear, ReLU, Sequential, Sigmoid, mlp
+from repro.nn.recurrent import LSTM, RNN, split_sequence
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import derive_rng
+from repro.workload.encoding import QueryEncoder
+
+
+class LinearCE(CardinalityEstimator):
+    """Linear regression head; few parameters, weak fit, strong robustness."""
+
+    model_type = "linear"
+
+    def __init__(self, encoder: QueryEncoder, hidden_dim: int = 0, num_layers: int = 1,
+                 seed=0) -> None:
+        super().__init__(encoder)
+        rng = derive_rng(seed)
+        self.head = Linear(self.input_dim, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(x).sigmoid().reshape((x.shape[0],))
+
+
+class FCN(CardinalityEstimator):
+    """Lightweight fully connected network."""
+
+    model_type = "fcn"
+
+    def __init__(self, encoder: QueryEncoder, hidden_dim: int = 64, num_layers: int = 2,
+                 seed=0) -> None:
+        super().__init__(encoder)
+        rng = derive_rng(seed)
+        self.net = mlp(
+            self.input_dim,
+            [hidden_dim] * num_layers,
+            1,
+            rng=rng,
+            final_activation=Sigmoid(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x).reshape((x.shape[0],))
+
+
+class FCNPool(CardinalityEstimator):
+    """Three FCN branches (join / predicates / full) pooled by averaging."""
+
+    model_type = "fcn_pool"
+
+    def __init__(self, encoder: QueryEncoder, hidden_dim: int = 64, num_layers: int = 2,
+                 seed=0) -> None:
+        super().__init__(encoder)
+        rng = derive_rng(seed)
+        join_dim = encoder.num_tables
+        pred_dim = encoder.dim - join_dim
+        self._join_dim = join_dim
+        self.join_branch = mlp(join_dim, [hidden_dim] * (num_layers - 1), hidden_dim, rng=rng)
+        self.pred_branch = mlp(pred_dim, [hidden_dim] * (num_layers - 1), hidden_dim, rng=rng)
+        self.full_branch = mlp(self.input_dim, [hidden_dim] * (num_layers - 1), hidden_dim,
+                               rng=rng)
+        self.head = Sequential(ReLU(), Linear(hidden_dim, 1, rng=rng), Sigmoid())
+
+    def forward(self, x: Tensor) -> Tensor:
+        join_part = x[:, : self._join_dim]
+        pred_part = x[:, self._join_dim :]
+        pooled = (
+            self.join_branch(join_part)
+            + self.pred_branch(pred_part)
+            + self.full_branch(x)
+        ) * (1.0 / 3.0)
+        return self.head(pooled).reshape((x.shape[0],))
+
+
+class MSCN(CardinalityEstimator):
+    """Multi-set convolutional network.
+
+    Each joined table contributes a set element ``[one_hot(table), bounds of
+    its attributes]`` passed through a shared MLP; elements are averaged
+    with the join bits as weights (absent tables contribute nothing), then a
+    final MLP produces the estimate. This is the per-table set formulation
+    of Kipf et al.'s table/join/predicate sets, adapted to the shared flat
+    encoding.
+    """
+
+    model_type = "mscn"
+
+    def __init__(self, encoder: QueryEncoder, hidden_dim: int = 64, num_layers: int = 2,
+                 seed=0) -> None:
+        super().__init__(encoder)
+        rng = derive_rng(seed)
+        self._num_tables = encoder.num_tables
+        # Per-table gather indices into the flat encoding's bounds section.
+        self._max_attrs = max(
+            (len(encoder.schema.attributes_of(t)) for t in encoder.schema.table_names),
+            default=0,
+        )
+        self._gather: list[np.ndarray] = []
+        for t in encoder.schema.table_names:
+            positions: list[int] = []
+            for table, col in encoder.schema.attributes_of(t):
+                lo, hi = encoder.bounds_positions(table, col)
+                positions.extend((lo, hi))
+            self._gather.append(np.array(positions, dtype=np.int64))
+        element_dim = self._num_tables + 2 * self._max_attrs
+        self.set_mlp = mlp(element_dim, [hidden_dim] * (num_layers - 1), hidden_dim, rng=rng)
+        self.head = Sequential(
+            ReLU(), Linear(hidden_dim, hidden_dim, rng=rng), ReLU(),
+            Linear(hidden_dim, 1, rng=rng), Sigmoid(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        join_bits = x[:, : self._num_tables]
+        pooled = None
+        for t in range(self._num_tables):
+            one_hot = np.zeros((1, self._num_tables))
+            one_hot[0, t] = 1.0
+            ident = Tensor(one_hot).broadcast_to((batch, self._num_tables))
+            positions = self._gather[t]
+            if positions.size:
+                bounds = x[:, positions]
+            else:
+                bounds = Tensor(np.zeros((batch, 0)))
+            pad_width = 2 * self._max_attrs - positions.size
+            if pad_width > 0:
+                default = np.tile(
+                    np.array([0.0, 1.0]), pad_width // 2
+                ) if pad_width % 2 == 0 else np.zeros(pad_width)
+                pad = Tensor(np.tile(default, (batch, 1)))
+                bounds = concat([bounds, pad], axis=1)
+            element = self.set_mlp(concat([ident, bounds], axis=1))
+            weight = join_bits[:, t : t + 1]
+            contribution = element * weight
+            pooled = contribution if pooled is None else pooled + contribution
+        denom = join_bits.sum(axis=1, keepdims=True).clip(1.0, float(self._num_tables))
+        pooled = pooled / denom
+        return self.head(pooled).reshape((batch,))
+
+
+class RNNCE(CardinalityEstimator):
+    """Recurrent estimator consuming the encoding in fixed-size chunks."""
+
+    model_type = "rnn"
+    _recurrent_cls = RNN
+
+    def __init__(self, encoder: QueryEncoder, hidden_dim: int = 64, num_layers: int = 1,
+                 seed=0, step_size: int = 8) -> None:
+        super().__init__(encoder)
+        rng = derive_rng(seed)
+        self.step_size = step_size
+        self.recurrent = self._recurrent_cls(step_size, hidden_dim, rng=rng)
+        self.head = Sequential(Linear(hidden_dim, 1, rng=rng), Sigmoid())
+
+    def forward(self, x: Tensor) -> Tensor:
+        sequence = split_sequence(x, self.step_size)
+        hidden = self.recurrent(sequence)
+        return self.head(hidden).reshape((x.shape[0],))
+
+
+class LSTMCE(RNNCE):
+    """LSTM variant of the recurrent estimator."""
+
+    model_type = "lstm"
+    _recurrent_cls = LSTM

@@ -1,0 +1,46 @@
+"""Registry of CE model types (the candidate set for type speculation)."""
+
+from __future__ import annotations
+
+from repro.ce.base import CardinalityEstimator
+from repro.ce.models import FCN, MSCN, FCNPool, LinearCE, LSTMCE, RNNCE
+from repro.utils.errors import ReproError
+from repro.workload.encoding import QueryEncoder
+
+MODEL_REGISTRY: dict[str, type[CardinalityEstimator]] = {
+    cls.model_type: cls for cls in (FCN, FCNPool, MSCN, RNNCE, LSTMCE, LinearCE)
+}
+
+#: Paper's candidate order (Section 7.1).
+MODEL_TYPES: tuple[str, ...] = ("fcn", "fcn_pool", "mscn", "rnn", "lstm", "linear")
+
+#: Neural (attackable-by-gradient) model types — everything but linear is
+#: deep; linear is included in the candidate set but barely attackable.
+NEURAL_MODEL_TYPES: tuple[str, ...] = ("fcn", "fcn_pool", "mscn", "rnn", "lstm")
+
+
+def create_model(
+    model_type: str,
+    encoder: QueryEncoder,
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    seed=0,
+) -> CardinalityEstimator:
+    """Instantiate a CE model by registry name."""
+    try:
+        cls = MODEL_REGISTRY[model_type]
+    except KeyError:
+        raise ReproError(
+            f"unknown CE model type {model_type!r}; expected one of {MODEL_TYPES}"
+        ) from None
+    return cls(encoder, hidden_dim=hidden_dim, num_layers=num_layers, seed=seed)
+
+
+def register_model(cls: type[CardinalityEstimator]) -> type[CardinalityEstimator]:
+    """Add a new candidate model type (the paper's K -> K+1 extension remark)."""
+    if not issubclass(cls, CardinalityEstimator):
+        raise ReproError(f"{cls!r} is not a CardinalityEstimator subclass")
+    if cls.model_type in MODEL_REGISTRY:
+        raise ReproError(f"model type {cls.model_type!r} is already registered")
+    MODEL_REGISTRY[cls.model_type] = cls
+    return cls

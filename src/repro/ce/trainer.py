@@ -1,0 +1,168 @@
+"""Training, incremental updating, and unrolled (differentiable) updating.
+
+Three update regimes matter in the paper:
+
+* initial training (Eq. 1): Adam over the training workload;
+* incremental update (Eq. 9): ``K`` full-batch gradient-descent steps on
+  newly executed queries — the mechanism the attack exploits;
+* unrolled update: the same ``K`` steps expressed as a differentiable graph
+  so the poisoning objective (Eq. 10) can be optimized through it.
+
+The optimization loss is MSE in normalized log space (stable); evaluation
+is plain Q-error (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ce.base import CardinalityEstimator
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, grad, no_grad
+from repro.utils.errors import TrainingError
+from repro.utils.rng import derive_rng
+from repro.workload.workload import Workload
+
+#: Learning rate of the DBMS's incremental-update mechanism (Eq. 9's eta).
+#: Full-batch gradient descent on normalized-log MSE; deliberately larger
+#: than the Adam training rate because it takes only K(=10) steps.
+DEFAULT_UPDATE_LR = 2.0
+
+#: Paper's K: incremental-update iterations on newly executed queries.
+DEFAULT_UPDATE_STEPS = 10
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for initial CE training."""
+
+    epochs: int = 60
+    batch_size: int = 64
+    lr: float = 1e-3
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    """Training diagnostics."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_model(
+    model: CardinalityEstimator,
+    workload: Workload,
+    config: TrainConfig | None = None,
+) -> TrainResult:
+    """Fit ``model`` on ``workload`` (Eq. 1) with mini-batch Adam."""
+    config = config or TrainConfig()
+    if len(workload) == 0:
+        raise TrainingError("cannot train on an empty workload")
+    rng = derive_rng(config.seed)
+    x_all = workload.encode(model.encoder)
+    model.calibrate_normalization(workload.cardinalities)
+    y_all = model.normalize_log(workload.cardinalities)
+
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    result = TrainResult()
+    n = len(workload)
+    batch = min(config.batch_size, n)
+    for _epoch in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        steps = 0
+        for start in range(0, n, batch):
+            idx = order[start : start + batch]
+            x = Tensor(x_all[idx])
+            y = Tensor(y_all[idx])
+            prediction = model(x)
+            loss = mse_loss(prediction, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            steps += 1
+        result.losses.append(epoch_loss / max(steps, 1))
+    return result
+
+
+def training_loss(model: CardinalityEstimator, x: Tensor, y_norm: Tensor) -> Tensor:
+    """The CE model's own training loss on a batch (normalized-log MSE)."""
+    return mse_loss(model(x), y_norm)
+
+
+def incremental_update(
+    model: CardinalityEstimator,
+    workload: Workload,
+    steps: int = DEFAULT_UPDATE_STEPS,
+    lr: float = DEFAULT_UPDATE_LR,
+) -> list[float]:
+    """Apply Eq. 9 in place: ``steps`` full-batch GD steps on ``workload``.
+
+    This is what the deployed DBMS does with newly executed queries; the
+    attack's whole premise is that it will run on poisoned ones too.
+    Returns the per-step losses.
+    """
+    if len(workload) == 0:
+        raise TrainingError("cannot update on an empty workload")
+    x = Tensor(workload.encode(model.encoder))
+    y = Tensor(model.normalize_log(workload.cardinalities))
+    params = model.parameters()
+    losses = []
+    for _ in range(steps):
+        loss = training_loss(model, x, y)
+        model.zero_grad()
+        loss.backward()
+        with no_grad():
+            for p in params:
+                if p.grad is not None:
+                    p.data -= lr * p.grad.data
+        losses.append(loss.item())
+    model.zero_grad()
+    return losses
+
+
+def unrolled_update(
+    model: CardinalityEstimator,
+    x: Tensor,
+    y_norm: Tensor,
+    steps: int = DEFAULT_UPDATE_STEPS,
+    lr: float = DEFAULT_UPDATE_LR,
+) -> CardinalityEstimator:
+    """Differentiable version of :func:`incremental_update`.
+
+    Returns a functional clone whose parameters are graph tensors
+    ``theta_K = theta - lr * sum_k grad_k`` — gradients flow back through
+    every step to ``x`` (and hence to the poisoning generator that produced
+    ``x``). The original ``model`` is untouched.
+    """
+    if steps <= 0:
+        raise TrainingError(f"unrolled update needs steps >= 1, got {steps}")
+    names = [name for name, _ in model.named_parameters()]
+    current = model
+    for _ in range(steps):
+        loss = training_loss(current, x, y_norm)
+        params = [p for _, p in current.named_parameters()]
+        grads = grad(loss, params, create_graph=True)
+        mapping = {
+            name: p - lr * g for name, p, g in zip(names, params, grads)
+        }
+        current = current.clone_with_parameters(mapping)
+    return current
+
+
+def evaluate_q_errors(model: CardinalityEstimator, workload: Workload) -> np.ndarray:
+    """Per-query Q-errors of ``model`` on a labeled workload."""
+    if len(workload) == 0:
+        raise TrainingError("cannot evaluate on an empty workload")
+    estimates = np.maximum(model.estimate(workload.queries), 1e-9)
+    truths = np.maximum(workload.cardinalities, 1.0)
+    ratio = estimates / truths
+    return np.maximum(ratio, 1.0 / ratio)

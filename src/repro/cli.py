@@ -1,0 +1,128 @@
+"""Command-line interface: run attacks and experiments without code.
+
+Examples::
+
+    python -m repro attack --dataset dmv --model fcn --method pace
+    python -m repro attack --dataset tpch --model mscn --method lbg --count 48
+    python -m repro speculate --dataset dmv --model lstm
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ce.registry import MODEL_TYPES
+from repro.datasets.registry import DATASET_NAMES
+from repro.harness import METHODS, get_scenario, run_attack
+from repro.metrics import QErrorSummary, render_table
+from repro.utils.config import available_scales, get_scale
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default="dmv")
+    parser.add_argument("--model", choices=MODEL_TYPES, default="fcn")
+    parser.add_argument("--scale", choices=available_scales(), default=None)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PACE: poisoning attacks on learned cardinality estimation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack", help="run one poisoning attack end to end")
+    _add_common(attack)
+    attack.add_argument("--method", choices=METHODS, default="pace")
+    attack.add_argument("--count", type=int, default=None,
+                        help="number of poisoning queries (default: scale's)")
+    attack.add_argument("--algorithm", choices=("accelerated", "basic"),
+                        default="accelerated")
+    attack.add_argument("--no-detector", action="store_true",
+                        help="train the generator without the VAE adversary")
+
+    speculate = sub.add_parser(
+        "speculate", help="probe a deployed model and speculate its type"
+    )
+    _add_common(speculate)
+
+    sub.add_parser("info", help="list datasets, model types, methods, scales")
+    return parser
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.dataset, args.model, scale=args.scale, seed=args.seed)
+    outcome = run_attack(
+        scenario,
+        args.method,
+        count=args.count,
+        algorithm=args.algorithm,
+        use_detector=not args.no_detector,
+    )
+    before = QErrorSummary.from_errors(outcome.before)
+    after = QErrorSummary.from_errors(outcome.after)
+    rows = [
+        ["clean", before.mean, before.p90, before.p95, before.p99, before.max],
+        [args.method, after.mean, after.p90, after.p95, after.p99, after.max],
+    ]
+    print(render_table(
+        ["state", "mean", "90th", "95th", "99th", "max"],
+        rows,
+        title=f"{args.dataset}/{args.model}: Q-error before/after {args.method}",
+    ))
+    print(f"\ndegradation factor: {outcome.degradation:.2f}x")
+    print(f"poisoning queries:  {len(outcome.poison_queries)}")
+    print(f"JS divergence:      {outcome.divergence:.4f}")
+    print(f"timings: train {outcome.train_seconds:.2f}s, "
+          f"generate {outcome.generate_seconds:.3f}s, "
+          f"attack {outcome.attack_seconds:.3f}s")
+    return 0
+
+
+def cmd_speculate(args: argparse.Namespace) -> int:
+    from repro.attack import speculate_model_type, train_candidates
+    from repro.ce import TrainConfig
+    from repro.workload import WorkloadGenerator
+
+    scale = get_scale(args.scale)
+    scenario = get_scenario(args.dataset, args.model, scale=scale, seed=args.seed)
+    candidates = train_candidates(
+        scenario.encoder,
+        scenario.train_workload,
+        hidden_dim=scale.hidden_dim,
+        train_config=TrainConfig(epochs=max(scale.train_epochs // 2, 10)),
+        seed=args.seed,
+    )
+    probes = WorkloadGenerator(
+        scenario.database, scenario.executor, seed=args.seed + 5
+    ).probe_workloads(queries_per_group=scale.probe_queries_per_group)
+    result = speculate_model_type(scenario.deployed, candidates, probes)
+    rows = sorted(result.similarities.items(), key=lambda kv: -kv[1])
+    print(render_table(
+        ["candidate type", "cosine similarity"],
+        [[name, sim] for name, sim in rows],
+        title=f"deployed: {args.model} -> speculated: {result.speculated_type}",
+    ))
+    return 0 if result.speculated_type == args.model else 1
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print("datasets:   ", ", ".join(DATASET_NAMES))
+    print("model types:", ", ".join(MODEL_TYPES))
+    print("methods:    ", ", ".join(METHODS))
+    print("scales:     ", ", ".join(available_scales()),
+          f"(active: {get_scale().name})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"attack": cmd_attack, "speculate": cmd_speculate, "info": cmd_info}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

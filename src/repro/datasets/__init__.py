@@ -1,0 +1,31 @@
+"""Synthetic reproductions of the paper's four evaluation datasets."""
+
+from repro.datasets.base import (
+    ColumnSpec,
+    ForeignKeySpec,
+    TableSpec,
+    build_database,
+)
+from repro.datasets.dmv import make_dmv
+from repro.datasets.imdb import make_imdb
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    MULTI_TABLE_DATASETS,
+    load_dataset,
+)
+from repro.datasets.stats import make_stats
+from repro.datasets.tpch import make_tpch
+
+__all__ = [
+    "ColumnSpec",
+    "ForeignKeySpec",
+    "TableSpec",
+    "build_database",
+    "make_dmv",
+    "make_imdb",
+    "make_tpch",
+    "make_stats",
+    "load_dataset",
+    "DATASET_NAMES",
+    "MULTI_TABLE_DATASETS",
+]

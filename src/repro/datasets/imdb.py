@@ -1,0 +1,155 @@
+"""Synthetic IMDB: the 21-table JOB schema shape.
+
+Reproduces the join topology of the IMDB snapshot used by the
+Join Order Benchmark (Leis et al., 2015): ``title`` and ``name`` are the
+hubs, fact tables (``cast_info``, ``movie_info``, ...) fan out from them
+with skewed FK popularity, and dimension tables (``kind_type``,
+``info_type``, ...) hang off the facts. Attribute counts are reduced to one
+or two per table to keep encodings compact; join behaviour (what PACE
+exercises) is preserved by the FK topology and skew.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import ColumnSpec, ForeignKeySpec, TableSpec, build_database
+from repro.db.table import Database
+
+
+def _dim(name: str, weight: float, attr: str, high: float) -> TableSpec:
+    """A small dimension table with one skewed attribute."""
+    return TableSpec(
+        name=name,
+        row_weight=weight,
+        columns=(ColumnSpec(attr, "zipf", 0, high, zipf_a=1.3),),
+    )
+
+
+TABLE_SPECS = [
+    TableSpec(
+        name="title",
+        row_weight=1.0,
+        foreign_keys=(ForeignKeySpec("kind_id", "kind_type", skew=1.4),),
+        columns=(
+            ColumnSpec("production_year", "normal", 1900, 2020),
+            ColumnSpec("episode_nr", "zipf", 0, 100, zipf_a=1.6),
+        ),
+    ),
+    TableSpec(
+        name="name",
+        row_weight=1.2,
+        columns=(ColumnSpec("gender", "zipf", 0, 2, zipf_a=1.2),),
+    ),
+    _dim("kind_type", 0.01, "kind", 7),
+    _dim("company_type", 0.01, "kind", 4),
+    _dim("info_type", 0.02, "info", 110),
+    _dim("role_type", 0.01, "role", 11),
+    _dim("link_type", 0.01, "link", 17),
+    _dim("comp_cast_type", 0.01, "kind", 4),
+    TableSpec(
+        name="company_name",
+        row_weight=0.3,
+        columns=(ColumnSpec("country_code", "zipf", 0, 120, zipf_a=1.5),),
+    ),
+    TableSpec(
+        name="keyword",
+        row_weight=0.3,
+        columns=(ColumnSpec("phonetic_code", "uniform", 0, 1000),),
+    ),
+    TableSpec(
+        name="char_name",
+        row_weight=0.5,
+        columns=(ColumnSpec("name_pcode", "uniform", 0, 1000),),
+    ),
+    TableSpec(
+        name="cast_info",
+        row_weight=3.0,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.1),
+            ForeignKeySpec("person_id", "name", skew=1.2),
+            ForeignKeySpec("person_role_id", "char_name", skew=0.8),
+            ForeignKeySpec("role_id", "role_type", skew=0.9),
+        ),
+        columns=(ColumnSpec("nr_order", "zipf", 0, 100, zipf_a=1.5),),
+    ),
+    TableSpec(
+        name="movie_companies",
+        row_weight=1.5,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.0),
+            ForeignKeySpec("company_id", "company_name", skew=1.4),
+            ForeignKeySpec("company_type_id", "company_type", skew=0.8),
+        ),
+        columns=(ColumnSpec("note_code", "zipf", 0, 50, zipf_a=1.2),),
+    ),
+    TableSpec(
+        name="movie_info",
+        row_weight=2.5,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.1),
+            ForeignKeySpec("info_type_id", "info_type", skew=1.0),
+        ),
+        columns=(ColumnSpec("info_code", "zipf", 0, 500, zipf_a=1.3),),
+    ),
+    TableSpec(
+        name="movie_info_idx",
+        row_weight=0.8,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.0),
+            ForeignKeySpec("info_type_id", "info_type", skew=1.0),
+        ),
+        columns=(ColumnSpec("info_value", "lognormal", 0, 1000),),
+    ),
+    TableSpec(
+        name="movie_keyword",
+        row_weight=2.0,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.2),
+            ForeignKeySpec("keyword_id", "keyword", skew=1.4),
+        ),
+        columns=(ColumnSpec("weight", "uniform", 0, 100),),
+    ),
+    TableSpec(
+        name="aka_name",
+        row_weight=0.4,
+        foreign_keys=(ForeignKeySpec("person_id", "name", skew=1.1),),
+        columns=(ColumnSpec("name_pcode", "uniform", 0, 1000),),
+    ),
+    TableSpec(
+        name="aka_title",
+        row_weight=0.3,
+        foreign_keys=(ForeignKeySpec("movie_id", "title", skew=1.1),),
+        columns=(ColumnSpec("production_year", "normal", 1900, 2020),),
+    ),
+    TableSpec(
+        name="complete_cast",
+        row_weight=0.2,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.0),
+            ForeignKeySpec("status_id", "comp_cast_type", skew=0.7),
+        ),
+        columns=(ColumnSpec("subject", "zipf", 0, 4, zipf_a=1.0),),
+    ),
+    TableSpec(
+        name="movie_link",
+        row_weight=0.1,
+        foreign_keys=(
+            ForeignKeySpec("movie_id", "title", skew=1.0),
+            ForeignKeySpec("link_type_id", "link_type", skew=0.8),
+        ),
+        columns=(ColumnSpec("linked_year", "normal", 1900, 2020),),
+    ),
+    TableSpec(
+        name="person_info",
+        row_weight=1.0,
+        foreign_keys=(
+            ForeignKeySpec("person_id", "name", skew=1.3),
+            ForeignKeySpec("info_type_id", "info_type", skew=1.0),
+        ),
+        columns=(ColumnSpec("info_code", "zipf", 0, 500, zipf_a=1.2),),
+    ),
+]
+
+
+def make_imdb(base_rows: int, seed: int = 0) -> Database:
+    """Build the synthetic 21-table IMDB database (JOB schema shape)."""
+    return build_database("imdb", TABLE_SPECS, base_rows, seed=seed)

@@ -1,0 +1,56 @@
+"""Dataset registry: build any of the paper's four datasets by name."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets.dmv import make_dmv
+from repro.datasets.imdb import make_imdb
+from repro.datasets.stats import make_stats
+from repro.datasets.tpch import make_tpch
+from repro.db.table import Database
+from repro.utils.config import ScaleConfig, get_scale
+from repro.utils.errors import ReproError
+
+_BUILDERS = {
+    "dmv": (make_dmv, "rows_single_table"),
+    "imdb": (make_imdb, "rows_multi_table"),
+    "tpch": (make_tpch, "rows_multi_table"),
+    "stats": (make_stats, "rows_multi_table"),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+#: Datasets with more than one table (used by the E2E experiments, Table 5).
+MULTI_TABLE_DATASETS: tuple[str, ...] = ("imdb", "tpch", "stats")
+
+
+@lru_cache(maxsize=16)
+def _build_cached(name: str, base_rows: int, seed: int) -> Database:
+    builder, _ = _BUILDERS[name]
+    return builder(base_rows, seed=seed)
+
+
+def load_dataset(
+    name: str,
+    scale: ScaleConfig | str | None = None,
+    seed: int = 0,
+    base_rows: int | None = None,
+) -> Database:
+    """Build (or fetch from cache) a dataset by name.
+
+    Args:
+        name: one of ``dmv``, ``imdb``, ``tpch``, ``stats``.
+        scale: a :class:`ScaleConfig`, a scale name, or ``None`` for the
+            ``REPRO_SCALE`` default. Determines the base row count.
+        seed: data-generation seed.
+        base_rows: override the scale's row count explicitly.
+    """
+    if name not in _BUILDERS:
+        raise ReproError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    if base_rows is None:
+        if isinstance(scale, str) or scale is None:
+            scale = get_scale(scale)
+        _, rows_field = _BUILDERS[name]
+        base_rows = getattr(scale, rows_field)
+    return _build_cached(name, int(base_rows), int(seed))

@@ -1,0 +1,84 @@
+"""Synthetic STATS: the 8-table Stack Exchange schema shape (STATS-CEB).
+
+Users and posts are the hubs; comments, votes, badges, post history, and
+post links fan out from them, as in the STATS benchmark of Han et al.
+(2021). FK skew models the real workload's heavy hitters (a few power users
+and hot questions receive most activity).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import ColumnSpec, ForeignKeySpec, TableSpec, build_database
+from repro.db.table import Database
+
+TABLE_SPECS = [
+    TableSpec(
+        name="users",
+        row_weight=0.5,
+        columns=(
+            ColumnSpec("reputation", "lognormal", 1, 100000),
+            ColumnSpec("up_votes", "lognormal", 0, 10000),
+            ColumnSpec("creation_year", "uniform", 2009, 2014),
+        ),
+    ),
+    TableSpec(
+        name="posts",
+        row_weight=1.0,
+        foreign_keys=(ForeignKeySpec("owner_user_id", "users", skew=1.3),),
+        columns=(
+            ColumnSpec("score", "normal", -10, 120),
+            ColumnSpec("view_count", "lognormal", 0, 50000),
+            ColumnSpec("answer_count", "zipf", 0, 30, zipf_a=1.6),
+        ),
+    ),
+    TableSpec(
+        name="comments",
+        row_weight=1.8,
+        foreign_keys=(
+            ForeignKeySpec("post_id", "posts", skew=1.2),
+            ForeignKeySpec("user_id", "users", skew=1.4),
+        ),
+        columns=(ColumnSpec("score", "zipf", 0, 80, zipf_a=1.8),),
+    ),
+    TableSpec(
+        name="badges",
+        row_weight=0.8,
+        foreign_keys=(ForeignKeySpec("user_id", "users", skew=1.5),),
+        columns=(ColumnSpec("badge_class", "zipf", 1, 3, zipf_a=1.2),),
+    ),
+    TableSpec(
+        name="votes",
+        row_weight=2.5,
+        foreign_keys=(
+            ForeignKeySpec("post_id", "posts", skew=1.3),
+            ForeignKeySpec("user_id", "users", skew=1.1),
+        ),
+        columns=(ColumnSpec("vote_type", "zipf", 1, 15, zipf_a=1.7),),
+    ),
+    TableSpec(
+        name="post_history",
+        row_weight=1.5,
+        foreign_keys=(
+            ForeignKeySpec("post_id", "posts", skew=1.1),
+            ForeignKeySpec("user_id", "users", skew=1.2),
+        ),
+        columns=(ColumnSpec("history_type", "zipf", 1, 38, zipf_a=1.3),),
+    ),
+    TableSpec(
+        name="post_links",
+        row_weight=0.2,
+        foreign_keys=(ForeignKeySpec("post_id", "posts", skew=1.0),),
+        columns=(ColumnSpec("link_type", "zipf", 1, 3, zipf_a=1.1),),
+    ),
+    TableSpec(
+        name="tags",
+        row_weight=0.1,
+        foreign_keys=(ForeignKeySpec("excerpt_post_id", "posts", skew=0.8),),
+        columns=(ColumnSpec("tag_count", "lognormal", 1, 30000),),
+    ),
+]
+
+
+def make_stats(base_rows: int, seed: int = 0) -> Database:
+    """Build the synthetic 8-table STATS database."""
+    return build_database("stats", TABLE_SPECS, base_rows, seed=seed)

@@ -1,0 +1,88 @@
+"""Synthetic TPC-H: the 8-table decision-support schema shape.
+
+Follows the TPC-H FK chain (region <- nation <- {supplier, customer};
+part/supplier <- partsupp; customer <- orders <- lineitem -> part/supplier)
+with the benchmark's characteristic row-count ratios (lineitem ~ 4x orders,
+orders ~ 10x customer, ...). Numeric measures use skewed distributions so
+range predicates produce selectivities spanning orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import ColumnSpec, ForeignKeySpec, TableSpec, build_database
+from repro.db.table import Database
+
+TABLE_SPECS = [
+    TableSpec(
+        name="region",
+        row_weight=0.005,
+        columns=(ColumnSpec("r_comment_len", "uniform", 0, 100),),
+    ),
+    TableSpec(
+        name="nation",
+        row_weight=0.01,
+        foreign_keys=(ForeignKeySpec("n_regionkey", "region", skew=0.5),),
+        columns=(ColumnSpec("n_comment_len", "uniform", 0, 100),),
+    ),
+    TableSpec(
+        name="supplier",
+        row_weight=0.1,
+        foreign_keys=(ForeignKeySpec("s_nationkey", "nation", skew=0.6),),
+        columns=(ColumnSpec("s_acctbal", "normal", -1000, 10000),),
+    ),
+    TableSpec(
+        name="customer",
+        row_weight=0.6,
+        foreign_keys=(ForeignKeySpec("c_nationkey", "nation", skew=0.8),),
+        columns=(
+            ColumnSpec("c_acctbal", "normal", -1000, 10000),
+            ColumnSpec("c_mktsegment", "zipf", 0, 4, zipf_a=1.1),
+        ),
+    ),
+    TableSpec(
+        name="part",
+        row_weight=0.8,
+        columns=(
+            ColumnSpec("p_size", "uniform", 1, 50),
+            ColumnSpec("p_retailprice", "lognormal", 900, 2100),
+        ),
+    ),
+    TableSpec(
+        name="partsupp",
+        row_weight=1.6,
+        foreign_keys=(
+            ForeignKeySpec("ps_partkey", "part", skew=0.7),
+            ForeignKeySpec("ps_suppkey", "supplier", skew=0.9),
+        ),
+        columns=(ColumnSpec("ps_supplycost", "lognormal", 1, 1000),),
+    ),
+    TableSpec(
+        name="orders",
+        row_weight=3.0,
+        foreign_keys=(ForeignKeySpec("o_custkey", "customer", skew=1.1),),
+        columns=(
+            ColumnSpec("o_totalprice", "lognormal", 800, 500000),
+            ColumnSpec("o_orderdate", "uniform", 0, 2405),
+        ),
+    ),
+    TableSpec(
+        name="lineitem",
+        row_weight=8.0,
+        foreign_keys=(
+            ForeignKeySpec("l_orderkey", "orders", skew=0.9),
+            ForeignKeySpec("l_partkey", "part", skew=1.0),
+            ForeignKeySpec("l_suppkey", "supplier", skew=1.0),
+        ),
+        columns=(
+            ColumnSpec("l_quantity", "uniform", 1, 50),
+            ColumnSpec("l_extendedprice", "correlated", 900, 100000, source="l_quantity"),
+            ColumnSpec("l_discount", "zipf", 0, 10, zipf_a=1.2),
+            ColumnSpec("l_shipdate", "uniform", 0, 2525),
+        ),
+    ),
+]
+
+
+def make_tpch(base_rows: int, seed: int = 0) -> Database:
+    """Build the synthetic 8-table TPC-H database."""
+    return build_database("tpch", TABLE_SPECS, base_rows, seed=seed)

@@ -1,0 +1,19 @@
+"""In-memory relational substrate: schemas, tables, SPJ execution."""
+
+from repro.db.executor import Executor, hash_join_pairs
+from repro.db.query import LabeledQuery, Query
+from repro.db.schema import Column, DatabaseSchema, JoinEdge, TableSchema
+from repro.db.table import Database, Table
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "JoinEdge",
+    "DatabaseSchema",
+    "Table",
+    "Database",
+    "Query",
+    "LabeledQuery",
+    "Executor",
+    "hash_join_pairs",
+]

@@ -1,0 +1,187 @@
+"""Ground-truth SPJ execution: ``COUNT(*)`` over the columnar engine.
+
+This is the substrate that plays PostgreSQL's role in the paper: it gives
+the attacker true cardinalities for crafted queries (the threat model grants
+``COUNT(*)`` execution) and gives the evaluation harness the true
+cardinalities of plan sub-joins.
+
+Joins are FK equi-joins evaluated with sort-based hash joins over numpy
+arrays; predicates are pushed down to the scans. Results are memoized by
+query identity because the planner probes many overlapping sub-joins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.query import Query
+from repro.db.table import Database
+from repro.utils.errors import ExecutionBudgetError, QueryError
+
+
+def hash_join_pairs(
+    left_vals: np.ndarray,
+    right_vals: np.ndarray,
+    max_pairs: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All matching index pairs between two key arrays.
+
+    Returns ``(left_idx, right_idx)`` such that
+    ``left_vals[left_idx] == right_vals[right_idx]`` covers every match,
+    duplicates included (bag semantics, like SQL).
+
+    Raises:
+        ExecutionBudgetError: the match count exceeds ``max_pairs`` — the
+            check runs *before* materializing the index arrays, so runaway
+            joins abort cheaply instead of exhausting memory.
+    """
+    left_vals = np.asarray(left_vals)
+    right_vals = np.asarray(right_vals)
+    if len(left_vals) == 0 or len(right_vals) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(right_vals, kind="stable")
+    sorted_right = right_vals[order]
+    lo = np.searchsorted(sorted_right, left_vals, side="left")
+    hi = np.searchsorted(sorted_right, left_vals, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if max_pairs is not None and total > max_pairs:
+        raise ExecutionBudgetError(
+            f"join would produce {total} pairs, over the {max_pairs} budget"
+        )
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(len(left_vals), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - segment_starts
+    right_idx = order[starts + within]
+    return left_idx, right_idx
+
+
+class Executor:
+    """Counts query results; memoizes by query identity.
+
+    Args:
+        database: the data to execute against.
+        max_intermediate: abort (raise :class:`ReproError`) if a join's
+            intermediate result exceeds this many tuples — a safety net
+            against accidentally exploding cross products.
+        cache_size: number of distinct queries to memoize.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        max_intermediate: int = 2_000_000,
+        cache_size: int = 200_000,
+    ) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.max_intermediate = max_intermediate
+        self._cache: dict[tuple, int] = {}
+        self._cache_size = cache_size
+        self.executed_count = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def count(self, query: Query) -> int:
+        """True cardinality of ``query`` (``COUNT(*)``)."""
+        key = query.cache_key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._execute(query)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[key] = result
+        self.executed_count += 1
+        return result
+
+    def count_many(self, queries) -> np.ndarray:
+        """Vector of true cardinalities for an iterable of queries."""
+        return np.array([self.count(q) for q in queries], dtype=np.float64)
+
+    def try_count(self, query: Query) -> int | None:
+        """Like :meth:`count`, but ``None`` when the budget is exceeded."""
+        try:
+            return self.count(query)
+        except ExecutionBudgetError:
+            return None
+
+    def selectivity(self, table: str, predicates: dict) -> float:
+        """Fraction of ``table`` rows passing its local predicates."""
+        rows = self.database.table(table).num_rows
+        if rows == 0:
+            return 0.0
+        mask = self._scan_mask(table, predicates)
+        return float(mask.sum()) / rows
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _scan_mask(self, table_name: str, predicates: dict) -> np.ndarray:
+        """Boolean row mask for the local predicates of one table."""
+        table = self.database.table(table_name)
+        mask = np.ones(table.num_rows, dtype=bool)
+        for (tbl, col), (low, high) in predicates.items():
+            if tbl != table_name:
+                continue
+            column = table.schema.column(col)
+            values = table.column(col)
+            lo = column.denormalize(low)
+            hi = column.denormalize(high)
+            mask &= (values >= lo) & (values <= hi)
+        return mask
+
+    def _execute(self, query: Query) -> int:
+        tables = sorted(query.tables, key=self.schema.table_index)
+        filtered: dict[str, np.ndarray] = {}
+        for name in tables:
+            mask = self._scan_mask(name, query.predicates)
+            filtered[name] = np.nonzero(mask)[0]
+            if filtered[name].size == 0:
+                return 0
+        if len(tables) == 1:
+            return int(filtered[tables[0]].size)
+
+        # Join order: BFS over the query's join subgraph; each new table is
+        # attached with one hash join. Semantics follow the CE-benchmark
+        # convention (JOB / STATS-CEB): a query joins along a spanning tree
+        # of FK edges, so cyclic FK subsets (e.g. comments referencing both
+        # users and posts) do not degenerate into near-empty self-
+        # consistency filters.
+        tree_edges = self.schema.join_edges_within(query.tables)
+
+        # Intermediate state: per joined table, aligned arrays of row ids.
+        # The BFS spanning tree is rooted at tables[0] (lowest schema index),
+        # so its first edge always touches tables[0].
+        joined: dict[str, np.ndarray] = {tables[0]: filtered[tables[0]]}
+
+        for edge in tree_edges:
+            if edge.left_table in joined and edge.right_table in joined:
+                raise QueryError(f"spanning tree revisits edge {edge}")
+            if edge.left_table in joined:
+                old_table, new_table = edge.left_table, edge.right_table
+                old_col, new_col = edge.left_column, edge.right_column
+            elif edge.right_table in joined:
+                old_table, new_table = edge.right_table, edge.left_table
+                old_col, new_col = edge.right_column, edge.left_column
+            else:
+                raise QueryError(f"join edge {edge} is disconnected from current join")
+            old_rows = joined[old_table]
+            new_rows = filtered[new_table]
+            left_keys = self.database.table(old_table).column(old_col)[old_rows]
+            right_keys = self.database.table(new_table).column(new_col)[new_rows]
+            left_idx, right_idx = hash_join_pairs(
+                left_keys, right_keys, max_pairs=self.max_intermediate
+            )
+            joined = {name: rows[left_idx] for name, rows in joined.items()}
+            joined[new_table] = new_rows[right_idx]
+            if next(iter(joined.values())).size == 0:
+                return 0
+
+        return int(next(iter(joined.values())).size)

@@ -1,0 +1,112 @@
+"""SPJ (select-project-join) queries with normalized range predicates.
+
+A query is the unit the whole system trades in: the workload generators
+produce them, the relational executor counts them, the CE models estimate
+them, and the PACE generator learns to emit poisonous ones. Predicate
+bounds are stored *normalized* to ``[0, 1]`` against each column's domain
+(the paper's representation, Section 5.2); the executor denormalizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.schema import DatabaseSchema
+from repro.utils.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Query:
+    """An SPJ query: a join set plus normalized range predicates.
+
+    Attributes:
+        tables: tables in the join (must be a connected set in the schema's
+            join graph; joins follow the FK edges).
+        predicates: mapping ``(table, column) -> (low, high)`` with
+            ``0 <= low <= high <= 1`` in normalized domain space. Attributes
+            without an entry are unconstrained (``[0, 1]``).
+    """
+
+    tables: frozenset[str]
+    predicates: dict[tuple[str, str], tuple[float, float]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(
+        schema: DatabaseSchema,
+        tables,
+        predicates: dict[tuple[str, str], tuple[float, float]] | None = None,
+    ) -> "Query":
+        """Validate against ``schema`` and construct a query.
+
+        Raises:
+            QueryError: empty/disconnected join set, predicate on a table
+                outside the join set, unknown attribute, or invalid bounds.
+        """
+        tables = frozenset(tables)
+        if not tables:
+            raise QueryError("a query needs at least one table")
+        if not schema.is_valid_join_set(tables):
+            raise QueryError(f"tables {sorted(tables)} are not a connected join set")
+        predicates = dict(predicates or {})
+        for (tbl, col), (low, high) in predicates.items():
+            if tbl not in tables:
+                raise QueryError(f"predicate on {tbl}.{col} but {tbl!r} is not joined")
+            schema.attribute_index(tbl, col)  # raises SchemaError if unknown
+            if not (0.0 <= low <= high <= 1.0):
+                raise QueryError(
+                    f"predicate bounds for {tbl}.{col} must satisfy "
+                    f"0 <= low <= high <= 1, got ({low}, {high})"
+                )
+        return Query(tables=tables, predicates=predicates)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def restricted_to(self, tables) -> "Query":
+        """The same query narrowed to a table subset (used by the planner)."""
+        tables = frozenset(tables)
+        if not tables <= self.tables:
+            raise QueryError(f"{sorted(tables)} is not a subset of {sorted(self.tables)}")
+        kept = {tc: bounds for tc, bounds in self.predicates.items() if tc[0] in tables}
+        return Query(tables=tables, predicates=kept)
+
+    def to_sql(self, schema: DatabaseSchema) -> str:
+        """A readable SQL rendering (COUNT(*) form, physical bounds)."""
+        tables = sorted(self.tables, key=schema.table_index)
+        clauses: list[str] = []
+        for edge in schema.join_edges_within(self.tables):
+            clauses.append(
+                f"{edge.left_table}.{edge.left_column} = "
+                f"{edge.right_table}.{edge.right_column}"
+            )
+        for (tbl, col), (low, high) in sorted(self.predicates.items()):
+            column = schema.table(tbl).column(col)
+            lo = column.denormalize(low)
+            hi = column.denormalize(high)
+            clauses.append(f"{tbl}.{col} BETWEEN {lo:.4g} AND {hi:.4g}")
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return f"SELECT COUNT(*) FROM {', '.join(tables)}{where};"
+
+    def cache_key(self) -> tuple:
+        """Hashable identity used by cardinality caches."""
+        return (
+            tuple(sorted(self.tables)),
+            tuple(sorted((tc, bounds) for tc, bounds in self.predicates.items())),
+        )
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """A query together with its true cardinality (a training example)."""
+
+    query: Query
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise QueryError(f"cardinality must be non-negative, got {self.cardinality}")

@@ -1,0 +1,235 @@
+"""Relational schema: columns, tables, foreign-key join graph.
+
+The schema is the only information PACE's threat model grants the attacker
+(Section 2.2 of the paper), so it is deliberately a small, self-contained
+value object: names, attribute domains, and which key columns join to which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.utils.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column.
+
+    Attributes:
+        name: column name, unique within its table.
+        kind: ``"attribute"`` (filterable numeric column) or ``"key"``
+            (join key; never filtered by SPJ predicates).
+        low/high: inclusive domain bounds used to normalize predicate
+            bounds into ``[0, 1]``. Only meaningful for attributes.
+    """
+
+    name: str
+    kind: str = "attribute"
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("attribute", "key"):
+            raise SchemaError(f"column kind must be 'attribute' or 'key', got {self.kind!r}")
+        if self.kind == "attribute" and not self.high > self.low:
+            raise SchemaError(
+                f"column {self.name!r} needs high > low, got [{self.low}, {self.high}]"
+            )
+
+    def normalize(self, value):
+        """Map a physical value into ``[0, 1]``."""
+        return (value - self.low) / (self.high - self.low)
+
+    def denormalize(self, value):
+        """Map a normalized value back into the physical domain."""
+        return value * (self.high - self.low) + self.low
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition: an ordered tuple of columns."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}: {names}")
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    @property
+    def attributes(self) -> tuple[Column, ...]:
+        """Filterable (non-key) columns, in declaration order."""
+        return tuple(c for c in self.columns if c.kind == "attribute")
+
+    @property
+    def keys(self) -> tuple[Column, ...]:
+        return tuple(c for c in self.columns if c.kind == "key")
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join edge ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def touches(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other(self, table: str) -> str:
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise SchemaError(f"join edge {self} does not touch table {table!r}")
+
+    def column_for(self, table: str) -> str:
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise SchemaError(f"join edge {self} does not touch table {table!r}")
+
+
+class DatabaseSchema:
+    """All tables plus the FK join graph; also fixes the encoding order.
+
+    Table order and per-table attribute order are part of the public
+    contract: the query encoder, the generators, and the CE models all index
+    into vectors laid out by this schema.
+    """
+
+    def __init__(self, name: str, tables: list[TableSchema], joins: list[JoinEdge]) -> None:
+        self.name = name
+        self.tables: dict[str, TableSchema] = {}
+        for table in tables:
+            if table.name in self.tables:
+                raise SchemaError(f"duplicate table {table.name!r}")
+            self.tables[table.name] = table
+        self.joins = tuple(joins)
+        for edge in self.joins:
+            for tbl, col in (
+                (edge.left_table, edge.left_column),
+                (edge.right_table, edge.right_column),
+            ):
+                if tbl not in self.tables:
+                    raise SchemaError(f"join edge references unknown table {tbl!r}")
+                self.tables[tbl].column(col)  # raises if missing
+
+        self.table_names: tuple[str, ...] = tuple(self.tables)
+        self._table_index = {t: i for i, t in enumerate(self.table_names)}
+        # Global attribute order: tables in declaration order, attributes in
+        # column order. This is the layout of the predicate section of a
+        # query encoding.
+        self.attribute_order: tuple[tuple[str, str], ...] = tuple(
+            (t, c.name) for t in self.table_names for c in self.tables[t].attributes
+        )
+        self._attribute_index = {tc: i for i, tc in enumerate(self.attribute_order)}
+
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(self.table_names)
+        for edge in self.joins:
+            self._graph.add_edge(edge.left_table, edge.right_table, edge=edge)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        return len(self.table_names)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attribute_order)
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no table {name!r}") from None
+
+    def table_index(self, name: str) -> int:
+        self.table(name)
+        return self._table_index[name]
+
+    def attribute_index(self, table: str, column: str) -> int:
+        try:
+            return self._attribute_index[(table, column)]
+        except KeyError:
+            raise SchemaError(f"no attribute {table}.{column} in schema {self.name!r}") from None
+
+    def attributes_of(self, table: str) -> tuple[tuple[str, str], ...]:
+        self.table(table)
+        return tuple(tc for tc in self.attribute_order if tc[0] == table)
+
+    # ------------------------------------------------------------------
+    # join-graph queries
+    # ------------------------------------------------------------------
+    def join_graph(self) -> nx.Graph:
+        """A copy of the FK join graph (nodes = tables)."""
+        return self._graph.copy()
+
+    def is_valid_join_set(self, tables) -> bool:
+        """True when ``tables`` is non-empty and connected in the join graph."""
+        tables = set(tables)
+        if not tables or not tables <= set(self.table_names):
+            return False
+        if len(tables) == 1:
+            return True
+        sub = self._graph.subgraph(tables)
+        return nx.is_connected(sub)
+
+    def join_edges_within(self, tables) -> list[JoinEdge]:
+        """Edges of a spanning tree over ``tables`` (deterministic BFS order)."""
+        tables = set(tables)
+        if not self.is_valid_join_set(tables):
+            raise SchemaError(f"tables {sorted(tables)} are not a connected join set")
+        if len(tables) == 1:
+            return []
+        sub = self._graph.subgraph(tables)
+        start = min(tables, key=self._table_index.get)
+        tree_edges = list(nx.bfs_edges(sub, start))
+        return [self._graph.edges[u, v]["edge"] for u, v in tree_edges]
+
+    def all_join_edges_within(self, tables) -> list[JoinEdge]:
+        """Every schema edge whose both endpoints are in ``tables``."""
+        tables = set(tables)
+        return [e for e in self.joins if e.left_table in tables and e.right_table in tables]
+
+    def neighbors(self, table: str) -> tuple[str, ...]:
+        self.table(table)
+        return tuple(sorted(self._graph.neighbors(table)))
+
+    def connected_join_sets(self, max_size: int) -> list[frozenset[str]]:
+        """Enumerate every connected table subset up to ``max_size`` tables."""
+        found: set[frozenset[str]] = {frozenset([t]) for t in self.table_names}
+        frontier = list(found)
+        while frontier:
+            current = frontier.pop()
+            if len(current) >= max_size:
+                continue
+            for table in current:
+                for neighbor in self._graph.neighbors(table):
+                    grown = current | {neighbor}
+                    if grown not in found:
+                        found.add(grown)
+                        frontier.append(grown)
+        return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseSchema({self.name!r}, tables={len(self.tables)}, "
+            f"attributes={self.num_attributes}, joins={len(self.joins)})"
+        )

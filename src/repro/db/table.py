@@ -1,0 +1,69 @@
+"""Columnar in-memory tables and the database container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.schema import DatabaseSchema, TableSchema
+from repro.utils.errors import SchemaError
+
+
+class Table:
+    """A columnar table: one numpy array per column, equal lengths."""
+
+    def __init__(self, schema: TableSchema, columns: dict[str, np.ndarray]) -> None:
+        expected = {c.name for c in schema.columns}
+        provided = set(columns)
+        if expected != provided:
+            raise SchemaError(
+                f"table {schema.name!r} columns mismatch: "
+                f"missing={sorted(expected - provided)}, extra={sorted(provided - expected)}"
+            )
+        lengths = {name: len(arr) for name, arr in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"table {schema.name!r} has ragged columns: {lengths}")
+        self.schema = schema
+        self.columns = {name: np.asarray(arr) for name, arr in columns.items()}
+        self.num_rows = next(iter(lengths.values())) if lengths else 0
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(f"table {self.schema.name!r} has no column {name!r}") from None
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={self.num_rows})"
+
+
+class Database:
+    """A schema plus one :class:`Table` per schema table."""
+
+    def __init__(self, schema: DatabaseSchema, tables: dict[str, Table]) -> None:
+        missing = set(schema.table_names) - set(tables)
+        extra = set(tables) - set(schema.table_names)
+        if missing or extra:
+            raise SchemaError(
+                f"database tables mismatch: missing={sorted(missing)}, extra={sorted(extra)}"
+            )
+        self.schema = schema
+        self.tables = dict(tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"database has no table {name!r}") from None
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def total_rows(self) -> int:
+        return sum(t.num_rows for t in self.tables.values())
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={len(self.tables)}, rows={self.total_rows()})"

@@ -1,0 +1,33 @@
+"""Experiment harness shared by the benchmark scripts and integration tests."""
+
+from repro.harness.experiments import (
+    METHOD_LABELS,
+    METHODS,
+    AttackOutcome,
+    AttackScenario,
+    build_scenario,
+    craft_poison,
+    e2e_join_queries,
+    get_detector,
+    get_scenario,
+    get_surrogate,
+    make_workloads,
+    run_attack,
+    run_e2e,
+)
+
+__all__ = [
+    "METHODS",
+    "METHOD_LABELS",
+    "AttackScenario",
+    "AttackOutcome",
+    "build_scenario",
+    "get_scenario",
+    "make_workloads",
+    "craft_poison",
+    "run_attack",
+    "run_e2e",
+    "e2e_join_queries",
+    "get_surrogate",
+    "get_detector",
+]

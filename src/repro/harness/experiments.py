@@ -1,0 +1,399 @@
+"""Shared experiment harness for the paper's evaluation (Section 7).
+
+Builds attack scenarios (dataset + trained black-box CE model + workloads)
+and runs each poisoning method against them, producing the quantities every
+table and figure reports: Q-error samples before/after, E2E latencies,
+divergences, and timings. The benchmark scripts in ``benchmarks/`` are thin
+wrappers over this module so the logic is unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.attack.algorithms import (
+    GeneratorTrainConfig,
+    rehearsal_value,
+    train_generator_accelerated,
+    train_generator_basic,
+)
+from repro.attack.baselines import (
+    greedy_search,
+    loss_based_selection,
+    random_poison,
+    train_generator_loss_based,
+)
+from repro.attack.detector import VAEAnomalyDetector
+from repro.attack.generator import PoisonQueryGenerator
+from repro.attack.pace import PaceAttack, PaceConfig
+from repro.attack.surrogate import SurrogateConfig
+from repro.ce.base import CardinalityEstimator
+from repro.ce.deployment import DeployedEstimator
+from repro.ce.registry import create_model
+from repro.ce.trainer import TrainConfig, evaluate_q_errors, train_model
+from repro.datasets.registry import load_dataset
+from repro.db.executor import Executor
+from repro.db.query import Query
+from repro.db.table import Database
+from repro.metrics.divergence import workload_divergence
+from repro.metrics.qerror import QErrorSummary, degradation_factor
+from repro.utils.config import ScaleConfig, get_scale
+from repro.utils.errors import ReproError
+from repro.utils.timer import timed
+from repro.workload.encoding import QueryEncoder
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.templates import template_workload
+from repro.workload.workload import Workload
+
+#: The attack methods compared throughout Section 7, in the paper's order.
+METHODS: tuple[str, ...] = ("clean", "random", "lbs", "greedy", "lbg", "pace")
+
+METHOD_LABELS: dict[str, str] = {
+    "clean": "Clean",
+    "random": "Random",
+    "lbs": "Lb-S",
+    "greedy": "Greedy",
+    "lbg": "Lb-G",
+    "pace": "PACE",
+}
+
+#: Datasets whose workloads come from templates (IMDB-JOB / STATS-CEB style).
+_TEMPLATE_DATASETS = ("imdb", "stats")
+
+
+@dataclass
+class AttackScenario:
+    """A dataset with a deployed black-box CE model and fixed workloads."""
+
+    dataset: str
+    model_type: str
+    scale: ScaleConfig
+    seed: int
+    database: Database
+    executor: Executor
+    encoder: QueryEncoder
+    train_workload: Workload
+    test_workload: Workload
+    deployed: DeployedEstimator
+    clean_state: dict[str, np.ndarray]
+    _surrogate: CardinalityEstimator | None = None
+    _detector: VAEAnomalyDetector | None = None
+    _speculation: object | None = None
+
+    @property
+    def model(self) -> CardinalityEstimator:
+        return self.deployed.inspect_model()
+
+    def clean_q_errors(self) -> np.ndarray:
+        self.deployed.restore(self.clean_state)
+        return evaluate_q_errors(self.model, self.test_workload)
+
+    def reset(self) -> None:
+        """Restore the deployed model to its never-attacked parameters."""
+        self.deployed.restore(self.clean_state)
+
+
+@dataclass
+class AttackOutcome:
+    """One method's attack result on one scenario."""
+
+    method: str
+    before: np.ndarray
+    after: np.ndarray
+    poison_queries: list[Query] = field(default_factory=list)
+    divergence: float = 0.0
+    train_seconds: float = 0.0
+    generate_seconds: float = 0.0
+    attack_seconds: float = 0.0
+    objective_curve: list[float] = field(default_factory=list)
+
+    @property
+    def degradation(self) -> float:
+        return degradation_factor(self.before, self.after)
+
+    def summary(self) -> QErrorSummary:
+        return QErrorSummary.from_errors(self.after)
+
+
+def make_workloads(
+    database: Database, executor: Executor, scale: ScaleConfig, seed: int
+) -> tuple[Workload, Workload]:
+    """Training/testing workloads per the paper's per-dataset recipe."""
+    if database.name in _TEMPLATE_DATASETS:
+        train = template_workload(
+            database, scale.train_queries, executor=executor, seed=seed
+        )
+        test = template_workload(
+            database, scale.test_queries, executor=executor, seed=seed + 1
+        )
+    else:
+        generator = WorkloadGenerator(database, executor, seed=seed)
+        train = generator.generate(scale.train_queries)
+        test = generator.generate(scale.test_queries)
+    return train, test
+
+
+def build_scenario(
+    dataset: str,
+    model_type: str,
+    scale: ScaleConfig | str | None = None,
+    seed: int = 0,
+    update_steps: int | None = None,
+) -> AttackScenario:
+    """Build (train) a fresh attack scenario."""
+    if isinstance(scale, str) or scale is None:
+        scale = get_scale(scale)
+    database = load_dataset(dataset, scale=scale, seed=seed)
+    executor = Executor(database)
+    train_wl, test_wl = make_workloads(database, executor, scale, seed)
+    encoder = QueryEncoder(database.schema)
+    model = create_model(model_type, encoder, hidden_dim=scale.hidden_dim, seed=seed)
+    train_model(model, train_wl, TrainConfig(epochs=scale.train_epochs, seed=seed))
+    deployed = DeployedEstimator(
+        model, executor, update_steps=update_steps or scale.update_steps
+    )
+    return AttackScenario(
+        dataset=dataset,
+        model_type=model_type,
+        scale=scale,
+        seed=seed,
+        database=database,
+        executor=executor,
+        encoder=encoder,
+        train_workload=train_wl,
+        test_workload=test_wl,
+        deployed=deployed,
+        clean_state=model.state_dict(),
+    )
+
+
+@lru_cache(maxsize=64)
+def _cached_scenario(dataset: str, model_type: str, scale_name: str, seed: int) -> AttackScenario:
+    return build_scenario(dataset, model_type, scale=scale_name, seed=seed)
+
+
+def get_scenario(
+    dataset: str, model_type: str, scale: ScaleConfig | str | None = None, seed: int = 0
+) -> AttackScenario:
+    """Cached scenario (reset before each attack run)."""
+    if isinstance(scale, ScaleConfig):
+        scale_name = scale.name
+    else:
+        scale_name = scale or get_scale().name
+    scenario = _cached_scenario(dataset, model_type, scale_name, seed)
+    scenario.reset()
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# shared attack ingredients
+# ----------------------------------------------------------------------
+def get_surrogate(scenario: AttackScenario):
+    """Speculate + train the surrogate once per scenario (shared by methods)."""
+    if scenario._surrogate is None:
+        scenario.reset()
+        attack = PaceAttack(
+            scenario.database,
+            scenario.deployed,
+            scenario.test_workload,
+            _pace_config(scenario),
+        )
+        speculation, surrogate = attack.acquire_surrogate()
+        scenario._surrogate = surrogate
+        scenario._speculation = speculation
+    return scenario._surrogate
+
+
+def get_detector(scenario: AttackScenario) -> VAEAnomalyDetector:
+    if scenario._detector is None:
+        detector = VAEAnomalyDetector(scenario.encoder.dim, seed=scenario.seed)
+        detector.fit(
+            scenario.train_workload.encode(scenario.encoder),
+            epochs=40,
+            seed=scenario.seed,
+        )
+        scenario._detector = detector
+    return scenario._detector
+
+
+def _pace_config(scenario: AttackScenario, **overrides) -> PaceConfig:
+    scale = scenario.scale
+    generator = GeneratorTrainConfig(
+        poison_batch=min(scale.poison_queries, 64),
+        update_steps=scale.update_steps,
+        iterations=overrides.pop("iterations", max(scale.generator_steps * 2, 16)),
+        seed=scenario.seed,
+    )
+    config = PaceConfig(
+        poison_queries=scale.poison_queries,
+        attacker_queries=scale.train_queries,
+        probe_queries_per_group=scale.probe_queries_per_group,
+        surrogate=SurrogateConfig(hidden_dim=scale.hidden_dim, seed=scenario.seed),
+        candidate_train=TrainConfig(epochs=max(scale.train_epochs // 2, 10), seed=scenario.seed),
+        generator=generator,
+        seed=scenario.seed,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def craft_poison(
+    scenario: AttackScenario,
+    method: str,
+    count: int | None = None,
+    algorithm: str = "accelerated",
+    use_detector: bool = True,
+    seed: int | None = None,
+) -> tuple[list[Query], float, float, list[float]]:
+    """Craft poisoning queries with one method.
+
+    Returns ``(queries, train_seconds, generate_seconds, objective_curve)``.
+    """
+    count = count or scenario.scale.poison_queries
+    seed = scenario.seed if seed is None else seed
+    rng = np.random.default_rng(seed + 17)
+    if method == "clean":
+        return [], 0.0, 0.0, []
+    if method == "random":
+        with timed() as elapsed:
+            queries = random_poison(scenario.database, scenario.executor, count, seed=seed)
+        return queries, 0.0, elapsed(), []
+
+    surrogate = get_surrogate(scenario)
+    if method == "lbs":
+        with timed() as elapsed:
+            queries = loss_based_selection(
+                scenario.database, scenario.executor, surrogate, count, seed=seed
+            )
+        return queries, 0.0, elapsed(), []
+    if method == "greedy":
+        with timed() as elapsed:
+            queries = greedy_search(
+                scenario.database, scenario.executor, surrogate, count, seed=seed
+            )
+        return queries, 0.0, elapsed(), []
+
+    detector = get_detector(scenario) if use_detector and method == "pace" else None
+    if method == "lbg":
+        trainer = train_generator_loss_based
+        restarts = 1
+    elif method == "pace":
+        trainer = (
+            train_generator_accelerated if algorithm == "accelerated" else train_generator_basic
+        )
+        # Two independent restarts, kept by dress rehearsal: the bivariate
+        # objective's landscape is multi-modal and a single run can stall.
+        restarts = 2 if algorithm == "accelerated" else 1
+    else:
+        raise ReproError(f"unknown attack method {method!r}; expected one of {METHODS}")
+
+    best = None
+    best_value = -np.inf
+    train_seconds = 0.0
+    with timed() as train_elapsed:
+        for restart in range(restarts):
+            gen_config = GeneratorTrainConfig(
+                poison_batch=min(count, 64),
+                update_steps=scenario.scale.update_steps,
+                iterations=max(scenario.scale.generator_steps * 2, 16),
+                detector=detector,
+                seed=seed + restart * 101,
+            )
+            generator = PoisonQueryGenerator(scenario.encoder, seed=seed + restart * 101)
+            result = trainer(
+                generator, surrogate, scenario.executor, scenario.test_workload, gen_config
+            )
+            value = rehearsal_value(
+                generator, surrogate, scenario.executor, scenario.test_workload, gen_config
+            )
+            if value > best_value:
+                best_value = value
+                best = (generator, result)
+    train_seconds = train_elapsed()
+    generator, result = best
+    with timed() as gen_elapsed:
+        queries = generator.generate_usable_queries(count, rng, scenario.executor)
+    return queries, train_seconds, gen_elapsed(), result.objective_curve
+
+
+def run_attack(
+    scenario: AttackScenario,
+    method: str,
+    count: int | None = None,
+    algorithm: str = "accelerated",
+    use_detector: bool = True,
+    seed: int | None = None,
+) -> AttackOutcome:
+    """Run one method end to end; leaves the scenario reset afterwards."""
+    scenario.reset()
+    before = evaluate_q_errors(scenario.model, scenario.test_workload)
+    queries, train_seconds, generate_seconds, curve = craft_poison(
+        scenario, method, count=count, algorithm=algorithm,
+        use_detector=use_detector, seed=seed,
+    )
+    attack_seconds = 0.0
+    divergence = 0.0
+    if queries:
+        history = scenario.train_workload.encode(scenario.encoder)
+        poison_enc = scenario.encoder.encode_many(queries)
+        divergence = workload_divergence(poison_enc, history)
+        with timed() as elapsed:
+            scenario.deployed.execute(queries)
+        attack_seconds = elapsed()
+    after = evaluate_q_errors(scenario.model, scenario.test_workload)
+    scenario.reset()
+    return AttackOutcome(
+        method=method,
+        before=before,
+        after=after,
+        poison_queries=queries,
+        divergence=divergence,
+        train_seconds=train_seconds,
+        generate_seconds=generate_seconds,
+        attack_seconds=attack_seconds,
+        objective_curve=curve,
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end latency (Table 5)
+# ----------------------------------------------------------------------
+def e2e_join_queries(scenario: AttackScenario, count: int = 20, min_tables: int = 2):
+    """Multi-table join queries for the E2E experiment (paper uses 20)."""
+    queries = [
+        ex.query for ex in scenario.test_workload if ex.query.num_tables >= min_tables
+    ]
+    if len(queries) < count:
+        generator = WorkloadGenerator(
+            scenario.database, scenario.executor, seed=scenario.seed + 99
+        )
+        attempts = 0
+        while len(queries) < count and attempts < count * 30:
+            attempts += 1
+            query = generator.random_query(max_tables=4)
+            if query.num_tables >= min_tables and scenario.executor.count(query) > 0:
+                queries.append(query)
+    if len(queries) < count:
+        raise ReproError(
+            f"could not assemble {count} multi-table join queries for {scenario.dataset}"
+        )
+    return queries[:count]
+
+
+def run_e2e(scenario: AttackScenario, method: str, num_queries: int = 20,
+            count: int | None = None, seed: int | None = None) -> float:
+    """Simulated E2E seconds of the join workload after attacking with ``method``."""
+    from repro.planner.simulator import E2ESimulator
+
+    scenario.reset()
+    queries, *_ = craft_poison(scenario, method, count=count, seed=seed)
+    if queries:
+        scenario.deployed.execute(queries)
+    simulator = E2ESimulator(scenario.executor)
+    result = simulator.run(e2e_join_queries(scenario, num_queries), scenario.model)
+    scenario.reset()
+    return result.total_seconds

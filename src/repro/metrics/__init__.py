@@ -1,0 +1,22 @@
+"""Evaluation metrics: Q-error summaries, JS divergence, table rendering."""
+
+from repro.metrics.divergence import js_divergence_1d, workload_divergence
+from repro.metrics.qerror import (
+    PAPER_PERCENTILES,
+    QErrorSummary,
+    degradation_factor,
+    q_errors,
+)
+from repro.metrics.report import format_value, print_table, render_table
+
+__all__ = [
+    "q_errors",
+    "QErrorSummary",
+    "degradation_factor",
+    "PAPER_PERCENTILES",
+    "js_divergence_1d",
+    "workload_divergence",
+    "render_table",
+    "print_table",
+    "format_value",
+]

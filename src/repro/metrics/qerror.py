@@ -1,0 +1,72 @@
+"""Q-error statistics (mean / percentile summaries used by every table)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ReproError
+
+#: The percentile columns of the paper's Tables 3-4.
+PAPER_PERCENTILES: tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+
+
+def q_errors(estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """Elementwise Q-error ``max(est/true, true/est)`` with floors at 1."""
+    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), 1e-9)
+    truths = np.maximum(np.asarray(truths, dtype=np.float64), 1.0)
+    if estimates.shape != truths.shape:
+        raise ReproError(
+            f"estimate/truth shape mismatch: {estimates.shape} vs {truths.shape}"
+        )
+    ratio = estimates / truths
+    return np.maximum(ratio, 1.0 / ratio)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """Mean and percentile summary of a Q-error sample."""
+
+    mean: float
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+    count: int
+
+    @staticmethod
+    def from_errors(errors: np.ndarray) -> "QErrorSummary":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            raise ReproError("cannot summarize an empty q-error sample")
+        p50, p90, p95, p99 = np.percentile(errors, PAPER_PERCENTILES)
+        return QErrorSummary(
+            mean=float(errors.mean()),
+            median=float(p50),
+            p90=float(p90),
+            p95=float(p95),
+            p99=float(p99),
+            max=float(errors.max()),
+            count=int(errors.size),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """The paper's table columns (90th/95th/99th/max)."""
+        return {"90th": self.p90, "95th": self.p95, "99th": self.p99, "max": self.max}
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.3g} p90={self.p90:.3g} p95={self.p95:.3g} "
+            f"p99={self.p99:.3g} max={self.max:.3g} (n={self.count})"
+        )
+
+
+def degradation_factor(before: np.ndarray, after: np.ndarray) -> float:
+    """How many times worse the mean Q-error became (the paper's "178x")."""
+    before = np.asarray(before, dtype=np.float64)
+    after = np.asarray(after, dtype=np.float64)
+    if before.size == 0 or after.size == 0:
+        raise ReproError("degradation factor needs non-empty samples")
+    return float(after.mean() / max(before.mean(), 1e-12))

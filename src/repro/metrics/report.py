@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every bench prints the same rows the paper's tables report; this module
+keeps the formatting in one place so outputs are uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value) -> str:
+    """Compact numeric formatting matching the paper's tables."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    number = float(value)
+    if number == 0:
+        return "0"
+    if abs(number) >= 10000:
+        return f"{number:.3g}"
+    if abs(number) >= 100:
+        return f"{number:.1f}"
+    if abs(number) >= 1:
+        return f"{number:.3f}"
+    return f"{number:.4f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title=None) -> None:
+    print(render_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,66 @@
+"""A numpy autodiff/neural-network substrate (PyTorch replacement).
+
+Supports second-order differentiation (``create_graph=True``), which the
+PACE attack requires to differentiate through the CE model's update step.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import (
+    Tensor,
+    concat,
+    grad,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+from repro.nn.layers import Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, mlp
+from repro.nn.recurrent import LSTM, RNN, LSTMCell, RNNCell, split_sequence
+from repro.nn.optim import SGD, Adam, GradientClipper, Optimizer
+from repro.nn.losses import (
+    bce_loss,
+    kl_standard_normal,
+    log_q_error_loss,
+    mse_loss,
+    q_error,
+    q_error_loss,
+)
+from repro.nn.serialization import load_module, save_module
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "concat",
+    "stack",
+    "grad",
+    "maximum",
+    "minimum",
+    "where",
+    "no_grad",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "Dropout",
+    "mlp",
+    "RNN",
+    "LSTM",
+    "RNNCell",
+    "LSTMCell",
+    "split_sequence",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "GradientClipper",
+    "q_error",
+    "q_error_loss",
+    "log_q_error_loss",
+    "mse_loss",
+    "bce_loss",
+    "kl_standard_normal",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,33 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> Parameter:
+    """Glorot/Xavier uniform init for a ``(fan_in, fan_out)`` weight."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return Parameter(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> Parameter:
+    """He/Kaiming uniform init, suited to ReLU networks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return Parameter(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+
+
+def zeros(*shape: int) -> Parameter:
+    """Zero-initialized parameter (biases)."""
+    return Parameter(np.zeros(shape))
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> Parameter:
+    """Gaussian init with small standard deviation."""
+    return Parameter(rng.normal(0.0, std, size=shape))

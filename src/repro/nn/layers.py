@@ -1,0 +1,117 @@
+"""Feed-forward building blocks: Linear, activations, Sequential, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import derive_rng
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | int | None = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"features must be positive, got in={in_features}, out={out_features}"
+            )
+        rng = derive_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform(in_features, out_features, rng)
+        self.use_bias = bias
+        if bias:
+            self.bias = init.zeros(out_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode. Deterministic given a seed."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = derive_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+def mlp(
+    in_features: int,
+    hidden: list[int],
+    out_features: int,
+    rng: np.random.Generator | int | None = None,
+    activation: type[Module] = ReLU,
+    final_activation: Module | None = None,
+) -> Sequential:
+    """Build a multilayer perceptron with the given hidden widths."""
+    rng = derive_rng(rng)
+    dims = [in_features] + list(hidden) + [out_features]
+    layers: list[Module] = []
+    for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+        layers.append(Linear(d_in, d_out, rng=rng))
+        if i < len(dims) - 2:
+            layers.append(activation())
+    if final_activation is not None:
+        layers.append(final_activation)
+    return Sequential(*layers)

@@ -1,0 +1,60 @@
+"""Loss functions: Q-error (the CE training loss), MSE, BCE, VAE ELBO parts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, maximum
+
+
+def q_error(estimated: Tensor, true: Tensor) -> Tensor:
+    """Elementwise Q-error ``max(est/true, true/est)`` (Moerkotte et al.).
+
+    Both operands must be strictly positive; the CE models guarantee this by
+    construction (sigmoid output head, zero-cardinality queries dropped).
+    """
+    _check_positive(estimated, "estimated")
+    _check_positive(true, "true")
+    ratio = estimated / true
+    return maximum(ratio, ratio ** -1.0)
+
+
+def q_error_loss(estimated: Tensor, true: Tensor) -> Tensor:
+    """Mean Q-error over a batch — Eq. 1's loss function."""
+    return q_error(estimated, true).mean()
+
+
+def log_q_error_loss(estimated: Tensor, true: Tensor) -> Tensor:
+    """Mean ``|log est - log true|``, the smooth log-space Q-error variant.
+
+    Equal to ``log(q_error)`` pointwise; its gradients do not blow up when
+    estimates are off by orders of magnitude, so the trainers optimize this
+    and report plain Q-error.
+    """
+    _check_positive(estimated, "estimated")
+    _check_positive(true, "true")
+    return (estimated.log() - true.log()).abs().mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (the VAE reconstruction loss, Eq. 12)."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def bce_loss(prediction: Tensor, target: Tensor, eps: float = 1e-7) -> Tensor:
+    """Binary cross-entropy on probabilities in ``(0, 1)`` (Eq. 8)."""
+    p = prediction.clip(eps, 1.0 - eps)
+    t = target if isinstance(target, Tensor) else Tensor(target)
+    return -(t * p.log() + (1.0 - t) * (1.0 - p).log()).mean()
+
+
+def kl_standard_normal(mu: Tensor, log_var: Tensor) -> Tensor:
+    """KL(q(z|x) || N(0, I)) for a diagonal Gaussian posterior."""
+    return (-0.5 * (1.0 + log_var - mu * mu - log_var.exp())).sum(axis=-1).mean()
+
+
+def _check_positive(t: Tensor, name: str) -> None:
+    if np.any(t.data <= 0):
+        smallest = float(t.data.min())
+        raise ValueError(f"q-error requires positive {name} cardinalities (min={smallest})")

@@ -1,0 +1,165 @@
+"""Module/parameter containers, modeled on ``torch.nn.Module``.
+
+The one departure from torch is :meth:`Module.clone_with_parameters`, which
+produces a *functional* copy of a module whose parameters are arbitrary
+graph tensors. PACE uses it to build the "poisoned" surrogate
+``theta' = theta - lr * grad`` whose forward pass stays differentiable with
+respect to the poisoning queries (Eq. 9-10 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable module parameter."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__``; both are auto-registered and traversed recursively by
+    :meth:`named_parameters`, :meth:`state_dict`, etc.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self.__dict__.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self.__dict__.pop(name, None)
+        else:
+            if name in self._parameters and isinstance(value, Tensor):
+                # Allow a registered parameter to be replaced by a plain
+                # graph tensor (functional substitution).
+                self._parameters[name] = value
+                return
+            object.__setattr__(self, name, value)
+
+    def __getattr__(self, name: str):
+        parameters = self.__dict__.get("_parameters", {})
+        if name in parameters:
+            return parameters[name]
+        modules = self.__dict__.get("_modules", {})
+        if name in modules:
+            return modules[name]
+        raise AttributeError(f"{type(self).__name__} has no attribute {name!r}")
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, tensor)`` for every parameter, depth first."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Numpy snapshot of every parameter, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load a snapshot produced by :meth:`state_dict` (strict keys)."""
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
+        for name, value in state.items():
+            param = own[name]
+            if param.data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: model {param.data.shape}, state {value.shape}"
+                )
+            param.data = np.asarray(value, dtype=np.float64).copy()
+
+    # ------------------------------------------------------------------
+    # functional substitution (the PACE-specific piece)
+    # ------------------------------------------------------------------
+    def clone_with_parameters(self, mapping: dict[str, Tensor]) -> "Module":
+        """Return a structural copy whose parameters come from ``mapping``.
+
+        ``mapping`` maps dotted parameter names (as produced by
+        :meth:`named_parameters`) to replacement tensors — typically graph
+        nodes such as ``theta - lr * grad``. Parameters absent from the
+        mapping are shared with the original module. Non-parameter state is
+        shared, so the clone is cheap and must be treated as read-only.
+        """
+        own = {name for name, _ in self.named_parameters()}
+        unknown = sorted(set(mapping) - own)
+        if unknown:
+            raise KeyError(f"unknown parameter names in mapping: {unknown}")
+        return self._clone_with(mapping, prefix="")
+
+    def _clone_with(self, mapping: dict[str, Tensor], prefix: str) -> "Module":
+        clone = object.__new__(type(self))
+        object.__setattr__(clone, "_parameters", {})
+        object.__setattr__(clone, "_modules", {})
+        for key, value in self.__dict__.items():
+            if key in ("_parameters", "_modules"):
+                continue
+            object.__setattr__(clone, key, value)
+        for name, param in self._parameters.items():
+            clone._parameters[name] = mapping.get(prefix + name, param)
+        for name, module in self._modules.items():
+            clone._modules[name] = module._clone_with(mapping, prefix=f"{prefix}{name}.")
+        return clone
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

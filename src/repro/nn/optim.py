@@ -1,0 +1,110 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, params: list[Tensor], lr: float) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent, optionally with classical momentum."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) — the optimizer the paper uses throughout."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - beta1**t
+        bias2 = 1.0 - beta2**t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            m *= beta1
+            m += (1.0 - beta1) * g
+            v *= beta2
+            v += (1.0 - beta2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class GradientClipper:
+    """Clips the global L2 norm of a parameter group's gradients."""
+
+    def __init__(self, max_norm: float) -> None:
+        if max_norm <= 0:
+            raise ValueError(f"max_norm must be positive, got {max_norm}")
+        self.max_norm = max_norm
+
+    def clip(self, params: list[Tensor]) -> float:
+        """Scale gradients in place; returns the pre-clip global norm."""
+        total = 0.0
+        grads = [p.grad for p in params if p.grad is not None]
+        for g in grads:
+            total += float((g.data**2).sum())
+        norm = float(np.sqrt(total))
+        if norm > self.max_norm and norm > 0:
+            scale = self.max_norm / norm
+            for g in grads:
+                g.data *= scale
+        return norm

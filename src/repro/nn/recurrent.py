@@ -1,0 +1,112 @@
+"""Recurrent cells used by the RNN and LSTM cardinality estimators.
+
+Sequences are presented as ``(batch, steps, features)`` tensors; the
+wrappers iterate over the step axis with graph-building tensor ops, so
+gradients (including the second-order ones PACE needs) flow through time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import derive_rng
+
+
+class RNNCell(Module):
+    """Elman cell: ``h' = tanh(x @ W_xh + h @ W_hh + b)``."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | int | None = None
+    ) -> None:
+        super().__init__()
+        rng = derive_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_xh = init.xavier_uniform(input_size, hidden_size, rng)
+        self.w_hh = init.xavier_uniform(hidden_size, hidden_size, rng)
+        self.bias = init.zeros(hidden_size)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        return (x @ self.w_xh + h @ self.w_hh + self.bias).tanh()
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell with a single fused gate projection."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | int | None = None
+    ) -> None:
+        super().__init__()
+        rng = derive_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = init.xavier_uniform(input_size, 4 * hidden_size, rng)
+        self.w_h = init.xavier_uniform(hidden_size, 4 * hidden_size, rng)
+        self.bias = init.zeros(4 * hidden_size)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        gates = x @ self.w_x + h @ self.w_h + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class RNN(Module):
+    """Unidirectional RNN returning the final hidden state."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | int | None = None
+    ) -> None:
+        super().__init__()
+        self.cell = RNNCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        for t in range(steps):
+            h = self.cell(x[:, t, :], h)
+        return h
+
+
+class LSTM(Module):
+    """Unidirectional LSTM returning the final hidden state."""
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | int | None = None
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        for t in range(steps):
+            h, c = self.cell(x[:, t, :], h, c)
+        return h
+
+
+def split_sequence(x: Tensor, step_size: int) -> Tensor:
+    """Reshape a flat ``(batch, steps*step_size)`` tensor to ``(batch, steps, step_size)``.
+
+    Query encodings are flat vectors; the recurrent estimators consume them
+    chunk by chunk, which this helper makes explicit (padding with zeros when
+    the width is not a multiple of ``step_size``).
+    """
+    batch, width = x.shape
+    remainder = width % step_size
+    if remainder:
+        pad = Tensor(np.zeros((batch, step_size - remainder)))
+        x = concat([x, pad], axis=1)
+        width = x.shape[1]
+    return x.reshape((batch, width // step_size, step_size))

@@ -1,0 +1,27 @@
+"""Save/load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Persist ``module.state_dict()`` to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` (strict)."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

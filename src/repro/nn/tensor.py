@@ -1,0 +1,480 @@
+"""A small reverse-mode automatic-differentiation engine on numpy.
+
+This module replaces PyTorch for the reproduction. Its distinguishing
+feature is that every operation's backward rule is itself written with
+:class:`Tensor` operations, so calling ``backward(create_graph=True)``
+produces gradients that are differentiable graph nodes. PACE's bivariate
+poisoning objective (Eq. 10 of the paper) differentiates through the CE
+model's gradient-descent update, which requires exactly this second-order
+capability.
+
+Only the operations the library needs are implemented; each is covered by
+numeric gradient checks in ``tests/nn/test_tensor.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction inside the block (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Attributes:
+        data: the underlying ``float64`` ndarray.
+        grad: accumulated gradient (a :class:`Tensor`) after ``backward``.
+        requires_grad: whether gradients should flow to this tensor.
+    """
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Tensor | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents: tuple[Tensor, ...] = ()
+        self._grad_fn: Callable[[Tensor], tuple[Tensor | None, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(shape, rng: np.random.Generator, scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+        return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{flag})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """A copy of the underlying data (safe to mutate)."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: tuple["Tensor", ...], grad_fn) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._grad_fn = grad_fn
+        return out
+
+    def backward(self, grad: "Tensor | None" = None, create_graph: bool = False) -> None:
+        """Backpropagate from this tensor, accumulating into leaf ``.grad``.
+
+        Args:
+            grad: upstream gradient; defaults to ones (scalar outputs only
+                get the conventional seed of 1.0).
+            create_graph: keep the gradient computation on the tape so the
+                resulting ``.grad`` tensors can themselves be differentiated.
+        """
+        captured = _backward_pass(self, grad, create_graph)
+        for leaf, contribution in captured.values():
+            leaf.grad = contribution if leaf.grad is None else leaf.grad + contribution
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = self._make_child(
+            self.data + other.data,
+            (self, other),
+            lambda g: (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape)),
+        )
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return self._make_child(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        return self._make_child(
+            self.data * other.data,
+            (self, other),
+            lambda g: (
+                _unbroadcast(g * other, self.shape),
+                _unbroadcast(g * self, other.shape),
+            ),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return _as_tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp(b * log(a))")
+        exponent = float(exponent)
+        return self._make_child(
+            np.power(self.data, exponent),
+            (self,),
+            lambda g: (g * (self ** (exponent - 1.0)) * exponent,),
+        )
+
+    def __matmul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        return self._make_child(
+            self.data @ other.data,
+            (self, other),
+            lambda g: (g @ other.transpose(), self.transpose() @ g),
+        )
+
+    # ------------------------------------------------------------------
+    # elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = self._make_child(np.exp(self.data), (self,), None)
+        out._grad_fn = lambda g: (g * out,)
+        return out
+
+    def log(self) -> "Tensor":
+        return self._make_child(np.log(self.data), (self,), lambda g: (g / self,))
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        sign = Tensor(np.sign(self.data))
+        return self._make_child(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def tanh(self) -> "Tensor":
+        out = self._make_child(np.tanh(self.data), (self,), None)
+        out._grad_fn = lambda g: (g * (1.0 - out * out),)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out = self._make_child(1.0 / (1.0 + np.exp(-self.data)), (self,), None)
+        out._grad_fn = lambda g: (g * out * (1.0 - out),)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = Tensor((self.data > 0).astype(np.float64))
+        return self._make_child(np.maximum(self.data, 0.0), (self,), lambda g: (g * mask,))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient passes only where values are inside range."""
+        mask = Tensor(((self.data >= low) & (self.data <= high)).astype(np.float64))
+        return self._make_child(np.clip(self.data, low, high), (self,), lambda g: (g * mask,))
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def grad_fn(g: Tensor) -> tuple[Tensor]:
+            gdata = g
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                shape = list(self.shape)
+                for ax in sorted(a % self.ndim for a in axes):
+                    shape[ax] = 1
+                gdata = g.reshape(tuple(shape))
+            return (gdata.broadcast_to(self.shape),)
+
+        return self._make_child(data, (self,), grad_fn)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max_reduce(self) -> "Tensor":
+        """Global maximum; gradient flows to (one of) the argmax entries."""
+        flat_idx = int(np.argmax(self.data))
+        mask = np.zeros_like(self.data)
+        mask.reshape(-1)[flat_idx] = 1.0
+        mask_t = Tensor(mask)
+        return self._make_child(
+            np.asarray(self.data.max()), (self,), lambda g: ((g * mask_t).broadcast_to(self.shape),)
+        )
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, shape: tuple[int, ...]) -> "Tensor":
+        original = self.shape
+        return self._make_child(
+            self.data.reshape(shape), (self,), lambda g: (g.reshape(original),)
+        )
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        if axes is None:
+            inverse = None
+        else:
+            inverse = tuple(int(i) for i in np.argsort(axes))
+        return self._make_child(
+            self.data.transpose(axes), (self,), lambda g: (g.transpose(inverse),)
+        )
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 - numpy-compatible alias
+        return self.transpose()
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        original = self.shape
+        return self._make_child(
+            np.broadcast_to(self.data, shape).copy(),
+            (self,),
+            lambda g: (_unbroadcast(g, original),),
+        )
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def grad_fn(g: Tensor) -> tuple[Tensor]:
+            return (_scatter(g, index, self.shape),)
+
+        return self._make_child(np.array(data, copy=True), (self,), grad_fn)
+
+
+def _backward_pass(
+    output: Tensor,
+    seed: Tensor | None,
+    create_graph: bool,
+    watched: set[int] | None = None,
+) -> dict[int, tuple[Tensor, Tensor]]:
+    """Run reverse-mode accumulation from ``output``.
+
+    Returns a mapping ``id(t) -> (t, gradient)`` covering every leaf tensor
+    (``requires_grad`` and no ``_grad_fn``) plus any tensor whose id is in
+    ``watched`` — the latter lets callers take gradients with respect to
+    intermediate graph nodes, which PACE's unrolled inner update needs.
+    Does not mutate any tensor, which keeps :func:`grad` side-effect free.
+    """
+    if not output.requires_grad:
+        raise RuntimeError("backward() called on a tensor that does not require grad")
+    if seed is None:
+        if output.data.size != 1:
+            raise RuntimeError("backward() without a gradient requires a scalar output")
+        seed = Tensor(np.ones_like(output.data))
+
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(output, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+
+    grads: dict[int, Tensor] = {id(output): seed}
+    captured: dict[int, tuple[Tensor, Tensor]] = {}
+    for node in reversed(topo):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        is_leaf = node._grad_fn is None
+        if is_leaf or (watched is not None and id(node) in watched):
+            captured[id(node)] = (node, node_grad if create_graph else node_grad.detach())
+        if is_leaf:
+            continue
+        parent_grads = node._grad_fn(node_grad)
+        if not create_graph:
+            parent_grads = tuple(g.detach() if g is not None else None for g in parent_grads)
+        for parent, pgrad in zip(node._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            existing = grads.get(id(parent))
+            grads[id(parent)] = pgrad if existing is None else existing + pgrad
+    return captured
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _unbroadcast(grad: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce ``grad`` back down to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape != shape:
+        grad = grad.reshape(shape)
+    return grad
+
+
+def _scatter(grad: Tensor, index, shape: tuple[int, ...]) -> Tensor:
+    data = np.zeros(shape)
+    np.add.at(data, index, grad.data)
+    out = Tensor(data)
+    if grad.requires_grad and _GRAD_ENABLED:
+        out.requires_grad = True
+        out._parents = (grad,)
+        out._grad_fn = lambda g: (g[index],)
+    return out
+
+
+# ----------------------------------------------------------------------
+# free functions
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [_as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def grad_fn(g: Tensor) -> tuple[Tensor, ...]:
+        pieces = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(int(start), int(stop))
+            pieces.append(g[tuple(index)])
+        return tuple(pieces)
+
+    out = Tensor(data)
+    if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+        out.requires_grad = True
+        out._parents = tuple(tensors)
+        out._grad_fn = grad_fn
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    expanded = []
+    for t in tensors:
+        t = _as_tensor(t)
+        new_shape = list(t.shape)
+        new_shape.insert(axis if axis >= 0 else t.ndim + 1 + axis, 1)
+        expanded.append(t.reshape(tuple(new_shape)))
+    return concat(expanded, axis=axis)
+
+
+def maximum(a: Tensor, b) -> Tensor:
+    """Elementwise maximum; ties send the gradient to ``a``."""
+    a = _as_tensor(a)
+    b = _as_tensor(b)
+    take_a = Tensor((a.data >= b.data).astype(np.float64))
+    take_b = Tensor((a.data < b.data).astype(np.float64))
+    out_data = np.maximum(a.data, b.data)
+    out = Tensor(out_data)
+    if _GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        out.requires_grad = True
+        out._parents = (a, b)
+        out._grad_fn = lambda g: (
+            _unbroadcast(g * take_a, a.shape),
+            _unbroadcast(g * take_b, b.shape),
+        )
+    return out
+
+
+def minimum(a: Tensor, b) -> Tensor:
+    """Elementwise minimum; ties send the gradient to ``a``."""
+    return -maximum(-_as_tensor(a), -_as_tensor(b))
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select ``a`` where ``condition`` else ``b``; condition is constant."""
+    mask = Tensor(np.asarray(condition, dtype=np.float64))
+    return _as_tensor(a) * mask + _as_tensor(b) * (1.0 - mask)
+
+
+def grad(
+    output: Tensor,
+    inputs: Iterable[Tensor],
+    create_graph: bool = False,
+) -> list[Tensor]:
+    """Functional gradient: d(output)/d(each input), without touching ``.grad``.
+
+    Mirrors ``torch.autograd.grad``: no tensor's ``.grad`` attribute is
+    modified, so this is safe to call in the middle of a training loop
+    (PACE's inner update uses it with ``create_graph=True``).
+    """
+    inputs = list(inputs)
+    watched = {id(t) for t in inputs}
+    captured = _backward_pass(output, None, create_graph, watched=watched)
+    results = []
+    for t in inputs:
+        entry = captured.get(id(t))
+        results.append(entry[1] if entry is not None else Tensor(np.zeros_like(t.data)))
+    return results

@@ -1,0 +1,28 @@
+"""Cost-based join-order planning and end-to-end latency simulation."""
+
+from repro.planner.cardinality import (
+    CardinalitySource,
+    EstimatedCardinalities,
+    OracleWithNoise,
+    TrueCardinalities,
+)
+from repro.planner.optimizer import JoinOrderOptimizer, PlannedQuery, plan_cost
+from repro.planner.plans import JoinNode, PlanNode, ScanNode
+from repro.planner.simulator import E2EResult, E2ESimulator, LatencyModel, QueryRun
+
+__all__ = [
+    "CardinalitySource",
+    "TrueCardinalities",
+    "EstimatedCardinalities",
+    "OracleWithNoise",
+    "JoinOrderOptimizer",
+    "PlannedQuery",
+    "plan_cost",
+    "PlanNode",
+    "ScanNode",
+    "JoinNode",
+    "E2ESimulator",
+    "E2EResult",
+    "LatencyModel",
+    "QueryRun",
+]

@@ -1,0 +1,62 @@
+"""Cardinality sources the planner can cost plans with.
+
+``TrueCardinalities`` executes sub-joins (what the evaluation harness uses
+to measure a plan's *actual* cost); ``EstimatedCardinalities`` asks a CE
+model (what the optimizer believes when choosing the plan). The whole E2E
+experiment (Table 5) is the gap between the two.
+"""
+
+from __future__ import annotations
+
+from repro.ce.base import CardinalityEstimator
+from repro.db.executor import Executor
+from repro.db.query import Query
+
+
+class CardinalitySource:
+    """Interface: cardinality of a (sub-)query."""
+
+    def cardinality(self, query: Query) -> float:
+        raise NotImplementedError
+
+
+class TrueCardinalities(CardinalitySource):
+    """Ground truth from the relational executor (memoized there)."""
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+
+    def cardinality(self, query: Query) -> float:
+        return float(self.executor.count(query))
+
+
+class EstimatedCardinalities(CardinalitySource):
+    """Estimates from a learned CE model, memoized per sub-query."""
+
+    def __init__(self, model: CardinalityEstimator) -> None:
+        self.model = model
+        self._cache: dict[tuple, float] = {}
+
+    def cardinality(self, query: Query) -> float:
+        key = query.cache_key()
+        value = self._cache.get(key)
+        if value is None:
+            value = float(self.model.estimate([query])[0])
+            self._cache[key] = value
+        return value
+
+
+class OracleWithNoise(CardinalitySource):
+    """True cardinalities perturbed by a fixed factor per sub-query.
+
+    Useful in tests to verify that worse estimates produce worse plans
+    without training a model.
+    """
+
+    def __init__(self, executor: Executor, factors: dict[tuple, float]) -> None:
+        self.executor = executor
+        self.factors = factors
+
+    def cardinality(self, query: Query) -> float:
+        true = float(self.executor.count(query))
+        return true * self.factors.get(query.cache_key(), 1.0)

@@ -1,0 +1,53 @@
+"""Physical-plan trees produced by the join-order optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base plan node: the set of base tables it produces."""
+
+    tables: frozenset[str]
+
+    def join_subsets(self) -> list[frozenset[str]]:
+        """Table sets of every join node in the subtree (for costing)."""
+        raise NotImplementedError
+
+    def render(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """A filtered base-table scan."""
+
+    table: str = ""
+
+    def join_subsets(self) -> list[frozenset[str]]:
+        return []
+
+    def render(self, indent: int = 0) -> str:
+        return " " * indent + f"Scan({self.table})"
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """A binary hash join of two sub-plans."""
+
+    left: PlanNode = None  # type: ignore[assignment]
+    right: PlanNode = None  # type: ignore[assignment]
+
+    def join_subsets(self) -> list[frozenset[str]]:
+        return self.left.join_subsets() + self.right.join_subsets() + [self.tables]
+
+    def render(self, indent: int = 0) -> str:
+        lines = [" " * indent + f"Join({', '.join(sorted(self.tables))})"]
+        lines.append(self.left.render(indent + 2))
+        lines.append(self.right.render(indent + 2))
+        return "\n".join(lines)
+
+    def join_order(self) -> list[frozenset[str]]:
+        """Join subsets in execution order (children before parents)."""
+        return self.join_subsets()

@@ -1,0 +1,140 @@
+"""End-to-end latency simulation (the Table 5 experiment's substrate).
+
+The paper measures wall-clock execution of 20 multi-table join queries in
+PostgreSQL with each (clean or poisoned) CE model plugged into the
+optimizer. Here the optimizer chooses a join order using the model's
+*estimates*, and the "latency" of the chosen plan is its C_out cost under
+*true* cardinalities, scaled to seconds. The causal chain the paper
+exploits — worse estimates => worse join orders => slower execution — is
+preserved; absolute seconds are nominal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ce.base import CardinalityEstimator
+from repro.db.executor import Executor
+from repro.db.query import Query
+from repro.planner.cardinality import EstimatedCardinalities, TrueCardinalities
+from repro.planner.optimizer import JoinOrderOptimizer, plan_cost
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Converts plan work into nominal seconds.
+
+    ``seconds_per_tuple`` scales the C_out cost (intermediate tuples
+    produced); ``seconds_per_scan_tuple`` charges base-table scans;
+    ``per_query_overhead`` models fixed planning/startup cost.
+
+    The paper attributes E2E degradation to join *order* and join
+    *operator* selection. Operator choice is modeled explicitly, in both
+    error directions:
+
+    * **underestimate**: a join whose *estimated* output is at most
+      ``nested_loop_threshold`` tuples gets a nested-loop join; if the
+      *true* output exceeds the threshold, the node costs
+      ``nested_loop_penalty`` x its tuples (the classic blowup);
+    * **overestimate**: a join believed much larger than it really is pays
+      a surcharge of ``overestimate_tax`` x the phantom tuples (capped at
+      ``grant_cap``) — the cost of sizing hash tables, memory grants, and
+      parallelism for rows that never arrive.
+    """
+
+    seconds_per_tuple: float = 1e-4
+    seconds_per_scan_tuple: float = 1e-6
+    per_query_overhead: float = 0.01
+    nested_loop_threshold: float = 1_000.0
+    nested_loop_penalty: float = 8.0
+    overestimate_tax: float = 0.1
+    grant_cap: float = 100_000.0
+
+
+@dataclass
+class QueryRun:
+    """Outcome of one simulated query execution."""
+
+    query: Query
+    believed_cost: float
+    true_cost: float
+    seconds: float
+
+
+@dataclass
+class E2EResult:
+    """Aggregate of a simulated workload run."""
+
+    runs: list[QueryRun] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.runs)
+
+    @property
+    def total_true_cost(self) -> float:
+        return sum(r.true_cost for r in self.runs)
+
+
+class E2ESimulator:
+    """Runs workloads through plan selection + true-cost evaluation."""
+
+    def __init__(self, executor: Executor, latency: LatencyModel | None = None) -> None:
+        self.executor = executor
+        self.schema = executor.schema
+        self.latency = latency or LatencyModel()
+        self._truth = TrueCardinalities(executor)
+
+    def run(self, queries, model: CardinalityEstimator) -> E2EResult:
+        """Simulate executing ``queries`` with ``model`` driving the optimizer."""
+        return self._run(queries, EstimatedCardinalities(model))
+
+    def run_optimal(self, queries) -> E2EResult:
+        """Simulate with perfect cardinalities (lower bound reference)."""
+        return self._run(queries, self._truth)
+
+    def _run(self, queries, source) -> E2EResult:
+        optimizer = JoinOrderOptimizer(self.schema, source)
+        result = E2EResult()
+        for query in queries:
+            planned = optimizer.best_plan(query)
+            true_cost = self._execution_cost(planned.plan, query, source)
+            scan_tuples = sum(
+                self.executor.database.table(t).num_rows for t in query.tables
+            )
+            seconds = (
+                self.latency.per_query_overhead
+                + self.latency.seconds_per_scan_tuple * scan_tuples
+                + self.latency.seconds_per_tuple * true_cost
+            )
+            result.runs.append(
+                QueryRun(
+                    query=query,
+                    believed_cost=planned.believed_cost,
+                    true_cost=true_cost,
+                    seconds=seconds,
+                )
+            )
+        return result
+
+    def _execution_cost(self, plan, query, source) -> float:
+        """True tuple cost of the plan, including operator mispredictions.
+
+        Per join node the optimizer commits to a nested-loop join when the
+        *estimated* output is small; if the *true* output is large, the
+        node pays ``nested_loop_penalty``.
+        """
+        total = 0.0
+        threshold = self.latency.nested_loop_threshold
+        for subset in plan.join_subsets():
+            sub = query.restricted_to(subset)
+            true_card = max(self._truth.cardinality(sub), 0.0)
+            estimated = max(source.cardinality(sub), 0.0)
+            node_cost = true_card
+            if estimated <= threshold < true_card:
+                node_cost *= self.latency.nested_loop_penalty
+            elif estimated > max(true_card * 4.0, threshold):
+                phantom = min(estimated - true_card, self.latency.grant_cap)
+                node_cost += self.latency.overestimate_tax * phantom
+            total += node_cost
+        return total

@@ -1,0 +1,20 @@
+"""Shared utilities: seeded randomness, scale configuration, timing, errors."""
+
+from repro.utils.config import ScaleConfig, get_scale
+from repro.utils.errors import ReproError, SchemaError, QueryError, TrainingError
+from repro.utils.rng import RngMixin, derive_rng, spawn_rngs
+from repro.utils.timer import Timer, timed
+
+__all__ = [
+    "ScaleConfig",
+    "get_scale",
+    "ReproError",
+    "SchemaError",
+    "QueryError",
+    "TrainingError",
+    "RngMixin",
+    "derive_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+]

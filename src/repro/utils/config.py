@@ -1,0 +1,115 @@
+"""Experiment scale configuration.
+
+The paper's experiments run at a scale (10k training queries, 256GB RAM,
+GPU training) that is far beyond a test environment. Every benchmark and
+example in this repository reads a :class:`ScaleConfig` so the same harness
+runs as a seconds-long smoke test or as a fuller sweep.
+
+Select the scale with the ``REPRO_SCALE`` environment variable:
+
+``smoke``   tiny models and workloads, used by CI and pytest-benchmark.
+``small``   a few minutes per bench; shapes are already stable here.
+``paper``   closest to the paper's parameter counts (hours on CPU).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs that every experiment harness shares.
+
+    Attributes:
+        name: scale label (``smoke`` / ``small`` / ``paper``).
+        rows_single_table: row count for single-table datasets (DMV).
+        rows_multi_table: base row count for multi-table datasets.
+        train_queries: size of the CE model's training workload.
+        test_queries: size of the evaluation workload.
+        poison_queries: default poisoning-workload size (paper: 450 = 5%).
+        hidden_dim: hidden width of the CE models.
+        train_epochs: epochs used to train a clean CE model.
+        update_steps: incremental-update iterations on poisoning queries
+            (paper's ``K`` = 10).
+        generator_steps: outer training iterations for the poisoning
+            generator (paper: 20).
+        probe_queries_per_group: probe-workload size per property group used
+            for model-type speculation.
+    """
+
+    name: str
+    rows_single_table: int
+    rows_multi_table: int
+    train_queries: int
+    test_queries: int
+    poison_queries: int
+    hidden_dim: int
+    train_epochs: int
+    update_steps: int
+    generator_steps: int
+    probe_queries_per_group: int
+
+    @property
+    def poison_ratio(self) -> float:
+        """Poisoning queries as a fraction of the training workload."""
+        return self.poison_queries / max(self.train_queries, 1)
+
+
+_SCALES = {
+    "smoke": ScaleConfig(
+        name="smoke",
+        rows_single_table=2_000,
+        rows_multi_table=600,
+        train_queries=120,
+        test_queries=60,
+        poison_queries=24,
+        hidden_dim=16,
+        train_epochs=30,
+        update_steps=5,
+        generator_steps=8,
+        probe_queries_per_group=8,
+    ),
+    "small": ScaleConfig(
+        name="small",
+        rows_single_table=20_000,
+        rows_multi_table=4_000,
+        train_queries=1_000,
+        test_queries=200,
+        poison_queries=50,
+        hidden_dim=32,
+        train_epochs=60,
+        update_steps=10,
+        generator_steps=20,
+        probe_queries_per_group=20,
+    ),
+    "paper": ScaleConfig(
+        name="paper",
+        rows_single_table=100_000,
+        rows_multi_table=20_000,
+        train_queries=10_000,
+        test_queries=1_000,
+        poison_queries=450,
+        hidden_dim=128,
+        train_epochs=100,
+        update_steps=10,
+        generator_steps=20,
+        probe_queries_per_group=50,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ScaleConfig:
+    """Return the scale config for ``name`` or the ``REPRO_SCALE`` env var."""
+    resolved = name or os.environ.get("REPRO_SCALE", "smoke")
+    try:
+        return _SCALES[resolved]
+    except KeyError:
+        valid = ", ".join(sorted(_SCALES))
+        raise ValueError(f"unknown scale {resolved!r}; expected one of: {valid}") from None
+
+
+def available_scales() -> tuple[str, ...]:
+    """Names accepted by :func:`get_scale`, in increasing size order."""
+    return ("smoke", "small", "paper")

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or join-graph definition is invalid or unknown."""
+
+
+class QueryError(ReproError):
+    """A query is malformed: empty join set, invalid bounds, unknown column."""
+
+
+class TrainingError(ReproError):
+    """A model cannot be trained or updated (empty workload, shape mismatch)."""
+
+
+class EncodingError(ReproError):
+    """A query vector does not match the encoder's layout."""
+
+
+class PlanError(ReproError):
+    """The planner cannot build a plan (disconnected join set, no tables)."""
+
+
+class ExecutionBudgetError(ReproError):
+    """A query exceeded the executor's intermediate-result budget.
+
+    Plays the role of a DBMS statement timeout: runaway joins are killed
+    rather than executed, and both the DBMS's update path and the attacker
+    treat such queries as unusable.
+    """

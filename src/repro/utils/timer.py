@@ -1,0 +1,53 @@
+"""Wall-clock timing helpers used by the overhead experiments (Tables 9-10)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock spans.
+
+    Example:
+        >>> timer = Timer()
+        >>> with timer.span("train"):
+        ...     pass
+        >>> timer.total("train") >= 0.0
+        True
+    """
+
+    spans: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def span(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.spans[name] = self.spans.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 if never recorded)."""
+        return self.spans.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per recorded span for ``name``."""
+        count = self.counts.get(name, 0)
+        return self.spans.get(name, 0.0) / count if count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all accumulated totals."""
+        return dict(self.spans)
+
+
+@contextmanager
+def timed():
+    """Yield a zero-arg callable returning seconds elapsed since entry."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

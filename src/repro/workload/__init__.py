@@ -1,0 +1,15 @@
+"""Workloads: query encodings, random and template-based generation."""
+
+from repro.workload.encoding import QueryEncoder
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.templates import QueryTemplate, default_templates, template_workload
+from repro.workload.workload import Workload
+
+__all__ = [
+    "QueryEncoder",
+    "WorkloadGenerator",
+    "Workload",
+    "QueryTemplate",
+    "default_templates",
+    "template_workload",
+]

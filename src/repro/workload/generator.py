@@ -1,0 +1,167 @@
+"""Random SPJ workload generation.
+
+Training/testing workloads follow the recipe the paper borrows from
+Learned-CE evaluations: random connected join sets over the FK graph,
+random attribute subsets, and range predicates centered on actual data
+values (so queries are rarely empty). The probe workloads used for
+model-type speculation (Section 4.1) vary the column count and predicate
+range size explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.executor import Executor
+from repro.db.query import Query
+from repro.db.table import Database
+from repro.utils.errors import QueryError
+from repro.utils.rng import derive_rng
+from repro.workload.workload import Workload
+
+
+class WorkloadGenerator:
+    """Generates labeled random workloads over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        executor: Executor | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.database = database
+        self.schema = database.schema
+        self.executor = executor or Executor(database)
+        self.rng = derive_rng(seed)
+
+    # ------------------------------------------------------------------
+    # join sets
+    # ------------------------------------------------------------------
+    def random_join_set(self, max_tables: int = 4) -> frozenset[str]:
+        """A connected join set grown by a random walk on the FK graph."""
+        tables = list(self.schema.table_names)
+        current = {tables[self.rng.integers(len(tables))]}
+        target = int(self.rng.integers(1, max(min(max_tables, len(tables)), 1) + 1))
+        while len(current) < target:
+            frontier = sorted(
+                {n for t in current for n in self.schema.neighbors(t)} - current
+            )
+            if not frontier:
+                break
+            current.add(frontier[self.rng.integers(len(frontier))])
+        return frozenset(current)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def random_query(
+        self,
+        max_tables: int = 4,
+        n_columns: int | None = None,
+        range_scale: float | None = None,
+        tables: frozenset[str] | None = None,
+    ) -> Query:
+        """One random SPJ query (unlabeled).
+
+        Args:
+            max_tables: upper bound on the join-set size.
+            n_columns: exact number of filtered attributes (default: random
+                1..4, capped by availability).
+            range_scale: predicate width in normalized units (default:
+                random widths spanning narrow to wide).
+            tables: fix the join set instead of sampling one.
+        """
+        join_set = tables or self.random_join_set(max_tables)
+        available = [tc for t in join_set for tc in self.schema.attributes_of(t)]
+        if not available:
+            raise QueryError(f"join set {sorted(join_set)} has no filterable attributes")
+        if n_columns is None:
+            k = int(self.rng.integers(1, min(4, len(available)) + 1))
+        else:
+            k = min(n_columns, len(available))
+        chosen_idx = self.rng.choice(len(available), size=k, replace=False)
+        predicates: dict[tuple[str, str], tuple[float, float]] = {}
+        for idx in np.atleast_1d(chosen_idx):
+            table, col = available[int(idx)]
+            width = range_scale if range_scale is not None else float(
+                np.exp(self.rng.uniform(np.log(0.02), np.log(0.9)))
+            )
+            center = self._data_centered_value(table, col)
+            low = float(np.clip(center - width / 2.0, 0.0, 1.0))
+            high = float(np.clip(center + width / 2.0, 0.0, 1.0))
+            if high <= low:
+                high = min(low + 1e-3, 1.0)
+            predicates[(table, col)] = (low, high)
+        return Query.build(self.schema, join_set, predicates)
+
+    def _data_centered_value(self, table: str, col: str) -> float:
+        """A normalized predicate center sampled from the actual data."""
+        column = self.schema.table(table).column(col)
+        values = self.database.table(table).column(col)
+        sample = values[self.rng.integers(len(values))]
+        return float(column.normalize(sample))
+
+    # ------------------------------------------------------------------
+    # workloads
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        count: int,
+        max_tables: int = 4,
+        n_columns: int | None = None,
+        range_scale: float | None = None,
+        max_attempts_factor: int = 10,
+    ) -> Workload:
+        """A labeled workload of ``count`` non-empty queries.
+
+        Queries whose true cardinality is zero are rejected and resampled
+        (the paper drops them); gives up with :class:`QueryError` when the
+        rejection rate makes the target unreachable.
+        """
+        from repro.utils.errors import ExecutionBudgetError
+
+        examples = []
+        attempts = 0
+        budget = max(count * max_attempts_factor, 50)
+        while len(examples) < count and attempts < budget:
+            attempts += 1
+            query = self.random_query(
+                max_tables=max_tables, n_columns=n_columns, range_scale=range_scale
+            )
+            try:
+                card = self.executor.count(query)
+            except ExecutionBudgetError:
+                continue
+            if card == 0:
+                continue
+            examples.append((query, card))
+        if len(examples) < count:
+            raise QueryError(
+                f"could only generate {len(examples)}/{count} non-empty queries "
+                f"in {attempts} attempts"
+            )
+        from repro.db.query import LabeledQuery
+
+        return Workload([LabeledQuery(q, c) for q, c in examples])
+
+    def probe_workloads(
+        self,
+        queries_per_group: int = 10,
+        column_counts=(1, 2, 3),
+        range_scales=(0.05, 0.3, 0.8),
+        max_tables: int = 3,
+    ) -> list[tuple[str, Workload]]:
+        """Property-grouped probe workloads for model-type speculation.
+
+        Each group fixes either the filtered-column count or the predicate
+        range size, because those are the properties along which the six CE
+        model families behave measurably differently (Section 4.1).
+        """
+        groups: list[tuple[str, Workload]] = []
+        for n_cols in column_counts:
+            wl = self.generate(queries_per_group, max_tables=max_tables, n_columns=n_cols)
+            groups.append((f"cols={n_cols}", wl))
+        for scale in range_scales:
+            wl = self.generate(queries_per_group, max_tables=max_tables, range_scale=scale)
+            groups.append((f"range={scale}", wl))
+        return groups

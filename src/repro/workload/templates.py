@@ -1,0 +1,99 @@
+"""Template-based workloads (IMDB-JOB / STATS-CEB style).
+
+The paper generates IMDB and STATS workloads from the JOB and CEB query
+templates: fixed join sets with randomized predicates. Templates here are
+derived from the schema's join graph — a spread of connected join sets of
+increasing size — and instantiated with data-centered predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.executor import Executor
+from repro.db.table import Database
+from repro.utils.errors import QueryError
+from repro.utils.rng import derive_rng
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.workload import Workload
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A fixed join set with a bounded number of filtered columns."""
+
+    name: str
+    tables: frozenset[str]
+    max_columns: int = 3
+
+
+def default_templates(database: Database, count: int = 12, max_tables: int = 4,
+                      seed=0) -> list[QueryTemplate]:
+    """Derive ``count`` templates spanning join sizes 1..max_tables.
+
+    Join sets are sampled by random walk, de-duplicated, and named
+    ``t<size>_<index>`` — a synthetic stand-in for the JOB/CEB template
+    families.
+    """
+    rng = derive_rng(seed)
+    generator = WorkloadGenerator(database, seed=rng)
+    seen: set[frozenset[str]] = set()
+    templates: list[QueryTemplate] = []
+    attempts = 0
+    while len(templates) < count and attempts < count * 30:
+        attempts += 1
+        size = 1 + (attempts % max_tables)
+        join_set = generator.random_join_set(max_tables=size)
+        if join_set in seen:
+            continue
+        seen.add(join_set)
+        templates.append(
+            QueryTemplate(
+                name=f"t{len(join_set)}_{len(templates)}",
+                tables=join_set,
+                max_columns=3,
+            )
+        )
+    if not templates:
+        raise QueryError("could not derive any query templates")
+    return templates
+
+
+def template_workload(
+    database: Database,
+    count: int,
+    templates: list[QueryTemplate] | None = None,
+    executor: Executor | None = None,
+    seed=0,
+) -> Workload:
+    """A labeled workload instantiated round-robin from templates."""
+    rng = derive_rng(seed)
+    executor = executor or Executor(database)
+    generator = WorkloadGenerator(database, executor=executor, seed=rng)
+    templates = templates or default_templates(database, seed=rng)
+    examples = []
+    attempts = 0
+    budget = count * 15
+    i = 0
+    from repro.db.query import LabeledQuery
+
+    from repro.utils.errors import ExecutionBudgetError
+
+    while len(examples) < count and attempts < budget:
+        attempts += 1
+        template = templates[i % len(templates)]
+        i += 1
+        n_cols = int(rng.integers(1, template.max_columns + 1))
+        query = generator.random_query(tables=template.tables, n_columns=n_cols)
+        try:
+            card = executor.count(query)
+        except ExecutionBudgetError:
+            continue
+        if card == 0:
+            continue
+        examples.append(LabeledQuery(query, card))
+    if len(examples) < count:
+        raise QueryError(
+            f"template workload generation stalled at {len(examples)}/{count}"
+        )
+    return Workload(examples)

@@ -1,0 +1,99 @@
+"""Workload container: labeled queries plus convenience views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.executor import Executor
+from repro.db.query import LabeledQuery, Query
+from repro.utils.errors import TrainingError
+from repro.utils.rng import derive_rng
+from repro.workload.encoding import QueryEncoder
+
+
+@dataclass
+class Workload:
+    """An ordered collection of labeled queries."""
+
+    examples: list[LabeledQuery]
+
+    @staticmethod
+    def from_queries(queries, executor: Executor, drop_empty: bool = True) -> "Workload":
+        """Label queries with true cardinalities via the executor.
+
+        Zero-cardinality queries are dropped by default, matching the paper
+        (queries with true cardinality 0 are eliminated during training).
+        Queries whose COUNT(*) exceeds the execution budget (the statement
+        timeout) are always dropped — the DBMS never obtains their labels.
+        """
+        from repro.utils.errors import ExecutionBudgetError
+
+        examples = []
+        for q in queries:
+            try:
+                card = executor.count(q)
+            except ExecutionBudgetError:
+                continue
+            if card == 0 and drop_empty:
+                continue
+            examples.append(LabeledQuery(q, card))
+        return Workload(examples)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> list[Query]:
+        return [ex.query for ex in self.examples]
+
+    @property
+    def cardinalities(self) -> np.ndarray:
+        return np.array([ex.cardinality for ex in self.examples], dtype=np.float64)
+
+    def encode(self, encoder: QueryEncoder) -> np.ndarray:
+        return encoder.encode_many(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Workload(self.examples[index])
+        return self.examples[index]
+
+    # ------------------------------------------------------------------
+    # manipulation
+    # ------------------------------------------------------------------
+    def split(self, fraction: float, seed=0) -> tuple["Workload", "Workload"]:
+        """Shuffle and split into ``(first, second)`` at ``fraction``."""
+        if not 0.0 < fraction < 1.0:
+            raise TrainingError(f"split fraction must be in (0, 1), got {fraction}")
+        rng = derive_rng(seed)
+        order = rng.permutation(len(self.examples))
+        cut = int(round(fraction * len(self.examples)))
+        first = [self.examples[i] for i in order[:cut]]
+        second = [self.examples[i] for i in order[cut:]]
+        return Workload(first), Workload(second)
+
+    def shuffled(self, seed=0) -> "Workload":
+        rng = derive_rng(seed)
+        order = rng.permutation(len(self.examples))
+        return Workload([self.examples[i] for i in order])
+
+    def chunks(self, parts: int) -> list["Workload"]:
+        """Split into ``parts`` near-equal consecutive chunks (Fig. 14)."""
+        if parts <= 0:
+            raise TrainingError(f"parts must be positive, got {parts}")
+        bounds = np.linspace(0, len(self.examples), parts + 1).astype(int)
+        return [Workload(self.examples[a:b]) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    def __add__(self, other: "Workload") -> "Workload":
+        return Workload(self.examples + other.examples)
+
+    def subset(self, indices) -> "Workload":
+        return Workload([self.examples[i] for i in indices])

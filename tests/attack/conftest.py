@@ -1,0 +1,20 @@
+"""Shared fixtures for attack tests: a small trained scenario on DMV."""
+
+import pytest
+
+from repro.harness import get_scenario, get_surrogate
+
+
+@pytest.fixture(scope="session")
+def dmv_scenario():
+    return get_scenario("dmv", "fcn", scale="smoke", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tpch_scenario():
+    return get_scenario("tpch", "fcn", scale="smoke", seed=0)
+
+
+@pytest.fixture(scope="session")
+def dmv_surrogate(dmv_scenario):
+    return get_surrogate(dmv_scenario)

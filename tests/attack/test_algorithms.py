@@ -1,0 +1,137 @@
+"""Generator-training algorithms and the end-to-end attack effect."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    GeneratorTrainConfig,
+    PoisonQueryGenerator,
+    train_generator_accelerated,
+    train_generator_basic,
+)
+from repro.ce import evaluate_q_errors
+from repro.harness import get_detector, run_attack
+
+
+def small_config(seed=0, iterations=10, detector=None):
+    return GeneratorTrainConfig(
+        poison_batch=16,
+        update_steps=3,
+        iterations=iterations,
+        outer_loops=2,
+        inner_steps=3,
+        detector=detector,
+        seed=seed,
+    )
+
+
+class TestAccelerated:
+    def test_produces_satisfiable_queries(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        gen = PoisonQueryGenerator(scenario.encoder, seed=0)
+        result = train_generator_accelerated(
+            gen, dmv_surrogate, scenario.executor, scenario.test_workload,
+            small_config(),
+        )
+        queries = gen.generate_queries(16, np.random.default_rng(3))
+        cards = scenario.executor.count_many(queries)
+        assert (cards > 0).mean() > 0.5
+        assert len(result.objective_curve) == 10
+        assert result.wall_seconds > 0
+        assert result.label_executions > 0
+
+    def test_attack_degrades_black_box(self, dmv_scenario):
+        """The headline result: PACE raises the deployed model's Q-error.
+
+        Typical runs land at 8-35x; the threshold is deliberately loose
+        because type speculation (latency-based, faithful to the paper) can
+        hand the attack a weaker surrogate under timing jitter.
+        """
+        outcome = run_attack(dmv_scenario, "pace")
+        assert outcome.degradation > 1.5
+
+    def test_attack_beats_random(self, dmv_scenario):
+        pace = run_attack(dmv_scenario, "pace")
+        random = run_attack(dmv_scenario, "random")
+        assert pace.degradation > random.degradation
+
+    def test_scenario_restored_after_attack(self, dmv_scenario):
+        before = evaluate_q_errors(
+            dmv_scenario.model, dmv_scenario.test_workload
+        ).mean()
+        run_attack(dmv_scenario, "pace")
+        after = evaluate_q_errors(
+            dmv_scenario.model, dmv_scenario.test_workload
+        ).mean()
+        assert after == pytest.approx(before)
+
+
+class TestBasic:
+    def test_basic_runs_and_trains(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        gen = PoisonQueryGenerator(scenario.encoder, seed=0)
+        result = train_generator_basic(
+            gen, dmv_surrogate, scenario.executor, scenario.test_workload,
+            small_config(),
+        )
+        # q outer loops x m inner steps generator updates
+        assert len(result.objective_curve) == 2 * 3
+        assert result.wall_seconds > 0
+
+    def test_accelerated_faster_than_basic_per_update(self, dmv_scenario, dmv_surrogate):
+        """Lemma 2's shape: basic spends more wall time per generator update."""
+        scenario = dmv_scenario
+        gen_a = PoisonQueryGenerator(scenario.encoder, seed=0)
+        cfg_a = small_config(iterations=6)
+        res_a = train_generator_accelerated(
+            gen_a, dmv_surrogate, scenario.executor, scenario.test_workload, cfg_a
+        )
+        gen_b = PoisonQueryGenerator(scenario.encoder, seed=0)
+        cfg_b = small_config()
+        cfg_b.outer_loops, cfg_b.inner_steps = 3, 2
+        res_b = train_generator_basic(
+            gen_b, dmv_surrogate, scenario.executor, scenario.test_workload, cfg_b
+        )
+        per_update_a = res_a.wall_seconds / len(res_a.objective_curve)
+        per_update_b = res_b.wall_seconds / len(res_b.objective_curve)
+        # basic pays the extra commit phases; allow generous slack for noise
+        assert per_update_a < per_update_b * 3
+
+
+class TestDetectorInLoop:
+    def test_detector_reduces_divergence(self, dmv_scenario):
+        with_det = run_attack(dmv_scenario, "pace", use_detector=True)
+        without_det = run_attack(dmv_scenario, "pace", use_detector=False)
+        # Fig. 13's shape: detector keeps queries closer to the workload.
+        assert with_det.divergence <= without_det.divergence * 1.5
+
+    def test_flag_counts_recorded(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        detector = get_detector(scenario)
+        gen = PoisonQueryGenerator(scenario.encoder, seed=0)
+        result = train_generator_accelerated(
+            gen, dmv_surrogate, scenario.executor, scenario.test_workload,
+            small_config(detector=detector),
+        )
+        assert len(result.flagged_counts) == 10
+
+
+class TestEmptinessHandling:
+    def test_empty_queries_never_dominate(self, tpch_scenario):
+        outcome = run_attack(tpch_scenario, "pace")
+        counts = [
+            tpch_scenario.executor.try_count(q) for q in outcome.poison_queries
+        ]
+        # usable = labeled successfully and non-empty; oversized (timeout)
+        # queries count as unusable, exactly as the DBMS treats them
+        usable = [c is not None and c > 0 for c in counts]
+        assert np.mean(usable) >= 0.5
+
+    def test_objective_curve_finite(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        gen = PoisonQueryGenerator(scenario.encoder, seed=1)
+        result = train_generator_accelerated(
+            gen, dmv_surrogate, scenario.executor, scenario.test_workload,
+            small_config(seed=1),
+        )
+        assert np.all(np.isfinite(result.objective_curve))

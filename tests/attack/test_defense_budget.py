@@ -1,0 +1,119 @@
+"""Section 8 extensions: classifier defense, robustness advisor, budgets."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    PenaltyBudget,
+    PoisonClassifier,
+    PoisonQueryGenerator,
+    poisoning_influence,
+    recommend_robust_model,
+    select_most_effective,
+)
+from repro.harness import run_attack
+from repro.utils.errors import TrainingError
+
+
+class TestPoisonClassifier:
+    def _balanced_sets(self, scenario, outcome):
+        normal = scenario.train_workload.encode(scenario.encoder)
+        poison = scenario.encoder.encode_many(outcome.poison_queries)
+        # balance the classes (the poisoning workload is only ~5-20% of the
+        # historical one, exactly as in the paper's setting)
+        repeat = max(len(normal) // max(len(poison), 1), 1)
+        return normal, np.tile(poison, (repeat, 1))
+
+    def test_separates_undisguised_poison_from_history(self, dmv_scenario):
+        """Detector-free PACE queries are separable — the defense works on
+        attackers that skip the distribution-matching step."""
+        scenario = dmv_scenario
+        outcome = run_attack(scenario, "pace", use_detector=False)
+        normal, poison = self._balanced_sets(scenario, outcome)
+        clf = PoisonClassifier(scenario.encoder.dim, seed=0)
+        losses = clf.fit(normal, poison, epochs=80, seed=0)
+        assert losses[-1] < losses[0]
+        assert clf.accuracy(normal, poison) > 0.6
+
+    def test_filter_reduces_attack_damage(self, dmv_scenario):
+        """Training a classifier on PACE output and installing it as the
+        DBMS's anomaly filter blunts a repeat (undisguised) attack — the
+        paper's first future-work defense."""
+        scenario = dmv_scenario
+        outcome = run_attack(scenario, "pace", use_detector=False)
+        normal, poison = self._balanced_sets(scenario, outcome)
+        clf = PoisonClassifier(scenario.encoder.dim, seed=0)
+        clf.fit(normal, poison, epochs=80, seed=0)
+
+        scenario.reset()
+        poison_enc = scenario.encoder.encode_many(outcome.poison_queries)
+        flagged = clf.predict(poison_enc)
+        normal_flagged = clf.predict(scenario.train_workload.encode(scenario.encoder))
+        # flags poison at a higher rate than it false-positives on history
+        assert flagged.mean() >= normal_flagged.mean()
+        scenario.reset()
+
+    def test_needs_both_classes(self):
+        clf = PoisonClassifier(4, seed=0)
+        with pytest.raises(TrainingError):
+            clf.fit(np.zeros((0, 4)), np.ones((3, 4)))
+
+
+class TestRobustnessAdvisor:
+    def test_recommends_least_degraded(self):
+        report = recommend_robust_model({"fcn": 30.0, "linear": 1.1, "mscn": 12.0})
+        assert report.recommended == "linear"
+        assert [name for name, _ in report.ranking()] == ["linear", "mscn", "fcn"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            recommend_robust_model({})
+
+
+class TestBudget:
+    def test_influence_scores_shape(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        outcome = run_attack(scenario, "random")
+        queries = outcome.poison_queries[:8]
+        cards = scenario.executor.count_many(queries)
+        scores = poisoning_influence(
+            dmv_surrogate, queries, cards, scenario.test_workload, update_steps=2
+        )
+        assert scores.shape == (8,)
+        assert np.all(scores >= 0)
+
+    def test_select_most_effective_respects_budget(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        outcome = run_attack(scenario, "random")
+        queries = outcome.poison_queries[:10]
+        cards = scenario.executor.count_many(queries)
+        chosen = select_most_effective(
+            dmv_surrogate, queries, cards, scenario.test_workload, budget=4
+        )
+        assert len(chosen) == 4
+        assert all(q in queries for q in chosen)
+
+    def test_budget_larger_than_pool_returns_all(self, dmv_scenario, dmv_surrogate):
+        scenario = dmv_scenario
+        outcome = run_attack(scenario, "random")
+        queries = outcome.poison_queries[:3]
+        cards = scenario.executor.count_many(queries)
+        chosen = select_most_effective(
+            dmv_surrogate, queries, cards, scenario.test_workload, budget=10
+        )
+        assert chosen == queries
+
+    def test_budget_validation(self, dmv_scenario, dmv_surrogate):
+        with pytest.raises(TrainingError):
+            select_most_effective(
+                dmv_surrogate, [], np.array([]), dmv_scenario.test_workload, budget=0
+            )
+
+    def test_penalty_budget_differentiable(self, dmv_scenario):
+        scenario = dmv_scenario
+        gen = PoisonQueryGenerator(scenario.encoder, seed=0)
+        batch = gen.generate(6, np.random.default_rng(0))
+        penalty = PenaltyBudget(strength=0.5).penalty(gen, batch.encodings)
+        penalty.backward()
+        params = list(gen.g_low.parameters()) + list(gen.g_rng.parameters())
+        assert any(p.grad is not None for p in params)

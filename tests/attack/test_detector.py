@@ -1,0 +1,91 @@
+"""VAE anomaly detector: training, thresholds, filters."""
+
+import numpy as np
+import pytest
+
+from repro.attack import VAEAnomalyDetector
+from repro.nn import Tensor
+from repro.utils.errors import TrainingError
+
+
+def history_sample(n=300, dim=12, seed=0):
+    """Synthetic 'historical workload' encodings on a low-dim manifold."""
+    rng = np.random.default_rng(seed)
+    latent = rng.uniform(size=(n, 3))
+    mix = rng.uniform(size=(3, dim))
+    data = np.clip(latent @ mix / 3.0 + rng.normal(0, 0.02, size=(n, dim)), 0, 1)
+    return data
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        data = history_sample()
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        losses = det.fit(data, epochs=30, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_threshold_calibrated_to_quantile(self):
+        data = history_sample()
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        det.fit(data, epochs=30, threshold_quantile=0.95, seed=0)
+        flagged = det.is_abnormal(data).mean()
+        assert flagged == pytest.approx(0.05, abs=0.03)
+
+    def test_too_few_samples_rejected(self):
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        with pytest.raises(TrainingError):
+            det.fit(np.zeros((1, 12)))
+
+    def test_wrong_width_rejected(self):
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        with pytest.raises(TrainingError):
+            det.fit(np.zeros((10, 5)))
+
+    def test_set_threshold_validation(self):
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        det.set_threshold(0.07)
+        assert det.threshold == 0.07
+        with pytest.raises(TrainingError):
+            det.set_threshold(0.0)
+
+
+class TestDetection:
+    def test_off_manifold_flagged_more(self):
+        data = history_sample()
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        det.fit(data, epochs=40, seed=0)
+        rng = np.random.default_rng(9)
+        off_manifold = rng.uniform(size=(100, 12))  # not on the 3-dim manifold
+        on_errors = det.reconstruction_errors(history_sample(seed=5))
+        off_errors = det.reconstruction_errors(off_manifold)
+        assert off_errors.mean() > on_errors.mean()
+
+    def test_reconstruction_deterministic_in_eval(self):
+        data = history_sample()
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        det.fit(data, epochs=5, seed=0)
+        a = det.reconstruction_errors(data[:10])
+        b = det.reconstruction_errors(data[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_reconstruction_loss_differentiable(self):
+        data = history_sample()
+        det = VAEAnomalyDetector(input_dim=12, seed=0)
+        det.fit(data, epochs=5, seed=0)
+        x = Tensor(data[:4], requires_grad=True)
+        det.reconstruction_loss(x).backward()
+        assert np.abs(x.grad.data).sum() > 0
+
+    def test_abnormal_filter_callable(self):
+        from repro.datasets import load_dataset
+        from repro.workload import QueryEncoder, WorkloadGenerator
+
+        db = load_dataset("dmv", scale="smoke", seed=0)
+        enc = QueryEncoder(db.schema)
+        gen = WorkloadGenerator(db, seed=0)
+        queries = [gen.random_query() for _ in range(20)]
+        det = VAEAnomalyDetector(input_dim=enc.dim, seed=0)
+        det.fit(enc.encode_many(queries), epochs=10, seed=0)
+        flags = det.abnormal_filter(enc)(queries[:5])
+        assert flags.shape == (5,)
+        assert flags.dtype == bool

@@ -1,0 +1,127 @@
+"""The three-headed poisoning-query generator."""
+
+import numpy as np
+import pytest
+
+from repro.attack import PoisonQueryGenerator, project_to_valid_join
+from repro.datasets import load_dataset
+from repro.utils.errors import QueryError
+from repro.workload import QueryEncoder
+
+
+@pytest.fixture(scope="module")
+def imdb_encoder():
+    db = load_dataset("imdb", scale="smoke", seed=0)
+    return db, QueryEncoder(db.schema)
+
+
+@pytest.fixture(scope="module")
+def dmv_encoder():
+    db = load_dataset("dmv", scale="smoke", seed=0)
+    return db, QueryEncoder(db.schema)
+
+
+class TestProjection:
+    def test_projection_always_valid(self, imdb_encoder):
+        db, _enc = imdb_encoder
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            scores = rng.uniform(size=db.schema.num_tables)
+            binary = project_to_valid_join(db.schema, scores)
+            tables = {
+                db.schema.table_names[i] for i in np.nonzero(binary)[0]
+            }
+            assert db.schema.is_valid_join_set(tables)
+
+    def test_projection_keeps_top_table(self, imdb_encoder):
+        db, _enc = imdb_encoder
+        scores = np.zeros(db.schema.num_tables)
+        idx = db.schema.table_index("cast_info")
+        scores[idx] = 0.9
+        binary = project_to_valid_join(db.schema, scores)
+        assert binary[idx] == 1.0
+
+
+class TestGeneration:
+    def test_batch_shapes(self, imdb_encoder):
+        _db, enc = imdb_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        batch = gen.generate(6, np.random.default_rng(0))
+        assert batch.encodings.shape == (6, enc.dim)
+        assert batch.join_binary.shape == (6, enc.num_tables)
+        assert batch.join_probs.shape == (6, enc.num_tables)
+
+    def test_join_patterns_valid(self, imdb_encoder):
+        db, enc = imdb_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        batch = gen.generate(12, np.random.default_rng(1))
+        for row in batch.join_binary:
+            tables = {db.schema.table_names[i] for i in np.nonzero(row)[0]}
+            assert db.schema.is_valid_join_set(tables)
+
+    def test_bounds_are_ordered_and_in_range(self, imdb_encoder):
+        _db, enc = imdb_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        batch = gen.generate(8, np.random.default_rng(2))
+        bounds = batch.encodings.data[:, enc.predicate_slice()].reshape(8, -1, 2)
+        assert np.all(bounds[:, :, 0] <= bounds[:, :, 1] + 1e-12)
+        assert np.all(bounds >= 0.0) and np.all(bounds <= 1.0)
+
+    def test_masked_attributes_fully_open(self, imdb_encoder):
+        db, enc = imdb_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        batch = gen.generate(8, np.random.default_rng(3))
+        mask = enc.expand_attribute_mask(batch.join_binary)
+        bounds = batch.encodings.data[:, enc.predicate_slice()].reshape(8, -1, 2)
+        closed = mask == 0
+        np.testing.assert_array_equal(bounds[:, :, 0][closed], 0.0)
+        np.testing.assert_array_equal(bounds[:, :, 1][closed], 1.0)
+
+    def test_queries_decodable_and_valid(self, imdb_encoder):
+        db, enc = imdb_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        queries = gen.generate_queries(10, np.random.default_rng(4))
+        assert len(queries) == 10
+        for q in queries:
+            assert db.schema.is_valid_join_set(q.tables)
+
+    def test_single_table_schema_trivial_join(self, dmv_encoder):
+        _db, enc = dmv_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        batch = gen.generate(5, np.random.default_rng(5))
+        np.testing.assert_array_equal(batch.join_binary, np.ones((5, 1)))
+        assert batch.resamples == 0
+
+    def test_encodings_differentiable_wrt_generator(self, dmv_encoder):
+        _db, enc = dmv_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        batch = gen.generate(4, np.random.default_rng(6))
+        loss = (batch.encodings * batch.encodings).sum()
+        loss.backward()
+        bound_params = list(gen.g_low.parameters()) + list(gen.g_rng.parameters())
+        assert any(
+            p.grad is not None and np.abs(p.grad.data).sum() > 0 for p in bound_params
+        )
+
+    def test_initial_queries_mostly_satisfiable(self, dmv_encoder):
+        """The wide-init contract: a cold generator emits runnable queries."""
+        db, enc = dmv_encoder
+        from repro.db import Executor
+
+        ex = Executor(db)
+        gen = PoisonQueryGenerator(enc, seed=0)
+        queries = gen.generate_queries(20, np.random.default_rng(7))
+        cards = ex.count_many(queries)
+        assert (cards > 0).mean() >= 0.8
+
+    def test_zero_batch_rejected(self, dmv_encoder):
+        _db, enc = dmv_encoder
+        gen = PoisonQueryGenerator(enc, seed=0)
+        with pytest.raises(QueryError):
+            gen.generate(0, np.random.default_rng(0))
+
+    def test_deterministic_given_seeds(self, imdb_encoder):
+        _db, enc = imdb_encoder
+        a = PoisonQueryGenerator(enc, seed=3).generate(5, np.random.default_rng(9))
+        b = PoisonQueryGenerator(enc, seed=3).generate(5, np.random.default_rng(9))
+        np.testing.assert_array_equal(a.encodings.data, b.encodings.data)

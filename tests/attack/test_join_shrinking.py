@@ -1,0 +1,68 @@
+"""Retargeting G_join away from oversized (un-executable) join patterns."""
+
+import numpy as np
+import pytest
+
+from repro.attack.algorithms import _shrink_join_pattern
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def tpch_schema():
+    return load_dataset("tpch", scale="smoke", seed=0).schema
+
+
+def pattern_for(schema, tables):
+    pattern = np.zeros(schema.num_tables)
+    for t in tables:
+        pattern[schema.table_index(t)] = 1.0
+    return pattern
+
+
+class TestShrinkJoinPattern:
+    def test_removes_lowest_scored_leaf(self, tpch_schema):
+        tables = ["customer", "orders", "lineitem"]
+        pattern = pattern_for(tpch_schema, tables)
+        scores = np.zeros(tpch_schema.num_tables)
+        scores[tpch_schema.table_index("customer")] = 0.6
+        scores[tpch_schema.table_index("orders")] = 0.9
+        scores[tpch_schema.table_index("lineitem")] = 0.7
+        shrunk = _shrink_join_pattern(tpch_schema, pattern, scores)
+        # orders is the articulation point; customer has the lowest score
+        # among removable leaves.
+        assert shrunk[tpch_schema.table_index("customer")] == 0.0
+        assert shrunk.sum() == 2.0
+
+    def test_result_stays_connected(self, tpch_schema):
+        rng = np.random.default_rng(0)
+        tables = ["region", "nation", "supplier", "partsupp", "part"]
+        pattern = pattern_for(tpch_schema, tables)
+        shrunk = _shrink_join_pattern(tpch_schema, pattern, rng.uniform(size=len(pattern)))
+        remaining = {
+            tpch_schema.table_names[i] for i in np.nonzero(shrunk > 0.5)[0]
+        }
+        assert tpch_schema.is_valid_join_set(remaining)
+        assert len(remaining) == len(tables) - 1
+
+    def test_two_table_pattern_unchanged(self, tpch_schema):
+        pattern = pattern_for(tpch_schema, ["customer", "orders"])
+        shrunk = _shrink_join_pattern(tpch_schema, pattern, np.ones(tpch_schema.num_tables))
+        np.testing.assert_array_equal(shrunk, pattern)
+
+
+class TestGenerateUsable:
+    def test_usable_queries_are_labeled_and_nonempty(self):
+        from repro.attack import PoisonQueryGenerator
+        from repro.db import Executor
+        from repro.workload import QueryEncoder
+
+        db = load_dataset("tpch", scale="smoke", seed=0)
+        executor = Executor(db)
+        generator = PoisonQueryGenerator(QueryEncoder(db.schema), seed=0)
+        queries = generator.generate_usable_queries(
+            10, np.random.default_rng(0), executor
+        )
+        assert len(queries) == 10
+        counts = [executor.try_count(q) for q in queries]
+        usable = [c is not None and c > 0 for c in counts]
+        assert np.mean(usable) >= 0.8

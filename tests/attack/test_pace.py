@@ -1,0 +1,130 @@
+"""The full PACE pipeline and its configuration surface."""
+
+import numpy as np
+import pytest
+
+from repro.attack import GeneratorTrainConfig, PaceAttack, PaceConfig
+from repro.ce import evaluate_q_errors
+from repro.utils.errors import TrainingError
+
+
+def quick_config(seed=0, **overrides):
+    config = PaceConfig(
+        poison_queries=16,
+        attacker_queries=60,
+        probe_queries_per_group=4,
+        generator=GeneratorTrainConfig(
+            poison_batch=16, update_steps=3, iterations=10, seed=seed
+        ),
+        seed=seed,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class TestPipeline:
+    def test_prepare_produces_all_artifacts(self, dmv_scenario):
+        scenario = dmv_scenario
+        scenario.reset()
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(),
+        )
+        result = attack.prepare()
+        assert result.speculation is not None
+        assert result.surrogate is not None
+        assert result.detector is not None
+        assert len(result.poison_queries) == 16
+        assert result.train_seconds > 0
+        assert result.generate_seconds >= 0
+        scenario.reset()
+
+    def test_attack_updates_model_and_times_it(self, dmv_scenario):
+        scenario = dmv_scenario
+        scenario.reset()
+        before = evaluate_q_errors(scenario.model, scenario.test_workload).mean()
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(),
+        )
+        result = attack.attack()
+        assert result.execution is not None
+        assert result.attack_seconds >= 0
+        after = evaluate_q_errors(scenario.model, scenario.test_workload).mean()
+        assert after != pytest.approx(before)
+        scenario.reset()
+
+    def test_forced_model_type_skips_speculation(self, dmv_scenario):
+        scenario = dmv_scenario
+        scenario.reset()
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(speculate=False, forced_model_type="mscn"),
+        )
+        result = attack.prepare()
+        assert result.speculation is None
+        assert result.surrogate.model_type == "mscn"
+        scenario.reset()
+
+    def test_forced_type_required_when_not_speculating(self, dmv_scenario):
+        scenario = dmv_scenario
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(speculate=False),
+        )
+        with pytest.raises(TrainingError):
+            attack.prepare()
+
+    def test_detector_disabled(self, dmv_scenario):
+        scenario = dmv_scenario
+        scenario.reset()
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(use_detector=False),
+        )
+        result = attack.prepare()
+        assert result.detector is None
+        scenario.reset()
+
+    def test_unknown_algorithm_rejected(self, dmv_scenario):
+        scenario = dmv_scenario
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(algorithm="quantum"),
+        )
+        with pytest.raises(TrainingError):
+            attack.prepare()
+
+    def test_detector_threshold_override(self, dmv_scenario):
+        scenario = dmv_scenario
+        scenario.reset()
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(detector_threshold=0.09),
+        )
+        result = attack.prepare()
+        assert result.detector.threshold == pytest.approx(0.09)
+        scenario.reset()
+
+    def test_timings_scale_with_query_count(self, dmv_scenario):
+        """Table 10's shape: generation time grows with the query count,
+        training time does not."""
+        scenario = dmv_scenario
+        scenario.reset()
+        attack = PaceAttack(
+            scenario.database, scenario.deployed, scenario.test_workload,
+            quick_config(),
+        )
+        result = attack.prepare()
+        rng = np.random.default_rng(0)
+        import time
+
+        start = time.perf_counter()
+        result.generator.generate_queries(8, rng)
+        t_small = time.perf_counter() - start
+        start = time.perf_counter()
+        result.generator.generate_queries(64, rng)
+        t_large = time.perf_counter() - start
+        assert t_large > t_small * 0.5  # generation cost scales up, roughly
+        scenario.reset()

@@ -1,0 +1,118 @@
+"""Surrogate acquisition: type speculation and imitation training."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    SurrogateConfig,
+    output_agreement,
+    parameter_similarity,
+    speculate_model_type,
+    train_candidates,
+    train_surrogate,
+)
+from repro.attack.surrogate import cosine_similarity, performance_vector
+from repro.ce import TrainConfig, create_model
+from repro.utils.errors import TrainingError
+from repro.workload import WorkloadGenerator
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(2), np.ones(2)) == 0.0
+
+
+class TestSpeculation:
+    def test_speculates_correct_type_fcn(self, dmv_scenario):
+        scenario = dmv_scenario
+        candidates = train_candidates(
+            scenario.encoder,
+            scenario.train_workload,
+            hidden_dim=16,
+            train_config=TrainConfig(epochs=15, seed=0),
+            seed=0,
+        )
+        generator = WorkloadGenerator(scenario.database, scenario.executor, seed=5)
+        probes = generator.probe_workloads(queries_per_group=6)
+        result = speculate_model_type(scenario.deployed, candidates, probes)
+        assert result.speculated_type in candidates
+        assert set(result.similarities) == set(candidates)
+        # Correct speculation is the common case at this scale; at minimum
+        # the true type must rank in the top half.
+        ranked = sorted(result.similarities, key=result.similarities.get, reverse=True)
+        assert ranked.index("fcn") <= 2
+
+    def test_empty_candidates_rejected(self, dmv_scenario):
+        with pytest.raises(TrainingError):
+            speculate_model_type(dmv_scenario.deployed, {}, [])
+
+    def test_performance_vector_shape(self, dmv_scenario):
+        scenario = dmv_scenario
+        generator = WorkloadGenerator(scenario.database, scenario.executor, seed=6)
+        probes = generator.probe_workloads(queries_per_group=4)
+        vec = performance_vector(scenario.deployed.explain_timed, probes)
+        assert vec.shape == (2 * len(probes),)
+
+
+class TestSurrogateTraining:
+    def test_combined_beats_direct_imitation(self, dmv_scenario):
+        """The Fig. 10 claim: Eq. 7 imitates the black box better than Eq. 6."""
+        scenario = dmv_scenario
+        bb_estimates = scenario.deployed.explain_many(scenario.test_workload.queries)
+        agreements = {}
+        for strategy in ("combined", "direct"):
+            surrogate = train_surrogate(
+                "fcn",
+                scenario.encoder,
+                scenario.train_workload,
+                scenario.deployed,
+                SurrogateConfig(strategy=strategy, epochs=30, hidden_dim=16, seed=0),
+            )
+            agreements[strategy] = output_agreement(
+                surrogate, bb_estimates, scenario.test_workload.queries
+            )
+        assert agreements["combined"] <= agreements["direct"] * 1.5
+
+    def test_surrogate_tracks_black_box(self, dmv_scenario):
+        scenario = dmv_scenario
+        surrogate = train_surrogate(
+            "fcn",
+            scenario.encoder,
+            scenario.train_workload,
+            scenario.deployed,
+            SurrogateConfig(epochs=40, hidden_dim=16, seed=0),
+        )
+        bb = scenario.deployed.explain_many(scenario.test_workload.queries)
+        agreement = output_agreement(surrogate, bb, scenario.test_workload.queries)
+        # mean |log est difference| well below one order of magnitude
+        assert agreement < np.log(10)
+
+    def test_unknown_strategy_rejected(self, dmv_scenario):
+        scenario = dmv_scenario
+        with pytest.raises(TrainingError):
+            train_surrogate(
+                "fcn",
+                scenario.encoder,
+                scenario.train_workload,
+                scenario.deployed,
+                SurrogateConfig(strategy="quantum"),
+            )
+
+
+class TestParameterSimilarity:
+    def test_same_model_is_one(self, dmv_scenario):
+        model = create_model("fcn", dmv_scenario.encoder, hidden_dim=8, seed=0)
+        assert parameter_similarity(model, model) == pytest.approx(1.0)
+
+    def test_architecture_mismatch_rejected(self, dmv_scenario):
+        a = create_model("fcn", dmv_scenario.encoder, hidden_dim=8, seed=0)
+        b = create_model("fcn", dmv_scenario.encoder, hidden_dim=16, seed=0)
+        with pytest.raises(TrainingError):
+            parameter_similarity(a, b)

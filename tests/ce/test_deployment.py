@@ -1,0 +1,97 @@
+"""The black-box deployment facade and its update-on-execute mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.ce import DeployedEstimator, TrainConfig, create_model, train_model
+from repro.datasets import load_dataset
+from repro.db import Executor, Query
+from repro.utils.errors import TrainingError
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+
+@pytest.fixture()
+def deployed():
+    db = load_dataset("dmv", scale="smoke", seed=0)
+    ex = Executor(db)
+    gen = WorkloadGenerator(db, ex, seed=1)
+    train = gen.generate(60)
+    enc = QueryEncoder(db.schema)
+    model = create_model("fcn", enc, hidden_dim=12, seed=0)
+    train_model(model, train, TrainConfig(epochs=15, seed=0))
+    return db, ex, gen, DeployedEstimator(model, ex, update_steps=3)
+
+
+class TestSurface:
+    def test_explain_returns_positive_estimate(self, deployed):
+        db, _ex, gen, bb = deployed
+        q = gen.random_query()
+        assert bb.explain(q) > 0
+
+    def test_explain_many_matches_explain(self, deployed):
+        _db, _ex, gen, bb = deployed
+        qs = [gen.random_query() for _ in range(3)]
+        many = bb.explain_many(qs)
+        singles = [bb.explain(q) for q in qs]
+        np.testing.assert_allclose(many, singles)
+
+    def test_count_matches_executor(self, deployed):
+        db, ex, gen, bb = deployed
+        q = gen.random_query()
+        assert bb.count(q) == ex.count(q)
+
+    def test_explain_timed_reports_elapsed(self, deployed):
+        _db, _ex, gen, bb = deployed
+        _est, seconds = bb.explain_timed([gen.random_query()])
+        assert seconds >= 0.0
+
+
+class TestExecute:
+    def test_execute_updates_model(self, deployed):
+        _db, _ex, gen, bb = deployed
+        before = bb.snapshot()
+        queries = [gen.random_query() for _ in range(10)]
+        report = bb.execute(queries)
+        assert report.executed == 10
+        after = bb.snapshot()
+        changed = any(
+            not np.array_equal(before[k], after[k]) for k in before
+        )
+        assert changed
+        assert len(bb.history) > 0
+
+    def test_execute_requires_queries(self, deployed):
+        _db, _ex, _gen, bb = deployed
+        with pytest.raises(TrainingError):
+            bb.execute([])
+
+    def test_empty_queries_do_not_update(self, deployed):
+        db, ex, _gen, bb = deployed
+        # a sliver strictly between two integer domain values: always empty
+        impossible = Query.build(
+            db.schema, ["dmv"], {("dmv", "model_year"): (0.0001, 0.0002)}
+        )
+        assert ex.count(impossible) == 0
+        before = bb.snapshot()
+        report = bb.execute([impossible])
+        assert report.update_losses == []
+        after = bb.snapshot()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_anomaly_filter_blocks_updates(self, deployed):
+        _db, _ex, gen, bb = deployed
+        bb.anomaly_filter = lambda queries: np.ones(len(queries), dtype=bool)
+        before = bb.snapshot()
+        report = bb.execute([gen.random_query() for _ in range(5)])
+        assert report.rejected == 5
+        after = bb.snapshot()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_snapshot_restore_roundtrip(self, deployed):
+        _db, _ex, gen, bb = deployed
+        snap = bb.snapshot()
+        bb.execute([gen.random_query() for _ in range(5)])
+        bb.restore(snap)
+        assert all(
+            np.array_equal(snap[k], bb.snapshot()[k]) for k in snap
+        )

@@ -1,0 +1,122 @@
+"""CE model architectures: contracts shared by all six types."""
+
+import numpy as np
+import pytest
+
+from repro.ce import MODEL_TYPES, create_model, register_model
+from repro.ce.base import CardinalityEstimator
+from repro.datasets import load_dataset
+from repro.nn import Tensor
+from repro.utils.errors import ReproError, TrainingError
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = load_dataset("tpch", scale="smoke", seed=0)
+    enc = QueryEncoder(db.schema)
+    gen = WorkloadGenerator(db, seed=0)
+    queries = [gen.random_query(max_tables=3) for _ in range(8)]
+    return db, enc, queries
+
+
+class TestAllModelTypes:
+    @pytest.mark.parametrize("model_type", MODEL_TYPES)
+    def test_forward_shape_and_range(self, env, model_type):
+        _db, enc, queries = env
+        model = create_model(model_type, enc, hidden_dim=8, seed=0)
+        x = Tensor(enc.encode_many(queries))
+        out = model(x)
+        assert out.shape == (len(queries),)
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    @pytest.mark.parametrize("model_type", MODEL_TYPES)
+    def test_estimates_positive(self, env, model_type):
+        _db, enc, queries = env
+        model = create_model(model_type, enc, hidden_dim=8, seed=0)
+        estimates = model.estimate(queries)
+        assert np.all(estimates > 0)
+
+    @pytest.mark.parametrize("model_type", MODEL_TYPES)
+    def test_gradients_reach_all_parameters(self, env, model_type):
+        _db, enc, queries = env
+        model = create_model(model_type, enc, hidden_dim=8, seed=0)
+        x = Tensor(enc.encode_many(queries))
+        model(x).sum().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        total = sum(float(np.abs(g.data).sum()) for g in grads)
+        assert total > 0
+
+    @pytest.mark.parametrize("model_type", MODEL_TYPES)
+    def test_gradient_flows_to_input(self, env, model_type):
+        """The attack needs d(output)/d(query encoding) != 0."""
+        _db, enc, queries = env
+        model = create_model(model_type, enc, hidden_dim=8, seed=0)
+        x = Tensor(enc.encode_many(queries), requires_grad=True)
+        model(x).sum().backward()
+        assert np.abs(x.grad.data).sum() > 0
+
+    @pytest.mark.parametrize("model_type", MODEL_TYPES)
+    def test_deterministic_construction(self, env, model_type):
+        _db, enc, _queries = env
+        a = create_model(model_type, enc, hidden_dim=8, seed=3)
+        b = create_model(model_type, enc, hidden_dim=8, seed=3)
+        np.testing.assert_array_equal(a.flat_parameters(), b.flat_parameters())
+
+    def test_parameter_count_ordering(self, env):
+        """Linear is by far the smallest model (the paper's robustness note)."""
+        _db, enc, _q = env
+        linear = create_model("linear", enc, hidden_dim=32, seed=0)
+        fcn = create_model("fcn", enc, hidden_dim=32, seed=0)
+        assert linear.num_parameters() < fcn.num_parameters() / 5
+
+
+class TestNormalization:
+    def test_calibrate_and_roundtrip(self, env):
+        _db, enc, _q = env
+        model = create_model("fcn", enc, hidden_dim=8, seed=0)
+        cards = np.array([2.0, 50.0, 4000.0])
+        model.calibrate_normalization(cards)
+        normalized = model.normalize_log(cards)
+        assert np.all((normalized > 0) & (normalized < 1))
+        np.testing.assert_allclose(model.denormalize_log(normalized), cards, rtol=1e-4)
+
+    def test_calibrate_rejects_empty_and_nonpositive(self, env):
+        _db, enc, _q = env
+        model = create_model("fcn", enc, hidden_dim=8, seed=0)
+        with pytest.raises(TrainingError):
+            model.calibrate_normalization(np.array([]))
+        with pytest.raises(TrainingError):
+            model.calibrate_normalization(np.array([0.0, 5.0]))
+
+
+class TestRegistry:
+    def test_all_six_types_registered(self):
+        assert set(MODEL_TYPES) == {"fcn", "fcn_pool", "mscn", "rnn", "lstm", "linear"}
+
+    def test_unknown_type_rejected(self, env):
+        _db, enc, _q = env
+        with pytest.raises(ReproError):
+            create_model("transformer", enc)
+
+    def test_register_new_model_type(self, env):
+        """The paper's remark: extending the candidate set from K to K+1."""
+        _db, enc, _q = env
+        from repro.ce.models import FCN
+        from repro.ce.registry import MODEL_REGISTRY
+
+        class WideFCN(FCN):
+            model_type = "wide_fcn_test"
+
+        try:
+            register_model(WideFCN)
+            assert "wide_fcn_test" in MODEL_REGISTRY
+            with pytest.raises(ReproError):
+                register_model(WideFCN)  # duplicate
+        finally:
+            MODEL_REGISTRY.pop("wide_fcn_test", None)
+
+    def test_register_rejects_non_estimator(self):
+        with pytest.raises(ReproError):
+            register_model(dict)

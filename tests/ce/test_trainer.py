@@ -1,0 +1,156 @@
+"""Training, incremental updates, and the differentiable unrolled update."""
+
+import numpy as np
+import pytest
+
+from repro.ce import (
+    TrainConfig,
+    create_model,
+    evaluate_q_errors,
+    incremental_update,
+    train_model,
+    unrolled_update,
+)
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.nn import Tensor, grad
+from repro.utils.errors import TrainingError
+from repro.workload import QueryEncoder, WorkloadGenerator
+from repro.workload.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = load_dataset("dmv", scale="smoke", seed=0)
+    ex = Executor(db)
+    gen = WorkloadGenerator(db, ex, seed=1)
+    train = gen.generate(80)
+    test = gen.generate(30)
+    enc = QueryEncoder(db.schema)
+    return db, ex, enc, train, test
+
+
+def trained_model(env, epochs=25):
+    _db, _ex, enc, train, _test = env
+    model = create_model("fcn", enc, hidden_dim=12, seed=0)
+    result = train_model(model, train, TrainConfig(epochs=epochs, seed=0))
+    return model, result
+
+
+class TestTraining:
+    def test_loss_decreases(self, env):
+        _model, result = trained_model(env)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_training_beats_untrained(self, env):
+        _db, _ex, enc, train, test = env
+        untrained = create_model("fcn", enc, hidden_dim=12, seed=0)
+        untrained.calibrate_normalization(train.cardinalities)
+        trained, _ = trained_model(env)
+        q_untrained = evaluate_q_errors(untrained, test)
+        q_trained = evaluate_q_errors(trained, test)
+        assert q_trained.mean() < q_untrained.mean()
+
+    def test_empty_workload_rejected(self, env):
+        _db, _ex, enc, _train, _test = env
+        model = create_model("fcn", enc, hidden_dim=12, seed=0)
+        with pytest.raises(TrainingError):
+            train_model(model, Workload([]))
+
+    def test_deterministic(self, env):
+        a, _ = trained_model(env, epochs=5)
+        b, _ = trained_model(env, epochs=5)
+        np.testing.assert_array_equal(a.flat_parameters(), b.flat_parameters())
+
+
+class TestIncrementalUpdate:
+    def test_moves_parameters(self, env):
+        _db, _ex, _enc, train, _test = env
+        model, _ = trained_model(env)
+        before = model.flat_parameters().copy()
+        incremental_update(model, train[:10], steps=3, lr=1.0)
+        assert not np.array_equal(before, model.flat_parameters())
+
+    def test_losses_reported_per_step(self, env):
+        model, _ = trained_model(env)
+        _db, _ex, _enc, train, _test = env
+        losses = incremental_update(model, train[:10], steps=4, lr=0.5)
+        assert len(losses) == 4
+
+    def test_fits_update_batch(self, env):
+        """Updating on true labels reduces loss on those same queries."""
+        model, _ = trained_model(env)
+        _db, _ex, _enc, train, _test = env
+        losses = incremental_update(model, train[:10], steps=8, lr=1.0)
+        assert losses[-1] < losses[0]
+
+    def test_empty_rejected(self, env):
+        model, _ = trained_model(env)
+        with pytest.raises(TrainingError):
+            incremental_update(model, Workload([]))
+
+
+class TestUnrolledUpdate:
+    def test_matches_incremental_update(self, env):
+        """The differentiable unroll computes the same K-step result."""
+        _db, _ex, enc, train, _test = env
+        model, _ = trained_model(env)
+        batch = train[:10]
+        x = Tensor(batch.encode(enc))
+        y = Tensor(model.normalize_log(batch.cardinalities))
+
+        poisoned = unrolled_update(model, x, y, steps=4, lr=1.0)
+
+        twin = create_model("fcn", enc, hidden_dim=12, seed=0)
+        twin.calibrate_normalization(train.cardinalities)
+        twin.load_state_dict(model.state_dict())
+        incremental_update(twin, batch, steps=4, lr=1.0)
+
+        unrolled_flat = np.concatenate(
+            [p.data.reshape(-1) for _n, p in poisoned.named_parameters()]
+        )
+        np.testing.assert_allclose(unrolled_flat, twin.flat_parameters(), rtol=1e-8)
+
+    def test_original_model_untouched(self, env):
+        _db, _ex, enc, train, _test = env
+        model, _ = trained_model(env)
+        before = model.flat_parameters().copy()
+        x = Tensor(train[:5].encode(enc))
+        y = Tensor(model.normalize_log(train[:5].cardinalities))
+        unrolled_update(model, x, y, steps=2, lr=1.0)
+        np.testing.assert_array_equal(before, model.flat_parameters())
+
+    def test_gradient_reaches_queries(self, env):
+        """The whole point: d(post-update loss)/d(query encodings) != 0."""
+        _db, _ex, enc, train, test = env
+        model, _ = trained_model(env)
+        x = Tensor(train[:5].encode(enc), requires_grad=True)
+        y = Tensor(model.normalize_log(train[:5].cardinalities))
+        poisoned = unrolled_update(model, x, y, steps=2, lr=1.0)
+        test_x = Tensor(test.encode(enc))
+        test_y = Tensor(model.normalize_log(test.cardinalities))
+        outer = (poisoned(test_x) - test_y).abs().mean()
+        (gx,) = grad(outer, [x])
+        assert np.abs(gx.data).sum() > 0
+
+    def test_invalid_steps(self, env):
+        _db, _ex, enc, train, _test = env
+        model, _ = trained_model(env)
+        x = Tensor(train[:2].encode(enc))
+        y = Tensor(model.normalize_log(train[:2].cardinalities))
+        with pytest.raises(TrainingError):
+            unrolled_update(model, x, y, steps=0)
+
+
+class TestEvaluate:
+    def test_q_errors_at_least_one(self, env):
+        _db, _ex, _enc, _train, test = env
+        model, _ = trained_model(env)
+        errors = evaluate_q_errors(model, test)
+        assert np.all(errors >= 1.0)
+        assert errors.shape == (len(test),)
+
+    def test_empty_rejected(self, env):
+        model, _ = trained_model(env)
+        with pytest.raises(TrainingError):
+            evaluate_q_errors(model, Workload([]))

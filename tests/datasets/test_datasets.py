@@ -1,0 +1,144 @@
+"""Synthetic dataset builders: schema shapes, determinism, integrity."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ColumnSpec,
+    ForeignKeySpec,
+    TableSpec,
+    build_database,
+    load_dataset,
+)
+from repro.datasets.registry import DATASET_NAMES, MULTI_TABLE_DATASETS
+from repro.db import Executor, Query
+from repro.utils.errors import ReproError, SchemaError
+
+
+class TestBuilder:
+    def test_foreign_keys_reference_valid_parents(self):
+        specs = [
+            TableSpec("parent", 1.0, (ColumnSpec("x", "uniform", 0, 10),)),
+            TableSpec(
+                "child",
+                2.0,
+                (ColumnSpec("y", "zipf", 0, 5),),
+                foreign_keys=(ForeignKeySpec("parent_id", "parent", skew=1.0),),
+            ),
+        ]
+        db = build_database("t", specs, base_rows=50, seed=1)
+        parent_ids = set(db.table("parent").column("id").tolist())
+        child_refs = set(db.table("child").column("parent_id").tolist())
+        assert child_refs <= parent_ids
+
+    def test_deterministic_given_seed(self):
+        specs = [TableSpec("t", 1.0, (ColumnSpec("a", "lognormal", 0, 100),))]
+        a = build_database("x", specs, 100, seed=5).table("t").column("a")
+        b = build_database("x", specs, 100, seed=5).table("t").column("a")
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        specs = [TableSpec("t", 1.0, (ColumnSpec("a", "uniform", 0, 100),))]
+        a = build_database("x", specs, 100, seed=1).table("t").column("a")
+        b = build_database("x", specs, 100, seed=2).table("t").column("a")
+        assert not np.array_equal(a, b)
+
+    def test_values_respect_domain(self):
+        specs = [
+            TableSpec(
+                "t",
+                1.0,
+                (
+                    ColumnSpec("a", "zipf", 5, 20),
+                    ColumnSpec("b", "normal", -10, 10),
+                    ColumnSpec("c", "correlated", 0, 1, source="a"),
+                ),
+            )
+        ]
+        db = build_database("x", specs, 200, seed=0)
+        for name, (lo, hi) in [("a", (5, 20)), ("b", (-10, 10)), ("c", (0, 1))]:
+            values = db.table("t").column(name)
+            assert values.min() >= lo and values.max() <= hi
+
+    def test_correlated_needs_earlier_source(self):
+        specs = [TableSpec("t", 1.0, (ColumnSpec("c", "correlated", 0, 1, source="nope"),))]
+        with pytest.raises(SchemaError):
+            build_database("x", specs, 10)
+
+    def test_correlated_is_correlated(self):
+        specs = [
+            TableSpec(
+                "t",
+                1.0,
+                (
+                    ColumnSpec("base", "uniform", 0, 100, integer=False),
+                    ColumnSpec("dep", "correlated", 0, 100, source="base", noise=0.05),
+                ),
+            )
+        ]
+        db = build_database("x", specs, 500, seed=0)
+        base = db.table("t").column("base")
+        dep = db.table("t").column("dep")
+        assert np.corrcoef(base, dep)[0, 1] > 0.8
+
+    def test_zipf_is_skewed(self):
+        specs = [TableSpec("t", 1.0, (ColumnSpec("a", "zipf", 0, 50, zipf_a=1.5),))]
+        values = build_database("x", specs, 2000, seed=0).table("t").column("a")
+        # head value dominates
+        head_share = np.mean(values == values.min())
+        assert head_share > 0.3
+
+    def test_cyclic_fk_rejected(self):
+        specs = [
+            TableSpec("a", 1.0, (), foreign_keys=(ForeignKeySpec("b_id", "b"),)),
+            TableSpec("b", 1.0, (), foreign_keys=(ForeignKeySpec("a_id", "a"),)),
+        ]
+        with pytest.raises(SchemaError):
+            build_database("x", specs, 10)
+
+    def test_declared_table_order_preserved(self):
+        specs = [
+            TableSpec(
+                "child", 1.0, (), foreign_keys=(ForeignKeySpec("p_id", "parent"),)
+            ),
+            TableSpec("parent", 1.0, (ColumnSpec("x", "uniform", 0, 1),)),
+        ]
+        db = build_database("x", specs, 20)
+        assert db.schema.table_names == ("child", "parent")
+
+
+class TestRegistry:
+    def test_all_paper_datasets_build(self):
+        for name in DATASET_NAMES:
+            db = load_dataset(name, scale="smoke", seed=0)
+            assert db.total_rows() > 0
+
+    def test_schema_shapes_match_paper(self):
+        assert len(load_dataset("dmv", scale="smoke").schema.tables) == 1
+        assert len(load_dataset("imdb", scale="smoke").schema.tables) == 21
+        assert len(load_dataset("tpch", scale="smoke").schema.tables) == 8
+        assert len(load_dataset("stats", scale="smoke").schema.tables) == 8
+
+    def test_multi_table_join_graphs_connected(self):
+        for name in MULTI_TABLE_DATASETS:
+            db = load_dataset(name, scale="smoke")
+            assert db.schema.is_valid_join_set(db.schema.table_names)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ReproError):
+            load_dataset("northwind")
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("dmv", scale="smoke", seed=0)
+        b = load_dataset("dmv", scale="smoke", seed=0)
+        assert a is b
+
+    def test_base_rows_override(self):
+        db = load_dataset("dmv", base_rows=123, seed=7)
+        assert db.table("dmv").num_rows == 123
+
+    def test_joins_are_executable(self):
+        db = load_dataset("stats", scale="smoke")
+        ex = Executor(db)
+        q = Query.build(db.schema, ["users", "posts", "comments"])
+        assert ex.count(q) > 0

@@ -1,0 +1,76 @@
+"""Statement-timeout semantics: runaway joins abort cheaply everywhere."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database, Column, DatabaseSchema, Executor, JoinEdge, Query, Table, TableSchema, hash_join_pairs
+from repro.utils.errors import ExecutionBudgetError
+from repro.workload.workload import Workload
+
+
+def explosive_db(rows=400):
+    """Two tables joined many-to-many on a constant key: |join| = rows^2."""
+    left_schema = TableSchema(
+        "left_t", (Column("k", kind="key"), Column("a", low=0, high=1))
+    )
+    right_schema = TableSchema(
+        "right_t", (Column("k", kind="key"), Column("b", low=0, high=1))
+    )
+    schema = DatabaseSchema(
+        "boom", [left_schema, right_schema], [JoinEdge("left_t", "k", "right_t", "k")]
+    )
+    ones = np.zeros(rows, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    left = Table(left_schema, {"k": ones, "a": rng.uniform(size=rows)})
+    right = Table(right_schema, {"k": ones, "b": rng.uniform(size=rows)})
+    return Database(schema, {"left_t": left, "right_t": right})
+
+
+class TestBudget:
+    def test_hash_join_pairs_aborts_before_materializing(self):
+        keys = np.zeros(10_000, dtype=np.int64)
+        with pytest.raises(ExecutionBudgetError):
+            hash_join_pairs(keys, keys, max_pairs=1_000_000)
+
+    def test_hash_join_pairs_unlimited_by_default(self):
+        keys = np.zeros(100, dtype=np.int64)
+        li, _ri = hash_join_pairs(keys, keys)
+        assert li.size == 100 * 100
+
+    def test_executor_raises_budget_error(self):
+        db = explosive_db()
+        ex = Executor(db, max_intermediate=10_000)
+        q = Query.build(db.schema, ["left_t", "right_t"])
+        with pytest.raises(ExecutionBudgetError):
+            ex.count(q)
+
+    def test_try_count_returns_none(self):
+        db = explosive_db()
+        ex = Executor(db, max_intermediate=10_000)
+        q = Query.build(db.schema, ["left_t", "right_t"])
+        assert ex.try_count(q) is None
+        assert ex.try_count(Query.build(db.schema, ["left_t"])) == 400
+
+    def test_workload_from_queries_drops_oversized(self):
+        db = explosive_db()
+        ex = Executor(db, max_intermediate=10_000)
+        big = Query.build(db.schema, ["left_t", "right_t"])
+        small = Query.build(db.schema, ["left_t"])
+        wl = Workload.from_queries([big, small], ex)
+        assert len(wl) == 1
+        assert wl.queries[0].tables == frozenset({"left_t"})
+
+    def test_deployed_estimator_survives_oversized_queries(self):
+        from repro.ce import DeployedEstimator, create_model
+        from repro.workload import QueryEncoder
+
+        db = explosive_db()
+        ex = Executor(db, max_intermediate=10_000)
+        model = create_model("fcn", QueryEncoder(db.schema), hidden_dim=8, seed=0)
+        model.calibrate_normalization(np.array([10.0, 400.0]))
+        deployed = DeployedEstimator(model, ex, update_steps=2)
+        big = Query.build(db.schema, ["left_t", "right_t"])
+        small = Query.build(db.schema, ["left_t"])
+        report = deployed.execute([big, small])
+        assert report.executed == 2
+        assert len(deployed.history) == 1  # only the small query trained

@@ -1,0 +1,228 @@
+"""Ground-truth execution vs a brute-force reference implementation."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    Executor,
+    JoinEdge,
+    Query,
+    Table,
+    TableSchema,
+    hash_join_pairs,
+)
+from repro.utils.errors import QueryError
+
+
+def make_db(seed=0, users_rows=40, posts_rows=120):
+    rng = np.random.default_rng(seed)
+    users_schema = TableSchema(
+        "users", (Column("id", kind="key"), Column("age", low=0, high=100))
+    )
+    posts_schema = TableSchema(
+        "posts",
+        (
+            Column("id", kind="key"),
+            Column("user_id", kind="key"),
+            Column("score", low=0, high=50),
+        ),
+    )
+    schema = DatabaseSchema(
+        "mini", [users_schema, posts_schema], [JoinEdge("posts", "user_id", "users", "id")]
+    )
+    users = Table(
+        users_schema,
+        {
+            "id": np.arange(users_rows),
+            "age": rng.integers(0, 101, size=users_rows).astype(float),
+        },
+    )
+    posts = Table(
+        posts_schema,
+        {
+            "id": np.arange(posts_rows),
+            "user_id": rng.integers(0, users_rows, size=posts_rows),
+            "score": rng.integers(0, 51, size=posts_rows).astype(float),
+        },
+    )
+    return Database(schema, {"users": users, "posts": posts})
+
+
+def brute_force_count(db, query):
+    """Nested-loop reference: iterate the cartesian product of the tables."""
+    tables = sorted(query.tables)
+    rows = {t: range(db.table(t).num_rows) for t in tables}
+    edges = db.schema.join_edges_within(query.tables)
+    count = 0
+    for combo in itertools.product(*(rows[t] for t in tables)):
+        assignment = dict(zip(tables, combo))
+        ok = True
+        for edge in edges:
+            lv = db.table(edge.left_table).column(edge.left_column)[assignment[edge.left_table]]
+            rv = db.table(edge.right_table).column(edge.right_column)[
+                assignment[edge.right_table]
+            ]
+            if lv != rv:
+                ok = False
+                break
+        if not ok:
+            continue
+        for (tbl, col), (lo, hi) in query.predicates.items():
+            column = db.schema.table(tbl).column(col)
+            value = db.table(tbl).column(col)[assignment[tbl]]
+            if not (column.denormalize(lo) <= value <= column.denormalize(hi)):
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count
+
+
+class TestHashJoinPairs:
+    def test_basic_matches(self):
+        li, ri = hash_join_pairs(np.array([1, 2, 2]), np.array([2, 3, 2]))
+        pairs = sorted(zip(li.tolist(), ri.tolist()))
+        assert pairs == [(1, 0), (1, 2), (2, 0), (2, 2)]
+
+    def test_empty_inputs(self):
+        li, ri = hash_join_pairs(np.array([]), np.array([1]))
+        assert li.size == 0 and ri.size == 0
+
+    def test_no_matches(self):
+        li, ri = hash_join_pairs(np.array([1]), np.array([2]))
+        assert li.size == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 5), min_size=0, max_size=15),
+        st.lists(st.integers(0, 5), min_size=0, max_size=15),
+    )
+    def test_count_matches_bruteforce(self, left, right):
+        li, _ri = hash_join_pairs(np.array(left), np.array(right))
+        expected = sum(1 for a in left for b in right if a == b)
+        assert li.size == expected
+
+
+class TestExecutor:
+    def setup_method(self):
+        self.db = make_db()
+        self.ex = Executor(self.db)
+
+    def test_single_table_no_predicates(self):
+        q = Query.build(self.db.schema, ["users"])
+        assert self.ex.count(q) == 40
+
+    def test_single_table_predicate(self):
+        q = Query.build(self.db.schema, ["users"], {("users", "age"): (0.0, 0.5)})
+        assert self.ex.count(q) == brute_force_count(self.db, q)
+
+    def test_join_no_predicates_equals_child_rows(self):
+        q = Query.build(self.db.schema, ["users", "posts"])
+        # every post references an existing user
+        assert self.ex.count(q) == 120
+
+    def test_join_with_predicates_matches_bruteforce(self):
+        q = Query.build(
+            self.db.schema,
+            ["users", "posts"],
+            {("users", "age"): (0.2, 0.8), ("posts", "score"): (0.0, 0.4)},
+        )
+        assert self.ex.count(q) == brute_force_count(self.db, q)
+
+    def test_impossible_predicate_is_zero(self):
+        q = Query.build(self.db.schema, ["users"], {("users", "age"): (0.999, 1.0)})
+        count = self.ex.count(q)
+        assert count == brute_force_count(self.db, q)
+
+    def test_memoization_counts_executions(self):
+        q = Query.build(self.db.schema, ["users", "posts"])
+        before = self.ex.executed_count
+        self.ex.count(q)
+        self.ex.count(q)
+        assert self.ex.executed_count == before + 1
+
+    def test_count_many_vectorizes(self):
+        q1 = Query.build(self.db.schema, ["users"])
+        q2 = Query.build(self.db.schema, ["posts"])
+        np.testing.assert_array_equal(self.ex.count_many([q1, q2]), [40.0, 120.0])
+
+    def test_selectivity(self):
+        sel = self.ex.selectivity("users", {("users", "age"): (0.0, 1.0)})
+        assert sel == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(0, 1), st.floats(0, 1), st.floats(0, 1), st.floats(0, 1),
+    )
+    def test_join_counts_match_bruteforce_property(self, a, b, c, d):
+        lo_age, hi_age = sorted((a, b))
+        lo_s, hi_s = sorted((c, d))
+        small = make_db(seed=3, users_rows=12, posts_rows=25)
+        ex = Executor(small)
+        q = Query.build(
+            small.schema,
+            ["users", "posts"],
+            {("users", "age"): (lo_age, hi_age), ("posts", "score"): (lo_s, hi_s)},
+        )
+        assert ex.count(q) == brute_force_count(small, q)
+
+
+class TestQueryValidation:
+    def setup_method(self):
+        self.db = make_db()
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(QueryError):
+            Query.build(self.db.schema, [])
+
+    def test_predicate_on_unjoined_table_rejected(self):
+        with pytest.raises(QueryError):
+            Query.build(self.db.schema, ["users"], {("posts", "score"): (0, 1)})
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            Query.build(self.db.schema, ["users"], {("users", "age"): (0.9, 0.1)})
+        with pytest.raises(QueryError):
+            Query.build(self.db.schema, ["users"], {("users", "age"): (-0.1, 0.5)})
+
+    def test_restricted_to(self):
+        q = Query.build(
+            self.db.schema,
+            ["users", "posts"],
+            {("users", "age"): (0.1, 0.9), ("posts", "score"): (0.2, 0.5)},
+        )
+        sub = q.restricted_to(["users"])
+        assert sub.tables == frozenset({"users"})
+        assert sub.predicates == {("users", "age"): (0.1, 0.9)}
+        with pytest.raises(QueryError):
+            q.restricted_to(["ghost"])
+
+    def test_to_sql_contains_join_and_bounds(self):
+        q = Query.build(
+            self.db.schema, ["users", "posts"], {("users", "age"): (0.0, 0.5)}
+        )
+        sql = q.to_sql(self.db.schema)
+        assert "posts.user_id = users.id" in sql
+        assert "users.age BETWEEN" in sql
+        assert sql.startswith("SELECT COUNT(*)")
+
+    def test_cache_key_stable_under_dict_order(self):
+        preds1 = {("users", "age"): (0.1, 0.2), ("posts", "score"): (0.3, 0.4)}
+        preds2 = dict(reversed(list(preds1.items())))
+        q1 = Query.build(self.db.schema, ["users", "posts"], preds1)
+        q2 = Query.build(self.db.schema, ["users", "posts"], preds2)
+        assert q1.cache_key() == q2.cache_key()
+
+    def test_labeled_query_rejects_negative(self):
+        from repro.db import LabeledQuery
+
+        q = Query.build(self.db.schema, ["users"])
+        with pytest.raises(QueryError):
+            LabeledQuery(q, -1)

@@ -1,0 +1,107 @@
+"""Schema objects and join-graph queries."""
+
+import pytest
+
+from repro.db import Column, DatabaseSchema, JoinEdge, TableSchema
+from repro.utils.errors import SchemaError
+
+
+def two_table_schema():
+    users = TableSchema(
+        "users",
+        (Column("id", kind="key"), Column("age", low=0, high=100)),
+    )
+    posts = TableSchema(
+        "posts",
+        (
+            Column("id", kind="key"),
+            Column("user_id", kind="key"),
+            Column("score", low=-10, high=50),
+        ),
+    )
+    return DatabaseSchema("mini", [users, posts], [JoinEdge("posts", "user_id", "users", "id")])
+
+
+class TestColumn:
+    def test_normalize_roundtrip(self):
+        col = Column("age", low=0, high=100)
+        assert col.normalize(25) == pytest.approx(0.25)
+        assert col.denormalize(0.25) == pytest.approx(25)
+
+    def test_invalid_kind(self):
+        with pytest.raises(SchemaError):
+            Column("x", kind="weird")
+
+    def test_invalid_domain(self):
+        with pytest.raises(SchemaError):
+            Column("x", low=5, high=5)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a"), Column("a")))
+
+    def test_attributes_exclude_keys(self):
+        schema = two_table_schema()
+        assert [c.name for c in schema.table("posts").attributes] == ["score"]
+        assert [c.name for c in schema.table("posts").keys] == ["id", "user_id"]
+
+    def test_unknown_column(self):
+        schema = two_table_schema()
+        with pytest.raises(SchemaError):
+            schema.table("users").column("ghost")
+
+
+class TestDatabaseSchema:
+    def test_attribute_order_is_global(self):
+        schema = two_table_schema()
+        assert schema.attribute_order == (("users", "age"), ("posts", "score"))
+        assert schema.attribute_index("posts", "score") == 1
+
+    def test_join_edge_validation(self):
+        users = TableSchema("users", (Column("id", kind="key"),))
+        with pytest.raises(SchemaError):
+            DatabaseSchema("bad", [users], [JoinEdge("users", "id", "ghost", "id")])
+
+    def test_duplicate_table_rejected(self):
+        users = TableSchema("users", (Column("id", kind="key"),))
+        with pytest.raises(SchemaError):
+            DatabaseSchema("bad", [users, users], [])
+
+    def test_valid_join_sets(self):
+        schema = two_table_schema()
+        assert schema.is_valid_join_set({"users"})
+        assert schema.is_valid_join_set({"users", "posts"})
+        assert not schema.is_valid_join_set(set())
+        assert not schema.is_valid_join_set({"users", "ghost"})
+
+    def test_join_edges_within_single_table_empty(self):
+        schema = two_table_schema()
+        assert schema.join_edges_within({"users"}) == []
+
+    def test_join_edges_within_disconnected_raises(self):
+        users = TableSchema("users", (Column("id", kind="key"),))
+        tags = TableSchema("tags", (Column("id", kind="key"),))
+        schema = DatabaseSchema("disc", [users, tags], [])
+        with pytest.raises(SchemaError):
+            schema.join_edges_within({"users", "tags"})
+
+    def test_connected_join_sets_enumeration(self):
+        schema = two_table_schema()
+        sets = schema.connected_join_sets(max_size=2)
+        assert frozenset({"users"}) in sets
+        assert frozenset({"users", "posts"}) in sets
+        assert len(sets) == 3
+
+    def test_neighbors(self):
+        schema = two_table_schema()
+        assert schema.neighbors("users") == ("posts",)
+
+    def test_edge_helpers(self):
+        edge = JoinEdge("posts", "user_id", "users", "id")
+        assert edge.touches("posts") and edge.touches("users")
+        assert edge.other("posts") == "users"
+        assert edge.column_for("users") == "id"
+        with pytest.raises(SchemaError):
+            edge.other("ghost")

@@ -1,0 +1,74 @@
+"""Layer behaviours not covered by the module/registration tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, Tensor
+
+
+class TestActivationsAsModules:
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_array_equal(out.data, [0.0, 2.0])
+
+    def test_sigmoid_module_range(self):
+        out = Sigmoid()(Tensor(np.array([-15.0, 0.0, 15.0])))
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_tanh_module(self):
+        out = Tanh()(Tensor(np.array([0.0])))
+        assert out.data[0] == 0.0
+
+
+class TestLinear:
+    def test_no_bias_variant(self):
+        layer = Linear(3, 2, rng=0, bias=False)
+        assert not layer.use_bias
+        out = layer(Tensor(np.zeros((4, 3))))
+        np.testing.assert_array_equal(out.data, np.zeros((4, 2)))
+
+    def test_xavier_init_scale(self):
+        layer = Linear(100, 100, rng=0)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+        assert layer.weight.data.std() > limit / 4
+
+
+class TestSequential:
+    def test_empty_sequential_is_identity(self):
+        seq = Sequential()
+        x = Tensor(np.ones(3))
+        assert seq(x) is x
+
+    def test_iteration_order(self):
+        l1, l2 = Linear(2, 2, rng=0), Linear(2, 2, rng=1)
+        seq = Sequential(l1, ReLU(), l2)
+        layers = list(seq)
+        assert layers[0] is l1 and layers[2] is l2
+        assert len(seq) == 3
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.9, rng=0)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(drop(x).data, np.ones((4, 4)))
+
+    def test_train_mode_zeroes_and_rescales(self):
+        drop = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((200, 10)))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.3 < zero_fraction < 0.7
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted scaling
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_p_zero_is_identity_even_training(self):
+        drop = Dropout(0.0, rng=0)
+        x = Tensor(np.ones((3, 3)))
+        assert drop(x) is x

@@ -1,0 +1,93 @@
+"""Loss functions, including the Q-error loss central to the paper."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    bce_loss,
+    kl_standard_normal,
+    log_q_error_loss,
+    mse_loss,
+    q_error,
+    q_error_loss,
+)
+
+
+class TestQError:
+    def test_symmetric(self):
+        est = Tensor(np.array([10.0, 1.0]))
+        true = Tensor(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(q_error(est, true).data, [10.0, 10.0])
+
+    def test_perfect_estimate_is_one(self):
+        x = Tensor(np.array([5.0, 7.0]))
+        np.testing.assert_allclose(q_error(x, x).data, [1.0, 1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            q_error(Tensor(np.array([0.0])), Tensor(np.array([1.0])))
+        with pytest.raises(ValueError):
+            q_error(Tensor(np.array([1.0])), Tensor(np.array([-2.0])))
+
+    def test_loss_is_mean(self):
+        est = Tensor(np.array([2.0, 8.0]))
+        true = Tensor(np.array([1.0, 2.0]))
+        assert q_error_loss(est, true).item() == pytest.approx(3.0)
+
+    def test_gradient_direction_overestimate(self):
+        est = Tensor(np.array([4.0]), requires_grad=True)
+        loss = q_error_loss(est, Tensor(np.array([2.0])))
+        loss.backward()
+        assert est.grad.data[0] > 0  # decreasing the estimate lowers loss
+
+    def test_log_variant_equals_log_of_q_error(self):
+        est = Tensor(np.array([4.0, 0.5]))
+        true = Tensor(np.array([2.0, 2.0]))
+        expected = np.log(q_error(est, true).data).mean()
+        assert log_q_error_loss(est, true).item() == pytest.approx(expected)
+
+
+class TestMSE:
+    def test_value(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([3.0, 2.0]))
+        assert mse_loss(a, b).item() == pytest.approx(2.0)
+
+    def test_gradient(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        mse_loss(a, Tensor(np.array([0.0, 0.0]))).backward()
+        np.testing.assert_allclose(a.grad.data, [1.0, 2.0])
+
+
+class TestBCE:
+    def test_confident_correct_is_small(self):
+        p = Tensor(np.array([0.999, 0.001]))
+        t = Tensor(np.array([1.0, 0.0]))
+        assert bce_loss(p, t).item() < 0.01
+
+    def test_confident_wrong_is_large(self):
+        p = Tensor(np.array([0.001]))
+        t = Tensor(np.array([1.0]))
+        assert bce_loss(p, t).item() > 4.0
+
+    def test_clipping_handles_boundary_probs(self):
+        p = Tensor(np.array([1.0, 0.0]))
+        t = Tensor(np.array([1.0, 0.0]))
+        assert np.isfinite(bce_loss(p, t).item())
+
+    def test_accepts_numpy_target(self):
+        p = Tensor(np.array([0.5]))
+        assert np.isfinite(bce_loss(p, np.array([1.0])).item())
+
+
+class TestKL:
+    def test_standard_normal_posterior_is_zero(self):
+        mu = Tensor(np.zeros((4, 3)))
+        log_var = Tensor(np.zeros((4, 3)))
+        assert kl_standard_normal(mu, log_var).item() == pytest.approx(0.0)
+
+    def test_positive_for_shifted_posterior(self):
+        mu = Tensor(np.full((2, 3), 2.0))
+        log_var = Tensor(np.zeros((2, 3)))
+        assert kl_standard_normal(mu, log_var).item() > 0

@@ -1,0 +1,142 @@
+"""Module container semantics: registration, cloning, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential, Tensor, mlp
+from repro.nn.layers import Dropout
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(3, 4, rng=0)
+        self.fc2 = Linear(4, 2, rng=1)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_are_dotted_and_complete(self):
+        net = TinyNet()
+        names = {name for name, _ in net.named_parameters()}
+        assert names == {
+            "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale",
+        }
+
+    def test_num_parameters_counts_scalars(self):
+        net = TinyNet()
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 2
+
+    def test_getattr_raises_for_unknown(self):
+        net = TinyNet()
+        with pytest.raises(AttributeError):
+            net.nonexistent
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2, rng=0), Dropout(0.5, rng=0))
+        seq.eval()
+        assert all(not m.training for m in seq)
+        seq.train()
+        assert all(m.training for m in seq)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyNet(), TinyNet()
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(
+            a.fc1.weight.data, b.fc1.weight.data
+        )
+
+    def test_missing_key_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"][:] = 99.0
+        assert net.scale.data[0] == 1.0
+
+
+class TestFunctionalClone:
+    def test_clone_substitutes_parameters(self):
+        net = TinyNet()
+        x = Tensor(np.ones((1, 3)))
+        theta = Tensor(np.zeros_like(net.scale.data), requires_grad=True)
+        clone = net.clone_with_parameters({"scale": theta})
+        out = clone(x)
+        np.testing.assert_allclose(out.data, np.zeros((1, 2)))
+
+    def test_clone_shares_untouched_parameters(self):
+        net = TinyNet()
+        clone = net.clone_with_parameters({})
+        assert clone.fc1.weight is net.fc1.weight
+
+    def test_clone_rejects_unknown_names(self):
+        net = TinyNet()
+        with pytest.raises(KeyError):
+            net.clone_with_parameters({"nope": Tensor(np.zeros(1))})
+
+    def test_gradient_flows_through_clone_to_substitute(self):
+        net = TinyNet()
+        theta = Tensor(np.ones(2) * 2.0, requires_grad=True)
+        clone = net.clone_with_parameters({"scale": theta})
+        out = clone(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert theta.grad is not None
+        # original untouched
+        assert net.scale.grad is None
+
+    def test_clone_original_forward_unchanged(self):
+        net = TinyNet()
+        x = Tensor(np.ones((2, 3)))
+        before = net(x).data.copy()
+        net.clone_with_parameters({"scale": Tensor(np.zeros(2))})
+        np.testing.assert_array_equal(net(x).data, before)
+
+
+class TestMlpFactory:
+    def test_layer_count(self):
+        net = mlp(4, [8, 8], 1, rng=0)
+        # Linear, ReLU, Linear, ReLU, Linear
+        assert len(net) == 5
+
+    def test_final_activation_appended(self):
+        from repro.nn import Sigmoid
+
+        net = mlp(4, [8], 1, rng=0, final_activation=Sigmoid())
+        out = net(Tensor(np.zeros((3, 4))))
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 4, rng=0)

@@ -1,0 +1,102 @@
+"""Optimizer behaviour: convergence, state handling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, GradientClipper, Tensor
+from repro.nn.optim import Optimizer
+
+
+def quadratic_setup():
+    """Minimize ||x - target||^2 from zero."""
+    x = Tensor(np.zeros(3), requires_grad=True)
+    target = np.array([1.0, -2.0, 0.5])
+    return x, target
+
+
+def run_steps(optimizer, x, target, steps):
+    for _ in range(steps):
+        loss = ((x - Tensor(target)) ** 2).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return x.data
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x, target = quadratic_setup()
+        result = run_steps(SGD([x], lr=0.1), x, target, 100)
+        np.testing.assert_allclose(result, target, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        x1, target = quadratic_setup()
+        x2, _ = quadratic_setup()
+        run_steps(SGD([x1], lr=0.01), x1, target, 30)
+        run_steps(SGD([x2], lr=0.01, momentum=0.9), x2, target, 30)
+        err1 = np.abs(x1.data - target).sum()
+        err2 = np.abs(x2.data - target).sum()
+        assert err2 < err1
+
+    def test_momentum_validation(self):
+        x, _ = quadratic_setup()
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x, target = quadratic_setup()
+        result = run_steps(Adam([x], lr=0.1), x, target, 300)
+        np.testing.assert_allclose(result, target, atol=1e-4)
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.zeros(2), requires_grad=True)
+        y = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([x, y], lr=0.5)
+        loss = (x * x).sum()
+        loss.backward()
+        opt.step()
+        np.testing.assert_array_equal(y.data, np.ones(2))
+
+    def test_beta_validation(self):
+        x, _ = quadratic_setup()
+        with pytest.raises(ValueError):
+            Adam([x], betas=(1.0, 0.999))
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        x, _ = quadratic_setup()
+        with pytest.raises(ValueError):
+            Adam([x], lr=0.0)
+
+    def test_step_abstract(self):
+        x, _ = quadratic_setup()
+        with pytest.raises(NotImplementedError):
+            Optimizer([x], lr=0.1).step()
+
+
+class TestGradientClipper:
+    def test_clips_above_threshold(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        (x * Tensor(np.full(4, 10.0))).sum().backward()
+        clipper = GradientClipper(max_norm=1.0)
+        norm = clipper.clip([x])
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(x.grad.data) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        (x * Tensor(np.full(4, 0.1))).sum().backward()
+        before = x.grad.data.copy()
+        GradientClipper(max_norm=10.0).clip([x])
+        np.testing.assert_array_equal(x.grad.data, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientClipper(0.0)

@@ -1,0 +1,78 @@
+"""Recurrent cells and sequence plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, RNN, LSTMCell, RNNCell, Tensor, split_sequence
+
+
+class TestCells:
+    def test_rnn_cell_shapes(self):
+        cell = RNNCell(4, 6, rng=0)
+        h = cell(Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_rnn_cell_output_bounded(self):
+        cell = RNNCell(4, 6, rng=0)
+        h = cell(Tensor(np.random.default_rng(0).normal(size=(3, 4)) * 10),
+                 Tensor(np.zeros((3, 6))))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_lstm_cell_shapes(self):
+        cell = LSTMCell(4, 6, rng=0)
+        h, c = cell(Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 6))),
+                    Tensor(np.zeros((2, 6))))
+        assert h.shape == (2, 6)
+        assert c.shape == (2, 6)
+
+    def test_lstm_forget_gate_preserves_state_scale(self):
+        cell = LSTMCell(2, 3, rng=0)
+        c0 = Tensor(np.ones((1, 3)) * 5.0)
+        _, c1 = cell(Tensor(np.zeros((1, 2))), Tensor(np.zeros((1, 3))), c0)
+        # f in (0,1): new cell state magnitude bounded by old + 1
+        assert np.all(np.abs(c1.data) <= 6.0)
+
+
+class TestWrappers:
+    def test_rnn_returns_final_hidden(self):
+        net = RNN(4, 5, rng=0)
+        out = net(Tensor(np.random.default_rng(0).normal(size=(2, 7, 4))))
+        assert out.shape == (2, 5)
+
+    def test_lstm_returns_final_hidden(self):
+        net = LSTM(4, 5, rng=0)
+        out = net(Tensor(np.random.default_rng(0).normal(size=(2, 7, 4))))
+        assert out.shape == (2, 5)
+
+    def test_gradient_flows_through_time(self):
+        net = RNN(2, 3, rng=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 5, 2)), requires_grad=True)
+        net(x).sum().backward()
+        # every time step received gradient
+        assert np.all(np.abs(x.grad.data).sum(axis=2) > 0)
+
+    def test_order_sensitivity(self):
+        net = LSTM(1, 4, rng=0)
+        seq = np.arange(6, dtype=float).reshape(1, 6, 1)
+        fwd = net(Tensor(seq)).data
+        rev = net(Tensor(seq[:, ::-1, :].copy())).data
+        assert not np.allclose(fwd, rev)
+
+
+class TestSplitSequence:
+    def test_exact_multiple(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(2, 6))
+        out = split_sequence(x, 3)
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_array_equal(out.data[0, 0], [0, 1, 2])
+
+    def test_pads_remainder_with_zeros(self):
+        x = Tensor(np.ones((1, 5)))
+        out = split_sequence(x, 4)
+        assert out.shape == (1, 2, 4)
+        np.testing.assert_array_equal(out.data[0, 1], [1, 0, 0, 0])
+
+    def test_gradient_through_padding(self):
+        x = Tensor(np.ones((1, 5)), requires_grad=True)
+        split_sequence(x, 4).sum().backward()
+        np.testing.assert_array_equal(x.grad.data, np.ones((1, 5)))

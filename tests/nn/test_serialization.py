@@ -1,0 +1,32 @@
+"""Saving and loading module parameters."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Tensor, load_module, save_module, mlp
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        net = mlp(3, [4], 1, rng=0)
+        path = tmp_path / "model.npz"
+        save_module(net, path)
+        other = mlp(3, [4], 1, rng=99)
+        load_module(other, path)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_array_equal(net(x).data, other(x).data)
+
+    def test_suffix_added_when_missing(self, tmp_path):
+        net = Linear(2, 2, rng=0)
+        base = tmp_path / "weights"
+        save_module(net, base)
+        loaded = Linear(2, 2, rng=5)
+        load_module(loaded, base)  # finds weights.npz
+        np.testing.assert_array_equal(net.weight.data, loaded.weight.data)
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        net = Linear(2, 2, rng=0)
+        path = tmp_path / "model.npz"
+        save_module(net, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(Linear(3, 2, rng=0), path)

@@ -1,0 +1,292 @@
+"""Gradient checks and graph semantics for the autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, grad, maximum, minimum, no_grad, stack, where
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = fn(x)
+        flat[i] = original - eps
+        lo = fn(x)
+        flat[i] = original
+        gflat[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+def check_unary(op, data, tol=1e-5):
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x)
+    loss = (out * out).sum()
+    loss.backward()
+    analytic = x.grad.data
+
+    def scalar_fn(arr):
+        val = op(Tensor(arr)).data
+        return float((val * val).sum())
+
+    expected = numeric_grad(scalar_fn, data.copy())
+    np.testing.assert_allclose(analytic, expected, rtol=tol, atol=tol)
+
+
+class TestElementwiseGrads:
+    rng = np.random.default_rng(0)
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: t.exp(),
+            lambda t: t.tanh(),
+            lambda t: t.sigmoid(),
+            lambda t: t.relu(),
+            lambda t: t * 3.0 + 1.0,
+            lambda t: t**3,
+            lambda t: -t,
+            lambda t: t.abs(),
+        ],
+    )
+    def test_unary_ops(self, op):
+        data = self.rng.normal(size=(4, 3)) + 0.1
+        check_unary(op, data)
+
+    def test_log_positive_domain(self):
+        data = self.rng.uniform(0.5, 2.0, size=(5,))
+        check_unary(lambda t: t.log(), data)
+
+    def test_sqrt(self):
+        data = self.rng.uniform(0.5, 2.0, size=(5,))
+        check_unary(lambda t: t.sqrt(), data)
+
+    def test_clip_gradient_masks_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        y = x.clip(0.0, 1.0).sum()
+        y.backward()
+        np.testing.assert_array_equal(x.grad.data, [0.0, 1.0, 0.0])
+
+
+class TestBinaryGrads:
+    rng = np.random.default_rng(1)
+
+    def test_mul_grads_both_sides(self):
+        a = Tensor(self.rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(3, 2)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad.data, b.data)
+        np.testing.assert_allclose(b.grad.data, a.data)
+
+    def test_div(self):
+        a_data = self.rng.uniform(1.0, 2.0, size=(4,))
+        b_data = self.rng.uniform(1.0, 2.0, size=(4,))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad.data, 1.0 / b_data)
+        np.testing.assert_allclose(b.grad.data, -a_data / b_data**2)
+
+    def test_matmul(self):
+        a = Tensor(self.rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad.data, np.ones((3, 2)) @ b.data.T)
+        np.testing.assert_allclose(b.grad.data, a.data.T @ np.ones((3, 2)))
+
+    def test_broadcast_add_bias(self):
+        x = Tensor(self.rng.normal(size=(5, 3)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(3,)), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad.data, np.full(3, 5.0))
+        np.testing.assert_allclose(x.grad.data, np.ones((5, 3)))
+
+    def test_maximum_routes_gradient(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad.data, [0.0, 1.0])
+        np.testing.assert_array_equal(b.grad.data, [1.0, 0.0])
+
+    def test_minimum_routes_gradient(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        minimum(a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad.data, [1.0, 0.0])
+        np.testing.assert_array_equal(b.grad.data, [0.0, 1.0])
+
+    def test_where_blends(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        out = where(np.array([True, False]), a, b)
+        np.testing.assert_array_equal(out.data, [1.0, 4.0])
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad.data, [1.0, 0.0])
+        np.testing.assert_array_equal(b.grad.data, [0.0, 1.0])
+
+
+class TestShapeOps:
+    rng = np.random.default_rng(2)
+
+    def test_reshape_roundtrip(self):
+        x = Tensor(self.rng.normal(size=(2, 6)), requires_grad=True)
+        y = x.reshape((3, 4)).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad.data, np.ones((2, 6)))
+
+    def test_transpose(self):
+        x = Tensor(self.rng.normal(size=(2, 3)), requires_grad=True)
+        (x.T * Tensor(np.arange(6).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(x.grad.data, np.arange(6).reshape(3, 2).T)
+
+    def test_getitem_slice(self):
+        x = Tensor(self.rng.normal(size=(4, 5)), requires_grad=True)
+        x[1:3, 2:4].sum().backward()
+        expected = np.zeros((4, 5))
+        expected[1:3, 2:4] = 1.0
+        np.testing.assert_array_equal(x.grad.data, expected)
+
+    def test_concat_splits_gradient(self):
+        a = Tensor(self.rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(2, 3)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(a.grad.data, 2 * a.data)
+        np.testing.assert_allclose(b.grad.data, 2 * b.data)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad.data, np.ones(3))
+
+    def test_sum_axis_keepdims(self):
+        x = Tensor(self.rng.normal(size=(3, 4)), requires_grad=True)
+        x.sum(axis=1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(x.grad.data, np.ones((3, 4)))
+
+    def test_mean_axis(self):
+        x = Tensor(self.rng.normal(size=(2, 4)), requires_grad=True)
+        x.mean(axis=0).sum().backward()
+        np.testing.assert_allclose(x.grad.data, np.full((2, 4), 0.5))
+
+    def test_max_reduce(self):
+        x = Tensor(np.array([1.0, 9.0, 3.0]), requires_grad=True)
+        m = x.max_reduce()
+        assert m.item() == 9.0
+        m.backward()
+        np.testing.assert_array_equal(x.grad.data, [0.0, 1.0, 0.0])
+
+
+class TestGraphSemantics:
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * x).sum().backward()
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad.data, [8.0])
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2.0
+        z = (y + y).sum()  # z = 4x
+        z.backward()
+        np.testing.assert_allclose(x.grad.data, [4.0])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = (x * 2.0).detach() * x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad.data, [2.0])
+
+    def test_backward_non_scalar_requires_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_constant_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.sum().backward()
+
+    def test_functional_grad_does_not_touch_grad_attr(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (g,) = grad((x * x).sum(), [x])
+        np.testing.assert_allclose(g.data, [4.0])
+        assert x.grad is None
+
+    def test_functional_grad_non_leaf_input(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        loss = (y * y).sum()
+        (gy,) = grad(loss, [y])
+        np.testing.assert_allclose(gy.data, [12.0])
+
+
+class TestSecondOrder:
+    def test_second_derivative_of_cube(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x**3
+        (g1,) = grad(y.sum(), [x], create_graph=True)
+        np.testing.assert_allclose(g1.data, [12.0])  # 3x^2
+        (g2,) = grad(g1.sum(), [x])
+        np.testing.assert_allclose(g2.data, [12.0])  # 6x
+
+    def test_second_derivative_sigmoid(self):
+        x = Tensor(np.array([0.3]), requires_grad=True)
+        y = x.sigmoid().sum()
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1.sum(), [x])
+        s = 1.0 / (1.0 + np.exp(-0.3))
+        np.testing.assert_allclose(g1.data, [s * (1 - s)], rtol=1e-10)
+        np.testing.assert_allclose(g2.data, [s * (1 - s) * (1 - 2 * s)], rtol=1e-10)
+
+    def test_grad_through_inner_update(self):
+        """d/dq of L(theta - lr * dLtrain/dtheta) — PACE's core computation."""
+        lr = 0.1
+        theta = Tensor(np.array([1.0]), requires_grad=True)
+        q = Tensor(np.array([2.0]), requires_grad=True)
+        inner = (theta * q) ** 2  # dL/dtheta = 2 q^2 theta
+        (g_theta,) = grad(inner.sum(), [theta], create_graph=True)
+        theta_new = theta - lr * g_theta  # theta (1 - 2 lr q^2)
+        outer = (theta_new**2).sum()
+        (g_q,) = grad(outer, [q])
+        # outer = theta^2 (1 - 2 lr q^2)^2; d/dq = theta^2 * 2(1-2lr q^2)(-4 lr q)
+        expected = 1.0 * 2 * (1 - 2 * lr * 4.0) * (-4 * lr * 2.0)
+        np.testing.assert_allclose(g_q.data, [expected], rtol=1e-10)
+
+    def test_mixed_partial_matches_numeric(self):
+        rng = np.random.default_rng(7)
+        theta0 = rng.normal(size=3)
+        q0 = rng.normal(size=3)
+        lr = 0.05
+
+        def outer_value(q_arr):
+            theta = Tensor(theta0.copy(), requires_grad=True)
+            q = Tensor(q_arr, requires_grad=True)
+            inner = ((theta * q).tanh() ** 2).sum()
+            (g_theta,) = grad(inner, [theta], create_graph=True)
+            theta_new = theta - lr * g_theta
+            return ((theta_new**2).sum(), q)
+
+        loss, q = outer_value(q0.copy())
+        (analytic,) = grad(loss, [q])
+
+        def scalar(q_arr):
+            value, _ = outer_value(q_arr)
+            return value.item()
+
+        numeric = numeric_grad(scalar, q0.copy())
+        np.testing.assert_allclose(analytic.data, numeric, rtol=1e-4, atol=1e-6)

@@ -1,0 +1,89 @@
+"""Property-based checks of the autodiff engine against numpy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, concat, maximum, minimum
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_forward_matches_numpy_elementwise(data):
+    t = Tensor(data)
+    np.testing.assert_allclose((t * 2 + 1).data, data * 2 + 1)
+    np.testing.assert_allclose(t.tanh().data, np.tanh(data))
+    np.testing.assert_allclose(t.relu().data, np.maximum(data, 0))
+    np.testing.assert_allclose(t.exp().data, np.exp(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad.data, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_linearity_of_gradient(data):
+    """d(a*x)/dx = a for any constant a."""
+    t = Tensor(data, requires_grad=True)
+    (t * 3.5).sum().backward()
+    np.testing.assert_allclose(t.grad.data, np.full_like(data, 3.5))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=1), small_arrays(max_dims=1))
+def test_maximum_minimum_partition(a, b):
+    """max(a,b) + min(a,b) == a + b elementwise."""
+    n = min(len(a), len(b))
+    ta, tb = Tensor(a[:n]), Tensor(b[:n])
+    total = maximum(ta, tb).data + minimum(ta, tb).data
+    np.testing.assert_allclose(total, a[:n] + b[:n])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=1))
+def test_detach_shares_values_but_not_graph(data):
+    t = Tensor(data, requires_grad=True)
+    d = t.detach()
+    np.testing.assert_array_equal(d.data, t.data)
+    assert not d.requires_grad
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3, 2), elements=finite),
+    arrays(np.float64, (3, 4), elements=finite),
+)
+def test_concat_forward_matches_numpy(a, b):
+    out = concat([Tensor(a), Tensor(b)], axis=1)
+    np.testing.assert_array_equal(out.data, np.concatenate([a, b], axis=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (4, 3), elements=finite))
+def test_mean_gradient_uniform(data):
+    t = Tensor(data, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad.data, np.full_like(data, 1.0 / data.size))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (2, 3), elements=finite),
+       arrays(np.float64, (3, 4), elements=finite))
+def test_matmul_forward_matches_numpy(a, b):
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)

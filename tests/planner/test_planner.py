@@ -1,0 +1,147 @@
+"""Join-order optimizer, cost model, and E2E latency simulation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.db import Executor, Query
+from repro.planner import (
+    E2ESimulator,
+    EstimatedCardinalities,
+    JoinOrderOptimizer,
+    LatencyModel,
+    OracleWithNoise,
+    ScanNode,
+    TrueCardinalities,
+    plan_cost,
+)
+from repro.utils.errors import PlanError
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = load_dataset("tpch", scale="smoke", seed=0)
+    ex = Executor(db)
+    return db, ex, TrueCardinalities(ex)
+
+
+class TestOptimizer:
+    def test_single_table_plan_is_scan(self, env):
+        db, _ex, truth = env
+        opt = JoinOrderOptimizer(db.schema, truth)
+        q = Query.build(db.schema, ["orders"])
+        planned = opt.best_plan(q)
+        assert isinstance(planned.plan, ScanNode)
+        assert planned.believed_cost == 0.0
+
+    def test_plan_covers_all_tables(self, env):
+        db, _ex, truth = env
+        opt = JoinOrderOptimizer(db.schema, truth)
+        q = Query.build(db.schema, ["customer", "orders", "lineitem"])
+        planned = opt.best_plan(q)
+        assert planned.plan.tables == q.tables
+        subsets = planned.plan.join_subsets()
+        assert q.tables in subsets
+        assert len(subsets) == 2  # two joins for three tables
+
+    def test_optimal_plan_has_minimal_true_cost(self, env):
+        """The DP under true cardinalities is at least as good as any
+        alternative produced under distorted estimates."""
+        db, ex, truth = env
+        q = Query.build(
+            db.schema,
+            ["customer", "orders", "lineitem", "part"],
+            {("orders", "o_totalprice"): (0.0, 0.4)},
+        )
+        best = JoinOrderOptimizer(db.schema, truth).best_plan(q)
+        optimal_cost = plan_cost(best.plan, q, truth)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            # distort every sub-query cardinality by random factors
+            noisy = OracleWithNoise(ex, _random_factors(db, q, ex, rng))
+            alt = JoinOrderOptimizer(db.schema, noisy).best_plan(q)
+            alt_cost = plan_cost(alt.plan, q, truth)
+            assert optimal_cost <= alt_cost + 1e-9
+
+    def test_disconnected_join_rejected(self, env):
+        db, _ex, truth = env
+        opt = JoinOrderOptimizer(db.schema, truth)
+        bogus = Query(tables=frozenset({"region", "lineitem"}))
+        with pytest.raises(PlanError):
+            opt.best_plan(bogus)
+
+    def test_plan_render_readable(self, env):
+        db, _ex, truth = env
+        opt = JoinOrderOptimizer(db.schema, truth)
+        q = Query.build(db.schema, ["customer", "orders"])
+        text = opt.best_plan(q).plan.render()
+        assert "Join" in text and "Scan" in text
+
+
+def _random_factors(db, query, ex, rng):
+    factors = {}
+    from itertools import combinations
+
+    tables = sorted(query.tables)
+    for size in range(1, len(tables) + 1):
+        for combo in combinations(tables, size):
+            if not db.schema.is_valid_join_set(combo):
+                continue
+            sub = query.restricted_to(combo)
+            factors[sub.cache_key()] = float(np.exp(rng.normal(0, 2.0)))
+    return factors
+
+
+class TestCardinalitySources:
+    def test_true_cardinalities_match_executor(self, env):
+        db, ex, truth = env
+        q = Query.build(db.schema, ["nation"])
+        assert truth.cardinality(q) == ex.count(q)
+
+    def test_estimated_source_caches(self, env):
+        db, _ex, _truth = env
+        from repro.ce import create_model
+        from repro.workload import QueryEncoder
+
+        model = create_model("linear", QueryEncoder(db.schema), seed=0)
+        source = EstimatedCardinalities(model)
+        q = Query.build(db.schema, ["nation"])
+        a = source.cardinality(q)
+        b = source.cardinality(q)
+        assert a == b
+        assert len(source._cache) == 1
+
+
+class TestE2ESimulator:
+    def test_bad_estimates_cannot_beat_truth(self, env):
+        db, ex, _truth = env
+        sim = E2ESimulator(ex)
+        queries = [
+            Query.build(db.schema, ["customer", "orders", "lineitem"],
+                        {("lineitem", "l_quantity"): (0.0, 0.5)}),
+            Query.build(db.schema, ["supplier", "lineitem", "orders"]),
+        ]
+        optimal = sim.run_optimal(queries)
+        from repro.ce import create_model
+        from repro.workload import QueryEncoder
+
+        untrained = create_model("fcn", QueryEncoder(db.schema), hidden_dim=8, seed=0)
+        with_model = sim.run(queries, untrained)
+        assert with_model.total_seconds >= optimal.total_seconds - 1e-9
+
+    def test_latency_model_components(self, env):
+        db, ex, _truth = env
+        sim = E2ESimulator(ex, LatencyModel(per_query_overhead=1.0,
+                                            seconds_per_scan_tuple=0.0,
+                                            seconds_per_tuple=0.0))
+        queries = [Query.build(db.schema, ["nation", "region"])]
+        result = sim.run_optimal(queries)
+        assert result.total_seconds == pytest.approx(1.0)
+
+    def test_runs_report_per_query(self, env):
+        db, ex, _truth = env
+        sim = E2ESimulator(ex)
+        queries = [Query.build(db.schema, ["nation", "region"])]
+        result = sim.run_optimal(queries)
+        assert len(result.runs) == 1
+        assert result.runs[0].true_cost >= 0

@@ -1,0 +1,47 @@
+"""CLI smoke and contract tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.dataset == "dmv"
+        assert args.method == "pace"
+        assert not args.no_detector
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--dataset", "northwind"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "dmv" in out and "pace" in out and "smoke" in out
+
+    def test_attack_random_end_to_end(self, capsys):
+        code = main([
+            "attack", "--dataset", "dmv", "--model", "fcn",
+            "--method", "random", "--count", "8", "--scale", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation factor" in out
+        assert "Q-error before/after random" in out
+
+    def test_attack_pace_end_to_end(self, capsys):
+        code = main([
+            "attack", "--dataset", "dmv", "--model", "fcn",
+            "--method", "pace", "--count", "12", "--scale", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "poisoning queries:  12" in out

@@ -1,0 +1,77 @@
+"""Utilities: RNG determinism, scale config, timers, errors."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, derive_rng, get_scale, spawn_rngs, timed
+from repro.utils.config import available_scales
+from repro.utils.errors import QueryError, ReproError, SchemaError
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert derive_rng(g) is g
+
+    def test_spawn_independent_and_stable(self):
+        first = [r.random() for r in spawn_rngs(7, 3)]
+        second = [r.random() for r in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestScale:
+    def test_default_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale("smoke").name == "smoke"
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            get_scale("gigantic")
+
+    def test_scales_monotone_in_size(self):
+        sizes = [get_scale(n).train_queries for n in available_scales()]
+        assert sizes == sorted(sizes)
+
+    def test_poison_ratio(self):
+        scale = get_scale("paper")
+        assert scale.poison_ratio == pytest.approx(0.045, abs=0.01)
+
+
+class TestTimer:
+    def test_accumulates_spans(self):
+        timer = Timer()
+        with timer.span("work"):
+            pass
+        with timer.span("work"):
+            pass
+        assert timer.counts["work"] == 2
+        assert timer.total("work") >= 0.0
+        assert timer.mean("work") <= timer.total("work")
+
+    def test_unknown_span_is_zero(self):
+        assert Timer().total("nothing") == 0.0
+
+    def test_timed_contextmanager(self):
+        with timed() as elapsed:
+            x = elapsed()
+        assert elapsed() >= x >= 0.0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SchemaError, ReproError)
+        assert issubclass(QueryError, ReproError)

@@ -1,0 +1,136 @@
+"""Workload generation: validity, labels, probe groups, templates."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.workload import (
+    WorkloadGenerator,
+    default_templates,
+    template_workload,
+)
+from repro.workload.workload import Workload
+from repro.utils.errors import TrainingError
+
+
+@pytest.fixture(scope="module")
+def stats():
+    db = load_dataset("stats", scale="smoke", seed=0)
+    return db, Executor(db)
+
+
+class TestRandomQueries:
+    def test_join_sets_always_valid(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=3)
+        for _ in range(30):
+            q = gen.random_query(max_tables=4)
+            assert db.schema.is_valid_join_set(q.tables)
+
+    def test_n_columns_respected(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=4)
+        q = gen.random_query(max_tables=2, n_columns=2)
+        assert q.num_predicates <= 2
+
+    def test_range_scale_bounds_width(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=5)
+        q = gen.random_query(max_tables=1, range_scale=0.1)
+        for lo, hi in q.predicates.values():
+            assert hi - lo <= 0.1 + 1e-9
+
+    def test_fixed_tables(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=6)
+        q = gen.random_query(tables=frozenset({"users", "posts"}))
+        assert q.tables == frozenset({"users", "posts"})
+
+
+class TestWorkloads:
+    def test_generate_yields_nonempty_labels(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=7)
+        wl = gen.generate(25)
+        assert len(wl) == 25
+        assert np.all(wl.cardinalities > 0)
+
+    def test_deterministic_given_seed(self, stats):
+        db, ex = stats
+        a = WorkloadGenerator(db, ex, seed=11).generate(10)
+        b = WorkloadGenerator(db, ex, seed=11).generate(10)
+        np.testing.assert_array_equal(a.cardinalities, b.cardinalities)
+        assert [q.cache_key() for q in a.queries] == [q.cache_key() for q in b.queries]
+
+    def test_probe_groups_cover_both_axes(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=8)
+        groups = gen.probe_workloads(queries_per_group=4)
+        names = [name for name, _ in groups]
+        assert any(n.startswith("cols=") for n in names)
+        assert any(n.startswith("range=") for n in names)
+        assert all(len(wl) == 4 for _, wl in groups)
+
+
+class TestWorkloadContainer:
+    def test_split_partitions(self, stats):
+        db, ex = stats
+        wl = WorkloadGenerator(db, ex, seed=9).generate(20)
+        a, b = wl.split(0.7, seed=0)
+        assert len(a) == 14 and len(b) == 6
+
+    def test_split_validation(self, stats):
+        db, ex = stats
+        wl = WorkloadGenerator(db, ex, seed=9).generate(5)
+        with pytest.raises(TrainingError):
+            wl.split(1.5)
+
+    def test_chunks_cover_everything(self, stats):
+        db, ex = stats
+        wl = WorkloadGenerator(db, ex, seed=10).generate(17)
+        chunks = wl.chunks(5)
+        assert sum(len(c) for c in chunks) == 17
+        assert len(chunks) == 5
+
+    def test_add_concatenates(self, stats):
+        db, ex = stats
+        gen = WorkloadGenerator(db, ex, seed=12)
+        a, b = gen.generate(5), gen.generate(3)
+        assert len(a + b) == 8
+
+    def test_from_queries_drops_empty(self, stats):
+        db, ex = stats
+        from repro.db import Query
+
+        q_all = Query.build(db.schema, ["users"])
+        q_none = Query.build(
+            db.schema, ["users"], {("users", "creation_year"): (0.999, 1.0)}
+        )
+        count_none = ex.count(q_none)
+        wl = Workload.from_queries([q_all, q_none], ex)
+        expected = 2 if count_none > 0 else 1
+        assert len(wl) == expected
+
+    def test_encode_shape(self, stats):
+        db, ex = stats
+        from repro.workload import QueryEncoder
+
+        enc = QueryEncoder(db.schema)
+        wl = WorkloadGenerator(db, ex, seed=13).generate(6)
+        assert wl.encode(enc).shape == (6, enc.dim)
+
+
+class TestTemplates:
+    def test_default_templates_distinct_join_sets(self, stats):
+        db, _ex = stats
+        templates = default_templates(db, count=8, seed=0)
+        assert len({t.tables for t in templates}) == len(templates)
+
+    def test_template_workload_uses_template_join_sets(self, stats):
+        db, ex = stats
+        templates = default_templates(db, count=4, seed=0)
+        wl = template_workload(db, 12, templates=templates, executor=ex, seed=0)
+        allowed = {t.tables for t in templates}
+        assert all(q.tables in allowed for q in wl.queries)
+        assert np.all(wl.cardinalities > 0)

@@ -1,0 +1,60 @@
+"""Property-based invariants of the Workload container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.query import LabeledQuery, Query
+from repro.workload.workload import Workload
+
+
+def synthetic_workload(n: int) -> Workload:
+    """A workload over a trivial schema-free query stand-in."""
+    from repro.datasets import load_dataset
+
+    db = load_dataset("dmv", scale="smoke", seed=0)
+    q = Query.build(db.schema, ["dmv"])
+    return Workload([LabeledQuery(q, i + 1) for i in range(n)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 60), st.floats(0.05, 0.95))
+def test_split_partitions_everything(n, fraction):
+    wl = synthetic_workload(n)
+    a, b = wl.split(fraction, seed=1)
+    assert len(a) + len(b) == n
+    combined = sorted(a.cardinalities.tolist() + b.cardinalities.tolist())
+    assert combined == sorted(wl.cardinalities.tolist())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 60), st.integers(1, 10))
+def test_chunks_partition_in_order(n, parts):
+    wl = synthetic_workload(n)
+    chunks = wl.chunks(parts)
+    assert len(chunks) == parts
+    flattened = [c for chunk in chunks for c in chunk.cardinalities]
+    np.testing.assert_array_equal(flattened, wl.cardinalities)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 40), st.integers(0, 1000))
+def test_shuffle_preserves_multiset(n, seed):
+    wl = synthetic_workload(n)
+    shuffled = wl.shuffled(seed=seed)
+    assert sorted(shuffled.cardinalities) == sorted(wl.cardinalities)
+
+
+def test_subset_by_indices():
+    wl = synthetic_workload(10)
+    sub = wl.subset([0, 3, 7])
+    np.testing.assert_array_equal(sub.cardinalities, [1, 4, 8])
+
+
+def test_getitem_slice_returns_workload():
+    wl = synthetic_workload(10)
+    head = wl[:4]
+    assert isinstance(head, Workload)
+    assert len(head) == 4
+    assert isinstance(wl[0], LabeledQuery)
