@@ -1,0 +1,47 @@
+"""Static analysis and correctness audits for the reproduction.
+
+Two tools live here, both wired into the CLI:
+
+- ``pace-repro lint`` — an AST-based linter with repo-specific rules
+  (R001-R006) enforcing the determinism invariant (all randomness flows
+  through ``repro.utils.rng``), logging discipline, and defensive-coding
+  hygiene. See :mod:`repro.analysis.rules`.
+- ``pace-repro gradcheck`` — a finite-difference audit of every layer and
+  loss in the hand-rolled ``repro.nn`` autograd engine.
+"""
+
+from repro.analysis.gradcheck import (
+    DEFAULT_TOLERANCE,
+    GradCheckResult,
+    case_names,
+    max_relative_error,
+    run_gradcheck,
+)
+from repro.analysis.report import render_json, render_text, summary_line
+from repro.analysis.walker import (
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    lint_file,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "register",
+    "run_lint",
+    "render_text",
+    "render_json",
+    "summary_line",
+    "GradCheckResult",
+    "run_gradcheck",
+    "max_relative_error",
+    "case_names",
+    "DEFAULT_TOLERANCE",
+]

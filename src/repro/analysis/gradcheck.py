@@ -1,0 +1,288 @@
+"""Finite-difference audit of the ``repro.nn`` autograd engine.
+
+PACE differentiates through the CE model's own update step, so a silently
+wrong backward rule corrupts every attack result downstream. This module
+sweeps each layer and loss in ``repro.nn``, compares the analytic gradient
+(via :func:`repro.nn.grad`) against central finite differences on the raw
+numpy data, and reports the worst relative error per case.
+
+All cases are deterministic: inputs, parameters and dropout masks come
+from fixed seeds through :func:`repro.utils.rng.derive_rng`, so the audit
+itself honors the determinism invariant it helps enforce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import (
+    LSTM,
+    RNN,
+    Dropout,
+    Linear,
+    LSTMCell,
+    RNNCell,
+    Tanh,
+    Tensor,
+    bce_loss,
+    grad,
+    kl_standard_normal,
+    log_q_error_loss,
+    mlp,
+    mse_loss,
+    q_error_loss,
+)
+from repro.utils.rng import derive_rng
+
+DEFAULT_TOLERANCE = 1e-4
+_FD_STEP = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class GradCheckResult:
+    """Outcome of one layer/loss sweep."""
+
+    name: str
+    max_rel_error: float
+    checked: int
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        return self.max_rel_error < self.tolerance
+
+
+@dataclasses.dataclass(frozen=True)
+class _Case:
+    name: str
+    build: Callable[[], tuple[Callable[[], Tensor], list[tuple[str, Tensor]]]]
+
+
+def _rand(rng: np.random.Generator, shape, requires_grad: bool = True) -> Tensor:
+    return Tensor(rng.normal(0.0, 1.0, size=shape), requires_grad=requires_grad)
+
+
+def _projected(output: Tensor, projection: np.ndarray) -> Tensor:
+    """Scalarize ``output`` with a fixed random projection (not all-ones,
+    so sign errors in per-element gradients cannot cancel)."""
+    return (output * Tensor(projection)).sum()
+
+
+def _named_parameters(module) -> list[tuple[str, Tensor]]:
+    return list(module.named_parameters())
+
+
+def _check(
+    forward: Callable[[], Tensor],
+    wrt: Sequence[tuple[str, Tensor]],
+    tolerance: float,
+    name: str,
+) -> GradCheckResult:
+    """Compare analytic and central-finite-difference gradients.
+
+    ``forward`` must rebuild the graph from the *current* ``.data`` of every
+    tensor in ``wrt`` on each call, and must be deterministic.
+    """
+    tensors = [t for _, t in wrt]
+    analytic = [g.data.copy() for g in grad(forward(), tensors)]
+    max_rel = 0.0
+    checked = 0
+    for (_, tensor), grad_data in zip(wrt, analytic):
+        flat = tensor.data.reshape(-1)
+        grad_flat = grad_data.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            step = _FD_STEP * max(1.0, abs(original))
+            flat[i] = original + step
+            upper = forward().item()
+            flat[i] = original - step
+            lower = forward().item()
+            flat[i] = original
+            numeric = (upper - lower) / (2.0 * step)
+            a = grad_flat[i]
+            rel = abs(a - numeric) / max(1.0, abs(a), abs(numeric))
+            max_rel = max(max_rel, rel)
+            checked += 1
+    return GradCheckResult(
+        name=name, max_rel_error=max_rel, checked=checked, tolerance=tolerance
+    )
+
+
+# ----------------------------------------------------------------------
+# case builders — one per layer / loss in repro.nn
+# ----------------------------------------------------------------------
+def _case_linear():
+    rng = derive_rng(11)
+    layer = Linear(4, 3, rng=rng)
+    x = _rand(rng, (5, 4))
+    proj = rng.normal(size=(5, 3))
+    return lambda: _projected(layer(x), proj), _named_parameters(layer) + [("x", x)]
+
+
+def _case_linear_no_bias():
+    rng = derive_rng(12)
+    layer = Linear(3, 2, rng=rng, bias=False)
+    x = _rand(rng, (4, 3))
+    proj = rng.normal(size=(4, 2))
+    return lambda: _projected(layer(x), proj), _named_parameters(layer) + [("x", x)]
+
+
+def _case_mlp_tanh():
+    rng = derive_rng(13)
+    net = mlp(4, [6, 5], 2, rng=rng, activation=Tanh)
+    x = _rand(rng, (3, 4))
+    proj = rng.normal(size=(3, 2))
+    return lambda: _projected(net(x), proj), _named_parameters(net) + [("x", x)]
+
+
+def _case_dropout():
+    rng = derive_rng(14)
+    layer = Dropout(p=0.4, rng=rng)
+    x = _rand(rng, (6, 5))
+    proj = rng.normal(size=(6, 5))
+
+    def forward() -> Tensor:
+        # The mask is drawn from the layer's stream; pin it so repeated
+        # forwards (the FD probes) see the identical mask.
+        layer._rng = derive_rng(99)
+        return _projected(layer(x), proj)
+
+    return forward, [("x", x)]
+
+
+def _case_rnn_cell():
+    rng = derive_rng(15)
+    cell = RNNCell(3, 4, rng=rng)
+    x = _rand(rng, (2, 3))
+    h = _rand(rng, (2, 4))
+    proj = rng.normal(size=(2, 4))
+    return (
+        lambda: _projected(cell(x, h), proj),
+        _named_parameters(cell) + [("x", x), ("h", h)],
+    )
+
+
+def _case_lstm_cell():
+    rng = derive_rng(16)
+    cell = LSTMCell(3, 4, rng=rng)
+    x = _rand(rng, (2, 3))
+    h = _rand(rng, (2, 4))
+    c = _rand(rng, (2, 4))
+    proj_h = rng.normal(size=(2, 4))
+    proj_c = rng.normal(size=(2, 4))
+
+    def forward() -> Tensor:
+        h_next, c_next = cell(x, h, c)
+        return _projected(h_next, proj_h) + _projected(c_next, proj_c)
+
+    return forward, _named_parameters(cell) + [("x", x), ("h", h), ("c", c)]
+
+
+def _case_rnn():
+    rng = derive_rng(17)
+    net = RNN(3, 4, rng=rng)
+    x = _rand(rng, (2, 3, 3))
+    proj = rng.normal(size=(2, 4))
+    return lambda: _projected(net(x), proj), _named_parameters(net) + [("x", x)]
+
+
+def _case_lstm():
+    rng = derive_rng(18)
+    net = LSTM(3, 4, rng=rng)
+    x = _rand(rng, (2, 3, 3))
+    proj = rng.normal(size=(2, 4))
+    return lambda: _projected(net(x), proj), _named_parameters(net) + [("x", x)]
+
+
+def _positive_pair(rng: np.random.Generator, n: int) -> tuple[Tensor, Tensor]:
+    """Strictly positive (estimated, true) with entries well separated, so
+    the FD probes never cross the q-error/abs kink at estimated == true."""
+    true = Tensor(rng.uniform(1.0, 10.0, size=n), requires_grad=True)
+    estimated = Tensor(true.data * rng.uniform(1.3, 3.0, size=n), requires_grad=True)
+    return estimated, true
+
+
+def _case_q_error_loss():
+    rng = derive_rng(19)
+    estimated, true = _positive_pair(rng, 6)
+    return (
+        lambda: q_error_loss(estimated, true),
+        [("estimated", estimated), ("true", true)],
+    )
+
+
+def _case_log_q_error_loss():
+    rng = derive_rng(20)
+    estimated, true = _positive_pair(rng, 6)
+    return (
+        lambda: log_q_error_loss(estimated, true),
+        [("estimated", estimated), ("true", true)],
+    )
+
+
+def _case_mse_loss():
+    rng = derive_rng(21)
+    prediction = _rand(rng, (4, 3))
+    target = _rand(rng, (4, 3))
+    return (
+        lambda: mse_loss(prediction, target),
+        [("prediction", prediction), ("target", target)],
+    )
+
+
+def _case_bce_loss():
+    rng = derive_rng(22)
+    # Keep probabilities far from the clip boundaries at eps and 1 - eps.
+    prediction = Tensor(rng.uniform(0.1, 0.9, size=8), requires_grad=True)
+    target = Tensor(rng.uniform(0.2, 0.8, size=8), requires_grad=True)
+    return (
+        lambda: bce_loss(prediction, target),
+        [("prediction", prediction), ("target", target)],
+    )
+
+
+def _case_kl_standard_normal():
+    rng = derive_rng(23)
+    mu = _rand(rng, (4, 3))
+    log_var = _rand(rng, (4, 3))
+    return (
+        lambda: kl_standard_normal(mu, log_var),
+        [("mu", mu), ("log_var", log_var)],
+    )
+
+
+_CASES: tuple[_Case, ...] = (
+    _Case("layers.Linear", _case_linear),
+    _Case("layers.Linear(bias=False)", _case_linear_no_bias),
+    _Case("layers.mlp[Tanh]", _case_mlp_tanh),
+    _Case("layers.Dropout", _case_dropout),
+    _Case("recurrent.RNNCell", _case_rnn_cell),
+    _Case("recurrent.LSTMCell", _case_lstm_cell),
+    _Case("recurrent.RNN", _case_rnn),
+    _Case("recurrent.LSTM", _case_lstm),
+    _Case("losses.q_error_loss", _case_q_error_loss),
+    _Case("losses.log_q_error_loss", _case_log_q_error_loss),
+    _Case("losses.mse_loss", _case_mse_loss),
+    _Case("losses.bce_loss", _case_bce_loss),
+    _Case("losses.kl_standard_normal", _case_kl_standard_normal),
+)
+
+
+def case_names() -> list[str]:
+    return [case.name for case in _CASES]
+
+
+def run_gradcheck(tolerance: float = DEFAULT_TOLERANCE) -> list[GradCheckResult]:
+    """Sweep every registered layer/loss case; returns one result per case."""
+    results = []
+    for case in _CASES:
+        forward, wrt = case.build()
+        results.append(_check(forward, wrt, tolerance, case.name))
+    return results
+
+
+def max_relative_error(results: Sequence[GradCheckResult]) -> float:
+    return max(r.max_rel_error for r in results)

@@ -1,0 +1,48 @@
+"""Render lint findings as ``file:line:col: rule-id message`` text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.walker import Finding
+
+
+def format_finding(finding: Finding, show_hint: bool = False) -> str:
+    line = (
+        f"{finding.location}: {finding.rule_id} "
+        f"[{finding.severity}] {finding.message}"
+    )
+    if show_hint and finding.hint:
+        line += f"\n    hint: {finding.hint}"
+    return line
+
+
+def summary_line(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "clean: no findings"
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    return f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)"
+
+
+def render_text(findings: Sequence[Finding], show_hints: bool = False) -> str:
+    lines = [format_finding(f, show_hint=show_hints) for f in findings]
+    lines.append(summary_line(findings))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = [
+        {
+            "rule": f.rule_id,
+            "severity": f.severity,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "message": f.message,
+            "hint": f.hint,
+        }
+        for f in findings
+    ]
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,29 @@
+"""Repo-specific lint rules; importing this package registers them all.
+
+| id   | title                | what it protects                             |
+|------|----------------------|----------------------------------------------|
+| R001 | unseeded-rng         | determinism: all RNG flows through utils/rng |
+| R002 | mutable-default-arg  | shared-state bugs across calls               |
+| R003 | bare-or-broad-except | silent swallowing of real failures           |
+| R004 | print-in-library     | clean stdout for benches and pytest          |
+| R005 | float-equality       | exact ``==`` on cardinalities / q-errors     |
+| R006 | missing-seed-plumbing| public APIs that hide their randomness       |
+"""
+
+from repro.analysis.rules import (  # noqa — imports register the rules
+    r001_unseeded_rng,
+    r002_mutable_default_arg,
+    r003_bare_except,
+    r004_print_in_library,
+    r005_float_equality,
+    r006_missing_seed_plumbing,
+)
+
+__all__ = [
+    "r001_unseeded_rng",
+    "r002_mutable_default_arg",
+    "r003_bare_except",
+    "r004_print_in_library",
+    "r005_float_equality",
+    "r006_missing_seed_plumbing",
+]

@@ -1,0 +1,55 @@
+"""R001 unseeded-rng: all randomness must flow through ``repro.utils.rng``.
+
+Any call into ``numpy.random`` outside ``utils/rng.py`` — including
+``np.random.default_rng(...)`` with an explicit seed — creates a stream
+the central helpers cannot see, so experiments stop being bit-for-bit
+reproducible from a single root seed. Legacy global-state calls
+(``np.random.seed``, ``np.random.rand``, ...) are worse: they make results
+depend on execution order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import (
+    Finding,
+    LintContext,
+    Rule,
+    canonical_call_name,
+    import_aliases,
+    register,
+)
+
+_EXEMPT_SUFFIX = ("utils", "rng.py")
+
+
+@register
+class UnseededRng(Rule):
+    rule_id = "R001"
+    title = "unseeded-rng"
+    severity = "error"
+    hint = (
+        "route randomness through repro.utils.rng.derive_rng/spawn_rngs, "
+        "threading an explicit seed or numpy Generator from the caller"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.path_parts[-2:] == _EXEMPT_SUFFIX:
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node, aliases)
+            if name is None:
+                continue
+            if name.startswith("numpy.random.") and name != "numpy.random.Generator":
+                short = "np.random." + name[len("numpy.random.") :]
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct call to {short} outside utils/rng.py bypasses the "
+                    "central seeded-RNG plumbing",
+                )

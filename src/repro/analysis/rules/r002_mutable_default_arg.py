@@ -1,0 +1,57 @@
+"""R002 mutable-default-arg: default values shared across calls.
+
+A ``def f(x=[])`` default is evaluated once at definition time; every call
+that mutates it corrupts later calls. In an attack pipeline that reuses
+generator/trainer entry points across experiment runs, this silently leaks
+state between runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import Finding, LintContext, Rule, register
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultArg(Rule):
+    rule_id = "R002"
+    title = "mutable-default-arg"
+    severity = "error"
+    hint = "default to None and create the container inside the function body"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    where = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {where!r} is shared "
+                        "across every call",
+                    )

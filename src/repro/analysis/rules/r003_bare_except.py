@@ -1,0 +1,55 @@
+"""R003 bare-or-broad-except: handlers that swallow real failures.
+
+``except:`` (which also catches ``KeyboardInterrupt``/``SystemExit``) is
+always flagged. ``except Exception``/``except BaseException`` is flagged
+unless the handler re-raises, because a broad catch-and-continue can turn
+a genuinely broken attack run into a silently weaker result — the exact
+evaluation-hygiene failure the paper warns about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import Finding, LintContext, Rule, dotted_name, register
+
+_BROAD = {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@register
+class BareOrBroadExcept(Rule):
+    rule_id = "R003"
+    title = "bare-or-broad-except"
+    severity = "warning"
+    hint = (
+        "catch the narrowest exception type the block can actually raise "
+        "(see repro.utils.errors), or re-raise after handling"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' also catches KeyboardInterrupt and SystemExit",
+                    severity="error",
+                )
+                continue
+            name = dotted_name(node.type)
+            if name in _BROAD and not _reraises(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"broad 'except {name}' without re-raise can hide real failures",
+                )

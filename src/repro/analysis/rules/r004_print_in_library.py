@@ -1,0 +1,39 @@
+"""R004 print-in-library: library modules must log, not print.
+
+``print()`` in library code pollutes benchmark tables and pytest output
+and cannot be silenced or redirected centrally. Library modules use
+``repro.utils.log.get_logger(__name__)``. CLI entry points (``cli.py``,
+``__main__.py``) are exempt: their stdout *is* the interface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import Finding, LintContext, Rule, register
+
+_EXEMPT_FILENAMES = {"cli.py", "__main__.py"}
+
+
+@register
+class PrintInLibrary(Rule):
+    rule_id = "R004"
+    title = "print-in-library"
+    severity = "warning"
+    hint = "use repro.utils.log.get_logger(__name__) and log at an explicit level"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.filename in _EXEMPT_FILENAMES:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code bypasses the logging layer",
+                )

@@ -1,0 +1,77 @@
+"""R005 float-equality: exact ``==``/``!=`` on cardinalities and q-errors.
+
+Cardinalities travel through ``float64`` arrays (``Executor.count_many``,
+the CE model outputs, q-error summaries), so exact equality is one rounding
+step away from a wrong branch. Comparisons where an operand is a float
+literal, or is *named* like a cardinality/q-error quantity, must use
+``math.isclose``/``np.isclose`` or an explicit inequality threshold.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.walker import Finding, LintContext, Rule, register
+
+# Identifier stems that hold cardinalities / q-error style float quantities
+# in this repo. Matched against the last attribute segment or variable name.
+_FLOATY_NAME = re.compile(
+    r"^(card|cards|cardinality|cardinalities|selectivity|selectivities"
+    r"|q_?errors?|qerr|degradation|divergence)$"
+)
+
+
+def _operand_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _operand_name(node.value)
+    return None
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _why(node: ast.AST) -> str | None:
+    if _is_float_literal(node):
+        return "a float literal"
+    name = _operand_name(node)
+    if name is not None and _FLOATY_NAME.match(name):
+        return f"cardinality-like operand {name!r}"
+    return None
+
+
+@register
+class FloatEquality(Rule):
+    rule_id = "R005"
+    title = "float-equality"
+    severity = "warning"
+    hint = (
+        "use math.isclose/np.isclose with an explicit tolerance, or an "
+        "inequality (e.g. 'card <= 0' for emptiness checks)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                reason = _why(left) or _why(right)
+                if reason is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"exact '{symbol}' comparison involving {reason}",
+                    )
+                    break

@@ -1,0 +1,106 @@
+"""R006 missing-seed-plumbing: public APIs must expose their randomness.
+
+Public functions in ``attack/``, ``ce/`` and ``workload/`` that construct
+an RNG (``derive_rng``, ``spawn_rngs``, ``np.random.default_rng``) must
+thread it from the caller: either accept a ``seed``/``rng`` parameter or
+derive the stream from an expression that mentions one (``config.seed``,
+``self.seed + 1``, ...). A hardcoded or implicit stream makes the function
+unreproducible from the experiment's root seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.walker import (
+    Finding,
+    LintContext,
+    Rule,
+    canonical_call_name,
+    import_aliases,
+    register,
+)
+
+_SCOPED_PACKAGES = {"attack", "ce", "workload"}
+_CONSTRUCTORS = {
+    "derive_rng",
+    "spawn_rngs",
+    "repro.utils.rng.derive_rng",
+    "repro.utils.rng.spawn_rngs",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+}
+_SEEDY_PARAM = ("seed", "rng", "generator")
+
+
+def _in_scope(ctx: LintContext) -> bool:
+    return bool(_SCOPED_PACKAGES.intersection(ctx.path_parts[:-1]))
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    return [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ] + [a.arg for a in (args.vararg, args.kwarg) if a is not None]
+
+
+def _mentions_seed(node: ast.AST) -> bool:
+    """Does any argument expression reference a seed/rng-named value?"""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.keyword):
+            name = sub.arg
+        if name is not None and any(stem in name.lower() for stem in _SEEDY_PARAM):
+            return True
+    return False
+
+
+@register
+class MissingSeedPlumbing(Rule):
+    rule_id = "R006"
+    title = "missing-seed-plumbing"
+    severity = "error"
+    hint = (
+        "add a 'seed: int | np.random.Generator | None' parameter and pass "
+        "it to repro.utils.rng.derive_rng"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        aliases = import_aliases(ctx.tree)
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name.startswith("_"):
+                continue
+            params = _param_names(fn)
+            has_seed_param = any(
+                any(stem in p.lower() for stem in _SEEDY_PARAM) for p in params
+            )
+            if has_seed_param:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = canonical_call_name(node, aliases)
+                if name not in _CONSTRUCTORS:
+                    continue
+                args_mention_seed = any(
+                    _mentions_seed(a) for a in (*node.args, *node.keywords)
+                )
+                if args_mention_seed:
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public function {fn.name!r} constructs an RNG via "
+                    f"{name.rsplit('.', 1)[-1]} but accepts no seed/rng parameter",
+                )

@@ -1,0 +1,268 @@
+"""AST lint framework: rule registry, file walking, suppression handling.
+
+The linter exists to enforce the repo's correctness invariants — above all
+determinism (every random draw flows through ``repro.utils.rng``) — rather
+than style. Each rule lives in its own module under
+``repro.analysis.rules`` and registers itself with :func:`register`; the
+walker parses each target file once and hands the tree to every rule.
+
+Suppression: a ``# noqa`` comment silences every rule on that line, and
+``# noqa: R001, R005`` silences only the listed rule ids. Use sparingly —
+the self-lint test keeps ``src/repro`` at zero findings, so a suppression
+is a permanent, visible exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+SEVERITIES = ("error", "warning")
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::(?P<ids>[\sA-Za-z0-9,]+))?", re.IGNORECASE)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint violation, pointing at ``path:line:col``."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: str = "error"
+    hint: str | None = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclasses.dataclass
+class LintContext:
+    """Everything a rule needs to inspect one parsed file."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    source: str
+    lines: list[str]
+    suppressions: dict[int, set[str] | None]
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    @property
+    def path_parts(self) -> tuple[str, ...]:
+        return self.path.parts
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self.suppressions:
+            return False
+        ids = self.suppressions[line]
+        return ids is None or rule_id in ids
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (``R###``), ``title`` (kebab-case name),
+    ``severity`` and ``hint``, then implement :meth:`check` yielding
+    :class:`Finding` objects. Register with the :func:`register` decorator.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = "error"
+    hint: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+        severity: str | None = None,
+        hint: str | None = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            severity=severity or self.severity,
+            hint=hint if hint is not None else (self.hint or None),
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not re.fullmatch(r"R\d{3}", cls.rule_id):
+        raise ValueError(f"rule id must look like R001, got {cls.rule_id!r}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}, got {cls.severity!r}")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select`` ids."""
+    from repro.analysis import rules as _rules  # noqa — import registers the rules
+
+    del _rules
+    wanted = None if select is None else {s.strip().upper() for s in select}
+    if wanted is not None:
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+    return [
+        cls()
+        for rule_id, cls in sorted(_REGISTRY.items())
+        if wanted is None or rule_id in wanted
+    ]
+
+
+def _collect_suppressions(lines: list[str]) -> dict[int, set[str] | None]:
+    out: dict[int, set[str] | None] = {}
+    for i, line in enumerate(lines, start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            out[i] = None
+        else:
+            out[i] = {part.strip().upper() for part in ids.split(",") if part.strip()}
+    return out
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_file(
+    path: Path | str,
+    rules: list[Rule] | None = None,
+    display_path: str | None = None,
+) -> list[Finding]:
+    """Lint one file, returning findings sorted by position."""
+    path = Path(path)
+    if rules is None:
+        rules = all_rules()
+    display = display_path if display_path is not None else str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="E999",
+                message=f"syntax error: {exc.msg}",
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                severity="error",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = LintContext(
+        path=path,
+        display_path=display,
+        tree=tree,
+        source=source,
+        lines=lines,
+        suppressions=_collect_suppressions(lines),
+    )
+    findings = [
+        f
+        for rule in rules
+        for f in rule.check(ctx)
+        if not ctx.is_suppressed(f.rule_id, f.line)
+    ]
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def run_lint(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` with the (selected) rules."""
+    rules = all_rules(select=select)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers for the rule modules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local bound names to the canonical dotted module/object path.
+
+    Covers ``import numpy as np`` (``np -> numpy``) and
+    ``from numpy.random import default_rng as rng_fn``
+    (``rng_fn -> numpy.random.default_rng``).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def canonical_call_name(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of a call target, resolving import aliases."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    resolved = aliases.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved

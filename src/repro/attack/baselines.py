@@ -106,7 +106,7 @@ def greedy_search(
                     card = executor.count(query)
                 except ExecutionBudgetError:
                     continue
-                if card == 0:
+                if card <= 0:
                     continue
                 loss = float(_inference_losses(surrogate, [query], np.array([card]))[0])
                 if best_loss is None or loss > best_loss:
@@ -177,7 +177,7 @@ def train_generator_loss_based(
     # selection instead simulates the post-update error; this difference is
     # exactly what the Fig. 6-9 gap between Lb-G and PACE measures.)
     best_value, best_state = -np.inf, None
-    probe_rng = np.random.default_rng(config.seed + 4242)
+    probe_rng = derive_rng(config.seed + 4242)
     for state in snapshots:
         generator.load_state_dict(state)
         queries = generator.generate_queries(config.poison_batch, probe_rng)

@@ -5,6 +5,8 @@ Examples::
     python -m repro attack --dataset dmv --model fcn --method pace
     python -m repro attack --dataset tpch --model mscn --method lbg --count 48
     python -m repro speculate --dataset dmv --model lstm
+    python -m repro lint --format json
+    python -m repro gradcheck
     python -m repro info
 """
 
@@ -12,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.ce.registry import MODEL_TYPES
 from repro.datasets.registry import DATASET_NAMES
@@ -48,6 +51,24 @@ def build_parser() -> argparse.ArgumentParser:
         "speculate", help="probe a deployed model and speculate its type"
     )
     _add_common(speculate)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific static-analysis rules (R001-R006)"
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--fix-hints", action="store_true",
+                      help="show an autofix hint under each finding")
+    lint.add_argument("--select", default=None, metavar="IDS",
+                      help="comma-separated rule ids to run (e.g. R001,R004)")
+
+    gradcheck = sub.add_parser(
+        "gradcheck",
+        help="audit repro.nn gradients against finite differences",
+    )
+    gradcheck.add_argument("--tolerance", type=float, default=None,
+                           help="max relative error allowed (default: 1e-4)")
 
     sub.add_parser("info", help="list datasets, model types, methods, scales")
     return parser
@@ -109,6 +130,47 @@ def cmd_speculate(args: argparse.Namespace) -> int:
     return 0 if result.speculated_type == args.model else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_json, render_text, run_lint
+
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+    else:
+        # Lint the installed package source itself.
+        targets = [Path(__file__).resolve().parent]
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = run_lint(targets, select=select)
+    except (KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"lint: error: {message}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, show_hints=args.fix_hints))
+    return 1 if findings else 0
+
+
+def cmd_gradcheck(args: argparse.Namespace) -> int:
+    from repro.analysis import DEFAULT_TOLERANCE, max_relative_error, run_gradcheck
+
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    results = run_gradcheck(tolerance=tolerance)
+    rows = [
+        [r.name, f"{r.max_rel_error:.3e}", str(r.checked), "ok" if r.passed else "FAIL"]
+        for r in results
+    ]
+    print(render_table(
+        ["layer / loss", "max rel error", "grads", "status"],
+        rows,
+        title="repro.nn gradient audit (analytic vs central finite differences)",
+    ))
+    worst = max_relative_error(results)
+    print(f"\nmax relative error: {worst:.3e} (tolerance {tolerance:g})")
+    return 0 if all(r.passed for r in results) else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     print("datasets:   ", ", ".join(DATASET_NAMES))
     print("model types:", ", ".join(MODEL_TYPES))
@@ -120,7 +182,13 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"attack": cmd_attack, "speculate": cmd_speculate, "info": cmd_info}
+    handlers = {
+        "attack": cmd_attack,
+        "speculate": cmd_speculate,
+        "lint": cmd_lint,
+        "gradcheck": cmd_gradcheck,
+        "info": cmd_info,
+    }
     return handlers[args.command](args)
 
 

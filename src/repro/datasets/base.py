@@ -13,7 +13,7 @@ calls :func:`build_database`; everything is deterministic given a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

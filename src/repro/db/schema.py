@@ -7,7 +7,7 @@ value object: names, attribute domains, and which key columns join to which.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

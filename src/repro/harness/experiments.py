@@ -42,6 +42,7 @@ from repro.metrics.divergence import workload_divergence
 from repro.metrics.qerror import QErrorSummary, degradation_factor
 from repro.utils.config import ScaleConfig, get_scale
 from repro.utils.errors import ReproError
+from repro.utils.rng import derive_rng
 from repro.utils.timer import timed
 from repro.workload.encoding import QueryEncoder
 from repro.workload.generator import WorkloadGenerator
@@ -255,7 +256,7 @@ def craft_poison(
     """
     count = count or scenario.scale.poison_queries
     seed = scenario.seed if seed is None else seed
-    rng = np.random.default_rng(seed + 17)
+    rng = derive_rng(seed + 17)
     if method == "clean":
         return [], 0.0, 0.0, []
     if method == "random":

@@ -8,6 +8,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.utils.log import get_logger
+
+_log = get_logger(__name__)
+
 
 def format_value(value) -> str:
     """Compact numeric formatting matching the paper's tables."""
@@ -50,5 +54,5 @@ def render_table(
 
 
 def print_table(headers, rows, title=None) -> None:
-    print(render_table(headers, rows, title=title))
-    print()
+    """Emit a rendered table through the logging layer (stdout by default)."""
+    _log.info("%s\n", render_table(headers, rows, title=title))

@@ -68,7 +68,9 @@ class Tensor:
         return Tensor(np.ones(shape), requires_grad=requires_grad)
 
     @staticmethod
-    def randn(shape, rng: np.random.Generator, scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+    def randn(
+        shape, rng: np.random.Generator, scale: float = 1.0, requires_grad: bool = False
+    ) -> "Tensor":
         return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
 
     # ------------------------------------------------------------------

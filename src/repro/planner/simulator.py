@@ -17,7 +17,7 @@ from repro.ce.base import CardinalityEstimator
 from repro.db.executor import Executor
 from repro.db.query import Query
 from repro.planner.cardinality import EstimatedCardinalities, TrueCardinalities
-from repro.planner.optimizer import JoinOrderOptimizer, plan_cost
+from repro.planner.optimizer import JoinOrderOptimizer
 
 
 @dataclass(frozen=True)

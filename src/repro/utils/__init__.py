@@ -2,12 +2,16 @@
 
 from repro.utils.config import ScaleConfig, get_scale
 from repro.utils.errors import ReproError, SchemaError, QueryError, TrainingError
+from repro.utils.log import configure as configure_logging
+from repro.utils.log import get_logger
 from repro.utils.rng import RngMixin, derive_rng, spawn_rngs
 from repro.utils.timer import Timer, timed
 
 __all__ = [
     "ScaleConfig",
     "get_scale",
+    "get_logger",
+    "configure_logging",
     "ReproError",
     "SchemaError",
     "QueryError",

@@ -1,0 +1,74 @@
+"""Library logging: non-CLI modules route their output through here.
+
+The static-analysis rule R004 (print-in-library) forbids bare ``print()``
+calls outside the CLI entry points, because stray stdout writes pollute
+benchmark tables and pytest output. Library modules instead do::
+
+    from repro.utils.log import get_logger
+
+    _log = get_logger(__name__)
+    _log.info("...")
+
+By default the package root logger writes plain messages to the *current*
+``sys.stdout`` (so benchmark scripts keep their table output and pytest's
+capture still works), at the level named by ``REPRO_LOG_LEVEL`` (default
+``INFO``). Applications can call :func:`configure` to override.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+class _StdoutProxy:
+    """File-like object that always resolves the current ``sys.stdout``.
+
+    Handlers capture their stream once at construction; tests (pytest's
+    ``capsys``) swap ``sys.stdout`` afterwards, so the handler must defer
+    the lookup to write time.
+    """
+
+    def write(self, text: str) -> int:
+        return sys.stdout.write(text)
+
+    def flush(self) -> None:
+        sys.stdout.flush()
+
+
+def configure(level: int | str | None = None, *, force: bool = False) -> logging.Logger:
+    """Attach the plain-text stdout handler to the ``repro`` root logger.
+
+    Idempotent unless ``force`` is true. ``level`` defaults to the
+    ``REPRO_LOG_LEVEL`` environment variable, then ``INFO``.
+    """
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if _configured and not force:
+        return root
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    if isinstance(level, str):
+        level = level.upper()
+    handler = logging.StreamHandler(_StdoutProxy())
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Module-level logger, namespaced under the package root.
+
+    Usage: ``_log = get_logger(__name__)`` at module scope.
+    """
+    configure()
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)

@@ -132,7 +132,7 @@ class WorkloadGenerator:
                 card = self.executor.count(query)
             except ExecutionBudgetError:
                 continue
-            if card == 0:
+            if card <= 0:
                 continue
             examples.append((query, card))
         if len(examples) < count:

@@ -89,7 +89,7 @@ def template_workload(
             card = executor.count(query)
         except ExecutionBudgetError:
             continue
-        if card == 0:
+        if card <= 0:
             continue
         examples.append(LabeledQuery(query, card))
     if len(examples) < count:

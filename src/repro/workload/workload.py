@@ -36,7 +36,7 @@ class Workload:
                 card = executor.count(q)
             except ExecutionBudgetError:
                 continue
-            if card == 0 and drop_empty:
+            if card <= 0 and drop_empty:
                 continue
             examples.append(LabeledQuery(q, card))
         return Workload(examples)

@@ -1,0 +1,42 @@
+"""The autograd engine must agree with finite differences everywhere."""
+
+from __future__ import annotations
+
+from repro.analysis import case_names, max_relative_error, run_gradcheck
+
+EXPECTED_COVERAGE = {
+    "layers.Linear",
+    "layers.Linear(bias=False)",
+    "layers.mlp[Tanh]",
+    "layers.Dropout",
+    "recurrent.RNNCell",
+    "recurrent.LSTMCell",
+    "recurrent.RNN",
+    "recurrent.LSTM",
+    "losses.q_error_loss",
+    "losses.log_q_error_loss",
+    "losses.mse_loss",
+    "losses.bce_loss",
+    "losses.kl_standard_normal",
+}
+
+
+def test_sweep_covers_every_layer_and_loss():
+    assert set(case_names()) == EXPECTED_COVERAGE
+
+
+def test_max_relative_error_below_tolerance():
+    results = run_gradcheck(tolerance=1e-4)
+    failures = [r for r in results if not r.passed]
+    assert not failures, [(r.name, r.max_rel_error) for r in failures]
+    assert max_relative_error(results) < 1e-4
+    # Every case actually compared a meaningful number of scalar gradients.
+    assert all(r.checked >= 12 for r in results)
+
+
+def test_results_are_deterministic():
+    first = run_gradcheck()
+    second = run_gradcheck()
+    assert [(r.name, r.max_rel_error) for r in first] == [
+        (r.name, r.max_rel_error) for r in second
+    ]

@@ -1,0 +1,299 @@
+"""Each rule fires on its trigger fixture and stays quiet on the clean one."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules, lint_file, run_lint
+
+
+def lint_snippet(tmp_path, source, filename="snippet.py", subdir=None, select=None):
+    directory = tmp_path if subdir is None else tmp_path / subdir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / filename
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, rules=all_rules(select=select))
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestR001UnseededRng:
+    def test_flags_direct_default_rng(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng(42)
+                return rng.random()
+        """, select=["R001"])
+        assert rule_ids(findings) == ["R001"]
+        assert findings[0].line == 5
+
+    def test_flags_legacy_global_state(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy
+            numpy.random.seed(0)
+            x = numpy.random.rand(3)
+        """, select=["R001"])
+        assert rule_ids(findings) == ["R001", "R001"]
+
+    def test_flags_from_import_alias(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from numpy.random import default_rng
+
+            def sample():
+                return default_rng(7)
+        """, select=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+    def test_passes_derive_rng(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.utils.rng import derive_rng
+
+            def sample(seed):
+                return derive_rng(seed).random()
+        """, select=["R001"])
+        assert findings == []
+
+    def test_exempts_utils_rng_module(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def derive_rng(seed):
+                return np.random.default_rng(seed)
+        """, filename="rng.py", subdir="utils", select=["R001"])
+        assert findings == []
+
+
+class TestR002MutableDefaultArg:
+    def test_flags_list_dict_set_literals(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(a=[], b={}, c=set()):
+                return a, b, c
+        """, select=["R002"])
+        assert rule_ids(findings) == ["R002", "R002", "R002"]
+
+    def test_flags_kwonly_and_lambda(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(*, registry=dict()):
+                return registry
+
+            g = lambda items=[]: items
+        """, select=["R002"])
+        assert rule_ids(findings) == ["R002", "R002"]
+
+    def test_passes_none_default(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(a=None, b=(), c="x", d=0):
+                a = [] if a is None else a
+                return a, b, c, d
+        """, select=["R002"])
+        assert findings == []
+
+
+class TestR003BareOrBroadExcept:
+    def test_flags_bare_except_as_error(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            try:
+                risky()
+            except:
+                pass
+        """, select=["R003"])
+        assert rule_ids(findings) == ["R003"]
+        assert findings[0].severity == "error"
+
+    def test_flags_broad_except_without_reraise(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            try:
+                risky()
+            except Exception:
+                result = None
+        """, select=["R003"])
+        assert rule_ids(findings) == ["R003"]
+        assert findings[0].severity == "warning"
+
+    def test_passes_broad_except_with_reraise(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            try:
+                risky()
+            except Exception:
+                cleanup()
+                raise
+        """, select=["R003"])
+        assert findings == []
+
+    def test_passes_narrow_except(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            try:
+                risky()
+            except ValueError:
+                result = None
+        """, select=["R003"])
+        assert findings == []
+
+
+class TestR004PrintInLibrary:
+    def test_flags_print(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def report(x):
+                print(x)
+        """, select=["R004"])
+        assert rule_ids(findings) == ["R004"]
+
+    def test_exempts_cli_and_main(self, tmp_path):
+        for filename in ("cli.py", "__main__.py"):
+            findings = lint_snippet(
+                tmp_path, "print('usage: ...')\n", filename=filename, select=["R004"]
+            )
+            assert findings == []
+
+    def test_passes_logger(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.utils.log import get_logger
+
+            _log = get_logger(__name__)
+
+            def report(x):
+                _log.info("%s", x)
+        """, select=["R004"])
+        assert findings == []
+
+
+class TestR005FloatEquality:
+    def test_flags_cardinality_name(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def drop_empty(card):
+                return card == 0
+        """, select=["R005"])
+        assert rule_ids(findings) == ["R005"]
+
+    def test_flags_float_literal(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def is_disabled(p):
+                return p == 0.0
+        """, select=["R005"])
+        assert rule_ids(findings) == ["R005"]
+
+    def test_flags_qerror_attribute(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def same(summary, other):
+                return summary.degradation != other.degradation
+        """, select=["R005"])
+        assert rule_ids(findings) == ["R005"]
+
+    def test_passes_inequality_and_isclose(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import math
+
+            def drop_empty(card, p):
+                return card <= 0 or math.isclose(p, 0.0)
+        """, select=["R005"])
+        assert findings == []
+
+    def test_passes_plain_int_comparison(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def check(count, name):
+                return count == 3 and name == "dmv"
+        """, select=["R005"])
+        assert findings == []
+
+
+class TestR006MissingSeedPlumbing:
+    def test_flags_hardcoded_seed_in_attack_package(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.utils.rng import derive_rng
+
+            def craft_poison(database, count):
+                rng = derive_rng(0)
+                return rng.random(count)
+        """, subdir="attack", select=["R006"])
+        assert rule_ids(findings) == ["R006"]
+
+    def test_flags_os_seeded_default_rng(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            def sample_queries(workload):
+                rng = np.random.default_rng()
+                return rng.choice(workload)
+        """, subdir="workload", select=["R006"])
+        assert rule_ids(findings) == ["R006"]
+
+    def test_passes_seed_parameter(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.utils.rng import derive_rng
+
+            def craft_poison(database, count, seed=None):
+                rng = derive_rng(seed)
+                return rng.random(count)
+        """, subdir="attack", select=["R006"])
+        assert findings == []
+
+    def test_passes_config_seed_expression(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.utils.rng import derive_rng
+
+            def train(config):
+                rng = derive_rng(config.seed + 1)
+                return rng.random()
+        """, subdir="ce", select=["R006"])
+        assert findings == []
+
+    def test_ignores_private_functions_and_other_packages(self, tmp_path):
+        source = """
+            from repro.utils.rng import derive_rng
+
+            def _helper():
+                return derive_rng(3)
+        """
+        assert lint_snippet(tmp_path, source, subdir="attack", select=["R006"]) == []
+        public = """
+            from repro.utils.rng import derive_rng
+
+            def helper():
+                return derive_rng(3)
+        """
+        assert lint_snippet(tmp_path, public, subdir="metrics", select=["R006"]) == []
+
+
+class TestFramework:
+    def test_noqa_suppresses_specific_rule(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            rng = np.random.default_rng(1)  # noqa: R001
+        """)
+        assert findings == []
+
+    def test_noqa_other_rule_does_not_suppress(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            rng = np.random.default_rng(1)  # noqa: R004
+        """, select=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        findings = lint_snippet(tmp_path, "def broken(:\n")
+        assert rule_ids(findings) == ["E999"]
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(KeyError):
+            all_rules(select=["R999"])
+
+    def test_run_lint_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("print('x')\n")
+        (tmp_path / "pkg" / "b.py").write_text("import math\n")
+        findings = run_lint([tmp_path / "pkg"], select=["R004"])
+        assert rule_ids(findings) == ["R004"]
+
+    def test_findings_report_location_and_hint(self, tmp_path):
+        findings = lint_snippet(tmp_path, "print('x')\n", select=["R004"])
+        (finding,) = findings
+        assert finding.location.endswith("snippet.py:1:1")
+        assert "get_logger" in finding.hint

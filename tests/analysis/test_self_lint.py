@@ -1,0 +1,22 @@
+"""The tree gates on its own linter: ``src/repro`` must stay clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis import render_text, run_lint
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_src_repro_is_violation_free():
+    findings = run_lint([PACKAGE_ROOT])
+    assert findings == [], "\n" + render_text(findings, show_hints=True)
+
+
+def test_all_six_rules_are_registered():
+    from repro.analysis import all_rules
+
+    ids = sorted(rule.rule_id for rule in all_rules())
+    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]

@@ -1,7 +1,6 @@
 """The four baseline attack methods."""
 
 import numpy as np
-import pytest
 
 from repro.attack import (
     greedy_search,

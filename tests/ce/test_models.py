@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ce import MODEL_TYPES, create_model, register_model
-from repro.ce.base import CardinalityEstimator
 from repro.datasets import load_dataset
 from repro.nn import Tensor
 from repro.utils.errors import ReproError, TrainingError

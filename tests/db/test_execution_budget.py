@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.db import Database, Column, DatabaseSchema, Executor, JoinEdge, Query, Table, TableSchema, hash_join_pairs
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    Executor,
+    JoinEdge,
+    Query,
+    Table,
+    TableSchema,
+    hash_join_pairs,
+)
 from repro.utils.errors import ExecutionBudgetError
 from repro.workload.workload import Workload
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import Linear, Module, Parameter, ReLU, Sequential, Tensor, mlp
+from repro.nn import Linear, Module, Parameter, Sequential, Tensor, mlp
 from repro.nn.layers import Dropout
 
 

@@ -1,7 +1,6 @@
 """Recurrent cells and sequence plumbing."""
 
 import numpy as np
-import pytest
 
 from repro.nn import LSTM, RNN, LSTMCell, RNNCell, Tensor, split_sequence
 

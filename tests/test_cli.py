@@ -6,9 +6,10 @@ from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_requires_command(self):
+    def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+        assert "required: command" in capsys.readouterr().err
 
     def test_attack_defaults(self):
         args = build_parser().parse_args(["attack"])
@@ -16,9 +17,15 @@ class TestParser:
         assert args.method == "pace"
         assert not args.no_detector
 
-    def test_rejects_unknown_dataset(self):
-        with pytest.raises(SystemExit):
+    def test_rejects_unknown_dataset(self, capsys):
+        # argparse writes the usage/error text to stderr before exiting;
+        # capture it so it doesn't pollute the pytest output, and pin the
+        # message while we're at it.
+        with pytest.raises(SystemExit) as exc_info:
             build_parser().parse_args(["attack", "--dataset", "northwind"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'northwind'" in err
 
 
 class TestCommands:
@@ -45,3 +52,43 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "poisoning queries:  12" in out
+
+
+class TestAnalysisCommands:
+    def test_lint_self_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_lint_reports_violations_with_nonzero_exit(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(3)\n"
+            "print('done')\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "R004" in out
+        assert f"{bad}:2:7:" in out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("print('x')\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "R004"
+        assert payload[0]["line"] == 1
+
+    def test_lint_select_restricts_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("print('x')\n")
+        assert main(["lint", "--select", "R001", str(bad)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_gradcheck_passes(self, capsys):
+        assert main(["gradcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "max relative error" in out
+        assert "FAIL" not in out
