@@ -27,6 +27,7 @@ from repro.nn import (
     RNNCell,
     Tanh,
     Tensor,
+    affine,
     bce_loss,
     grad,
     kl_standard_normal,
@@ -128,6 +129,24 @@ def _case_linear_no_bias():
     x = _rand(rng, (4, 3))
     proj = rng.normal(size=(4, 2))
     return lambda: _projected(layer(x), proj), _named_parameters(layer) + [("x", x)]
+
+
+def _make_affine_case(activation, seed, with_bias=True):
+    """The fused affine kernel, per activation and with/without bias."""
+    def build():
+        rng = derive_rng(seed)
+        x = _rand(rng, (5, 4))
+        weight = _rand(rng, (4, 3))
+        bias = _rand(rng, (3,)) if with_bias else None
+        proj = rng.normal(size=(5, 3))
+        wrt = [("x", x), ("weight", weight)]
+        if with_bias:
+            wrt.append(("bias", bias))
+        return (
+            lambda: _projected(affine(x, weight, bias, activation), proj),
+            wrt,
+        )
+    return build
 
 
 def _case_mlp_tanh():
@@ -258,6 +277,11 @@ _CASES: tuple[_Case, ...] = (
     _Case("layers.Linear", _case_linear),
     _Case("layers.Linear(bias=False)", _case_linear_no_bias),
     _Case("layers.mlp[Tanh]", _case_mlp_tanh),
+    _Case("tensor.affine", _make_affine_case(None, 41)),
+    _Case("tensor.affine(no bias)", _make_affine_case(None, 42, with_bias=False)),
+    _Case("tensor.affine[relu]", _make_affine_case("relu", 43)),
+    _Case("tensor.affine[sigmoid]", _make_affine_case("sigmoid", 44)),
+    _Case("tensor.affine[tanh]", _make_affine_case("tanh", 45)),
     _Case("layers.Dropout", _case_dropout),
     _Case("recurrent.RNNCell", _case_rnn_cell),
     _Case("recurrent.LSTMCell", _case_lstm_cell),

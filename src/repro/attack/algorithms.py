@@ -62,8 +62,10 @@ def _shrink_join_pattern(schema, pattern: np.ndarray, scores: np.ndarray) -> np.
         return pattern
     graph = schema.join_graph().subgraph(tables)
     articulation = set(nx.articulation_points(graph))
+    # Iterate in sorted order so score ties break the same way regardless
+    # of set hash order.
     removable = sorted(
-        (t for t in tables if t not in articulation),
+        (t for t in sorted(tables) if t not in articulation),
         key=lambda t: scores[schema.table_index(t)],
     )
     if not removable:
@@ -303,15 +305,35 @@ class _Session:
         rows = np.nonzero(nonempty)[0]
         x = batch.encodings[rows].detach()
         y = Tensor(labels_norm[rows])
-        view, _ = self.fresh_view()
-        poisoned = unrolled_update(
-            view, x, y, steps=self.config.update_steps, lr=self.config.update_lr
-        )
+        final = self._detached_steps(x, y, self.clean_state, self.config.update_steps)
+        view, _ = self.fresh_view(final)
         from repro.nn.tensor import no_grad
 
         with no_grad():
-            prediction = poisoned(self.test_x)
+            prediction = view(self.test_x)
         return float(np.abs(prediction.data - self.test_y.data).mean())
+
+    def _detached_steps(
+        self, x: Tensor, y: Tensor, state: dict[str, np.ndarray], steps: int
+    ) -> dict[str, np.ndarray]:
+        """Eq. 9's K GD steps from ``state``, detached (no taped unroll).
+
+        Numerically identical to :func:`unrolled_update` followed by
+        ``state_dict`` — ``create_graph`` only controls whether the backward
+        pass is taped, never the gradient values — but never materializes
+        the K-step graph, which is the attack loop's dominant cost.
+        """
+        current = dict(state)
+        for _ in range(steps):
+            view, mapping = self.fresh_view(current)
+            loss = training_loss(view, x, y)
+            params = [mapping[name] for name in mapping]
+            grads = grad(loss, params)
+            current = {
+                name: mapping[name].data - self.config.update_lr * g.data
+                for name, g in zip(mapping, grads)
+            }
+        return current
 
     def commit_update(self, state: dict[str, np.ndarray], steps: int) -> dict[str, np.ndarray]:
         """Advance surrogate parameters ``steps`` detached GD steps (Eq. 9).
@@ -326,17 +348,7 @@ class _Session:
         rows = np.nonzero(nonempty)[0]
         x = batch.encodings[rows].detach()
         y = Tensor(labels_norm[rows])
-        current = dict(state)
-        for _ in range(steps):
-            view, mapping = self.fresh_view(current)
-            loss = training_loss(view, x, y)
-            params = [mapping[name] for name in mapping]
-            grads = grad(loss, params)
-            current = {
-                name: mapping[name].data - self.config.update_lr * g.data
-                for name, g in zip(mapping, grads)
-            }
-        return current
+        return self._detached_steps(x, y, state, steps)
 
 
 def train_generator_accelerated(

@@ -85,6 +85,7 @@ class PaceConfig:
     surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
     generator: GeneratorTrainConfig = field(default_factory=GeneratorTrainConfig)
     candidate_train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=30))
+    speculation_ensemble: int = 3
     noise_dim: int = 16
     generator_hidden: int = 32
     max_tables: int = 4
@@ -159,6 +160,7 @@ class PaceAttack:
                 hidden_dim=config.surrogate.hidden_dim,
                 train_config=config.candidate_train,
                 seed=config.seed,
+                ensemble=config.speculation_ensemble,
             )
             probe_groups = self._workload_gen.probe_workloads(
                 queries_per_group=config.probe_queries_per_group

@@ -28,6 +28,7 @@ from repro.metrics.qerror import q_errors
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.utils.clock import Clock, get_clock
 from repro.utils.errors import TrainingError
 from repro.utils.rng import derive_rng
 from repro.workload.encoding import QueryEncoder
@@ -47,22 +48,28 @@ class SpeculationResult:
     candidate_vectors: dict[str, np.ndarray] = field(default_factory=dict)
 
 
-def performance_vector(estimate_fn, probe_groups, timing_repeats: int = 3) -> np.ndarray:
+def performance_vector(
+    estimate_fn, probe_groups, timing_repeats: int = 3, clock: Clock | None = None
+) -> np.ndarray:
     """``[mean log q-error, latency]`` per probe group, concatenated.
 
-    ``estimate_fn(queries) -> (estimates, seconds)``; groups come from
+    ``estimate_fn(queries) -> estimates``; groups come from
     :meth:`WorkloadGenerator.probe_workloads`. Latency is the median of
-    ``timing_repeats`` timed calls — wall-clock jitter otherwise leaks into
-    the similarity comparison and destabilizes the speculated type.
+    ``timing_repeats`` calls timed with ``clock`` (the process clock from
+    :func:`repro.utils.clock.get_clock` by default) — wall-clock jitter
+    otherwise leaks into the similarity comparison and destabilizes the
+    speculated type. Tests install a fake clock to pin the latency section.
     """
+    clock = clock if clock is not None else get_clock()
     accuracy_parts: list[float] = []
     latency_parts: list[float] = []
     for _name, workload in probe_groups:
-        estimates, seconds = estimate_fn(workload.queries)
-        timings = [seconds]
-        for _ in range(max(timing_repeats - 1, 0)):
-            _, extra = estimate_fn(workload.queries)
-            timings.append(extra)
+        estimates = None
+        timings: list[float] = []
+        for _ in range(max(timing_repeats, 1)):
+            start = clock()
+            estimates = estimate_fn(workload.queries)
+            timings.append(clock() - start)
         errors = q_errors(estimates, workload.cardinalities)
         accuracy_parts.append(float(np.log(errors).mean()))
         latency_parts.append(float(np.median(timings)) / max(len(workload), 1))
@@ -76,15 +83,6 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.dot(a, b) / denom)
 
 
-def _timed_estimator(model: CardinalityEstimator):
-    import time
-
-    def fn(queries):
-        start = time.perf_counter()
-        estimates = model.estimate(queries)
-        return estimates, time.perf_counter() - start
-
-    return fn
 
 
 def train_candidates(
@@ -94,16 +92,29 @@ def train_candidates(
     hidden_dim: int = 32,
     train_config: TrainConfig | None = None,
     seed=0,
-) -> dict[str, CardinalityEstimator]:
-    """Train one candidate model per type on the attacker's own workload."""
+    ensemble: int = 1,
+):
+    """Train candidate models per type on the attacker's own workload.
+
+    With ``ensemble == 1`` (the default) returns ``{type: model}``; with
+    ``ensemble > 1`` returns ``{type: [model, ...]}`` — several
+    independently seeded candidates per type, which
+    :func:`speculate_model_type` averages into one per-type performance
+    vector. A single candidate's q-error shape is a high-variance sample
+    of its family's behaviour, so the ensemble makes the speculated type
+    robust to candidate-seed luck.
+    """
     rng = derive_rng(seed)
-    candidates: dict[str, CardinalityEstimator] = {}
+    candidates: dict[str, object] = {}
     for model_type in model_types:
-        model = create_model(
-            model_type, encoder, hidden_dim=hidden_dim, seed=int(rng.integers(2**31))
-        )
-        train_model(model, workload, train_config or TrainConfig())
-        candidates[model_type] = model
+        group: list[CardinalityEstimator] = []
+        for _ in range(max(ensemble, 1)):
+            model = create_model(
+                model_type, encoder, hidden_dim=hidden_dim, seed=int(rng.integers(2**31))
+            )
+            train_model(model, workload, train_config or TrainConfig())
+            group.append(model)
+        candidates[model_type] = group[0] if ensemble == 1 else group
     return candidates
 
 
@@ -112,20 +123,28 @@ def speculate_model_type(
     candidates: dict[str, CardinalityEstimator],
     probe_groups,
     latency_weight: float = 1.0,
+    clock: Clock | None = None,
 ) -> SpeculationResult:
     """Pick the candidate type most similar to the black box (Eq. 5).
 
     Accuracy and latency sections of each performance vector are
     standardized across models before the cosine comparison so neither
     scale dominates; ``latency_weight`` scales the latency section.
+    ``clock`` (defaulting to the process clock) times every probe batch.
+    A candidate entry may be a list of same-type models (see
+    :func:`train_candidates`); their performance vectors are averaged,
+    which damps the seed-to-seed variance of any single candidate.
     """
     if not candidates:
         raise TrainingError("speculation needs at least one candidate model")
-    bb_vector = performance_vector(black_box.explain_timed, probe_groups)
-    vectors = {
-        name: performance_vector(_timed_estimator(model), probe_groups)
-        for name, model in candidates.items()
-    }
+    bb_vector = performance_vector(black_box.explain_many, probe_groups, clock=clock)
+    vectors = {}
+    for name, entry in candidates.items():
+        group = entry if isinstance(entry, (list, tuple)) else [entry]
+        vectors[name] = np.mean(
+            [performance_vector(m.estimate, probe_groups, clock=clock) for m in group],
+            axis=0,
+        )
     groups = len(probe_groups)
     all_vecs = np.stack([bb_vector] + list(vectors.values()))
     mean = all_vecs.mean(axis=0)

@@ -13,7 +13,6 @@ stay private attributes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +25,7 @@ from repro.ce.trainer import (
 )
 from repro.db.executor import Executor
 from repro.db.query import LabeledQuery, Query
+from repro.utils.clock import get_clock
 from repro.utils.errors import TrainingError
 from repro.workload.workload import Workload
 
@@ -79,10 +79,15 @@ class DeployedEstimator:
         return self._model.estimate(list(queries))
 
     def explain_timed(self, queries) -> tuple[np.ndarray, float]:
-        """Estimates plus elapsed seconds (probe latency for speculation)."""
-        start = time.perf_counter()
+        """Estimates plus elapsed seconds on the ambient clock.
+
+        Timing uses :func:`repro.utils.clock.get_clock`, so tests can make
+        latencies deterministic with :func:`~repro.utils.clock.use_clock`.
+        """
+        clock = get_clock()
+        start = clock()
         estimates = self._model.estimate(list(queries))
-        return estimates, time.perf_counter() - start
+        return estimates, clock() - start
 
     def count(self, query: Query) -> int:
         """True cardinality via ``COUNT(*)`` (the attacker may execute SQL)."""

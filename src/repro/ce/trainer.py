@@ -162,7 +162,7 @@ def evaluate_q_errors(model: CardinalityEstimator, workload: Workload) -> np.nda
     """Per-query Q-errors of ``model`` on a labeled workload."""
     if len(workload) == 0:
         raise TrainingError("cannot evaluate on an empty workload")
-    estimates = np.maximum(model.estimate(workload.queries), 1e-9)
+    estimates = np.maximum(model.estimate_encoded(workload.encode(model.encoder)), 1e-9)
     truths = np.maximum(workload.cardinalities, 1.0)
     ratio = estimates / truths
     return np.maximum(ratio, 1.0 / ratio)

@@ -52,6 +52,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(speculate)
 
+    profile = sub.add_parser(
+        "profile", help="per-phase wall-clock breakdown of one scenario"
+    )
+    _add_common(profile)
+    profile.add_argument("--method", choices=METHODS, default="pace")
+    profile.add_argument("--real-timing", action="store_true",
+                         help="use the real clock for speculation latency "
+                              "probes (default: deterministic fake clock)")
+
+    bench = sub.add_parser(
+        "bench", help="run the smoke benchmark grid and write BENCH_*.json"
+    )
+    bench.add_argument("--scale", choices=available_scales(), default="smoke")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default="BENCH_PR2.json",
+                       help="report path (default: BENCH_PR2.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline BENCH_*.json to compute speedups against "
+                            "(default: benchmarks/baselines/BENCH_SEED.json if present)")
+    bench.add_argument("--no-baseline", action="store_true",
+                       help="skip the baseline comparison even if one exists")
+    bench.add_argument("--real-timing", action="store_true",
+                       help="use the real clock for speculation latency probes")
+
     lint = sub.add_parser(
         "lint", help="run the repo-specific static-analysis rules (R001-R006)"
     )
@@ -130,6 +154,47 @@ def cmd_speculate(args: argparse.Namespace) -> int:
     return 0 if result.speculated_type == args.model else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf import format_profile, profile_scenario
+
+    profile = profile_scenario(
+        dataset=args.dataset,
+        model_type=args.model,
+        method=args.method,
+        scale=args.scale,
+        seed=args.seed,
+        deterministic_timing=not args.real_timing,
+    )
+    print(format_profile(profile))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_BASELINE,
+        attach_baseline,
+        format_report,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(
+        scale=args.scale,
+        seed=args.seed,
+        deterministic_timing=not args.real_timing,
+    )
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline and DEFAULT_BASELINE.exists():
+        baseline_path = str(DEFAULT_BASELINE)
+    if baseline_path and not args.no_baseline:
+        attach_baseline(report, load_report(baseline_path), baseline_path)
+    out = write_report(report, args.output)
+    print(format_report(report))
+    print(f"\nreport written to {out}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import render_json, render_text, run_lint
 
@@ -185,6 +250,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "attack": cmd_attack,
         "speculate": cmd_speculate,
+        "profile": cmd_profile,
+        "bench": cmd_bench,
         "lint": cmd_lint,
         "gradcheck": cmd_gradcheck,
         "info": cmd_info,

@@ -12,10 +12,13 @@ query identity because the planner probes many overlapping sub-joins.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.db.query import Query
 from repro.db.table import Database
+from repro.perf.registry import PERF
 from repro.utils.errors import ExecutionBudgetError, QueryError
 
 
@@ -64,6 +67,12 @@ def hash_join_pairs(
 class Executor:
     """Counts query results; memoizes by query identity.
 
+    The memo cache is a bounded LRU: at capacity the least-recently-used
+    entry is evicted (one per insert). :attr:`cache_hits` and
+    :attr:`cache_misses` count lookups; the same counts feed the
+    ``db.cache_hits`` / ``db.cache_misses`` perf counters when the perf
+    registry is enabled.
+
     Args:
         database: the data to execute against.
         max_intermediate: abort (raise :class:`ReproError`) if a join's
@@ -81,9 +90,17 @@ class Executor:
         self.database = database
         self.schema = database.schema
         self.max_intermediate = max_intermediate
-        self._cache: dict[tuple, int] = {}
+        self._cache: OrderedDict[tuple, int] = OrderedDict()
         self._cache_size = cache_size
         self.executed_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # (table, column) -> (argsort order, sorted values) of the full
+        # column; reused whenever a join side has no local predicates.
+        self._sorted_columns: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        # (table, column) -> dense key->count lookup (or None when the key
+        # domain is unsuitable); reused for count-only join edges.
+        self._count_tables: dict[tuple[str, str], tuple[int, np.ndarray] | None] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -93,10 +110,17 @@ class Executor:
         key = query.cache_key()
         cached = self._cache.get(key)
         if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            if PERF.enabled:
+                PERF.incr("db.cache_hits")
             return cached
+        self.cache_misses += 1
+        if PERF.enabled:
+            PERF.incr("db.cache_misses")
         result = self._execute(query)
         if len(self._cache) >= self._cache_size:
-            self._cache.clear()
+            self._cache.popitem(last=False)
         self._cache[key] = result
         self.executed_count += 1
         return result
@@ -137,16 +161,199 @@ class Executor:
             mask &= (values >= lo) & (values <= hi)
         return mask
 
+    def _sorted_column(self, table: str, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(argsort order, sorted values)`` of a full column."""
+        key = (table, column)
+        hit = self._sorted_columns.get(key)
+        if hit is None:
+            values = self.database.table(table).column(column)
+            order = np.argsort(values, kind="stable")
+            hit = (order, values[order])
+            self._sorted_columns[key] = hit
+        return hit
+
+    @staticmethod
+    def _build_count_table(keys: np.ndarray) -> tuple[int, np.ndarray] | None:
+        """Dense ``key -> multiplicity`` lookup, or None if too sparse.
+
+        The lookup array is padded with a zero slot on both ends so lookups
+        can clamp out-of-range keys onto a zero count with one ``take``.
+        """
+        if keys.size == 0:
+            return None
+        base = int(keys.min())
+        span = int(keys.max()) - base + 1
+        if span > 4 * keys.size + 1024:
+            return None
+        padded = np.zeros(span + 2, dtype=np.int64)
+        padded[1:-1] = np.bincount(keys - base, minlength=span)
+        return base, padded
+
+    def _match_counts(
+        self, table: str, column: str, rows: np.ndarray | None, left_keys: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-``left_keys`` match counts against a (filtered) column.
+
+        Uses a dense direct-address table — O(len(left)) gather with no
+        log factor — when both key dtypes are integral and the right key
+        domain is compact. Returns None when inapplicable; callers fall
+        back to the sort/searchsorted path.
+        """
+        values = self.database.table(table).column(column)
+        if not (
+            np.issubdtype(values.dtype, np.integer)
+            and np.issubdtype(left_keys.dtype, np.integer)
+        ):
+            return None
+        if rows is None:
+            cache_key = (table, column)
+            if cache_key in self._count_tables:
+                lookup = self._count_tables[cache_key]
+            else:
+                lookup = self._build_count_table(values)
+                self._count_tables[cache_key] = lookup
+        else:
+            lookup = self._build_count_table(values[rows])
+        if lookup is None:
+            return None
+        base, padded = lookup
+        # +1 for the zero pad slot; mode="clip" maps any out-of-range key
+        # onto a padding slot, i.e. a zero count.
+        return padded.take(left_keys - (base - 1), mode="clip")
+
+    @staticmethod
+    def _orient_edges(tree_edges, root: str) -> list[tuple[str, str, str, str]]:
+        """BFS orientation ``(old_table, old_col, new_table, new_col)``."""
+        joined = {root}
+        oriented: list[tuple[str, str, str, str]] = []
+        for edge in tree_edges:
+            if edge.left_table in joined and edge.right_table in joined:
+                raise QueryError(f"spanning tree revisits edge {edge}")
+            if edge.left_table in joined:
+                item = (edge.left_table, edge.left_column, edge.right_table, edge.right_column)
+            elif edge.right_table in joined:
+                item = (edge.right_table, edge.right_column, edge.left_table, edge.left_column)
+            else:
+                raise QueryError(f"join edge {edge} is disconnected from current join")
+            joined.add(item[2])
+            oriented.append(item)
+        return oriented
+
+    def _execute_counting(
+        self,
+        oriented: list[tuple[str, str, str, str]],
+        filtered: dict[str, np.ndarray | None],
+        root: str,
+    ) -> int | None:
+        """Count by folding per-row multiplicities up the join tree.
+
+        Classic acyclic-join counting: each table carries a weight vector
+        over its (filtered) rows, and a child's weights fold onto its parent
+        as per-key sums, so arrays never exceed a table's size — unlike the
+        materializing path whose intermediates grow to the pair count. After
+        edge ``k`` the root weights sum to the size of the partial join of
+        the first ``k + 2`` tables, an exact integer identical to the
+        materializing loop's running total (weights stay far below 2**53,
+        so the float64 arithmetic is exact). Budget checks, zero
+        propagation, and the final count therefore match bit-for-bit.
+        Returns None when any needed key column is non-integer or its
+        domain is not dense enough to bincount (caller falls back).
+        """
+        database = self.database
+        # child table -> (parent table, parent key column, child key column)
+        parent: dict[str, tuple[str, str, str]] = {}
+        children: dict[str, list[str]] = {root: []}
+        # child table -> its subtree multiplicities folded onto parent rows
+        fold_vecs: dict[str, np.ndarray] = {}
+
+        def keys_of(table: str, column: str) -> np.ndarray:
+            values = database.table(table).column(column)
+            rows = filtered[table]
+            return values if rows is None else values[rows]
+
+        def weight_of(table: str) -> np.ndarray | None:
+            """Product of child folds over the table's rows (None = ones)."""
+            weights: np.ndarray | None = None
+            for child in children[table]:
+                vec = fold_vecs[child]
+                weights = vec if weights is None else weights * vec
+            return weights
+
+        def fold(child: str) -> np.ndarray | None:
+            """Per-parent-row sums of the child subtree's multiplicities."""
+            parent_table, parent_col, child_col = parent[child]
+            child_keys = keys_of(child, child_col)
+            parent_keys = keys_of(parent_table, parent_col)
+            if child_keys.size == 0 or not (
+                np.issubdtype(child_keys.dtype, np.integer)
+                and np.issubdtype(parent_keys.dtype, np.integer)
+            ):
+                return None
+            base = int(child_keys.min())
+            span = int(child_keys.max()) - base + 1
+            if span > 4 * child_keys.size + 1024:
+                return None
+            weights = weight_of(child)
+            if weights is None:
+                grouped = np.bincount(child_keys - base, minlength=span).astype(
+                    np.float64
+                )
+            else:
+                grouped = np.bincount(child_keys - base, weights=weights, minlength=span)
+            padded = np.zeros(grouped.size + 2)
+            padded[1:-1] = grouped
+            # +1 for the zero pad slot; mode="clip" maps out-of-range parent
+            # keys onto a padding slot, i.e. a zero count.
+            return padded.take(parent_keys - (base - 1), mode="clip")
+
+        total = 0
+        for old_table, old_col, new_table, new_col in oriented:
+            parent[new_table] = (old_table, old_col, new_col)
+            children[new_table] = []
+            children[old_table].append(new_table)
+            # Only subtrees along the attachment path changed; re-fold them
+            # bottom-up (unchanged sibling folds are reused from the cache).
+            node = new_table
+            while node != root:
+                vec = fold(node)
+                if vec is None:
+                    return None
+                fold_vecs[node] = vec
+                node = parent[node][0]
+            root_weights = weight_of(root)
+            total = int(root_weights.sum())
+            if total > self.max_intermediate:
+                raise ExecutionBudgetError(
+                    f"join would produce {total} pairs, over the "
+                    f"{self.max_intermediate} budget"
+                )
+            if total == 0:
+                return 0
+        return total
+
     def _execute(self, query: Query) -> int:
         tables = sorted(query.tables, key=self.schema.table_index)
-        filtered: dict[str, np.ndarray] = {}
+        database = self.database
+        # Row ids passing local predicates; None means "every row" (no
+        # effective predicates), which lets joins reuse cached column sorts.
+        filtered: dict[str, np.ndarray | None] = {}
+        predicate_tables = {tbl for tbl, _col in query.predicates}
         for name in tables:
-            mask = self._scan_mask(name, query.predicates)
-            filtered[name] = np.nonzero(mask)[0]
-            if filtered[name].size == 0:
+            rows: np.ndarray | None = None
+            if name in predicate_tables:
+                mask = self._scan_mask(name, query.predicates)
+                if not mask.all():
+                    rows = np.nonzero(mask)[0]
+                    if rows.size == 0:
+                        return 0
+            if rows is None and database.table(name).num_rows == 0:
                 return 0
+            filtered[name] = rows
         if len(tables) == 1:
-            return int(filtered[tables[0]].size)
+            rows = filtered[tables[0]]
+            if rows is None:
+                return database.table(tables[0]).num_rows
+            return int(rows.size)
 
         # Join order: BFS over the query's join subgraph; each new table is
         # attached with one hash join. Semantics follow the CE-benchmark
@@ -154,34 +361,74 @@ class Executor:
         # of FK edges, so cyclic FK subsets (e.g. comments referencing both
         # users and posts) do not degenerate into near-empty self-
         # consistency filters.
+        #
+        # COUNT(*) never needs the final pair arrays, so each edge first
+        # computes only the per-row match counts (enough for the budget
+        # check and the running size); row ids are materialized solely for
+        # tables that later edges still join against.
         tree_edges = self.schema.join_edges_within(query.tables)
+        oriented = self._orient_edges(tree_edges, tables[0])
+        result = self._execute_counting(oriented, filtered, tables[0])
+        if result is not None:
+            return result
 
-        # Intermediate state: per joined table, aligned arrays of row ids.
-        # The BFS spanning tree is rooted at tables[0] (lowest schema index),
-        # so its first edge always touches tables[0].
-        joined: dict[str, np.ndarray] = {tables[0]: filtered[tables[0]]}
+        # Intermediate state: per joined table, aligned arrays of row ids
+        # (None = identity, i.e. position == row id). The BFS spanning tree
+        # is rooted at tables[0] (lowest schema index), so its first edge
+        # always touches tables[0].
+        joined: dict[str, np.ndarray | None] = {tables[0]: filtered[tables[0]]}
 
-        for edge in tree_edges:
-            if edge.left_table in joined and edge.right_table in joined:
-                raise QueryError(f"spanning tree revisits edge {edge}")
-            if edge.left_table in joined:
-                old_table, new_table = edge.left_table, edge.right_table
-                old_col, new_col = edge.left_column, edge.right_column
-            elif edge.right_table in joined:
-                old_table, new_table = edge.right_table, edge.left_table
-                old_col, new_col = edge.right_column, edge.left_column
-            else:
-                raise QueryError(f"join edge {edge} is disconnected from current join")
+        for position, (old_table, old_col, new_table, new_col) in enumerate(oriented):
             old_rows = joined[old_table]
+            old_column = database.table(old_table).column(old_col)
+            left_keys = old_column if old_rows is None else old_column[old_rows]
             new_rows = filtered[new_table]
-            left_keys = self.database.table(old_table).column(old_col)[old_rows]
-            right_keys = self.database.table(new_table).column(new_col)[new_rows]
-            left_idx, right_idx = hash_join_pairs(
-                left_keys, right_keys, max_pairs=self.max_intermediate
-            )
-            joined = {name: rows[left_idx] for name, rows in joined.items()}
-            joined[new_table] = new_rows[right_idx]
-            if next(iter(joined.values())).size == 0:
+            remaining = tree_edges[position + 1 :]
+            if remaining:
+                needed = {e.left_table for e in remaining} | {
+                    e.right_table for e in remaining
+                }
+            else:
+                needed = frozenset()
+            counts = None
+            if new_table not in needed:
+                # Count-only edge: per-key multiplicities suffice.
+                counts = self._match_counts(new_table, new_col, new_rows, left_keys)
+            if counts is None:
+                if new_rows is None:
+                    order, sorted_right = self._sorted_column(new_table, new_col)
+                else:
+                    right_keys = database.table(new_table).column(new_col)[new_rows]
+                    order = np.argsort(right_keys, kind="stable")
+                    sorted_right = right_keys[order]
+                lo = np.searchsorted(sorted_right, left_keys, side="left")
+                hi = np.searchsorted(sorted_right, left_keys, side="right")
+                counts = hi - lo
+            total = int(counts.sum())
+            if total > self.max_intermediate:
+                raise ExecutionBudgetError(
+                    f"join would produce {total} pairs, over the "
+                    f"{self.max_intermediate} budget"
+                )
+            if total == 0:
                 return 0
+            if not remaining:
+                return total
+            next_joined: dict[str, np.ndarray | None] = {}
+            kept = [name for name in joined if name in needed]
+            if kept:
+                left_idx = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+                for name in kept:
+                    rows = joined[name]
+                    # rows is None only for the BFS root before its first
+                    # materialization, where position == row id.
+                    next_joined[name] = left_idx if rows is None else rows[left_idx]
+            if new_table in needed:
+                starts = np.repeat(lo, counts)
+                segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+                within = np.arange(total, dtype=np.int64) - segment_starts
+                right_pos = order[starts + within]
+                next_joined[new_table] = right_pos if new_rows is None else new_rows[right_pos]
+            joined = next_joined
 
-        return int(next(iter(joined.values())).size)
+        return total

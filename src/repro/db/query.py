@@ -93,11 +93,17 @@ class Query:
         return f"SELECT COUNT(*) FROM {', '.join(tables)}{where};"
 
     def cache_key(self) -> tuple:
-        """Hashable identity used by cardinality caches."""
-        return (
-            tuple(sorted(self.tables)),
-            tuple(sorted((tc, bounds) for tc, bounds in self.predicates.items())),
-        )
+        """Hashable identity used by cardinality caches (memoized)."""
+        key = getattr(self, "_cache_key", None)
+        if key is None:
+            key = (
+                tuple(sorted(self.tables)),
+                tuple(sorted((tc, bounds) for tc, bounds in self.predicates.items())),
+            )
+            # frozen dataclass: route around the __setattr__ guard. The
+            # memo is derived state, so identity semantics are unchanged.
+            object.__setattr__(self, "_cache_key", key)
+        return key
 
 
 @dataclass(frozen=True)

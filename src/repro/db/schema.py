@@ -143,6 +143,12 @@ class DatabaseSchema:
         for edge in self.joins:
             self._graph.add_edge(edge.left_table, edge.right_table, edge=edge)
 
+        # The schema is immutable after construction, so join-graph queries
+        # keyed by table subsets are memoized (the generators and the
+        # executor probe the same handful of subsets millions of times).
+        self._valid_join_sets: dict[frozenset[str], bool] = {}
+        self._tree_edges: dict[frozenset[str], list[JoinEdge]] = {}
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
@@ -183,7 +189,14 @@ class DatabaseSchema:
 
     def is_valid_join_set(self, tables) -> bool:
         """True when ``tables`` is non-empty and connected in the join graph."""
-        tables = set(tables)
+        key = frozenset(tables)
+        cached = self._valid_join_sets.get(key)
+        if cached is None:
+            cached = self._is_valid_join_set(key)
+            self._valid_join_sets[key] = cached
+        return cached
+
+    def _is_valid_join_set(self, tables: frozenset[str]) -> bool:
         if not tables or not tables <= set(self.table_names):
             return False
         if len(tables) == 1:
@@ -193,7 +206,14 @@ class DatabaseSchema:
 
     def join_edges_within(self, tables) -> list[JoinEdge]:
         """Edges of a spanning tree over ``tables`` (deterministic BFS order)."""
-        tables = set(tables)
+        key = frozenset(tables)
+        cached = self._tree_edges.get(key)
+        if cached is None:
+            cached = self._join_edges_within(key)
+            self._tree_edges[key] = cached
+        return list(cached)
+
+    def _join_edges_within(self, tables: frozenset[str]) -> list[JoinEdge]:
         if not self.is_valid_join_set(tables):
             raise SchemaError(f"tables {sorted(tables)} are not a connected join set")
         if len(tables) == 1:

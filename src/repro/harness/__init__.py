@@ -11,9 +11,11 @@ from repro.harness.experiments import (
     get_detector,
     get_scenario,
     get_surrogate,
+    GridJob,
     make_workloads,
     run_attack,
     run_e2e,
+    run_grid,
 )
 
 __all__ = [
@@ -30,4 +32,6 @@ __all__ = [
     "e2e_join_queries",
     "get_surrogate",
     "get_detector",
+    "GridJob",
+    "run_grid",
 ]

@@ -192,15 +192,26 @@ def get_scenario(
 # ----------------------------------------------------------------------
 # shared attack ingredients
 # ----------------------------------------------------------------------
-def get_surrogate(scenario: AttackScenario):
-    """Speculate + train the surrogate once per scenario (shared by methods)."""
+def get_surrogate(scenario: AttackScenario, model_type: str | None = None):
+    """Speculate + train the surrogate once per scenario (shared by methods).
+
+    ``model_type`` skips probing and forces the surrogate family through
+    the ``speculate=False`` path (the Table 7 known-type machinery).
+    Deterministic test setups use it to decouple the end-to-end attack
+    assertions from type speculation, whose accuracy/latency similarity
+    signal (Section 4.1) is too weak at smoke scale to gamble them on.
+    """
     if scenario._surrogate is None:
         scenario.reset()
+        overrides = (
+            {} if model_type is None
+            else {"speculate": False, "forced_model_type": model_type}
+        )
         attack = PaceAttack(
             scenario.database,
             scenario.deployed,
             scenario.test_workload,
-            _pace_config(scenario),
+            _pace_config(scenario, **overrides),
         )
         speculation, surrogate = attack.acquire_surrogate()
         scenario._surrogate = surrogate
@@ -358,6 +369,83 @@ def run_attack(
         attack_seconds=attack_seconds,
         objective_curve=curve,
     )
+
+
+# ----------------------------------------------------------------------
+# experiment grids (the Section 7 sweep shape)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridJob:
+    """One (scenario, method) cell of an experiment grid."""
+
+    dataset: str
+    model_type: str
+    method: str
+    scale: str = "smoke"
+    seed: int = 0
+    count: int | None = None
+
+
+def _grid_worker_init(deterministic_timing: bool) -> None:
+    """Per-worker setup: optionally pin the clock for timing determinism."""
+    if deterministic_timing:
+        from repro.utils.clock import FakeClock, install_clock
+
+        install_clock(FakeClock())
+
+
+def _run_grid_job(job: GridJob) -> AttackOutcome:
+    """Execute one grid cell (also the unit of work in worker processes)."""
+    scenario = get_scenario(job.dataset, job.model_type, scale=job.scale, seed=job.seed)
+    return run_attack(scenario, job.method, count=job.count, seed=job.seed)
+
+
+def run_grid(
+    jobs,
+    workers: int | None = None,
+    deterministic_timing: bool = False,
+    start_method: str = "fork",
+) -> list[AttackOutcome]:
+    """Run a grid of attack jobs, optionally across worker processes.
+
+    Results come back in input-job order regardless of which worker
+    finished first, and every random decision derives from each job's own
+    seed, so a parallel run is reproducible job-for-job. Wall-clock fields
+    (``train_seconds`` etc.) still measure real time; pass
+    ``deterministic_timing=True`` to also pin the speculation clock
+    (:class:`~repro.utils.clock.FakeClock` in every worker and in the
+    serial path), which makes outcomes bit-identical between serial and
+    parallel runs up to those wall-clock fields.
+
+    Args:
+        jobs: iterable of :class:`GridJob`.
+        workers: process count; ``None``/``0``/``1`` runs serially in this
+            process (reusing its scenario cache).
+        deterministic_timing: pin latency measurements with a fake clock.
+        start_method: multiprocessing start method (``"fork"`` shares the
+            parent's loaded datasets copy-on-write; ``"spawn"`` gives
+            pristine workers at the cost of re-importing).
+    """
+    jobs = list(jobs)
+    if workers is None or workers <= 1 or len(jobs) <= 1:
+        if deterministic_timing:
+            from repro.utils.clock import FakeClock, use_clock
+
+            with use_clock(FakeClock()):
+                return [_run_grid_job(job) for job in jobs]
+        return [_run_grid_job(job) for job in jobs]
+
+    import multiprocessing as mp
+
+    context = mp.get_context(start_method)
+    with context.Pool(
+        processes=min(workers, len(jobs)),
+        initializer=_grid_worker_init,
+        initargs=(deterministic_timing,),
+    ) as pool:
+        # Pool.map preserves input order: the merge is deterministic even
+        # when jobs complete out of order.
+        return pool.map(_run_grid_job, jobs)
 
 
 # ----------------------------------------------------------------------

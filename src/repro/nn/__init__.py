@@ -7,6 +7,7 @@ PACE attack requires to differentiate through the CE model's update step.
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import (
     Tensor,
+    affine,
     concat,
     grad,
     maximum,
@@ -32,6 +33,7 @@ __all__ = [
     "Tensor",
     "Module",
     "Parameter",
+    "affine",
     "concat",
     "stack",
     "grad",

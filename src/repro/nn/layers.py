@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, affine
 from repro.utils.rng import derive_rng
 
 
@@ -34,10 +34,7 @@ class Linear(Module):
             self.bias = init.zeros(out_features)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.use_bias:
-            out = out + self.bias
-        return out
+        return affine(x, self.weight, self.bias if self.use_bias else None)
 
 
 class ReLU(Module):
@@ -55,8 +52,18 @@ class Tanh(Module):
         return x.tanh()
 
 
+#: Activation modules a Sequential may fold into the preceding Linear's
+#: fused affine node (exact classes only — subclasses may override forward).
+_FUSABLE_ACTIVATIONS: dict[type, str] = {ReLU: "relu", Sigmoid: "sigmoid", Tanh: "tanh"}
+
+
 class Sequential(Module):
-    """Chain of modules applied in order."""
+    """Chain of modules applied in order.
+
+    ``(Linear, activation)`` adjacent pairs are executed as one fused
+    :func:`~repro.nn.tensor.affine` graph node; the result is bit-identical
+    to running the two modules separately.
+    """
 
     def __init__(self, *modules: Module) -> None:
         super().__init__()
@@ -67,8 +74,23 @@ class Sequential(Module):
             self._order.append(name)
 
     def forward(self, x: Tensor) -> Tensor:
-        for name in self._order:
-            x = getattr(self, name)(x)
+        modules = [getattr(self, name) for name in self._order]
+        i, n = 0, len(modules)
+        while i < n:
+            module = modules[i]
+            if type(module) is Linear and i + 1 < n:
+                activation = _FUSABLE_ACTIVATIONS.get(type(modules[i + 1]))
+                if activation is not None:
+                    x = affine(
+                        x,
+                        module.weight,
+                        module.bias if module.use_bias else None,
+                        activation=activation,
+                    )
+                    i += 2
+                    continue
+            x = module(x)
+            i += 1
         return x
 
     def __iter__(self):

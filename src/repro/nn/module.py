@@ -19,6 +19,8 @@ from repro.nn.tensor import Tensor
 class Parameter(Tensor):
     """A tensor that is registered as a trainable module parameter."""
 
+    __slots__ = ()
+
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
 

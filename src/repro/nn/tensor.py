@@ -8,8 +8,17 @@ poisoning objective (Eq. 10 of the paper) differentiates through the CE
 model's gradient-descent update, which requires exactly this second-order
 capability.
 
+Every primitive carries *two* backward rules that compute the same values:
+
+* ``_grad_fn`` — the taped rule built from :class:`Tensor` ops, used when
+  ``create_graph=True`` so gradients are themselves differentiable;
+* ``_grad_fn_data`` — the same arithmetic on raw ndarrays, used for
+  first-order backprop. This avoids allocating (and immediately
+  detaching) hundreds of thousands of graph nodes per training step.
+
 Only the operations the library needs are implemented; each is covered by
-numeric gradient checks in ``tests/nn/test_tensor.py``.
+numeric gradient checks in ``tests/nn/test_tensor.py``, and the two rule
+sets are checked bit-for-bit against each other there as well.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from repro.perf.registry import PERF
 
 _GRAD_ENABLED = True
 
@@ -47,6 +58,8 @@ class Tensor:
         requires_grad: whether gradients should flow to this tensor.
     """
 
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fn", "_grad_fn_data")
+
     def __init__(self, data, requires_grad: bool = False) -> None:
         if isinstance(data, Tensor):
             data = data.data
@@ -55,6 +68,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: tuple[Tensor, ...] = ()
         self._grad_fn: Callable[[Tensor], tuple[Tensor | None, ...]] | None = None
+        self._grad_fn_data: Callable[[np.ndarray], tuple[np.ndarray | None, ...]] | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -104,7 +118,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """A view of the same data cut off from the graph."""
-        return Tensor(self.data)
+        return _wrap(self.data)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -113,7 +127,8 @@ class Tensor:
     # graph plumbing
     # ------------------------------------------------------------------
     def _make_child(self, data: np.ndarray, parents: tuple["Tensor", ...], grad_fn) -> "Tensor":
-        out = Tensor(data)
+        """Legacy taped-child helper (kept for external callers/tests)."""
+        out = _wrap(np.asarray(data, dtype=np.float64))
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
@@ -137,35 +152,64 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = _as_tensor(other)
-        out = self._make_child(
-            self.data + other.data,
-            (self, other),
-            lambda g: (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape)),
-        )
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = _wrap(self.data + other.data)
+        if _GRAD_ENABLED and (self.requires_grad or other.requires_grad):
+            s_shape, o_shape = self.data.shape, other.data.shape
+            out.requires_grad = True
+            out._parents = (self, other)
+            out._grad_fn = lambda g: (_unbroadcast(g, s_shape), _unbroadcast(g, o_shape))
+            out._grad_fn_data = lambda g: (
+                _unbroadcast_data(g, s_shape),
+                _unbroadcast_data(g, o_shape),
+            )
         return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        return self._make_child(-self.data, (self,), lambda g: (-g,))
+        out = _wrap(-self.data)
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (-g,)
+            out._grad_fn_data = lambda g: (-g,)
+        return out
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-_as_tensor(other))
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = _wrap(self.data - other.data)
+        if _GRAD_ENABLED and (self.requires_grad or other.requires_grad):
+            s_shape, o_shape = self.data.shape, other.data.shape
+            out.requires_grad = True
+            out._parents = (self, other)
+            out._grad_fn = lambda g: (_unbroadcast(g, s_shape), _unbroadcast(-g, o_shape))
+            out._grad_fn_data = lambda g: (
+                _unbroadcast_data(g, s_shape),
+                _unbroadcast_data(-g, o_shape),
+            )
+        return out
 
     def __rsub__(self, other) -> "Tensor":
-        return _as_tensor(other) + (-self)
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return other.__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = _as_tensor(other)
-        return self._make_child(
-            self.data * other.data,
-            (self, other),
-            lambda g: (
-                _unbroadcast(g * other, self.shape),
-                _unbroadcast(g * self, other.shape),
-            ),
-        )
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = _wrap(self.data * other.data)
+        if _GRAD_ENABLED and (self.requires_grad or other.requires_grad):
+            s_shape, o_shape = self.data.shape, other.data.shape
+            out.requires_grad = True
+            out._parents = (self, other)
+            out._grad_fn = lambda g: (
+                _unbroadcast(g * other, s_shape),
+                _unbroadcast(g * self, o_shape),
+            )
+            out._grad_fn_data = lambda g: (
+                _unbroadcast_data(g * other.data, s_shape),
+                _unbroadcast_data(g * self.data, o_shape),
+            )
+        return out
 
     __rmul__ = __mul__
 
@@ -180,74 +224,137 @@ class Tensor:
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp(b * log(a))")
         exponent = float(exponent)
-        return self._make_child(
-            np.power(self.data, exponent),
-            (self,),
-            lambda g: (g * (self ** (exponent - 1.0)) * exponent,),
-        )
+        out = _wrap(np.power(self.data, exponent))
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * (self ** (exponent - 1.0)) * exponent,)
+            out._grad_fn_data = lambda g: (
+                g * np.power(self.data, exponent - 1.0) * exponent,
+            )
+        return out
 
     def __matmul__(self, other) -> "Tensor":
-        other = _as_tensor(other)
-        return self._make_child(
-            self.data @ other.data,
-            (self, other),
-            lambda g: (g @ other.transpose(), self.transpose() @ g),
-        )
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = _wrap(self.data @ other.data)
+        if _GRAD_ENABLED and (self.requires_grad or other.requires_grad):
+            out.requires_grad = True
+            out._parents = (self, other)
+            out._grad_fn = lambda g: (g @ other.transpose(), self.transpose() @ g)
+            out._grad_fn_data = lambda g: (
+                g @ other.data.transpose(),
+                self.data.transpose() @ g,
+            )
+        return out
 
     # ------------------------------------------------------------------
     # elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out = self._make_child(np.exp(self.data), (self,), None)
-        out._grad_fn = lambda g: (g * out,)
+        out = _wrap(np.exp(self.data))
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * out,)
+            out._grad_fn_data = lambda g: (g * out.data,)
         return out
 
     def log(self) -> "Tensor":
-        return self._make_child(np.log(self.data), (self,), lambda g: (g / self,))
+        out = _wrap(np.log(self.data))
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g / self,)
+            # Mirror the taped rule exactly: g * self ** -1.0 (two roundings).
+            out._grad_fn_data = lambda g: (g * np.power(self.data, -1.0),)
+        return out
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def abs(self) -> "Tensor":
-        sign = Tensor(np.sign(self.data))
-        return self._make_child(np.abs(self.data), (self,), lambda g: (g * sign,))
+        out = _wrap(np.abs(self.data))
+        if _GRAD_ENABLED and self.requires_grad:
+            sign = np.sign(self.data)
+            sign_t = _wrap(sign)
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * sign_t,)
+            out._grad_fn_data = lambda g: (g * sign,)
+        return out
 
     def tanh(self) -> "Tensor":
-        out = self._make_child(np.tanh(self.data), (self,), None)
-        out._grad_fn = lambda g: (g * (1.0 - out * out),)
+        out = _wrap(np.tanh(self.data))
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * (1.0 - out * out),)
+            out._grad_fn_data = lambda g: (g * (1.0 - out.data * out.data),)
         return out
 
     def sigmoid(self) -> "Tensor":
-        out = self._make_child(1.0 / (1.0 + np.exp(-self.data)), (self,), None)
-        out._grad_fn = lambda g: (g * out * (1.0 - out),)
+        out = _wrap(1.0 / (1.0 + np.exp(-self.data)))
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * out * (1.0 - out),)
+            out._grad_fn_data = lambda g: (g * out.data * (1.0 - out.data),)
         return out
 
     def relu(self) -> "Tensor":
-        mask = Tensor((self.data > 0).astype(np.float64))
-        return self._make_child(np.maximum(self.data, 0.0), (self,), lambda g: (g * mask,))
+        out = _wrap(np.maximum(self.data, 0.0))
+        if _GRAD_ENABLED and self.requires_grad:
+            mask = (self.data > 0).astype(np.float64)
+            mask_t = _wrap(mask)
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * mask_t,)
+            out._grad_fn_data = lambda g: (g * mask,)
+        return out
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient passes only where values are inside range."""
-        mask = Tensor(((self.data >= low) & (self.data <= high)).astype(np.float64))
-        return self._make_child(np.clip(self.data, low, high), (self,), lambda g: (g * mask,))
+        out = _wrap(np.clip(self.data, low, high))
+        if _GRAD_ENABLED and self.requires_grad:
+            mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+            mask_t = _wrap(mask)
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g * mask_t,)
+            out._grad_fn_data = lambda g: (g * mask,)
+        return out
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def grad_fn(g: Tensor) -> tuple[Tensor]:
-            gdata = g
+        out = _wrap(self.data.sum(axis=axis, keepdims=keepdims))
+        if _GRAD_ENABLED and self.requires_grad:
+            in_shape = self.data.shape
             if axis is not None and not keepdims:
                 axes = axis if isinstance(axis, tuple) else (axis,)
-                shape = list(self.shape)
-                for ax in sorted(a % self.ndim for a in axes):
-                    shape[ax] = 1
-                gdata = g.reshape(tuple(shape))
-            return (gdata.broadcast_to(self.shape),)
+                kept = list(in_shape)
+                for ax in sorted(a % len(in_shape) for a in axes):
+                    kept[ax] = 1
+                kept_shape: tuple[int, ...] | None = tuple(kept)
+            else:
+                kept_shape = None
 
-        return self._make_child(data, (self,), grad_fn)
+            def grad_fn(g: Tensor) -> tuple[Tensor]:
+                if kept_shape is not None:
+                    g = g.reshape(kept_shape)
+                return (g.broadcast_to(in_shape),)
+
+            def grad_fn_data(g: np.ndarray) -> tuple[np.ndarray]:
+                if kept_shape is not None:
+                    g = g.reshape(kept_shape)
+                return (np.broadcast_to(g, in_shape).copy(),)
+
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = grad_fn
+            out._grad_fn_data = grad_fn_data
+        return out
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -259,51 +366,151 @@ class Tensor:
 
     def max_reduce(self) -> "Tensor":
         """Global maximum; gradient flows to (one of) the argmax entries."""
-        flat_idx = int(np.argmax(self.data))
-        mask = np.zeros_like(self.data)
-        mask.reshape(-1)[flat_idx] = 1.0
-        mask_t = Tensor(mask)
-        return self._make_child(
-            np.asarray(self.data.max()), (self,), lambda g: ((g * mask_t).broadcast_to(self.shape),)
-        )
+        out = _wrap(np.asarray(self.data.max()))
+        if _GRAD_ENABLED and self.requires_grad:
+            flat_idx = int(np.argmax(self.data))
+            mask = np.zeros_like(self.data)
+            mask.reshape(-1)[flat_idx] = 1.0
+            mask_t = _wrap(mask)
+            in_shape = self.data.shape
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: ((g * mask_t).broadcast_to(in_shape),)
+            out._grad_fn_data = lambda g: (np.broadcast_to(g * mask, in_shape).copy(),)
+        return out
 
     # ------------------------------------------------------------------
     # shape manipulation
     # ------------------------------------------------------------------
     def reshape(self, shape: tuple[int, ...]) -> "Tensor":
-        original = self.shape
-        return self._make_child(
-            self.data.reshape(shape), (self,), lambda g: (g.reshape(original),)
-        )
+        out = _wrap(self.data.reshape(shape))
+        if _GRAD_ENABLED and self.requires_grad:
+            original = self.data.shape
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g.reshape(original),)
+            out._grad_fn_data = lambda g: (g.reshape(original),)
+        return out
 
     def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
         if axes is None:
             inverse = None
         else:
             inverse = tuple(int(i) for i in np.argsort(axes))
-        return self._make_child(
-            self.data.transpose(axes), (self,), lambda g: (g.transpose(inverse),)
-        )
+        out = _wrap(self.data.transpose(axes))
+        if _GRAD_ENABLED and self.requires_grad:
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (g.transpose(inverse),)
+            out._grad_fn_data = lambda g: (g.transpose(inverse),)
+        return out
 
     @property
     def T(self) -> "Tensor":  # noqa: N802 - numpy-compatible alias
         return self.transpose()
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
-        original = self.shape
-        return self._make_child(
-            np.broadcast_to(self.data, shape).copy(),
-            (self,),
-            lambda g: (_unbroadcast(g, original),),
-        )
+        out = _wrap(np.broadcast_to(self.data, shape).copy())
+        if _GRAD_ENABLED and self.requires_grad:
+            original = self.data.shape
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (_unbroadcast(g, original),)
+            out._grad_fn_data = lambda g: (_unbroadcast_data(g, original),)
+        return out
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
+        out = _wrap(np.array(self.data[index], copy=True))
+        if _GRAD_ENABLED and self.requires_grad:
+            in_shape = self.data.shape
+            out.requires_grad = True
+            out._parents = (self,)
+            out._grad_fn = lambda g: (_scatter(g, index, in_shape),)
+            out._grad_fn_data = lambda g: (_scatter_data(g, index, in_shape),)
+        return out
 
-        def grad_fn(g: Tensor) -> tuple[Tensor]:
-            return (_scatter(g, index, self.shape),)
 
-        return self._make_child(np.array(data, copy=True), (self,), grad_fn)
+def affine(x, weight, bias=None, activation: str | None = None) -> Tensor:
+    """Fused ``activation(x @ weight + bias)`` as a single graph node.
+
+    The fusion collapses what would otherwise be three or four taped nodes
+    (matmul, broadcast add, activation) into one, which profiling shows is
+    the dominant allocation site in training and unrolled-update loops.
+    Numerics are identical to the unfused composition; ``activation`` is one
+    of ``None``, ``"relu"``, ``"sigmoid"``, ``"tanh"``.
+    """
+    x = _as_tensor(x)
+    weight = _as_tensor(weight)
+    z = x.data @ weight.data
+    if bias is not None:
+        bias = _as_tensor(bias)
+        z = z + bias.data
+    if activation is None:
+        out_data = z
+    elif activation == "relu":
+        out_data = np.maximum(z, 0.0)
+    elif activation == "sigmoid":
+        out_data = 1.0 / (1.0 + np.exp(-z))
+    elif activation == "tanh":
+        out_data = np.tanh(z)
+    else:
+        raise ValueError(f"unsupported affine activation: {activation!r}")
+
+    out = _wrap(out_data)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        bias_shape = None if bias is None else bias.data.shape
+        if activation == "relu":
+            relu_mask = (z > 0).astype(np.float64)
+            relu_mask_t = _wrap(relu_mask)
+
+        def grad_fn(g: Tensor) -> tuple[Tensor | None, ...]:
+            if activation == "relu":
+                gz = g * relu_mask_t
+            elif activation == "sigmoid":
+                gz = g * out * (1.0 - out)
+            elif activation == "tanh":
+                gz = g * (1.0 - out * out)
+            else:
+                gz = g
+            gx = gz @ weight.transpose()
+            gw = x.transpose() @ gz
+            if bias is None:
+                return (gx, gw)
+            return (gx, gw, _unbroadcast(gz, bias_shape))
+
+        def grad_fn_data(g: np.ndarray) -> tuple[np.ndarray | None, ...]:
+            if activation == "relu":
+                gz = g * relu_mask
+            elif activation == "sigmoid":
+                gz = g * out_data * (1.0 - out_data)
+            elif activation == "tanh":
+                gz = g * (1.0 - out_data * out_data)
+            else:
+                gz = g
+            gx = gz @ weight.data.transpose()
+            gw = x.data.transpose() @ gz
+            if bias is None:
+                return (gx, gw)
+            return (gx, gw, _unbroadcast_data(gz, bias_shape))
+
+        out.requires_grad = True
+        out._parents = parents
+        out._grad_fn = grad_fn
+        out._grad_fn_data = grad_fn_data
+    return out
+
+
+def _wrap(data: np.ndarray) -> Tensor:
+    """Fast constructor for a detached tensor around an existing ndarray."""
+    out = Tensor.__new__(Tensor)
+    out.data = data
+    out.grad = None
+    out.requires_grad = False
+    out._parents = ()
+    out._grad_fn = None
+    out._grad_fn_data = None
+    return out
 
 
 def _backward_pass(
@@ -319,13 +526,16 @@ def _backward_pass(
     ``watched`` — the latter lets callers take gradients with respect to
     intermediate graph nodes, which PACE's unrolled inner update needs.
     Does not mutate any tensor, which keeps :func:`grad` side-effect free.
+
+    With ``create_graph=False`` the pass runs entirely on raw ndarrays via
+    each node's ``_grad_fn_data`` rule; with ``create_graph=True`` it uses
+    the taped ``_grad_fn`` rules so the returned gradients are themselves
+    graph nodes.
     """
     if not output.requires_grad:
         raise RuntimeError("backward() called on a tensor that does not require grad")
-    if seed is None:
-        if output.data.size != 1:
-            raise RuntimeError("backward() without a gradient requires a scalar output")
-        seed = Tensor(np.ones_like(output.data))
+    if seed is None and output.data.size != 1:
+        raise RuntimeError("backward() without a gradient requires a scalar output")
 
     topo: list[Tensor] = []
     visited: set[int] = set()
@@ -343,25 +553,56 @@ def _backward_pass(
             if parent.requires_grad and id(parent) not in visited:
                 stack.append((parent, False))
 
-    grads: dict[int, Tensor] = {id(output): seed}
+    if PERF.enabled:
+        PERF.incr("nn.backward_passes")
+        PERF.incr("nn.backward_nodes", len(topo))
+
     captured: dict[int, tuple[Tensor, Tensor]] = {}
+    if create_graph:
+        seed_t = Tensor(np.ones_like(output.data)) if seed is None else seed
+        grads: dict[int, Tensor] = {id(output): seed_t}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            is_leaf = node._grad_fn is None
+            if is_leaf or (watched is not None and id(node) in watched):
+                captured[id(node)] = (node, node_grad)
+            if is_leaf:
+                continue
+            parent_grads = node._grad_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                existing = grads.get(id(parent))
+                grads[id(parent)] = pgrad if existing is None else existing + pgrad
+        return captured
+
+    seed_data = np.ones_like(output.data) if seed is None else seed.data
+    data_grads: dict[int, np.ndarray] = {id(output): seed_data}
     for node in reversed(topo):
-        node_grad = grads.pop(id(node), None)
+        node_grad = data_grads.pop(id(node), None)
         if node_grad is None:
             continue
         is_leaf = node._grad_fn is None
         if is_leaf or (watched is not None and id(node) in watched):
-            captured[id(node)] = (node, node_grad if create_graph else node_grad.detach())
+            captured[id(node)] = (node, _wrap(node_grad))
         if is_leaf:
             continue
-        parent_grads = node._grad_fn(node_grad)
-        if not create_graph:
-            parent_grads = tuple(g.detach() if g is not None else None for g in parent_grads)
+        rule = node._grad_fn_data
+        if rule is not None:
+            parent_grads = rule(node_grad)
+        else:
+            # Fallback for externally-built nodes that only carry a taped
+            # rule (e.g. via the legacy ``_make_child`` helper).
+            with no_grad():
+                taped = node._grad_fn(_wrap(node_grad))
+            parent_grads = tuple(g.data if g is not None else None for g in taped)
         for parent, pgrad in zip(node._parents, parent_grads):
             if pgrad is None or not parent.requires_grad:
                 continue
-            existing = grads.get(id(parent))
-            grads[id(parent)] = pgrad if existing is None else existing + pgrad
+            existing = data_grads.get(id(parent))
+            data_grads[id(parent)] = pgrad if existing is None else existing + pgrad
     return captured
 
 
@@ -384,15 +625,37 @@ def _unbroadcast(grad: Tensor, shape: tuple[int, ...]) -> Tensor:
     return grad
 
 
+def _unbroadcast_data(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Raw-ndarray twin of :func:`_unbroadcast` (same reductions, same order)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape != shape:
+        grad = grad.reshape(shape)
+    return grad
+
+
 def _scatter(grad: Tensor, index, shape: tuple[int, ...]) -> Tensor:
     data = np.zeros(shape)
     np.add.at(data, index, grad.data)
-    out = Tensor(data)
+    out = _wrap(data)
     if grad.requires_grad and _GRAD_ENABLED:
         out.requires_grad = True
         out._parents = (grad,)
         out._grad_fn = lambda g: (g[index],)
+        out._grad_fn_data = lambda g: (np.array(g[index], copy=True),)
     return out
+
+
+def _scatter_data(grad: np.ndarray, index, shape: tuple[int, ...]) -> np.ndarray:
+    data = np.zeros(shape)
+    np.add.at(data, index, grad)
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -402,22 +665,32 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     tensors = [_as_tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def grad_fn(g: Tensor) -> tuple[Tensor, ...]:
-        pieces = []
-        for start, stop in zip(offsets[:-1], offsets[1:]):
-            index = [slice(None)] * g.ndim
-            index[axis] = slice(int(start), int(stop))
-            pieces.append(g[tuple(index)])
-        return tuple(pieces)
-
-    out = Tensor(data)
+    out = _wrap(data)
     if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+        spans = [(int(start), int(stop)) for start, stop in zip(offsets[:-1], offsets[1:])]
+
+        def grad_fn(g: Tensor) -> tuple[Tensor, ...]:
+            pieces = []
+            for start, stop in spans:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                pieces.append(g[tuple(index)])
+            return tuple(pieces)
+
+        def grad_fn_data(g: np.ndarray) -> tuple[np.ndarray, ...]:
+            pieces = []
+            for start, stop in spans:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                pieces.append(np.array(g[tuple(index)], copy=True))
+            return tuple(pieces)
+
         out.requires_grad = True
         out._parents = tuple(tensors)
         out._grad_fn = grad_fn
+        out._grad_fn_data = grad_fn_data
     return out
 
 
@@ -436,16 +709,22 @@ def maximum(a: Tensor, b) -> Tensor:
     """Elementwise maximum; ties send the gradient to ``a``."""
     a = _as_tensor(a)
     b = _as_tensor(b)
-    take_a = Tensor((a.data >= b.data).astype(np.float64))
-    take_b = Tensor((a.data < b.data).astype(np.float64))
-    out_data = np.maximum(a.data, b.data)
-    out = Tensor(out_data)
+    out = _wrap(np.maximum(a.data, b.data))
     if _GRAD_ENABLED and (a.requires_grad or b.requires_grad):
+        take_a = (a.data >= b.data).astype(np.float64)
+        take_b = (a.data < b.data).astype(np.float64)
+        take_a_t = _wrap(take_a)
+        take_b_t = _wrap(take_b)
+        a_shape, b_shape = a.data.shape, b.data.shape
         out.requires_grad = True
         out._parents = (a, b)
         out._grad_fn = lambda g: (
-            _unbroadcast(g * take_a, a.shape),
-            _unbroadcast(g * take_b, b.shape),
+            _unbroadcast(g * take_a_t, a_shape),
+            _unbroadcast(g * take_b_t, b_shape),
+        )
+        out._grad_fn_data = lambda g: (
+            _unbroadcast_data(g * take_a, a_shape),
+            _unbroadcast_data(g * take_b, b_shape),
         )
     return out
 

@@ -1,0 +1,167 @@
+"""The ``pace-repro bench`` runner: smoke-grid timings persisted to JSON.
+
+Runs a small (dataset × model × method) grid through
+:func:`repro.perf.profile.profile_scenario` and writes a ``BENCH_*.json``
+report containing per-phase wall-clock timings plus, when a recorded
+baseline is supplied, per-scenario and overall speedups against it. The
+seed baseline for this repo lives at
+``benchmarks/baselines/BENCH_SEED.json`` and was produced by this same
+tool against the pre-optimization code, so every future PR appends a
+comparable point to the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.perf.profile import PHASES, profile_scenario
+
+SCHEMA_VERSION = 1
+
+#: Default location of the recorded pre-optimization baseline.
+DEFAULT_BASELINE = Path("benchmarks") / "baselines" / "BENCH_SEED.json"
+
+#: The smoke grid: the paper's two single-table/star datasets crossed with
+#: the two most-used model families, attacked with the full PACE pipeline.
+SMOKE_GRID: tuple[tuple[str, str, str], ...] = (
+    ("dmv", "fcn", "pace"),
+    ("dmv", "mscn", "pace"),
+    ("tpch", "fcn", "pace"),
+)
+
+
+def run_bench(
+    scale: str = "smoke",
+    grid: tuple[tuple[str, str, str], ...] | None = None,
+    seed: int = 0,
+    deterministic_timing: bool = True,
+) -> dict:
+    """Execute the grid and return a JSON-ready report (no baseline yet)."""
+    grid = SMOKE_GRID if grid is None else tuple(grid)
+    scenarios = []
+    for dataset, model_type, method in grid:
+        profile = profile_scenario(
+            dataset=dataset,
+            model_type=model_type,
+            method=method,
+            scale=scale,
+            seed=seed,
+            deterministic_timing=deterministic_timing,
+        )
+        scenarios.append(profile.to_json())
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro bench",
+        "scale": scale,
+        "seed": seed,
+        "deterministic_timing": deterministic_timing,
+        "recorded_unix": time.time(),
+        "phases": list(PHASES),
+        "grid": scenarios,
+        "total_seconds": float(sum(s["total_seconds"] for s in scenarios)),
+    }
+
+
+def load_report(path: str | Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def _scenario_key(entry: dict) -> tuple[str, str, str]:
+    return (entry["dataset"], entry["model"], entry["method"])
+
+
+def attach_baseline(report: dict, baseline: dict, baseline_path: str | Path) -> dict:
+    """Add ``speedup`` sections comparing ``report`` against ``baseline``.
+
+    Speedups are baseline seconds divided by current seconds (>1 means
+    faster now), computed overall, per scenario, and per phase for the
+    scenarios both reports share.
+    """
+    base_by_key = {_scenario_key(e): e for e in baseline.get("grid", [])}
+    per_scenario = []
+    matched_current = 0.0
+    matched_baseline = 0.0
+    for entry in report["grid"]:
+        base = base_by_key.get(_scenario_key(entry))
+        if base is None:
+            continue
+        matched_current += entry["total_seconds"]
+        matched_baseline += base["total_seconds"]
+        phase_speedups = {}
+        for phase in PHASES:
+            now = entry["phases"].get(phase, 0.0)
+            then = base["phases"].get(phase, 0.0)
+            if now > 0.0 and then > 0.0:
+                phase_speedups[phase] = then / now
+        per_scenario.append({
+            "dataset": entry["dataset"],
+            "model": entry["model"],
+            "method": entry["method"],
+            "baseline_seconds": base["total_seconds"],
+            "current_seconds": entry["total_seconds"],
+            "speedup": (
+                base["total_seconds"] / entry["total_seconds"]
+                if entry["total_seconds"] > 0.0 else None
+            ),
+            "phase_speedups": phase_speedups,
+        })
+    report["baseline"] = {
+        "path": str(baseline_path),
+        "recorded_unix": baseline.get("recorded_unix"),
+        "total_seconds": matched_baseline,
+        "current_seconds": matched_current,
+        "speedup": matched_baseline / matched_current if matched_current > 0.0 else None,
+        "per_scenario": per_scenario,
+    }
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Console summary for ``pace-repro bench``."""
+    from repro.metrics import render_table
+
+    rows = []
+    for entry in report["grid"]:
+        rows.append([
+            f"{entry['dataset']}/{entry['model']}",
+            entry["method"],
+            f"{entry['phases'].get('encode', 0.0):.3f}",
+            f"{entry['phases'].get('train', 0.0):.3f}",
+            f"{entry['phases'].get('attack', 0.0):.3f}",
+            f"{entry['phases'].get('update', 0.0):.3f}",
+            f"{entry['total_seconds']:.3f}",
+        ])
+    lines = [render_table(
+        ["scenario", "method", "encode", "train", "attack", "update", "total"],
+        rows,
+        title=f"pace-repro bench · scale={report['scale']} · seed={report['seed']}",
+    )]
+    lines.append(f"\ngrid total: {report['total_seconds']:.3f}s")
+    baseline = report.get("baseline")
+    if baseline:
+        speedup = baseline.get("speedup")
+        if speedup is not None:
+            lines.append(
+                f"baseline:   {baseline['total_seconds']:.3f}s "
+                f"({baseline['path']}) -> speedup {speedup:.2f}x"
+            )
+        for entry in baseline.get("per_scenario", []):
+            if entry["speedup"] is not None:
+                lines.append(
+                    f"  {entry['dataset']}/{entry['model']} ({entry['method']}): "
+                    f"{entry['baseline_seconds']:.3f}s -> "
+                    f"{entry['current_seconds']:.3f}s ({entry['speedup']:.2f}x)"
+                )
+    return "\n".join(lines)

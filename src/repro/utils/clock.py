@@ -1,0 +1,69 @@
+"""Injectable wall clock for timing-sensitive code paths.
+
+Model-type speculation (Section 4.1) feeds *measured latencies* into the
+performance-vector comparison, which makes any test exercising it hostage
+to scheduler jitter. Code that times estimator calls should fetch its
+clock through :func:`get_clock` so tests (and the determinism-sensitive
+harness paths) can swap in a :class:`FakeClock` via :func:`use_clock`.
+
+The default clock is ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: A clock is any zero-argument callable returning monotonic seconds.
+Clock = Callable[[], float]
+
+_current_clock: Clock = time.perf_counter
+
+
+def get_clock() -> Clock:
+    """The currently installed clock (defaults to ``time.perf_counter``)."""
+    return _current_clock
+
+
+def install_clock(clock: Clock) -> None:
+    """Install ``clock`` process-wide with no restore.
+
+    For worker-process initializers (the parallel harness grid), where the
+    clock should stay pinned for the process's whole life; interactive and
+    test code should prefer the scoped :func:`use_clock`.
+    """
+    global _current_clock
+    _current_clock = clock
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Install ``clock`` as the process-wide clock inside the block."""
+    global _current_clock
+    previous = _current_clock
+    _current_clock = clock
+    try:
+        yield clock
+    finally:
+        _current_clock = previous
+
+
+class FakeClock:
+    """A deterministic clock: every call advances time by a fixed tick.
+
+    With a fake clock installed, every timed section measures exactly
+    ``tick`` seconds regardless of real elapsed time, so latency-derived
+    features become constants and timing-dependent decisions (like type
+    speculation's latency section) are reproducible bit-for-bit.
+    """
+
+    def __init__(self, tick: float = 1e-3, start: float = 0.0) -> None:
+        if tick <= 0.0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        self.tick = float(tick)
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        self._now += self.tick
+        return self._now

@@ -37,6 +37,17 @@ class QueryEncoder:
         self.attribute_mask = np.zeros((self.num_tables, self.num_attributes))
         for a, (table, _col) in enumerate(schema.attribute_order):
             self.attribute_mask[schema.table_index(table), a] = 1.0
+        # Flat lookup tables so the batch encoder never walks the schema.
+        self._table_index = {name: i for i, name in enumerate(schema.table_names)}
+        self._attr_index = {key: a for a, key in enumerate(schema.attribute_order)}
+        self._attr_order = list(schema.attribute_order)
+
+    def _attribute_position(self, table: str, col: str) -> int:
+        position = self._attr_index.get((table, col))
+        if position is None:
+            # Defer to the schema for its (richer) unknown-attribute error.
+            position = self.schema.attribute_index(table, col)
+        return position
 
     # ------------------------------------------------------------------
     # encode
@@ -44,24 +55,54 @@ class QueryEncoder:
     def encode(self, query: Query) -> np.ndarray:
         """Vector representation of one query."""
         vec = np.zeros(self.dim)
-        for table in query.tables:
-            vec[self.schema.table_index(table)] = 1.0
         base = self.num_tables
-        for a in range(self.num_attributes):
-            vec[base + 2 * a] = 0.0
-            vec[base + 2 * a + 1] = 1.0
+        vec[base + 1 :: 2] = 1.0
+        for table in query.tables:
+            vec[self._table_index[table]] = 1.0
         for (table, col), (low, high) in query.predicates.items():
-            a = self.schema.attribute_index(table, col)
+            a = self._attribute_position(table, col)
             vec[base + 2 * a] = low
             vec[base + 2 * a + 1] = high
         return vec
 
     def encode_many(self, queries) -> np.ndarray:
-        """Matrix of encodings, one row per query."""
+        """Matrix of encodings, one row per query.
+
+        Batched: per-query structure is flattened into index arrays once,
+        then written with two fancy-index scatters instead of one numpy
+        round-trip per (query, attribute) pair.
+        """
         queries = list(queries)
-        out = np.zeros((len(queries), self.dim))
-        for i, q in enumerate(queries):
-            out[i] = self.encode(q)
+        n = len(queries)
+        out = np.zeros((n, self.dim))
+        base = self.num_tables
+        out[:, base + 1 :: 2] = 1.0
+        if n == 0:
+            return out
+        table_index = self._table_index
+        join_rows: list[int] = []
+        join_cols: list[int] = []
+        pred_rows: list[int] = []
+        pred_cols: list[int] = []
+        pred_lows: list[float] = []
+        pred_highs: list[float] = []
+        for i, query in enumerate(queries):
+            for table in query.tables:
+                join_rows.append(i)
+                join_cols.append(table_index[table])
+            for (table, col), (low, high) in query.predicates.items():
+                a = self._attribute_position(table, col)
+                pred_rows.append(i)
+                pred_cols.append(base + 2 * a)
+                pred_lows.append(low)
+                pred_highs.append(high)
+        if join_rows:
+            out[join_rows, join_cols] = 1.0
+        if pred_rows:
+            rows = np.asarray(pred_rows)
+            cols = np.asarray(pred_cols)
+            out[rows, cols] = pred_lows
+            out[rows, cols + 1] = pred_highs
         return out
 
     # ------------------------------------------------------------------
@@ -126,8 +167,11 @@ class QueryEncoder:
             return {self.schema.table_names[best]}
         graph = self.schema.join_graph().subgraph(tables)
         components = list(nx.connected_components(graph))
+        # Sum in schema order: summing in set-iteration order would make the
+        # float total (and near-tie argmax picks) hash-seed dependent.
         scores = [
-            sum(join_bits[self.schema.table_index(t)] for t in comp) for comp in components
+            sum(join_bits[i] for i in sorted(self.schema.table_index(t) for t in comp))
+            for comp in components
         ]
         return set(components[int(np.argmax(scores))])
 

@@ -72,7 +72,10 @@ class WorkloadGenerator:
             tables: fix the join set instead of sampling one.
         """
         join_set = tables or self.random_join_set(max_tables)
-        available = [tc for t in join_set for tc in self.schema.attributes_of(t)]
+        # Schema order, not set order: the RNG draws indices into this list,
+        # so its layout must not depend on the process hash seed.
+        ordered = sorted(join_set, key=self.schema.table_index)
+        available = [tc for t in ordered for tc in self.schema.attributes_of(t)]
         if not available:
             raise QueryError(f"join set {sorted(join_set)} has no filterable attributes")
         if n_columns is None:

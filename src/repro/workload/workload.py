@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -15,9 +16,19 @@ from repro.workload.encoding import QueryEncoder
 
 @dataclass
 class Workload:
-    """An ordered collection of labeled queries."""
+    """An ordered collection of labeled queries.
+
+    The example list is treated as immutable once views are taken:
+    :meth:`encode` and :attr:`cardinalities` memoize their results (all
+    manipulation methods return *new* workloads, so caches never go stale).
+    """
 
     examples: list[LabeledQuery]
+    # encoder id -> (weakref to encoder, read-only encoding matrix)
+    _encodings: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _cards: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @staticmethod
     def from_queries(queries, executor: Executor, drop_empty: bool = True) -> "Workload":
@@ -50,10 +61,27 @@ class Workload:
 
     @property
     def cardinalities(self) -> np.ndarray:
-        return np.array([ex.cardinality for ex in self.examples], dtype=np.float64)
+        if self._cards is None:
+            cards = np.array([ex.cardinality for ex in self.examples], dtype=np.float64)
+            cards.setflags(write=False)
+            object.__setattr__(self, "_cards", cards)
+        return self._cards
 
     def encode(self, encoder: QueryEncoder) -> np.ndarray:
-        return encoder.encode_many(self.queries)
+        """Encoding matrix for this workload (memoized per encoder).
+
+        The returned array is marked read-only; copy before mutating.
+        """
+        key = id(encoder)
+        hit = self._encodings.get(key)
+        if hit is not None:
+            ref, matrix = hit
+            if ref() is encoder:
+                return matrix
+        matrix = encoder.encode_many(self.queries)
+        matrix.setflags(write=False)
+        self._encodings[key] = (weakref.ref(encoder), matrix)
+        return matrix
 
     def __len__(self) -> int:
         return len(self.examples)

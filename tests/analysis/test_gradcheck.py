@@ -9,6 +9,11 @@ EXPECTED_COVERAGE = {
     "layers.Linear(bias=False)",
     "layers.mlp[Tanh]",
     "layers.Dropout",
+    "tensor.affine",
+    "tensor.affine(no bias)",
+    "tensor.affine[relu]",
+    "tensor.affine[sigmoid]",
+    "tensor.affine[tanh]",
     "recurrent.RNNCell",
     "recurrent.LSTMCell",
     "recurrent.RNN",

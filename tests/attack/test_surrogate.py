@@ -57,7 +57,7 @@ class TestSpeculation:
         scenario = dmv_scenario
         generator = WorkloadGenerator(scenario.database, scenario.executor, seed=6)
         probes = generator.probe_workloads(queries_per_group=4)
-        vec = performance_vector(scenario.deployed.explain_timed, probes)
+        vec = performance_vector(scenario.deployed.explain_many, probes)
         assert vec.shape == (2 * len(probes),)
 
 

@@ -154,3 +154,67 @@ class TestEvaluate:
         model, _ = trained_model(env)
         with pytest.raises(TrainingError):
             evaluate_q_errors(model, Workload([]))
+
+
+class TestBatchedEquivalence:
+    """The batched/cached hot paths vs their per-sample references."""
+
+    def test_evaluate_uses_cached_encoding(self, env):
+        """evaluate_q_errors through the workload encode cache must equal a
+        query-by-query estimate of the same workload."""
+        _db, _ex, _enc, _train, test = env
+        model, _ = trained_model(env)
+        cached = evaluate_q_errors(model, test)
+        per_query = np.abs(
+            np.array([float(model.estimate([e.query])[0]) for e in test])
+        )
+        from repro.metrics.qerror import q_errors
+
+        reference = q_errors(per_query, test.cardinalities)
+        np.testing.assert_allclose(cached, reference, rtol=0, atol=1e-9)
+
+    def test_unrolled_update_matches_per_sample_accumulation(self, env):
+        """The minibatched unrolled update == averaging per-sample grads.
+
+        The unrolled update takes full-batch GD steps whose gradient is the
+        mean over samples; accumulating each sample's gradient separately
+        and averaging must land on the same parameters to float precision.
+        """
+        _db, _ex, enc, _train, test = env
+        model, _ = trained_model(env)
+        x_np = test.encode(enc)[:16]
+        y_np = model.normalize_log(test.cardinalities[:16])
+        steps, lr = 3, 0.5
+
+        poisoned = unrolled_update(model, Tensor(x_np), Tensor(y_np), steps=steps, lr=lr)
+        batched = poisoned.flat_parameters()
+
+        from repro.ce.trainer import training_loss
+
+        twin = model.clone_with_parameters(
+            {n: Tensor(p.data.copy(), requires_grad=True)
+             for n, p in model.named_parameters()}
+        )
+        n = x_np.shape[0]
+        for _ in range(steps):
+            params = [p for _name, p in twin.named_parameters()]
+            accum = [np.zeros_like(p.data) for p in params]
+            for i in range(n):
+                for p in params:
+                    p.zero_grad()
+                # per-sample loss carries the same 1/n weight the batch
+                # mean gives each sample
+                loss = training_loss(
+                    twin, Tensor(x_np[i : i + 1]), Tensor(y_np[i : i + 1])
+                )
+                loss.backward()
+                for acc, p in zip(accum, params):
+                    acc += p.grad.data / n
+            next_params = {
+                name: Tensor(p.data - lr * g, requires_grad=True)
+                for (name, p), g in zip(twin.named_parameters(), accum)
+            }
+            twin = twin.clone_with_parameters(next_params)
+        np.testing.assert_allclose(
+            batched, twin.flat_parameters(), rtol=0, atol=1e-9
+        )

@@ -18,7 +18,7 @@ from repro.db import (
     TableSchema,
     hash_join_pairs,
 )
-from repro.utils.errors import QueryError
+from repro.utils.errors import ExecutionBudgetError, QueryError
 
 
 def make_db(seed=0, users_rows=40, posts_rows=120):
@@ -226,3 +226,225 @@ class TestQueryValidation:
         q = Query.build(self.db.schema, ["users"])
         with pytest.raises(QueryError):
             LabeledQuery(q, -1)
+
+
+class TestMemoCache:
+    def setup_method(self):
+        self.db = make_db()
+
+    def _queries(self, n):
+        widths = np.linspace(0.1, 0.9, n)
+        return [
+            Query.build(self.db.schema, ["users"], {("users", "age"): (0.0, float(w))})
+            for w in widths
+        ]
+
+    def test_hit_and_miss_counters(self):
+        ex = Executor(self.db)
+        q1, q2 = self._queries(2)
+        ex.count(q1)
+        ex.count(q2)
+        ex.count(q1)
+        assert ex.cache_misses == 2
+        assert ex.cache_hits == 1
+
+    def test_capacity_bound_enforced(self):
+        ex = Executor(self.db, cache_size=2)
+        for q in self._queries(5):
+            ex.count(q)
+        assert len(ex._cache) == 2
+
+    def test_least_recently_used_is_evicted(self):
+        ex = Executor(self.db, cache_size=2)
+        q1, q2, q3 = self._queries(3)
+        ex.count(q1)
+        ex.count(q2)
+        ex.count(q1)  # refresh q1: now q2 is the LRU entry
+        ex.count(q3)  # evicts q2
+        executed = ex.executed_count
+        ex.count(q1)
+        assert ex.executed_count == executed  # still cached
+        ex.count(q2)
+        assert ex.executed_count == executed + 1  # was evicted, re-executes
+
+    def test_eviction_keeps_results_correct(self):
+        ex = Executor(self.db, cache_size=1)
+        unbounded = Executor(self.db)
+        queries = self._queries(4)
+        thrashed = [ex.count(q) for q in queries + list(reversed(queries))]
+        expected = [unbounded.count(q) for q in queries + list(reversed(queries))]
+        assert thrashed == expected
+
+    def test_perf_counters_track_cache_traffic(self):
+        from repro.perf.registry import PERF
+
+        ex = Executor(self.db)
+        q1, q2 = self._queries(2)
+        PERF.enable()
+        PERF.reset()
+        try:
+            ex.count(q1)
+            ex.count(q1)
+            ex.count(q2)
+        finally:
+            PERF.disable()
+        assert PERF.counters["db.cache_hits"] == 1
+        assert PERF.counters["db.cache_misses"] == 2
+
+    def test_counters_silent_when_perf_disabled(self):
+        from repro.perf.registry import PERF
+
+        PERF.reset()
+        ex = Executor(self.db)
+        (q1,) = self._queries(1)
+        ex.count(q1)
+        ex.count(q1)
+        assert "db.cache_hits" not in PERF.counters
+        assert ex.cache_hits == 1  # the plain attributes still count
+
+
+def make_branching_db(seed=0, sizes=(30, 70, 50, 90)):
+    """Four tables joined a-b, a-c, c-d: a tree that branches at ``a``.
+
+    Exercises the counting path on a shape the old frontier propagation
+    could not summarize with a single table's weights.
+    """
+    rng = np.random.default_rng(seed)
+    n_a, n_b, n_c, n_d = sizes
+    schemas = [
+        TableSchema("a", (Column("id", kind="key"), Column("x", low=0, high=10))),
+        TableSchema(
+            "b", (Column("a_id", kind="key"), Column("y", low=0, high=10))
+        ),
+        TableSchema(
+            "c",
+            (
+                Column("id", kind="key"),
+                Column("a_id", kind="key"),
+                Column("z", low=0, high=10),
+            ),
+        ),
+        TableSchema("d", (Column("c_id", kind="key"), Column("w", low=0, high=10))),
+    ]
+    schema = DatabaseSchema(
+        "branchy",
+        schemas,
+        [
+            JoinEdge("b", "a_id", "a", "id"),
+            JoinEdge("c", "a_id", "a", "id"),
+            JoinEdge("d", "c_id", "c", "id"),
+        ],
+    )
+    tables = {
+        "a": Table(
+            schemas[0],
+            {
+                "id": np.arange(n_a),
+                "x": rng.integers(0, 11, size=n_a).astype(float),
+            },
+        ),
+        "b": Table(
+            schemas[1],
+            {
+                "a_id": rng.integers(0, n_a, size=n_b),
+                "y": rng.integers(0, 11, size=n_b).astype(float),
+            },
+        ),
+        "c": Table(
+            schemas[2],
+            {
+                "id": np.arange(n_c),
+                "a_id": rng.integers(0, n_a, size=n_c),
+                "z": rng.integers(0, 11, size=n_c).astype(float),
+            },
+        ),
+        "d": Table(
+            schemas[3],
+            {
+                "c_id": rng.integers(0, n_c, size=n_d),
+                "w": rng.integers(0, 11, size=n_d).astype(float),
+            },
+        ),
+    }
+    return Database(schema, tables)
+
+
+class _MaterializedOnly(Executor):
+    """Reference executor: always take the materializing join loop."""
+
+    def _execute_counting(self, oriented, filtered, root):
+        return None
+
+
+class TestCountingPathEquivalence:
+    """The fold-up counting path must be indistinguishable from the
+    materializing loop: same counts, same budget aborts, same zeros."""
+
+    def _random_query(self, db, rng):
+        sets = db.schema.connected_join_sets(4)
+        tables = sets[rng.integers(len(sets))]
+        predicates = {}
+        for table in tables:
+            for column in db.schema.table(table).attributes:
+                if rng.random() < 0.5:
+                    lo, hi = sorted(rng.random(2))
+                    predicates[(table, column.name)] = (float(lo), float(hi))
+        return Query.build(db.schema, tables, predicates)
+
+    def _outcome(self, executor, query):
+        try:
+            return executor._execute(query)
+        except ExecutionBudgetError:
+            return "budget-exceeded"
+
+    def test_matches_materialized_on_random_queries(self):
+        db = make_branching_db()
+        fast = Executor(db)
+        slow = _MaterializedOnly(db)
+        rng = np.random.default_rng(7)
+        for _ in range(150):
+            query = self._random_query(db, rng)
+            assert self._outcome(fast, query) == self._outcome(slow, query)
+
+    def test_matches_materialized_under_tight_budget(self):
+        db = make_branching_db()
+        fast = Executor(db, max_intermediate=40)
+        slow = _MaterializedOnly(db, max_intermediate=40)
+        rng = np.random.default_rng(11)
+        saw_budget = False
+        for _ in range(150):
+            query = self._random_query(db, rng)
+            ours, theirs = self._outcome(fast, query), self._outcome(slow, query)
+            assert ours == theirs
+            saw_budget = saw_budget or ours == "budget-exceeded"
+        assert saw_budget  # the tight budget actually exercised the abort path
+
+    def test_branching_join_matches_bruteforce(self):
+        db = make_branching_db(sizes=(6, 10, 8, 12))
+        ex = Executor(db)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            query = self._random_query(db, rng)
+            assert ex.count(query) == brute_force_count(db, query)
+
+    def test_non_integer_keys_fall_back(self):
+        db = make_db()
+        ex = Executor(db)
+        # Rebuild the users key column as float: the counting path must
+        # decline (bincount needs integers) and defer to materialization.
+        float_db = Database(
+            db.schema,
+            {
+                "users": Table(
+                    db.schema.table("users"),
+                    {
+                        "id": db.table("users").column("id").astype(float),
+                        "age": db.table("users").column("age"),
+                    },
+                ),
+                "posts": db.tables["posts"],
+            },
+        )
+        float_ex = Executor(float_db)
+        q = Query.build(db.schema, ["users", "posts"], {("users", "age"): (0.0, 0.6)})
+        assert float_ex.count(q) == ex.count(q)

@@ -72,3 +72,84 @@ class TestDropout:
         drop = Dropout(0.0, rng=0)
         x = Tensor(np.ones((3, 3)))
         assert drop(x) is x
+
+
+class TestFusedAffine:
+    """Runtime Linear+activation fusion must be invisible numerically."""
+
+    def _network(self, seed=0):
+        from repro.nn.layers import Sequential
+
+        rng = np.random.default_rng(seed)
+        net = Sequential(Linear(6, 8, rng=1), ReLU(), Linear(8, 4, rng=2), Sigmoid(),
+                         Linear(4, 1, rng=3))
+        x = Tensor(rng.standard_normal((10, 6)), requires_grad=True)
+        return net, x
+
+    def _unfused_forward(self, net, x):
+        """Apply each stored module one by one — the pre-fusion semantics."""
+        out = x
+        for name in net._order:
+            out = getattr(net, name)(out)
+        return out
+
+    def test_forward_bitwise_identical(self):
+        net, x = self._network()
+        fused = net(x)
+        # Sequential.forward fuses Linear+activation pairs; calling modules
+        # individually is the unfused reference.
+        unfused = self._unfused_forward(net, x)
+        np.testing.assert_array_equal(fused.data, unfused.data)
+
+    def test_gradients_bitwise_identical(self):
+        net, x = self._network()
+        fused = net(x)
+        fused.sum().backward()
+        fused_grads = [p.grad.data.copy() for p in net.parameters()]
+        fused_x_grad = x.grad.data.copy()
+
+        for p in net.parameters():
+            p.zero_grad()
+        x.zero_grad()
+        unfused = self._unfused_forward(net, x)
+        unfused.sum().backward()
+        for got, p in zip(fused_grads, net.parameters()):
+            np.testing.assert_array_equal(got, p.grad.data)
+        np.testing.assert_array_equal(fused_x_grad, x.grad.data)
+
+    def test_affine_matches_composition(self):
+        from repro.nn import affine
+
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.standard_normal((7, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        for activation in (None, "relu", "sigmoid", "tanh"):
+            fused = affine(x, w, b, activation=activation)
+            composed = x @ w + b
+            if activation is not None:
+                composed = getattr(composed, activation)()
+            np.testing.assert_array_equal(fused.data, composed.data)
+            for t in (x, w, b):
+                t.zero_grad()
+            fused.sum().backward()
+            fused_grads = [t.grad.data.copy() for t in (x, w, b)]
+            for t in (x, w, b):
+                t.zero_grad()
+            composed.sum().backward()
+            for got, t in zip(fused_grads, (x, w, b)):
+                np.testing.assert_array_equal(got, t.grad.data)
+
+    def test_taped_and_data_backward_paths_agree(self):
+        """create_graph=True (taped rules) vs False (raw-ndarray rules)."""
+        net, x = self._network(seed=6)
+        out = net(x)
+        out.sum().backward(create_graph=True)
+        taped = [p.grad.data.copy() for p in net.parameters()]
+        for p in net.parameters():
+            p.zero_grad()
+        x.zero_grad()
+        out2 = net(x)
+        out2.sum().backward()
+        for got, p in zip(taped, net.parameters()):
+            np.testing.assert_array_equal(got, p.grad.data)

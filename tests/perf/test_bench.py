@@ -1,0 +1,106 @@
+"""Unit tests for the bench report helpers (no scenarios are run here)."""
+
+from repro.perf.bench import (
+    attach_baseline,
+    format_report,
+    load_report,
+    write_report,
+)
+from repro.perf.profile import PHASES
+
+
+def _entry(dataset, model, method, total, phases=None):
+    return {
+        "dataset": dataset,
+        "model": model,
+        "method": method,
+        "total_seconds": total,
+        "phases": {name: 0.0 for name in PHASES} | (phases or {}),
+    }
+
+
+def _report(entries):
+    return {
+        "schema_version": 1,
+        "tool": "pace-repro bench",
+        "scale": "smoke",
+        "seed": 0,
+        "deterministic_timing": True,
+        "recorded_unix": 0.0,
+        "phases": list(PHASES),
+        "grid": entries,
+        "total_seconds": float(sum(e["total_seconds"] for e in entries)),
+    }
+
+
+class TestAttachBaseline:
+    def test_overall_and_per_scenario_speedup(self):
+        current = _report([
+            _entry("dmv", "fcn", "pace", 2.0, {"train": 1.0, "attack": 1.0}),
+            _entry("tpch", "fcn", "pace", 1.0, {"attack": 1.0}),
+        ])
+        baseline = _report([
+            _entry("dmv", "fcn", "pace", 8.0, {"train": 2.0, "attack": 6.0}),
+            _entry("tpch", "fcn", "pace", 4.0, {"attack": 4.0}),
+        ])
+        attach_baseline(current, baseline, "baselines/BENCH_SEED.json")
+        section = current["baseline"]
+        assert section["path"] == "baselines/BENCH_SEED.json"
+        assert section["total_seconds"] == 12.0
+        assert section["current_seconds"] == 3.0
+        assert section["speedup"] == 4.0
+        by_key = {
+            (e["dataset"], e["model"]): e for e in section["per_scenario"]
+        }
+        assert by_key[("dmv", "fcn")]["speedup"] == 4.0
+        assert by_key[("dmv", "fcn")]["phase_speedups"]["train"] == 2.0
+        assert by_key[("dmv", "fcn")]["phase_speedups"]["attack"] == 6.0
+        assert by_key[("tpch", "fcn")]["speedup"] == 4.0
+
+    def test_unmatched_scenarios_are_skipped(self):
+        current = _report([
+            _entry("dmv", "fcn", "pace", 2.0),
+            _entry("stats", "mscn", "pace", 5.0),
+        ])
+        baseline = _report([_entry("dmv", "fcn", "pace", 6.0)])
+        attach_baseline(current, baseline, "b.json")
+        section = current["baseline"]
+        assert section["speedup"] == 3.0
+        assert len(section["per_scenario"]) == 1
+
+    def test_zero_current_seconds_yields_null_speedup(self):
+        current = _report([_entry("dmv", "fcn", "pace", 0.0)])
+        baseline = _report([_entry("dmv", "fcn", "pace", 6.0)])
+        attach_baseline(current, baseline, "b.json")
+        assert current["baseline"]["speedup"] is None
+        assert current["baseline"]["per_scenario"][0]["speedup"] is None
+
+
+class TestReportIO:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        report = _report([_entry("dmv", "fcn", "pace", 1.5, {"train": 1.5})])
+        path = write_report(report, tmp_path / "nested" / "BENCH.json")
+        assert path.exists()
+        assert load_report(path) == report
+
+
+class TestFormatReport:
+    def test_mentions_every_scenario_and_the_speedup(self):
+        report = _report([
+            _entry("dmv", "fcn", "pace", 2.0, {"train": 1.0}),
+            _entry("tpch", "fcn", "pace", 1.0),
+        ])
+        baseline = _report([
+            _entry("dmv", "fcn", "pace", 8.0, {"train": 2.0}),
+            _entry("tpch", "fcn", "pace", 4.0),
+        ])
+        attach_baseline(report, baseline, "b.json")
+        text = format_report(report)
+        assert "dmv/fcn" in text
+        assert "tpch/fcn" in text
+        assert "4.00x" in text
+
+    def test_no_baseline_section_without_baseline(self):
+        text = format_report(_report([_entry("dmv", "fcn", "pace", 2.0)]))
+        assert "dmv/fcn" in text
+        assert "speedup" not in text

@@ -1,0 +1,78 @@
+"""Unit tests for the PERF registry: overhead contract and bookkeeping."""
+
+import time
+
+from repro.perf.registry import _NULL_SPAN, PerfRegistry
+
+
+class TestDisabledRegistry:
+    def test_disabled_span_is_the_shared_null_span(self):
+        registry = PerfRegistry()
+        assert registry.span("anything") is _NULL_SPAN
+        assert registry.span("other") is _NULL_SPAN
+
+    def test_null_span_records_nothing(self):
+        registry = PerfRegistry()
+        with registry.span("phase.train"):
+            pass
+        assert registry.spans == {}
+        assert registry.span_counts == {}
+
+    def test_disabled_incr_is_a_no_op(self):
+        registry = PerfRegistry()
+        registry.incr("db.cache_hits")
+        registry.incr("db.cache_hits", 5)
+        assert registry.counters == {}
+
+
+class TestEnabledRegistry:
+    def test_spans_accumulate_seconds_and_counts(self):
+        registry = PerfRegistry(enabled=True)
+        for _ in range(3):
+            with registry.span("phase.encode"):
+                time.sleep(0.001)
+        assert registry.span_counts["phase.encode"] == 3
+        assert registry.spans["phase.encode"] >= 0.003
+
+    def test_counters_accumulate(self):
+        registry = PerfRegistry(enabled=True)
+        registry.incr("ops")
+        registry.incr("ops", 4)
+        registry.incr("other")
+        assert registry.counters == {"ops": 5, "other": 1}
+
+    def test_reset_clears_everything_but_keeps_enabled(self):
+        registry = PerfRegistry(enabled=True)
+        with registry.span("a"):
+            pass
+        registry.incr("b")
+        registry.reset()
+        assert registry.spans == {}
+        assert registry.span_counts == {}
+        assert registry.counters == {}
+        assert registry.enabled
+
+    def test_enable_disable_toggle(self):
+        registry = PerfRegistry()
+        registry.enable()
+        assert registry.enabled
+        registry.disable()
+        assert not registry.enabled
+        assert registry.span("x") is _NULL_SPAN
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = PerfRegistry(enabled=True)
+        with registry.span("z.late"):
+            pass
+        with registry.span("a.early"):
+            pass
+        registry.incr("m")
+        snap = registry.snapshot()
+        assert list(snap["spans"]) == ["a.early", "z.late"]
+        assert list(snap["span_counts"]) == ["a.early", "z.late"]
+        assert snap["counters"] == {"m": 1}
+        assert "allocations" not in snap
+
+    def test_allocation_snapshot_requires_tracing(self):
+        registry = PerfRegistry(enabled=True)
+        assert registry.allocation_snapshot() is None

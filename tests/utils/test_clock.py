@@ -1,0 +1,51 @@
+"""Unit tests for the injectable clock used by timing-sensitive paths."""
+
+import time
+
+import pytest
+
+from repro.utils.clock import FakeClock, get_clock, install_clock, use_clock
+
+
+class TestFakeClock:
+    def test_advances_by_tick_on_every_call(self):
+        clock = FakeClock(tick=0.5, start=10.0)
+        assert clock() == 10.5
+        assert clock() == 11.0
+        assert clock() == 11.5
+
+    def test_rejects_nonpositive_tick(self):
+        with pytest.raises(ValueError):
+            FakeClock(tick=0.0)
+        with pytest.raises(ValueError):
+            FakeClock(tick=-1.0)
+
+
+class TestClockInstallation:
+    def test_default_clock_is_perf_counter(self):
+        assert get_clock() is time.perf_counter
+
+    def test_use_clock_scopes_and_restores(self):
+        previous = get_clock()
+        fake = FakeClock()
+        with use_clock(fake) as installed:
+            assert installed is fake
+            assert get_clock() is fake
+        assert get_clock() is previous
+
+    def test_use_clock_restores_on_exception(self):
+        previous = get_clock()
+        with pytest.raises(RuntimeError):
+            with use_clock(FakeClock()):
+                raise RuntimeError("boom")
+        assert get_clock() is previous
+
+    def test_install_clock_is_process_wide(self):
+        previous = get_clock()
+        fake = FakeClock()
+        try:
+            install_clock(fake)
+            assert get_clock() is fake
+        finally:
+            install_clock(previous)
+        assert get_clock() is previous

@@ -150,3 +150,64 @@ class TestRandomRoundtrip:
             if lo <= 0.02 and hi >= 0.98:
                 continue
             assert key in back.predicates
+
+
+class TestBatchedEncodeEquivalence:
+    """encode_many's scatter-based batching vs the per-query reference."""
+
+    def _random_queries(self, db, count, seed):
+        generator = WorkloadGenerator(db, seed=seed)
+        return [generator.random_query() for _ in range(count)]
+
+    def test_encode_many_matches_per_query_encode(self, imdb):
+        db, enc = imdb
+        queries = self._random_queries(db, 40, seed=5)
+        batched = enc.encode_many(queries)
+        reference = np.stack([enc.encode(q) for q in queries])
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_encode_many_on_single_table_dataset(self, dmv):
+        db, enc = dmv
+        queries = self._random_queries(db, 20, seed=9)
+        np.testing.assert_array_equal(
+            enc.encode_many(queries), np.stack([enc.encode(q) for q in queries])
+        )
+
+    def test_encode_many_empty(self, imdb):
+        _db, enc = imdb
+        out = enc.encode_many([])
+        assert out.shape == (0, enc.dim)
+
+
+class TestWorkloadEncodingMemo:
+    def _workload(self, db, count=12, seed=3):
+        return WorkloadGenerator(db, seed=seed).generate(count)
+
+    def test_encode_memoized_per_encoder(self, dmv):
+        db, enc = dmv
+        workload = self._workload(db)
+        first = workload.encode(enc)
+        second = workload.encode(enc)
+        assert first is second  # cached, not re-encoded
+
+    def test_memoized_matrix_is_readonly(self, dmv):
+        db, enc = dmv
+        workload = self._workload(db)
+        matrix = workload.encode(enc)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 99.0
+
+    def test_distinct_encoders_get_distinct_entries(self, dmv):
+        db, enc = dmv
+        other = QueryEncoder(db.schema)
+        workload = self._workload(db)
+        np.testing.assert_array_equal(workload.encode(enc), workload.encode(other))
+        assert workload.encode(enc) is not workload.encode(other)
+
+    def test_cardinalities_memoized_and_readonly(self, dmv):
+        db, _enc = dmv
+        workload = self._workload(db)
+        cards = workload.cardinalities
+        assert workload.cardinalities is cards
+        with pytest.raises(ValueError):
+            cards[0] = -1.0
