@@ -1,15 +1,20 @@
 """Static analysis and correctness audits for the reproduction.
 
-Two tools live here, both wired into the CLI:
+Four tools live here, all wired into the CLI:
 
-- ``pace-repro lint`` — an AST-based linter with repo-specific rules
-  (R001-R006) enforcing the determinism invariant (all randomness flows
-  through ``repro.utils.rng``), logging discipline, and defensive-coding
-  hygiene. See :mod:`repro.analysis.rules`.
+- ``pace-repro lint`` — an AST-based linter with repo-specific per-file
+  rules (R001-R006) enforcing the determinism invariant (all randomness
+  flows through ``repro.utils.rng``), logging discipline, and
+  defensive-coding hygiene. See :mod:`repro.analysis.rules`.
+- ``pace-repro analyze`` — the whole-program layer on top: data-flow and
+  call-graph rules (R007-R010, :mod:`repro.analysis.flow`), the gradient
+  audit, and a sanitized end-to-end smoke pass
+  (:mod:`repro.analysis.smoke`).
 - ``pace-repro gradcheck`` — a finite-difference audit of every layer and
   loss in the hand-rolled ``repro.nn`` autograd engine.
 """
 
+from repro.analysis.flow import all_flow_rules, flow_rule_ids, run_flow
 from repro.analysis.gradcheck import (
     DEFAULT_TOLERANCE,
     GradCheckResult,
@@ -17,7 +22,15 @@ from repro.analysis.gradcheck import (
     max_relative_error,
     run_gradcheck,
 )
-from repro.analysis.report import render_json, render_text, summary_line
+from repro.analysis.report import (
+    findings_payload,
+    gradcheck_payload,
+    render_gradcheck_json,
+    render_json,
+    render_text,
+    summary_line,
+)
+from repro.analysis.smoke import SmokeResult, run_smoke
 from repro.analysis.walker import (
     Finding,
     LintContext,
@@ -25,6 +38,7 @@ from repro.analysis.walker import (
     all_rules,
     lint_file,
     register,
+    rule_ids,
     run_lint,
 )
 
@@ -35,13 +49,22 @@ __all__ = [
     "all_rules",
     "lint_file",
     "register",
+    "rule_ids",
     "run_lint",
+    "run_flow",
+    "all_flow_rules",
+    "flow_rule_ids",
     "render_text",
     "render_json",
     "summary_line",
+    "findings_payload",
+    "gradcheck_payload",
+    "render_gradcheck_json",
     "GradCheckResult",
     "run_gradcheck",
     "max_relative_error",
     "case_names",
     "DEFAULT_TOLERANCE",
+    "SmokeResult",
+    "run_smoke",
 ]

@@ -1,0 +1,30 @@
+"""Whole-program data-flow analysis (repro.analysis v2).
+
+Where the walker lints one file at a time, this subpackage builds a model
+of the whole program — symbol table, reference index, call resolution,
+RNG taint — and runs rules that need that global view (R007–R010). Entry
+points: :func:`run_flow` for findings, :func:`build_program` for the raw
+model.
+"""
+
+from repro.analysis.flow.dataflow import RngTaint, Taint
+from repro.analysis.flow.engine import (
+    FlowRule,
+    all_flow_rules,
+    flow_rule_ids,
+    register_flow,
+    run_flow,
+)
+from repro.analysis.flow.program import Program, build_program
+
+__all__ = [
+    "FlowRule",
+    "Program",
+    "RngTaint",
+    "Taint",
+    "all_flow_rules",
+    "build_program",
+    "flow_rule_ids",
+    "register_flow",
+    "run_flow",
+]

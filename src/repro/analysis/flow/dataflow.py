@@ -1,0 +1,315 @@
+"""Reaching definitions and interprocedural RNG taint analysis.
+
+The determinism invariant (README, R001/R006) says every random draw must
+flow through ``repro.utils.rng``. The per-file rules can only see the
+*construction* of a stream; this module tracks where Generator values
+*go*: through local variables, tuple/loop bindings, helper returns, and
+into stochastic call sites (``rng.normal(...)``).
+
+The taint lattice is three-valued:
+
+* ``RAW`` — the value originates at a direct ``numpy.random`` constructor
+  (``default_rng``/``RandomState``/``Generator``) outside the trusted
+  ``utils/rng.py`` boundary, directly or through project helper returns;
+* ``BLESSED`` — the value originates at ``derive_rng``/``spawn_rngs`` or
+  at a ``seed``/``rng``-style parameter (the caller controls the stream);
+* ``UNKNOWN`` — anything the analysis cannot prove. Unknown is never
+  reported: the rule built on top (R007) only fires on proven-RAW flows,
+  so precision failures cost recall, not false positives.
+
+Definitions are collected per function scope in source order (an
+approximation of reaching definitions without a CFG: every definition
+textually before the use is considered reaching, and RAW dominates), and
+helper-return summaries are solved to a fixpoint over the project call
+graph, so a raw generator laundered through two levels of helpers is
+still traced back to its constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+from typing import Iterator
+
+from repro.analysis.flow.program import FunctionInfo, ModuleInfo, Program
+from repro.analysis.walker import canonical_call_name, dotted_name
+
+RAW_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+BLESSED_CONSTRUCTORS = frozenset({
+    "repro.utils.rng.derive_rng",
+    "repro.utils.rng.spawn_rngs",
+})
+
+#: Generator methods that draw from the stream; reaching one of these with
+#: a RAW-tainted receiver is the R007 violation.
+STOCHASTIC_METHODS = frozenset({
+    "random", "normal", "standard_normal", "uniform", "integers", "choice",
+    "permutation", "shuffle", "exponential", "poisson", "binomial", "beta",
+    "gamma", "lognormal", "geometric", "multivariate_normal", "permuted",
+})
+
+_RNG_PARAM_STEMS = ("rng", "seed", "generator", "random_state")
+
+_MAX_CHAIN_DEPTH = 12
+
+
+class Taint(enum.Enum):
+    RAW = "raw"
+    BLESSED = "blessed"
+    UNKNOWN = "unknown"
+
+
+@dataclasses.dataclass(frozen=True)
+class Origin:
+    """Where a value's taint was decided, for diagnostics."""
+
+    taint: Taint
+    detail: str = ""
+    line: int = 0
+
+
+_UNKNOWN = Origin(Taint.UNKNOWN)
+
+
+@dataclasses.dataclass(frozen=True)
+class Definition:
+    """One binding of a local name: ``name = value`` (or a loop/with form)."""
+
+    name: str
+    line: int
+    value: ast.expr | None  # None when the bound value is untrackable
+
+
+def is_trusted_module(module: ModuleInfo) -> bool:
+    """Is this the ``repro.utils.rng`` trust boundary itself?"""
+    return module.name.endswith("utils.rng") or module.path_parts[-2:] == ("utils", "rng.py")
+
+
+def collect_definitions(scope: ast.AST) -> dict[str, list[Definition]]:
+    """All name bindings inside ``scope``, grouped by name, in line order.
+
+    Covers plain/annotated/walrus assignments, ``for`` targets (the bound
+    value is the iterable — element-of semantics are close enough for
+    taint), and ``with ... as`` bindings. Tuple-unpacked names are bound
+    to ``None`` (untrackable), which classifies as UNKNOWN.
+    """
+    defs: dict[str, list[Definition]] = {}
+
+    def bind(target: ast.expr, value: ast.expr | None, line: int) -> None:
+        if isinstance(target, ast.Name):
+            defs.setdefault(target.id, []).append(Definition(target.id, line, value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind(element, None, line)
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind(target, node.value, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            bind(node.target, node.value, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            bind(node.target, None, node.lineno)
+        elif isinstance(node, ast.NamedExpr):
+            bind(node.target, node.value, node.lineno)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target, node.iter, node.lineno)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars, item.context_expr, node.lineno)
+    for chain in defs.values():
+        chain.sort(key=lambda d: d.line)
+    return defs
+
+
+class RngTaint:
+    """Interprocedural RNG taint over a :class:`Program`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries: dict[str, Taint] = {}
+        self._defs_cache: dict[int, dict[str, list[Definition]]] = {}
+        self._solve_summaries()
+
+    # ------------------------------------------------------------------
+    # summaries: does calling this function hand back a raw stream?
+    # ------------------------------------------------------------------
+    def _solve_summaries(self) -> None:
+        functions = self.program.functions
+        for qualname, info in functions.items():
+            module = self.program.modules.get(info.module)
+            trusted = module is not None and is_trusted_module(module)
+            self.summaries[qualname] = Taint.BLESSED if trusted else Taint.UNKNOWN
+        # Chains of helpers are short; the lattice only moves UNKNOWN ->
+        # {RAW, BLESSED}, so a handful of passes reaches the fixpoint.
+        for _ in range(8):
+            changed = False
+            for qualname, info in functions.items():
+                module = self.program.modules.get(info.module)
+                if module is None or is_trusted_module(module):
+                    continue
+                summary = self._return_taint(module, info)
+                if summary is not self.summaries[qualname]:
+                    self.summaries[qualname] = summary
+                    changed = True
+            if not changed:
+                break
+
+    def _return_taint(self, module: ModuleInfo, info: FunctionInfo) -> Taint:
+        taints = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                origin = self.classify(module, info, node.value, line=node.lineno)
+                taints.append(origin.taint)
+        if Taint.RAW in taints:
+            return Taint.RAW
+        if Taint.BLESSED in taints:
+            return Taint.BLESSED
+        return Taint.UNKNOWN
+
+    # ------------------------------------------------------------------
+    # expression classification
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        expr: ast.expr,
+        line: int,
+        _visited: frozenset[tuple[int, str]] = frozenset(),
+        _depth: int = 0,
+    ) -> Origin:
+        """Taint of ``expr`` as seen at ``line`` inside ``scope``."""
+        if _depth > _MAX_CHAIN_DEPTH:
+            return _UNKNOWN
+        if isinstance(expr, ast.Call):
+            return self._classify_call(module, scope, expr, _visited, _depth)
+        if isinstance(expr, ast.Name):
+            return self._classify_name(module, scope, expr, line, _visited, _depth)
+        if isinstance(expr, ast.Subscript):
+            return self.classify(module, scope, expr.value, line, _visited, _depth + 1)
+        if isinstance(expr, ast.Attribute):
+            # self._rng / config.rng style access: the stream was blessed
+            # where it was stored (R006 polices the storing side).
+            if any(stem in expr.attr.lower() for stem in _RNG_PARAM_STEMS):
+                return Origin(Taint.BLESSED, f"attribute {expr.attr!r}", expr.lineno)
+            return _UNKNOWN
+        if isinstance(expr, ast.IfExp):
+            body = self.classify(module, scope, expr.body, line, _visited, _depth + 1)
+            orelse = self.classify(module, scope, expr.orelse, line, _visited, _depth + 1)
+            for origin in (body, orelse):
+                if origin.taint is Taint.RAW:
+                    return origin
+            if body.taint is Taint.BLESSED and orelse.taint is Taint.BLESSED:
+                return body
+            return _UNKNOWN
+        return _UNKNOWN
+
+    def _classify_call(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        call: ast.Call,
+        visited: frozenset[tuple[int, str]],
+        depth: int,
+    ) -> Origin:
+        canonical = canonical_call_name(call, module.aliases)
+        if canonical is None:
+            return _UNKNOWN
+        if canonical in RAW_CONSTRUCTORS:
+            if is_trusted_module(module):
+                return Origin(Taint.BLESSED, canonical, call.lineno)
+            short = canonical.replace("numpy.", "np.")
+            return Origin(Taint.RAW, f"{short}(...) at line {call.lineno}", call.lineno)
+        if canonical in BLESSED_CONSTRUCTORS:
+            return Origin(Taint.BLESSED, canonical, call.lineno)
+        owner = scope.owner if scope is not None else None
+        target = self.program.resolve_call(module, call, cls=owner)
+        if target is not None:
+            summary = self.summaries.get(target.qualname, Taint.UNKNOWN)
+            if summary is Taint.RAW:
+                detail = (
+                    f"helper {target.name!r} ({target.module}:{target.lineno}), "
+                    "which returns a raw numpy.random stream"
+                )
+                return Origin(Taint.RAW, detail, call.lineno)
+            if summary is Taint.BLESSED:
+                return Origin(Taint.BLESSED, f"helper {target.name!r}", call.lineno)
+        return _UNKNOWN
+
+    def _classify_name(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        name: ast.Name,
+        line: int,
+        visited: frozenset[tuple[int, str]],
+        depth: int,
+    ) -> Origin:
+        key = (id(scope.node) if scope is not None else id(module.tree), name.id)
+        if key in visited:
+            return _UNKNOWN
+        visited = visited | {key}
+        reaching = [
+            d for d in self._definitions(module, scope).get(name.id, []) if d.line <= line
+        ]
+        blessed: Origin | None = None
+        for definition in reaching:
+            if definition.value is None:
+                continue
+            origin = self.classify(
+                module, scope, definition.value, definition.line, visited, depth + 1
+            )
+            if origin.taint is Taint.RAW:
+                detail = f"{name.id!r} bound at line {definition.line} from {origin.detail}"
+                return Origin(Taint.RAW, detail, definition.line)
+            if origin.taint is Taint.BLESSED:
+                blessed = origin
+        if scope is not None and not reaching and name.id in scope.param_names():
+            lowered = name.id.lower()
+            annotation = scope.param_annotations().get(name.id, "")
+            if any(stem in lowered for stem in _RNG_PARAM_STEMS) or "Generator" in annotation:
+                return Origin(Taint.BLESSED, f"parameter {name.id!r}", scope.lineno)
+            return _UNKNOWN
+        if blessed is not None:
+            return blessed
+        return _UNKNOWN
+
+    def _definitions(
+        self, module: ModuleInfo, scope: FunctionInfo | None
+    ) -> dict[str, list[Definition]]:
+        node: ast.AST = scope.node if scope is not None else module.tree
+        cached = self._defs_cache.get(id(node))
+        if cached is None:
+            cached = collect_definitions(node)
+            self._defs_cache[id(node)] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # stochastic call sites
+    # ------------------------------------------------------------------
+    def stochastic_sites(self, module: ModuleInfo) -> Iterator[tuple[ast.Call, ast.expr, str]]:
+        """Yield ``(call, receiver, method)`` for each draw-like call."""
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in STOCHASTIC_METHODS
+            ):
+                # np.random.<legacy draw>() is R001's business, and the
+                # receiver (np.random) is a module, not a Generator value.
+                receiver = dotted_name(node.func.value)
+                if receiver is not None:
+                    head = receiver.partition(".")[0]
+                    resolved = module.aliases.get(head, head)
+                    full = receiver.replace(head, resolved, 1)
+                    if full == "numpy.random" or full.startswith("numpy.random."):
+                        continue
+                yield node, node.func.value, node.func.attr

@@ -1,0 +1,8 @@
+"""Whole-program flow rules (R007+). Importing registers them."""
+
+from repro.analysis.flow.rules import (  # noqa: F401 — imports register rules
+    r007_rng_taint,
+    r008_dead_code,
+    r009_shape_contract,
+    r010_span_leak,
+)

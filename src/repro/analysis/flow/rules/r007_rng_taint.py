@@ -1,0 +1,53 @@
+"""R007 rng-taint: every Generator reaching a draw must be blessed.
+
+R001 flags the *construction* of a raw ``numpy.random`` stream and R006
+checks that public APIs *expose* a seed parameter — both are local,
+syntactic checks. R007 closes the gap between them with data flow: it
+follows Generator values through local bindings, loop/with targets,
+subscripts and project helper returns, and fires where a stream that
+provably originates at a raw constructor actually *draws* (``.normal()``,
+``.choice()``, ...). A helper that launders ``np.random.default_rng()``
+through two levels of calls is still caught at the draw site.
+
+Only proven-RAW flows are reported; anything the analysis cannot resolve
+is silently trusted (R001 still guards the construction sites).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.flow.dataflow import RngTaint, Taint, is_trusted_module
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import Program
+from repro.analysis.walker import Finding
+
+
+@register_flow
+class RngTaintRule(FlowRule):
+    rule_id = "R007"
+    title = "rng-taint"
+    severity = "error"
+    hint = (
+        "thread the stream from the caller: construct it with "
+        "repro.utils.rng.derive_rng(seed) and pass the Generator down"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        taint = RngTaint(program)
+        for module in program.target_modules():
+            if is_trusted_module(module):
+                continue
+            for call, receiver, method in taint.stochastic_sites(module):
+                scope = program.enclosing_function(module, call.lineno)
+                origin = taint.classify(module, scope, receiver, line=call.lineno)
+                if origin.taint is not Taint.RAW:
+                    continue
+                where = f"in {scope.name!r}" if scope is not None else "at module level"
+                yield self.finding(
+                    module,
+                    call,
+                    f"Generator feeding .{method}() {where} traces back to "
+                    f"{origin.detail}; streams must originate at "
+                    "repro.utils.rng.derive_rng",
+                )

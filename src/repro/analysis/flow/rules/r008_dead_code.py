@@ -1,0 +1,64 @@
+"""R008 dead-public-code: public symbols nobody references are rot.
+
+A public function or method that no code in the whole analyzed universe
+(package sources *plus* tests, benchmarks and examples) ever names is
+either leftover from a refactor or an API that silently lost its caller —
+both are hazards in a reproduction, where an "available but never
+exercised" code path is exactly the kind that drifts subtly wrong.
+
+The reference index is name-based and deliberately generous: an
+``ast.Name`` load, an attribute access, a ``from x import y`` alias or an
+``__all__`` string anywhere counts as a use, and references inside the
+definition's own span (recursion) do not. Dunder methods are exempt (the
+interpreter calls them), as is ``main``. That keeps the rule's precision
+high enough to gate CI on: what it flags really has zero callers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import Program
+from repro.analysis.walker import Finding
+
+_EXEMPT_NAMES = frozenset({"main"})
+
+
+@register_flow
+class DeadPublicCode(FlowRule):
+    rule_id = "R008"
+    title = "dead-public-code"
+    severity = "error"
+    hint = (
+        "delete it, wire it into a caller or test, or suppress with "
+        "'# noqa: R008' if it is intentionally external-facing"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for module in program.target_modules():
+            for info in program.all_functions(module):
+                if not info.is_public or info.name in _EXEMPT_NAMES:
+                    continue
+                if info.name.startswith("__") and info.name.endswith("__"):
+                    continue
+                if self._is_referenced(program, module.name, info):
+                    continue
+                kind = "method" if info.owner else "function"
+                label = f"{info.owner}.{info.name}" if info.owner else info.name
+                yield self.finding(
+                    module,
+                    info.node,
+                    f"public {kind} {label!r} is never referenced anywhere in "
+                    "the analyzed sources (src, tests, benchmarks, examples)",
+                )
+
+    @staticmethod
+    def _is_referenced(program: Program, module_name: str, info) -> bool:
+        for ref in program.references.get(info.name, ()):
+            inside_own_def = (
+                ref.module == module_name and info.lineno <= ref.line <= info.end_lineno
+            )
+            if not inside_own_def:
+                return True
+        return False

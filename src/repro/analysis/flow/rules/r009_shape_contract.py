@@ -1,0 +1,112 @@
+"""R009 shape-contract: statically mis-chained ``repro.nn`` compositions.
+
+An abstract shape interpreter over literal layer compositions: inside a
+``Sequential(...)`` (or ``repro.nn.layers.Sequential``) construction it
+tracks the feature width through ``Linear(in, out)`` layers — shape-
+preserving activations (``ReLU``/``Sigmoid``/``Tanh``/``Dropout``) pass
+the width through unchanged — and fires when one Linear's literal
+``in_features`` cannot match the previous layer's literal output width.
+A mis-chained Sequential raises at *forward* time today, but only on the
+first forward of that configuration; the whole point of static analysis
+is to catch it before an experiment burns hours to reach that line.
+
+Widths that are not integer literals make the interpreter lose track
+(width becomes unknown) rather than guess, so dynamically-built stacks
+(``mlp``'s loop, config-driven models) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import ModuleInfo, Program
+from repro.analysis.walker import Finding, canonical_call_name
+
+_SEQUENTIAL_NAMES = frozenset({
+    "Sequential",
+    "repro.nn.Sequential",
+    "repro.nn.layers.Sequential",
+})
+_LINEAR_NAMES = frozenset({
+    "Linear",
+    "repro.nn.Linear",
+    "repro.nn.layers.Linear",
+})
+_PASSTHROUGH_NAMES = frozenset({
+    "ReLU", "Sigmoid", "Tanh", "Dropout",
+    "repro.nn.ReLU", "repro.nn.Sigmoid", "repro.nn.Tanh", "repro.nn.Dropout",
+    "repro.nn.layers.ReLU", "repro.nn.layers.Sigmoid",
+    "repro.nn.layers.Tanh", "repro.nn.layers.Dropout",
+})
+
+
+def _literal_int(node: ast.expr | None) -> int | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _linear_features(call: ast.Call) -> tuple[int | None, int | None]:
+    """Literal ``(in_features, out_features)`` of a Linear construction."""
+    in_features = _literal_int(call.args[0]) if len(call.args) >= 1 else None
+    out_features = _literal_int(call.args[1]) if len(call.args) >= 2 else None
+    for keyword in call.keywords:
+        if keyword.arg == "in_features":
+            in_features = _literal_int(keyword.value)
+        elif keyword.arg == "out_features":
+            out_features = _literal_int(keyword.value)
+    return in_features, out_features
+
+
+@register_flow
+class ShapeContract(FlowRule):
+    rule_id = "R009"
+    title = "shape-contract"
+    severity = "error"
+    hint = (
+        "each Linear's in_features must equal the previous Linear's "
+        "out_features (activations preserve width)"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for module in program.target_modules():
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node, module.aliases)
+            if name not in _SEQUENTIAL_NAMES:
+                continue
+            yield from self._check_chain(module, node)
+
+    def _check_chain(self, module: ModuleInfo, sequential: ast.Call) -> Iterator[Finding]:
+        width: int | None = None
+        previous_out_line = 0
+        for layer in sequential.args:
+            if isinstance(layer, ast.Starred) or not isinstance(layer, ast.Call):
+                width = None
+                continue
+            layer_name = canonical_call_name(layer, module.aliases)
+            if layer_name in _PASSTHROUGH_NAMES:
+                continue
+            if layer_name in _LINEAR_NAMES:
+                in_features, out_features = _linear_features(layer)
+                if width is not None and in_features is not None and in_features != width:
+                    yield self.finding(
+                        module,
+                        layer,
+                        f"mis-chained Sequential: this Linear expects "
+                        f"in_features={in_features} but the previous layer "
+                        f"(line {previous_out_line}) produces width {width}",
+                    )
+                if out_features is not None:
+                    width = out_features
+                    previous_out_line = layer.lineno
+                else:
+                    width = None
+            else:
+                width = None  # unknown module: lose track, never guess

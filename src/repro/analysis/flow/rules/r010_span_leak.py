@@ -1,0 +1,76 @@
+"""R010 perf-span-leak: ``PERF.span`` must be a ``with`` context expression.
+
+A perf span folds its elapsed time into the registry in ``__exit__``. Any
+use other than directly as a ``with`` item — storing the span, entering
+it manually, returning it — has a path where an exception fires between
+open and close and the span never lands, silently corrupting every
+profile/bench report derived from the run (and, for manual
+``__enter__``/``__exit__`` pairs, *every* raising path leaks). The
+``with`` form is the only one the language guarantees closes.
+
+The rule resolves the receiver through import aliases: ``PERF.span``,
+``registry.PERF.span`` and ``from repro.perf import PERF as P; P.span``
+are all recognized. The registry's own module is exempt (it constructs
+spans by definition).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import ModuleInfo, Program, build_parent_map
+from repro.analysis.walker import Finding, dotted_name
+
+_PERF_RECEIVERS = frozenset({
+    "PERF",
+    "repro.perf.PERF",
+    "repro.perf.registry.PERF",
+})
+
+
+def _is_registry_module(module: ModuleInfo) -> bool:
+    return module.path_parts[-2:] == ("perf", "registry.py")
+
+
+@register_flow
+class PerfSpanLeak(FlowRule):
+    rule_id = "R010"
+    title = "perf-span-leak"
+    severity = "error"
+    hint = "open the span as 'with PERF.span(name):' so it closes on every path"
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for module in program.target_modules():
+            if _is_registry_module(module):
+                continue
+            parents = build_parent_map(module.tree)
+            for node in ast.walk(module.tree):
+                if not self._is_perf_span_call(module, node):
+                    continue
+                parent = parents.get(node)
+                if isinstance(parent, ast.withitem):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    "PERF.span(...) opened outside a 'with' block leaks if "
+                    "any statement raises before the span is closed",
+                )
+
+    @staticmethod
+    def _is_perf_span_call(module: ModuleInfo, node: ast.AST) -> bool:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+        ):
+            return False
+        receiver = dotted_name(node.func.value)
+        if receiver is None:
+            return False
+        head = receiver.partition(".")[0]
+        resolved = module.aliases.get(head, head)
+        full = receiver.replace(head, resolved, 1) if resolved != head else receiver
+        return full in _PERF_RECEIVERS

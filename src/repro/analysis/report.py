@@ -32,8 +32,9 @@ def render_text(findings: Sequence[Finding], show_hints: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    payload = [
+def findings_payload(findings: Sequence[Finding]) -> list[dict]:
+    """JSON-ready list form of ``findings`` (shared by lint and analyze)."""
+    return [
         {
             "rule": f.rule_id,
             "severity": f.severity,
@@ -45,4 +46,33 @@ def render_json(findings: Sequence[Finding]) -> str:
         }
         for f in findings
     ]
-    return json.dumps(payload, indent=2)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(findings_payload(findings), indent=2)
+
+
+def gradcheck_payload(results) -> dict:
+    """JSON-ready form of a :func:`run_gradcheck` result list."""
+    # Cast explicitly: max_rel_error can be a numpy scalar, which drags
+    # ``passed`` into np.bool_ — neither is JSON serializable.
+    return {
+        "passed": all(bool(r.passed) for r in results),
+        "max_relative_error": float(
+            max((r.max_rel_error for r in results), default=0.0)
+        ),
+        "cases": [
+            {
+                "name": r.name,
+                "max_rel_error": float(r.max_rel_error),
+                "checked": int(r.checked),
+                "tolerance": float(r.tolerance),
+                "passed": bool(r.passed),
+            }
+            for r in results
+        ],
+    }
+
+
+def render_gradcheck_json(results) -> str:
+    return json.dumps(gradcheck_payload(results), indent=2)

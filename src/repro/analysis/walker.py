@@ -27,7 +27,12 @@ _NOQA_RE = re.compile(r"#\s*noqa(?::(?P<ids>[\sA-Za-z0-9,]+))?", re.IGNORECASE)
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
-    """One lint violation, pointing at ``path:line:col``."""
+    """One lint violation, pointing at ``path:line:col``.
+
+    ``end_line`` is the last physical line of the flagged statement; a
+    ``# noqa`` on any line in ``[line, end_line]`` suppresses the finding,
+    so multi-line statements can carry the comment on a continuation line.
+    """
 
     rule_id: str
     message: str
@@ -36,6 +41,7 @@ class Finding:
     col: int
     severity: str = "error"
     hint: str | None = None
+    end_line: int | None = None
 
     @property
     def location(self) -> str:
@@ -64,11 +70,8 @@ class LintContext:
     def path_parts(self) -> tuple[str, ...]:
         return self.path.parts
 
-    def is_suppressed(self, rule_id: str, line: int) -> bool:
-        if line not in self.suppressions:
-            return False
-        ids = self.suppressions[line]
-        return ids is None or rule_id in ids
+    def is_suppressed(self, rule_id: str, line: int, end_line: int | None = None) -> bool:
+        return suppressed_in_range(self.suppressions, rule_id, line, end_line)
 
 
 class Rule:
@@ -103,6 +106,7 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             severity=severity or self.severity,
             hint=hint if hint is not None else (self.hint or None),
+            end_line=getattr(node, "end_lineno", None),
         )
 
 
@@ -121,24 +125,61 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
-def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
-    """Instantiate registered rules, optionally restricted to ``select`` ids."""
+def rule_ids() -> list[str]:
+    """Sorted ids of every registered per-file lint rule."""
     from repro.analysis import rules as _rules  # noqa — import registers the rules
 
     del _rules
-    wanted = None if select is None else {s.strip().upper() for s in select}
-    if wanted is not None:
-        unknown = wanted - set(_REGISTRY)
-        if unknown:
-            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+    return sorted(_REGISTRY)
+
+
+def _validated_ids(raw: Iterable[str], kind: str) -> set[str]:
+    ids = {s.strip().upper() for s in raw if s.strip()}
+    unknown = ids - set(_REGISTRY)
+    if unknown:
+        raise KeyError(
+            f"unknown rule ids in {kind}: {', '.join(sorted(unknown))} "
+            f"(known lint rules: {', '.join(sorted(_REGISTRY))})"
+        )
+    return ids
+
+
+def all_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Instantiate registered rules, restricted by ``select`` / ``ignore`` ids.
+
+    Unknown ids in either list raise ``KeyError`` naming the offending ids
+    and the known ones — a silently ignored typo would disable a gate.
+    """
+    from repro.analysis import rules as _rules  # noqa — import registers the rules
+
+    del _rules
+    wanted = None if select is None else _validated_ids(select, "--select")
+    dropped = set() if ignore is None else _validated_ids(ignore, "--ignore")
     return [
         cls()
         for rule_id, cls in sorted(_REGISTRY.items())
-        if wanted is None or rule_id in wanted
+        if (wanted is None or rule_id in wanted) and rule_id not in dropped
     ]
 
 
-def _collect_suppressions(lines: list[str]) -> dict[int, set[str] | None]:
+def suppressed_in_range(
+    suppressions: dict[int, set[str] | None],
+    rule_id: str,
+    line: int,
+    end_line: int | None = None,
+) -> bool:
+    """Is ``rule_id`` silenced by a noqa on any line of ``[line, end_line]``?"""
+    end = line if end_line is None or end_line < line else end_line
+    for noqa_line, ids in suppressions.items():
+        if line <= noqa_line <= end and (ids is None or rule_id in ids):
+            return True
+    return False
+
+
+def collect_suppressions(lines: list[str]) -> dict[int, set[str] | None]:
     out: dict[int, set[str] | None] = {}
     for i, line in enumerate(lines, start=1):
         if "#" not in line:
@@ -197,13 +238,13 @@ def lint_file(
         tree=tree,
         source=source,
         lines=lines,
-        suppressions=_collect_suppressions(lines),
+        suppressions=collect_suppressions(lines),
     )
     findings = [
         f
         for rule in rules
         for f in rule.check(ctx)
-        if not ctx.is_suppressed(f.rule_id, f.line)
+        if not ctx.is_suppressed(f.rule_id, f.line, f.end_line)
     ]
     findings.sort(key=Finding.sort_key)
     return findings
@@ -212,9 +253,10 @@ def lint_file(
 def run_lint(
     paths: Iterable[Path | str],
     select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
 ) -> list[Finding]:
     """Lint every python file under ``paths`` with the (selected) rules."""
-    rules = all_rules(select=select)
+    rules = all_rules(select=select, ignore=ignore)
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
         findings.extend(lint_file(file_path, rules=rules))

@@ -36,7 +36,7 @@ from repro.ce.trainer import training_loss, unrolled_update
 from repro.db.executor import Executor
 from repro.nn.losses import bce_loss
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor, grad
+from repro.nn.tensor import Tensor, grad, sanitize_scope
 from repro.utils.errors import ExecutionBudgetError, TrainingError
 from repro.utils.rng import derive_rng
 from repro.workload.workload import Workload
@@ -118,10 +118,6 @@ class GeneratorTrainResult:
     wall_seconds: float = 0.0
     flagged_counts: list[int] = field(default_factory=list)
     label_executions: int = 0
-
-    @property
-    def final_objective(self) -> float:
-        return self.objective_curve[-1] if self.objective_curve else float("nan")
 
 
 class _Session:
@@ -249,9 +245,10 @@ class _Session:
         self.join_step(batch, oversized=oversized)
         if nonempty.any():
             rows = np.nonzero(nonempty)[0]
-            objective = self.poisoning_objective(
-                view, batch.encodings[rows], labels_norm[rows], steps
-            )
+            with sanitize_scope("attack.generator_step"):
+                objective = self.poisoning_objective(
+                    view, batch.encodings[rows], labels_norm[rows], steps
+                )
         else:
             objective = Tensor(np.zeros(()))
         loss = objective * -1.0
@@ -348,7 +345,8 @@ class _Session:
         rows = np.nonzero(nonempty)[0]
         x = batch.encodings[rows].detach()
         y = Tensor(labels_norm[rows])
-        return self._detached_steps(x, y, state, steps)
+        with sanitize_scope("attack.commit_update"):
+            return self._detached_steps(x, y, state, steps)
 
 
 def train_generator_accelerated(

@@ -74,10 +74,6 @@ class CardinalityEstimator(Module):
         encodings = self.encoder.encode_many(queries)
         return self.estimate_encoded(encodings)
 
-    def log_cardinality(self, x: Tensor) -> Tensor:
-        """Differentiable natural-log cardinality for a batch tensor."""
-        return self.forward(x) * self.log_cap
-
     # ------------------------------------------------------------------
     # introspection used by the surrogate-acquisition experiments
     # ------------------------------------------------------------------

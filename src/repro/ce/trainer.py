@@ -21,7 +21,7 @@ import numpy as np
 from repro.ce.base import CardinalityEstimator
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam
-from repro.nn.tensor import Tensor, grad, no_grad
+from repro.nn.tensor import Tensor, grad, no_grad, sanitize_scope
 from repro.utils.errors import TrainingError
 from repro.utils.rng import derive_rng
 from repro.workload.workload import Workload
@@ -51,10 +51,6 @@ class TrainResult:
 
     losses: list[float] = field(default_factory=list)
 
-    @property
-    def final_loss(self) -> float:
-        return self.losses[-1] if self.losses else float("nan")
-
 
 def train_model(
     model: CardinalityEstimator,
@@ -74,22 +70,23 @@ def train_model(
     result = TrainResult()
     n = len(workload)
     batch = min(config.batch_size, n)
-    for _epoch in range(config.epochs):
-        order = rng.permutation(n)
-        epoch_loss = 0.0
-        steps = 0
-        for start in range(0, n, batch):
-            idx = order[start : start + batch]
-            x = Tensor(x_all[idx])
-            y = Tensor(y_all[idx])
-            prediction = model(x)
-            loss = mse_loss(prediction, y)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item()
-            steps += 1
-        result.losses.append(epoch_loss / max(steps, 1))
+    with sanitize_scope("ce.train_model"):
+        for _epoch in range(config.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            steps = 0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                x = Tensor(x_all[idx])
+                y = Tensor(y_all[idx])
+                prediction = model(x)
+                loss = mse_loss(prediction, y)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                steps += 1
+            result.losses.append(epoch_loss / max(steps, 1))
     return result
 
 
@@ -116,15 +113,16 @@ def incremental_update(
     y = Tensor(model.normalize_log(workload.cardinalities))
     params = model.parameters()
     losses = []
-    for _ in range(steps):
-        loss = training_loss(model, x, y)
-        model.zero_grad()
-        loss.backward()
-        with no_grad():
-            for p in params:
-                if p.grad is not None:
-                    p.data -= lr * p.grad.data
-        losses.append(loss.item())
+    with sanitize_scope("ce.incremental_update"):
+        for _ in range(steps):
+            loss = training_loss(model, x, y)
+            model.zero_grad()
+            loss.backward()
+            with no_grad():
+                for p in params:
+                    if p.grad is not None:
+                        p.data -= lr * p.grad.data
+            losses.append(loss.item())
     model.zero_grad()
     return losses
 
@@ -147,14 +145,15 @@ def unrolled_update(
         raise TrainingError(f"unrolled update needs steps >= 1, got {steps}")
     names = [name for name, _ in model.named_parameters()]
     current = model
-    for _ in range(steps):
-        loss = training_loss(current, x, y_norm)
-        params = [p for _, p in current.named_parameters()]
-        grads = grad(loss, params, create_graph=True)
-        mapping = {
-            name: p - lr * g for name, p, g in zip(names, params, grads)
-        }
-        current = current.clone_with_parameters(mapping)
+    with sanitize_scope("ce.unrolled_update"):
+        for _ in range(steps):
+            loss = training_loss(current, x, y_norm)
+            params = [p for _, p in current.named_parameters()]
+            grads = grad(loss, params, create_graph=True)
+            mapping = {
+                name: p - lr * g for name, p, g in zip(names, params, grads)
+            }
+            current = current.clone_with_parameters(mapping)
     return current
 
 

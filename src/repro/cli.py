@@ -6,7 +6,8 @@ Examples::
     python -m repro attack --dataset tpch --model mscn --method lbg --count 48
     python -m repro speculate --dataset dmv --model lstm
     python -m repro lint --format json
-    python -m repro gradcheck
+    python -m repro analyze
+    python -m repro gradcheck --format json
     python -m repro info
 """
 
@@ -77,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the real clock for speculation latency probes")
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific static-analysis rules (R001-R006)"
+        "lint", help="run the repo-specific per-file static-analysis rules (R001-R006)"
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files/directories to lint (default: the repro package)")
@@ -86,6 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="show an autofix hint under each finding")
     lint.add_argument("--select", default=None, metavar="IDS",
                       help="comma-separated rule ids to run (e.g. R001,R004)")
+    lint.add_argument("--ignore", default=None, metavar="IDS",
+                      help="comma-separated rule ids to skip")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="full audit: lint + whole-program flow rules (R007-R010) "
+             "+ gradient audit + sanitized smoke pass",
+    )
+    analyze.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files/directories to analyze (default: the repro package)")
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--fix-hints", action="store_true",
+                         help="show an autofix hint under each finding")
+    analyze.add_argument("--skip-gradcheck", action="store_true",
+                         help="skip the finite-difference gradient audit")
+    analyze.add_argument("--skip-smoke", action="store_true",
+                         help="skip the sanitized smoke forward/backward pass")
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="seed for the sanitized smoke pass")
 
     gradcheck = sub.add_parser(
         "gradcheck",
@@ -93,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gradcheck.add_argument("--tolerance", type=float, default=None,
                            help="max relative error allowed (default: 1e-4)")
+    gradcheck.add_argument("--format", choices=("text", "json"), default="text")
 
     sub.add_parser("info", help="list datasets, model types, methods, scales")
     return parser
@@ -195,19 +216,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import render_json, render_text, run_lint
+def _default_analysis_targets(paths: list[str]) -> list[Path]:
+    if paths:
+        return [Path(p) for p in paths]
+    # Analyze the installed package source itself.
+    return [Path(__file__).resolve().parent]
 
-    if args.paths:
-        targets = [Path(p) for p in args.paths]
-    else:
-        # Lint the installed package source itself.
-        targets = [Path(__file__).resolve().parent]
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import flow_rule_ids, render_json, render_text, run_lint
+
+    targets = _default_analysis_targets(args.paths)
     select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
     try:
-        findings = run_lint(targets, select=select)
+        findings = run_lint(targets, select=select, ignore=ignore)
     except (KeyError, FileNotFoundError) as exc:
         message = exc.args[0] if exc.args else str(exc)
+        requested = [s.strip().upper() for s in (select or []) + (ignore or [])]
+        flow_ids = set(flow_rule_ids())
+        if any(r in flow_ids for r in requested):
+            message += (
+                "; R007-R010 are whole-program rules — run 'pace-repro analyze'"
+            )
         print(f"lint: error: {message}", file=sys.stderr)
         return 2
     if args.format == "json":
@@ -217,11 +248,85 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        Finding,
+        findings_payload,
+        gradcheck_payload,
+        max_relative_error,
+        render_text,
+        run_flow,
+        run_gradcheck,
+        run_lint,
+        run_smoke,
+    )
+
+    targets = _default_analysis_targets(args.paths)
+    # Tests/benchmarks/examples are parsed as callers (a helper used only
+    # by a test is not dead code) but never flagged themselves.
+    reference_roots = [
+        candidate
+        for name in ("tests", "benchmarks", "examples", "setup.py")
+        if (candidate := Path.cwd() / name).exists()
+    ]
+    try:
+        findings = run_lint(targets)
+        findings += run_flow(targets, reference_paths=reference_roots)
+    except FileNotFoundError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"analyze: error: {message}", file=sys.stderr)
+        return 2
+    findings.sort(key=Finding.sort_key)
+
+    gradcheck_results = None if args.skip_gradcheck else run_gradcheck()
+    smoke = None if args.skip_smoke else run_smoke(seed=args.seed)
+
+    gradcheck_ok = gradcheck_results is None or all(r.passed for r in gradcheck_results)
+    smoke_ok = smoke is None or smoke.passed
+    ok = not findings and gradcheck_ok and smoke_ok
+
+    if args.format == "json":
+        payload = {
+            "ok": ok,
+            "findings": findings_payload(findings),
+            "gradcheck": None if gradcheck_results is None
+            else gradcheck_payload(gradcheck_results),
+            "smoke": None if smoke is None else smoke.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+
+    print(render_text(findings, show_hints=args.fix_hints))
+    if gradcheck_results is not None:
+        worst = max_relative_error(gradcheck_results)
+        status = "ok" if gradcheck_ok else "FAIL"
+        print(f"gradcheck: {status} (max relative error {worst:.3e}, "
+              f"{len(gradcheck_results)} cases)")
+    if smoke is not None:
+        if smoke.passed:
+            print(f"smoke: ok ({smoke.checks} sanitizer checks over "
+                  f"{smoke.modules} modules)")
+        else:
+            print(f"smoke: FAIL — {smoke.detail}")
+    print(f"analyze: {'ok' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def cmd_gradcheck(args: argparse.Namespace) -> int:
-    from repro.analysis import DEFAULT_TOLERANCE, max_relative_error, run_gradcheck
+    from repro.analysis import (
+        DEFAULT_TOLERANCE,
+        max_relative_error,
+        render_gradcheck_json,
+        run_gradcheck,
+    )
 
     tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
     results = run_gradcheck(tolerance=tolerance)
+    if args.format == "json":
+        print(render_gradcheck_json(results))
+        return 0 if all(r.passed for r in results) else 1
     rows = [
         [r.name, f"{r.max_rel_error:.3e}", str(r.checked), "ok" if r.passed else "FAIL"]
         for r in results
@@ -253,6 +358,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "bench": cmd_bench,
         "lint": cmd_lint,
+        "analyze": cmd_analyze,
         "gradcheck": cmd_gradcheck,
         "info": cmd_info,
     }

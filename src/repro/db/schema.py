@@ -223,11 +223,6 @@ class DatabaseSchema:
         tree_edges = list(nx.bfs_edges(sub, start))
         return [self._graph.edges[u, v]["edge"] for u, v in tree_edges]
 
-    def all_join_edges_within(self, tables) -> list[JoinEdge]:
-        """Every schema edge whose both endpoints are in ``tables``."""
-        tables = set(tables)
-        return [e for e in self.joins if e.left_table in tables and e.right_table in tables]
-
     def neighbors(self, table: str) -> tuple[str, ...]:
         self.table(table)
         return tuple(sorted(self._graph.neighbors(table)))

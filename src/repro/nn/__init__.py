@@ -6,13 +6,17 @@ PACE attack requires to differentiate through the CE model's update step.
 
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import (
+    SanitizeError,
     Tensor,
     affine,
     concat,
     grad,
+    is_sanitize_enabled,
     maximum,
     minimum,
     no_grad,
+    sanitize,
+    sanitize_scope,
     stack,
     where,
 )
@@ -41,6 +45,10 @@ __all__ = [
     "minimum",
     "where",
     "no_grad",
+    "SanitizeError",
+    "sanitize",
+    "sanitize_scope",
+    "is_sanitize_enabled",
     "Linear",
     "ReLU",
     "Sigmoid",

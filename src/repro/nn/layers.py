@@ -9,6 +9,13 @@ from repro.nn.module import Module
 from repro.nn.tensor import Tensor, affine
 from repro.utils.rng import derive_rng
 
+#: Weight-init schemes selectable per Linear. Xavier is the default (and
+#: the historical behavior); Kaiming suits deep ReLU stacks.
+_INITIALIZERS = {
+    "xavier": init.xavier_uniform,
+    "kaiming": init.kaiming_uniform,
+}
+
 
 class Linear(Module):
     """Affine layer ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
@@ -19,16 +26,22 @@ class Linear(Module):
         out_features: int,
         rng: np.random.Generator | int | None = None,
         bias: bool = True,
+        init_scheme: str = "xavier",
     ) -> None:
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError(
                 f"features must be positive, got in={in_features}, out={out_features}"
             )
+        initializer = _INITIALIZERS.get(init_scheme)
+        if initializer is None:
+            raise ValueError(
+                f"init_scheme must be one of {sorted(_INITIALIZERS)}, got {init_scheme!r}"
+            )
         rng = derive_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = init.xavier_uniform(in_features, out_features, rng)
+        self.weight = initializer(in_features, out_features, rng)
         self.use_bias = bias
         if bias:
             self.bias = init.zeros(out_features)

@@ -13,7 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_sanitize_enabled, sanitize_scope
 
 
 class Parameter(Tensor):
@@ -164,4 +164,9 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        if is_sanitize_enabled():
+            # Attach layer provenance so a SanitizeError deep in a stack
+            # reports e.g. "ce.train_model > Sequential > Linear".
+            with sanitize_scope(type(self).__name__):
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)

@@ -24,6 +24,7 @@ sets are checked bit-for-bit against each other there as well.
 from __future__ import annotations
 
 import contextlib
+import os
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -31,6 +32,21 @@ import numpy as np
 from repro.perf.registry import PERF
 
 _GRAD_ENABLED = True
+
+#: Graph-sanitizer switch. When on, every op checks its forward value and
+#: every backward rule checks the gradients it emits for NaN/Inf, and the
+#: first non-finite value raises :class:`SanitizeError` naming the op that
+#: produced it. Off by default: each check scans the output array, which
+#: costs real time in training loops. Enable per-run with REPRO_SANITIZE=1
+#: or per-block with :func:`sanitize`.
+_SANITIZE = os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0")
+
+#: Provenance labels (model / trainer entry points) active in this thread;
+#: :class:`SanitizeError` reports them so a NaN deep in an unrolled update
+#: still says which layer of which phase produced it.
+_SCOPE_STACK: list[str] = []
+
+_SANITIZE_CHECKS = 0
 
 
 @contextlib.contextmanager
@@ -49,6 +65,146 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+class SanitizeError(RuntimeError):
+    """A non-finite value surfaced while the graph sanitizer was active.
+
+    Attributes:
+        op: name of the tape operation where the value was detected.
+        phase: ``"forward"`` or ``"backward"``.
+        shapes: shapes of the op's inputs.
+        context: ``" > "``-joined :func:`sanitize_scope` labels active at
+            the detection site (layer / trainer provenance).
+    """
+
+    def __init__(
+        self,
+        op: str,
+        phase: str,
+        kinds: str,
+        shape: tuple[int, ...],
+        input_shapes: Sequence[tuple[int, ...]],
+        scopes: Sequence[str],
+        tainted_input: bool,
+    ) -> None:
+        self.op = op
+        self.phase = phase
+        self.shapes = tuple(input_shapes)
+        self.context = " > ".join(scopes) if scopes else "<no scope>"
+        blame = (
+            "consumed an already non-finite input"
+            if tainted_input
+            else "produced non-finite values"
+        )
+        super().__init__(
+            f"sanitize: op {op!r} {blame} ({kinds}) during {phase} "
+            f"(output shape {shape}, input shapes {list(self.shapes)}) "
+            f"in {self.context}"
+        )
+
+
+@contextlib.contextmanager
+def sanitize(enabled: bool = True):
+    """Enable (or force off) NaN/Inf checking for every op in the block."""
+    global _SANITIZE
+    previous = _SANITIZE
+    _SANITIZE = bool(enabled)
+    try:
+        yield
+    finally:
+        _SANITIZE = previous
+
+
+@contextlib.contextmanager
+def sanitize_scope(label: str):
+    """Attach a provenance label to sanitizer reports inside the block.
+
+    No-op when sanitizing is off, so call sites (layers, trainers) can wrap
+    unconditionally without paying for the bookkeeping in normal runs.
+    """
+    if not _SANITIZE:
+        yield
+        return
+    _SCOPE_STACK.append(label)
+    try:
+        yield
+    finally:
+        _SCOPE_STACK.pop()
+
+
+def is_sanitize_enabled() -> bool:
+    return _SANITIZE
+
+
+def sanitize_check_count() -> int:
+    """Number of value/gradient checks performed since import (diagnostics)."""
+    return _SANITIZE_CHECKS
+
+
+def _nonfinite_kinds(arr: np.ndarray) -> str:
+    has_nan = bool(np.isnan(arr).any())
+    has_inf = bool(np.isinf(arr).any())
+    return "+".join(k for k, present in (("nan", has_nan), ("inf", has_inf)) if present)
+
+
+def _sanitize_forward(out: "Tensor", op: str, parents: tuple) -> None:
+    """Record provenance on ``out`` and fail fast if it is non-finite."""
+    global _SANITIZE_CHECKS
+    out._op = op
+    _SANITIZE_CHECKS += 1
+    data = out.data
+    if np.isfinite(data).all():
+        return
+    tensor_parents = [p for p in parents if isinstance(p, Tensor)]
+    tainted = any(not np.isfinite(p.data).all() for p in tensor_parents)
+    raise SanitizeError(
+        op,
+        "forward",
+        _nonfinite_kinds(data),
+        data.shape,
+        [p.data.shape for p in tensor_parents],
+        list(_SCOPE_STACK),
+        tainted,
+    )
+
+
+def _sanitize_backward(node: "Tensor", parent_grads: Sequence) -> None:
+    """Check every gradient a backward rule emits for ``node``."""
+    global _SANITIZE_CHECKS
+    for pgrad in parent_grads:
+        if pgrad is None:
+            continue
+        arr = pgrad.data if isinstance(pgrad, Tensor) else pgrad
+        _SANITIZE_CHECKS += 1
+        if not np.isfinite(arr).all():
+            raise SanitizeError(
+                _node_op(node),
+                "backward",
+                _nonfinite_kinds(arr),
+                arr.shape,
+                [p.data.shape for p in node._parents],
+                list(_SCOPE_STACK),
+                False,
+            )
+
+
+def _node_op(node: "Tensor") -> str:
+    """Best-effort op name for a graph node.
+
+    Nodes built while sanitizing carry ``_op`` directly; for nodes built
+    before :func:`sanitize` was entered, fall back to parsing the backward
+    closure's qualname (``Tensor.__add__.<locals>.<lambda>`` -> ``add``).
+    """
+    if node._op is not None:
+        return node._op
+    fn = node._grad_fn or node._grad_fn_data
+    if fn is None:
+        return "<leaf>"
+    qual = getattr(fn, "__qualname__", "")
+    head = qual.split(".<locals>")[0]
+    name = head.rsplit(".", 1)[-1] if head else ""
+    return name.strip("_") or "<unknown>"
+
+
 class Tensor:
     """A numpy array with an autograd tape.
 
@@ -58,7 +214,9 @@ class Tensor:
         requires_grad: whether gradients should flow to this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fn", "_grad_fn_data")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_parents", "_grad_fn", "_grad_fn_data", "_op",
+    )
 
     def __init__(self, data, requires_grad: bool = False) -> None:
         if isinstance(data, Tensor):
@@ -69,6 +227,7 @@ class Tensor:
         self._parents: tuple[Tensor, ...] = ()
         self._grad_fn: Callable[[Tensor], tuple[Tensor | None, ...]] | None = None
         self._grad_fn_data: Callable[[np.ndarray], tuple[np.ndarray | None, ...]] | None = None
+        self._op: str | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -133,6 +292,8 @@ class Tensor:
             out.requires_grad = True
             out._parents = parents
             out._grad_fn = grad_fn
+        if _SANITIZE:
+            _sanitize_forward(out, "child", parents)
         return out
 
     def backward(self, grad: "Tensor | None" = None, create_graph: bool = False) -> None:
@@ -163,6 +324,8 @@ class Tensor:
                 _unbroadcast_data(g, s_shape),
                 _unbroadcast_data(g, o_shape),
             )
+        if _SANITIZE:
+            _sanitize_forward(out, "add", (self, other))
         return out
 
     __radd__ = __add__
@@ -174,6 +337,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (-g,)
             out._grad_fn_data = lambda g: (-g,)
+        if _SANITIZE:
+            _sanitize_forward(out, "neg", (self,))
         return out
 
     def __sub__(self, other) -> "Tensor":
@@ -188,6 +353,8 @@ class Tensor:
                 _unbroadcast_data(g, s_shape),
                 _unbroadcast_data(-g, o_shape),
             )
+        if _SANITIZE:
+            _sanitize_forward(out, "sub", (self, other))
         return out
 
     def __rsub__(self, other) -> "Tensor":
@@ -209,6 +376,8 @@ class Tensor:
                 _unbroadcast_data(g * other.data, s_shape),
                 _unbroadcast_data(g * self.data, o_shape),
             )
+        if _SANITIZE:
+            _sanitize_forward(out, "mul", (self, other))
         return out
 
     __rmul__ = __mul__
@@ -232,6 +401,8 @@ class Tensor:
             out._grad_fn_data = lambda g: (
                 g * np.power(self.data, exponent - 1.0) * exponent,
             )
+        if _SANITIZE:
+            _sanitize_forward(out, "pow", (self,))
         return out
 
     def __matmul__(self, other) -> "Tensor":
@@ -245,6 +416,8 @@ class Tensor:
                 g @ other.data.transpose(),
                 self.data.transpose() @ g,
             )
+        if _SANITIZE:
+            _sanitize_forward(out, "matmul", (self, other))
         return out
 
     # ------------------------------------------------------------------
@@ -257,6 +430,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * out,)
             out._grad_fn_data = lambda g: (g * out.data,)
+        if _SANITIZE:
+            _sanitize_forward(out, "exp", (self,))
         return out
 
     def log(self) -> "Tensor":
@@ -267,6 +442,8 @@ class Tensor:
             out._grad_fn = lambda g: (g / self,)
             # Mirror the taped rule exactly: g * self ** -1.0 (two roundings).
             out._grad_fn_data = lambda g: (g * np.power(self.data, -1.0),)
+        if _SANITIZE:
+            _sanitize_forward(out, "log", (self,))
         return out
 
     def sqrt(self) -> "Tensor":
@@ -281,6 +458,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * sign_t,)
             out._grad_fn_data = lambda g: (g * sign,)
+        if _SANITIZE:
+            _sanitize_forward(out, "abs", (self,))
         return out
 
     def tanh(self) -> "Tensor":
@@ -290,6 +469,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * (1.0 - out * out),)
             out._grad_fn_data = lambda g: (g * (1.0 - out.data * out.data),)
+        if _SANITIZE:
+            _sanitize_forward(out, "tanh", (self,))
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -299,6 +480,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * out * (1.0 - out),)
             out._grad_fn_data = lambda g: (g * out.data * (1.0 - out.data),)
+        if _SANITIZE:
+            _sanitize_forward(out, "sigmoid", (self,))
         return out
 
     def relu(self) -> "Tensor":
@@ -310,6 +493,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * mask_t,)
             out._grad_fn_data = lambda g: (g * mask,)
+        if _SANITIZE:
+            _sanitize_forward(out, "relu", (self,))
         return out
 
     def clip(self, low: float, high: float) -> "Tensor":
@@ -322,6 +507,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * mask_t,)
             out._grad_fn_data = lambda g: (g * mask,)
+        if _SANITIZE:
+            _sanitize_forward(out, "clip", (self,))
         return out
 
     # ------------------------------------------------------------------
@@ -354,6 +541,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = grad_fn
             out._grad_fn_data = grad_fn_data
+        if _SANITIZE:
+            _sanitize_forward(out, "sum", (self,))
         return out
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
@@ -377,6 +566,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: ((g * mask_t).broadcast_to(in_shape),)
             out._grad_fn_data = lambda g: (np.broadcast_to(g * mask, in_shape).copy(),)
+        if _SANITIZE:
+            _sanitize_forward(out, "max_reduce", (self,))
         return out
 
     # ------------------------------------------------------------------
@@ -390,6 +581,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g.reshape(original),)
             out._grad_fn_data = lambda g: (g.reshape(original),)
+        if _SANITIZE:
+            _sanitize_forward(out, "reshape", (self,))
         return out
 
     def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
@@ -403,6 +596,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g.transpose(inverse),)
             out._grad_fn_data = lambda g: (g.transpose(inverse),)
+        if _SANITIZE:
+            _sanitize_forward(out, "transpose", (self,))
         return out
 
     @property
@@ -417,6 +612,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (_unbroadcast(g, original),)
             out._grad_fn_data = lambda g: (_unbroadcast_data(g, original),)
+        if _SANITIZE:
+            _sanitize_forward(out, "broadcast_to", (self,))
         return out
 
     def __getitem__(self, index) -> "Tensor":
@@ -427,6 +624,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (_scatter(g, index, in_shape),)
             out._grad_fn_data = lambda g: (_scatter_data(g, index, in_shape),)
+        if _SANITIZE:
+            _sanitize_forward(out, "getitem", (self,))
         return out
 
 
@@ -498,6 +697,8 @@ def affine(x, weight, bias=None, activation: str | None = None) -> Tensor:
         out._parents = parents
         out._grad_fn = grad_fn
         out._grad_fn_data = grad_fn_data
+    if _SANITIZE:
+        _sanitize_forward(out, "affine", parents)
     return out
 
 
@@ -510,6 +711,7 @@ def _wrap(data: np.ndarray) -> Tensor:
     out._parents = ()
     out._grad_fn = None
     out._grad_fn_data = None
+    out._op = None
     return out
 
 
@@ -571,6 +773,8 @@ def _backward_pass(
             if is_leaf:
                 continue
             parent_grads = node._grad_fn(node_grad)
+            if _SANITIZE:
+                _sanitize_backward(node, parent_grads)
             for parent, pgrad in zip(node._parents, parent_grads):
                 if pgrad is None or not parent.requires_grad:
                     continue
@@ -598,6 +802,8 @@ def _backward_pass(
             with no_grad():
                 taped = node._grad_fn(_wrap(node_grad))
             parent_grads = tuple(g.data if g is not None else None for g in taped)
+        if _SANITIZE:
+            _sanitize_backward(node, parent_grads)
         for parent, pgrad in zip(node._parents, parent_grads):
             if pgrad is None or not parent.requires_grad:
                 continue
@@ -649,6 +855,8 @@ def _scatter(grad: Tensor, index, shape: tuple[int, ...]) -> Tensor:
         out._parents = (grad,)
         out._grad_fn = lambda g: (g[index],)
         out._grad_fn_data = lambda g: (np.array(g[index], copy=True),)
+    if _SANITIZE:
+        _sanitize_forward(out, "scatter", (grad,))
     return out
 
 
@@ -691,6 +899,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         out._parents = tuple(tensors)
         out._grad_fn = grad_fn
         out._grad_fn_data = grad_fn_data
+    if _SANITIZE:
+        _sanitize_forward(out, "concat", tuple(tensors))
     return out
 
 
@@ -726,6 +936,8 @@ def maximum(a: Tensor, b) -> Tensor:
             _unbroadcast_data(g * take_a, a_shape),
             _unbroadcast_data(g * take_b, b_shape),
         )
+    if _SANITIZE:
+        _sanitize_forward(out, "maximum", (a, b))
     return out
 
 

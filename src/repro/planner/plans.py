@@ -47,7 +47,3 @@ class JoinNode(PlanNode):
         lines.append(self.left.render(indent + 2))
         lines.append(self.right.render(indent + 2))
         return "\n".join(lines)
-
-    def join_order(self) -> list[frozenset[str]]:
-        """Join subsets in execution order (children before parents)."""
-        return self.join_subsets()

@@ -36,7 +36,7 @@ class _StdoutProxy:
     def write(self, text: str) -> int:
         return sys.stdout.write(text)
 
-    def flush(self) -> None:
+    def flush(self) -> None:  # noqa: R008 — file protocol, called by logging internals
         sys.stdout.flush()
 
 

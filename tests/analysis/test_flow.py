@@ -1,0 +1,365 @@
+"""Whole-program flow rules: R007 taint, R008 dead code, R009 shapes, R010 spans."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import all_flow_rules, build_program, flow_rule_ids, run_flow
+
+
+def write_tree(root, files: dict[str, str]):
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def flow_findings(tmp_path, files, select=None, reference=None):
+    write_tree(tmp_path, files)
+    reference_paths = [tmp_path / r for r in reference] if reference else []
+    return run_flow([tmp_path], reference_paths=reference_paths, select=select)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestRegistry:
+    def test_flow_rules_are_r007_through_r010(self):
+        assert flow_rule_ids() == ["R007", "R008", "R009", "R010"]
+
+    def test_select_validates_ids(self):
+        with pytest.raises(KeyError) as exc_info:
+            all_flow_rules(select=["R007", "R999"])
+        message = str(exc_info.value)
+        assert "R999" in message and "known flow rules" in message
+
+    def test_select_restricts(self):
+        rules = all_flow_rules(select=["r008"])
+        assert [r.rule_id for r in rules] == ["R008"]
+
+
+class TestR007RngTaint:
+    def test_raw_generator_through_helper_is_caught_at_draw_site(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "pipeline.py": """
+                import numpy as np
+
+                def make_stream():
+                    return np.random.default_rng(0)
+
+                def sample(n):
+                    rng = make_stream()
+                    return rng.normal(size=n)
+                """,
+        }, select=["R007"])
+        assert rule_ids(findings) == ["R007"]
+        assert "helper 'make_stream'" in findings[0].message
+        assert ".normal()" in findings[0].message
+
+    def test_two_level_helper_chain_is_caught(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "deep.py": """
+                import numpy as np
+
+                def inner():
+                    return np.random.default_rng(1)
+
+                def outer():
+                    return inner()
+
+                def sample():
+                    stream = outer()
+                    return stream.choice([1, 2, 3])
+                """,
+        }, select=["R007"])
+        assert rule_ids(findings) == ["R007"]
+
+    def test_direct_chained_constructor_is_caught(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "chained.py": """
+                import numpy as np
+
+                def sample():
+                    return np.random.default_rng(0).normal(size=3)
+                """,
+        }, select=["R007"])
+        assert rule_ids(findings) == ["R007"]
+        assert "np.random.default_rng" in findings[0].message
+
+    def test_raw_reassignment_shadows_blessed_parameter(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "shadow.py": """
+                import numpy as np
+
+                def sample(rng):
+                    rng = np.random.default_rng(1)
+                    return rng.integers(0, 10)
+                """,
+        }, select=["R007"])
+        assert rule_ids(findings) == ["R007"]
+
+    def test_derive_rng_stream_is_clean(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "clean.py": """
+                from repro.utils.rng import derive_rng
+
+                def sample(seed, n):
+                    rng = derive_rng(seed)
+                    return rng.normal(size=n)
+                """,
+        }, select=["R007"])
+        assert findings == []
+
+    def test_rng_parameter_is_trusted(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "param.py": """
+                def sample(rng, n):
+                    return rng.uniform(size=n)
+                """,
+        }, select=["R007"])
+        assert findings == []
+
+    def test_trusted_rng_module_is_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "utils/__init__.py": "",
+            "utils/rng.py": """
+                import numpy as np
+
+                def derive_rng(seed):
+                    return np.random.default_rng(seed)
+                """,
+        }, select=["R007"])
+        assert findings == []
+
+    def test_helper_returning_derived_stream_is_clean(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "blessed.py": """
+                from repro.utils.rng import derive_rng
+
+                def make_stream(seed):
+                    return derive_rng(seed)
+
+                def sample(seed):
+                    rng = make_stream(seed)
+                    return rng.normal(size=2)
+                """,
+        }, select=["R007"])
+        assert findings == []
+
+
+class TestR008DeadCode:
+    def test_flags_unreferenced_public_function(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "mod.py": """
+                def used():
+                    return 1
+
+                def dead():
+                    return 2
+
+                VALUE = used()
+                """,
+        }, select=["R008"])
+        assert rule_ids(findings) == ["R008"]
+        assert "'dead'" in findings[0].message
+
+    def test_cross_file_reference_counts(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "a.py": """
+                def helper():
+                    return 1
+                """,
+            "b.py": """
+                from a import helper
+
+                TOTAL = helper()
+                """,
+        }, select=["R008"])
+        assert findings == []
+
+    def test_dunder_all_export_counts(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "api.py": """
+                __all__ = ["exported"]
+
+                def exported():
+                    return 1
+                """,
+        }, select=["R008"])
+        assert findings == []
+
+    def test_recursion_does_not_count_as_use(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "rec.py": """
+                def lonely(n):
+                    return 0 if n <= 0 else lonely(n - 1)
+                """,
+        }, select=["R008"])
+        assert rule_ids(findings) == ["R008"]
+
+    def test_reference_paths_widen_the_universe_without_being_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path / "src", {
+            "lib.py": """
+                def only_tested():
+                    return 1
+                """,
+        }, select=["R008"])
+        assert rule_ids(findings) == ["R008"]
+
+        write_tree(tmp_path / "tests", {
+            "test_lib.py": """
+                from lib import only_tested
+
+                def check():
+                    assert only_tested() == 1
+
+                def test_untouched_helper_in_tests_is_not_flagged():
+                    pass
+                """,
+        })
+        findings = run_flow(
+            [tmp_path / "src"],
+            reference_paths=[tmp_path / "tests"],
+            select=["R008"],
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_dead_code(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "mod.py": """
+                def external_api():  # noqa: R008
+                    return 1
+                """,
+        }, select=["R008"])
+        assert findings == []
+
+
+class TestR009ShapeContract:
+    def test_mischained_sequential_is_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "model.py": """
+                from repro.nn.layers import Linear, ReLU, Sequential
+
+                def build():
+                    return Sequential(Linear(4, 8), ReLU(), Linear(9, 1))
+                """,
+        }, select=["R009"])
+        assert rule_ids(findings) == ["R009"]
+        assert "in_features=9" in findings[0].message
+        assert "width 8" in findings[0].message
+
+    def test_matching_chain_is_clean(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "model.py": """
+                from repro.nn import Linear, ReLU, Sequential, Sigmoid
+
+                def build():
+                    return Sequential(
+                        Linear(4, 8), ReLU(), Linear(8, 8), ReLU(),
+                        Linear(8, 1), Sigmoid(),
+                    )
+                """,
+        }, select=["R009"])
+        assert findings == []
+
+    def test_keyword_features_are_understood(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "model.py": """
+                from repro.nn import Linear, Sequential
+
+                def build():
+                    return Sequential(
+                        Linear(in_features=3, out_features=5),
+                        Linear(in_features=6, out_features=1),
+                    )
+                """,
+        }, select=["R009"])
+        assert rule_ids(findings) == ["R009"]
+
+    def test_dynamic_widths_are_not_guessed(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "model.py": """
+                from repro.nn import Linear, Sequential
+
+                def build(hidden):
+                    return Sequential(Linear(4, hidden), Linear(5, 1))
+                """,
+        }, select=["R009"])
+        assert findings == []
+
+
+class TestR010SpanLeak:
+    def test_span_outside_with_is_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "leaky.py": """
+                from repro.perf.registry import PERF
+
+                def leaky():
+                    span = PERF.span("train")
+                    span.__enter__()
+                    return span
+                """,
+        }, select=["R010"])
+        assert rule_ids(findings) == ["R010"]
+
+    def test_with_span_is_clean(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "ok.py": """
+                from repro.perf.registry import PERF
+
+                def timed():
+                    with PERF.span("train"):
+                        return 1
+                """,
+        }, select=["R010"])
+        assert findings == []
+
+    def test_aliased_import_is_resolved(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "aliased.py": """
+                from repro.perf.registry import PERF as METRICS
+
+                def leaky():
+                    return METRICS.span("x")
+                """,
+        }, select=["R010"])
+        assert rule_ids(findings) == ["R010"]
+
+
+class TestProgramModel:
+    def test_symbols_and_references_are_indexed(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/mod.py": """
+                class Widget:
+                    def spin(self):
+                        return 1
+
+                def run():
+                    return Widget().spin()
+                """,
+        })
+        program = build_program([tmp_path])
+        assert "pkg.mod.Widget.spin" in program.functions
+        assert "pkg.mod.run" in program.functions
+        assert any(ref.module == "pkg.mod" for ref in program.references["spin"])
+
+    def test_repo_is_flow_clean(self):
+        """The acceptance gate: R007-R010 hold over the package itself."""
+        from pathlib import Path
+
+        package = Path(__file__).resolve().parents[2] / "src" / "repro"
+        repo = package.parents[1]
+        references = [
+            path
+            for path in (repo / "tests", repo / "benchmarks", repo / "examples")
+            if path.exists()
+        ]
+        findings = run_flow([package], reference_paths=references)
+        assert findings == [], "\n".join(
+            f"{f.rule_id} {f.path}:{f.line} {f.message}" for f in findings
+        )

@@ -277,6 +277,45 @@ class TestFramework:
         """, select=["R001"])
         assert rule_ids(findings) == ["R001"]
 
+    def test_noqa_multiple_codes_suppresses_each(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            print(np.random.default_rng(1).random())  # noqa: R001, R004
+        """)
+        assert findings == []
+
+    def test_noqa_on_continuation_line_suppresses(self, tmp_path):
+        # The finding anchors to the statement's first line; the comment
+        # sits on the closing paren two lines down. Any line of the
+        # statement's span may carry the noqa.
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            rng = np.random.default_rng(
+                42
+            )  # noqa: R001
+        """, select=["R001"])
+        assert findings == []
+
+    def test_noqa_on_continuation_line_is_rule_specific(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            rng = np.random.default_rng(
+                42
+            )  # noqa: R004
+        """, select=["R001"])
+        assert rule_ids(findings) == ["R001"]
+
+    def test_bare_noqa_suppresses_everything_on_the_statement(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+
+            print(np.random.default_rng(1).random())  # noqa
+        """)
+        assert findings == []
+
     def test_syntax_error_becomes_finding(self, tmp_path):
         findings = lint_snippet(tmp_path, "def broken(:\n")
         assert rule_ids(findings) == ["E999"]

@@ -1,0 +1,161 @@
+"""Graph sanitizer: provenance of non-finite values, scopes, smoke pass."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.analysis.smoke import run_smoke
+from repro.nn import (
+    SanitizeError,
+    Sequential,
+    Linear,
+    Tanh,
+    Tensor,
+    grad,
+    is_sanitize_enabled,
+    mlp,
+    mse_loss,
+    no_grad,
+    sanitize,
+    sanitize_scope,
+)
+from repro.nn.tensor import is_grad_enabled, sanitize_check_count
+
+
+class TestToggle:
+    def test_off_by_default_and_scoped_on(self):
+        assert not is_sanitize_enabled()
+        with sanitize():
+            assert is_sanitize_enabled()
+        assert not is_sanitize_enabled()
+
+    def test_disabled_mode_does_not_raise(self):
+        # Without sanitize(), non-finite values propagate silently (the
+        # historical behavior stays the default).
+        with np.errstate(invalid="ignore"):
+            out = Tensor([-1.0], requires_grad=True).log()
+        assert np.isnan(out.data).all()
+
+    def test_checks_are_counted(self):
+        before = sanitize_check_count()
+        with sanitize():
+            Tensor([1.0]) + Tensor([2.0])
+        assert sanitize_check_count() > before
+
+    def test_env_flag_enables_sanitizer(self):
+        env = dict(os.environ, REPRO_SANITIZE="1")
+        env["PYTHONPATH"] = "src"
+        code = (
+            "from repro.nn import Tensor, SanitizeError\n"
+            "import numpy as np\n"
+            "try:\n"
+            "    with np.errstate(invalid='ignore'):\n"
+            "        Tensor([-1.0]).log()\n"
+            "except SanitizeError as exc:\n"
+            "    raise SystemExit(0 if exc.op == 'log' else 2)\n"
+            "raise SystemExit(1)\n"
+        )
+        result = subprocess.run([sys.executable, "-c", code], env=env)
+        assert result.returncode == 0
+
+
+class TestForwardProvenance:
+    def test_log_of_negative_names_the_op(self):
+        with sanitize(), np.errstate(invalid="ignore"):
+            with pytest.raises(SanitizeError) as exc_info:
+                Tensor([-1.0, 2.0], requires_grad=True).log()
+        err = exc_info.value
+        assert err.op == "log"
+        assert err.phase == "forward"
+        assert err.shapes == ((2,),)
+        assert "produced non-finite" in str(err)
+
+    def test_nan_injected_midgraph_is_attributed_to_consuming_op(self):
+        with sanitize(), np.errstate(invalid="ignore"):
+            poisoned = Tensor(np.array([[1.0, np.nan]]), requires_grad=True)
+            weight = Tensor(np.ones((2, 3)), requires_grad=True)
+            with pytest.raises(SanitizeError) as exc_info:
+                poisoned @ weight
+        err = exc_info.value
+        assert err.op == "matmul"
+        assert "consumed an already non-finite input" in str(err)
+
+    def test_overflowing_exp_names_the_op(self):
+        with sanitize(), np.errstate(over="ignore"):
+            with pytest.raises(SanitizeError) as exc_info:
+                Tensor([1000.0], requires_grad=True).exp()
+        assert exc_info.value.op == "exp"
+        assert "inf" in str(exc_info.value)
+
+    def test_layer_context_is_reported(self):
+        with sanitize(), np.errstate(invalid="ignore"):
+            model = Sequential(Linear(3, 4, rng=0), Tanh(), Linear(4, 1, rng=1))
+            bad = Tensor(np.full((2, 3), np.inf), requires_grad=True)
+            with pytest.raises(SanitizeError) as exc_info:
+                model(bad)
+        assert "Sequential" in exc_info.value.context
+
+    def test_scope_labels_nest(self):
+        with sanitize(), np.errstate(invalid="ignore"):
+            with sanitize_scope("outer"), sanitize_scope("inner"):
+                with pytest.raises(SanitizeError) as exc_info:
+                    Tensor([-1.0], requires_grad=True).log()
+        assert exc_info.value.context == "outer > inner"
+
+
+class TestBackwardProvenance:
+    def test_infinite_gradient_names_op_and_phase(self):
+        # d/dx sqrt(x) = 0.5 / sqrt(x) -> inf at x = 0: the forward value
+        # is finite, only the backward rule blows up.
+        with sanitize(), np.errstate(divide="ignore"):
+            x = Tensor([0.0, 4.0], requires_grad=True)
+            y = (x ** 0.5).sum()
+            with pytest.raises(SanitizeError) as exc_info:
+                y.backward()
+        err = exc_info.value
+        assert err.op == "pow"
+        assert err.phase == "backward"
+
+    def test_taped_backward_is_checked_too(self):
+        with sanitize(), np.errstate(divide="ignore"):
+            x = Tensor([0.0, 4.0], requires_grad=True)
+            y = (x ** 0.5).sum()
+            with pytest.raises(SanitizeError):
+                grad(y, [x], create_graph=True)
+
+
+class TestCleanPaths:
+    def test_training_shaped_graph_passes(self):
+        with sanitize():
+            model = mlp(4, [6], 1, rng=3)
+            x = Tensor.randn((5, 4), np.random.default_rng(0), requires_grad=True)
+            loss = mse_loss(model(x), Tensor(np.zeros((5, 1))))
+            loss.backward()
+        assert loss.item() >= 0.0
+
+    def test_grad_toggle_is_reported(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestSmoke:
+    def test_run_smoke_passes_and_counts_checks(self):
+        result = run_smoke(seed=0)
+        assert result.passed, result.detail
+        assert result.checks > 0
+        assert result.modules >= 4  # Sequential + 3 Linears at minimum
+
+    def test_run_smoke_is_deterministic(self):
+        assert run_smoke(seed=7) == run_smoke(seed=7)
+
+    def test_as_dict_round_trips(self):
+        payload = run_smoke(seed=0).as_dict()
+        assert payload["passed"] is True
+        assert set(payload) == {"passed", "checks", "modules", "detail"}

@@ -33,6 +33,17 @@ class TestLinear:
         assert np.abs(layer.weight.data).max() <= limit + 1e-12
         assert layer.weight.data.std() > limit / 4
 
+    def test_kaiming_init_scale(self):
+        layer = Linear(100, 100, rng=0, init_scheme="kaiming")
+        limit = np.sqrt(6.0 / 100)
+        xavier_limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+        assert np.abs(layer.weight.data).max() > xavier_limit  # wider than xavier
+
+    def test_unknown_init_scheme_rejected(self):
+        with pytest.raises(ValueError, match="init_scheme"):
+            Linear(4, 4, rng=0, init_scheme="glorot")
+
 
 class TestSequential:
     def test_empty_sequential_is_identity(self):

@@ -145,3 +145,6 @@ class TestE2ESimulator:
         result = sim.run_optimal(queries)
         assert len(result.runs) == 1
         assert result.runs[0].true_cost >= 0
+        assert result.total_true_cost == pytest.approx(
+            sum(r.true_cost for r in result.runs)
+        )

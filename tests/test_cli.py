@@ -92,3 +92,62 @@ class TestAnalysisCommands:
         out = capsys.readouterr().out
         assert "max relative error" in out
         assert "FAIL" not in out
+
+    def test_lint_unknown_select_exits_2(self, capsys):
+        assert main(["lint", "--select", "R999"]) == 2
+        err = capsys.readouterr().err
+        assert "lint: error:" in err
+        assert "R999" in err
+
+    def test_lint_flow_rule_select_points_at_analyze(self, capsys):
+        assert main(["lint", "--select", "R007"]) == 2
+        err = capsys.readouterr().err
+        assert "pace-repro analyze" in err
+
+    def test_lint_ignore_skips_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("print('x')\n")
+        assert main(["lint", "--ignore", "R004", str(bad)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_unknown_ignore_exits_2(self, capsys):
+        assert main(["lint", "--ignore", "R999"]) == 2
+        assert "R999" in capsys.readouterr().err
+
+    def test_gradcheck_json_format(self, capsys):
+        import json
+
+        assert main(["gradcheck", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["cases"]
+        assert {"name", "max_rel_error", "checked", "tolerance", "passed"} <= set(
+            payload["cases"][0]
+        )
+
+    def test_analyze_repo_is_clean(self, capsys):
+        # The acceptance gate: lint + whole-program flow + gradcheck + a
+        # sanitized training smoke over the real package must all pass.
+        import json
+
+        assert main(["analyze", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["gradcheck"]["passed"] is True
+        assert payload["smoke"]["passed"] is True
+
+    def test_analyze_flags_planted_violation(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(
+            "import numpy as np\n\n"
+            "def sample():\n"
+            "    return np.random.default_rng(0).normal(size=3)\n"
+        )
+        code = main([
+            "analyze", str(tmp_path), "--skip-gradcheck", "--skip-smoke",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "analyze: FAIL" in out

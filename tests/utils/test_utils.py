@@ -28,6 +28,14 @@ class TestRng:
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
 
+    def test_reseed_restarts_the_stream(self):
+        from repro.utils.rng import RngMixin
+
+        holder = RngMixin(seed=3)
+        first = holder.rng.random(4)
+        holder.reseed(3)
+        np.testing.assert_array_equal(holder.rng.random(4), first)
+
 
 class TestScale:
     def test_default_scale_from_env(self, monkeypatch):
@@ -64,6 +72,15 @@ class TestTimer:
 
     def test_unknown_span_is_zero(self):
         assert Timer().total("nothing") == 0.0
+
+    def test_as_dict_snapshots_totals(self):
+        timer = Timer()
+        with timer.span("phase"):
+            pass
+        snapshot = timer.as_dict()
+        assert snapshot == {"phase": timer.total("phase")}
+        snapshot["phase"] = -1.0  # a copy, not a live view
+        assert timer.total("phase") >= 0.0
 
     def test_timed_contextmanager(self):
         with timed() as elapsed:
