@@ -7,9 +7,9 @@ Four tools live here, all wired into the CLI:
   flows through ``repro.utils.rng``), logging discipline, and
   defensive-coding hygiene. See :mod:`repro.analysis.rules`.
 - ``pace-repro analyze`` — the whole-program layer on top: data-flow and
-  call-graph rules (R007-R010, :mod:`repro.analysis.flow`), the gradient
-  audit, and a sanitized end-to-end smoke pass
-  (:mod:`repro.analysis.smoke`).
+  call-graph rules (R007-R011, :mod:`repro.analysis.flow`), the gradient
+  audit, and sanitized end-to-end smoke passes over the autograd engine
+  and the serving layer (:mod:`repro.analysis.smoke`).
 - ``pace-repro gradcheck`` — a finite-difference audit of every layer and
   loss in the hand-rolled ``repro.nn`` autograd engine.
 """
@@ -30,7 +30,12 @@ from repro.analysis.report import (
     render_text,
     summary_line,
 )
-from repro.analysis.smoke import SmokeResult, run_smoke
+from repro.analysis.smoke import (
+    ServeSmokeResult,
+    SmokeResult,
+    run_serve_smoke,
+    run_smoke,
+)
 from repro.analysis.walker import (
     Finding,
     LintContext,
@@ -67,4 +72,6 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "SmokeResult",
     "run_smoke",
+    "ServeSmokeResult",
+    "run_serve_smoke",
 ]

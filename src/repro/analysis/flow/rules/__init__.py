@@ -5,4 +5,5 @@ from repro.analysis.flow.rules import (  # noqa: F401 — imports register rules
     r008_dead_code,
     r009_shape_contract,
     r010_span_leak,
+    r011_blocking_call,
 )

@@ -1,0 +1,95 @@
+"""R011 blocking-call-in-server-loop: keep ground truth off the hot path.
+
+The serving subsystem splits into a latency-critical estimate path
+(``serve/server.py``, ``serve/cache.py``, ``serve/stats.py``) and a
+background retrain path (``serve/retrain.py``). The paper's whole threat
+model rides on that split: estimates must come from the model alone,
+while ``COUNT(*)`` execution and incremental retraining — both unbounded
+in cost (a single count scans the table; an update runs K full-batch GD
+steps) — happen off the request loop. A ground-truth or retrain call that
+creeps into the hot path turns every estimate request into a table scan,
+silently destroying the micro-batching throughput the serve benchmark
+measures and stalling the simulated clock.
+
+The rule flags, inside the hot-path modules only:
+
+* any attribute call named ``count``/``count_many``/``execute`` (the
+  :class:`~repro.db.executor.Executor` and
+  :class:`~repro.ce.deployment.DeployedEstimator` blocking surfaces — the
+  names are banned outright in these few files, which is the point);
+* any call resolving through import aliases to the trainer's
+  ``incremental_update``/``train_model``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import ModuleInfo, Program
+from repro.analysis.walker import Finding, canonical_call_name
+
+#: Attribute-call names that always mean blocking work on these surfaces.
+_BLOCKING_ATTRS = frozenset({"count", "count_many", "execute"})
+
+#: Trainer entry points that must never run on the estimate path.
+_BLOCKING_FUNCTIONS = frozenset({
+    "repro.ce.trainer.incremental_update",
+    "repro.ce.trainer.train_model",
+})
+
+#: The latency-critical serve modules (the retrain module is background
+#: by design and exempt).
+_HOT_PATH_FILES = frozenset({"server.py", "cache.py", "stats.py"})
+
+
+def _is_hot_path_module(module: ModuleInfo) -> bool:
+    parts = module.path_parts
+    return (
+        len(parts) >= 2
+        and parts[-2] == "serve"
+        and parts[-1] in _HOT_PATH_FILES
+    )
+
+
+@register_flow
+class BlockingCallInServerLoop(FlowRule):
+    rule_id = "R011"
+    title = "blocking-call-in-server-loop"
+    severity = "error"
+    hint = (
+        "move ground-truth execution / retraining into repro.serve.retrain "
+        "(the background loop); the estimate hot path may only encode and "
+        "run model forwards"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for module in program.target_modules():
+            if not _is_hot_path_module(module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                blocked = self._blocking_name(module, node)
+                if blocked is None:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"blocking call '{blocked}' in the estimate hot path "
+                    f"({module.path_parts[-1]}) — ground truth and "
+                    f"retraining belong to the background retrain loop",
+                )
+
+    @staticmethod
+    def _blocking_name(module: ModuleInfo, node: ast.Call) -> str | None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_ATTRS
+        ):
+            return node.func.attr
+        canonical = canonical_call_name(node, module.aliases)
+        if canonical is not None and canonical in _BLOCKING_FUNCTIONS:
+            return canonical
+        return None

@@ -13,8 +13,13 @@ from repro.attack.baselines import (
     train_generator_loss_based,
 )
 from repro.attack.budget import PenaltyBudget, poisoning_influence, select_most_effective
-from repro.attack.defense import PoisonClassifier, RobustnessReport, recommend_robust_model
-from repro.attack.detector import VAEAnomalyDetector
+from repro.attack.defense import (
+    ClassifierGate,
+    PoisonClassifier,
+    RobustnessReport,
+    recommend_robust_model,
+)
+from repro.attack.detector import DetectorGate, GateObservation, VAEAnomalyDetector
 from repro.attack.generator import GeneratedBatch, PoisonQueryGenerator, project_to_valid_join
 from repro.attack.pace import PaceAttack, PaceConfig, PaceResult
 from repro.attack.surrogate import (
@@ -53,6 +58,9 @@ __all__ = [
     "output_agreement",
     "performance_vector",
     "PoisonClassifier",
+    "ClassifierGate",
+    "DetectorGate",
+    "GateObservation",
     "RobustnessReport",
     "recommend_robust_model",
     "PenaltyBudget",

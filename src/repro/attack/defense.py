@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ce.deployment import Gate
 from repro.nn.layers import Sigmoid, mlp
 from repro.nn.losses import bce_loss
 from repro.nn.module import Module
@@ -21,6 +22,22 @@ from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
 from repro.utils.errors import TrainingError
 from repro.utils.rng import derive_rng
+
+
+class ClassifierGate(Gate):
+    """A trained :class:`PoisonClassifier` as an update-stream gate."""
+
+    name = "poison-classifier"
+
+    def __init__(self, classifier: "PoisonClassifier", encoder, threshold: float = 0.5) -> None:
+        self._classifier = classifier
+        self._encoder = encoder
+        self._threshold = threshold
+
+    def screen(self, queries) -> np.ndarray:
+        return self._classifier.predict(
+            self._encoder.encode_many(queries), threshold=self._threshold
+        )
 
 
 class PoisonClassifier(Module):
@@ -92,6 +109,10 @@ class PoisonClassifier(Module):
             return self.predict(encoder.encode_many(queries), threshold=threshold)
 
         return fn
+
+    def as_gate(self, encoder, threshold: float = 0.5) -> ClassifierGate:
+        """This classifier as a first-class update-stream :class:`ClassifierGate`."""
+        return ClassifierGate(self, encoder, threshold=threshold)
 
 
 @dataclass

@@ -14,15 +14,57 @@ to 10% in Fig. 13). The detector serves two roles:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.ce.deployment import Gate
 from repro.nn.layers import Linear, ReLU, Sequential, Sigmoid, mlp
 from repro.nn.losses import kl_standard_normal
 from repro.nn.module import Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
+from repro.utils.clock import get_clock
 from repro.utils.errors import TrainingError
 from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class GateObservation:
+    """One screening decision, stamped on the ambient injectable clock.
+
+    ``at`` comes from :func:`repro.utils.clock.get_clock` — never from
+    implicit wall time — so serve-sim runs replayed under a
+    :class:`~repro.utils.clock.FakeClock` log bit-identical observation
+    trails.
+    """
+
+    at: float
+    total: int
+    flagged: int
+
+
+class DetectorGate(Gate):
+    """The VAE detector as a first-class :class:`~repro.ce.deployment.Gate`.
+
+    Screens update-stream queries through
+    :meth:`VAEAnomalyDetector.is_abnormal` and records a clock-stamped
+    :class:`GateObservation` per batch.
+    """
+
+    name = "vae-detector"
+
+    def __init__(self, detector: "VAEAnomalyDetector", encoder) -> None:
+        self._detector = detector
+        self._encoder = encoder
+        self.observations: list[GateObservation] = []
+
+    def screen(self, queries) -> np.ndarray:
+        mask = self._detector.is_abnormal(self._encoder.encode_many(queries))
+        self.observations.append(
+            GateObservation(at=get_clock()(), total=int(mask.size), flagged=int(mask.sum()))
+        )
+        return mask
 
 
 class VAEAnomalyDetector(Module):
@@ -172,3 +214,7 @@ class VAEAnomalyDetector(Module):
             return self.is_abnormal(encoder.encode_many(queries))
 
         return fn
+
+    def as_gate(self, encoder) -> DetectorGate:
+        """This detector as a first-class update-stream :class:`DetectorGate`."""
+        return DetectorGate(self, encoder)

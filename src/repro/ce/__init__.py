@@ -1,7 +1,7 @@
 """Query-driven learned cardinality estimation (the attack's target)."""
 
 from repro.ce.base import CardinalityEstimator
-from repro.ce.deployment import DeployedEstimator, ExecutionReport
+from repro.ce.deployment import CallableGate, DeployedEstimator, ExecutionReport, Gate
 from repro.ce.models import FCN, MSCN, FCNPool, LinearCE, LSTMCE, RNNCE
 from repro.ce.registry import (
     MODEL_REGISTRY,
@@ -46,4 +46,6 @@ __all__ = [
     "DEFAULT_UPDATE_STEPS",
     "DeployedEstimator",
     "ExecutionReport",
+    "Gate",
+    "CallableGate",
 ]

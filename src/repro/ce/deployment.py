@@ -5,15 +5,31 @@ Models the paper's threat surface exactly (Section 2.2): the attacker can
 * run ``COUNT(*)`` queries (:meth:`DeployedEstimator.count`),
 * read the optimizer's estimate via ``EXPLAIN`` (:meth:`explain`),
 * execute queries, which the DBMS then uses to incrementally retrain its
-  CE model (:meth:`execute`) — optionally after an anomaly filter.
+  CE model (:meth:`execute`) — after consulting the configured
+  :class:`Gate` stack.
 
 Nothing else is exposed: the model object, its type, and its parameters
 stay private attributes.
+
+Gates
+-----
+A :class:`Gate` is the uniform defense hook the DBMS consults around each
+incremental update. It has two touch points:
+
+* :meth:`Gate.screen` — *before* the update, mark queries to reject from
+  the update stream (the VAE detector and the poison classifier plug in
+  here);
+* :meth:`Gate.review_update` — *after* the update, veto the new
+  parameters, rolling the model back to its pre-update state (the serving
+  layer's validation-gated promotion guard plugs in here).
+
+The legacy ``anomaly_filter`` callable attribute is still honoured: it is
+wrapped into a :class:`CallableGate` at execute time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,13 +46,62 @@ from repro.utils.errors import TrainingError
 from repro.workload.workload import Workload
 
 
+class Gate:
+    """Uniform defense hook consulted by :meth:`DeployedEstimator.execute`.
+
+    Subclasses override :meth:`screen` (pre-update query rejection) and/or
+    :meth:`review_update` (post-update veto). The base class is a no-op on
+    both, so a gate only has to implement the half it cares about.
+    """
+
+    #: Label used in :attr:`ExecutionReport.rejected_by` accounting.
+    name: str = "gate"
+
+    def screen(self, queries: list[Query]) -> np.ndarray:
+        """Boolean mask over ``queries``; True = reject from the update."""
+        return np.zeros(len(queries), dtype=bool)
+
+    def review_update(
+        self, model: CardinalityEstimator, workload: Workload
+    ) -> bool:
+        """Whether the just-applied update may stand (False = roll back)."""
+        return True
+
+
+class CallableGate(Gate):
+    """Adapter wrapping a plain ``(queries) -> bool mask`` callable."""
+
+    def __init__(self, fn, name: str = "anomaly_filter") -> None:
+        self._fn = fn
+        self.name = name
+
+    def screen(self, queries: list[Query]) -> np.ndarray:
+        return np.asarray(self._fn(queries), dtype=bool)
+
+
 @dataclass
 class ExecutionReport:
-    """What happened when a batch of queries was executed."""
+    """What happened when a batch of queries was executed.
+
+    Attributes:
+        executed: queries the DBMS ran (all of them — gates only affect
+            the *update*, not execution).
+        rejected: queries at least one gate screened out of the update.
+        update_losses: per-step losses of the incremental update (empty
+            when no update ran).
+        rejected_by: per-gate count of screened queries (a query flagged
+            by several gates counts once per gate).
+        updated: an incremental update was applied and kept.
+        rolled_back: an update was applied but vetoed by a gate's
+            :meth:`Gate.review_update`, and the parameters were restored.
+    """
 
     executed: int
     rejected: int
     update_losses: list[float]
+    rejected_by: dict[str, int] = field(default_factory=dict)
+    updated: bool = False
+    rolled_back: bool = False
 
 
 class DeployedEstimator:
@@ -47,9 +112,11 @@ class DeployedEstimator:
         executor: ground-truth executor of the underlying database.
         update_steps/update_lr: the DBMS's incremental-update mechanism
             (Eq. 9 parameters).
-        anomaly_filter: optional callable ``(list[Query]) -> ndarray[bool]``
-            returning True for queries to *reject* from the update (the
-            defense the PACE detector is designed to slip past).
+        anomaly_filter: legacy hook — a callable ``(list[Query]) ->
+            ndarray[bool]`` returning True for queries to *reject* from
+            the update; wrapped into a :class:`CallableGate`.
+        gates: first-class :class:`Gate` instances consulted around every
+            incremental update, in order.
     """
 
     def __init__(
@@ -59,13 +126,26 @@ class DeployedEstimator:
         update_steps: int = DEFAULT_UPDATE_STEPS,
         update_lr: float = DEFAULT_UPDATE_LR,
         anomaly_filter=None,
+        gates: list[Gate] | None = None,
     ) -> None:
         self._model = model
         self._executor = executor
         self.update_steps = update_steps
         self.update_lr = update_lr
         self.anomaly_filter = anomaly_filter
+        self.gates: list[Gate] = list(gates or [])
         self.history: list[LabeledQuery] = []
+
+    def add_gate(self, gate: Gate) -> None:
+        """Append a gate to the update-defense stack."""
+        self.gates.append(gate)
+
+    def _active_gates(self) -> list[Gate]:
+        """The gate stack, with the legacy callable wrapped on the fly."""
+        active = list(self.gates)
+        if self.anomaly_filter is not None:
+            active.insert(0, CallableGate(self.anomaly_filter))
+        return active
 
     # ------------------------------------------------------------------
     # the attacker-visible surface
@@ -77,6 +157,15 @@ class DeployedEstimator:
     def explain_many(self, queries) -> np.ndarray:
         """Vectorized :meth:`explain`, with wall-clock timing retained."""
         return self._model.estimate(list(queries))
+
+    def explain_encoded(self, encodings: np.ndarray) -> np.ndarray:
+        """Estimates for pre-encoded queries (one fused forward pass).
+
+        The serving layer's micro-batcher uses this to answer a whole
+        batch with a single ``encode_many`` + forward instead of one
+        round-trip per request.
+        """
+        return self._model.estimate_encoded(encodings)
 
     def explain_timed(self, queries) -> tuple[np.ndarray, float]:
         """Estimates plus elapsed seconds on the ambient clock.
@@ -98,28 +187,53 @@ class DeployedEstimator:
 
         Mirrors the paper's attack step (Section 3.4): executed queries and
         their true cardinalities become incremental training data. Queries
-        flagged by the anomaly filter are executed but *not* used to update
-        the model.
+        flagged by a gate's :meth:`Gate.screen` are executed but *not* used
+        to update the model; after the update, every gate's
+        :meth:`Gate.review_update` may veto it, restoring the pre-update
+        parameters (guarded promotion).
         """
         queries = list(queries)
         if not queries:
             raise TrainingError("execute() needs at least one query")
-        if self.anomaly_filter is not None:
-            abnormal = np.asarray(self.anomaly_filter(queries), dtype=bool)
-        else:
-            abnormal = np.zeros(len(queries), dtype=bool)
+        gates = self._active_gates()
+        abnormal = np.zeros(len(queries), dtype=bool)
+        rejected_by: dict[str, int] = {}
+        for gate in gates:
+            mask = np.asarray(gate.screen(queries), dtype=bool)
+            flagged = int(mask.sum())
+            if flagged:
+                rejected_by[gate.name] = rejected_by.get(gate.name, 0) + flagged
+            abnormal |= mask
         accepted = [q for q, bad in zip(queries, abnormal) if not bad]
         rejected = int(abnormal.sum())
         if not accepted:
-            return ExecutionReport(executed=len(queries), rejected=rejected, update_losses=[])
+            return ExecutionReport(
+                executed=len(queries), rejected=rejected, update_losses=[],
+                rejected_by=rejected_by,
+            )
         workload = Workload.from_queries(accepted, self._executor, drop_empty=True)
         if len(workload) == 0:
-            return ExecutionReport(executed=len(queries), rejected=rejected, update_losses=[])
+            return ExecutionReport(
+                executed=len(queries), rejected=rejected, update_losses=[],
+                rejected_by=rejected_by,
+            )
         self.history.extend(workload.examples)
+        snapshot = self._model.state_dict()
         losses = incremental_update(
             self._model, workload, steps=self.update_steps, lr=self.update_lr
         )
-        return ExecutionReport(executed=len(queries), rejected=rejected, update_losses=losses)
+        for gate in gates:
+            if not gate.review_update(self._model, workload):
+                self._model.load_state_dict(snapshot)
+                return ExecutionReport(
+                    executed=len(queries), rejected=rejected,
+                    update_losses=losses, rejected_by=rejected_by,
+                    updated=False, rolled_back=True,
+                )
+        return ExecutionReport(
+            executed=len(queries), rejected=rejected, update_losses=losses,
+            rejected_by=rejected_by, updated=True,
+        )
 
     # ------------------------------------------------------------------
     # evaluation-only access (not part of the attacker surface)

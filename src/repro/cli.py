@@ -5,6 +5,8 @@ Examples::
     python -m repro attack --dataset dmv --model fcn --method pace
     python -m repro attack --dataset tpch --model mscn --method lbg --count 48
     python -m repro speculate --dataset dmv --model lstm
+    python -m repro serve-sim --dataset dmv --model mscn --rounds 3
+    python -m repro serve-bench --requests 512
     python -m repro lint --format json
     python -m repro analyze
     python -m repro gradcheck --format json
@@ -92,8 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="full audit: lint + whole-program flow rules (R007-R010) "
-             "+ gradient audit + sanitized smoke pass",
+        help="full audit: lint + whole-program flow rules (R007-R011) "
+             "+ gradient audit + sanitized autograd and serve smoke passes",
     )
     analyze.add_argument("paths", nargs="*", metavar="PATH",
                          help="files/directories to analyze (default: the repro package)")
@@ -103,9 +105,47 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--skip-gradcheck", action="store_true",
                          help="skip the finite-difference gradient audit")
     analyze.add_argument("--skip-smoke", action="store_true",
-                         help="skip the sanitized smoke forward/backward pass")
+                         help="skip the sanitized autograd and serve smoke passes")
     analyze.add_argument("--seed", type=int, default=0,
                          help="seed for the sanitized smoke pass")
+
+    serve_sim = sub.add_parser(
+        "serve-sim",
+        help="online serving simulation: benign + PACE attacker traffic over "
+             "N retrain rounds, guarded vs unguarded promotion",
+    )
+    _add_common(serve_sim)
+    serve_sim.add_argument("--rounds", type=int, default=3,
+                           help="retrain rounds per arm (default: 3)")
+    serve_sim.add_argument("--requests", type=int, default=64,
+                           help="arrivals per round (default: 64)")
+    serve_sim.add_argument("--qps", type=float, default=256.0,
+                           help="mean arrival rate (default: 256)")
+    serve_sim.add_argument("--poison-fraction", type=float, default=0.5,
+                           help="probability an arrival is the attacker's "
+                                "(default: 0.5)")
+    serve_sim.add_argument("--method", choices=METHODS, default="pace",
+                           help="attack crafting the poison pool (default: pace)")
+    serve_sim.add_argument("--guard-factor", type=float, default=1.5,
+                           help="promotion envelope: candidate mean q-error may "
+                                "be at most factor x clean baseline (default: 1.5)")
+    serve_sim.add_argument("--output", default=None,
+                           help="also write the JSON report to this path")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="micro-batched serving vs sequential explain throughput; "
+             "writes BENCH_PR4.json",
+    )
+    _add_common(serve_bench)
+    serve_bench.add_argument("--requests", type=int, default=512,
+                             help="request-stream length (default: 512)")
+    serve_bench.add_argument("--max-batch", type=int, default=32,
+                             help="micro-batch size cap (default: 32)")
+    serve_bench.add_argument("--repeats", type=int, default=3,
+                             help="timing repeats, best kept (default: 3)")
+    serve_bench.add_argument("--output", default=None,
+                             help="report path (default: benchmarks/BENCH_PR4.json)")
 
     gradcheck = sub.add_parser(
         "gradcheck",
@@ -216,6 +256,54 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeSimConfig, format_serve_report, run_serve_sim
+
+    config = ServeSimConfig(
+        dataset=args.dataset,
+        model_type=args.model,
+        scale=args.scale or "smoke",
+        seed=args.seed,
+        rounds=args.rounds,
+        requests_per_round=args.requests,
+        qps=args.qps,
+        poison_fraction=args.poison_fraction,
+        attack_method=args.method,
+        guard_factor=args.guard_factor,
+    )
+    report = run_serve_sim(config)
+    print(format_serve_report(report))
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        # sort_keys makes equal-seed runs byte-identical on disk.
+        out.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n",
+                       encoding="utf-8")
+        print(f"\nreport written to {out}")
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.perf import write_report
+    from repro.serve.bench import DEFAULT_REPORT, format_serve_bench, run_serve_bench
+
+    report = run_serve_bench(
+        dataset=args.dataset,
+        model_type=args.model,
+        scale=args.scale or "smoke",
+        seed=args.seed,
+        requests=args.requests,
+        max_batch=args.max_batch,
+        repeats=args.repeats,
+    )
+    out = write_report(report, args.output or DEFAULT_REPORT)
+    print(format_serve_bench(report))
+    print(f"\nreport written to {out}")
+    return 0
+
+
 def _default_analysis_targets(paths: list[str]) -> list[Path]:
     if paths:
         return [Path(p) for p in paths]
@@ -237,7 +325,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         flow_ids = set(flow_rule_ids())
         if any(r in flow_ids for r in requested):
             message += (
-                "; R007-R010 are whole-program rules — run 'pace-repro analyze'"
+                "; R007-R011 are whole-program rules — run 'pace-repro analyze'"
             )
         print(f"lint: error: {message}", file=sys.stderr)
         return 2
@@ -260,6 +348,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         run_flow,
         run_gradcheck,
         run_lint,
+        run_serve_smoke,
         run_smoke,
     )
 
@@ -282,10 +371,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     gradcheck_results = None if args.skip_gradcheck else run_gradcheck()
     smoke = None if args.skip_smoke else run_smoke(seed=args.seed)
+    serve_smoke = None if args.skip_smoke else run_serve_smoke(seed=args.seed)
 
     gradcheck_ok = gradcheck_results is None or all(r.passed for r in gradcheck_results)
     smoke_ok = smoke is None or smoke.passed
-    ok = not findings and gradcheck_ok and smoke_ok
+    serve_ok = serve_smoke is None or serve_smoke.passed
+    ok = not findings and gradcheck_ok and smoke_ok and serve_ok
 
     if args.format == "json":
         payload = {
@@ -294,6 +385,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             "gradcheck": None if gradcheck_results is None
             else gradcheck_payload(gradcheck_results),
             "smoke": None if smoke is None else smoke.as_dict(),
+            "serve_smoke": None if serve_smoke is None else serve_smoke.as_dict(),
         }
         print(json.dumps(payload, indent=2))
         return 0 if ok else 1
@@ -310,6 +402,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                   f"{smoke.modules} modules)")
         else:
             print(f"smoke: FAIL — {smoke.detail}")
+    if serve_smoke is not None:
+        if serve_smoke.passed:
+            print(f"serve-smoke: ok ({serve_smoke.checks} invariants over "
+                  f"{serve_smoke.requests} requests)")
+        else:
+            print(f"serve-smoke: FAIL — {serve_smoke.detail}")
     print(f"analyze: {'ok' if ok else 'FAIL'}")
     return 0 if ok else 1
 
@@ -357,6 +455,8 @@ def main(argv: list[str] | None = None) -> int:
         "speculate": cmd_speculate,
         "profile": cmd_profile,
         "bench": cmd_bench,
+        "serve-sim": cmd_serve_sim,
+        "serve-bench": cmd_serve_bench,
         "lint": cmd_lint,
         "analyze": cmd_analyze,
         "gradcheck": cmd_gradcheck,

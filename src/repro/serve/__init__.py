@@ -1,0 +1,50 @@
+"""Online estimation serving: micro-batching, guarded retraining, replay.
+
+The production-shaped layer above :mod:`repro.ce.deployment`: a
+clock-driven estimate server with bounded queueing and micro-batched
+forwards (:mod:`~repro.serve.server`), an LRU estimate cache invalidated
+on model promotion (:mod:`~repro.serve.cache`), a background retrain loop
+with validation-gated promotion (:mod:`~repro.serve.retrain`), a seeded
+open-loop traffic replay mixing benign clients with a PACE attacker
+(:mod:`~repro.serve.replay`), and the end-to-end guarded-vs-unguarded
+simulation behind ``pace-repro serve-sim`` (:mod:`~repro.serve.scenario`).
+"""
+
+from repro.serve.cache import EstimateCache
+from repro.serve.replay import Arrival, ReplayConfig, ReplayRoundResult, TrafficReplay
+from repro.serve.retrain import PromotionGuard, RetrainEvent, RetrainLoop
+from repro.serve.scenario import (
+    ServeSimConfig,
+    format_serve_report,
+    run_serve_sim,
+)
+from repro.serve.server import (
+    DONE,
+    PENDING,
+    REJECTED,
+    SHED,
+    EstimateRequest,
+    EstimatorServer,
+)
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "Arrival",
+    "DONE",
+    "EstimateCache",
+    "EstimateRequest",
+    "EstimatorServer",
+    "PENDING",
+    "PromotionGuard",
+    "REJECTED",
+    "ReplayConfig",
+    "ReplayRoundResult",
+    "RetrainEvent",
+    "RetrainLoop",
+    "SHED",
+    "ServeSimConfig",
+    "ServeStats",
+    "TrafficReplay",
+    "format_serve_report",
+    "run_serve_sim",
+]

@@ -1,0 +1,122 @@
+"""``pace-repro serve-bench``: micro-batched serving vs sequential explain.
+
+Measures real wall-clock throughput of the same request stream answered
+two ways — one :meth:`~repro.ce.deployment.DeployedEstimator.explain`
+round-trip per query versus the :class:`~repro.serve.server.EstimatorServer`
+micro-batcher (cache disabled, so every request pays a forward pass) —
+and writes the comparison to ``benchmarks/BENCH_PR4.json`` alongside the
+earlier BENCH_* reports. The speedup comes from amortizing per-call
+overhead: one ``encode_many`` + one fused forward per batch.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.harness.experiments import get_scenario
+from repro.serve.server import EstimatorServer
+from repro.serve.stats import ServeStats
+from repro.utils.rng import derive_rng
+
+SCHEMA_VERSION = 1
+
+#: Where the serve benchmark report lands by default.
+DEFAULT_REPORT = Path("benchmarks") / "BENCH_PR4.json"
+
+
+def _request_stream(scenario, requests: int, seed: int):
+    """A seeded stream of queries drawn from the scenario's train pool."""
+    pool = scenario.train_workload.queries
+    rng = derive_rng(seed + 5)
+    return [pool[int(i)] for i in rng.integers(len(pool), size=requests)]
+
+
+def run_serve_bench(
+    dataset: str = "dmv",
+    model_type: str = "mscn",
+    scale: str = "smoke",
+    seed: int = 0,
+    requests: int = 512,
+    max_batch: int = 32,
+    repeats: int = 3,
+) -> dict:
+    """Time sequential vs micro-batched serving of one request stream.
+
+    Both paths answer the identical query sequence against the identical
+    clean model; each is run ``repeats`` times and the best wall-clock
+    time is kept (standard microbenchmark practice — the minimum is the
+    least noisy estimator of the achievable time).
+    """
+    scenario = get_scenario(dataset, model_type, scale=scale, seed=seed)
+    scenario.reset()
+    queries = _request_stream(scenario, requests, seed)
+    deployed = scenario.deployed
+
+    sequential_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for query in queries:
+            deployed.explain(query)
+        sequential_best = min(sequential_best, time.perf_counter() - start)
+
+    batched_best = float("inf")
+    batched_stats = None
+    for _ in range(repeats):
+        stats = ServeStats()
+        server = EstimatorServer(
+            deployed,
+            max_queue=requests,
+            max_batch=max_batch,
+            cache=None,  # every request must pay a forward pass
+            stats=stats,
+        )
+        start = time.perf_counter()
+        for query in queries:
+            server.submit(query)
+        server.run_until_idle()
+        elapsed = time.perf_counter() - start
+        if elapsed < batched_best:
+            batched_best = elapsed
+            batched_stats = stats
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro serve-bench",
+        "dataset": dataset,
+        "model": model_type,
+        "scale": scale,
+        "seed": seed,
+        "requests": requests,
+        "max_batch": max_batch,
+        "repeats": repeats,
+        "recorded_unix": time.time(),
+        "sequential": {
+            "seconds": sequential_best,
+            "qps": requests / sequential_best if sequential_best > 0.0 else None,
+        },
+        "batched": {
+            "seconds": batched_best,
+            "qps": requests / batched_best if batched_best > 0.0 else None,
+            "mean_batch_size": batched_stats.mean_batch_size(),
+            "latency": batched_stats.latency_summary(),
+        },
+        "speedup": (
+            sequential_best / batched_best if batched_best > 0.0 else None
+        ),
+    }
+
+
+def format_serve_bench(report: dict) -> str:
+    """Console summary for ``pace-repro serve-bench``."""
+    seq, bat = report["sequential"], report["batched"]
+    lines = [
+        f"pace-repro serve-bench · {report['dataset']}/{report['model']} · "
+        f"{report['requests']} requests · max_batch={report['max_batch']}",
+        f"  sequential: {seq['seconds']:.4f}s ({seq['qps']:.0f} qps)",
+        f"  batched:    {bat['seconds']:.4f}s ({bat['qps']:.0f} qps, "
+        f"mean batch {bat['mean_batch_size']:.1f}, "
+        f"p99 {bat['latency']['p99'] * 1e3:.2f}ms)",
+        f"  speedup:    {report['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)

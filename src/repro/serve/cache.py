@@ -1,0 +1,47 @@
+"""LRU estimate cache, invalidated whenever a new model is promoted.
+
+Caching estimates is only sound while the serving model is unchanged: a
+promoted retrain candidate changes every answer, so the retrain loop
+calls :meth:`EstimateCache.invalidate` on promotion (rolled-back updates
+leave the cache valid — the serving parameters never changed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.db.query import Query
+
+
+class EstimateCache:
+    """Bounded LRU mapping of query identity to a cached estimate."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, float]" = OrderedDict()
+        self.invalidations = 0
+
+    def get(self, query: Query) -> float | None:
+        """The cached estimate for ``query``, refreshing its recency."""
+        key = query.cache_key()
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, query: Query, estimate: float) -> None:
+        key = query.cache_key()
+        self._entries[key] = float(estimate)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every entry (called when a retrained model is promoted)."""
+        self._entries.clear()
+        self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

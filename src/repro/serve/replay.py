@@ -1,0 +1,163 @@
+"""Open-loop traffic replay: seeded arrivals mixing benign and attacker.
+
+:class:`TrafficReplay` turns two query pools — benign workload templates
+and a crafted poisoning pool — into a single open-loop arrival process:
+exponential interarrivals at a target QPS, each arrival drawn from the
+attacker pool with probability ``poison_fraction``, everything derived
+from one seed. ``drive`` feeds the arrivals into an
+:class:`~repro.serve.server.EstimatorServer` while advancing a
+:class:`~repro.utils.clock.ManualClock` through arrival instants and
+fixed-rate service instants, so the whole session — queueing delays,
+deadline sheds, backpressure rejections, retrain scheduling — is a pure
+function of (pools, config, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.query import Query
+from repro.serve.server import EstimatorServer
+from repro.utils.clock import ManualClock, get_clock
+from repro.utils.errors import ReproError
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Arrival-process knobs for one replay session.
+
+    Attributes:
+        qps: mean arrival rate (exponential interarrivals).
+        poison_fraction: probability each arrival is drawn from the
+            attacker pool instead of the benign pool.
+        timeout: per-request deadline in seconds (None = no deadline).
+        service_hz: micro-batch service instants per second — together
+            with the server's ``max_batch`` this bounds service capacity
+            at ``service_hz * max_batch`` requests/second.
+        seed: derives every random decision in the replay.
+    """
+
+    qps: float = 256.0
+    poison_fraction: float = 0.0
+    timeout: float | None = None
+    service_hz: float = 32.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when, what, and which client sent it."""
+
+    at: float
+    query: Query
+    client: str
+
+
+@dataclass
+class ReplayRoundResult:
+    """What one :meth:`TrafficReplay.drive` call produced."""
+
+    arrivals: int
+    benign: int
+    attacker: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class TrafficReplay:
+    """Seeded open-loop traffic driver over an estimator server."""
+
+    def __init__(
+        self,
+        benign_pool: list[Query],
+        poison_pool: list[Query],
+        config: ReplayConfig | None = None,
+    ) -> None:
+        if not benign_pool:
+            raise ReproError("traffic replay needs a non-empty benign query pool")
+        self.config = config or ReplayConfig()
+        if self.config.qps <= 0.0 or self.config.service_hz <= 0.0:
+            raise ReproError("qps and service_hz must be positive")
+        if not 0.0 <= self.config.poison_fraction <= 1.0:
+            raise ReproError(
+                f"poison_fraction must be in [0, 1], got {self.config.poison_fraction}"
+            )
+        if self.config.poison_fraction > 0.0 and not poison_pool:
+            raise ReproError("poison_fraction > 0 requires a non-empty poison pool")
+        self.benign_pool = list(benign_pool)
+        self.poison_pool = list(poison_pool)
+        self._rng = derive_rng(self.config.seed)
+
+    def arrivals(self, n: int, start: float = 0.0) -> list[Arrival]:
+        """The next ``n`` arrivals, starting after ``start``.
+
+        Consumes the replay's RNG stream: successive calls continue the
+        same arrival process, so a multi-round scenario sees one
+        uninterrupted seeded trace.
+        """
+        out: list[Arrival] = []
+        now = float(start)
+        for _ in range(n):
+            now += float(self._rng.exponential(1.0 / self.config.qps))
+            attacker = (
+                self.poison_pool
+                and float(self._rng.random()) < self.config.poison_fraction
+            )
+            pool = self.poison_pool if attacker else self.benign_pool
+            query = pool[int(self._rng.integers(len(pool)))]
+            out.append(Arrival(at=now, query=query, client="attacker" if attacker else "benign"))
+        return out
+
+    def drive(
+        self,
+        server: EstimatorServer,
+        n: int,
+        retrain=None,
+        clock: ManualClock | None = None,
+    ) -> ReplayRoundResult:
+        """Replay ``n`` arrivals through ``server``, then drain the queue.
+
+        ``clock`` must be the *installed* ambient clock (the one
+        :func:`repro.utils.clock.get_clock` returns), because the server
+        stamps requests through it; ``drive`` advances it to every
+        arrival instant and to each ``1/service_hz`` service instant,
+        calling ``server.step()`` (and ``retrain.poll()``) at each one.
+        """
+        clock = clock if clock is not None else get_clock()
+        if not isinstance(clock, ManualClock):
+            raise ReproError("TrafficReplay.drive needs a ManualClock driving the session")
+        start = clock()
+        period = 1.0 / self.config.service_hz
+        next_service = start + period
+        benign = attacker = 0
+        for arrival in self.arrivals(n, start=start):
+            while next_service <= arrival.at:
+                clock.set(next_service)
+                server.step()
+                if retrain is not None:
+                    retrain.poll()
+                next_service += period
+            clock.set(arrival.at)
+            server.submit(arrival.query, timeout=self.config.timeout, client=arrival.client)
+            if arrival.client == "attacker":
+                attacker += 1
+            else:
+                benign += 1
+        while server.queue_depth > 0:
+            clock.set(next_service)
+            server.step()
+            if retrain is not None:
+                retrain.poll()
+            next_service += period
+        return ReplayRoundResult(
+            arrivals=n,
+            benign=benign,
+            attacker=attacker,
+            started_at=start,
+            finished_at=clock(),
+        )

@@ -1,0 +1,206 @@
+"""Background incremental retraining with validation-gated promotion.
+
+The DBMS's incremental update (Eq. 9) is the mechanism PACE exploits;
+serving it safely means never letting an update go live unreviewed.
+:class:`RetrainLoop` buffers the executed workload the server observed
+and periodically routes it through
+:meth:`~repro.ce.deployment.DeployedEstimator.execute`, where the
+configured gate stack screens the update stream (e.g. the VAE
+:class:`~repro.attack.detector.DetectorGate`) and — when a
+:class:`PromotionGuard` is installed — the freshly updated parameters
+are treated as a *shadow candidate*: they are promoted only if their
+held-out validation Q-error stays inside the guard's envelope, and
+rolled back to the previous serving model otherwise.
+
+This module is the *background* path: it may execute ground truth and
+retrain. The estimate hot path (:mod:`repro.serve.server`) must not —
+flow rule R011 enforces the split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ce.base import CardinalityEstimator
+from repro.ce.deployment import DeployedEstimator, Gate
+from repro.ce.trainer import evaluate_q_errors
+from repro.db.query import Query
+from repro.serve.stats import ServeStats
+from repro.utils.errors import TrainingError
+from repro.workload.workload import Workload
+
+
+class PromotionGuard(Gate):
+    """Veto updates whose held-out validation Q-error degrades too far.
+
+    The guard is calibrated once against the clean serving model: its
+    baseline is the model's mean validation Q-error at deployment. After
+    every incremental update, :meth:`review_update` re-evaluates the
+    candidate on the same validation workload and admits it only while
+
+    ``candidate_mean_qerror <= factor * baseline_mean_qerror``.
+
+    This is a serving-time complement to the update-stream screens in
+    :mod:`repro.attack.defense`: even poison that slips past per-query
+    detection cannot *stay* promoted without passing validation.
+    """
+
+    name = "promotion-guard"
+
+    def __init__(self, validation: Workload, factor: float = 2.0) -> None:
+        if len(validation) == 0:
+            raise TrainingError("the promotion guard needs a non-empty validation workload")
+        if factor <= 0.0:
+            raise TrainingError(f"guard factor must be positive, got {factor}")
+        self.validation = validation
+        self.factor = factor
+        self.baseline_qerror: float | None = None
+        self.last_candidate_qerror: float | None = None
+        self.admissions = 0
+        self.vetoes = 0
+
+    def calibrate(self, model: CardinalityEstimator) -> float:
+        """Record the clean model's validation Q-error as the baseline."""
+        self.baseline_qerror = float(evaluate_q_errors(model, self.validation).mean())
+        return self.baseline_qerror
+
+    def review_update(self, model: CardinalityEstimator, workload: Workload) -> bool:
+        if self.baseline_qerror is None:
+            raise TrainingError("calibrate() the promotion guard before deploying it")
+        candidate = float(evaluate_q_errors(model, self.validation).mean())
+        self.last_candidate_qerror = candidate
+        admitted = candidate <= self.factor * self.baseline_qerror
+        if admitted:
+            self.admissions += 1
+        else:
+            self.vetoes += 1
+        return admitted
+
+
+@dataclass
+class RetrainEvent:
+    """Outcome of one background retrain round."""
+
+    round_index: int
+    observed: int
+    rejected: int
+    rejected_by: dict[str, int]
+    promoted: bool
+    rolled_back: bool
+    update_losses: list[float] = field(default_factory=list)
+    candidate_qerror: float | None = None
+    baseline_qerror: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "round": self.round_index,
+            "observed": self.observed,
+            "rejected": self.rejected,
+            "rejected_by": dict(sorted(self.rejected_by.items())),
+            "promoted": self.promoted,
+            "rolled_back": self.rolled_back,
+            "candidate_qerror": self.candidate_qerror,
+            "baseline_qerror": self.baseline_qerror,
+        }
+
+
+class RetrainLoop:
+    """Buffers executed queries and periodically retrains through gates.
+
+    Args:
+        deployed: the serving facade; its gate stack performs both the
+            update-stream screening and (via an installed
+            :class:`PromotionGuard`) the promote/rollback decision.
+        retrain_every: buffered-query threshold at which :meth:`poll`
+            triggers a retrain round.
+        guard: optional promotion guard; installed onto ``deployed``'s
+            gate stack if not already present (calibrating it first if
+            needed).
+        on_promote: callback run after every *promoted* update — the
+            server wires cache invalidation here.
+        stats: telemetry sink for retrain/promotion/rollback counters.
+        max_buffer: hard cap on buffered queries; oldest observations are
+            dropped first (the serving layer must bound memory).
+    """
+
+    def __init__(
+        self,
+        deployed: DeployedEstimator,
+        retrain_every: int = 32,
+        guard: PromotionGuard | None = None,
+        on_promote=None,
+        stats: ServeStats | None = None,
+        max_buffer: int = 4096,
+    ) -> None:
+        if retrain_every <= 0:
+            raise TrainingError(f"retrain_every must be positive, got {retrain_every}")
+        self._deployed = deployed
+        self.retrain_every = retrain_every
+        self.guard = guard
+        self.on_promote = on_promote
+        self.stats = stats
+        self.max_buffer = max_buffer
+        self._buffer: list[Query] = []
+        self.events: list[RetrainEvent] = []
+        if guard is not None and guard not in deployed.gates:
+            if guard.baseline_qerror is None:
+                guard.calibrate(deployed.inspect_model())
+            deployed.add_gate(guard)
+
+    # ------------------------------------------------------------------
+    # observation (hot-path-safe: append only)
+    # ------------------------------------------------------------------
+    def observe(self, query: Query) -> None:
+        """Record one executed query for the next retrain round."""
+        self._buffer.append(query)
+        if len(self._buffer) > self.max_buffer:
+            del self._buffer[: len(self._buffer) - self.max_buffer]
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def due(self) -> bool:
+        return len(self._buffer) >= self.retrain_every
+
+    # ------------------------------------------------------------------
+    # the background retrain step
+    # ------------------------------------------------------------------
+    def poll(self) -> RetrainEvent | None:
+        """Retrain if the buffer threshold was reached (else no-op)."""
+        if not self.due():
+            return None
+        return self.flush()
+
+    def flush(self) -> RetrainEvent | None:
+        """Force a retrain round on whatever is buffered now."""
+        if not self._buffer:
+            return None
+        queries = self._buffer
+        self._buffer = []
+        report = self._deployed.execute(queries)
+        event = RetrainEvent(
+            round_index=len(self.events),
+            observed=len(queries),
+            rejected=report.rejected,
+            rejected_by=dict(report.rejected_by),
+            promoted=report.updated,
+            rolled_back=report.rolled_back,
+            update_losses=list(report.update_losses),
+            candidate_qerror=(
+                None if self.guard is None else self.guard.last_candidate_qerror
+            ),
+            baseline_qerror=(
+                None if self.guard is None else self.guard.baseline_qerror
+            ),
+        )
+        self.events.append(event)
+        if self.stats is not None:
+            self.stats.record_retrain(
+                promoted=event.promoted,
+                rolled_back=event.rolled_back,
+                rejected=event.rejected,
+            )
+        if event.promoted and self.on_promote is not None:
+            self.on_promote()
+        return event

@@ -1,0 +1,231 @@
+"""The ``pace-repro serve-sim`` scenario: live attack replay, guard on/off.
+
+One simulation builds an attack scenario (dataset + trained model), crafts
+a poison pool with the configured attack method, then serves the same
+seeded traffic trace twice from the same clean parameters:
+
+* **unguarded** — the DBMS retrains on everything the server executed,
+  exactly the paper's threat model;
+* **guarded** — a :class:`~repro.serve.retrain.PromotionGuard` reviews
+  every incremental update against held-out validation Q-error and rolls
+  back updates that degrade past its envelope.
+
+Both arms run under a :class:`~repro.utils.clock.ManualClock`, so the
+entire report — latency percentiles included — is a deterministic
+function of the config; the same seed yields a byte-identical JSON
+document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.ce.deployment import DeployedEstimator
+from repro.ce.trainer import evaluate_q_errors
+from repro.harness.experiments import (
+    AttackScenario,
+    craft_poison,
+    get_scenario,
+    get_surrogate,
+)
+from repro.serve.cache import EstimateCache
+from repro.serve.replay import ReplayConfig, TrafficReplay
+from repro.serve.retrain import PromotionGuard, RetrainLoop
+from repro.serve.server import EstimatorServer
+from repro.serve.stats import ServeStats
+from repro.utils.clock import ManualClock, use_clock
+from repro.workload.workload import Workload
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServeSimConfig:
+    """Everything one serve-sim run depends on (and nothing else)."""
+
+    dataset: str = "dmv"
+    model_type: str = "mscn"
+    scale: str = "smoke"
+    seed: int = 0
+    rounds: int = 3
+    requests_per_round: int = 64
+    qps: float = 256.0
+    service_hz: float = 32.0
+    poison_fraction: float = 0.5
+    attack_method: str = "pace"
+    timeout: float = 0.5
+    max_queue: int = 128
+    max_batch: int = 16
+    guard_factor: float = 1.5
+    cache_capacity: int = 512
+
+
+def _run_arm(
+    scenario: AttackScenario,
+    poison,
+    validation: Workload,
+    evaluation: Workload,
+    config: ServeSimConfig,
+    guarded: bool,
+) -> dict:
+    """Serve one full traffic session from clean parameters; one arm."""
+    scenario.reset()
+    model = scenario.model
+    deployed = DeployedEstimator(
+        model, scenario.executor, update_steps=scenario.scale.update_steps
+    )
+    guard = PromotionGuard(validation, factor=config.guard_factor) if guarded else None
+    cache = EstimateCache(capacity=config.cache_capacity)
+    stats = ServeStats()
+    # retrain_every is irrelevant here: the round loop flushes explicitly,
+    # so every round maps to exactly one retrain event.
+    retrain = RetrainLoop(
+        deployed,
+        retrain_every=config.requests_per_round,
+        guard=guard,
+        on_promote=cache.invalidate,
+        stats=stats,
+    )
+    server = EstimatorServer(
+        deployed,
+        max_queue=config.max_queue,
+        max_batch=config.max_batch,
+        cache=cache,
+        retrain=retrain,
+        stats=stats,
+        default_timeout=config.timeout,
+    )
+    replay = TrafficReplay(
+        benign_pool=scenario.train_workload.queries,
+        poison_pool=list(poison),
+        config=ReplayConfig(
+            qps=config.qps,
+            poison_fraction=config.poison_fraction if poison else 0.0,
+            timeout=config.timeout,
+            service_hz=config.service_hz,
+            seed=config.seed,
+        ),
+    )
+    with use_clock(ManualClock()) as clock:
+        baseline = float(evaluate_q_errors(model, evaluation).mean())
+        rounds = []
+        for index in range(config.rounds):
+            result = replay.drive(server, config.requests_per_round, clock=clock)
+            event = retrain.flush()
+            mean_qerror = float(evaluate_q_errors(model, evaluation).mean())
+            rounds.append({
+                "round": index,
+                "arrivals": result.arrivals,
+                "benign": result.benign,
+                "attacker": result.attacker,
+                "elapsed": result.elapsed,
+                "mean_qerror": mean_qerror,
+                "promoted": bool(event.promoted) if event else False,
+                "rolled_back": bool(event.rolled_back) if event else False,
+                "update_rejected": event.rejected if event else 0,
+            })
+        session_seconds = clock()
+    final = rounds[-1]["mean_qerror"] if rounds else baseline
+    arm = {
+        "guarded": guarded,
+        "baseline_qerror": baseline,
+        "final_qerror": final,
+        "degradation": final / baseline if baseline > 0.0 else None,
+        "qerror_trajectory": [r["mean_qerror"] for r in rounds],
+        "rounds": rounds,
+        "session_seconds": session_seconds,
+        "throughput_qps": stats.throughput(session_seconds),
+        "cache_invalidations": cache.invalidations,
+        "stats": stats.snapshot(),
+        "retrain_events": [e.as_dict() for e in retrain.events],
+    }
+    if guard is not None:
+        arm["guard"] = {
+            "factor": guard.factor,
+            "baseline_qerror": guard.baseline_qerror,
+            "admissions": guard.admissions,
+            "vetoes": guard.vetoes,
+        }
+    return arm
+
+
+def run_serve_sim(config: ServeSimConfig | None = None) -> dict:
+    """Run the full guarded-vs-unguarded serving simulation.
+
+    Returns a JSON-ready report with both arms' Q-error and latency
+    trajectories. Everything in it is seed-deterministic — serialize with
+    ``sort_keys=True`` and identical configs produce identical bytes.
+    """
+    config = config or ServeSimConfig()
+    scenario = get_scenario(
+        config.dataset, config.model_type, scale=config.scale, seed=config.seed
+    )
+    poison = []
+    if config.poison_fraction > 0.0 and config.attack_method != "clean":
+        # Pre-seat the true-family surrogate so the crafting path never
+        # gambles the simulation on smoke-scale type speculation.
+        get_surrogate(scenario, model_type=scenario.model_type)
+        poison, *_ = craft_poison(
+            scenario, config.attack_method, use_detector=False
+        )
+    validation, evaluation = scenario.test_workload.split(0.5, seed=config.seed + 23)
+    unguarded = _run_arm(scenario, poison, validation, evaluation, config, guarded=False)
+    guarded = _run_arm(scenario, poison, validation, evaluation, config, guarded=True)
+    scenario.reset()
+    unguarded_final = unguarded["final_qerror"]
+    guarded_final = guarded["final_qerror"]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro serve-sim",
+        "config": asdict(config),
+        "poison_pool": len(poison),
+        "validation_queries": len(validation),
+        "evaluation_queries": len(evaluation),
+        "arms": {"unguarded": unguarded, "guarded": guarded},
+        "guard_effect": {
+            "unguarded_final_qerror": unguarded_final,
+            "guarded_final_qerror": guarded_final,
+            "qerror_ratio": (
+                unguarded_final / guarded_final if guarded_final > 0.0 else None
+            ),
+            "guard_wins": guarded_final <= unguarded_final,
+        },
+    }
+
+
+def format_serve_report(report: dict) -> str:
+    """Console summary for ``pace-repro serve-sim``."""
+    from repro.metrics import render_table
+
+    config = report["config"]
+    rows = []
+    for arm_name in ("unguarded", "guarded"):
+        arm = report["arms"][arm_name]
+        stats = arm["stats"]
+        rows.append([
+            arm_name,
+            f"{arm['baseline_qerror']:.3f}",
+            f"{arm['final_qerror']:.3f}",
+            f"{arm['degradation']:.2f}x" if arm["degradation"] is not None else "-",
+            f"{stats['promotions']}/{stats['rollbacks']}",
+            f"{stats['completed']}/{stats['shed']}/{stats['rejected']}",
+            f"{stats['latency']['p99'] * 1e3:.1f}ms",
+        ])
+    lines = [render_table(
+        ["arm", "clean q-err", "final q-err", "degradation",
+         "promote/rollback", "done/shed/rej", "p99"],
+        rows,
+        title=(
+            f"pace-repro serve-sim · {config['dataset']}/{config['model_type']} · "
+            f"{config['attack_method']} @ poison={config['poison_fraction']:.0%} · "
+            f"seed={config['seed']}"
+        ),
+    )]
+    effect = report["guard_effect"]
+    if effect["qerror_ratio"] is not None:
+        lines.append(
+            f"\nguard effect: final q-error {effect['unguarded_final_qerror']:.3f} "
+            f"(unguarded) vs {effect['guarded_final_qerror']:.3f} (guarded) — "
+            f"{effect['qerror_ratio']:.2f}x better with the guard"
+        )
+    return "\n".join(lines)

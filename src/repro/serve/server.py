@@ -1,0 +1,214 @@
+"""The online estimation server: bounded queue + micro-batched forwards.
+
+:class:`EstimatorServer` wraps a
+:class:`~repro.ce.deployment.DeployedEstimator` in a production-shaped
+request loop:
+
+* **bounded request queue** — :meth:`EstimatorServer.submit` rejects new
+  requests once the queue is full (backpressure, surfaced to the client
+  instead of unbounded memory growth);
+* **per-request deadlines** — a request whose deadline passed while it
+  queued is *shed* at dequeue time, spending no model compute on an
+  answer nobody is waiting for;
+* **micro-batching** — :meth:`EstimatorServer.step` drains up to
+  ``max_batch`` requests and answers all cache misses with a single
+  ``encode_many`` + one fused forward pass, instead of one round-trip
+  per request.
+
+The loop is deterministic and clock-driven: every timestamp comes from
+:func:`repro.utils.clock.get_clock`, so a
+:class:`~repro.utils.clock.ManualClock`/`FakeClock` makes entire serving
+sessions bit-reproducible. Nothing in this module touches ground truth —
+``COUNT(*)`` execution and incremental retraining live in
+:mod:`repro.serve.retrain`, off the estimate hot path (enforced by flow
+rule R011).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.ce.deployment import DeployedEstimator
+from repro.db.query import Query
+from repro.perf.registry import PERF
+from repro.serve.cache import EstimateCache
+from repro.serve.stats import ServeStats
+from repro.utils.clock import get_clock
+
+#: Request lifecycle states.
+PENDING = "pending"
+DONE = "done"
+SHED = "shed"          # deadline expired while queued
+REJECTED = "rejected"  # bounded queue was full at submit time
+
+
+@dataclass
+class EstimateRequest:
+    """One in-flight estimate request and its outcome."""
+
+    query: Query
+    submitted_at: float
+    deadline: float | None = None
+    client: str = "benign"
+    status: str = PENDING
+    estimate: float | None = None
+    completed_at: float | None = None
+    from_cache: bool = False
+
+    @property
+    def latency(self) -> float | None:
+        """Seconds from submission to completion (None while pending)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class EstimatorServer:
+    """Micro-batching front end over a deployed estimator.
+
+    Args:
+        deployed: the model-serving facade (only its estimate surface is
+            used here).
+        max_queue: bounded queue depth; submissions beyond it are rejected.
+        max_batch: micro-batch size cap per :meth:`step`.
+        cache: optional :class:`EstimateCache`; hits skip the forward pass.
+        retrain: optional :class:`~repro.serve.retrain.RetrainLoop`; every
+            served request's query is recorded as executed-workload input
+            for the *background* retrain path.
+        stats: telemetry sink (a fresh :class:`ServeStats` by default).
+        default_timeout: deadline in seconds applied to submissions that
+            do not pass an explicit ``timeout``.
+    """
+
+    def __init__(
+        self,
+        deployed: DeployedEstimator,
+        max_queue: int = 256,
+        max_batch: int = 32,
+        cache: EstimateCache | None = None,
+        retrain=None,
+        stats: ServeStats | None = None,
+        default_timeout: float | None = None,
+    ) -> None:
+        if max_queue <= 0:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self._deployed = deployed
+        self._encoder = deployed.inspect_model().encoder
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.cache = cache
+        self.retrain = retrain
+        self.stats = stats or ServeStats()
+        self.default_timeout = default_timeout
+        self._queue: deque[EstimateRequest] = deque()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        query: Query,
+        timeout: float | None = None,
+        client: str = "benign",
+    ) -> EstimateRequest:
+        """Enqueue one estimate request; rejects when the queue is full.
+
+        ``timeout`` (seconds, on the ambient clock) sets the request's
+        deadline; ``None`` falls back to ``default_timeout``; both ``None``
+        means the request never expires.
+        """
+        now = get_clock()()
+        timeout = self.default_timeout if timeout is None else timeout
+        request = EstimateRequest(
+            query=query,
+            submitted_at=now,
+            deadline=None if timeout is None else now + timeout,
+            client=client,
+        )
+        self.stats.record_submitted()
+        if len(self._queue) >= self.max_queue:
+            request.status = REJECTED
+            request.completed_at = now
+            self.stats.record_rejected()
+            return request
+        self._queue.append(request)
+        self.stats.observe_queue_depth(len(self._queue))
+        return request
+
+    # ------------------------------------------------------------------
+    # service loop
+    # ------------------------------------------------------------------
+    def step(self) -> list[EstimateRequest]:
+        """Serve one micro-batch; returns every request it finalized.
+
+        Drains up to ``max_batch`` queued requests (shedding expired
+        ones), answers cache hits immediately, and resolves all misses
+        with a single batched encode + fused forward pass.
+        """
+        clock = get_clock()
+        finalized: list[EstimateRequest] = []
+        batch: list[EstimateRequest] = []
+        while self._queue and len(batch) < self.max_batch:
+            request = self._queue.popleft()
+            now = clock()
+            if request.deadline is not None and now > request.deadline:
+                request.status = SHED
+                request.completed_at = now
+                self.stats.record_shed()
+                finalized.append(request)
+                continue
+            batch.append(request)
+        if not batch:
+            return finalized
+
+        misses = batch
+        if self.cache is not None:
+            misses = []
+            hits = 0
+            for request in batch:
+                cached = self.cache.get(request.query)
+                if cached is None:
+                    misses.append(request)
+                else:
+                    request.estimate = cached
+                    request.from_cache = True
+                    hits += 1
+            self.stats.record_cache(hits, len(misses))
+        if misses:
+            with PERF.span("serve.batch_forward"):
+                encodings = self._encoder.encode_many([r.query for r in misses])
+                estimates = self._deployed.explain_encoded(encodings)
+            for request, estimate in zip(misses, estimates):
+                request.estimate = float(estimate)
+                if self.cache is not None:
+                    self.cache.put(request.query, request.estimate)
+        self.stats.record_batch(len(batch))
+
+        for request in batch:
+            request.status = DONE
+            request.completed_at = clock()
+            self.stats.record_completed(request.latency)
+            if self.retrain is not None:
+                # Executed-workload observation only: labeling and the
+                # actual update run later, inside the retrain loop.
+                self.retrain.observe(request.query)
+            finalized.append(request)
+        return finalized
+
+    def run_until_idle(self, max_steps: int = 10_000) -> list[EstimateRequest]:
+        """Step until the queue drains; returns all finalized requests."""
+        finalized: list[EstimateRequest] = []
+        steps = 0
+        while self._queue:
+            if steps >= max_steps:
+                raise RuntimeError(f"queue failed to drain within {max_steps} steps")
+            finalized.extend(self.step())
+            steps += 1
+        return finalized

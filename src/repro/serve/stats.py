@@ -1,0 +1,145 @@
+"""Serving-time telemetry: latency histograms, throughput, counters.
+
+One :class:`ServeStats` instance aggregates everything a serve run
+produces — per-request latencies (p50/p95/p99 summaries), queue-depth
+peaks, cache hit rates, shedding/backpressure counts, and the retrain
+loop's promotion/rollback tally. Every recording call also mirrors into
+the process-wide :data:`repro.perf.registry.PERF` registry (a no-op
+unless profiling is enabled), so ``pace-repro profile``-style tooling
+sees serve counters alongside the rest of the system's spans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.registry import PERF
+
+#: Latency percentiles reported by :meth:`ServeStats.latency_summary`.
+LATENCY_PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+class ServeStats:
+    """Mutable telemetry for one serving session."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0        # backpressure: bounded queue was full
+        self.shed = 0            # deadline passed before service
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.queue_depth_peak = 0
+        self.retrain_rounds = 0
+        self.promotions = 0
+        self.rollbacks = 0
+        self.update_rejected = 0  # queries gates screened out of updates
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    # recording (each mirrors into PERF when profiling is enabled)
+    # ------------------------------------------------------------------
+    def record_submitted(self) -> None:
+        self.submitted += 1
+        PERF.incr("serve.submitted")
+
+    def record_rejected(self) -> None:
+        self.rejected += 1
+        PERF.incr("serve.rejected")
+
+    def record_shed(self) -> None:
+        self.shed += 1
+        PERF.incr("serve.shed")
+
+    def record_completed(self, latency_seconds: float) -> None:
+        self.completed += 1
+        self._latencies.append(float(latency_seconds))
+        PERF.incr("serve.completed")
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+        PERF.incr("serve.cache_hits", hits)
+        PERF.incr("serve.cache_misses", misses)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        PERF.incr("serve.batches")
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
+    def record_retrain(self, promoted: bool, rolled_back: bool, rejected: int) -> None:
+        self.retrain_rounds += 1
+        self.update_rejected += rejected
+        PERF.incr("serve.retrain_rounds")
+        if promoted:
+            self.promotions += 1
+            PERF.incr("serve.promotions")
+        if rolled_back:
+            self.rollbacks += 1
+            PERF.incr("serve.rollbacks")
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-request latencies (seconds) in completion order."""
+        return np.asarray(self._latencies, dtype=np.float64)
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99/mean/max of completed-request latency, in seconds."""
+        if not self._latencies:
+            return {"n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+        lat = self.latencies
+        p50, p95, p99 = np.percentile(lat, LATENCY_PERCENTILES)
+        return {
+            "n": int(lat.size),
+            "mean": float(lat.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "max": float(lat.max()),
+        }
+
+    def throughput(self, elapsed_seconds: float) -> float:
+        """Completed requests per second over ``elapsed_seconds``."""
+        if elapsed_seconds <= 0.0:
+            return 0.0
+        return self.completed / elapsed_seconds
+
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        if looked_up == 0:
+            return 0.0
+        return self.cache_hits / looked_up
+
+    def mean_batch_size(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.batched_requests / self.batches
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every counter plus the latency summary."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate(),
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size(),
+            "queue_depth_peak": self.queue_depth_peak,
+            "retrain_rounds": self.retrain_rounds,
+            "promotions": self.promotions,
+            "rollbacks": self.rollbacks,
+            "update_rejected": self.update_rejected,
+            "latency": self.latency_summary(),
+        }

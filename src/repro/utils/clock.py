@@ -49,6 +49,37 @@ def use_clock(clock: Clock) -> Iterator[Clock]:
         _current_clock = previous
 
 
+class ManualClock:
+    """A clock that only moves when told to.
+
+    Unlike :class:`FakeClock` (which ticks on every read), reading a
+    ManualClock is side-effect free; simulation drivers advance it
+    explicitly — the serve-layer traffic replay sets it to each request's
+    arrival time and to each service instant, so queueing delays and
+    deadline expiries are exact functions of the seeded arrival process.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0.0:
+            raise ValueError(f"cannot advance by a negative duration: {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, now: float) -> float:
+        """Jump to an absolute instant (monotonicity enforced)."""
+        if now < self._now:
+            raise ValueError(f"clock cannot go backwards: {now} < {self._now}")
+        self._now = float(now)
+        return self._now
+
+
 class FakeClock:
     """A deterministic clock: every call advances time by a fixed tick.
 

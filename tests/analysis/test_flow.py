@@ -1,4 +1,4 @@
-"""Whole-program flow rules: R007 taint, R008 dead code, R009 shapes, R010 spans."""
+"""Flow rules: R007 taint, R008 dead code, R009 shapes, R010 spans, R011 hot path."""
 
 from __future__ import annotations
 
@@ -28,8 +28,8 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_flow_rules_are_r007_through_r010(self):
-        assert flow_rule_ids() == ["R007", "R008", "R009", "R010"]
+    def test_flow_rules_are_r007_through_r011(self):
+        assert flow_rule_ids() == ["R007", "R008", "R009", "R010", "R011"]
 
     def test_select_validates_ids(self):
         with pytest.raises(KeyError) as exc_info:
@@ -330,6 +330,73 @@ class TestR010SpanLeak:
         assert rule_ids(findings) == ["R010"]
 
 
+class TestR011BlockingCall:
+    def test_ground_truth_count_in_server_is_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "serve/__init__.py": "",
+            "serve/server.py": """
+                def serve_one(executor, query):
+                    return executor.count(query)
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+        assert "'count'" in findings[0].message
+
+    def test_execute_in_cache_is_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "serve/__init__.py": "",
+            "serve/cache.py": """
+                def warm(deployed, queries):
+                    deployed.execute(queries)
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+
+    def test_aliased_trainer_import_is_resolved(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "serve/__init__.py": "",
+            "serve/server.py": """
+                from repro.ce.trainer import incremental_update as refresh
+
+                def sneaky(model, workload):
+                    return refresh(model, workload)
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+        assert "incremental_update" in findings[0].message
+
+    def test_background_retrain_module_is_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "serve/__init__.py": "",
+            "serve/retrain.py": """
+                def flush(deployed, queries):
+                    return deployed.execute(queries)
+                """,
+        }, select=["R011"])
+        assert findings == []
+
+    def test_modules_outside_serve_are_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "harness/__init__.py": "",
+            "harness/server.py": """
+                def run(executor, query):
+                    return executor.count(query)
+                """,
+        }, select=["R011"])
+        assert findings == []
+
+    def test_model_only_hot_path_is_clean(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "serve/__init__.py": "",
+            "serve/server.py": """
+                def serve_batch(deployed, encoder, queries):
+                    encodings = encoder.encode_many(queries)
+                    return deployed.explain_encoded(encodings)
+                """,
+        }, select=["R011"])
+        assert findings == []
+
+
 class TestProgramModel:
     def test_symbols_and_references_are_indexed(self, tmp_path):
         write_tree(tmp_path, {
@@ -349,7 +416,7 @@ class TestProgramModel:
         assert any(ref.module == "pkg.mod" for ref in program.references["spin"])
 
     def test_repo_is_flow_clean(self):
-        """The acceptance gate: R007-R010 hold over the package itself."""
+        """The acceptance gate: R007-R011 hold over the package itself."""
         from pathlib import Path
 
         package = Path(__file__).resolve().parents[2] / "src" / "repro"

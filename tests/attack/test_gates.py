@@ -1,0 +1,129 @@
+"""Detector/classifier defenses as first-class gates through execute()."""
+
+import numpy as np
+import pytest
+
+from repro.attack import ClassifierGate, DetectorGate, PoisonClassifier
+from repro.ce import CallableGate, DeployedEstimator, Gate
+from repro.harness import get_detector
+from repro.utils.clock import FakeClock, use_clock
+
+
+@pytest.fixture()
+def fresh_deployed(dmv_scenario):
+    dmv_scenario.reset()
+    return DeployedEstimator(
+        dmv_scenario.model, dmv_scenario.executor, update_steps=3
+    )
+
+
+class TestGateProtocol:
+    def test_base_gate_is_a_no_op(self, dmv_scenario):
+        gate = Gate()
+        queries = dmv_scenario.train_workload.queries[:4]
+        assert not gate.screen(queries).any()
+        assert gate.review_update(dmv_scenario.model, dmv_scenario.train_workload)
+
+    def test_callable_gate_wraps_legacy_filter(self, dmv_scenario):
+        gate = CallableGate(lambda qs: np.ones(len(qs), dtype=bool), name="legacy")
+        assert gate.screen(dmv_scenario.train_workload.queries[:3]).all()
+        assert gate.name == "legacy"
+
+    def test_screening_gate_rejections_are_attributed(self, fresh_deployed, dmv_scenario):
+        class RejectFirst(Gate):
+            name = "reject-first"
+
+            def screen(self, queries):
+                mask = np.zeros(len(queries), dtype=bool)
+                mask[0] = True
+                return mask
+
+        fresh_deployed.add_gate(RejectFirst())
+        report = fresh_deployed.execute(dmv_scenario.train_workload.queries[:5])
+        assert report.executed == 5
+        assert report.rejected == 1
+        assert report.rejected_by == {"reject-first": 1}
+        assert report.updated and not report.rolled_back
+
+    def test_review_veto_rolls_back_parameters(self, fresh_deployed, dmv_scenario):
+        class Veto(Gate):
+            name = "veto"
+
+            def review_update(self, model, workload):
+                return False
+
+        before = fresh_deployed.snapshot()
+        fresh_deployed.add_gate(Veto())
+        report = fresh_deployed.execute(dmv_scenario.train_workload.queries[:5])
+        assert report.rolled_back and not report.updated
+        assert report.update_losses  # the update ran before being vetoed
+        after = fresh_deployed.snapshot()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+
+class TestDetectorGate:
+    def test_screen_matches_detector_and_stamps_clock(self, dmv_scenario):
+        detector = get_detector(dmv_scenario)
+        gate = detector.as_gate(dmv_scenario.encoder)
+        queries = dmv_scenario.train_workload.queries[:6]
+        with use_clock(FakeClock(tick=1.0, start=100.0)):
+            mask = gate.screen(queries)
+            gate.screen(queries)
+        expected = detector.is_abnormal(dmv_scenario.encoder.encode_many(queries))
+        np.testing.assert_array_equal(mask, expected)
+        assert [obs.at for obs in gate.observations] == [101.0, 102.0]
+        assert all(obs.total == 6 for obs in gate.observations)
+        assert gate.observations[0].flagged == int(expected.sum())
+
+    def test_flagging_detector_blocks_update_through_execute(
+        self, fresh_deployed, dmv_scenario
+    ):
+        detector = get_detector(dmv_scenario)
+        previous = detector.threshold
+        try:
+            detector.set_threshold(1e-12)  # everything is abnormal now
+            gate = detector.as_gate(dmv_scenario.encoder)
+            fresh_deployed.add_gate(gate)
+            before = fresh_deployed.snapshot()
+            report = fresh_deployed.execute(dmv_scenario.train_workload.queries[:5])
+        finally:
+            detector.set_threshold(previous)
+        assert report.rejected == 5
+        assert report.rejected_by == {"vae-detector": 5}
+        assert not report.updated
+        after = fresh_deployed.snapshot()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+        assert gate.observations[0].flagged == 5
+
+
+class TestClassifierGate:
+    @pytest.fixture(scope="class")
+    def classifier(self, dmv_scenario):
+        normal = dmv_scenario.train_workload.encode(dmv_scenario.encoder)
+        rng_shift = np.roll(normal, 1, axis=1) + 0.75  # crude stand-in poison
+        clf = PoisonClassifier(dmv_scenario.encoder.dim, hidden_dim=16, seed=0)
+        clf.fit(normal, rng_shift, epochs=30, seed=0)
+        return clf
+
+    def test_as_gate_screens_like_predict(self, classifier, dmv_scenario):
+        gate = classifier.as_gate(dmv_scenario.encoder, threshold=0.5)
+        assert isinstance(gate, ClassifierGate)
+        queries = dmv_scenario.train_workload.queries[:8]
+        expected = classifier.predict(
+            dmv_scenario.encoder.encode_many(queries), threshold=0.5
+        )
+        np.testing.assert_array_equal(gate.screen(queries), expected)
+
+    def test_gate_accounting_through_execute(
+        self, classifier, fresh_deployed, dmv_scenario
+    ):
+        gate = classifier.as_gate(dmv_scenario.encoder, threshold=0.5)
+        fresh_deployed.add_gate(gate)
+        queries = dmv_scenario.train_workload.queries[:8]
+        flagged = int(gate.screen(queries).sum())
+        report = fresh_deployed.execute(queries)
+        assert report.rejected == flagged
+        if flagged:
+            assert report.rejected_by == {"poison-classifier": flagged}
+        else:
+            assert report.rejected_by == {}

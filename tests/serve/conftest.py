@@ -1,0 +1,38 @@
+"""Shared fixtures for serve tests: a small trained model on DMV."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.ce import DeployedEstimator, TrainConfig, create_model, train_model
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def serve_world():
+    """One trained smoke-scale model shared by every serve test."""
+    db = load_dataset("dmv", scale="smoke", seed=0)
+    executor = Executor(db)
+    generator = WorkloadGenerator(db, executor, seed=1)
+    train = generator.generate(60)
+    encoder = QueryEncoder(db.schema)
+    model = create_model("fcn", encoder, hidden_dim=12, seed=0)
+    train_model(model, train, TrainConfig(epochs=15, seed=0))
+    return SimpleNamespace(
+        db=db,
+        executor=executor,
+        generator=generator,
+        train=train,
+        encoder=encoder,
+        model=model,
+        clean_state=model.state_dict(),
+    )
+
+
+@pytest.fixture()
+def deployed(serve_world):
+    """A fresh deployment facade over clean parameters, every test."""
+    serve_world.model.load_state_dict(serve_world.clean_state)
+    return DeployedEstimator(serve_world.model, serve_world.executor, update_steps=3)

@@ -1,0 +1,112 @@
+"""Seeded traffic replay: arrival determinism, client mix, clock discipline."""
+
+import pytest
+
+from repro.serve import EstimatorServer, ReplayConfig, TrafficReplay
+from repro.utils.clock import FakeClock, ManualClock, use_clock
+from repro.utils.errors import ReproError
+
+
+@pytest.fixture()
+def pools(serve_world):
+    benign = serve_world.train.queries
+    poison = benign[:5]  # any distinct pool works for driver mechanics
+    return benign, poison
+
+
+class TestArrivals:
+    def test_same_seed_gives_identical_trace(self, pools):
+        benign, poison = pools
+        config = ReplayConfig(qps=100.0, poison_fraction=0.3, seed=7)
+        first = TrafficReplay(benign, poison, config).arrivals(50)
+        second = TrafficReplay(benign, poison, config).arrivals(50)
+        assert [(a.at, a.client) for a in first] == [(a.at, a.client) for a in second]
+        assert [a.query.cache_key() for a in first] == [
+            a.query.cache_key() for a in second
+        ]
+
+    def test_times_strictly_increase_at_roughly_target_qps(self, pools):
+        benign, poison = pools
+        arrivals = TrafficReplay(
+            benign, poison, ReplayConfig(qps=200.0, seed=3)
+        ).arrivals(400)
+        times = [a.at for a in arrivals]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        rate = len(times) / times[-1]
+        assert 140.0 < rate < 280.0  # exponential interarrivals around 200 qps
+
+    def test_poison_fraction_controls_client_mix(self, pools):
+        benign, poison = pools
+        all_benign = TrafficReplay(
+            benign, poison, ReplayConfig(poison_fraction=0.0, seed=1)
+        ).arrivals(40)
+        assert all(a.client == "benign" for a in all_benign)
+        all_attack = TrafficReplay(
+            benign, poison, ReplayConfig(poison_fraction=1.0, seed=1)
+        ).arrivals(40)
+        assert all(a.client == "attacker" for a in all_attack)
+
+    def test_successive_calls_continue_the_stream(self, pools):
+        benign, poison = pools
+        config = ReplayConfig(seed=9)
+        whole = TrafficReplay(benign, poison, config).arrivals(20)
+        split = TrafficReplay(benign, poison, config)
+        head = split.arrivals(10)
+        tail = split.arrivals(10, start=head[-1].at)
+        assert [a.at for a in head + tail] == [a.at for a in whole]
+
+
+class TestValidation:
+    def test_rejects_bad_configs(self, pools):
+        benign, poison = pools
+        with pytest.raises(ReproError):
+            TrafficReplay([], poison)
+        with pytest.raises(ReproError):
+            TrafficReplay(benign, [], ReplayConfig(poison_fraction=0.5))
+        with pytest.raises(ReproError):
+            TrafficReplay(benign, poison, ReplayConfig(poison_fraction=1.5))
+        with pytest.raises(ReproError):
+            TrafficReplay(benign, poison, ReplayConfig(qps=0.0))
+        with pytest.raises(ReproError):
+            TrafficReplay(benign, poison, ReplayConfig(service_hz=-1.0))
+
+
+class TestDrive:
+    def test_requires_a_manual_clock(self, deployed, pools):
+        benign, poison = pools
+        replay = TrafficReplay(benign, poison)
+        with use_clock(FakeClock()):
+            server = EstimatorServer(deployed)
+            with pytest.raises(ReproError):
+                replay.drive(server, 4)
+
+    def test_drains_queue_and_accounts_every_arrival(self, deployed, pools):
+        benign, poison = pools
+        replay = TrafficReplay(
+            benign, poison, ReplayConfig(qps=64.0, service_hz=16.0, seed=2)
+        )
+        with use_clock(ManualClock()) as clock:
+            server = EstimatorServer(deployed, max_batch=8)
+            result = replay.drive(server, 40, clock=clock)
+        assert result.arrivals == 40
+        assert result.benign == 40  # poison_fraction defaults to 0
+        assert server.queue_depth == 0
+        assert server.stats.completed == 40
+        assert result.elapsed > 0
+
+    def test_overload_with_deadlines_sheds_requests(self, deployed, pools):
+        benign, poison = pools
+        # arrivals far outpace service capacity and deadlines are tight:
+        # the queue backs up and late requests must be shed, not served.
+        replay = TrafficReplay(
+            benign,
+            poison,
+            ReplayConfig(qps=2000.0, service_hz=4.0, timeout=0.3, seed=5),
+        )
+        with use_clock(ManualClock()) as clock:
+            server = EstimatorServer(deployed, max_queue=16, max_batch=4)
+            replay.drive(server, 60, clock=clock)
+        stats = server.stats
+        assert stats.shed > 0
+        assert stats.rejected > 0  # bounded queue pushed back too
+        assert stats.completed + stats.shed + stats.rejected == 60

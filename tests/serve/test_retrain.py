@@ -1,0 +1,147 @@
+"""Guarded promotion: calibration, veto/rollback, retrain-loop accounting."""
+
+import numpy as np
+import pytest
+
+from repro.serve import PromotionGuard, RetrainLoop, ServeStats
+from repro.utils.errors import TrainingError
+
+
+@pytest.fixture(scope="session")
+def validation(serve_world):
+    return serve_world.generator.generate(20)
+
+
+def params_equal(a, b):
+    return all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestPromotionGuard:
+    def test_requires_calibration_before_review(self, serve_world, validation):
+        guard = PromotionGuard(validation)
+        with pytest.raises(TrainingError):
+            guard.review_update(serve_world.model, validation)
+
+    def test_validates_inputs(self, serve_world, validation):
+        with pytest.raises(TrainingError):
+            PromotionGuard(validation[0:0])
+        with pytest.raises(TrainingError):
+            PromotionGuard(validation, factor=0.0)
+
+    def test_generous_factor_admits_and_tight_factor_vetoes(
+        self, deployed, serve_world, validation
+    ):
+        generous = PromotionGuard(validation, factor=1e6)
+        generous.calibrate(serve_world.model)
+        assert generous.baseline_qerror > 0
+        assert generous.review_update(serve_world.model, validation)
+        assert (generous.admissions, generous.vetoes) == (1, 0)
+
+        tight = PromotionGuard(validation, factor=1e-9)
+        tight.calibrate(serve_world.model)
+        assert not tight.review_update(serve_world.model, validation)
+        assert (tight.admissions, tight.vetoes) == (0, 1)
+        assert tight.last_candidate_qerror == pytest.approx(tight.baseline_qerror)
+
+
+class TestRetrainLoop:
+    def test_polls_only_once_buffer_reaches_threshold(self, deployed, serve_world):
+        loop = RetrainLoop(deployed, retrain_every=4)
+        queries = [serve_world.generator.random_query() for _ in range(4)]
+        for q in queries[:3]:
+            loop.observe(q)
+            assert loop.poll() is None
+        loop.observe(queries[3])
+        assert loop.due()
+        event = loop.poll()
+        assert event is not None
+        assert event.round_index == 0
+        assert event.observed == 4
+        assert loop.pending == 0
+
+    def test_unguarded_update_promotes(self, deployed, serve_world):
+        before = deployed.snapshot()
+        loop = RetrainLoop(deployed, retrain_every=8)
+        for _ in range(8):
+            loop.observe(serve_world.generator.random_query())
+        event = loop.poll()
+        assert event.promoted and not event.rolled_back
+        assert not params_equal(before, deployed.snapshot())
+
+    def test_vetoed_update_rolls_back_bitwise(self, deployed, serve_world, validation):
+        guard = PromotionGuard(validation, factor=1e-9)
+        promoted_flags = []
+        loop = RetrainLoop(
+            deployed,
+            retrain_every=4,
+            guard=guard,
+            on_promote=lambda: promoted_flags.append(True),
+        )
+        before = deployed.snapshot()
+        for _ in range(4):
+            loop.observe(serve_world.generator.random_query())
+        event = loop.poll()
+        assert event.rolled_back and not event.promoted
+        assert guard.vetoes == 1
+        assert promoted_flags == []
+        assert params_equal(before, deployed.snapshot())
+        assert event.candidate_qerror is not None
+        assert event.baseline_qerror == guard.baseline_qerror
+
+    def test_promotion_fires_on_promote_hook(self, deployed, serve_world, validation):
+        calls = []
+        guard = PromotionGuard(validation, factor=1e6)
+        loop = RetrainLoop(
+            deployed, retrain_every=4, guard=guard, on_promote=lambda: calls.append(1)
+        )
+        for _ in range(4):
+            loop.observe(serve_world.generator.random_query())
+        event = loop.poll()
+        assert event.promoted
+        assert calls == [1]
+
+    def test_retrain_round_is_deterministic(self, deployed, serve_world, validation):
+        queries = [serve_world.generator.random_query() for _ in range(6)]
+        snapshot = deployed.snapshot()
+        results = []
+        for _ in range(2):
+            deployed.restore(snapshot)
+            guard = PromotionGuard(validation, factor=1e6)
+            loop = RetrainLoop(deployed, retrain_every=6, guard=guard)
+            for q in queries:
+                loop.observe(q)
+            event = loop.poll()
+            results.append((event.candidate_qerror, deployed.snapshot()))
+        (q1, p1), (q2, p2) = results
+        assert q1 == q2
+        assert params_equal(p1, p2)
+
+    def test_buffer_is_bounded_dropping_oldest(self, deployed, serve_world):
+        loop = RetrainLoop(deployed, retrain_every=100, max_buffer=5)
+        for _ in range(8):
+            loop.observe(serve_world.generator.random_query())
+        assert loop.pending == 5
+
+    def test_stats_track_rounds_and_rollbacks(self, deployed, serve_world, validation):
+        stats = ServeStats()
+        guard = PromotionGuard(validation, factor=1e-9)
+        loop = RetrainLoop(deployed, retrain_every=4, guard=guard, stats=stats)
+        for _ in range(4):
+            loop.observe(serve_world.generator.random_query())
+        loop.poll()
+        assert stats.retrain_rounds == 1
+        assert stats.rollbacks == 1
+        assert stats.promotions == 0
+
+    def test_retrain_every_must_be_positive(self, deployed):
+        with pytest.raises(TrainingError):
+            RetrainLoop(deployed, retrain_every=0)
+
+    def test_event_as_dict_is_json_ready(self, deployed, serve_world):
+        loop = RetrainLoop(deployed, retrain_every=4)
+        for _ in range(4):
+            loop.observe(serve_world.generator.random_query())
+        payload = loop.poll().as_dict()
+        assert payload["round"] == 0
+        assert payload["observed"] == 4
+        assert isinstance(payload["rejected_by"], dict)

@@ -1,0 +1,80 @@
+"""serve-sim end to end: determinism, report shape, the guard's effect."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeSimConfig, format_serve_report, run_serve_sim
+
+#: dmv/fcn shares the process-wide scenario cache with the attack tests.
+FAST = ServeSimConfig(
+    dataset="dmv",
+    model_type="fcn",
+    rounds=2,
+    requests_per_round=32,
+    attack_method="random",
+)
+
+
+@pytest.fixture(scope="session")
+def fast_report():
+    return run_serve_sim(FAST)
+
+
+class TestReportShape:
+    def test_arms_and_trajectories(self, fast_report):
+        assert fast_report["schema_version"] == 1
+        assert set(fast_report["arms"]) == {"unguarded", "guarded"}
+        for arm in fast_report["arms"].values():
+            assert len(arm["qerror_trajectory"]) == FAST.rounds
+            assert len(arm["rounds"]) == FAST.rounds
+            assert arm["baseline_qerror"] > 0
+            assert arm["stats"]["completed"] > 0
+        assert fast_report["arms"]["guarded"]["guard"]["factor"] == FAST.guard_factor
+        assert "guard" not in fast_report["arms"]["unguarded"]
+
+    def test_both_arms_see_identical_traffic(self, fast_report):
+        unguarded = fast_report["arms"]["unguarded"]["rounds"]
+        guarded = fast_report["arms"]["guarded"]["rounds"]
+        for a, b in zip(unguarded, guarded):
+            assert (a["benign"], a["attacker"]) == (b["benign"], b["attacker"])
+
+    def test_format_mentions_both_arms(self, fast_report):
+        text = format_serve_report(fast_report)
+        assert "unguarded" in text and "guarded" in text
+        assert "serve-sim" in text
+
+
+class TestDeterminism:
+    def test_same_config_yields_byte_identical_json(self, fast_report):
+        again = run_serve_sim(FAST)
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            fast_report, sort_keys=True
+        )
+
+    def test_different_seed_changes_the_traffic(self, fast_report):
+        other = run_serve_sim(
+            ServeSimConfig(**{**FAST.__dict__, "seed": 1})
+        )
+        assert json.dumps(other, sort_keys=True) != json.dumps(
+            fast_report, sort_keys=True
+        )
+
+
+class TestGuardEffect:
+    def test_guard_reduces_post_attack_degradation_under_pace(self):
+        report = run_serve_sim(
+            ServeSimConfig(
+                dataset="dmv",
+                model_type="fcn",
+                rounds=2,
+                requests_per_round=48,
+                attack_method="pace",
+            )
+        )
+        effect = report["guard_effect"]
+        assert effect["guard_wins"]
+        assert effect["unguarded_final_qerror"] > effect["guarded_final_qerror"]
+        # the guard actually intervened: at least one update was vetoed
+        assert report["arms"]["guarded"]["stats"]["rollbacks"] > 0
+        assert report["arms"]["unguarded"]["stats"]["rollbacks"] == 0

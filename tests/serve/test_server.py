@@ -1,0 +1,170 @@
+"""EstimatorServer: micro-batching, backpressure, shedding, caching."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DONE,
+    REJECTED,
+    SHED,
+    EstimateCache,
+    EstimatorServer,
+    ServeStats,
+)
+from repro.utils.clock import ManualClock, use_clock
+
+
+class TestMicroBatching:
+    def test_batched_estimates_match_sequential_within_1e9(self, deployed, serve_world):
+        queries = [serve_world.generator.random_query() for _ in range(20)]
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, max_batch=8)
+            requests = [server.submit(q) for q in queries]
+            server.run_until_idle()
+        sequential = [deployed.explain(q) for q in queries]
+        assert all(r.status == DONE for r in requests)
+        np.testing.assert_allclose(
+            [r.estimate for r in requests], sequential, rtol=0.0, atol=1e-9
+        )
+
+    def test_step_serves_at_most_max_batch(self, deployed, serve_world):
+        queries = [serve_world.generator.random_query() for _ in range(10)]
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, max_batch=4)
+            for q in queries:
+                server.submit(q)
+            first = server.step()
+            assert len(first) == 4
+            assert server.queue_depth == 6
+            server.run_until_idle()
+        assert server.stats.batches == 3
+        assert server.stats.completed == 10
+
+    def test_run_until_idle_bounds_steps(self, deployed, serve_world):
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, max_batch=1)
+            for _ in range(3):
+                server.submit(serve_world.generator.random_query())
+            with pytest.raises(RuntimeError):
+                server.run_until_idle(max_steps=1)
+
+    def test_constructor_validates_limits(self, deployed):
+        with pytest.raises(ValueError):
+            EstimatorServer(deployed, max_queue=0)
+        with pytest.raises(ValueError):
+            EstimatorServer(deployed, max_batch=0)
+
+
+class TestBackpressure:
+    def test_submissions_beyond_queue_bound_are_rejected(self, deployed, serve_world):
+        queries = [serve_world.generator.random_query() for _ in range(6)]
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, max_queue=4)
+            requests = [server.submit(q) for q in queries]
+            statuses = [r.status for r in requests]
+            assert statuses.count(REJECTED) == 2
+            assert server.queue_depth == 4
+            assert server.stats.rejected == 2
+            assert server.stats.queue_depth_peak == 4
+            served = server.run_until_idle()
+        assert len(served) == 4
+        assert all(r.estimate is None for r in requests if r.status == REJECTED)
+
+
+class TestShedding:
+    def test_expired_deadline_is_shed_not_served(self, deployed, serve_world):
+        q1, q2 = (serve_world.generator.random_query() for _ in range(2))
+        with use_clock(ManualClock()) as clock:
+            server = EstimatorServer(deployed)
+            patient = server.submit(q1, timeout=5.0)
+            hurried = server.submit(q2, timeout=0.5)
+            clock.advance(1.0)
+            server.run_until_idle()
+        assert patient.status == DONE
+        assert hurried.status == SHED
+        assert hurried.estimate is None
+        assert server.stats.shed == 1
+
+    def test_default_timeout_applies_when_submit_omits_one(self, deployed, serve_world):
+        with use_clock(ManualClock()) as clock:
+            server = EstimatorServer(deployed, default_timeout=0.25)
+            request = server.submit(serve_world.generator.random_query())
+            assert request.deadline == pytest.approx(0.25)
+            clock.advance(1.0)
+            server.run_until_idle()
+        assert request.status == SHED
+
+    def test_latency_is_exact_under_manual_clock(self, deployed, serve_world):
+        with use_clock(ManualClock()) as clock:
+            server = EstimatorServer(deployed)
+            request = server.submit(serve_world.generator.random_query())
+            clock.advance(2.0)
+            server.run_until_idle()
+        assert request.latency == pytest.approx(2.0)
+        summary = server.stats.latency_summary()
+        assert summary["n"] == 1
+        assert summary["p50"] == pytest.approx(2.0)
+        assert summary["p99"] == pytest.approx(2.0)
+
+
+class TestCache:
+    def test_resubmission_hits_cache_with_identical_estimate(self, deployed, serve_world):
+        query = serve_world.generator.random_query()
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, cache=EstimateCache(capacity=8))
+            first = server.submit(query)
+            server.run_until_idle()
+            second = server.submit(query)
+            server.run_until_idle()
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.estimate == first.estimate
+        assert server.stats.cache_hits == 1
+        assert server.stats.cache_misses == 1
+        assert server.stats.cache_hit_rate() == pytest.approx(0.5)
+
+    def test_invalidation_clears_entries(self, deployed, serve_world):
+        query = serve_world.generator.random_query()
+        cache = EstimateCache(capacity=8)
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, cache=cache)
+            server.submit(query)
+            server.run_until_idle()
+            assert len(cache) == 1
+            cache.invalidate()
+            assert len(cache) == 0
+            assert cache.invalidations == 1
+            again = server.submit(query)
+            server.run_until_idle()
+        assert not again.from_cache
+
+    def test_lru_eviction_beyond_capacity(self, serve_world):
+        cache = EstimateCache(capacity=2)
+        q1, q2, q3 = (serve_world.generator.random_query() for _ in range(3))
+        cache.put(q1, 1.0)
+        cache.put(q2, 2.0)
+        assert cache.get(q1) == 1.0  # refreshes q1; q2 becomes the oldest
+        cache.put(q3, 3.0)
+        assert len(cache) == 2
+        assert cache.get(q2) is None
+        assert cache.get(q1) == 1.0 and cache.get(q3) == 3.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EstimateCache(capacity=0)
+
+
+class TestStats:
+    def test_snapshot_is_json_ready_and_consistent(self, deployed, serve_world):
+        with use_clock(ManualClock()):
+            server = EstimatorServer(deployed, stats=ServeStats())
+            for _ in range(5):
+                server.submit(serve_world.generator.random_query())
+            server.run_until_idle()
+        snap = server.stats.snapshot()
+        assert snap["submitted"] == 5
+        assert snap["completed"] == 5
+        assert snap["mean_batch_size"] == pytest.approx(5.0)
+        assert set(snap["latency"]) == {"n", "mean", "p50", "p95", "p99", "max"}
+        assert server.stats.throughput(10.0) == pytest.approx(0.5)
+        assert server.stats.throughput(0.0) == 0.0

@@ -4,7 +4,41 @@ import time
 
 import pytest
 
-from repro.utils.clock import FakeClock, get_clock, install_clock, use_clock
+from repro.utils.clock import (
+    FakeClock,
+    ManualClock,
+    get_clock,
+    install_clock,
+    use_clock,
+)
+
+
+class TestManualClock:
+    def test_reading_is_side_effect_free(self):
+        clock = ManualClock(start=5.0)
+        assert clock() == 5.0
+        assert clock() == 5.0
+
+    def test_advance_moves_time_forward(self):
+        clock = ManualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.0) == 1.5
+        assert clock() == 1.5
+
+    def test_set_jumps_to_absolute_instant(self):
+        clock = ManualClock(start=1.0)
+        assert clock.set(3.25) == 3.25
+        assert clock.set(3.25) == 3.25  # staying put is allowed
+        assert clock() == 3.25
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-0.1)
+
+    def test_rejects_backwards_set(self):
+        clock = ManualClock(start=2.0)
+        with pytest.raises(ValueError):
+            clock.set(1.0)
 
 
 class TestFakeClock:
