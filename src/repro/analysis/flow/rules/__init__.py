@@ -6,4 +6,5 @@ from repro.analysis.flow.rules import (  # noqa: F401 — imports register rules
     r009_shape_contract,
     r010_span_leak,
     r011_blocking_call,
+    r012_adhoc_artifact_write,
 )

@@ -1,0 +1,109 @@
+"""R012 adhoc-artifact-write: every durable byte goes through the store.
+
+PR 5's durability guarantees (atomic write-then-rename, torn-write
+detection, fault-injectable crash boundaries, byte-identical resume) all
+hang on one funnel: :func:`repro.store.io.atomic_write_bytes` and the
+helpers above it. A library module that opens a file for writing, calls
+``json.dump``, or uses ``Path.write_text``/``write_bytes`` directly can
+leave a truncated artifact behind on a crash — precisely the failure the
+store exists to rule out — and silently escapes the fault-injection
+sweep, so the crash-recovery tests prove nothing about it.
+
+The rule flags, in target library modules (the :mod:`repro.store`
+package itself and test/benchmark/example trees are exempt):
+
+* ``open(path, mode)`` where the mode string writes (``w``/``a``/``x``
+  or ``+``);
+* ``json.dump`` calls (``json.dumps`` — producing a string — is fine);
+* ``.write_text(...)`` / ``.write_bytes(...)`` attribute calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import ModuleInfo, Program
+from repro.analysis.walker import Finding, canonical_call_name
+
+#: Attribute calls that put bytes on disk without the atomic funnel.
+_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+
+#: ``open`` mode characters that imply writing.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+#: Directory names whose contents may write ad hoc (not library code).
+_EXEMPT_DIRS = frozenset({"tests", "benchmarks", "examples"})
+
+
+def _is_exempt_module(module: ModuleInfo) -> bool:
+    # The store package IS the funnel; everything under a ``store``
+    # package keeps its low-level ``open`` rights.
+    if "store" in module.name.split("."):
+        return True
+    return any(part in _EXEMPT_DIRS for part in module.path_parts)
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The mode string if this is a builtin ``open`` call that writes."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return None
+    mode_node = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if not (isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str)):
+        return None
+    mode = mode_node.value
+    if _WRITE_MODE_CHARS & set(mode):
+        return mode
+    return None
+
+
+@register_flow
+class AdhocArtifactWrite(FlowRule):
+    rule_id = "R012"
+    title = "adhoc-artifact-write"
+    severity = "error"
+    hint = (
+        "route the write through repro.store.io (atomic_write_json / "
+        "atomic_write_bytes) or an ArtifactStore so a crash can never "
+        "leave a truncated artifact; suppress with '# noqa: R012' only "
+        "for genuinely non-durable output"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        for module in program.target_modules():
+            if _is_exempt_module(module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                described = self._adhoc_write(module, node)
+                if described is None:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{described} bypasses the artifact store's atomic "
+                    f"writer — a crash here leaves a torn file no "
+                    f"recovery path will detect",
+                )
+
+    @staticmethod
+    def _adhoc_write(module: ModuleInfo, node: ast.Call) -> str | None:
+        mode = _open_write_mode(node)
+        if mode is not None:
+            return f"open(..., {mode!r})"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_ATTRS
+        ):
+            return f".{node.func.attr}()"
+        canonical = canonical_call_name(node, module.aliases)
+        if canonical == "json.dump":
+            return "json.dump()"
+        return None

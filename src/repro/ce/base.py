@@ -61,6 +61,29 @@ class CardinalityEstimator(Module):
         return np.exp(np.asarray(normalized) * self.log_cap)
 
     # ------------------------------------------------------------------
+    # checkpointing (parameters + non-parameter estimator state)
+    # ------------------------------------------------------------------
+    #: Reserved state-dict key carrying the calibrated log cap. The plain
+    #: Module state dict holds parameters only; an estimator restored
+    #: without its log cap would denormalize into a different scale, so
+    #: durable checkpoints must round-trip both.
+    _LOG_CAP_KEY = "__meta__.log_cap"
+
+    def full_state_dict(self) -> dict[str, np.ndarray]:
+        """Parameters plus normalization state — enough to restore bitwise."""
+        state = self.state_dict()
+        state[self._LOG_CAP_KEY] = np.float64(self.log_cap)
+        return state
+
+    def load_full_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`full_state_dict` (tolerates a parameters-only dict)."""
+        state = dict(state)
+        cap = state.pop(self._LOG_CAP_KEY, None)
+        if cap is not None:
+            self.log_cap = float(np.asarray(cap).reshape(-1)[0])
+        self.load_state_dict(state)
+
+    # ------------------------------------------------------------------
     # estimation
     # ------------------------------------------------------------------
     def estimate_encoded(self, encodings: np.ndarray) -> np.ndarray:

@@ -26,6 +26,10 @@ from repro.metrics import QErrorSummary, render_table
 from repro.utils.config import available_scales, get_scale
 
 
+#: Default on-disk location of the durable artifact/run store.
+DEFAULT_STORE = "runs-store"
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=DATASET_NAMES, default="dmv")
     parser.add_argument("--model", choices=MODEL_TYPES, default="fcn")
@@ -94,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="full audit: lint + whole-program flow rules (R007-R011) "
+        help="full audit: lint + whole-program flow rules (R007-R012) "
              "+ gradient audit + sanitized autograd and serve smoke passes",
     )
     analyze.add_argument("paths", nargs="*", metavar="PATH",
@@ -154,6 +158,63 @@ def build_parser() -> argparse.ArgumentParser:
     gradcheck.add_argument("--tolerance", type=float, default=None,
                            help="max relative error allowed (default: 1e-4)")
     gradcheck.add_argument("--format", choices=("text", "json"), default="text")
+
+    grid = sub.add_parser(
+        "grid",
+        help="durable attack grid: every step checkpointed in a run store, "
+             "resumable after a crash",
+    )
+    grid.add_argument("--datasets", nargs="+", choices=DATASET_NAMES,
+                      default=["dmv"])
+    grid.add_argument("--models", nargs="+", choices=MODEL_TYPES,
+                      default=["fcn"])
+    grid.add_argument("--methods", nargs="+", choices=METHODS,
+                      default=["clean", "random"])
+    grid.add_argument("--scale", choices=available_scales(), default=None)
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--count", type=int, default=None,
+                      help="poisoning queries per cell (default: scale's)")
+    grid.add_argument("--store", default=DEFAULT_STORE,
+                      help=f"artifact store root (default: {DEFAULT_STORE})")
+    grid.add_argument("--run-id", default=None,
+                      help="run id (default: derived from pipeline+seed+params)")
+    grid.add_argument("--resume", action="store_true",
+                      help="resume this run if it already exists")
+    grid.add_argument("--crash-at", default=None, metavar="SITE",
+                      help="inject a deterministic crash at this fault site "
+                           "(fnmatch glob, e.g. 'step:cell:*:pre-commit'); "
+                           "exits 3 — used by the CI crash-resume smoke")
+
+    runs = sub.add_parser("runs", help="inspect and resume durable runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="one summary row per run")
+    runs_show = runs_sub.add_parser(
+        "show", help="steps, artifacts, lineage, and events of one run"
+    )
+    runs_show.add_argument("run_id")
+    runs_resume = runs_sub.add_parser(
+        "resume", help="finish an interrupted run (completed steps replay "
+                       "from their verified checkpoints)"
+    )
+    runs_resume.add_argument("run_id")
+    runs_gc = runs_sub.add_parser(
+        "gc", help="drop unreferenced blobs and stray temp files"
+    )
+    for sp in (runs_list, runs_show, runs_resume, runs_gc):
+        sp.add_argument("--store", default=DEFAULT_STORE,
+                        help=f"artifact store root (default: {DEFAULT_STORE})")
+
+    resume_bench = sub.add_parser(
+        "resume-bench",
+        help="measure warm-resume speedup (crash mid-grid, resume, compare "
+             "digests); writes BENCH_PR5.json",
+    )
+    resume_bench.add_argument("--methods", nargs="+", choices=METHODS,
+                              default=["clean", "random", "lbs"])
+    resume_bench.add_argument("--scale", choices=available_scales(), default=None)
+    resume_bench.add_argument("--seed", type=int, default=0)
+    resume_bench.add_argument("--output", default=None,
+                              help="report path (default: benchmarks/BENCH_PR5.json)")
 
     sub.add_parser("info", help="list datasets, model types, methods, scales")
     return parser
@@ -257,9 +318,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_sim(args: argparse.Namespace) -> int:
-    import json
-
     from repro.serve import ServeSimConfig, format_serve_report, run_serve_sim
+    from repro.store.io import atomic_write_json
 
     config = ServeSimConfig(
         dataset=args.dataset,
@@ -276,11 +336,8 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     report = run_serve_sim(config)
     print(format_serve_report(report))
     if args.output:
-        out = Path(args.output)
-        out.parent.mkdir(parents=True, exist_ok=True)
         # sort_keys makes equal-seed runs byte-identical on disk.
-        out.write_text(json.dumps(report, sort_keys=True, indent=2) + "\n",
-                       encoding="utf-8")
+        out = atomic_write_json(Path(args.output), report, sort_keys=True)
         print(f"\nreport written to {out}")
     return 0
 
@@ -439,6 +496,114 @@ def cmd_gradcheck(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _print_grid_result(store, result) -> None:
+    print(f"run:      {result.run_id}")
+    print(f"executed: {len(result.executed)}  skipped: {len(result.skipped)}")
+    report = result.final
+    for cell in report.get("grid", []):
+        print(f"  {cell['dataset']}/{cell['model']}/{cell['method']}: "
+              f"degradation x{cell['degradation']:.2f} "
+              f"divergence {cell['divergence']:.3f}")
+    digest = store.open_run(result.run_id).step("report")["artifact"]
+    print(f"report:   {digest}")
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    from repro.harness.pipelines import run_grid_durable
+    from repro.store import ArtifactStore, CrashPoint, FaultInjector, FaultSpec, inject
+
+    store = ArtifactStore(args.store)
+    injector = FaultInjector(
+        [FaultSpec(site=args.crash_at, kind="crash")] if args.crash_at else []
+    )
+    try:
+        with inject(injector):
+            result = run_grid_durable(
+                store,
+                datasets=args.datasets,
+                models=args.models,
+                methods=args.methods,
+                scale=args.scale or "smoke",
+                seed=args.seed,
+                count=args.count,
+                run_id=args.run_id,
+                resume=args.resume,
+            )
+    except CrashPoint as crash:
+        run_id = next(iter(store.run_ids()), "<run-id>")
+        print(f"crashed (injected) at {crash.site!r}")
+        print(f"resume with: pace-repro runs resume {run_id} --store {args.store}")
+        return 3
+    _print_grid_result(store, result)
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore, resume_run
+
+    store = ArtifactStore(args.store)
+    if args.runs_command == "list":
+        rows = store.list_runs()
+        if not rows:
+            print(f"no runs in {args.store}")
+            return 0
+        for row in rows:
+            print(f"{row['run_id']}: {row['status']} "
+                  f"({row['steps_done']}/{row['steps_total']} steps, "
+                  f"{row['events']} events, pipeline {row['pipeline']}, "
+                  f"seed {row['seed']})")
+        return 0
+    if args.runs_command == "show":
+        manifest = store.open_run(args.run_id).manifest
+        print(f"run:      {manifest['run_id']}")
+        print(f"pipeline: {manifest['pipeline']}  seed {manifest['seed']}  "
+              f"status {manifest['status']}")
+        for name in manifest["step_order"]:
+            entry = manifest["steps"][name]
+            artifact = entry.get("artifact") or "-"
+            seconds = entry.get("seconds")
+            timing = f" {seconds:.2f}s" if seconds is not None else ""
+            print(f"  [{entry['status']}] {name}{timing} -> {artifact[:12]}")
+            for parent in entry.get("parents", []):
+                print(f"      parent {parent[:12]}")
+        for event in manifest.get("events", []):
+            digest = event.get("digest")
+            suffix = f" -> {digest[:12]}" if digest else ""
+            print(f"  event {event['index']}: {event['kind']}{suffix}")
+        return 0
+    if args.runs_command == "resume":
+        import repro.harness.pipelines  # noqa: F401  (registers builders)
+
+        result = resume_run(store, args.run_id)
+        print(f"resumed {args.run_id}: executed {len(result.executed)}, "
+              f"replayed {len(result.skipped)} from checkpoints")
+        final = store.open_run(args.run_id).step(result.final_step)
+        print(f"final artifact: {final['artifact']}")
+        return 0
+    report = store.gc()
+    print(f"gc: removed {report['removed_objects']} objects "
+          f"({report['bytes_freed']} bytes), kept {report['kept_objects']}, "
+          f"swept {report['stray_tmp_removed']} temp files "
+          f"across {report['runs']} runs")
+    return 0
+
+
+def cmd_resume_bench(args: argparse.Namespace) -> int:
+    from repro.store.bench import DEFAULT_REPORT, format_resume_bench, run_resume_bench
+    from repro.store.io import atomic_write_json
+
+    report = run_resume_bench(
+        methods=tuple(args.methods),
+        scale=args.scale or "smoke",
+        seed=args.seed,
+    )
+    out = atomic_write_json(Path(args.output or DEFAULT_REPORT), report,
+                            sort_keys=False)
+    print(format_resume_bench(report))
+    print(f"\nreport written to {out}")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     print("datasets:   ", ", ".join(DATASET_NAMES))
     print("model types:", ", ".join(MODEL_TYPES))
@@ -460,6 +625,9 @@ def main(argv: list[str] | None = None) -> int:
         "lint": cmd_lint,
         "analyze": cmd_analyze,
         "gradcheck": cmd_gradcheck,
+        "grid": cmd_grid,
+        "runs": cmd_runs,
+        "resume-bench": cmd_resume_bench,
         "info": cmd_info,
     }
     return handlers[args.command](args)

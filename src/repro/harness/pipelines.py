@@ -1,0 +1,223 @@
+"""Durable, resumable experiment pipelines over the attack harness.
+
+The Section-7 attack grid (:func:`repro.harness.experiments.run_grid`)
+recast as a checkpointed step DAG in the artifact store:
+
+* one ``surrogate:<dataset>/<model>`` step per scenario that any
+  surrogate-based method needs — the trained surrogate's full state is
+  persisted as a ``checkpoint`` artifact and becomes the lineage parent
+  of every attack cell that consumed it;
+* one ``cell:<dataset>/<model>/<method>`` step per grid cell, producing
+  the cell's Q-error/divergence payload as a ``json`` artifact;
+* a final ``report`` step merging every cell into one canonical JSON
+  document (the byte-comparison target of the crash-recovery tests).
+
+Every cell runs under a fresh :class:`~repro.utils.clock.FakeClock` and
+derives all randomness from the run seed, so a run killed at any step
+boundary and resumed produces a final report byte-identical to an
+uninterrupted run — while completed cells replay from their checkpoints
+instead of re-attacking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.ce.registry import create_model
+from repro.harness.experiments import (
+    METHODS,
+    AttackOutcome,
+    AttackScenario,
+    get_scenario,
+    get_surrogate,
+    run_attack,
+)
+from repro.metrics.qerror import QErrorSummary
+from repro.store.pipeline import Pipeline, PipelineResult, Step, register_pipeline
+from repro.store.store import ArtifactStore
+from repro.utils.clock import FakeClock, use_clock
+from repro.utils.errors import ReproError
+
+SCHEMA_VERSION = 1
+
+#: Builder name under which the grid pipeline is registered (and the
+#: ``pipeline`` field of its run manifests).
+GRID_PIPELINE = "attack-grid"
+
+#: Name of the final merge step whose artifact is the run's report.
+REPORT_STEP = "report"
+
+#: Methods that never touch a surrogate (no checkpoint dependency).
+_SURROGATE_FREE = ("clean", "random")
+
+
+def surrogate_step_name(dataset: str, model_type: str) -> str:
+    return f"surrogate:{dataset}/{model_type}"
+
+
+def cell_step_name(dataset: str, model_type: str, method: str) -> str:
+    return f"cell:{dataset}/{model_type}/{method}"
+
+
+def outcome_payload(outcome: AttackOutcome) -> dict:
+    """A deterministic, JSON-ready summary of one attack outcome."""
+    return {
+        "method": outcome.method,
+        "degradation": float(outcome.degradation),
+        "divergence": float(outcome.divergence),
+        "poison_queries": len(outcome.poison_queries),
+        "before": asdict(QErrorSummary.from_errors(outcome.before)),
+        "after": asdict(QErrorSummary.from_errors(outcome.after)),
+        "train_seconds": float(outcome.train_seconds),
+        "generate_seconds": float(outcome.generate_seconds),
+        "attack_seconds": float(outcome.attack_seconds),
+        "objective_curve": [float(v) for v in outcome.objective_curve],
+    }
+
+
+def _seat_surrogate(scenario: AttackScenario, state, seed: int) -> None:
+    """Install a checkpointed surrogate so the cell never re-trains it.
+
+    Architecture mirrors :func:`repro.harness.experiments._pace_config`:
+    the surrogate family is the scenario's own model type (the forced
+    known-type path) at the scale's hidden width.
+    """
+    if scenario._surrogate is not None:
+        return
+    surrogate = create_model(
+        scenario.model_type,
+        scenario.encoder,
+        hidden_dim=scenario.scale.hidden_dim,
+        seed=seed,
+    )
+    surrogate.load_full_state_dict(state)
+    scenario._surrogate = surrogate
+
+
+def _surrogate_step_fn(dataset: str, model_type: str, scale: str, seed: int):
+    def fn(_ctx):
+        with use_clock(FakeClock()):
+            scenario = get_scenario(dataset, model_type, scale=scale, seed=seed)
+            surrogate = get_surrogate(scenario, model_type=model_type)
+        return surrogate.full_state_dict()
+
+    return fn
+
+
+def _cell_step_fn(
+    dataset: str,
+    model_type: str,
+    method: str,
+    scale: str,
+    seed: int,
+    count: int | None,
+    surrogate_dep: str | None,
+):
+    def fn(ctx):
+        # A fresh FakeClock per cell: wall-clock fields become a pure
+        # function of the cell's work, independent of which steps ran
+        # before — a resumed suffix times identically to a cold run.
+        with use_clock(FakeClock()):
+            scenario = get_scenario(dataset, model_type, scale=scale, seed=seed)
+            if surrogate_dep is not None:
+                _seat_surrogate(scenario, ctx.inputs[surrogate_dep], seed)
+            outcome = run_attack(scenario, method, count=count, seed=seed)
+        payload = {"dataset": dataset, "model": model_type}
+        payload.update(outcome_payload(outcome))
+        return payload
+
+    return fn
+
+
+def _report_step_fn(params: dict, cell_names: list[str]):
+    def fn(ctx):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tool": "pace-repro grid",
+            "pipeline": GRID_PIPELINE,
+            "datasets": list(params["datasets"]),
+            "models": list(params["models"]),
+            "methods": list(params["methods"]),
+            "scale": params["scale"],
+            "count": params["count"],
+            "seed": ctx.run.manifest["seed"],
+            "cells": len(cell_names),
+            "grid": [ctx.inputs[name] for name in cell_names],
+        }
+
+    return fn
+
+
+@register_pipeline(GRID_PIPELINE)
+def build_attack_grid(params: dict, seed: int) -> Pipeline:
+    """Build the grid pipeline from (JSON-round-trippable) params."""
+    datasets = list(params.get("datasets") or ("dmv",))
+    models = list(params.get("models") or ("fcn",))
+    methods = list(params.get("methods") or _SURROGATE_FREE)
+    scale = params.get("scale") or "smoke"
+    count = params.get("count")
+    unknown = sorted(set(methods) - set(METHODS))
+    if unknown:
+        raise ReproError(f"unknown attack methods {unknown}; expected among {METHODS}")
+    canonical = {
+        "datasets": datasets,
+        "models": models,
+        "methods": methods,
+        "scale": scale,
+        "count": count,
+    }
+    steps: list[Step] = []
+    cell_names: list[str] = []
+    for dataset in datasets:
+        for model_type in models:
+            needs_surrogate = any(m not in _SURROGATE_FREE for m in methods)
+            surrogate_dep = None
+            if needs_surrogate:
+                surrogate_dep = surrogate_step_name(dataset, model_type)
+                steps.append(Step(
+                    name=surrogate_dep,
+                    fn=_surrogate_step_fn(dataset, model_type, scale, seed),
+                    kind="checkpoint",
+                ))
+            for method in methods:
+                dep = surrogate_dep if method not in _SURROGATE_FREE else None
+                name = cell_step_name(dataset, model_type, method)
+                steps.append(Step(
+                    name=name,
+                    fn=_cell_step_fn(dataset, model_type, method, scale, seed,
+                                     count, dep),
+                    deps=(dep,) if dep else (),
+                ))
+                cell_names.append(name)
+    steps.append(Step(
+        name=REPORT_STEP,
+        fn=_report_step_fn(canonical, cell_names),
+        deps=tuple(cell_names),
+        kind="report",
+    ))
+    return Pipeline(GRID_PIPELINE, steps, params=canonical, seed=seed)
+
+
+def run_grid_durable(
+    store: ArtifactStore,
+    datasets=("dmv",),
+    models=("fcn",),
+    methods=_SURROGATE_FREE,
+    scale: str = "smoke",
+    seed: int = 0,
+    count: int | None = None,
+    run_id: str | None = None,
+    resume: bool = False,
+) -> PipelineResult:
+    """Run (or resume) a durable attack grid in ``store``."""
+    pipeline = build_attack_grid(
+        {
+            "datasets": list(datasets),
+            "models": list(models),
+            "methods": list(methods),
+            "scale": scale,
+            "count": count,
+        },
+        seed,
+    )
+    return pipeline.run(store, run_id=run_id, resume=resume)

@@ -31,7 +31,13 @@ from repro.nn.losses import (
     q_error,
     q_error_loss,
 )
-from repro.nn.serialization import load_module, save_module
+from repro.nn.serialization import (
+    load_module,
+    save_module,
+    state_from_bytes,
+    state_to_bytes,
+    validate_state_for,
+)
 
 __all__ = [
     "Tensor",
@@ -73,4 +79,7 @@ __all__ = [
     "kl_standard_normal",
     "save_module",
     "load_module",
+    "state_to_bytes",
+    "state_from_bytes",
+    "validate_state_for",
 ]

@@ -1,27 +1,214 @@
-"""Save/load module parameters as ``.npz`` archives."""
+"""Versioned, validated serialization of module parameters.
+
+Checkpoints are written in a deliberately boring binary container::
+
+    b"REPRO-CKPT" | u32 format version | u64 header length | header JSON | raw arrays
+
+The header lists every array's name, dtype, and shape (sorted by name);
+payload bytes follow in that order, C-contiguous and little-endian. Two
+properties drive the design:
+
+* **Determinism** — the same state dict always produces the same bytes
+  (``np.savez``'s zip container embeds wall-clock timestamps, which
+  would break the content-addressed artifact store's "same parameters,
+  same digest" invariant).
+* **Validation** — loading checks the magic, rejects formats newer than
+  this reader, rejects non-numeric dtypes, and reports missing/extra
+  state-dict keys and per-key shape mismatches with a clear
+  :class:`~repro.utils.errors.SerializationError` instead of a silent
+  partial load.
+
+Legacy ``.npz`` archives produced by earlier revisions are still
+readable (the loader sniffs the zip magic), but everything written from
+now on uses the versioned container.
+"""
 
 from __future__ import annotations
 
+import io
+import json
+import struct
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.utils.errors import SerializationError
+
+#: Current container format version. Version 1 is the implicit legacy
+#: ``.npz`` format (no header at all).
+FORMAT_VERSION = 2
+
+MAGIC = b"REPRO-CKPT"
+_ZIP_MAGIC = b"PK"
+_HEADER_STRUCT = struct.Struct("<IQ")  # format version, header JSON length
 
 
-def save_module(module: Module, path: str | Path) -> None:
-    """Persist ``module.state_dict()`` to ``path`` (``.npz`` appended if absent)."""
+def _validate_array(name: str, value) -> np.ndarray:
+    array = np.asarray(value)
+    if not (np.issubdtype(array.dtype, np.number) or array.dtype == np.bool_):
+        raise SerializationError(
+            f"checkpoint array {name!r} has non-numeric dtype {array.dtype!s}; "
+            f"only numeric/bool arrays can be serialized"
+        )
+    # np.ascontiguousarray promotes 0-d arrays to 1-d, which would change
+    # the recorded shape of scalar entries (e.g. the estimator log cap).
+    if array.ndim and not array.flags["C_CONTIGUOUS"]:
+        array = np.ascontiguousarray(array)
+    return array
+
+
+def state_to_bytes(state: dict[str, np.ndarray]) -> bytes:
+    """Serialize a state dict to deterministic, versioned bytes."""
+    arrays = {}
+    for name in sorted(state):
+        array = _validate_array(name, state[name])
+        # Normalize to little-endian so the bytes (and therefore the
+        # content digest) are platform-independent.
+        if array.dtype.byteorder == ">":
+            array = array.astype(array.dtype.newbyteorder("<"))
+        arrays[name] = array
+    header = {
+        "arrays": [
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+            }
+            for name, array in arrays.items()
+        ],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(_HEADER_STRUCT.pack(FORMAT_VERSION, len(header_bytes)))
+    out.write(header_bytes)
+    for array in arrays.values():
+        out.write(array.tobytes(order="C"))
+    return out.getvalue()
+
+
+def _state_from_legacy_npz(data: bytes) -> dict[str, np.ndarray]:
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def state_from_bytes(data: bytes) -> dict[str, np.ndarray]:
+    """Parse checkpoint bytes back into a state dict (validating as it goes)."""
+    if data[: len(_ZIP_MAGIC)] == _ZIP_MAGIC:
+        # Legacy format-1 archive written with np.savez by older revisions.
+        return _state_from_legacy_npz(data)
+    if data[: len(MAGIC)] != MAGIC:
+        raise SerializationError(
+            "not a repro checkpoint: bad magic (expected a REPRO-CKPT container "
+            "or a legacy .npz archive)"
+        )
+    offset = len(MAGIC)
+    version, header_len = _HEADER_STRUCT.unpack_from(data, offset)
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"checkpoint format version {version} is newer than this reader "
+            f"(supports <= {FORMAT_VERSION}); upgrade the library to load it"
+        )
+    offset += _HEADER_STRUCT.size
+    try:
+        header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt checkpoint header: {exc}") from exc
+    offset += header_len
+    state: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        name = entry["name"]
+        dtype = np.dtype(entry["dtype"])
+        if not (np.issubdtype(dtype, np.number) or dtype == np.bool_):
+            raise SerializationError(
+                f"checkpoint array {name!r} declares non-numeric dtype {dtype!s}"
+            )
+        shape = tuple(int(dim) for dim in entry["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        chunk = data[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise SerializationError(
+                f"truncated checkpoint: array {name!r} needs {nbytes} bytes, "
+                f"only {len(chunk)} remain"
+            )
+        state[name] = np.frombuffer(chunk, dtype=dtype).reshape(shape).copy()
+        offset += nbytes
+    if offset != len(data):
+        raise SerializationError(
+            f"corrupt checkpoint: {len(data) - offset} trailing bytes after "
+            f"the declared arrays"
+        )
+    return state
+
+
+def _resolve_read_path(path: Path) -> Path:
+    if not path.exists() and path.with_suffix(".npz").exists():
+        return path.with_suffix(".npz")
+    return path
+
+
+def validate_state_for(module: Module, state: dict[str, np.ndarray],
+                       context: str = "checkpoint") -> None:
+    """Check ``state`` against ``module`` before loading; raise clearly.
+
+    Reports *all* missing/unexpected keys and every per-key shape
+    mismatch in one :class:`SerializationError`, rather than failing on
+    the first.
+    """
+    own = dict(module.named_parameters())
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    problems = []
+    if missing:
+        problems.append(f"missing keys: {missing}")
+    if unexpected:
+        problems.append(f"unexpected keys: {unexpected}")
+    for name, param in own.items():
+        if name not in state:
+            continue
+        value = np.asarray(state[name])
+        if param.data.shape != value.shape:
+            problems.append(
+                f"shape mismatch for {name!r}: model {param.data.shape}, "
+                f"{context} {value.shape}"
+            )
+    if problems:
+        raise SerializationError(
+            f"{context} does not match {type(module).__name__}: "
+            + "; ".join(problems)
+        )
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Persist ``module.state_dict()`` to ``path`` (``.npz`` appended if absent).
+
+    The write is atomic (temp file + rename), so a crash mid-save never
+    leaves a truncated checkpoint at the final path.
+    """
+    from repro.store.io import atomic_write_bytes
+
     path = Path(path)
-    state = module.state_dict()
-    np.savez(path, **state)
+    if not path.suffix:
+        path = path.with_suffix(".npz")
+    return atomic_write_bytes(path, state_to_bytes(module.state_dict()))
 
 
 def load_module(module: Module, path: str | Path) -> Module:
-    """Load parameters saved by :func:`save_module` into ``module`` (strict)."""
-    path = Path(path)
-    if not path.exists() and path.with_suffix(".npz").exists():
-        path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+    """Load parameters saved by :func:`save_module` into ``module`` (strict).
+
+    Raises :class:`SerializationError` on a corrupt/newer container or a
+    state dict that does not match the module's parameters.
+    """
+    path = _resolve_read_path(Path(path))
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise SerializationError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        state = state_from_bytes(data)
+    except SerializationError as exc:
+        raise SerializationError(f"{path}: {exc}") from exc
+    validate_state_for(module, state, context=f"checkpoint {path.name}")
     module.load_state_dict(state)
     return module

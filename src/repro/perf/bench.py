@@ -70,12 +70,12 @@ def load_report(path: str | Path) -> dict:
 
 
 def write_report(report: dict, path: str | Path) -> Path:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=False)
-        fh.write("\n")
-    return path
+    from repro.store.io import atomic_write_json
+
+    # sort_keys=False keeps the report's authored section order; the
+    # atomic write-then-rename means a crash mid-bench never leaves a
+    # truncated report where a baseline used to be.
+    return atomic_write_json(path, report, sort_keys=False)
 
 
 def _scenario_key(entry: dict) -> tuple[str, str, str]:

@@ -12,7 +12,7 @@ simulation behind ``pace-repro serve-sim`` (:mod:`~repro.serve.scenario`).
 
 from repro.serve.cache import EstimateCache
 from repro.serve.replay import Arrival, ReplayConfig, ReplayRoundResult, TrafficReplay
-from repro.serve.retrain import PromotionGuard, RetrainEvent, RetrainLoop
+from repro.serve.retrain import PromotionGuard, RetrainEvent, RetrainLoop, warm_restart
 from repro.serve.scenario import (
     ServeSimConfig,
     format_serve_report,
@@ -47,4 +47,5 @@ __all__ = [
     "TrafficReplay",
     "format_serve_report",
     "run_serve_sim",
+    "warm_restart",
 ]

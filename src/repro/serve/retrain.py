@@ -26,7 +26,8 @@ from repro.ce.deployment import DeployedEstimator, Gate
 from repro.ce.trainer import evaluate_q_errors
 from repro.db.query import Query
 from repro.serve.stats import ServeStats
-from repro.utils.errors import TrainingError
+from repro.store.store import RunHandle
+from repro.utils.errors import StoreError, TrainingError
 from repro.workload.workload import Workload
 
 
@@ -121,6 +122,11 @@ class RetrainLoop:
         stats: telemetry sink for retrain/promotion/rollback counters.
         max_buffer: hard cap on buffered queries; oldest observations are
             dropped first (the serving layer must bound memory).
+        run: optional artifact-store :class:`~repro.store.store.RunHandle`;
+            when set, every *promoted* model is checkpointed into the store
+            with a lineage edge to the previously promoted checkpoint, and
+            promotion/rollback events land in the run manifest — which is
+            what :func:`warm_restart` replays after a crash.
     """
 
     def __init__(
@@ -131,6 +137,7 @@ class RetrainLoop:
         on_promote=None,
         stats: ServeStats | None = None,
         max_buffer: int = 4096,
+        run: RunHandle | None = None,
     ) -> None:
         if retrain_every <= 0:
             raise TrainingError(f"retrain_every must be positive, got {retrain_every}")
@@ -140,8 +147,16 @@ class RetrainLoop:
         self.on_promote = on_promote
         self.stats = stats
         self.max_buffer = max_buffer
+        self.run = run
         self._buffer: list[Query] = []
         self.events: list[RetrainEvent] = []
+        # Resume lineage where a previous process left it: new promotions
+        # chain off the last checkpoint already recorded in the manifest.
+        self._last_promoted_digest: str | None = None
+        if run is not None:
+            last = run.last_event("promotion")
+            if last is not None:
+                self._last_promoted_digest = last.get("digest")
         if guard is not None and guard not in deployed.gates:
             if guard.baseline_qerror is None:
                 guard.calibrate(deployed.inspect_model())
@@ -195,6 +210,8 @@ class RetrainLoop:
             ),
         )
         self.events.append(event)
+        if self.run is not None and (event.promoted or event.rolled_back):
+            self._persist(event)
         if self.stats is not None:
             self.stats.record_retrain(
                 promoted=event.promoted,
@@ -204,3 +221,56 @@ class RetrainLoop:
         if event.promoted and self.on_promote is not None:
             self.on_promote()
         return event
+
+    # ------------------------------------------------------------------
+    # durable promotion lineage
+    # ------------------------------------------------------------------
+    def _persist(self, event: RetrainEvent) -> None:
+        """Checkpoint a promotion (or log a rollback) into the run store."""
+        if event.promoted:
+            state = self._deployed.inspect_model().full_state_dict()
+            artifact = self.run.store.put_checkpoint(state)
+            parents = (
+                [self._last_promoted_digest] if self._last_promoted_digest else []
+            )
+            self.run.record_artifact(
+                f"promotion-{event.round_index}", artifact, parents=parents
+            )
+            self.run.record_event(
+                "promotion",
+                digest=artifact.digest,
+                round=event.round_index,
+                candidate_qerror=event.candidate_qerror,
+                baseline_qerror=event.baseline_qerror,
+            )
+            self._last_promoted_digest = artifact.digest
+        else:
+            self.run.record_event(
+                "rollback",
+                round=event.round_index,
+                candidate_qerror=event.candidate_qerror,
+                baseline_qerror=event.baseline_qerror,
+            )
+        self.run.commit()
+
+
+def warm_restart(deployed: DeployedEstimator, run: RunHandle) -> str | None:
+    """Restore the last *promoted* checkpoint recorded in ``run``.
+
+    Returns the restored checkpoint's digest, or ``None`` when the run has
+    no promotion events yet (the model is left untouched). The restore is
+    bitwise: parameters and the calibrated log cap come back exactly as
+    the serving process checkpointed them before it died.
+    """
+    last = run.last_event("promotion")
+    if last is None:
+        return None
+    digest = last.get("digest")
+    if not digest:
+        raise StoreError(
+            f"promotion event {last.get('index')} in run {run.run_id!r} "
+            f"carries no checkpoint digest"
+        )
+    state = run.store.get_checkpoint(digest)
+    deployed.inspect_model().load_full_state_dict(state)
+    return digest

@@ -1,0 +1,84 @@
+"""Durable artifact/run store and resumable pipelines (PR 5 tentpole).
+
+Three layers:
+
+:mod:`repro.store.io`
+    Atomic write-then-rename primitives, canonical JSON, retry policy.
+:mod:`repro.store.store`
+    Content-addressed blobs + versioned run manifests with lineage.
+:mod:`repro.store.pipeline`
+    Checkpointed step DAGs memoized in the store; ``resume`` replays
+    completed steps so a killed run finishes byte-identical.
+:mod:`repro.store.faults`
+    Deterministic fault injection (crashes, transient IO errors, torn
+    writes) used to *prove* the above under a kill-at-every-boundary
+    sweep.
+"""
+
+from repro.store.faults import (
+    CrashPoint,
+    FaultInjector,
+    FaultSpec,
+    FiredFault,
+    InjectedIoError,
+    get_injector,
+    inject,
+    install_injector,
+)
+from repro.store.io import (
+    RetryPolicy,
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_json_bytes,
+    jsonify,
+)
+from repro.store.pipeline import (
+    PIPELINE_BUILDERS,
+    Pipeline,
+    PipelineResult,
+    Step,
+    StepContext,
+    build_pipeline,
+    params_digest,
+    register_pipeline,
+    resume_run,
+    step_seed,
+)
+from repro.store.store import (
+    ARTIFACT_KINDS,
+    Artifact,
+    ArtifactStore,
+    RunHandle,
+    content_digest,
+)
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "Artifact",
+    "ArtifactStore",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultSpec",
+    "FiredFault",
+    "InjectedIoError",
+    "PIPELINE_BUILDERS",
+    "Pipeline",
+    "PipelineResult",
+    "RetryPolicy",
+    "RunHandle",
+    "Step",
+    "StepContext",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "build_pipeline",
+    "canonical_json_bytes",
+    "content_digest",
+    "get_injector",
+    "inject",
+    "install_injector",
+    "jsonify",
+    "params_digest",
+    "register_pipeline",
+    "resume_run",
+    "step_seed",
+]

@@ -1,0 +1,129 @@
+"""``pace-repro resume-bench``: warm-resume speedup of the durable grid.
+
+Runs the same smoke attack grid three ways in throwaway stores:
+
+1. **cold** — an uninterrupted durable run, timed end to end;
+2. **crashed** — the identical run killed by an injected
+   :class:`~repro.store.faults.CrashPoint` at the start of its last
+   attack cell (so the expensive surrogate training and the earlier
+   cells are already committed);
+3. **resume** — ``resume_run`` on the crashed store, timed end to end.
+
+The report records the cold/resume wall-clock ratio, the fraction of
+step wall-clock replayed from checkpoints instead of re-executed, and
+whether the resumed report artifact is byte-identical (same content
+digest) to the cold run's — the PR 5 acceptance numbers, written to
+``benchmarks/BENCH_PR5.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.store.faults import CrashPoint, FaultInjector, FaultSpec, inject
+from repro.store.pipeline import resume_run
+from repro.store.store import ArtifactStore
+
+SCHEMA_VERSION = 1
+
+#: Where the resume benchmark report lands by default.
+DEFAULT_REPORT = Path("benchmarks") / "BENCH_PR5.json"
+
+
+def _report_digest(store: ArtifactStore, run_id: str) -> str:
+    return store.open_run(run_id).step("report")["artifact"]
+
+
+def run_resume_bench(
+    methods: tuple[str, ...] = ("clean", "random", "lbs"),
+    dataset: str = "dmv",
+    model_type: str = "fcn",
+    scale: str = "smoke",
+    seed: int = 0,
+) -> dict:
+    """Measure crash-resume correctness and warm-restart savings."""
+    from repro.harness.pipelines import cell_step_name, run_grid_durable
+
+    workdir = Path(tempfile.mkdtemp(prefix="pace-resume-bench-"))
+    try:
+        cold_store = ArtifactStore(workdir / "cold")
+        start = time.perf_counter()
+        cold = run_grid_durable(
+            cold_store, datasets=(dataset,), models=(model_type,),
+            methods=methods, scale=scale, seed=seed,
+        )
+        cold_seconds = time.perf_counter() - start
+        cold_digest = _report_digest(cold_store, cold.run_id)
+
+        # Kill the identical run at the start of its final attack cell:
+        # everything before that boundary is committed and must replay.
+        crash_store = ArtifactStore(workdir / "crash")
+        crash_site = f"step:{cell_step_name(dataset, model_type, methods[-1])}:start"
+        injector = FaultInjector([FaultSpec(site=crash_site, kind="crash")])
+        try:
+            with inject(injector):
+                run_grid_durable(
+                    crash_store, datasets=(dataset,), models=(model_type,),
+                    methods=methods, scale=scale, seed=seed,
+                )
+            raise RuntimeError(f"injected crash at {crash_site!r} never fired")
+        except CrashPoint:
+            pass
+
+        start = time.perf_counter()
+        resumed = resume_run(crash_store, crash_store.run_ids()[0])
+        resume_seconds = time.perf_counter() - start
+        resumed_digest = _report_digest(crash_store, resumed.run_id)
+
+        # Fraction of the cold run's step wall-clock the resume did NOT
+        # redo. Priced against the cold run because the crashed run
+        # shares this process and benefits from in-process caches (e.g.
+        # the surrogate cache), so its manifest under-reports the cost
+        # of the steps the resume gets to skip.
+        total = sum(cold.step_seconds.values())
+        replayed = sum(cold.step_seconds[name] for name in resumed.skipped)
+        skipped_wallclock_fraction = replayed / total if total else 0.0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro resume-bench",
+        "dataset": dataset,
+        "model": model_type,
+        "methods": list(methods),
+        "scale": scale,
+        "seed": seed,
+        "recorded_unix": time.time(),
+        "crash_site": crash_site,
+        "cold_seconds": float(cold_seconds),
+        "resume_seconds": float(resume_seconds),
+        "speedup": float(cold_seconds / resume_seconds) if resume_seconds else 0.0,
+        "steps_total": len(resumed.executed) + len(resumed.skipped),
+        "steps_replayed": len(resumed.skipped),
+        "steps_reexecuted": len(resumed.executed),
+        "skipped_wallclock_fraction": float(skipped_wallclock_fraction),
+        "byte_identical": resumed_digest == cold_digest,
+        "report_digest": cold_digest,
+    }
+
+
+def format_resume_bench(report: dict) -> str:
+    lines = [
+        f"resume-bench ({report['dataset']}/{report['model']}, "
+        f"methods {', '.join(report['methods'])}, scale {report['scale']}, "
+        f"seed {report['seed']})",
+        f"  crash site:      {report['crash_site']}",
+        f"  cold run:        {report['cold_seconds']:.2f}s "
+        f"({report['steps_total']} steps)",
+        f"  warm resume:     {report['resume_seconds']:.2f}s "
+        f"({report['steps_replayed']} replayed, "
+        f"{report['steps_reexecuted']} re-executed)",
+        f"  speedup:         x{report['speedup']:.2f}",
+        f"  wall-clock kept: {report['skipped_wallclock_fraction']:.0%}",
+        f"  byte-identical:  {report['byte_identical']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Deterministic fault injection for the durable store and pipelines.
+
+Crash recovery that is only ever exercised by real crashes is crash
+recovery that does not work. This module gives tests (and the CI smoke
+job) a *seedless, fully deterministic* way to kill a run at any chosen
+IO or step boundary:
+
+* :class:`CrashPoint` — raised at a named site to simulate the process
+  dying there. It derives from ``BaseException`` (like
+  ``KeyboardInterrupt``) so no library ``except ReproError``/``except
+  Exception`` recovery path can accidentally swallow the "death" and
+  make a test pass vacuously.
+* transient IO faults — :class:`InjectedIoError` (an ``OSError``) raised
+  on the first *k* attempts at a site, exercising the atomic writer's
+  retry/backoff loop.
+* torn writes — the payload is truncated mid-stream and the "process"
+  crashes after the torn bytes reach the final path, simulating a
+  non-atomic filesystem; the store's content-hash verification must
+  catch the corruption on the next read.
+
+Sites are plain strings (``"write:manifest.json"``,
+``"step:cell:dmv/fcn/pace:pre-commit"``) matched with ``fnmatch`` globs,
+and every spec fires on an explicit *ordinal* of its matching site, so a
+kill-at-every-boundary sweep is just a loop over ``(site, ordinal)``
+pairs observed in a dry run.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.utils.errors import ReproError
+
+
+class CrashPoint(BaseException):
+    """Simulated process death at a fault site.
+
+    Deliberately *not* a :class:`ReproError` (nor even an ``Exception``):
+    recovery code must never be able to catch-and-continue past a
+    simulated crash, exactly as it could not survive ``kill -9``.
+    """
+
+    def __init__(self, site: str, ordinal: int) -> None:
+        super().__init__(f"injected crash at {site!r} (ordinal {ordinal})")
+        self.site = site
+        self.ordinal = ordinal
+
+
+class InjectedIoError(OSError):
+    """A transient IO failure injected at a write site."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        site: ``fnmatch`` glob matched against reached site names.
+        kind: ``"crash"`` | ``"transient"`` | ``"torn"``.
+        ordinal: fire on the n-th matching reach (1-based) for ``crash``
+            and ``torn`` faults.
+        times: for ``transient`` faults, fail this many matching attempts
+            before letting one succeed (exercises retry/backoff).
+        keep_bytes: for ``torn`` faults, how many payload bytes survive
+            the simulated cut.
+    """
+
+    site: str
+    kind: str = "crash"
+    ordinal: int = 1
+    times: int = 1
+    keep_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "transient", "torn"):
+            raise ReproError(f"unknown fault kind {self.kind!r}")
+        if self.ordinal < 1:
+            raise ReproError(f"fault ordinal must be >= 1, got {self.ordinal}")
+        if self.times < 1:
+            raise ReproError(f"fault times must be >= 1, got {self.times}")
+        if self.keep_bytes < 0:
+            raise ReproError(f"keep_bytes must be >= 0, got {self.keep_bytes}")
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """Record of one fault that actually fired (for test assertions)."""
+
+    site: str
+    kind: str
+    ordinal: int
+
+
+class FaultInjector:
+    """Deterministic fault schedule, addressed by (site glob, ordinal).
+
+    The injector keeps one counter per spec, incremented every time a
+    matching site is reached; a spec fires when its counter hits the
+    configured ordinal (or, for transients, while it is within the first
+    ``times`` attempts). With no injector installed every hook is a
+    no-op costing one global read.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...] | list[FaultSpec] = ()) -> None:
+        self.specs = tuple(specs)
+        self._counts = [0] * len(self.specs)
+        self.fired: list[FiredFault] = []
+        self.sites_reached: list[str] = []
+
+    # ------------------------------------------------------------------
+    # hooks, called by repro.store.io and repro.store.pipeline
+    # ------------------------------------------------------------------
+    def reach(self, site: str) -> None:
+        """A crash boundary was reached; die here if the plan says so."""
+        self.sites_reached.append(site)
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "crash" or not fnmatch.fnmatch(site, spec.site):
+                continue
+            self._counts[index] += 1
+            if self._counts[index] == spec.ordinal:
+                self.fired.append(FiredFault(site, "crash", spec.ordinal))
+                raise CrashPoint(site, spec.ordinal)
+
+    def io_attempt(self, site: str) -> None:
+        """An IO attempt at ``site``; raise a transient error if planned."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "transient" or not fnmatch.fnmatch(site, spec.site):
+                continue
+            self._counts[index] += 1
+            if self._counts[index] <= spec.times:
+                self.fired.append(FiredFault(site, "transient", self._counts[index]))
+                raise InjectedIoError(f"injected transient IO error at {site!r}")
+
+    def torn_payload(self, site: str, data: bytes) -> bytes | None:
+        """Truncated payload if a torn write is planned here, else None.
+
+        The caller is expected to write the returned bytes to the *final*
+        path and then call :meth:`torn_crash` — the torn bytes must land
+        on disk before the simulated death, otherwise there is nothing
+        for recovery to detect.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "torn" or not fnmatch.fnmatch(site, spec.site):
+                continue
+            self._counts[index] += 1
+            if self._counts[index] == spec.ordinal:
+                self.fired.append(FiredFault(site, "torn", spec.ordinal))
+                return data[: spec.keep_bytes]
+        return None
+
+    def torn_crash(self, site: str) -> None:
+        """Die after a torn payload reached the final path."""
+        raise CrashPoint(site, 0)
+
+
+#: Process-wide injector; ``None`` means every hook is a no-op.
+_injector: FaultInjector | None = None
+
+
+def get_injector() -> FaultInjector | None:
+    return _injector
+
+
+def install_injector(injector: FaultInjector | None) -> None:
+    """Install ``injector`` process-wide (pass ``None`` to clear)."""
+    global _injector
+    _injector = injector
+
+
+@contextmanager
+def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Scoped installation: the injector is removed on exit, even on crash."""
+    global _injector
+    previous = _injector
+    _injector = injector
+    try:
+        yield injector
+    finally:
+        _injector = previous
+
+
+def reach(site: str) -> None:
+    """Module-level crash hook used by store/pipeline code."""
+    if _injector is not None:
+        _injector.reach(site)

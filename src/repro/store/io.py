@@ -1,0 +1,185 @@
+"""Atomic, fault-injectable file IO for artifacts and manifests.
+
+Every durable byte this repository writes goes through
+:func:`atomic_write_bytes`: the payload lands in a temp file in the
+*same directory*, is flushed and fsynced, and is then ``os.replace``d
+onto the final path — so a reader (or a resumed run) only ever observes
+either the old content or the complete new content, never a prefix.
+Transient ``OSError`` failures are retried with exponential backoff.
+
+All fault-injection hooks from :mod:`repro.store.faults` thread through
+here, which is what lets the crash-recovery tests kill a run at any IO
+boundary and prove resume correctness byte-for-byte. Flow rule R012
+flags artifact writes anywhere else in ``src/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.store import faults
+from repro.utils.errors import StoreError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff schedule for transient IO failures.
+
+    ``attempts`` counts total tries; sleeps between them are
+    ``backoff * multiplier**k`` seconds for ``k = 0, 1, ...``.
+    """
+
+    attempts: int = 4
+    backoff: float = 0.01
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise StoreError(f"retry attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0.0 or self.multiplier < 1.0:
+            raise StoreError(
+                f"invalid backoff schedule: backoff={self.backoff}, "
+                f"multiplier={self.multiplier}"
+            )
+
+    def delays(self) -> list[float]:
+        """Sleep durations between consecutive attempts."""
+        return [self.backoff * self.multiplier**k for k in range(self.attempts - 1)]
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+_tmp_counter = 0
+
+
+def _temp_path(path: Path) -> Path:
+    """A temp-file sibling of ``path`` (same directory, so rename is atomic)."""
+    global _tmp_counter
+    _tmp_counter += 1
+    return path.parent / f".{path.name}.{os.getpid()}.{_tmp_counter}.tmp"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist the rename itself (directory entry) where the OS allows it."""
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+        return
+    fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_once(path: Path, data: bytes, fsync: bool) -> None:
+    """One attempt: temp file, flush, fsync, atomic replace."""
+    tmp = _temp_path(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    if fsync:
+        _fsync_directory(path.parent)
+
+
+def atomic_write_bytes(
+    path: str | Path,
+    data: bytes,
+    retry: RetryPolicy | None = None,
+    fsync: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Path:
+    """Atomically write ``data`` to ``path`` (write-then-rename).
+
+    Transient ``OSError`` failures are retried per ``retry`` (pass a
+    recording ``sleep`` in tests to assert the backoff schedule). Raises
+    :class:`StoreError` once the schedule is exhausted.
+    """
+    path = Path(path)
+    retry = retry or DEFAULT_RETRY
+    path.parent.mkdir(parents=True, exist_ok=True)
+    injector = faults.get_injector()
+    site = f"write:{path.name}"
+    if injector is not None:
+        injector.reach(f"{site}:begin")
+        torn = injector.torn_payload(site, data)
+        if torn is not None:
+            # Simulated non-atomic filesystem: the truncated payload
+            # reaches the *final* path, then the process dies. Readers
+            # must detect this via content-hash verification.
+            _write_once(path, torn, fsync)
+            injector.torn_crash(site)
+    delays = retry.delays()
+    last_error: OSError | None = None
+    for attempt in range(retry.attempts):
+        try:
+            if injector is not None:
+                injector.io_attempt(site)
+            _write_once(path, data, fsync)
+            break
+        except OSError as exc:
+            last_error = exc
+            if attempt < len(delays):
+                sleep(delays[attempt])
+    else:
+        raise StoreError(
+            f"could not write {path} after {retry.attempts} attempts: {last_error}"
+        ) from last_error
+    if injector is not None:
+        injector.reach(f"{site}:done")
+    return path
+
+
+def jsonify(value):
+    """Recursively convert numpy scalars/arrays so ``json.dumps`` accepts them."""
+    if isinstance(value, dict):
+        return {key: jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return jsonify(value.tolist())
+    return value
+
+
+def canonical_json_bytes(
+    payload, sort_keys: bool = True, indent: int | None = 2
+) -> bytes:
+    """Deterministic JSON encoding: same payload, same bytes, always.
+
+    Content-addressed storage and the byte-identical resume guarantee
+    both hinge on this canonicalization (key order pinned, numpy types
+    coerced, trailing newline).
+    """
+    text = json.dumps(jsonify(payload), sort_keys=sort_keys, indent=indent,
+                      ensure_ascii=False)
+    return (text + "\n").encode("utf-8")
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload,
+    sort_keys: bool = True,
+    indent: int | None = 2,
+    retry: RetryPolicy | None = None,
+) -> Path:
+    """Atomically write ``payload`` as JSON (the library-wide report writer)."""
+    data = canonical_json_bytes(payload, sort_keys=sort_keys, indent=indent)
+    return atomic_write_bytes(path, data, retry=retry)

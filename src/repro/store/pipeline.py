@@ -1,0 +1,312 @@
+"""Checkpointed step DAGs: run once, crash anywhere, resume byte-identical.
+
+A :class:`Pipeline` is an ordered list of :class:`Step`\\ s, each
+declaring its inputs (names of earlier steps) and the artifact kind of
+its output. Running a pipeline against an :class:`~repro.store.store.ArtifactStore`
+memoizes every step: the output is encoded, content-addressed, and
+recorded in the run manifest with lineage edges to its inputs, then the
+manifest is committed atomically — that commit is the step boundary a
+crash can land on either side of.
+
+Resume is nothing special: running the same pipeline against the same
+run id finds each completed step's verified artifact, loads it, and
+skips the work; the first incomplete (or corrupt) step re-executes.
+Because every step's randomness derives from a stable per-step seed
+(:func:`step_seed`) rather than a shared stream, the re-executed suffix
+is bit-identical to what an uninterrupted run would have produced — the
+kill-at-every-boundary tests assert the final report JSON matches
+byte-for-byte.
+
+Dependent steps always receive the *decoded artifact* (not the in-memory
+return value), so a fresh run and a resumed run see literally the same
+inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.store import faults
+from repro.store.io import canonical_json_bytes
+from repro.store.store import Artifact, ArtifactStore, RunHandle
+from repro.utils.errors import StoreError
+from repro.utils.rng import derive_rng
+
+
+def step_seed(run_seed: int, step_name: str) -> int:
+    """A stable, collision-resistant seed for one step of one run.
+
+    Independent of execution order and of which steps ran before, so a
+    resumed run re-derives exactly the stream an uninterrupted run used.
+    """
+    digest = hashlib.sha256(f"{run_seed}:{step_name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+def params_digest(params: dict | None) -> str:
+    return hashlib.sha256(canonical_json_bytes(params or {})).hexdigest()
+
+
+@dataclass(frozen=True)
+class Step:
+    """One unit of resumable work.
+
+    Attributes:
+        name: unique within the pipeline; also the manifest/artifact key.
+        fn: ``fn(ctx: StepContext) -> value``; the value must match
+            ``kind`` (JSON-serializable for ``json``/``report``, a state
+            dict of numpy arrays for ``checkpoint``).
+        deps: names of earlier steps whose decoded outputs appear in
+            ``ctx.inputs``.
+        kind: artifact kind of the output.
+    """
+
+    name: str
+    fn: Callable[["StepContext"], object]
+    deps: tuple[str, ...] = ()
+    kind: str = "json"
+
+
+class StepContext:
+    """Everything a step function may depend on (and nothing else)."""
+
+    def __init__(
+        self,
+        run: RunHandle,
+        step: Step,
+        seed: int,
+        params: dict,
+        inputs: dict[str, object],
+        store: ArtifactStore,
+    ) -> None:
+        self.run = run
+        self.step = step
+        self.seed = seed
+        self.params = params
+        self.inputs = inputs
+        self.store = store
+        self.rng = derive_rng(seed)
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one (possibly resumed) pipeline run."""
+
+    run_id: str
+    outputs: dict[str, object]
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    step_seconds: dict[str, float] = field(default_factory=dict)
+    final_step: str | None = None
+
+    @property
+    def final(self):
+        return None if self.final_step is None else self.outputs.get(self.final_step)
+
+    @property
+    def resumed_fraction(self) -> float:
+        total = len(self.executed) + len(self.skipped)
+        return len(self.skipped) / total if total else 0.0
+
+
+class Pipeline:
+    """An ordered, checkpointed step DAG bound to a builder name."""
+
+    def __init__(
+        self,
+        name: str,
+        steps: list[Step] | tuple[Step, ...],
+        params: dict | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.steps = tuple(steps)
+        self.params = dict(params or {})
+        self.seed = int(seed)
+        if not self.steps:
+            raise StoreError(f"pipeline {name!r} has no steps")
+        seen: set[str] = set()
+        for step in self.steps:
+            if step.name in seen:
+                raise StoreError(f"duplicate step name {step.name!r} in pipeline {name!r}")
+            missing = [dep for dep in step.deps if dep not in seen]
+            if missing:
+                raise StoreError(
+                    f"step {step.name!r} depends on {missing} which are not "
+                    f"defined earlier — steps must be listed in topological order"
+                )
+            seen.add(step.name)
+
+    def default_run_id(self) -> str:
+        """Deterministic id: same pipeline + params + seed, same run."""
+        return f"{self.name}-s{self.seed}-{params_digest(self.params)[:10]}"
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        store: ArtifactStore,
+        run_id: str | None = None,
+        resume: bool = False,
+    ) -> PipelineResult:
+        run_id = run_id or self.default_run_id()
+        if store.has_run(run_id):
+            if not resume:
+                raise StoreError(
+                    f"run {run_id!r} already exists; resume it or pick a new id"
+                )
+            run = store.open_run(run_id)
+            self._check_compatible(run)
+        else:
+            run = store.create_run(
+                self.name, run_id, params=self.params, seed=self.seed
+            )
+        result = PipelineResult(run_id=run_id, outputs={},
+                                final_step=self.steps[-1].name)
+        for step in self.steps:
+            entry = run.step(step.name)
+            if (
+                entry is not None
+                and entry.get("status") == "done"
+                and entry.get("artifact")
+                and store.verify_object(entry["artifact"])
+            ):
+                # Memoized: the checkpoint is present and hash-verified.
+                result.outputs[step.name] = self._decode(store, entry["artifact"], step.kind)
+                result.skipped.append(step.name)
+                if entry.get("seconds") is not None:
+                    result.step_seconds[step.name] = float(entry["seconds"])
+                continue
+            faults.reach(f"step:{step.name}:start")
+            inputs = {dep: result.outputs[dep] for dep in step.deps}
+            ctx = StepContext(
+                run=run,
+                step=step,
+                seed=step_seed(self.seed, step.name),
+                params=self.params,
+                inputs=inputs,
+                store=store,
+            )
+            start = time.perf_counter()
+            value = step.fn(ctx)
+            seconds = time.perf_counter() - start
+            artifact = self._encode(store, value, step.kind, step.name)
+            parents = [
+                run.step(dep)["artifact"]
+                for dep in step.deps
+                if run.step(dep) and run.step(dep).get("artifact")
+            ]
+            run.set_step(step.name, status="done", artifact=artifact.digest,
+                         kind=step.kind, parents=parents, seconds=seconds)
+            run.record_artifact(step.name, artifact, parents=parents, step=step.name)
+            faults.reach(f"step:{step.name}:pre-commit")
+            run.commit()
+            faults.reach(f"step:{step.name}:post-commit")
+            # Hand dependents the decoded artifact, not the raw return
+            # value: resumed and uninterrupted runs must see identical
+            # inputs (e.g. JSON turns tuples into lists).
+            result.outputs[step.name] = self._decode(store, artifact.digest, step.kind)
+            result.executed.append(step.name)
+            result.step_seconds[step.name] = seconds
+        if run.manifest.get("status") != "complete":
+            run.set_status("complete")
+            run.commit()
+        return result
+
+    def _check_compatible(self, run: RunHandle) -> None:
+        manifest = run.manifest
+        if manifest.get("pipeline") != self.name:
+            raise StoreError(
+                f"run {run.run_id!r} belongs to pipeline "
+                f"{manifest.get('pipeline')!r}, not {self.name!r}"
+            )
+        if params_digest(manifest.get("params")) != params_digest(self.params):
+            raise StoreError(
+                f"run {run.run_id!r} was started with different params; "
+                f"refusing to mix checkpoints across configurations"
+            )
+        if int(manifest.get("seed", 0)) != self.seed:
+            raise StoreError(
+                f"run {run.run_id!r} used seed {manifest.get('seed')}, "
+                f"not {self.seed}"
+            )
+
+    # ------------------------------------------------------------------
+    # kind codecs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(store: ArtifactStore, value, kind: str, step_name: str) -> Artifact:
+        if kind in ("json", "report"):
+            return store.put_json(value, kind=kind)
+        if kind == "checkpoint":
+            if not isinstance(value, dict) or not all(
+                isinstance(v, (np.ndarray, np.generic)) for v in value.values()
+            ):
+                raise StoreError(
+                    f"step {step_name!r} is kind='checkpoint' and must return a "
+                    f"dict of numpy arrays (a state dict)"
+                )
+            return store.put_checkpoint(value)
+        raise StoreError(
+            f"step {step_name!r} has kind {kind!r}, which pipelines cannot "
+            f"encode (supported: json, report, checkpoint)"
+        )
+
+    @staticmethod
+    def _decode(store: ArtifactStore, digest: str, kind: str):
+        if kind in ("json", "report"):
+            return store.get_json(digest)
+        if kind == "checkpoint":
+            return store.get_checkpoint(digest)
+        raise StoreError(f"cannot decode artifact kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# builder registry: how `resume(run_id)` reconstructs a pipeline
+# ----------------------------------------------------------------------
+PIPELINE_BUILDERS: dict[str, Callable[[dict, int], Pipeline]] = {}
+
+
+def register_pipeline(name: str):
+    """Decorator registering ``builder(params, seed) -> Pipeline`` under ``name``."""
+
+    def decorate(builder: Callable[[dict, int], Pipeline]):
+        if name in PIPELINE_BUILDERS and PIPELINE_BUILDERS[name] is not builder:
+            raise StoreError(f"duplicate pipeline builder {name!r}")
+        PIPELINE_BUILDERS[name] = builder
+        return builder
+
+    return decorate
+
+
+def build_pipeline(name: str, params: dict, seed: int) -> Pipeline:
+    try:
+        builder = PIPELINE_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PIPELINE_BUILDERS)) or "<none>"
+        raise StoreError(
+            f"no pipeline builder registered for {name!r} (known: {known})"
+        ) from None
+    return builder(params, seed)
+
+
+def resume_run(store: ArtifactStore, run_id: str) -> PipelineResult:
+    """Resume (or verify-and-finish) a run from its manifest alone.
+
+    Completed steps replay from their verified checkpoints; the first
+    missing, incomplete, or corrupt step re-executes, as does everything
+    after it that was never reached.
+    """
+    run = store.open_run(run_id)
+    manifest = run.manifest
+    pipeline = build_pipeline(
+        manifest["pipeline"], dict(manifest.get("params", {})),
+        int(manifest.get("seed", 0)),
+    )
+    return pipeline.run(store, run_id=run_id, resume=True)

@@ -1,0 +1,398 @@
+"""Content-addressed artifact store with versioned run manifests.
+
+Layout under one root directory::
+
+    root/
+      objects/aa/<sha256>      # immutable blobs, keyed by content hash
+      runs/<run_id>/manifest.json
+
+Blobs are deduplicated by construction (same bytes, same digest, same
+path) and every read re-hashes the content, so torn or corrupted writes
+are *detected* rather than silently served — the resumable pipeline
+treats a failed verification as "this step never happened" and re-runs
+it. Manifests record, per run: step status, the artifact each step
+produced, explicit lineage edges (``parents`` digests, e.g. surrogate
+checkpoint → attack outcome → merged report), and free-form events
+(model promotions/rollbacks from the serving layer). Every manifest
+update is one atomic write, which is precisely the crash boundary the
+fault-injection sweep kills at.
+
+Typed artifact kinds:
+
+``json`` / ``report``
+    Canonical JSON (sorted keys, pinned layout) — deterministic bytes.
+``checkpoint``
+    A module/estimator state dict in the versioned container from
+    :mod:`repro.nn.serialization` — also deterministic bytes.
+``workload``
+    Labeled queries (tables, normalized predicates, cardinality) as
+    canonical JSON; rebuilt against a schema on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.query import LabeledQuery, Query
+from repro.nn.serialization import state_from_bytes, state_to_bytes
+from repro.store.io import atomic_write_bytes, atomic_write_json, canonical_json_bytes, jsonify
+from repro.utils.errors import StoreError
+from repro.workload.workload import Workload
+
+MANIFEST_VERSION = 1
+
+ARTIFACT_KINDS = ("json", "report", "checkpoint", "workload")
+
+
+def content_digest(data: bytes) -> str:
+    """The store's content address: hex SHA-256."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """Handle to one stored blob."""
+
+    digest: str
+    kind: str
+    size: int
+
+
+class ArtifactStore:
+    """A durable artifact/run store rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def object_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / digest
+
+    def put_bytes(self, data: bytes, kind: str = "json") -> Artifact:
+        """Store ``data`` by content hash (idempotent; heals corrupt blobs)."""
+        if kind not in ARTIFACT_KINDS:
+            raise StoreError(f"unknown artifact kind {kind!r}; expected one of {ARTIFACT_KINDS}")
+        digest = content_digest(data)
+        path = self.object_path(digest)
+        if not self._object_ok(digest):
+            atomic_write_bytes(path, data)
+        return Artifact(digest=digest, kind=kind, size=len(data))
+
+    def _object_ok(self, digest: str) -> bool:
+        path = self.object_path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return False
+        return content_digest(data) == digest
+
+    def has_object(self, digest: str) -> bool:
+        return self.object_path(digest).exists()
+
+    def verify_object(self, digest: str) -> bool:
+        """Whether the blob exists *and* hashes back to its digest."""
+        return self._object_ok(digest)
+
+    def get_bytes(self, digest: str) -> bytes:
+        """Read a blob, verifying its content hash (torn-write detection)."""
+        path = self.object_path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise StoreError(f"missing artifact {digest[:12]}… at {path}") from exc
+        actual = content_digest(data)
+        if actual != digest:
+            raise StoreError(
+                f"corrupt artifact {digest[:12]}…: content hashes to {actual[:12]}… "
+                f"(torn or tampered write at {path})"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # typed artifacts
+    # ------------------------------------------------------------------
+    def put_json(self, payload, kind: str = "json") -> Artifact:
+        return self.put_bytes(canonical_json_bytes(payload), kind=kind)
+
+    def get_json(self, digest: str):
+        import json
+
+        return json.loads(self.get_bytes(digest).decode("utf-8"))
+
+    def put_checkpoint(self, state: dict[str, np.ndarray]) -> Artifact:
+        return self.put_bytes(state_to_bytes(state), kind="checkpoint")
+
+    def get_checkpoint(self, digest: str) -> dict[str, np.ndarray]:
+        return state_from_bytes(self.get_bytes(digest))
+
+    def put_workload(self, workload: Workload) -> Artifact:
+        payload = {
+            "examples": [
+                {
+                    "tables": sorted(ex.query.tables),
+                    "predicates": sorted(
+                        [table, column, float(low), float(high)]
+                        for (table, column), (low, high) in ex.query.predicates.items()
+                    ),
+                    "cardinality": int(ex.cardinality),
+                }
+                for ex in workload
+            ],
+        }
+        return self.put_bytes(canonical_json_bytes(payload), kind="workload")
+
+    def get_workload(self, digest: str, schema) -> Workload:
+        payload = self.get_json(digest)
+        examples = []
+        for entry in payload["examples"]:
+            predicates = {
+                (table, column): (low, high)
+                for table, column, low, high in entry["predicates"]
+            }
+            query = Query.build(schema, entry["tables"], predicates)
+            examples.append(LabeledQuery(query, entry["cardinality"]))
+        return Workload(examples)
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    def manifest_path(self, run_id: str) -> Path:
+        return self.runs_dir / run_id / "manifest.json"
+
+    def has_run(self, run_id: str) -> bool:
+        return self.manifest_path(run_id).exists()
+
+    def run_ids(self) -> list[str]:
+        if not self.runs_dir.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.runs_dir.iterdir()
+            if (entry / "manifest.json").is_file()
+        )
+
+    def create_run(
+        self,
+        pipeline: str,
+        run_id: str,
+        params: dict | None = None,
+        seed: int = 0,
+    ) -> "RunHandle":
+        if self.has_run(run_id):
+            raise StoreError(
+                f"run {run_id!r} already exists; open_run() it (or resume) instead"
+            )
+        if not run_id or "/" in run_id or run_id.startswith("."):
+            raise StoreError(f"invalid run id {run_id!r}")
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "run_id": run_id,
+            "pipeline": pipeline,
+            "params": jsonify(params or {}),
+            "seed": int(seed),
+            "status": "running",
+            "created_unix": time.time(),
+            "updated_unix": time.time(),
+            "steps": {},
+            "step_order": [],
+            "artifacts": {},
+            "events": [],
+        }
+        run = RunHandle(self, run_id, manifest)
+        run.commit()
+        return run
+
+    def open_run(self, run_id: str) -> "RunHandle":
+        import json
+
+        path = self.manifest_path(run_id)
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            known = ", ".join(self.run_ids()) or "<none>"
+            raise StoreError(
+                f"unknown run {run_id!r} (known runs: {known})"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt manifest for run {run_id!r}: {exc}") from exc
+        return RunHandle(self, run_id, manifest)
+
+    def list_runs(self) -> list[dict]:
+        """One summary row per run (for ``pace-repro runs list``)."""
+        rows = []
+        for run_id in self.run_ids():
+            manifest = self.open_run(run_id).manifest
+            steps = manifest.get("steps", {})
+            done = sum(1 for s in steps.values() if s.get("status") == "done")
+            rows.append({
+                "run_id": run_id,
+                "pipeline": manifest.get("pipeline"),
+                "status": manifest.get("status"),
+                "seed": manifest.get("seed"),
+                "steps_done": done,
+                "steps_total": len(manifest.get("step_order", [])) or len(steps),
+                "events": len(manifest.get("events", [])),
+                "updated_unix": manifest.get("updated_unix"),
+            })
+        return rows
+
+    def delete_run(self, run_id: str) -> None:
+        """Drop a run's manifest directory (its blobs die at the next gc)."""
+        import shutil
+
+        run_dir = self.runs_dir / run_id
+        if not run_dir.is_dir():
+            raise StoreError(f"unknown run {run_id!r}")
+        shutil.rmtree(run_dir)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def referenced_digests(self) -> set[str]:
+        """Every digest any manifest still points at (steps, artifacts, events)."""
+        referenced: set[str] = set()
+        for run_id in self.run_ids():
+            manifest = self.open_run(run_id).manifest
+            for entry in manifest.get("steps", {}).values():
+                if entry.get("artifact"):
+                    referenced.add(entry["artifact"])
+            for entry in manifest.get("artifacts", {}).values():
+                referenced.add(entry["digest"])
+                referenced.update(entry.get("parents", []))
+            for event in manifest.get("events", []):
+                if event.get("digest"):
+                    referenced.add(event["digest"])
+        return referenced
+
+    def gc(self) -> dict:
+        """Remove unreferenced blobs and stray temp files; report what happened."""
+        referenced = self.referenced_digests()
+        removed = 0
+        freed = 0
+        kept = 0
+        if self.objects_dir.is_dir():
+            for blob in sorted(self.objects_dir.glob("*/*")):
+                if not blob.is_file():
+                    continue
+                if blob.name in referenced:
+                    kept += 1
+                    continue
+                freed += blob.stat().st_size
+                blob.unlink()
+                removed += 1
+        stray_tmp = 0
+        for tmp in sorted(self.root.rglob("*.tmp")):
+            tmp.unlink()
+            stray_tmp += 1
+        return {
+            "removed_objects": removed,
+            "kept_objects": kept,
+            "bytes_freed": freed,
+            "stray_tmp_removed": stray_tmp,
+            "runs": len(self.run_ids()),
+        }
+
+
+class RunHandle:
+    """Mutable view of one run's manifest; :meth:`commit` persists atomically."""
+
+    def __init__(self, store: ArtifactStore, run_id: str, manifest: dict) -> None:
+        self.store = store
+        self.run_id = run_id
+        self.manifest = manifest
+
+    @property
+    def path(self) -> Path:
+        return self.store.manifest_path(self.run_id)
+
+    # ------------------------------------------------------------------
+    # steps
+    # ------------------------------------------------------------------
+    def step(self, name: str) -> dict | None:
+        return self.manifest["steps"].get(name)
+
+    def set_step(
+        self,
+        name: str,
+        status: str,
+        artifact: str | None = None,
+        kind: str | None = None,
+        parents: list[str] | None = None,
+        seconds: float | None = None,
+    ) -> dict:
+        entry = {
+            "status": status,
+            "artifact": artifact,
+            "kind": kind,
+            "parents": list(parents or []),
+            "seconds": seconds,
+        }
+        if name not in self.manifest["steps"]:
+            self.manifest["step_order"].append(name)
+        self.manifest["steps"][name] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # lineage
+    # ------------------------------------------------------------------
+    def record_artifact(
+        self,
+        name: str,
+        artifact: Artifact,
+        parents: list[str] | tuple[str, ...] = (),
+        step: str | None = None,
+    ) -> None:
+        """Register ``artifact`` under ``name`` with explicit lineage edges."""
+        self.manifest["artifacts"][name] = {
+            "digest": artifact.digest,
+            "kind": artifact.kind,
+            "size": artifact.size,
+            "parents": list(parents),
+            "step": step,
+        }
+
+    def artifact_digest(self, name: str) -> str | None:
+        entry = self.manifest["artifacts"].get(name)
+        return None if entry is None else entry["digest"]
+
+    def record_event(self, kind: str, **payload) -> dict:
+        """Append a lineage event (e.g. ``promotion``/``rollback``)."""
+        event = {"kind": kind, "index": len(self.manifest["events"]),
+                 "unix": time.time(), **jsonify(payload)}
+        self.manifest["events"].append(event)
+        return event
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        events = self.manifest.get("events", [])
+        if kind is None:
+            return list(events)
+        return [e for e in events if e.get("kind") == kind]
+
+    def last_event(self, kind: str) -> dict | None:
+        matching = self.events(kind)
+        return matching[-1] if matching else None
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def set_status(self, status: str) -> None:
+        self.manifest["status"] = status
+
+    def commit(self) -> None:
+        """Atomically persist the manifest — the durability boundary."""
+        self.manifest["updated_unix"] = time.time()
+        atomic_write_json(self.path, self.manifest, sort_keys=True)

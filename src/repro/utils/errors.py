@@ -32,6 +32,15 @@ class PlanError(ReproError):
     """The planner cannot build a plan (disconnected join set, no tables)."""
 
 
+class SerializationError(ReproError):
+    """A checkpoint archive is malformed, mismatched, or from an unknown format."""
+
+
+class StoreError(ReproError):
+    """The artifact/run store is inconsistent: missing blob, digest mismatch,
+    unknown run, or a manifest that does not match the requested pipeline."""
+
+
 class ExecutionBudgetError(ReproError):
     """A query exceeded the executor's intermediate-result budget.
 

@@ -1,10 +1,17 @@
-"""Wall-clock timing helpers used by the overhead experiments (Tables 9-10)."""
+"""Wall-clock timing helpers used by the overhead experiments (Tables 9-10).
+
+Both helpers read the injectable clock (:func:`repro.utils.clock.get_clock`),
+so installing a :class:`~repro.utils.clock.FakeClock` makes every measured
+span deterministic — which is what lets the durable pipeline layer promise
+byte-identical resumed runs even for timing fields.
+"""
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.utils.clock import get_clock
 
 
 @dataclass
@@ -24,11 +31,12 @@ class Timer:
 
     @contextmanager
     def span(self, name: str):
-        start = time.perf_counter()
+        clock = get_clock()
+        start = clock()
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - start
+            elapsed = clock() - start
             self.spans[name] = self.spans.get(name, 0.0) + elapsed
             self.counts[name] = self.counts.get(name, 0) + 1
 
@@ -49,5 +57,6 @@ class Timer:
 @contextmanager
 def timed():
     """Yield a zero-arg callable returning seconds elapsed since entry."""
-    start = time.perf_counter()
-    yield lambda: time.perf_counter() - start
+    clock = get_clock()
+    start = clock()
+    yield lambda: clock() - start

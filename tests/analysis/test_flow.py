@@ -28,8 +28,8 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_flow_rules_are_r007_through_r011(self):
-        assert flow_rule_ids() == ["R007", "R008", "R009", "R010", "R011"]
+    def test_flow_rules_are_r007_through_r012(self):
+        assert flow_rule_ids() == ["R007", "R008", "R009", "R010", "R011", "R012"]
 
     def test_select_validates_ids(self):
         with pytest.raises(KeyError) as exc_info:
@@ -394,6 +394,97 @@ class TestR011BlockingCall:
                     return deployed.explain_encoded(encodings)
                 """,
         }, select=["R011"])
+        assert findings == []
+
+
+class TestR012AdhocArtifactWrite:
+    def test_open_for_write_is_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "reporting.py": """
+                def save(report, path):
+                    with open(path, "w") as fh:
+                        fh.write(str(report))
+                """,
+        }, select=["R012"])
+        assert rule_ids(findings) == ["R012"]
+        assert "open(..., 'w')" in findings[0].message
+        assert "atomic" in (findings[0].hint or "")
+
+    def test_json_dump_and_write_text_are_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "reporting.py": """
+                import json
+                from pathlib import Path
+
+                def save(report, path):
+                    json.dump(report, open(path))
+
+                def save_text(report, path):
+                    Path(path).write_text(str(report))
+                """,
+        }, select=["R012"])
+        assert sorted(f.message.split(" ")[0] for f in findings) == [
+            ".write_text()", "json.dump()",
+        ]
+
+    def test_reads_and_json_dumps_are_fine(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "reporting.py": """
+                import json
+
+                def load(path):
+                    with open(path, "r") as fh:
+                        return json.load(fh)
+
+                def render(report):
+                    return json.dumps(report, indent=2)
+                """,
+        }, select=["R012"])
+        assert findings == []
+
+    def test_store_package_is_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "store/__init__.py": "",
+            "store/io.py": """
+                def atomic_write(path, data):
+                    with open(path, "wb") as fh:
+                        fh.write(data)
+                """,
+        }, select=["R012"])
+        assert findings == []
+
+    def test_tests_and_benchmarks_are_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "tests/test_reporting.py": """
+                def test_write(tmp_path):
+                    (tmp_path / "x.json").write_text("{}")
+                """,
+            "benchmarks/record.py": """
+                def record(path, data):
+                    with open(path, "w") as fh:
+                        fh.write(data)
+                """,
+        }, select=["R012"])
+        assert findings == []
+
+    def test_mode_keyword_is_resolved(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "reporting.py": """
+                def append(path, line):
+                    with open(path, mode="a") as fh:
+                        fh.write(line)
+                """,
+        }, select=["R012"])
+        assert rule_ids(findings) == ["R012"]
+
+    def test_suppression_comment_is_honored(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "reporting.py": """
+                def save(path, data):
+                    with open(path, "w") as fh:  # noqa: R012
+                        fh.write(data)
+                """,
+        }, select=["R012"])
         assert findings == []
 
 

@@ -1,9 +1,23 @@
-"""Saving and loading module parameters."""
+"""Saving and loading module parameters (versioned REPRO-CKPT container)."""
+
+import io
+import zipfile
 
 import numpy as np
 import pytest
 
-from repro.nn import Linear, Tensor, load_module, save_module, mlp
+from repro.nn import (
+    Linear,
+    Tensor,
+    load_module,
+    mlp,
+    save_module,
+    state_from_bytes,
+    state_to_bytes,
+    validate_state_for,
+)
+from repro.nn.serialization import FORMAT_VERSION, MAGIC
+from repro.utils.errors import SerializationError
 
 
 class TestSerialization:
@@ -28,5 +42,93 @@ class TestSerialization:
         net = Linear(2, 2, rng=0)
         path = tmp_path / "model.npz"
         save_module(net, path)
-        with pytest.raises((KeyError, ValueError)):
+        with pytest.raises(SerializationError, match="shape mismatch"):
             load_module(Linear(3, 2, rng=0), path)
+
+
+class TestContainer:
+    def test_bytes_roundtrip_bitwise(self):
+        state = {
+            "w": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "b": np.array([1.5, -2.0], dtype=np.float32),
+            "mask": np.array([True, False]),
+            "cap": np.float64(17.25),
+        }
+        back = state_from_bytes(state_to_bytes(state))
+        assert sorted(back) == sorted(state)
+        for name, value in state.items():
+            expected = np.asarray(value)
+            assert back[name].dtype == expected.dtype
+            assert back[name].shape == expected.shape
+            np.testing.assert_array_equal(back[name], expected)
+
+    def test_scalar_entries_keep_zero_dim_shape(self):
+        back = state_from_bytes(state_to_bytes({"cap": np.float64(3.5)}))
+        assert back["cap"].shape == ()
+        assert float(back["cap"]) == pytest.approx(3.5)
+
+    def test_serialization_is_deterministic(self):
+        state = {"b": np.ones(3), "a": np.zeros((2, 2))}
+        assert state_to_bytes(state) == state_to_bytes(dict(reversed(state.items())))
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(SerializationError, match="bad magic"):
+            state_from_bytes(b"definitely-not-a-checkpoint")
+
+    def test_newer_version_raises(self):
+        data = bytearray(state_to_bytes({"a": np.ones(2)}))
+        offset = len(MAGIC)
+        data[offset:offset + 4] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        with pytest.raises(SerializationError, match="newer than this reader"):
+            state_from_bytes(bytes(data))
+
+    def test_truncated_payload_raises(self):
+        data = state_to_bytes({"a": np.ones(8)})
+        with pytest.raises(SerializationError, match="truncated"):
+            state_from_bytes(data[:-4])
+
+    def test_trailing_bytes_raise(self):
+        data = state_to_bytes({"a": np.ones(2)})
+        with pytest.raises(SerializationError, match="trailing bytes"):
+            state_from_bytes(data + b"junk")
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(SerializationError, match="non-numeric"):
+            state_to_bytes({"a": np.array(["strings"], dtype=object)})
+
+    def test_legacy_npz_archive_still_loads(self):
+        buffer = io.BytesIO()
+        np.savez(buffer, weight=np.arange(4.0), bias=np.ones(2))
+        data = buffer.getvalue()
+        assert zipfile.is_zipfile(io.BytesIO(data))
+        back = state_from_bytes(data)
+        np.testing.assert_array_equal(back["weight"], np.arange(4.0))
+        np.testing.assert_array_equal(back["bias"], np.ones(2))
+
+
+class TestValidation:
+    def test_missing_and_unexpected_keys_reported_together(self):
+        net = Linear(2, 2, rng=0)
+        state = {"weight": net.weight.data, "extra": np.ones(1)}
+        with pytest.raises(SerializationError) as exc_info:
+            validate_state_for(net, state)
+        message = str(exc_info.value)
+        assert "missing keys" in message and "'bias'" in message
+        assert "unexpected keys" in message and "'extra'" in message
+
+    def test_all_shape_mismatches_reported(self):
+        net = mlp(3, [4], 1, rng=0)
+        other = mlp(4, [5], 1, rng=0)
+        with pytest.raises(SerializationError) as exc_info:
+            validate_state_for(net, other.state_dict())
+        assert str(exc_info.value).count("shape mismatch") >= 2
+
+    def test_matching_state_passes(self):
+        net = Linear(3, 2, rng=0)
+        validate_state_for(net, Linear(3, 2, rng=9).state_dict())
+
+    def test_corrupt_file_names_path(self, tmp_path):
+        path = tmp_path / "model.npz"
+        path.write_bytes(b"garbage-bytes")
+        with pytest.raises(SerializationError, match="model.npz"):
+            load_module(Linear(2, 2, rng=0), path)

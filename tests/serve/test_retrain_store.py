@@ -1,0 +1,111 @@
+"""Durable promotion lineage + warm restart from the last promoted checkpoint."""
+
+import numpy as np
+import pytest
+
+from repro.serve import PromotionGuard, RetrainLoop, warm_restart
+from repro.store import ArtifactStore
+from repro.utils.errors import StoreError
+
+
+@pytest.fixture()
+def run(tmp_path):
+    return ArtifactStore(tmp_path / "store").create_run("serve", "serve-run")
+
+
+def observe_batch(loop, serve_world, count):
+    for _ in range(count):
+        loop.observe(serve_world.generator.random_query())
+
+
+class TestPromotionLineage:
+    def test_promotion_writes_checkpoint_and_event(self, deployed, serve_world, run):
+        loop = RetrainLoop(deployed, retrain_every=4, run=run)
+        observe_batch(loop, serve_world, 4)
+        event = loop.poll()
+        assert event.promoted
+        promotion = run.store.open_run("serve-run").last_event("promotion")
+        assert promotion is not None
+        state = run.store.get_checkpoint(promotion["digest"])
+        model = deployed.inspect_model()
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(state[name], param.data)
+        assert float(state["__meta__.log_cap"]) == pytest.approx(model.log_cap)
+
+    def test_successive_promotions_chain_lineage(self, deployed, serve_world, run):
+        loop = RetrainLoop(deployed, retrain_every=4, run=run)
+        observe_batch(loop, serve_world, 4)
+        loop.flush()
+        observe_batch(loop, serve_world, 4)
+        loop.flush()
+        manifest = run.store.open_run("serve-run").manifest
+        promotions = [e for e in manifest["events"] if e["kind"] == "promotion"]
+        assert len(promotions) == 2
+        second = manifest["artifacts"]["promotion-1"]
+        assert second["parents"] == [promotions[0]["digest"]]
+
+    def test_rollback_records_event_without_checkpoint(
+        self, deployed, serve_world, run
+    ):
+        validation = serve_world.generator.generate(16)
+        guard = PromotionGuard(validation, factor=1e-9)  # vetoes everything
+        loop = RetrainLoop(deployed, retrain_every=4, guard=guard, run=run)
+        observe_batch(loop, serve_world, 4)
+        event = loop.flush()
+        assert event.rolled_back and not event.promoted
+        manifest = run.store.open_run("serve-run").manifest
+        rollback = manifest["events"][-1]
+        assert rollback["kind"] == "rollback"
+        assert "digest" not in rollback
+        assert manifest["artifacts"] == {}
+
+    def test_new_loop_resumes_lineage_from_manifest(self, deployed, serve_world, run):
+        loop = RetrainLoop(deployed, retrain_every=4, run=run)
+        observe_batch(loop, serve_world, 4)
+        loop.flush()
+        first_digest = run.last_event("promotion")["digest"]
+        # A restarted process opens the same run: its first promotion must
+        # chain off the checkpoint the dead process left behind.
+        reopened = run.store.open_run("serve-run")
+        successor = RetrainLoop(deployed, retrain_every=4, run=reopened)
+        observe_batch(successor, serve_world, 4)
+        successor.flush()
+        manifest = run.store.open_run("serve-run").manifest
+        latest = manifest["artifacts"][
+            f"promotion-{successor.events[-1].round_index}"
+        ]
+        assert latest["parents"] == [first_digest]
+
+
+class TestWarmRestart:
+    def test_restores_last_promoted_checkpoint_bitwise(
+        self, deployed, serve_world, run
+    ):
+        loop = RetrainLoop(deployed, retrain_every=4, run=run)
+        observe_batch(loop, serve_world, 4)
+        loop.flush()
+        model = deployed.inspect_model()
+        promoted = {n: p.data.copy() for n, p in model.named_parameters()}
+        promoted_cap = model.log_cap
+        # The process "dies" after more (uncommitted) drift.
+        observe_batch(loop, serve_world, 4)
+        deployed.execute([serve_world.generator.random_query() for _ in range(4)])
+        reopened = run.store.open_run("serve-run")
+        digest = warm_restart(deployed, reopened)
+        assert digest == reopened.last_event("promotion")["digest"]
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, promoted[name])
+        assert model.log_cap == pytest.approx(promoted_cap)
+
+    def test_no_promotions_is_a_noop(self, deployed, run):
+        model = deployed.inspect_model()
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        assert warm_restart(deployed, run) is None
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_digestless_promotion_event_raises(self, deployed, run):
+        run.record_event("promotion", round=0)
+        run.commit()
+        with pytest.raises(StoreError, match="no checkpoint digest"):
+            warm_restart(deployed, run)

@@ -1,0 +1,1 @@
+"""Tests for the durable artifact/run store (repro.store)."""

@@ -1,0 +1,99 @@
+"""Kill-at-every-step-boundary sweep over the durable attack grid.
+
+The PR 5 acceptance test: crash the grid at each step boundary in turn,
+resume, and require every artifact — including the merged report — to be
+byte-identical (same content digest) to an uninterrupted run's.
+"""
+
+import pytest
+
+from repro.harness.pipelines import run_grid_durable
+from repro.store import (
+    ArtifactStore,
+    CrashPoint,
+    FaultInjector,
+    FaultSpec,
+    inject,
+    resume_run,
+)
+
+#: Cheap grid: one scenario, surrogate-free methods plus one
+#: surrogate-based method so the checkpoint dependency path is swept too.
+METHODS = ("clean", "random", "lbs")
+SEED = 0
+
+
+def run_reference(tmp_path):
+    store = ArtifactStore(tmp_path / "reference")
+    injector = FaultInjector()  # no specs: a dry run recording boundaries
+    with inject(injector):
+        result = run_grid_durable(store, methods=METHODS, seed=SEED)
+    steps = store.open_run(result.run_id).manifest["steps"]
+    digests = {name: entry["artifact"] for name, entry in steps.items()}
+    boundaries = [s for s in injector.sites_reached if s.startswith("step:")]
+    return digests, boundaries
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    return run_reference(tmp_path_factory.mktemp("grid"))
+
+
+class TestKillSweep:
+    def test_every_step_boundary_is_observed(self, reference):
+        _digests, boundaries = reference
+        # 5 steps (surrogate, three cells, report) x 3 boundaries each.
+        assert len(boundaries) == 15
+        for suffix in ("start", "pre-commit", "post-commit"):
+            assert sum(1 for b in boundaries if b.endswith(suffix)) == 5
+
+    def test_resume_after_crash_at_every_boundary_is_byte_identical(
+        self, reference, tmp_path
+    ):
+        digests, boundaries = reference
+        for index, boundary in enumerate(boundaries):
+            store = ArtifactStore(tmp_path / f"crash-{index}")
+            injector = FaultInjector([FaultSpec(site=boundary, kind="crash")])
+            with inject(injector), pytest.raises(CrashPoint):
+                run_grid_durable(store, methods=METHODS, seed=SEED)
+            result = resume_run(store, store.run_ids()[0])
+            resumed = store.open_run(result.run_id).manifest["steps"]
+            assert {n: e["artifact"] for n, e in resumed.items()} == digests, (
+                f"resume after crash at {boundary!r} diverged"
+            )
+
+    def test_crash_after_commit_replays_that_step(self, reference, tmp_path):
+        digests, _boundaries = reference
+        store = ArtifactStore(tmp_path / "post")
+        site = "step:cell:dmv/fcn/random:post-commit"
+        with inject(FaultInjector([FaultSpec(site=site)])), pytest.raises(CrashPoint):
+            run_grid_durable(store, methods=METHODS, seed=SEED)
+        result = resume_run(store, store.run_ids()[0])
+        # Everything up to and including the committed cell replays from
+        # its checkpoint; only the tail re-executes.
+        assert "cell:dmv/fcn/random" in result.skipped
+        assert "surrogate:dmv/fcn" in result.skipped
+        assert result.executed == ["cell:dmv/fcn/lbs", "report"]
+        assert store.open_run(result.run_id).step("report")["artifact"] == (
+            digests["report"]
+        )
+
+    def test_resume_of_a_complete_run_executes_nothing(self, reference, tmp_path):
+        store = ArtifactStore(tmp_path / "complete")
+        first = run_grid_durable(store, methods=METHODS, seed=SEED)
+        replay = resume_run(store, first.run_id)
+        assert replay.executed == []
+        assert replay.resumed_fraction == pytest.approx(1.0)
+        assert replay.final == first.final
+
+
+class TestSurrogateLineage:
+    def test_cells_record_surrogate_checkpoint_as_parent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "lineage")
+        result = run_grid_durable(store, methods=("clean", "lbs"), seed=SEED)
+        manifest = store.open_run(result.run_id).manifest
+        surrogate_digest = manifest["steps"]["surrogate:dmv/fcn"]["artifact"]
+        assert manifest["steps"]["cell:dmv/fcn/lbs"]["parents"] == [surrogate_digest]
+        assert manifest["steps"]["cell:dmv/fcn/clean"]["parents"] == []
+        report_parents = manifest["steps"]["report"]["parents"]
+        assert manifest["steps"]["cell:dmv/fcn/lbs"]["artifact"] in report_parents

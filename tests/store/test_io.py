@@ -1,0 +1,129 @@
+"""Atomic writes, retry/backoff under injected IO faults, canonical JSON."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_json_bytes,
+    inject,
+    jsonify,
+)
+from repro.store.faults import CrashPoint
+from repro.utils.errors import StoreError
+
+
+class TestAtomicWrite:
+    def test_writes_and_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.bin"
+        atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "a.bin", b"data")
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "a.json"
+        atomic_write_bytes(path, b"old content")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_transient_errors_are_retried_with_backoff(self, tmp_path):
+        injector = FaultInjector([FaultSpec(site="write:a.bin", kind="transient",
+                                            times=2)])
+        sleeps = []
+        with inject(injector):
+            atomic_write_bytes(tmp_path / "a.bin", b"ok",
+                               retry=RetryPolicy(attempts=4, backoff=0.5),
+                               sleep=sleeps.append)
+        assert (tmp_path / "a.bin").read_bytes() == b"ok"
+        assert sleeps == [0.5, 1.0]  # exponential backoff between failed tries
+        assert [f.kind for f in injector.fired] == ["transient", "transient"]
+
+    def test_exhausted_retries_raise_store_error(self, tmp_path):
+        injector = FaultInjector([FaultSpec(site="write:a.bin", kind="transient",
+                                            times=99)])
+        with inject(injector), pytest.raises(StoreError, match="after 2 attempts"):
+            atomic_write_bytes(tmp_path / "a.bin", b"ok",
+                               retry=RetryPolicy(attempts=2, backoff=0.0),
+                               sleep=lambda _s: None)
+        assert not (tmp_path / "a.bin").exists()
+
+    def test_torn_write_leaves_truncated_bytes_then_crashes(self, tmp_path):
+        payload = b"0123456789" * 10
+        injector = FaultInjector([FaultSpec(site="write:a.bin", kind="torn",
+                                            keep_bytes=7)])
+        with inject(injector), pytest.raises(CrashPoint):
+            atomic_write_bytes(tmp_path / "a.bin", payload)
+        # The torn prefix reached the FINAL path — exactly what content-hash
+        # verification must catch on the next read.
+        assert (tmp_path / "a.bin").read_bytes() == payload[:7]
+
+    def test_crash_site_boundaries_fire(self, tmp_path):
+        for boundary in ("begin", "done"):
+            injector = FaultInjector([FaultSpec(site=f"write:a.bin:{boundary}")])
+            with inject(injector), pytest.raises(CrashPoint):
+                atomic_write_bytes(tmp_path / boundary / "a.bin", b"x")
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(StoreError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(StoreError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCanonicalJson:
+    def test_same_payload_same_bytes(self):
+        a = canonical_json_bytes({"b": 1, "a": [1, 2]})
+        b = canonical_json_bytes({"a": [1, 2], "b": 1})
+        assert a == b
+        assert a.endswith(b"\n")
+
+    def test_numpy_values_are_coerced(self):
+        payload = {
+            "i": np.int64(3),
+            "f": np.float32(1.5),
+            "flag": np.bool_(True),
+            "arr": np.arange(3),
+        }
+        assert jsonify(payload) == {"i": 3, "f": 1.5, "flag": True, "arr": [0, 1, 2]}
+        assert b'"arr"' in canonical_json_bytes(payload)
+
+    def test_atomic_write_json_round_trips(self, tmp_path):
+        import json
+
+        path = atomic_write_json(tmp_path / "r.json", {"z": 1, "a": np.float64(2)})
+        assert json.loads(path.read_text()) == {"a": 2.0, "z": 1}
+
+
+class TestFaultSpecValidation:
+    def test_rejects_bad_specs(self):
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError):
+            FaultSpec(site="x", kind="meteor")
+        with pytest.raises(ReproError):
+            FaultSpec(site="x", ordinal=0)
+        with pytest.raises(ReproError):
+            FaultSpec(site="x", kind="torn", keep_bytes=-1)
+
+    def test_crash_fires_on_requested_ordinal_only(self, tmp_path):
+        injector = FaultInjector([FaultSpec(site="write:*:done", ordinal=2)])
+        with inject(injector):
+            atomic_write_bytes(tmp_path / "one.bin", b"1")
+            with pytest.raises(CrashPoint) as exc_info:
+                atomic_write_bytes(tmp_path / "two.bin", b"2")
+        assert exc_info.value.site == "write:two.bin:done"
+        # Ordinal-2 means the first write survived untouched.
+        assert (tmp_path / "one.bin").read_bytes() == b"1"
+
+    def test_sites_reached_records_dry_run_boundaries(self, tmp_path):
+        injector = FaultInjector()
+        with inject(injector):
+            atomic_write_bytes(tmp_path / "a.bin", b"x")
+        assert injector.sites_reached == ["write:a.bin:begin", "write:a.bin:done"]

@@ -1,0 +1,163 @@
+"""Content-addressed blobs, typed artifacts, run manifests, lineage, gc."""
+
+import numpy as np
+import pytest
+
+from repro.ce import create_model
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.store import ArtifactStore, content_digest
+from repro.utils.errors import StoreError
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        artifact = store.put_bytes(b"hello", kind="json")
+        assert artifact.digest == content_digest(b"hello")
+        assert artifact.size == 5
+        assert store.get_bytes(artifact.digest) == b"hello"
+        assert store.has_object(artifact.digest)
+
+    def test_put_is_idempotent_and_deduplicates(self, store):
+        a = store.put_bytes(b"same", kind="json")
+        b = store.put_bytes(b"same", kind="report")
+        assert a.digest == b.digest
+        assert len(list(store.objects_dir.glob("*/*"))) == 1
+
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(StoreError, match="unknown artifact kind"):
+            store.put_bytes(b"x", kind="pickle")
+
+    def test_missing_object_raises(self, store):
+        with pytest.raises(StoreError, match="missing artifact"):
+            store.get_bytes(content_digest(b"never written"))
+
+    def test_corrupt_object_detected_on_read(self, store):
+        artifact = store.put_bytes(b"original payload")
+        store.object_path(artifact.digest).write_bytes(b"origi")  # torn
+        assert not store.verify_object(artifact.digest)
+        with pytest.raises(StoreError, match="torn or tampered"):
+            store.get_bytes(artifact.digest)
+
+    def test_put_heals_a_corrupt_blob(self, store):
+        artifact = store.put_bytes(b"payload")
+        store.object_path(artifact.digest).write_bytes(b"pay")
+        store.put_bytes(b"payload")
+        assert store.get_bytes(artifact.digest) == b"payload"
+
+
+class TestTypedArtifacts:
+    def test_json_roundtrip_is_canonical(self, store):
+        a = store.put_json({"b": 1, "a": np.float64(2)})
+        b = store.put_json({"a": 2.0, "b": 1})
+        assert a.digest == b.digest
+        assert store.get_json(a.digest) == {"a": 2.0, "b": 1}
+
+    def test_checkpoint_roundtrip_bitwise(self, store):
+        state = {"w": np.arange(12.0).reshape(3, 4), "cap": np.float64(9.5)}
+        artifact = store.put_checkpoint(state)
+        back = store.get_checkpoint(artifact.digest)
+        for name in state:
+            np.testing.assert_array_equal(back[name], np.asarray(state[name]))
+
+    def test_workload_roundtrip_preserves_queries_and_labels(self, store):
+        db = load_dataset("dmv", scale="smoke", seed=0)
+        workload = WorkloadGenerator(db, Executor(db), seed=3).generate(12)
+        artifact = store.put_workload(workload)
+        assert artifact.kind == "workload"
+        back = store.get_workload(artifact.digest, db.schema)
+        assert len(back) == len(workload)
+        for original, restored in zip(workload, back):
+            assert restored.cardinality == original.cardinality
+            assert sorted(restored.query.tables) == sorted(original.query.tables)
+            assert restored.query.predicates == original.query.predicates
+
+    def test_full_estimator_state_survives_the_store(self, store):
+        db = load_dataset("dmv", scale="smoke", seed=0)
+        encoder = QueryEncoder(db.schema)
+        model = create_model("fcn", encoder, hidden_dim=8, seed=0)
+        model.log_cap = 13.75
+        digest = store.put_checkpoint(model.full_state_dict()).digest
+        twin = create_model("fcn", encoder, hidden_dim=8, seed=42)
+        twin.load_full_state_dict(store.get_checkpoint(digest))
+        assert twin.log_cap == pytest.approx(13.75)
+        np.testing.assert_array_equal(twin.flat_parameters(), model.flat_parameters())
+
+
+class TestRuns:
+    def test_create_open_and_list(self, store):
+        run = store.create_run("demo", "run-1", params={"k": 1}, seed=5)
+        run.set_step("a", status="done", artifact=None)
+        run.commit()
+        assert store.has_run("run-1")
+        reopened = store.open_run("run-1")
+        assert reopened.manifest["pipeline"] == "demo"
+        assert reopened.manifest["seed"] == 5
+        rows = store.list_runs()
+        assert [r["run_id"] for r in rows] == ["run-1"]
+        assert rows[0]["steps_done"] == 1
+
+    def test_duplicate_and_invalid_run_ids_rejected(self, store):
+        store.create_run("demo", "run-1")
+        with pytest.raises(StoreError, match="already exists"):
+            store.create_run("demo", "run-1")
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(StoreError, match="invalid run id"):
+                store.create_run("demo", bad)
+
+    def test_open_unknown_run_lists_known(self, store):
+        store.create_run("demo", "run-1")
+        with pytest.raises(StoreError, match="known runs: run-1"):
+            store.open_run("run-2")
+
+    def test_lineage_edges_and_events(self, store):
+        run = store.create_run("demo", "run-1")
+        parent = store.put_checkpoint({"w": np.ones(2)})
+        child = store.put_json({"result": 1})
+        run.record_artifact("surrogate", parent)
+        run.record_artifact("outcome", child, parents=[parent.digest], step="cell")
+        run.record_event("promotion", digest=parent.digest, round=0)
+        run.commit()
+        reopened = store.open_run("run-1")
+        assert reopened.artifact_digest("outcome") == child.digest
+        assert reopened.manifest["artifacts"]["outcome"]["parents"] == [parent.digest]
+        assert reopened.last_event("promotion")["digest"] == parent.digest
+        assert reopened.events("rollback") == []
+
+    def test_delete_run(self, store):
+        store.create_run("demo", "run-1")
+        store.delete_run("run-1")
+        assert not store.has_run("run-1")
+        with pytest.raises(StoreError, match="unknown run"):
+            store.delete_run("run-1")
+
+
+class TestGc:
+    def test_gc_keeps_referenced_and_drops_orphans(self, store):
+        run = store.create_run("demo", "run-1")
+        kept = store.put_json({"keep": True})
+        run.set_step("a", status="done", artifact=kept.digest, kind="json")
+        run.record_artifact("a", kept, step="a")
+        run.commit()
+        orphan = store.put_bytes(b"orphaned blob")
+        (store.root / "stray.tmp").write_bytes(b"leftover")
+        report = store.gc()
+        assert report["removed_objects"] == 1
+        assert report["kept_objects"] == 1
+        assert report["stray_tmp_removed"] == 1
+        assert store.verify_object(kept.digest)
+        assert not store.has_object(orphan.digest)
+
+    def test_event_digests_are_gc_roots(self, store):
+        run = store.create_run("demo", "run-1")
+        checkpoint = store.put_checkpoint({"w": np.ones(3)})
+        run.record_event("promotion", digest=checkpoint.digest, round=0)
+        run.commit()
+        store.gc()
+        assert store.verify_object(checkpoint.digest)

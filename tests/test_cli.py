@@ -151,3 +151,56 @@ class TestAnalysisCommands:
         out = capsys.readouterr().out
         assert "R001" in out
         assert "analyze: FAIL" in out
+
+
+class TestDurableRunCommands:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        return str(tmp_path / "store")
+
+    def grid(self, store_dir, *extra):
+        return main([
+            "grid", "--methods", "clean", "random", "--scale", "smoke",
+            "--store", store_dir, *extra,
+        ])
+
+    def test_grid_runs_and_reports_cells(self, store_dir, capsys):
+        assert self.grid(store_dir) == 0
+        out = capsys.readouterr().out
+        assert "dmv/fcn/clean" in out and "dmv/fcn/random" in out
+        assert "report:" in out
+
+    def test_existing_run_requires_resume_flag(self, store_dir, capsys):
+        assert self.grid(store_dir) == 0
+        from repro.utils.errors import StoreError
+
+        with pytest.raises(StoreError, match="resume"):
+            self.grid(store_dir)
+        capsys.readouterr()
+        assert self.grid(store_dir, "--resume") == 0
+        assert "executed: 0" in capsys.readouterr().out
+
+    def test_injected_crash_exits_3_then_runs_resume(self, store_dir, capsys):
+        code = self.grid(store_dir, "--crash-at",
+                         "step:cell:dmv/fcn/random:pre-commit")
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "crashed (injected)" in out
+        assert "pace-repro runs resume" in out
+
+        assert main(["runs", "list", "--store", store_dir]) == 0
+        listing = capsys.readouterr().out
+        assert "running" in listing
+        run_id = listing.split(":")[0].strip()
+
+        assert main(["runs", "resume", run_id, "--store", store_dir]) == 0
+        resumed = capsys.readouterr().out
+        assert "replayed" in resumed and "final artifact" in resumed
+
+        assert main(["runs", "show", run_id, "--store", store_dir]) == 0
+        shown = capsys.readouterr().out
+        assert "[done] report" in shown
+        assert "parent" in shown
+
+        assert main(["runs", "gc", "--store", store_dir]) == 0
+        assert "removed 0 objects" in capsys.readouterr().out
