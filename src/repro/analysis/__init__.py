@@ -7,11 +7,19 @@ Four tools live here, all wired into the CLI:
   flows through ``repro.utils.rng``), logging discipline, and
   defensive-coding hygiene. See :mod:`repro.analysis.rules`.
 - ``pace-repro analyze`` — the whole-program layer on top: data-flow and
-  call-graph rules (R007-R011, :mod:`repro.analysis.flow`), the gradient
-  audit, and sanitized end-to-end smoke passes over the autograd engine
-  and the serving layer (:mod:`repro.analysis.smoke`).
+  call-graph rules (R007-R012, :mod:`repro.analysis.flow`), the
+  concurrency-safety rules (R013-R016,
+  :mod:`repro.analysis.concurrency`), the gradient audit, sanitized
+  end-to-end smoke passes over the autograd engine and the serving layer
+  (:mod:`repro.analysis.smoke`), and a dynamic 2-worker write-trace
+  cross-check of the process-context labels
+  (:mod:`repro.analysis.concurrency.smoke`).
 - ``pace-repro gradcheck`` — a finite-difference audit of every layer and
   loss in the hand-rolled ``repro.nn`` autograd engine.
+
+Findings render as text, JSON, or SARIF 2.1.0
+(:mod:`repro.analysis.sarif`); repeated runs reuse the content-addressed
+per-file parse cache (:mod:`repro.analysis.flow.cache`).
 """
 
 from repro.analysis.flow import all_flow_rules, flow_rule_ids, run_flow
@@ -30,6 +38,8 @@ from repro.analysis.report import (
     render_text,
     summary_line,
 )
+from repro.analysis.concurrency.smoke import TraceSmokeResult, run_trace_smoke
+from repro.analysis.sarif import render_sarif, sarif_payload
 from repro.analysis.smoke import (
     ServeSmokeResult,
     SmokeResult,
@@ -74,4 +84,8 @@ __all__ = [
     "run_smoke",
     "ServeSmokeResult",
     "run_serve_smoke",
+    "TraceSmokeResult",
+    "run_trace_smoke",
+    "render_sarif",
+    "sarif_payload",
 ]

@@ -1,0 +1,34 @@
+"""Concurrency-safety analysis: process/thread-context inference + R013-R016.
+
+ROADMAP item 1 (the sharded serve cluster) moves the system from one
+process to many, and the codebase is full of process-global singletons —
+the ``PERF`` registry, the injectable clock, per-scenario memo caches —
+that are safe today only because nothing mutable crosses the spawn
+boundary. This package proves that statically, the same way R007-R012
+prove RNG seeding and serve-loop non-blocking discipline:
+
+* :mod:`~repro.analysis.concurrency.contexts` labels every function with
+  the execution contexts it is reachable from (``main``, ``grid-worker``,
+  ``retrain-loop``), seeded from ``multiprocessing`` fan-out calls,
+  ``Thread(target=...)`` sites, and the ``RetrainLoop`` entry points;
+* :mod:`~repro.analysis.concurrency.sharing` computes which classes can
+  have instances shared across those contexts (module-level singletons,
+  ``lru_cache``-memoized object graphs, boundary-seeded classes);
+* :mod:`~repro.analysis.concurrency.locks` identifies lock objects and
+  computes, for every statement, the set of locks held around it;
+* :mod:`~repro.analysis.concurrency.safe` parses the structured
+  ``# safe: R015 <reason>`` suppression and verifies every annotation is
+  load-bearing (suppresses at least one real finding);
+* the four flow rules — R013 spawn-unsafe-argument, R014 lock-order
+  cycle / lock-held-across-blocking-call, R015 cross-context mutable
+  global, R016 fork-captured singleton — live in ``r013_*.py`` ..
+  ``r016_*.py`` and register into the shared flow-rule registry;
+* :mod:`~repro.analysis.concurrency.smoke` is the dynamic cross-check:
+  it spawns a real 2-worker grid under a module-global write tracer and
+  asserts every observed cross-process mutation site was statically
+  labeled (flagged or ``# safe:``-annotated).
+
+This ``__init__`` deliberately imports nothing: the rule modules import
+the flow engine, and the engine imports :mod:`.safe` — keeping the
+package root empty breaks the cycle.
+"""

@@ -1,0 +1,745 @@
+"""Execution-context inference: which contexts can reach each function?
+
+Every function in the program is labeled with the set of *execution
+contexts* it is reachable from:
+
+* ``main`` — the driver process: public API entry points, module-level
+  calls, and everything tests invoke;
+* ``grid-worker`` — a spawned/forked worker process: functions handed to
+  ``multiprocessing`` fan-out calls (``pool.map`` and friends), pool
+  ``initializer=`` hooks, and ``Process(target=...)`` targets;
+* ``retrain-loop`` — a background thread: ``Thread(target=...)`` targets
+  and the retrain-loop entry points (``poll``/``flush``/``run``/``step``
+  on classes named like ``RetrainLoop``), which ROADMAP item 1 moves off
+  the serve thread.
+
+Seeds propagate over the project call graph. The graph uses the precise
+resolver from :class:`~repro.analysis.flow.program.Program` where it can,
+and falls back to a *name-based over-approximation* for attribute calls
+it cannot resolve (``scenario.run()`` links to every method named
+``run``): for a safety analysis, an extra edge costs a reviewable false
+positive, a missing edge costs a silent race. ``with`` statements whose
+context manager is a resolved project call additionally link to the
+``__enter__``/``__exit__`` methods defined in the callee's module, so
+``with PERF.span(...)`` reaches ``_Span.__exit__``.
+
+The pass also records every *process-boundary call site* it saw
+(:class:`BoundaryCall`), which R013 consumes to type-check the payloads
+crossing the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+import weakref
+from typing import Iterator
+
+from repro.analysis.flow.program import ClassInfo, FunctionInfo, ModuleInfo, Program
+from repro.analysis.walker import canonical_call_name, dotted_name
+
+CONTEXT_MAIN = "main"
+CONTEXT_WORKER = "grid-worker"
+CONTEXT_BACKGROUND = "retrain-loop"
+
+ALL_CONTEXTS = (CONTEXT_MAIN, CONTEXT_WORKER, CONTEXT_BACKGROUND)
+
+#: Pool/executor methods whose first argument runs in another worker.
+_FANOUT_METHODS = frozenset({
+    "map", "imap", "imap_unordered", "starmap",
+    "map_async", "starmap_async", "apply", "apply_async", "submit",
+})
+
+#: Fan-out methods where payload args start at position 1 (after the fn).
+_STARRED_PAYLOAD = frozenset({"submit", "apply", "apply_async"})
+
+_PROCESS_CTORS = frozenset({"multiprocessing.Process", "multiprocessing.process.Process"})
+_THREAD_CTORS = frozenset({"threading.Thread", "threading.Timer"})
+
+_BACKGROUND_CLASS_RE = re.compile(r"(RetrainLoop|BackgroundLoop|Daemon)")
+_BACKGROUND_ENTRYPOINTS = frozenset({"poll", "flush", "run", "step", "tick"})
+
+
+@dataclasses.dataclass(frozen=True)
+class ContextSeed:
+    """A function directly entered by some context, with why."""
+
+    qualname: str
+    context: str
+    detail: str
+
+
+@dataclasses.dataclass
+class BoundaryCall:
+    """One call site that hands work (and data) to another context."""
+
+    module: ModuleInfo
+    call: ast.Call
+    kind: str  # pool-fanout | pool-init | process-target | thread-target
+    context: str  # context the callee runs in
+    crosses_process: bool  # payloads are pickled (False for threads)
+    scope: FunctionInfo | None
+    targets: list[FunctionInfo]
+    #: expressions crossing the boundary, labeled for diagnostics
+    payloads: list[tuple[str, ast.expr]]
+
+
+class ContextMap:
+    """Result of :func:`infer_contexts` for one :class:`Program`."""
+
+    def __init__(self) -> None:
+        self.contexts: dict[str, set[str]] = {}
+        self.seeds: list[ContextSeed] = []
+        self.boundary_calls: list[BoundaryCall] = []
+        self.edges: dict[str, set[str]] = {}
+        # (qualname, context) -> seed it was reached from
+        self._origin: dict[tuple[str, str], ContextSeed] = {}
+
+    def of(self, qualname: str) -> frozenset[str]:
+        return frozenset(self.contexts.get(qualname, ()))
+
+    def is_multi_context(self, qualname: str) -> bool:
+        return len(self.contexts.get(qualname, ())) >= 2
+
+    def reaches(self, qualname: str, context: str) -> bool:
+        return context in self.contexts.get(qualname, ())
+
+    def describe(self, qualname: str) -> str:
+        """Human-readable context list with seed provenance."""
+        parts = []
+        for context in ALL_CONTEXTS:
+            if context not in self.contexts.get(qualname, ()):
+                continue
+            origin = self._origin.get((qualname, context))
+            if origin is None:
+                parts.append(context)
+            elif origin.qualname == qualname:
+                parts.append(f"{context} ({origin.detail})")
+            else:
+                short = origin.qualname.rsplit(".", 1)[-1]
+                parts.append(f"{context} (via {short}: {origin.detail})")
+        return ", ".join(parts)
+
+
+_CACHE: "weakref.WeakKeyDictionary[Program, ContextMap]" = weakref.WeakKeyDictionary()
+
+
+def infer_contexts(program: Program) -> ContextMap:
+    """Label every function with the execution contexts reaching it."""
+    cached = _CACHE.get(program)
+    if cached is not None:
+        return cached
+    cmap = ContextMap()
+    methods = _methods_by_name(program)
+    _collect_boundaries(program, cmap, methods)
+    _collect_seeds(program, cmap)
+    _build_edges(program, cmap, methods)
+    _propagate(cmap)
+    _CACHE[program] = cmap
+    return cmap
+
+
+# ----------------------------------------------------------------------
+# boundary-call discovery
+# ----------------------------------------------------------------------
+def _methods_by_name(program: Program) -> dict[str, list[FunctionInfo]]:
+    index: dict[str, list[FunctionInfo]] = {}
+    for info in program.functions.values():
+        if info.owner is not None:
+            index.setdefault(info.name, []).append(info)
+    return index
+
+
+def _properties_by_name(program: Program) -> dict[str, list[FunctionInfo]]:
+    """Methods behind ``@property``/``@cached_property`` — reached by
+    attribute *loads*, which the call-edge walk would otherwise miss."""
+    index: dict[str, list[FunctionInfo]] = {}
+    for info in program.functions.values():
+        if info.owner is None:
+            continue
+        for decorator in info.node.decorator_list:
+            name = decorator.attr if isinstance(decorator, ast.Attribute) else (
+                decorator.id if isinstance(decorator, ast.Name) else None
+            )
+            if name in {"property", "cached_property"}:
+                index.setdefault(info.name, []).append(info)
+                break
+    return index
+
+
+def resolve_func_refs(
+    program: Program,
+    module: ModuleInfo,
+    expr: ast.expr,
+    owner: str | None,
+    methods: dict[str, list[FunctionInfo]] | None = None,
+) -> list[FunctionInfo]:
+    """Project functions an expression like ``f`` / ``self._work`` may name.
+
+    Name-based fallback for unresolvable attributes returns *every* method
+    with that name — an over-approximation, by design.
+    """
+    if isinstance(expr, ast.Name):
+        local = module.functions.get(expr.id)
+        if local is not None:
+            return [local]
+        alias = module.aliases.get(expr.id)
+        if alias is not None:
+            found = program.functions.get(alias)
+            if found is not None:
+                return [found]
+        return []
+    if isinstance(expr, ast.Attribute):
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            if dotted.startswith("self.") and owner is not None:
+                method = dotted[len("self."):]
+                if "." not in method:
+                    found = program.functions.get(f"{module.name}.{owner}.{method}")
+                    if found is not None:
+                        return [found]
+            head, _, rest = dotted.partition(".")
+            canonical = f"{module.aliases.get(head, head)}.{rest}" if rest else head
+            for qualname in (canonical, f"{module.name}.{dotted}"):
+                found = program.functions.get(qualname)
+                if found is not None:
+                    return [found]
+        if methods is not None and not expr.attr.startswith("__"):
+            return list(methods.get(expr.attr, ()))
+    return []
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _elements(expr: ast.expr | None) -> list[ast.expr]:
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return list(expr.elts)
+    return [expr] if expr is not None else []
+
+
+def _classify_boundary(
+    module: ModuleInfo, call: ast.Call
+) -> tuple[str, str, bool] | None:
+    """``(kind, context, crosses_process)`` if this call spawns work."""
+    canonical = canonical_call_name(call, module.aliases)
+    attr = call.func.attr if isinstance(call.func, ast.Attribute) else None
+    if attr in _FANOUT_METHODS:
+        return ("pool-fanout", CONTEXT_WORKER, True)
+    if attr == "Pool" or (canonical is not None and canonical.split(".")[-1] == "Pool"):
+        if _keyword(call, "initializer") is not None:
+            return ("pool-init", CONTEXT_WORKER, True)
+        return None
+    if attr == "Process" or canonical in _PROCESS_CTORS:
+        return ("process-target", CONTEXT_WORKER, True)
+    if attr in {"Thread", "Timer"} or canonical in _THREAD_CTORS:
+        return ("thread-target", CONTEXT_BACKGROUND, False)
+    return None
+
+
+def _collect_boundaries(
+    program: Program, cmap: ContextMap, methods: dict[str, list[FunctionInfo]]
+) -> None:
+    for name in sorted(program.modules):
+        module = program.modules[name]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            classified = _classify_boundary(module, node)
+            if classified is None:
+                continue
+            kind, context, crosses = classified
+            scope = program.enclosing_function(module, node.lineno)
+            owner = scope.owner if scope is not None else None
+            fn_expr, payloads = _boundary_payloads(kind, node)
+            if kind == "pool-fanout" and fn_expr is None:
+                continue  # pool.map() with no args: not a spawn site
+            targets: list[FunctionInfo] = []
+            if fn_expr is not None:
+                targets = resolve_func_refs(program, module, fn_expr, owner, methods)
+                if kind == "pool-fanout" and not targets and not isinstance(
+                    fn_expr, (ast.Lambda, ast.Name, ast.Attribute)
+                ):
+                    continue  # e.g. dict.get(...) results: not provably a fan-out
+            boundary = BoundaryCall(
+                module=module,
+                call=node,
+                kind=kind,
+                context=context,
+                crosses_process=crosses,
+                scope=scope,
+                targets=targets,
+                payloads=payloads,
+            )
+            cmap.boundary_calls.append(boundary)
+            where = f"{module.display_path}:{node.lineno}"
+            for target in targets:
+                cmap.seeds.append(
+                    ContextSeed(target.qualname, context, f"{kind} target at {where}")
+                )
+
+
+def _boundary_payloads(
+    kind: str, call: ast.Call
+) -> tuple[ast.expr | None, list[tuple[str, ast.expr]]]:
+    """The function expression and the data expressions crossing over."""
+    payloads: list[tuple[str, ast.expr]] = []
+    if kind == "pool-fanout":
+        if not call.args:
+            return None, payloads
+        fn_expr = call.args[0]
+        payloads.append(("function argument", fn_expr))
+        attr = call.func.attr if isinstance(call.func, ast.Attribute) else ""
+        if attr in _STARRED_PAYLOAD:
+            rest = call.args[1:]
+        else:
+            rest = call.args[1:2]  # map-style: the iterable of jobs
+        for expr in rest:
+            payloads.append(("payload argument", expr))
+        for label, expr in (("args", _keyword(call, "args")),
+                            ("kwds", _keyword(call, "kwds"))):
+            for element in _elements(expr):
+                payloads.append((f"{label} element", element))
+        return fn_expr, payloads
+    if kind == "pool-init":
+        fn_expr = _keyword(call, "initializer")
+        if fn_expr is not None:
+            payloads.append(("initializer", fn_expr))
+        for element in _elements(_keyword(call, "initargs")):
+            payloads.append(("initargs element", element))
+        return fn_expr, payloads
+    # process-target / thread-target
+    fn_expr = _keyword(call, "target")
+    if fn_expr is not None:
+        payloads.append(("target", fn_expr))
+    for element in _elements(_keyword(call, "args")):
+        payloads.append(("args element", element))
+    kwargs = _keyword(call, "kwargs")
+    if isinstance(kwargs, ast.Dict):
+        for value in kwargs.values:
+            payloads.append(("kwargs value", value))
+    return fn_expr, payloads
+
+
+# ----------------------------------------------------------------------
+# seeds and call-graph edges
+# ----------------------------------------------------------------------
+def _collect_seeds(program: Program, cmap: ContextMap) -> None:
+    spawn_seeded = {s.qualname for s in cmap.seeds if s.context != CONTEXT_MAIN}
+    for name in sorted(program.modules):
+        module = program.modules[name]
+        # Background entry points: the retrain loop runs off-thread.
+        for cls in module.classes.values():
+            if not _BACKGROUND_CLASS_RE.search(cls.name):
+                continue
+            for method in cls.methods.values():
+                if method.name in _BACKGROUND_ENTRYPOINTS:
+                    cmap.seeds.append(ContextSeed(
+                        method.qualname,
+                        CONTEXT_BACKGROUND,
+                        f"background entry point {cls.name}.{method.name}",
+                    ))
+        # Main: public API of target modules, everything tests define,
+        # and module-level (import-time) calls.
+        for fn in program.all_functions(module):
+            if fn.qualname in spawn_seeded:
+                continue
+            if not module.is_target:
+                cmap.seeds.append(
+                    ContextSeed(fn.qualname, CONTEXT_MAIN, "reference/test code")
+                )
+            elif fn.is_public:
+                cmap.seeds.append(
+                    ContextSeed(fn.qualname, CONTEXT_MAIN, "public entry point")
+                )
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call):
+                    target = program.resolve_call(module, call)
+                    if target is not None:
+                        cmap.seeds.append(ContextSeed(
+                            target.qualname,
+                            CONTEXT_MAIN,
+                            f"called at import time ({module.display_path}:{call.lineno})",
+                        ))
+
+
+def _class_init_targets(
+    program: Program, module: ModuleInfo, call: ast.Call
+) -> list[FunctionInfo]:
+    """Edges for ``SomeClass(...)``: the constructor runs ``__init__``."""
+    canonical = canonical_call_name(call, module.aliases)
+    if canonical is None:
+        return []
+    out = []
+    for qualname in (canonical, f"{module.name}.{canonical}"):
+        mod_name, _, cls_name = qualname.rpartition(".")
+        owner_module = program.modules.get(mod_name)
+        if owner_module is None:
+            continue
+        cls = owner_module.classes.get(cls_name)
+        if cls is None:
+            continue
+        for dunder in ("__init__", "__post_init__"):
+            if dunder in cls.methods:
+                out.append(cls.methods[dunder])
+        break
+    return out
+
+
+def _singleton_method(
+    program: Program, module: ModuleInfo, receiver_id: str, attr: str
+) -> FunctionInfo | None:
+    """``PERF.record(...)`` where ``PERF`` was imported from a project
+    module and is bound at module level to ``SomeClass(...)``: resolve
+    to that class's method instead of the name-based over-approximation.
+    """
+    alias = module.aliases.get(receiver_id)
+    if not alias or "." not in alias:
+        return None
+    mod_name, _, bound = alias.rpartition(".")
+    other = program.modules.get(mod_name)
+    if other is None:
+        return None
+    for stmt in other.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == bound):
+            continue
+        if isinstance(value, ast.Call) and isinstance(
+            value.func, (ast.Name, ast.Attribute)
+        ):
+            ctor = (
+                value.func.id
+                if isinstance(value.func, ast.Name)
+                else value.func.attr
+            )
+            cls = _resolve_class_name(program, other, ctor)
+            if cls is not None:
+                return cls.methods.get(attr)
+    return None
+
+
+def _resolve_class_name(
+    program: Program, module: ModuleInfo, name: str
+) -> ClassInfo | None:
+    """A bare class name, in this module or through an import alias."""
+    cls = module.classes.get(name)
+    if cls is not None:
+        return cls
+    alias = module.aliases.get(name)
+    if alias and "." in alias:
+        mod_name, _, bound = alias.rpartition(".")
+        other = program.modules.get(mod_name)
+        if other is not None:
+            return other.classes.get(bound)
+    return None
+
+
+def _super_targets(
+    program: Program, module: ModuleInfo, owner: str, method_name: str
+) -> list[FunctionInfo]:
+    """Edges for ``super().method_name(...)`` inside a method of ``owner``:
+    every base-chain class defining the method (over-approximate MRO)."""
+    out: list[FunctionInfo] = []
+    start = module.classes.get(owner)
+    if start is None:
+        return out
+    queue = [(module, start)]
+    seen = {start.qualname}
+    while queue:
+        mod, cls = queue.pop()
+        for base in cls.node.bases:
+            if isinstance(base, ast.Attribute):
+                base_name = base.attr
+            elif isinstance(base, ast.Name):
+                base_name = base.id
+            else:
+                continue
+            target = _resolve_class_name(program, mod, base_name)
+            if target is None or target.qualname in seen:
+                continue
+            seen.add(target.qualname)
+            if method_name in target.methods:
+                out.append(target.methods[method_name])
+            owner_module = program.modules.get(target.module)
+            if owner_module is not None:
+                queue.append((owner_module, target))
+    return out
+
+
+def _registry_callables(program: Program) -> dict[tuple[str, str], frozenset[str]]:
+    """Callables escaping into module-level containers, per binding.
+
+    ``_BUILDERS = {"dmv": (make_dmv, ...)}`` and
+    ``MODEL_REGISTRY = {cls.model_type: cls for cls in (FCN, ...)}`` are
+    dispatch tables: a later ``_BUILDERS[name]`` subscript calls one of
+    the escaped values. Maps ``(module, binding)`` to the qualnames a
+    call through that binding may reach (functions directly; classes via
+    their ``__init__``/``__post_init__``).
+    """
+    out: dict[tuple[str, str], frozenset[str]] = {}
+    for name in sorted(program.modules):
+        module = program.modules[name]
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not any(
+                isinstance(sub, (ast.Dict, ast.DictComp, ast.List, ast.Tuple, ast.Set))
+                for sub in ast.walk(value)
+            ):
+                continue
+            reached: set[str] = set()
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name):
+                    # init.xavier_uniform inside a dispatch dict.
+                    alias = module.aliases.get(sub.value.id)
+                    other = program.modules.get(alias) if alias else None
+                    if other is not None:
+                        target = other.functions.get(sub.attr)
+                        if target is not None:
+                            reached.add(target.qualname)
+                    continue
+                if not isinstance(sub, ast.Name):
+                    continue
+                fn = module.functions.get(sub.id)
+                if fn is None:
+                    alias = module.aliases.get(sub.id)
+                    if alias and "." in alias:
+                        mod_name, _, bound = alias.rpartition(".")
+                        other = program.modules.get(mod_name)
+                        if other is not None:
+                            fn = other.functions.get(bound)
+                if fn is not None:
+                    reached.add(fn.qualname)
+                    continue
+                cls = _resolve_class_name(program, module, sub.id)
+                if cls is not None:
+                    for dunder in ("__init__", "__post_init__"):
+                        if dunder in cls.methods:
+                            reached.add(cls.methods[dunder].qualname)
+            if not reached:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out[(module.name, target.id)] = frozenset(reached)
+    return out
+
+
+def _registry_of_subscript(
+    module: ModuleInfo,
+    expr: ast.expr,
+    registries: dict[tuple[str, str], frozenset[str]],
+) -> frozenset[str] | None:
+    """The dispatch-table entries ``expr`` (``TABLE[key]`` or
+    ``TABLE.get(key)``) may produce, or None when it is not a known
+    dispatch table."""
+    if isinstance(expr, ast.Subscript):
+        base = expr.value
+    elif (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "get"
+    ):
+        base = expr.func.value
+    else:
+        return None
+    if isinstance(base, ast.Name):
+        direct = registries.get((module.name, base.id))
+        if direct is not None:
+            return direct
+        alias = module.aliases.get(base.id)
+        if alias and "." in alias:
+            mod_name, _, bound = alias.rpartition(".")
+            return registries.get((mod_name, bound))
+    if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+        alias = module.aliases.get(base.value.id)
+        if alias is not None:
+            return registries.get((alias, base.attr))
+    return None
+
+
+#: Operator syntax -> the dunder(s) it may dispatch to on project classes.
+_OPERATOR_DUNDERS: dict[type, tuple[str, ...]] = {
+    ast.Add: ("__add__", "__radd__"),
+    ast.Sub: ("__sub__", "__rsub__"),
+    ast.Mult: ("__mul__", "__rmul__"),
+    ast.Div: ("__truediv__", "__rtruediv__"),
+    ast.FloorDiv: ("__floordiv__",),
+    ast.Mod: ("__mod__",),
+    ast.Pow: ("__pow__", "__rpow__"),
+    ast.MatMult: ("__matmul__", "__rmatmul__"),
+    ast.USub: ("__neg__",),
+}
+
+
+def _dunder_names(fn_node: ast.AST) -> set[str]:
+    """Dunders the syntax inside ``fn_node`` may dispatch to."""
+    wanted: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.BinOp):
+            wanted.update(_OPERATOR_DUNDERS.get(type(node.op), ()))
+        elif isinstance(node, ast.UnaryOp):
+            wanted.update(_OPERATOR_DUNDERS.get(type(node.op), ()))
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Store):
+                wanted.add("__setattr__")
+            elif isinstance(node.ctx, ast.Load):
+                wanted.add("__getattr__")
+        elif isinstance(node, ast.Subscript):
+            wanted.add(
+                "__setitem__" if isinstance(node.ctx, ast.Store) else "__getitem__"
+            )
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            wanted.update(("__iter__", "__next__"))
+        elif isinstance(node, ast.Call) and not isinstance(
+            node.func, (ast.Attribute,)
+        ):
+            # Calls through arbitrary expressions (a held callable, an
+            # instance) may land in any project __call__.
+            wanted.add("__call__")
+    return wanted
+
+
+def _build_edges(
+    program: Program, cmap: ContextMap, methods: dict[str, list[FunctionInfo]]
+) -> None:
+    properties = _properties_by_name(program)
+    registries = _registry_callables(program)
+    dunder_index: dict[str, list[FunctionInfo]] = {}
+    for info in program.functions.values():
+        if info.owner is not None and info.name.startswith("__"):
+            dunder_index.setdefault(info.name, []).append(info)
+    for name in sorted(program.modules):
+        module = program.modules[name]
+        for fn in program.all_functions(module):
+            edges = cmap.edges.setdefault(fn.qualname, set())
+            # Locals bound from a dispatch-table subscript: a later call
+            # through the name reaches any of the table's escaped values.
+            dispatch_locals: dict[str, frozenset[str]] = {}
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Assign):
+                    reached = _registry_of_subscript(module, node.value, registries)
+                    if reached is None:
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            dispatch_locals[target.id] = reached
+                        elif isinstance(target, (ast.Tuple, ast.List)):
+                            # builder, _ = TABLE[key] — over-approximate:
+                            # any unpacked name may be the callable.
+                            for element in target.elts:
+                                if isinstance(element, ast.Name):
+                                    dispatch_locals[element.id] = reached
+            for dunder in _dunder_names(fn.node):
+                for target in dunder_index.get(dunder, ()):
+                    if target.qualname != fn.qualname:
+                        edges.add(target.qualname)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Attribute) and node.attr in properties:
+                    for prop in properties[node.attr]:
+                        if prop.qualname != fn.qualname:
+                            edges.add(prop.qualname)
+            with_items = {
+                id(item.context_expr)
+                for node in ast.walk(fn.node)
+                if isinstance(node, (ast.With, ast.AsyncWith))
+                for item in node.items
+            }
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callees: list[FunctionInfo] = []
+                precise = program.resolve_call(module, node, cls=fn.owner)
+                if precise is not None:
+                    callees.append(precise)
+                else:
+                    callees.extend(_class_init_targets(program, module, node))
+                if not callees and isinstance(node.func, ast.Name):
+                    reached = dispatch_locals.get(node.func.id)
+                    if reached is not None:
+                        edges.update(reached)
+                if not callees:
+                    # TABLE[key](...) without the intermediate binding.
+                    reached = _registry_of_subscript(module, node.func, registries)
+                    if reached is not None:
+                        edges.update(reached)
+                if (
+                    not callees
+                    and fn.owner is not None
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Call)
+                    and isinstance(node.func.value.func, ast.Name)
+                    and node.func.value.func.id == "super"
+                ):
+                    callees.extend(
+                        _super_targets(program, module, fn.owner, node.func.attr)
+                    )
+                if not callees and isinstance(node.func, ast.Attribute):
+                    # Name-based fallback, except through import aliases
+                    # (np.mean, os.path.join — the precise resolver
+                    # already had its chance on those).
+                    receiver = node.func.value
+                    via_alias = (
+                        isinstance(receiver, ast.Name) and receiver.id in module.aliases
+                    )
+                    if via_alias:
+                        found = _singleton_method(
+                            program, module, receiver.id, node.func.attr
+                        )
+                        if found is not None:
+                            callees.append(found)
+                    elif not node.func.attr.startswith("__"):
+                        callees.extend(methods.get(node.func.attr, ()))
+                for callee in callees:
+                    edges.add(callee.qualname)
+                # `with helper(...)` also runs the manager's dunders.
+                if id(node) in with_items and callees:
+                    for callee in callees:
+                        owner_module = program.modules.get(callee.module)
+                        if owner_module is None:
+                            continue
+                        for cls in owner_module.classes.values():
+                            for dunder in ("__enter__", "__exit__"):
+                                if dunder in cls.methods:
+                                    edges.add(cls.methods[dunder].qualname)
+
+
+def _propagate(cmap: ContextMap) -> None:
+    for seed in cmap.seeds:
+        context = seed.context
+        if context in cmap.contexts.setdefault(seed.qualname, set()):
+            continue
+        stack = [seed.qualname]
+        cmap.contexts[seed.qualname].add(context)
+        cmap._origin.setdefault((seed.qualname, context), seed)
+        while stack:
+            current = stack.pop()
+            for callee in cmap.edges.get(current, ()):
+                have = cmap.contexts.setdefault(callee, set())
+                if context not in have:
+                    have.add(context)
+                    cmap._origin.setdefault((callee, context), seed)
+                    stack.append(callee)
+
+
+def iter_process_boundaries(program: Program) -> Iterator[BoundaryCall]:
+    """Boundary calls whose payloads are pickled (process, not thread)."""
+    for boundary in infer_contexts(program).boundary_calls:
+        if boundary.crosses_process:
+            yield boundary

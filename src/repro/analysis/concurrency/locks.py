@@ -1,0 +1,252 @@
+"""Lock identification and held-set analysis for R014/R015.
+
+A *lock key* names a lock object the analysis can track across call
+sites:
+
+* ``("global", module, name)`` — a module-level ``LOCK = threading.Lock()``;
+* ``("attr", class_qualname, attr)`` — ``self._lock = threading.Lock()``
+  assigned in any method of the class;
+* ``("local", fn_qualname, name)`` — a lock constructed in a local.
+
+Acquisition is tracked through ``with lock:`` statements (including
+multi-item ``with a, b:``, which yields an ``a -> b`` order edge). Bare
+``.acquire()``/``.release()`` pairs are not scope-tracked — the repo
+style is ``with``; fixtures that need a deadlock demonstrate it with
+``with`` blocks.
+
+:func:`walk_function` computes, per function: the locks it acquires, the
+acquisition-order edges observed inside it, every call made while a lock
+is held, and the set of source lines executed under at least one lock
+(which is how R015 decides whether a shared-state write is guarded).
+:func:`acquired_transitively` closes acquisition over the project call
+graph so ``A -> helper() -> with B:`` still yields the ``A -> B`` edge.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import weakref
+
+from repro.analysis.concurrency.contexts import infer_contexts
+from repro.analysis.flow.dataflow import collect_definitions
+from repro.analysis.flow.program import FunctionInfo, ModuleInfo, Program
+from repro.analysis.walker import canonical_call_name, dotted_name
+
+#: Lock key: (kind, scope, name) — see module docstring.
+LockKey = tuple[str, str, str]
+
+_LOCK_CTORS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+
+def is_lock_constructor(module: ModuleInfo, expr: ast.expr | None) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    canonical = canonical_call_name(expr, module.aliases)
+    return canonical in _LOCK_CTORS
+
+
+def describe_lock(key: LockKey) -> str:
+    kind, scope, name = key
+    short = scope.rsplit(".", 1)[-1]
+    if kind == "global":
+        return f"{short}.{name}"
+    if kind == "attr":
+        return f"{short}.{name}"
+    return name
+
+
+@dataclasses.dataclass
+class FunctionLockInfo:
+    """What one function does with locks."""
+
+    acquired: set[LockKey] = dataclasses.field(default_factory=set)
+    #: ``(held, inner, node)`` — ``inner`` acquired while ``held`` was held
+    order_edges: list[tuple[LockKey, LockKey, ast.AST]] = dataclasses.field(
+        default_factory=list
+    )
+    #: every call made while at least one lock was held
+    calls_under_lock: list[tuple[frozenset[LockKey], ast.Call]] = dataclasses.field(
+        default_factory=list
+    )
+    #: source lines executed while at least one lock was held
+    locked_lines: set[int] = dataclasses.field(default_factory=set)
+
+    def is_locked(self, line: int) -> bool:
+        return line in self.locked_lines
+
+
+class LockIndex:
+    """All module-global and instance-attribute locks in a program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.module_locks: set[tuple[str, str]] = set()
+        self.attr_locks: set[tuple[str, str]] = set()
+        self._defs_cache: dict[int, dict] = {}
+        for name in sorted(program.modules):
+            module = program.modules[name]
+            for node in module.tree.body:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets, value = [node.target], node.value
+                if is_lock_constructor(module, value):
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            self.module_locks.add((module.name, target.id))
+            for cls in module.classes.values():
+                for method in cls.methods.values():
+                    for sub in ast.walk(method.node):
+                        if not isinstance(sub, ast.Assign):
+                            continue
+                        if not is_lock_constructor(module, sub.value):
+                            continue
+                        for target in sub.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                self.attr_locks.add((cls.qualname, target.attr))
+
+    # ------------------------------------------------------------------
+    def resolve(
+        self, module: ModuleInfo, scope: FunctionInfo | None, expr: ast.expr
+    ) -> LockKey | None:
+        """The lock key ``expr`` names at an acquisition site, if any."""
+        if isinstance(expr, ast.Name):
+            if (module.name, expr.id) in self.module_locks:
+                return ("global", module.name, expr.id)
+            alias = module.aliases.get(expr.id)
+            if alias is not None and "." in alias:
+                mod, _, name = alias.rpartition(".")
+                if (mod, name) in self.module_locks:
+                    return ("global", mod, name)
+            if scope is not None:
+                for definition in self._definitions(scope).get(expr.id, ()):
+                    if is_lock_constructor(module, definition.value):
+                        return ("local", scope.qualname, expr.id)
+            return None
+        if isinstance(expr, ast.Attribute):
+            dotted = dotted_name(expr)
+            if dotted is None:
+                return None
+            if (
+                dotted.startswith("self.")
+                and dotted.count(".") == 1
+                and scope is not None
+                and scope.owner is not None
+            ):
+                key = (f"{module.name}.{scope.owner}", expr.attr)
+                if key in self.attr_locks:
+                    return ("attr", *key)
+                return None
+            head, _, rest = dotted.partition(".")
+            resolved = module.aliases.get(head, head)
+            mod, _, name = f"{resolved}.{rest}".rpartition(".")
+            if (mod, name) in self.module_locks:
+                return ("global", mod, name)
+        return None
+
+    def _definitions(self, scope: FunctionInfo) -> dict:
+        cached = self._defs_cache.get(id(scope.node))
+        if cached is None:
+            cached = collect_definitions(scope.node)
+            self._defs_cache[id(scope.node)] = cached
+        return cached
+
+
+def walk_function(
+    index: LockIndex, module: ModuleInfo, fn: FunctionInfo
+) -> FunctionLockInfo:
+    """Held-set walk over one function body."""
+    info = FunctionLockInfo()
+
+    def visit(node: ast.AST, held: list[LockKey]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            added = 0
+            for item in node.items:
+                visit(item.context_expr, held)  # calls in the expr run first
+                key = index.resolve(module, fn, item.context_expr)
+                if key is not None:
+                    for outer in held:
+                        info.order_edges.append((outer, key, item.context_expr))
+                    info.acquired.add(key)
+                    held.append(key)
+                    added += 1
+            if held:
+                end = node.end_lineno or node.lineno
+                info.locked_lines.update(range(node.lineno, end + 1))
+            for child in node.body:
+                visit(child, held)
+            for _ in range(added):
+                held.pop()
+            return
+        if isinstance(node, ast.Call) and held:
+            info.calls_under_lock.append((frozenset(held), node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    visit_children_of = fn.node
+    for child in visit_children_of.body:
+        visit(child, [])
+    return info
+
+
+class LockModel:
+    """Per-program lock analysis: index + per-function walks + closure."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.index = LockIndex(program)
+        self.infos: dict[str, FunctionLockInfo] = {}
+        for name in sorted(program.modules):
+            module = program.modules[name]
+            for fn in program.all_functions(module):
+                self.infos[fn.qualname] = walk_function(self.index, module, fn)
+        self.transitive = self._close_over_calls()
+
+    def _close_over_calls(self) -> dict[str, set[LockKey]]:
+        """Locks a call to each function may acquire, transitively."""
+        edges = infer_contexts(self.program).edges
+        acquired = {q: set(info.acquired) for q, info in self.infos.items()}
+        # The lattice only grows and lock nesting is shallow; a few
+        # passes over the call graph reach the fixpoint.
+        for _ in range(12):
+            changed = False
+            for qualname, callees in edges.items():
+                mine = acquired.setdefault(qualname, set())
+                before = len(mine)
+                for callee in callees:
+                    mine |= acquired.get(callee, set())
+                changed = changed or len(mine) != before
+            if not changed:
+                break
+        return acquired
+
+    def info(self, qualname: str) -> FunctionLockInfo:
+        return self.infos.get(qualname) or FunctionLockInfo()
+
+    def is_locked(self, fn: FunctionInfo | None, line: int) -> bool:
+        if fn is None:
+            return False
+        return self.info(fn.qualname).is_locked(line)
+
+
+_CACHE: "weakref.WeakKeyDictionary[Program, LockModel]" = weakref.WeakKeyDictionary()
+
+
+def lock_model(program: Program) -> LockModel:
+    """The (memoized) lock analysis for a program."""
+    cached = _CACHE.get(program)
+    if cached is None:
+        cached = LockModel(program)
+        _CACHE[program] = cached
+    return cached

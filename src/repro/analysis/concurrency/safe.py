@@ -1,0 +1,171 @@
+"""The ``# safe:`` structured suppression for concurrency findings.
+
+``# noqa`` silences a rule and says nothing else. Concurrency findings
+are different: a write to shared state that the analyzer flags is either
+a bug or *safe for a reason* — the reason is the valuable part, and it
+belongs next to the code. The structured form is::
+
+    self._cache: dict = {}  # safe: R015 per-process cache, workers never share
+
+* the comment names the rule ids it suppresses (``R013``–``R016``) and
+  MUST carry a non-empty reason — a bare ``# safe: R015`` is itself
+  reported (``E998``);
+* the annotation can sit on the write line, on the attribute's
+  ``__init__`` line (covering every write to that attribute in the
+  class), or on a module-level singleton's definition line (covering
+  every write to that global) — the rules consult those related lines;
+* every annotation must be *load-bearing*: after the rules run, any
+  ``# safe:`` that suppressed nothing is reported (``E997``), so stale
+  annotations cannot accumulate the way stale ``# noqa`` comments do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+import weakref
+
+from repro.analysis.flow.program import ModuleInfo, Program
+from repro.analysis.walker import Finding
+
+#: Rules the structured suppression applies to.
+CONCURRENCY_RULE_IDS = frozenset({"R013", "R014", "R015", "R016"})
+
+MALFORMED_SAFE_ID = "E998"
+UNUSED_SAFE_ID = "E997"
+
+_SAFE_MARKER_RE = re.compile(r"#\s*safe\s*:", re.IGNORECASE)
+
+
+def _comment_tokens(lines: list[str]) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` for every real COMMENT token.
+
+    Tokenizing (rather than regex-scanning raw lines, as ``# noqa`` does)
+    keeps ``# safe:`` examples inside docstrings from parsing as
+    annotations. Files reaching this point parsed cleanly, but guard
+    against tokenizer hiccups anyway — a missed comment only costs an
+    E997 later, never a crash.
+    """
+    source = "\n".join(lines) + "\n"
+    out: list[tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                out.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass
+    return out
+_SAFE_RE = re.compile(
+    r"#\s*safe\s*:\s*(?P<ids>R\d{3}(?:\s*,\s*R\d{3})*)\b(?P<reason>.*)$",
+    re.IGNORECASE,
+)
+
+
+@dataclasses.dataclass
+class SafeNote:
+    """One parsed ``# safe: R0xx <reason>`` annotation."""
+
+    module: str
+    path: str
+    line: int
+    rule_ids: frozenset[str]
+    reason: str
+    used: bool = False
+
+
+class SafeSuppressions:
+    """All ``# safe:`` annotations in a program's *target* modules."""
+
+    def __init__(self, program: Program) -> None:
+        self.notes: dict[str, list[SafeNote]] = {}
+        self.malformed: list[Finding] = []
+        for module in program.target_modules():
+            notes = []
+            for lineno, col, text in _comment_tokens(module.lines):
+                if not _SAFE_MARKER_RE.search(text):
+                    continue
+                match = _SAFE_RE.search(text)
+                reason = match.group("reason").strip(" \t-—:,.") if match else ""
+                if match and reason:
+                    ids = frozenset(
+                        part.strip().upper()
+                        for part in match.group("ids").split(",")
+                        if part.strip()
+                    )
+                    notes.append(SafeNote(
+                        module=module.name,
+                        path=module.display_path,
+                        line=lineno,
+                        rule_ids=ids,
+                        reason=reason,
+                    ))
+                else:
+                    self.malformed.append(Finding(
+                        rule_id=MALFORMED_SAFE_ID,
+                        message=(
+                            "malformed '# safe:' suppression — expected "
+                            "'# safe: R0xx[, R0yy] <reason>' with a non-empty reason"
+                        ),
+                        path=module.display_path,
+                        line=lineno,
+                        col=col + 1,
+                        severity="error",
+                        hint="state *why* the flagged pattern cannot race, or delete the comment",
+                    ))
+            if notes:
+                self.notes[module.name] = notes
+
+    def suppresses(
+        self,
+        module: ModuleInfo,
+        rule_id: str,
+        line: int,
+        end_line: int | None = None,
+    ) -> bool:
+        """Is ``rule_id`` safe-annotated on any line of ``[line, end_line]``?
+
+        Marks the matching note used — load-bearing for :meth:`findings`.
+        """
+        end = line if end_line is None or end_line < line else end_line
+        hit = False
+        for note in self.notes.get(module.name, ()):
+            if line <= note.line <= end and rule_id in note.rule_ids:
+                note.used = True
+                hit = True
+        return hit
+
+    def findings(self) -> list[Finding]:
+        """Malformed annotations plus annotations that suppressed nothing."""
+        out = list(self.malformed)
+        for notes in self.notes.values():
+            for note in notes:
+                if note.used:
+                    continue
+                ids = ", ".join(sorted(note.rule_ids))
+                out.append(Finding(
+                    rule_id=UNUSED_SAFE_ID,
+                    message=(
+                        f"'# safe: {ids}' suppresses nothing — the annotation is "
+                        "not load-bearing (the rule no longer fires here)"
+                    ),
+                    path=note.path,
+                    line=note.line,
+                    col=1,
+                    severity="error",
+                    hint="delete the stale '# safe:' comment (or fix the ids it names)",
+                ))
+        return out
+
+
+_CACHE: "weakref.WeakKeyDictionary[Program, SafeSuppressions]" = weakref.WeakKeyDictionary()
+
+
+def safe_suppressions(program: Program) -> SafeSuppressions:
+    """The (memoized) ``# safe:`` map for a program."""
+    cached = _CACHE.get(program)
+    if cached is None:
+        cached = SafeSuppressions(program)
+        _CACHE[program] = cached
+    return cached

@@ -1,0 +1,369 @@
+"""Which classes can have instances *shared* across execution contexts?
+
+R015 flags unguarded writes to shared mutable state. For instance
+attributes that is only a race if the instance itself can be reached
+from more than one context, so the rule needs a conservative closure of
+"shareable" classes:
+
+* classes instantiated at module level (singletons like ``PERF``);
+* classes returned (directly, via locals, via helper calls, possibly
+  inside tuples) from an ``lru_cache``/``cache``-decorated function —
+  the memo keeps one instance alive across every caller;
+* classes with a spawn/background-seeded entry point (``RetrainLoop``);
+* transitively: classes passed into a shared class's constructor, and
+  classes assigned onto attributes of shared instances (including via a
+  parameter annotated with a shared class type).
+
+Everything else — an ``Optimizer`` built inside ``train_model`` and
+dropped on return — stays private, and its caches are not findings.
+
+The closure also records, per class, the *mutable cache attributes*:
+attributes initialized in ``__init__``/``__post_init__`` to a fresh
+``dict``/``list``/``set``/``OrderedDict``/... (or declared as a
+dataclass ``field(default_factory=...)``), with the init line — which is
+where a ``# safe:`` annotation covering all writes to the attribute may
+sit.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import weakref
+
+from repro.analysis.concurrency.contexts import CONTEXT_MAIN, infer_contexts
+from repro.analysis.flow.dataflow import collect_definitions
+from repro.analysis.flow.program import ClassInfo, FunctionInfo, ModuleInfo, Program
+from repro.analysis.walker import canonical_call_name
+
+_MUTABLE_CTORS = frozenset({
+    "dict", "list", "set",
+    "collections.OrderedDict", "collections.defaultdict", "collections.deque",
+    "collections.Counter", "OrderedDict", "defaultdict", "deque", "Counter",
+})
+
+_LRU_DECORATORS = frozenset({
+    "functools.lru_cache", "functools.cache", "lru_cache", "cache",
+})
+
+_MAX_PASSES = 10
+
+
+def is_mutable_initializer(module: ModuleInfo, expr: ast.expr | None) -> str | None:
+    """Kind string if ``expr`` builds a fresh mutable container."""
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Call):
+        canonical = canonical_call_name(expr, module.aliases)
+        if canonical in _MUTABLE_CTORS:
+            return canonical.rsplit(".", 1)[-1]
+    return None
+
+
+def has_lru_decorator(module: ModuleInfo, fn: FunctionInfo) -> bool:
+    for decorator in fn.node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = ast.unparse(target)
+        head, _, rest = name.partition(".")
+        canonical = f"{module.aliases.get(head, head)}.{rest}" if rest else \
+            module.aliases.get(head, head)
+        if canonical in _LRU_DECORATORS or name in _LRU_DECORATORS:
+            return True
+    return False
+
+
+@dataclasses.dataclass
+class AttrInit:
+    """One mutable cache attribute of a class."""
+
+    attr: str
+    line: int
+    kind: str  # dict / list / set / OrderedDict / field(default_factory=...)
+
+
+class SharingModel:
+    """Shared-class closure plus mutable-attribute inventory."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.shared: dict[str, str] = {}  # class qualname -> reason
+        self.mutable_attrs: dict[str, dict[str, AttrInit]] = {}
+        self._class_index: dict[str, ClassInfo] = {}
+        self._returns: dict[str, set[str]] = {}  # fn qualname -> class qualnames
+        for module in program.modules.values():
+            for cls in module.classes.values():
+                self._class_index[cls.qualname] = cls
+        self._collect_mutable_attrs()
+        self._solve_returned_classes()
+        self._seed()
+        self._close()
+
+    # ------------------------------------------------------------------
+    def is_shared(self, class_qualname: str) -> bool:
+        return class_qualname in self.shared
+
+    def reason(self, class_qualname: str) -> str:
+        return self.shared.get(class_qualname, "")
+
+    def attr_init(self, class_qualname: str, attr: str) -> AttrInit | None:
+        return self.mutable_attrs.get(class_qualname, {}).get(attr)
+
+    def shared_bare_names(self) -> set[str]:
+        return {q.rsplit(".", 1)[-1] for q in self.shared}
+
+    # ------------------------------------------------------------------
+    def _collect_mutable_attrs(self) -> None:
+        for module in self.program.modules.values():
+            for cls in module.classes.values():
+                attrs: dict[str, AttrInit] = {}
+                # dataclass fields with a mutable default factory
+                for node in cls.node.body:
+                    if (
+                        isinstance(node, ast.AnnAssign)
+                        and isinstance(node.target, ast.Name)
+                        and isinstance(node.value, ast.Call)
+                    ):
+                        callee = node.value.func
+                        if isinstance(callee, ast.Name) and callee.id == "field":
+                            for kw in node.value.keywords:
+                                if kw.arg == "default_factory":
+                                    attrs[node.target.id] = AttrInit(
+                                        node.target.id, node.lineno,
+                                        "field(default_factory=...)",
+                                    )
+                for method_name in ("__init__", "__post_init__"):
+                    method = cls.methods.get(method_name)
+                    if method is None:
+                        continue
+                    for sub in ast.walk(method.node):
+                        value: ast.expr | None
+                        if isinstance(sub, ast.Assign):
+                            targets, value = sub.targets, sub.value
+                        elif isinstance(sub, ast.AnnAssign):
+                            targets, value = [sub.target], sub.value
+                        else:
+                            continue
+                        kind = is_mutable_initializer(module, value)
+                        if kind is None:
+                            continue
+                        for target in targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                attrs.setdefault(
+                                    target.attr,
+                                    AttrInit(target.attr, sub.lineno, kind),
+                                )
+                if attrs:
+                    self.mutable_attrs[cls.qualname] = attrs
+
+    # ------------------------------------------------------------------
+    def _resolve_class(self, module: ModuleInfo, call: ast.Call) -> str | None:
+        canonical = canonical_call_name(call, module.aliases)
+        if canonical is None:
+            return None
+        for qualname in (canonical, f"{module.name}.{canonical}"):
+            if qualname in self._class_index:
+                return qualname
+        return None
+
+    def _classes_of_expr(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        expr: ast.expr | None,
+        depth: int = 0,
+    ) -> set[str]:
+        """Class qualnames an expression's value may be an instance of."""
+        if expr is None or depth > 6:
+            return set()
+        if isinstance(expr, ast.Call):
+            cls = self._resolve_class(module, expr)
+            if cls is not None:
+                return {cls}
+            owner = scope.owner if scope is not None else None
+            target = self.program.resolve_call(module, expr, cls=owner)
+            if target is not None:
+                return set(self._returns.get(target.qualname, ()))
+            return set()
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            out: set[str] = set()
+            for element in expr.elts:
+                out |= self._classes_of_expr(module, scope, element, depth + 1)
+            return out
+        if isinstance(expr, ast.Name) and scope is not None:
+            out = set()
+            for definition in collect_definitions(scope.node).get(expr.id, ()):
+                if definition.value is not None:
+                    out |= self._classes_of_expr(
+                        module, scope, definition.value, depth + 1
+                    )
+                    continue
+                # Tuple unpacking (`a, b = helper()`) binds the name to
+                # None; recover the classes from the unpacked call.
+                for node in ast.walk(scope.node):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and node.lineno == definition.line
+                        and isinstance(node.value, ast.Call)
+                        and any(
+                            isinstance(t, (ast.Tuple, ast.List))
+                            and any(
+                                isinstance(e, ast.Name) and e.id == expr.id
+                                for e in t.elts
+                            )
+                            for t in node.targets
+                        )
+                    ):
+                        out |= self._classes_of_expr(
+                            module, scope, node.value, depth + 1
+                        )
+            return out
+        return set()
+
+    def _solve_returned_classes(self) -> None:
+        functions = self.program.functions
+        for qualname in functions:
+            self._returns[qualname] = set()
+        for _ in range(8):
+            changed = False
+            for qualname, fn in functions.items():
+                module = self.program.modules.get(fn.module)
+                if module is None:
+                    continue
+                found: set[str] = set()
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Return) and node.value is not None:
+                        found |= self._classes_of_expr(module, fn, node.value)
+                if not found <= self._returns[qualname]:
+                    self._returns[qualname] |= found
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    def _seed(self) -> None:
+        for module in self.program.modules.values():
+            for node in module.tree.body:
+                value: ast.expr | None = None
+                label = ""
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    value = node.value
+                    if node.targets and isinstance(node.targets[0], ast.Name):
+                        label = node.targets[0].id
+                elif isinstance(node, ast.AnnAssign) and isinstance(node.value, ast.Call):
+                    value = node.value
+                    if isinstance(node.target, ast.Name):
+                        label = node.target.id
+                if value is None:
+                    continue
+                cls = self._resolve_class(module, value)
+                if cls is not None:
+                    self.shared.setdefault(
+                        cls, f"module-level singleton {label!r} in {module.name}"
+                    )
+            for fn in self.program.all_functions(module):
+                if has_lru_decorator(module, fn):
+                    for cls in self._returns.get(fn.qualname, ()):
+                        self.shared.setdefault(
+                            cls, f"memoized by lru_cache'd {fn.name!r}"
+                        )
+        contexts = infer_contexts(self.program)
+        for seed in contexts.seeds:
+            if seed.context == CONTEXT_MAIN:
+                continue
+            fn = self.program.functions.get(seed.qualname)
+            if fn is not None and fn.owner is not None:
+                qualname = f"{fn.module}.{fn.owner}"
+                if qualname in self._class_index:
+                    self.shared.setdefault(qualname, f"{seed.context} entry point")
+
+    def _close(self) -> None:
+        for _ in range(_MAX_PASSES):
+            changed = False
+            bare = self.shared_bare_names()
+            for module in self.program.modules.values():
+                for fn in self.program.all_functions(module):
+                    changed |= self._expand_in_function(module, fn, bare)
+                changed |= self._expand_module_level(module)
+            if not changed:
+                break
+
+    def _expand_module_level(self, module: ModuleInfo) -> bool:
+        changed = False
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call):
+                    changed |= self._expand_ctor_args(module, None, call)
+        return changed
+
+    def _expand_in_function(
+        self, module: ModuleInfo, fn: FunctionInfo, shared_bare: set[str]
+    ) -> bool:
+        changed = False
+        annotations = fn.param_annotations()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                changed |= self._expand_ctor_args(module, fn, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    root = target.value
+                    if not isinstance(root, ast.Name):
+                        continue
+                    shared_root = False
+                    if root.id == "self" and fn.owner is not None:
+                        shared_root = self.is_shared(f"{module.name}.{fn.owner}")
+                    else:
+                        annotation = annotations.get(root.id, "")
+                        shared_root = annotation != "" and any(
+                            name in annotation for name in shared_bare
+                        )
+                    if not shared_root:
+                        continue
+                    for cls in self._classes_of_expr(module, fn, node.value):
+                        if cls not in self.shared:
+                            self.shared[cls] = (
+                                f"stored on shared instance attribute "
+                                f"{root.id}.{target.attr} in {fn.qualname}"
+                            )
+                            changed = True
+        return changed
+
+    def _expand_ctor_args(
+        self, module: ModuleInfo, scope: FunctionInfo | None, call: ast.Call
+    ) -> bool:
+        cls = self._resolve_class(module, call)
+        if cls is None or cls not in self.shared:
+            return False
+        changed = False
+        exprs = list(call.args) + [kw.value for kw in call.keywords]
+        for expr in exprs:
+            for arg_cls in self._classes_of_expr(module, scope, expr):
+                if arg_cls not in self.shared:
+                    self.shared[arg_cls] = (
+                        f"passed into shared {cls.rsplit('.', 1)[-1]} constructor"
+                    )
+                    changed = True
+        return changed
+
+
+_CACHE: "weakref.WeakKeyDictionary[Program, SharingModel]" = weakref.WeakKeyDictionary()
+
+
+def sharing_model(program: Program) -> SharingModel:
+    """The (memoized) shared-class closure for a program."""
+    cached = _CACHE.get(program)
+    if cached is None:
+        cached = SharingModel(program)
+        _CACHE[program] = cached
+    return cached

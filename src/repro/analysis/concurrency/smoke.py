@@ -1,0 +1,183 @@
+"""Dynamic cross-check of the static process-context labels.
+
+The context pass (:mod:`repro.analysis.concurrency.contexts`) claims to
+know every function a grid worker can reach. This smoke *measures* that
+claim instead of trusting it: it spawns a real 2-worker grid — the same
+``Pool``/``_run_grid_job`` shape :func:`repro.harness.experiments.run_grid`
+uses — with a ``sys.settrace`` write-tracing hook installed in every
+worker, records each write-shaped statement (global rebind, subscript or
+attribute store, container-mutator call) that actually executes in a
+worker process, and then asserts that every observed mutation site sits
+inside a function the static pass labeled as worker-reachable.
+
+A site the tracer saw but the labeling missed means the static call
+graph has a hole — exactly the failure mode that would make R013–R016
+silently under-report — so the smoke fails the analysis with the
+unlabeled ``path:line`` sites by name.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import sys
+
+from repro.analysis.concurrency.contexts import CONTEXT_WORKER, infer_contexts
+from repro.analysis.flow.program import Program, build_program
+
+#: Container methods the tracer's static site map treats as writes —
+#: mirrors R015's mutator taxonomy.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "move_to_end", "appendleft",
+    "cache_clear",
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSmokeResult:
+    """Outcome of the dynamic context-label cross-check."""
+
+    passed: bool
+    observed: int  # distinct write sites seen executing in workers
+    labeled: int  # of those, statically labeled worker-reachable
+    workers: int
+    unlabeled: tuple = ()  # ("path:line", ...) sites the labeling missed
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# static side: every write-shaped line, and which are worker-labeled
+# ----------------------------------------------------------------------
+def _write_nodes(fn_node: ast.AST):
+    """Write-shaped statements under ``fn_node`` (over-approximate)."""
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            yield node
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+        ):
+            yield node
+
+
+def _site_maps(program: Program) -> tuple[dict[str, frozenset[int]], dict[str, set[int]]]:
+    """``(all write lines, worker-labeled write lines)`` per absolute path.
+
+    A line counts as labeled when *any* enclosing function reaches the
+    worker context — nested defs execute inside their parent's span.
+    """
+    contexts = infer_contexts(program)
+    all_lines: dict[str, set[int]] = {}
+    labeled: dict[str, set[int]] = {}
+    for module in program.target_modules():
+        path = str(module.path.resolve())
+        for fn in program.all_functions(module):
+            reaches_worker = CONTEXT_WORKER in contexts.of(fn.qualname)
+            for node in _write_nodes(fn.node):
+                span = range(node.lineno, (node.end_lineno or node.lineno) + 1)
+                all_lines.setdefault(path, set()).update(span)
+                if reaches_worker:
+                    labeled.setdefault(path, set()).update(span)
+    frozen = {path: frozenset(lines) for path, lines in all_lines.items()}
+    return frozen, labeled
+
+
+# ----------------------------------------------------------------------
+# dynamic side: the per-worker write tracer
+# ----------------------------------------------------------------------
+_TRACE_LINES: dict[str, frozenset[int]] = {}
+_OBSERVED: set = set()
+
+
+def _trace(frame, event, arg):
+    filename = frame.f_code.co_filename
+    lines = _TRACE_LINES.get(filename)
+    if event == "call":
+        # Returning None keeps uninteresting files line-trace-free, so the
+        # tracer only taxes frames that can contain candidate sites.
+        return _trace if lines else None
+    if event == "line" and lines and frame.f_lineno in lines:
+        _OBSERVED.add((filename, frame.f_lineno))
+    return _trace
+
+
+def _trace_init(site_lines: dict[str, frozenset[int]], deterministic_timing: bool) -> None:
+    """Worker initializer: normal grid setup plus the write tracer."""
+    from repro.harness.experiments import _grid_worker_init
+
+    _grid_worker_init(deterministic_timing)
+    _TRACE_LINES.update(site_lines)
+    sys.settrace(_trace)
+
+
+def _traced_grid_job(job) -> tuple[int, list]:
+    """Run one real grid cell, returning the write sites observed so far."""
+    from repro.harness.experiments import _run_grid_job
+
+    _run_grid_job(job)
+    return os.getpid(), sorted(_OBSERVED)
+
+
+# ----------------------------------------------------------------------
+# the smoke itself
+# ----------------------------------------------------------------------
+def run_trace_smoke(
+    program: Program | None = None,
+    seed: int = 0,
+    workers: int = 2,
+) -> TraceSmokeResult:
+    """Spawn a traced 2-worker grid and cross-check the context labels."""
+    import multiprocessing as mp
+
+    from repro.harness.experiments import GridJob
+
+    try:
+        if program is None:
+            package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+            program = build_program([package_root])
+        site_lines, labeled = _site_maps(program)
+        jobs = [
+            GridJob("dmv", "fcn", "random", scale="smoke", seed=seed),
+            GridJob("dmv", "fcn", "clean", scale="smoke", seed=seed + 1),
+        ]
+        context = mp.get_context("fork")
+        with context.Pool(
+            processes=workers,
+            initializer=_trace_init,
+            initargs=(site_lines, True),
+        ) as pool:
+            results = pool.map(_traced_grid_job, jobs)
+        observed: set = set()
+        pids = set()
+        for pid, sites in results:
+            pids.add(pid)
+            observed.update((path, line) for path, line in sites)
+        if not observed:
+            return TraceSmokeResult(
+                False, 0, 0, len(pids),
+                detail="the write tracer observed no mutation sites at all",
+            )
+        unlabeled = sorted(
+            f"{os.path.relpath(path)}:{line}"
+            for path, line in observed
+            if line not in labeled.get(path, ())
+        )
+        observed_count = len(observed)
+        labeled_count = observed_count - len(unlabeled)
+        if unlabeled:
+            shown = ", ".join(unlabeled[:8])
+            more = "" if len(unlabeled) <= 8 else f" (+{len(unlabeled) - 8} more)"
+            return TraceSmokeResult(
+                False, observed_count, labeled_count, len(pids),
+                unlabeled=tuple(unlabeled),
+                detail=f"worker-executed write sites missing a static label: {shown}{more}",
+            )
+        return TraceSmokeResult(True, observed_count, labeled_count, len(pids))
+    except Exception as exc:  # noqa: R003 — the gate wants a verdict, not a traceback
+        return TraceSmokeResult(False, 0, 0, 0, detail=f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,74 @@
+"""Incremental per-file cache for the whole-program index.
+
+Parsing plus symbol/reference indexing dominates ``pace-repro analyze``
+wall-clock on warm trees: the flow rules re-read every file on every run
+even though almost none of them changed. This cache stores each file's
+parsed :class:`~repro.analysis.flow.program.ModuleInfo` (tree, symbol
+tables) and its reference list, keyed by the sha256 of the file's
+*content* plus its resolved path — edit a file or move it and its entry
+simply misses; stale entries can never be served.
+
+Entries are written through :func:`repro.store.io.atomic_write_bytes`
+(write-then-rename, same guarantees as the artifact store), so a killed
+analyze run can never leave a torn pickle behind. A corrupt or
+unreadable entry degrades to a re-parse, never an error. ``pace-repro
+analyze --no-cache`` bypasses the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+
+from repro.store.io import atomic_write_bytes
+
+#: Bump when ModuleInfo's shape (or indexing semantics) changes — old
+#: entries then miss instead of deserializing into the wrong shape.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".pace-analyze-cache"
+
+
+def content_digest(source: bytes, path: Path) -> str:
+    """sha256 over content + resolved path + cache version."""
+    hasher = hashlib.sha256()
+    hasher.update(source)
+    hasher.update(str(path.resolve()).encode("utf-8"))
+    hasher.update(str(CACHE_VERSION).encode("ascii"))
+    return hasher.hexdigest()
+
+
+class ProgramCache:
+    """Content-addressed store of per-file parse + index results."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str):
+        """The cached ``(module, references)`` pair, or None on miss."""
+        entry = self._entry_path(digest)
+        try:
+            payload = entry.read_bytes()
+            value = pickle.loads(payload)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, digest: str, value) -> None:
+        """Persist ``(module, references)``; failures are non-fatal."""
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write_bytes(self._entry_path(digest), payload, fsync=False)
+        except Exception:  # noqa: R003 — an unwritable cache must degrade to a miss, not fail the analysis
+            # A cache that cannot write is just a cache that always
+            # misses; the analysis result is identical either way.
+            pass

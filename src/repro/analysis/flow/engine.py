@@ -99,19 +99,49 @@ def run_flow(
     paths: Iterable[Path | str],
     reference_paths: Iterable[Path | str] = (),
     select: Iterable[str] | None = None,
+    program: Program | None = None,
 ) -> list[Finding]:
     """Run the whole-program rules over ``paths``.
 
     ``reference_paths`` (tests, benchmarks, examples) widen the universe
     the analyses see — a helper called only from a test is *not* dead —
-    without themselves being flagged.
+    without themselves being flagged. A prebuilt ``program`` (e.g. from
+    the incremental cache) skips the parse.
+
+    Concurrency findings (R013–R016) honor the structured ``# safe:``
+    suppression in addition to ``# noqa``; when all four concurrency
+    rules run, malformed and non-load-bearing ``# safe:`` annotations
+    are themselves reported (E998/E997).
     """
+    from repro.analysis.concurrency.safe import (
+        CONCURRENCY_RULE_IDS,
+        safe_suppressions,
+    )
+
     rules = all_flow_rules(select=select)
-    program = build_program(paths, reference_paths=reference_paths)
+    if program is None:
+        program = build_program(paths, reference_paths=reference_paths)
+    safe = safe_suppressions(program)
     by_display = {m.display_path: m for m in program.modules.values()}
     findings = []
     for rule in rules:
         for finding in rule.check(program):
+            module = by_display.get(finding.path)
+            if module is not None:
+                if suppressed_in_range(
+                    module.suppressions, finding.rule_id, finding.line, finding.end_line
+                ):
+                    continue
+                if finding.rule_id in CONCURRENCY_RULE_IDS and safe.suppresses(
+                    module, finding.rule_id, finding.line, finding.end_line
+                ):
+                    continue
+            findings.append(finding)
+    # Only audit the structured suppressions when every rule they can
+    # name actually ran — a partial --select must not report false
+    # "unused annotation" findings.
+    if CONCURRENCY_RULE_IDS <= {rule.rule_id for rule in rules}:
+        for finding in safe.findings():
             module = by_display.get(finding.path)
             if module is not None and suppressed_in_range(
                 module.suppressions, finding.rule_id, finding.line, finding.end_line

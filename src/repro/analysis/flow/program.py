@@ -171,11 +171,22 @@ class Program:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_module(self, path: Path, is_target: bool) -> None:
-        source = path.read_text(encoding="utf-8")
+    def add_module(self, path: Path, is_target: bool, cache=None) -> None:
+        raw = path.read_bytes()
+        if cache is not None:
+            from repro.analysis.flow.cache import content_digest
+
+            digest = content_digest(raw, path)
+            cached = cache.get(digest)
+            if cached is not None:
+                module, references = cached
+                module.is_target = is_target
+                self._register(module, references)
+                return
         try:
+            source = raw.decode("utf-8")
             tree = ast.parse(source, filename=str(path))
-        except SyntaxError:
+        except (SyntaxError, UnicodeDecodeError):
             # The per-file linter reports E999 for target files; the flow
             # layer just leaves broken files out of the universe.
             return
@@ -192,8 +203,17 @@ class Program:
             is_target=is_target,
         )
         self._index_symbols(module)
-        self._index_references(module)
-        self.modules[name] = module
+        references = _collect_references(module.tree)
+        self._register(module, references)
+        if cache is not None:
+            cache.put(digest, (module, references))
+
+    def _register(self, module: ModuleInfo, references: list[tuple[str, int]]) -> None:
+        self.modules[module.name] = module
+        for info in self.all_functions(module):
+            self.functions[info.qualname] = info
+        for name, line in references:
+            self.references.setdefault(name, []).append(Reference(module.name, line))
 
     def _index_symbols(self, module: ModuleInfo) -> None:
         for node in module.tree.body:
@@ -226,22 +246,22 @@ class Program:
                         self.functions[info.qualname] = info
                 module.classes[node.name] = cls
 
-    def _index_references(self, module: ModuleInfo) -> None:
-        def add(name: str, line: int) -> None:
-            self.references.setdefault(name, []).append(Reference(module.name, line))
-
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Name):
-                add(node.id, node.lineno)
-            elif isinstance(node, ast.Attribute):
-                add(node.attr, node.lineno)
-            elif isinstance(node, (ast.Import, ast.ImportFrom)):
-                for alias in node.names:
-                    add(alias.name.split(".")[-1], node.lineno)
-            elif isinstance(node, ast.Assign) and _is_dunder_all(node):
-                for sub in ast.walk(node.value):
-                    if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
-                        add(sub.value, node.lineno)
+def _collect_references(tree: ast.Module) -> list[tuple[str, int]]:
+    """Every ``(name, line)`` reference in a module — cache-friendly."""
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            out.append((node.id, node.lineno))
+        elif isinstance(node, ast.Attribute):
+            out.append((node.attr, node.lineno))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                out.append((alias.name.split(".")[-1], node.lineno))
+        elif isinstance(node, ast.Assign) and _is_dunder_all(node):
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    out.append((sub.value, node.lineno))
+    return out
 
 
 def _is_dunder_all(node: ast.Assign) -> bool:
@@ -273,18 +293,24 @@ def build_parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
 def build_program(
     target_paths: Iterable[Path | str],
     reference_paths: Iterable[Path | str] = (),
+    cache=None,
 ) -> Program:
-    """Parse and index targets plus the surrounding reference universe."""
+    """Parse and index targets plus the surrounding reference universe.
+
+    ``cache`` is an optional
+    :class:`~repro.analysis.flow.cache.ProgramCache`: unchanged files
+    load their parsed module and symbol tables straight from it.
+    """
     program = Program()
     seen: set[Path] = set()
     for path in iter_python_files(target_paths):
         resolved = path.resolve()
         if resolved not in seen:
             seen.add(resolved)
-            program.add_module(path, is_target=True)
+            program.add_module(path, is_target=True, cache=cache)
     for path in iter_python_files(reference_paths):
         resolved = path.resolve()
         if resolved not in seen:
             seen.add(resolved)
-            program.add_module(path, is_target=False)
+            program.add_module(path, is_target=False, cache=cache)
     return program

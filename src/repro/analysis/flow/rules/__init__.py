@@ -7,4 +7,8 @@ from repro.analysis.flow.rules import (  # noqa: F401 — imports register rules
     r010_span_leak,
     r011_blocking_call,
     r012_adhoc_artifact_write,
+    r013_spawn_unsafe_argument,
+    r014_lock_discipline,
+    r015_cross_context_global,
+    r016_fork_captured_singleton,
 )

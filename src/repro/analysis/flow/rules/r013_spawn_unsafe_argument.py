@@ -1,0 +1,233 @@
+"""R013 spawn-unsafe-argument: nothing unpicklable crosses a process boundary.
+
+``run_grid`` fans jobs out with ``pool.map``; every argument (and the
+pool initializer's ``initargs``) is pickled in the parent and unpickled
+in the worker. Four families of values survive that trip either not at
+all or — worse — *wrongly*:
+
+* lambdas, nested functions and generator expressions (pickle refuses);
+* open file handles (``open(...)`` results — the descriptor number is
+  meaningless in the child);
+* lock objects (``threading.Lock()`` and friends — a pickled lock is a
+  *different* lock, so the "shared" exclusion silently isn't);
+* :class:`repro.nn.tensor.Tensor` values with ``requires_grad=True`` —
+  the autograd graph behind them (parents, grad_fn closures) either
+  fails to pickle or detaches silently, and gradients stop flowing.
+
+The rule walks every process-boundary call site recorded by the context
+pass and classifies each crossing expression through reaching
+definitions and helper-return summaries (same fixpoint style as the RNG
+taint in :mod:`~repro.analysis.flow.dataflow`). Thread boundaries
+(``Thread(target=...)``) are exempt — nothing is pickled in-process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.concurrency.contexts import (
+    BoundaryCall,
+    iter_process_boundaries,
+)
+from repro.analysis.flow.dataflow import collect_definitions
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import FunctionInfo, ModuleInfo, Program
+from repro.analysis.walker import Finding, canonical_call_name
+
+_LOCK_CTORS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore", "threading.Event",
+    "threading.Barrier", "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+_MAX_DEPTH = 8
+
+
+class _Picklability:
+    """Classify expressions whose pickled form is broken or lying."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries: dict[str, str | None] = {}
+        self._defs_cache: dict[int, dict] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        for qualname in self.program.functions:
+            self.summaries[qualname] = None
+        for _ in range(6):
+            changed = False
+            for qualname, fn in self.program.functions.items():
+                if self.summaries[qualname] is not None:
+                    continue
+                module = self.program.modules.get(fn.module)
+                if module is None:
+                    continue
+                found: str | None = None
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Return) and node.value is not None:
+                        found = self.classify(module, fn, node.value, node.lineno)
+                        if found is not None:
+                            break
+                if found is not None:
+                    self.summaries[qualname] = found
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        expr: ast.expr,
+        line: int,
+        _depth: int = 0,
+    ) -> str | None:
+        """Description of the unpicklable member, or None if none proven."""
+        if _depth > _MAX_DEPTH:
+            return None
+        if isinstance(expr, ast.Lambda):
+            return "a lambda (pickle refuses function objects defined inline)"
+        if isinstance(expr, ast.GeneratorExp):
+            return "a generator expression (unpicklable)"
+        if isinstance(expr, (ast.ListComp, ast.SetComp)):
+            return self.classify(module, scope, expr.elt, line, _depth + 1)
+        if isinstance(expr, ast.DictComp):
+            return self.classify(module, scope, expr.value, line, _depth + 1)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                found = self.classify(module, scope, element, line, _depth + 1)
+                if found is not None:
+                    return found
+            return None
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is None:
+                    continue
+                found = self.classify(module, scope, value, line, _depth + 1)
+                if found is not None:
+                    return found
+            return None
+        if isinstance(expr, ast.Starred):
+            return self.classify(module, scope, expr.value, line, _depth + 1)
+        if isinstance(expr, ast.Call):
+            return self._classify_call(module, scope, expr, _depth)
+        if isinstance(expr, ast.Name):
+            return self._classify_name(module, scope, expr, line, _depth)
+        return None
+
+    def _classify_call(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        call: ast.Call,
+        depth: int,
+    ) -> str | None:
+        canonical = canonical_call_name(call, module.aliases)
+        if canonical == "open":
+            return "an open file handle (descriptors do not survive the spawn)"
+        if canonical in _LOCK_CTORS:
+            return (
+                f"a {canonical.rsplit('.', 1)[-1]}() synchronization primitive "
+                "(the unpickled copy is a different lock — exclusion is lost)"
+            )
+        bare = (canonical or "").rsplit(".", 1)[-1]
+        if bare == "Tensor" or (canonical or "").endswith("tensor.Tensor"):
+            if self._truthy_keyword(call, "requires_grad"):
+                return (
+                    "a Tensor with requires_grad=True (its live autograd graph "
+                    "does not survive pickling)"
+                )
+        if self._truthy_keyword(call, "create_graph"):
+            return "a value carrying a second-order autograd graph (create_graph=True)"
+        owner = scope.owner if scope is not None else None
+        target = self.program.resolve_call(module, call, cls=owner)
+        if target is not None and depth <= _MAX_DEPTH:
+            summary = self.summaries.get(target.qualname)
+            if summary is not None:
+                return f"the result of {target.name}(), which returns {summary}"
+        return None
+
+    def _classify_name(
+        self,
+        module: ModuleInfo,
+        scope: FunctionInfo | None,
+        name: ast.Name,
+        line: int,
+        depth: int,
+    ) -> str | None:
+        if scope is None:
+            return None
+        # A reference to a function nested inside the enclosing scope is
+        # itself unpicklable (pickle serializes functions by qualname).
+        for node in ast.walk(scope.node):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not scope.node
+                and node.name == name.id
+            ):
+                return f"the nested function {name.id!r} (not importable by the worker)"
+        defs = self._defs_cache.get(id(scope.node))
+        if defs is None:
+            defs = collect_definitions(scope.node)
+            self._defs_cache[id(scope.node)] = defs
+        for definition in defs.get(name.id, ()):
+            if definition.line > line or definition.value is None:
+                continue
+            found = self.classify(
+                module, scope, definition.value, definition.line, depth + 1
+            )
+            if found is not None:
+                return f"{name.id!r} (bound at line {definition.line}) holding {found}"
+        return None
+
+    @staticmethod
+    def _truthy_keyword(call: ast.Call, name: str) -> bool:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return not (
+                    isinstance(kw.value, ast.Constant) and not kw.value.value
+                )
+        return False
+
+
+@register_flow
+class SpawnUnsafeArgument(FlowRule):
+    rule_id = "R013"
+    title = "spawn-unsafe-argument"
+    severity = "error"
+    hint = (
+        "pass only plain data across the process boundary (dataclasses of "
+        "str/int/ndarray); rebuild handles, locks and autograd state inside "
+        "the worker initializer"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        picklability = _Picklability(program)
+        for boundary in iter_process_boundaries(program):
+            if not boundary.module.is_target:
+                continue
+            yield from self._check_boundary(program, picklability, boundary)
+
+    def _check_boundary(
+        self, program: Program, picklability: _Picklability, boundary: BoundaryCall
+    ) -> Iterator[Finding]:
+        module = boundary.module
+        scope = boundary.scope
+        seen_lines: set[tuple[int, int]] = set()
+        for label, expr in boundary.payloads:
+            description = picklability.classify(module, scope, expr, expr.lineno)
+            if description is None:
+                continue
+            key = (expr.lineno, expr.col_offset)
+            if key in seen_lines:
+                continue
+            seen_lines.add(key)
+            yield self.finding(
+                module,
+                expr,
+                f"{label} of {boundary.kind} call crosses the process "
+                f"boundary but contains {description}",
+            )

@@ -1,0 +1,140 @@
+"""R014 lock-discipline: no lock-order cycles, no blocking work under a lock.
+
+Two ways a lock strangles the system:
+
+* **Order cycles.** Thread A holds lock L1 and wants L2; thread B holds
+  L2 and wants L1. The rule builds the lock-acquisition graph — an edge
+  ``L1 -> L2`` whenever L2 is acquired (directly or through a callee)
+  while L1 is held — and reports every elementary cycle.
+
+* **Blocking while held.** A ``COUNT(*)`` scan, a retrain step or a
+  ``time.sleep`` executed inside a ``with lock:`` block turns the lock
+  into a system-wide stall: every other context queues behind unbounded
+  work. The blocking taxonomy is shared with R011 (executor/deployment
+  surfaces, trainer entry points), plus ``time.sleep`` and pool fan-out
+  calls.
+
+Lock identity and held-sets come from
+:mod:`repro.analysis.concurrency.locks`; acquisition is tracked through
+``with`` statements (the repo's only locking style).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.concurrency.locks import LockKey, describe_lock, lock_model
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import ModuleInfo, Program
+from repro.analysis.flow.rules.r011_blocking_call import (
+    _BLOCKING_ATTRS,
+    _BLOCKING_FUNCTIONS,
+)
+from repro.analysis.walker import Finding, canonical_call_name
+
+_BLOCKING_CANONICAL = frozenset(_BLOCKING_FUNCTIONS) | {"time.sleep"}
+
+#: Pool fan-out blocks the caller until every worker finishes.
+_FANOUT_ATTRS = frozenset({"map", "starmap", "imap", "imap_unordered"})
+
+
+def _blocking_description(module: ModuleInfo, call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr in _BLOCKING_ATTRS:
+            return f".{call.func.attr}() (ground-truth/deployment surface)"
+        if call.func.attr in _FANOUT_ATTRS:
+            return f".{call.func.attr}() (pool fan-out waits for every worker)"
+    canonical = canonical_call_name(call, module.aliases)
+    if canonical in _BLOCKING_CANONICAL:
+        return f"{canonical}()"
+    return None
+
+
+@register_flow
+class LockDiscipline(FlowRule):
+    rule_id = "R014"
+    title = "lock-order-cycle"
+    severity = "error"
+    hint = (
+        "acquire locks in one global order, and move blocking work outside "
+        "the critical section (swap state under the lock, process it after "
+        "release)"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        model = lock_model(program)
+        # ---- lock-order graph: direct + through-callee acquisitions ----
+        edges: dict[LockKey, dict[LockKey, tuple[ModuleInfo, ast.AST]]] = {}
+
+        def add_edge(outer: LockKey, inner: LockKey, module: ModuleInfo, node: ast.AST):
+            if outer != inner:
+                edges.setdefault(outer, {}).setdefault(inner, (module, node))
+
+        for module in program.target_modules():
+            for fn in program.all_functions(module):
+                info = model.info(fn.qualname)
+                for outer, inner, node in info.order_edges:
+                    add_edge(outer, inner, module, node)
+                for held, call in info.calls_under_lock:
+                    target = program.resolve_call(module, call, cls=fn.owner)
+                    if target is None:
+                        continue
+                    for inner in model.transitive.get(target.qualname, ()):
+                        for outer in held:
+                            add_edge(outer, inner, module, call)
+
+        for cycle in _elementary_cycles(edges):
+            first, second = cycle[0], cycle[1 % len(cycle)]
+            module, node = edges[first][second]
+            chain = " -> ".join(describe_lock(key) for key in (*cycle, cycle[0]))
+            yield self.finding(
+                module,
+                node,
+                f"lock-order cycle {chain}: two contexts interleaving these "
+                "acquisitions deadlock",
+            )
+
+        # ---- blocking calls while a lock is held ----
+        for module in program.target_modules():
+            for fn in program.all_functions(module):
+                info = model.info(fn.qualname)
+                for held, call in info.calls_under_lock:
+                    description = _blocking_description(module, call)
+                    if description is None:
+                        continue
+                    held_names = ", ".join(sorted(describe_lock(k) for k in held))
+                    yield self.finding(
+                        module,
+                        call,
+                        f"blocking call {description} while holding "
+                        f"{held_names} — every context sharing the lock "
+                        "stalls behind unbounded work",
+                    )
+
+
+def _elementary_cycles(
+    edges: dict[LockKey, dict[LockKey, object]]
+) -> list[tuple[LockKey, ...]]:
+    """Deterministic elementary cycles of the lock-order graph.
+
+    The graph is tiny (a handful of locks), so a DFS from each node in
+    sorted order is plenty; cycles are deduplicated by rotation.
+    """
+    seen: set[frozenset[LockKey]] = set()
+    out: list[tuple[LockKey, ...]] = []
+
+    def dfs(start: LockKey, current: LockKey, path: list[LockKey]) -> None:
+        for nxt in sorted(edges.get(current, ())):
+            if nxt == start and len(path) >= 2:
+                key = frozenset(path)
+                if key not in seen:
+                    seen.add(key)
+                    rotation = min(range(len(path)), key=lambda i: path[i])
+                    out.append(tuple(path[rotation:] + path[:rotation]))
+            elif nxt not in path and nxt > start:
+                dfs(start, nxt, path + [nxt])
+
+    for start in sorted(edges):
+        dfs(start, start, [start])
+    return sorted(out)

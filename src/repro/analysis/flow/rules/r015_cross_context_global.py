@@ -1,0 +1,306 @@
+"""R015 cross-context-mutable-global: shared state needs a lock or a reason.
+
+The repo's singletons — the ``PERF`` registry, the installable clock,
+the executor's LRU caches, the workload's per-encoder encoding memo —
+are mutated from code that the context pass proves reachable from two or
+more execution contexts (main, grid worker, retrain loop). Each such
+write must either
+
+* happen while a lock is held (the held-set analysis checks the write
+  line), or
+* carry a structured ``# safe: R015 <reason>`` annotation — on the write
+  itself, on the attribute's ``__init__`` line (covers the attribute
+  class-wide), or on the module-level singleton's definition line
+  (covers every write to that global).
+
+Flagged write shapes:
+
+* rebinding a ``global`` name;
+* subscript/attribute stores and container-mutator calls
+  (``.append``/``.update``/``.move_to_end``/...) through a module-level
+  binding, in this module or through an import alias;
+* the same shapes through ``self.<attr>`` where the owning class is in
+  the shared-instance closure and the attribute is a mutable cache
+  initialized in ``__init__`` (a private ``Optimizer``'s caches are not
+  findings — only instances that can actually be reached from two
+  contexts);
+* ``object.__setattr__(self, ...)`` lazy memos on shared frozen
+  dataclasses;
+* ``lru_cache`` memos on multi-context functions (each process keeps a
+  divergent copy — correct only if the cached value is derived purely
+  from the arguments).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.concurrency.contexts import ContextMap, infer_contexts
+from repro.analysis.concurrency.locks import LockModel, lock_model
+from repro.analysis.concurrency.safe import safe_suppressions
+from repro.analysis.concurrency.sharing import SharingModel, has_lru_decorator, sharing_model
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import FunctionInfo, ModuleInfo, Program
+from repro.analysis.walker import Finding
+
+#: Method names that mutate the receiver container in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "move_to_end", "appendleft",
+    "cache_clear",
+})
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def _module_level_bindings(module: ModuleInfo) -> dict[str, int]:
+    """Names bound at module scope, mapped to their definition line."""
+    out: dict[str, int] = {}
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.setdefault(target.id, node.lineno)
+    return out
+
+
+def _root_name(expr: ast.expr) -> ast.Name | None:
+    """The leftmost Name of an attribute/subscript chain."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr if isinstance(expr, ast.Name) else None
+
+
+@register_flow
+class CrossContextMutableGlobal(FlowRule):
+    rule_id = "R015"
+    title = "cross-context-mutable-global"
+    severity = "error"
+    hint = (
+        "guard the write with a lock, or annotate it with "
+        "'# safe: R015 <reason>' (on the write, the attribute's __init__ "
+        "line, or the singleton's definition line) stating why it cannot race"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        contexts = infer_contexts(program)
+        locks = lock_model(program)
+        sharing = sharing_model(program)
+        safe = safe_suppressions(program)
+        self._bindings_cache: dict[str, dict[str, int]] = {}
+        for module in program.target_modules():
+            for fn in program.all_functions(module):
+                if not contexts.is_multi_context(fn.qualname):
+                    continue
+                if has_lru_decorator(module, fn) and not safe.suppresses(
+                    module, self.rule_id, fn.lineno
+                ):
+                    yield self.finding(
+                        module,
+                        fn.node,
+                        f"lru_cache memo on {fn.name!r}, which is reachable "
+                        f"from multiple contexts ({contexts.describe(fn.qualname)}) "
+                        "— each process keeps a silently divergent copy",
+                    )
+                yield from self._check_function(
+                    program, module, fn, contexts, locks, sharing, safe
+                )
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        program: Program,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        contexts: ContextMap,
+        locks: LockModel,
+        sharing: SharingModel,
+        safe,
+    ) -> Iterator[Finding]:
+        global_names = {
+            name
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        lock_info = locks.info(fn.qualname)
+        for node in ast.walk(fn.node):
+            described = self._describe_write(
+                program, module, fn, node, global_names, sharing
+            )
+            if described is None:
+                continue
+            what, def_module, def_line = described
+            line = node.lineno
+            if lock_info.is_locked(line):
+                continue
+            if def_module is not None and safe.suppresses(
+                def_module, self.rule_id, def_line
+            ):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"unguarded write to {what} from code reachable in "
+                f"multiple contexts: {contexts.describe(fn.qualname)}",
+            )
+
+    def _describe_write(
+        self,
+        program: Program,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.AST,
+        global_names: set[str],
+        sharing: SharingModel,
+    ) -> tuple[str, ModuleInfo | None, int] | None:
+        """``(description, defining module, definition line)`` for a write."""
+        # -- rebinding a declared global ---------------------------------
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in global_names:
+                    line = self._bindings(module).get(target.id, node.lineno)
+                    return (f"module global {target.id!r}", module, line)
+                store = self._store_target(program, module, fn, target, sharing)
+                if store is not None:
+                    return store
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                store = self._store_target(program, module, fn, target, sharing)
+                if store is not None:
+                    return store
+        # -- container mutator calls -------------------------------------
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_METHODS:
+                return self._receiver_state(
+                    program, module, fn, node.func.value, sharing
+                )
+            # object.__setattr__(self, "attr", value): frozen-memo write
+            if (
+                node.func.attr == "__setattr__"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "self"
+                and fn.owner is not None
+                and fn.name not in _INIT_METHODS
+            ):
+                cls_qualname = f"{module.name}.{fn.owner}"
+                if sharing.is_shared(cls_qualname):
+                    cls = module.classes.get(fn.owner)
+                    line = cls.node.lineno if cls is not None else fn.lineno
+                    return (
+                        f"frozen-instance memo of shared {fn.owner} "
+                        "(object.__setattr__)",
+                        module,
+                        line,
+                    )
+        return None
+
+    def _store_target(
+        self,
+        program: Program,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        target: ast.expr,
+        sharing: SharingModel,
+    ) -> tuple[str, ModuleInfo | None, int] | None:
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return None
+        return self._receiver_state(program, module, fn, target.value, sharing)
+
+    def _receiver_state(
+        self,
+        program: Program,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        receiver: ast.expr,
+        sharing: SharingModel,
+    ) -> tuple[str, ModuleInfo | None, int] | None:
+        """Is ``receiver`` (being stored into / mutated) shared state?"""
+        # self.<attr> on a shared class, where <attr> is a cache attribute
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and fn.owner is not None
+        ):
+            if fn.name in _INIT_METHODS:
+                return None  # construction happens-before sharing
+            cls_qualname = f"{module.name}.{fn.owner}"
+            if not sharing.is_shared(cls_qualname):
+                return None
+            init = sharing.attr_init(cls_qualname, receiver.attr)
+            if init is None:
+                return None
+            reason = sharing.reason(cls_qualname)
+            return (
+                f"cache attribute self.{receiver.attr} of {fn.owner} ({reason})",
+                module,
+                init.line,
+            )
+        root = _root_name(receiver)
+        if root is None or root.id == "self":
+            return None
+        # direct module-level binding of this module
+        if root.id not in self._local_names(fn):
+            bindings = self._bindings(module)
+            if root.id in bindings:
+                return (
+                    f"module-level state {root.id!r}",
+                    module,
+                    bindings[root.id],
+                )
+            alias = module.aliases.get(root.id)
+            if alias is not None and "." in alias:
+                mod_name, _, bound = alias.rpartition(".")
+                other = program.modules.get(mod_name)
+                if other is not None and bound in self._bindings(other):
+                    return (
+                        f"module-level state {mod_name}.{bound}",
+                        other,
+                        self._bindings(other)[bound],
+                    )
+        return None
+
+    def _bindings(self, module: ModuleInfo) -> dict[str, int]:
+        cached = self._bindings_cache.get(module.name)
+        if cached is None:
+            cached = _module_level_bindings(module)
+            self._bindings_cache[module.name] = cached
+        return cached
+
+    def _local_names(self, fn: FunctionInfo) -> set[str]:
+        """Names bound locally (params + assignments) shadow module globals."""
+        cache = getattr(self, "_locals_cache", None)
+        if cache is None:
+            cache = self._locals_cache = {}
+        cached = cache.get(fn.qualname)
+        if cached is not None:
+            return cached
+        names = set(fn.param_names())
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+                elif isinstance(node.target, (ast.Tuple, ast.List)):
+                    for element in node.target.elts:
+                        if isinstance(element, ast.Name):
+                            names.add(element.id)
+            elif isinstance(node, ast.Global):
+                for name in node.names:
+                    names.discard(name)
+        cache[fn.qualname] = names
+        return names

@@ -1,0 +1,226 @@
+"""R016 fork-captured-singleton: import-time state mutated after the spawn.
+
+``run_grid``'s workers are forked (or spawned) *after* the parent has
+imported everything: any RNG stream, clock, or perf registry bound at
+module import time is captured into the child as a frozen copy of the
+parent's state at fork. If worker-reachable code then mutates that
+singleton — reseeding an RNG, ``install_clock``-ing a FakeClock,
+incrementing ``PERF`` counters — the copies silently diverge: every
+worker re-runs the same "random" draws, parent timings never see worker
+spans, and nothing crashes.
+
+The rule finds module-level bindings that look like captured singleton
+state — a project class whose name says it holds process state
+(``*Registry``/``*Clock``/``*Rng``/``*State``...), a raw/blessed RNG
+constructor, or a captured callable like ``time.perf_counter`` on a
+``*clock*``/``*rng*``-named global — and reports the *definition* when
+any write to it (a ``global`` rebind, a mutation through the name, or a
+self-mutating method of its class) is reachable from the grid-worker
+context. The finding points at the definition line because that is
+where the fork-capture decision lives, and where the ``# safe: R016``
+annotation (worker initializer re-installs the state, counters are
+per-process by design, ...) belongs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.concurrency.contexts import CONTEXT_WORKER, infer_contexts
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import ModuleInfo, Program
+from repro.analysis.walker import Finding, canonical_call_name
+
+_SINGLETON_CLASS_RE = re.compile(
+    r"(Registry|Clock|Rng|Random|Generator|State|Counter|Cache)"
+)
+_SINGLETON_NAME_RE = re.compile(r"(rng|random|clock|perf|time|counter|seed)", re.I)
+
+_RNG_CTORS = frozenset({
+    "numpy.random.default_rng", "numpy.random.RandomState",
+    "repro.utils.rng.derive_rng", "repro.utils.rng.spawn_rngs",
+})
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "move_to_end", "shuffle",
+    "seed", "incr",
+})
+
+
+@register_flow
+class ForkCapturedSingleton(FlowRule):
+    rule_id = "R016"
+    title = "fork-captured-singleton"
+    severity = "error"
+    hint = (
+        "re-create the state inside the worker initializer instead of "
+        "mutating the forked copy, or annotate the definition with "
+        "'# safe: R016 <reason>' (e.g. the initializer reinstalls it)"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        contexts = infer_contexts(program)
+        for module in program.target_modules():
+            for name, node, described in _singleton_defs(program, module):
+                writes = _worker_writes(program, module, name, node, contexts)
+                if not writes:
+                    continue
+                where = "; ".join(writes[:3])
+                more = "" if len(writes) <= 3 else f" (+{len(writes) - 3} more)"
+                yield self.finding(
+                    module,
+                    node,
+                    f"singleton {name!r} ({described}) is captured at import "
+                    f"time by forked workers but mutated from worker-reachable "
+                    f"code: {where}{more} — per-process copies diverge silently",
+                )
+
+
+def _singleton_defs(
+    program: Program, module: ModuleInfo
+) -> Iterator[tuple[str, ast.stmt, str]]:
+    """Module-level bindings that look like captured singleton state."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        name = target.id
+        if isinstance(value, ast.Call):
+            canonical = canonical_call_name(value, module.aliases) or ""
+            bare = canonical.rsplit(".", 1)[-1]
+            if canonical in _RNG_CTORS:
+                yield name, node, f"bound from {canonical}(...)"
+                continue
+            if _resolved_class(program, module, canonical) and (
+                _SINGLETON_CLASS_RE.search(bare) or _SINGLETON_NAME_RE.search(name)
+            ):
+                yield name, node, f"instance of {bare}"
+                continue
+        if isinstance(value, ast.Attribute) and _SINGLETON_NAME_RE.search(name):
+            dotted = ast.unparse(value)
+            yield name, node, f"captured callable {dotted}"
+
+
+def _resolved_class(program: Program, module: ModuleInfo, canonical: str) -> str | None:
+    for qualname in (canonical, f"{module.name}.{canonical}"):
+        mod_name, _, cls_name = qualname.rpartition(".")
+        owner = program.modules.get(mod_name)
+        if owner is not None and cls_name in owner.classes:
+            return qualname
+    return None
+
+
+def _worker_writes(
+    program: Program,
+    module: ModuleInfo,
+    name: str,
+    def_node: ast.stmt,
+    contexts,
+) -> list[str]:
+    """Sites mutating singleton ``name`` from worker-reachable functions."""
+    writes: list[str] = []
+    # the class behind the singleton, for self-mutation attribution
+    cls_qualname: str | None = None
+    value = def_node.value if isinstance(def_node, (ast.Assign, ast.AnnAssign)) else None
+    if isinstance(value, ast.Call):
+        canonical = canonical_call_name(value, module.aliases) or ""
+        cls_qualname = _resolved_class(program, module, canonical)
+
+    for other_name in sorted(program.modules):
+        other = program.modules[other_name]
+        local = _local_binding_for(other, module, name)
+        if local is None:
+            continue
+        for fn in program.all_functions(other):
+            if not contexts.reaches(fn.qualname, CONTEXT_WORKER):
+                continue
+            for node in ast.walk(fn.node):
+                if _mutates_name(node, local):
+                    writes.append(
+                        f"{other.display_path}:{node.lineno} ({fn.name})"
+                    )
+    if cls_qualname is not None:
+        mod_name, _, cls_name = cls_qualname.rpartition(".")
+        owner = program.modules.get(mod_name)
+        cls = owner.classes.get(cls_name) if owner is not None else None
+        if cls is not None:
+            for method in cls.methods.values():
+                if method.name in {"__init__", "__post_init__"}:
+                    continue
+                if not contexts.reaches(method.qualname, CONTEXT_WORKER):
+                    continue
+                for node in ast.walk(method.node):
+                    if _mutates_self(node):
+                        writes.append(
+                            f"{owner.display_path}:{node.lineno} "
+                            f"({cls_name}.{method.name})"
+                        )
+                        break  # one site per method is enough signal
+    return sorted(set(writes))
+
+
+def _local_binding_for(
+    other: ModuleInfo, home: ModuleInfo, name: str
+) -> str | None:
+    """How ``home.name`` is spelled inside ``other``, if importable there."""
+    if other.name == home.name:
+        return name
+    for local, canonical in other.aliases.items():
+        if canonical == f"{home.name}.{name}":
+            return local
+    return None
+
+
+def _mutates_name(node: ast.AST, name: str) -> bool:
+    """Does this statement rebind or mutate-through ``name``?"""
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            root = target
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id == name and root is not target:
+                return True  # store *through* the singleton
+    if isinstance(node, ast.Global) and name in node.names:
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATOR_METHODS
+    ):
+        root = node.func.value
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id == name:
+            return True
+    return False
+
+
+def _mutates_self(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            root = target
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id == "self" and root is not target:
+                return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATOR_METHODS
+    ):
+        root = node.func.value
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id == "self":
+            return True
+    return False

@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 rendering of lint and flow findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it makes ``pace-repro analyze --format sarif`` and
+``pace-repro lint --format sarif`` uploadable as CI artifacts and
+viewable inline on pull requests. One run object carries the full rule
+catalog (R001–R016 plus the synthetic E-codes) so every result links
+back to its rule's description, even for rules that fired zero times.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.walker import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Synthetic diagnostics that are not registered Rule/FlowRule classes.
+_SYNTHETIC_RULES = {
+    "E999": "file could not be parsed (syntax error)",
+    "E998": "malformed '# safe:' suppression — expected "
+            "'# safe: R0xx[, R0yy] <reason>' with a non-empty reason",
+    "E997": "'# safe:' annotation that suppresses nothing (not load-bearing)",
+}
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_catalog() -> list[dict]:
+    """Every known rule id with its one-line description."""
+    from repro.analysis.flow.engine import _FLOW_REGISTRY, flow_rule_ids
+    from repro.analysis.walker import _REGISTRY, rule_ids
+
+    flow_rule_ids()  # import side effect: registers flow rules
+    rule_ids()  # likewise for the per-file lint rules
+    catalog: list[dict] = []
+    for rule_id in sorted(_REGISTRY):
+        cls = _REGISTRY[rule_id]
+        catalog.append(_rule_entry(rule_id, cls.title, getattr(cls, "hint", "")))
+    for rule_id in sorted(_FLOW_REGISTRY):
+        cls = _FLOW_REGISTRY[rule_id]
+        catalog.append(_rule_entry(rule_id, cls.title, getattr(cls, "hint", "")))
+    for rule_id, title in sorted(_SYNTHETIC_RULES.items()):
+        catalog.append(_rule_entry(rule_id, title, ""))
+    return catalog
+
+
+def _rule_entry(rule_id: str, title: str, hint: str) -> dict:
+    entry = {
+        "id": rule_id,
+        "shortDescription": {"text": title or rule_id},
+    }
+    if hint:
+        entry["help"] = {"text": hint}
+    return entry
+
+
+def _result(finding: Finding) -> dict:
+    region: dict = {"startLine": finding.line, "startColumn": finding.col}
+    if finding.end_line is not None and finding.end_line >= finding.line:
+        region["endLine"] = finding.end_line
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                    "region": region,
+                }
+            }
+        ],
+    }
+    if finding.hint:
+        result["message"] = {
+            "text": f"{finding.message} (hint: {finding.hint})"
+        }
+    return result
+
+
+def sarif_payload(
+    findings: Sequence[Finding], tool_name: str = "pace-repro"
+) -> dict:
+    """The SARIF log object for one analyze/lint run."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], tool_name: str = "pace-repro"
+) -> str:
+    return json.dumps(sarif_payload(findings, tool_name=tool_name), indent=2)

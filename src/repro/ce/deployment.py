@@ -29,6 +29,7 @@ wrapped into a :class:`CallableGate` at execute time.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -135,6 +136,11 @@ class DeployedEstimator:
         self.anomaly_filter = anomaly_filter
         self.gates: list[Gate] = list(gates or [])
         self.history: list[LabeledQuery] = []
+        # One retrain round (screen -> label -> update -> review) is a
+        # single critical section: two interleaved rounds would snapshot
+        # and restore each other's parameters. The estimate hot path
+        # never takes this lock.
+        self._execute_lock = threading.Lock()
 
     def add_gate(self, gate: Gate) -> None:
         """Append a gate to the update-defense stack."""
@@ -195,45 +201,46 @@ class DeployedEstimator:
         queries = list(queries)
         if not queries:
             raise TrainingError("execute() needs at least one query")
-        gates = self._active_gates()
-        abnormal = np.zeros(len(queries), dtype=bool)
-        rejected_by: dict[str, int] = {}
-        for gate in gates:
-            mask = np.asarray(gate.screen(queries), dtype=bool)
-            flagged = int(mask.sum())
-            if flagged:
-                rejected_by[gate.name] = rejected_by.get(gate.name, 0) + flagged
-            abnormal |= mask
-        accepted = [q for q, bad in zip(queries, abnormal) if not bad]
-        rejected = int(abnormal.sum())
-        if not accepted:
-            return ExecutionReport(
-                executed=len(queries), rejected=rejected, update_losses=[],
-                rejected_by=rejected_by,
-            )
-        workload = Workload.from_queries(accepted, self._executor, drop_empty=True)
-        if len(workload) == 0:
-            return ExecutionReport(
-                executed=len(queries), rejected=rejected, update_losses=[],
-                rejected_by=rejected_by,
-            )
-        self.history.extend(workload.examples)
-        snapshot = self._model.state_dict()
-        losses = incremental_update(
-            self._model, workload, steps=self.update_steps, lr=self.update_lr
-        )
-        for gate in gates:
-            if not gate.review_update(self._model, workload):
-                self._model.load_state_dict(snapshot)
+        with self._execute_lock:
+            gates = self._active_gates()
+            abnormal = np.zeros(len(queries), dtype=bool)
+            rejected_by: dict[str, int] = {}
+            for gate in gates:
+                mask = np.asarray(gate.screen(queries), dtype=bool)
+                flagged = int(mask.sum())
+                if flagged:
+                    rejected_by[gate.name] = rejected_by.get(gate.name, 0) + flagged
+                abnormal |= mask
+            accepted = [q for q, bad in zip(queries, abnormal) if not bad]
+            rejected = int(abnormal.sum())
+            if not accepted:
                 return ExecutionReport(
-                    executed=len(queries), rejected=rejected,
-                    update_losses=losses, rejected_by=rejected_by,
-                    updated=False, rolled_back=True,
+                    executed=len(queries), rejected=rejected, update_losses=[],
+                    rejected_by=rejected_by,
                 )
-        return ExecutionReport(
-            executed=len(queries), rejected=rejected, update_losses=losses,
-            rejected_by=rejected_by, updated=True,
-        )
+            workload = Workload.from_queries(accepted, self._executor, drop_empty=True)
+            if len(workload) == 0:
+                return ExecutionReport(
+                    executed=len(queries), rejected=rejected, update_losses=[],
+                    rejected_by=rejected_by,
+                )
+            self.history.extend(workload.examples)
+            snapshot = self._model.state_dict()
+            losses = incremental_update(  # safe: R014 serializing whole retrain rounds is the lock's purpose; the estimate hot path never takes it
+                self._model, workload, steps=self.update_steps, lr=self.update_lr
+            )
+            for gate in gates:
+                if not gate.review_update(self._model, workload):
+                    self._model.load_state_dict(snapshot)
+                    return ExecutionReport(
+                        executed=len(queries), rejected=rejected,
+                        update_losses=losses, rejected_by=rejected_by,
+                        updated=False, rolled_back=True,
+                    )
+            return ExecutionReport(
+                executed=len(queries), rejected=rejected, update_losses=losses,
+                rejected_by=rejected_by, updated=True,
+            )
 
     # ------------------------------------------------------------------
     # evaluation-only access (not part of the attacker surface)

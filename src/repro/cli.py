@@ -88,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files/directories to lint (default: the repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     lint.add_argument("--fix-hints", action="store_true",
                       help="show an autofix hint under each finding")
     lint.add_argument("--select", default=None, metavar="IDS",
@@ -99,17 +99,28 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="full audit: lint + whole-program flow rules (R007-R012) "
-             "+ gradient audit + sanitized autograd and serve smoke passes",
+             "+ concurrency rules (R013-R016) + gradient audit + sanitized "
+             "autograd/serve smoke passes + dynamic context-label trace smoke",
     )
     analyze.add_argument("paths", nargs="*", metavar="PATH",
                          help="files/directories to analyze (default: the repro package)")
-    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     analyze.add_argument("--fix-hints", action="store_true",
                          help="show an autofix hint under each finding")
+    analyze.add_argument("--fast", action="store_true",
+                         help="static rules only: skip the gradient audit and "
+                              "every dynamic smoke pass")
+    analyze.add_argument("--select", default=None, metavar="IDS",
+                         help="comma-separated flow rule ids to run "
+                              "(e.g. R013,R015); per-file lint rules always run")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="bypass the per-file parse cache "
+                              "(.pace-analyze-cache)")
     analyze.add_argument("--skip-gradcheck", action="store_true",
                          help="skip the finite-difference gradient audit")
     analyze.add_argument("--skip-smoke", action="store_true",
-                         help="skip the sanitized autograd and serve smoke passes")
+                         help="skip the sanitized autograd, serve, and "
+                              "context-trace smoke passes")
     analyze.add_argument("--seed", type=int, default=0,
                          help="seed for the sanitized smoke pass")
 
@@ -388,6 +399,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        from repro.analysis import render_sarif
+
+        print(render_sarif(findings))
     else:
         print(render_text(findings, show_hints=args.fix_hints))
     return 1 if findings else 0
@@ -407,7 +422,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         run_lint,
         run_serve_smoke,
         run_smoke,
+        run_trace_smoke,
     )
+    from repro.analysis.flow.cache import ProgramCache
+    from repro.analysis.flow.program import build_program
 
     targets = _default_analysis_targets(args.paths)
     # Tests/benchmarks/examples are parsed as callers (a helper used only
@@ -417,23 +435,34 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for name in ("tests", "benchmarks", "examples", "setup.py")
         if (candidate := Path.cwd() / name).exists()
     ]
+    select = args.select.split(",") if args.select else None
+    cache = None if args.no_cache else ProgramCache()
     try:
         findings = run_lint(targets)
-        findings += run_flow(targets, reference_paths=reference_roots)
-    except FileNotFoundError as exc:
+        program = build_program(targets, reference_paths=reference_roots, cache=cache)
+        findings += run_flow(
+            targets, reference_paths=reference_roots, select=select, program=program
+        )
+    except (KeyError, FileNotFoundError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"analyze: error: {message}", file=sys.stderr)
         return 2
     findings.sort(key=Finding.sort_key)
 
-    gradcheck_results = None if args.skip_gradcheck else run_gradcheck()
-    smoke = None if args.skip_smoke else run_smoke(seed=args.seed)
-    serve_smoke = None if args.skip_smoke else run_serve_smoke(seed=args.seed)
+    run_dynamic = not args.fast
+    skip_smoke = args.skip_smoke or not run_dynamic
+    gradcheck_results = (
+        None if (args.skip_gradcheck or not run_dynamic) else run_gradcheck()
+    )
+    smoke = None if skip_smoke else run_smoke(seed=args.seed)
+    serve_smoke = None if skip_smoke else run_serve_smoke(seed=args.seed)
+    trace_smoke = None if skip_smoke else run_trace_smoke(seed=args.seed)
 
     gradcheck_ok = gradcheck_results is None or all(r.passed for r in gradcheck_results)
     smoke_ok = smoke is None or smoke.passed
     serve_ok = serve_smoke is None or serve_smoke.passed
-    ok = not findings and gradcheck_ok and smoke_ok and serve_ok
+    trace_ok = trace_smoke is None or trace_smoke.passed
+    ok = not findings and gradcheck_ok and smoke_ok and serve_ok and trace_ok
 
     if args.format == "json":
         payload = {
@@ -443,8 +472,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             else gradcheck_payload(gradcheck_results),
             "smoke": None if smoke is None else smoke.as_dict(),
             "serve_smoke": None if serve_smoke is None else serve_smoke.as_dict(),
+            "trace_smoke": None if trace_smoke is None else trace_smoke.as_dict(),
         }
         print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+
+    if args.format == "sarif":
+        from repro.analysis import render_sarif
+
+        print(render_sarif(findings))
         return 0 if ok else 1
 
     print(render_text(findings, show_hints=args.fix_hints))
@@ -465,6 +501,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                   f"{serve_smoke.requests} requests)")
         else:
             print(f"serve-smoke: FAIL — {serve_smoke.detail}")
+    if trace_smoke is not None:
+        if trace_smoke.passed:
+            print(f"trace-smoke: ok ({trace_smoke.observed} write sites "
+                  f"observed across {trace_smoke.workers} workers, all "
+                  "statically labeled)")
+        else:
+            print(f"trace-smoke: FAIL — {trace_smoke.detail}")
     print(f"analyze: {'ok' if ok else 'FAIL'}")
     return 0 if ok else 1
 

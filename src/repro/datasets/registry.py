@@ -26,7 +26,7 @@ MULTI_TABLE_DATASETS: tuple[str, ...] = ("imdb", "tpch", "stats")
 
 
 @lru_cache(maxsize=16)
-def _build_cached(name: str, base_rows: int, seed: int) -> Database:
+def _build_cached(name: str, base_rows: int, seed: int) -> Database:  # safe: R015 per-process memo; builders are deterministic in (name, rows, seed)
     builder, _ = _BUILDERS[name]
     return builder(base_rows, seed=seed)
 

@@ -90,17 +90,17 @@ class Executor:
         self.database = database
         self.schema = database.schema
         self.max_intermediate = max_intermediate
-        self._cache: OrderedDict[tuple, int] = OrderedDict()
+        self._cache: OrderedDict[tuple, int] = OrderedDict()  # safe: R015 per-process LRU of deterministic counts; racing writers store equal values
         self._cache_size = cache_size
         self.executed_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
         # (table, column) -> (argsort order, sorted values) of the full
         # column; reused whenever a join side has no local predicates.
-        self._sorted_columns: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self._sorted_columns: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}  # safe: R015 idempotent memo of a pure sort of immutable column data
         # (table, column) -> dense key->count lookup (or None when the key
         # domain is unsuitable); reused for count-only join edges.
-        self._count_tables: dict[tuple[str, str], tuple[int, np.ndarray] | None] = {}
+        self._count_tables: dict[tuple[str, str], tuple[int, np.ndarray] | None] = {}  # safe: R015 idempotent memo derived purely from immutable column data
 
     # ------------------------------------------------------------------
     # public API

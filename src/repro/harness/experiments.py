@@ -172,7 +172,7 @@ def build_scenario(
 
 
 @lru_cache(maxsize=64)
-def _cached_scenario(dataset: str, model_type: str, scale_name: str, seed: int) -> AttackScenario:
+def _cached_scenario(dataset: str, model_type: str, scale_name: str, seed: int) -> AttackScenario:  # safe: R015 per-process memo is intended; scenarios are pure functions of the arguments
     return build_scenario(dataset, model_type, scale=scale_name, seed=seed)
 
 

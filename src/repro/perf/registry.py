@@ -69,9 +69,9 @@ class PerfRegistry:
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
-        self.spans: dict[str, float] = {}
-        self.span_counts: dict[str, int] = {}
-        self.counters: dict[str, int] = {}
+        self.spans: dict[str, float] = {}  # safe: R015 per-process profiling telemetry; workers keep their own spans by design
+        self.span_counts: dict[str, int] = {}  # safe: R015 per-process profiling telemetry; workers keep their own spans by design
+        self.counters: dict[str, int] = {}  # safe: R015 per-process profiling telemetry; workers keep their own counters by design
         self._trace_allocations = False
 
     # ------------------------------------------------------------------
@@ -131,4 +131,4 @@ class PerfRegistry:
         return out
 
 
-PERF = PerfRegistry(enabled=os.environ.get("REPRO_PERF", "") not in ("", "0"))
+PERF = PerfRegistry(enabled=os.environ.get("REPRO_PERF", "") not in ("", "0"))  # safe: R016 telemetry is per-process; forked workers inherit the switch and never report spans back

@@ -19,6 +19,7 @@ flow rule R011 enforces the split.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.ce.base import CardinalityEstimator
@@ -148,6 +149,10 @@ class RetrainLoop:
         self.stats = stats
         self.max_buffer = max_buffer
         self.run = run
+        # observe() runs on the serve thread while poll()/flush() belong
+        # to the background loop; the lock covers the buffer and the
+        # event log, never the retrain itself (see flush()).
+        self._lock = threading.Lock()
         self._buffer: list[Query] = []
         self.events: list[RetrainEvent] = []
         # Resume lineage where a previous process left it: new promotions
@@ -167,16 +172,19 @@ class RetrainLoop:
     # ------------------------------------------------------------------
     def observe(self, query: Query) -> None:
         """Record one executed query for the next retrain round."""
-        self._buffer.append(query)
-        if len(self._buffer) > self.max_buffer:
-            del self._buffer[: len(self._buffer) - self.max_buffer]
+        with self._lock:
+            self._buffer.append(query)
+            if len(self._buffer) > self.max_buffer:
+                del self._buffer[: len(self._buffer) - self.max_buffer]
 
     @property
     def pending(self) -> int:
-        return len(self._buffer)
+        with self._lock:
+            return len(self._buffer)
 
     def due(self) -> bool:
-        return len(self._buffer) >= self.retrain_every
+        with self._lock:
+            return len(self._buffer) >= self.retrain_every
 
     # ------------------------------------------------------------------
     # the background retrain step
@@ -188,28 +196,36 @@ class RetrainLoop:
         return self.flush()
 
     def flush(self) -> RetrainEvent | None:
-        """Force a retrain round on whatever is buffered now."""
-        if not self._buffer:
-            return None
-        queries = self._buffer
-        self._buffer = []
+        """Force a retrain round on whatever is buffered now.
+
+        The buffer is swapped out under the lock; the retrain itself
+        (ground-truth execution plus K GD steps, unbounded cost) runs
+        with the lock released, so the serve thread's ``observe`` never
+        stalls behind it.
+        """
+        with self._lock:
+            if not self._buffer:
+                return None
+            queries = self._buffer
+            self._buffer = []
         report = self._deployed.execute(queries)
-        event = RetrainEvent(
-            round_index=len(self.events),
-            observed=len(queries),
-            rejected=report.rejected,
-            rejected_by=dict(report.rejected_by),
-            promoted=report.updated,
-            rolled_back=report.rolled_back,
-            update_losses=list(report.update_losses),
-            candidate_qerror=(
-                None if self.guard is None else self.guard.last_candidate_qerror
-            ),
-            baseline_qerror=(
-                None if self.guard is None else self.guard.baseline_qerror
-            ),
-        )
-        self.events.append(event)
+        with self._lock:
+            event = RetrainEvent(
+                round_index=len(self.events),
+                observed=len(queries),
+                rejected=report.rejected,
+                rejected_by=dict(report.rejected_by),
+                promoted=report.updated,
+                rolled_back=report.rolled_back,
+                update_losses=list(report.update_losses),
+                candidate_qerror=(
+                    None if self.guard is None else self.guard.last_candidate_qerror
+                ),
+                baseline_qerror=(
+                    None if self.guard is None else self.guard.baseline_qerror
+                ),
+            )
+            self.events.append(event)
         if self.run is not None and (event.promoted or event.rolled_back):
             self._persist(event)
         if self.stats is not None:

@@ -36,7 +36,7 @@ class ServeStats:
         self.promotions = 0
         self.rollbacks = 0
         self.update_rejected = 0  # queries gates screened out of updates
-        self._latencies: list[float] = []
+        self._latencies: list[float] = []  # safe: R015 appended only on the serve thread; the retrain thread touches counters only
 
     # ------------------------------------------------------------------
     # recording (each mirrors into PERF when profiling is enabled)

@@ -56,7 +56,7 @@ class RetryPolicy:
 
 DEFAULT_RETRY = RetryPolicy()
 
-_tmp_counter = 0
+_tmp_counter = 0  # safe: R015 temp names embed the pid; the counter only needs per-process uniqueness
 
 
 def _temp_path(path: Path) -> Path:

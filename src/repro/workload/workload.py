@@ -15,7 +15,7 @@ from repro.workload.encoding import QueryEncoder
 
 
 @dataclass
-class Workload:
+class Workload:  # safe: R015 the _cards memo recomputes deterministically; last-writer-wins stores an identical array
     """An ordered collection of labeled queries.
 
     The example list is treated as immutable once views are taken:
@@ -25,7 +25,7 @@ class Workload:
 
     examples: list[LabeledQuery]
     # encoder id -> (weakref to encoder, read-only encoding matrix)
-    _encodings: dict = field(
+    _encodings: dict = field(  # safe: R015 idempotent memo keyed by encoder id; racing writers store equal matrices
         default_factory=dict, repr=False, compare=False
     )
     _cards: np.ndarray | None = field(default=None, repr=False, compare=False)

@@ -1,0 +1,33 @@
+"""Shared fixture-tree helpers for the concurrency-rule tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import run_flow
+
+
+def write_tree(root, files: dict[str, str]):
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+@pytest.fixture
+def flow(tmp_path):
+    """``flow(files, select=[...])`` -> findings over a throwaway tree."""
+
+    def run(files, select=None, reference=None):
+        write_tree(tmp_path, files)
+        reference_paths = [tmp_path / r for r in reference] if reference else []
+        return run_flow([tmp_path], reference_paths=reference_paths, select=select)
+
+    return run
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]

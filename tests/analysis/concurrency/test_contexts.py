@@ -1,0 +1,237 @@
+"""Unit tests for the process/thread execution-context inference pass."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency.contexts import (
+    CONTEXT_BACKGROUND,
+    CONTEXT_MAIN,
+    CONTEXT_WORKER,
+    infer_contexts,
+    iter_process_boundaries,
+)
+from repro.analysis.flow.program import build_program
+from tests.analysis.concurrency.conftest import write_tree
+
+
+def contexts_for(tmp_path, files):
+    write_tree(tmp_path, files)
+    program = build_program([tmp_path])
+    return program, infer_contexts(program)
+
+
+def test_pool_map_target_is_worker_seeded(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "grid.py": """
+            import multiprocessing as mp
+
+            def job(x):
+                return x
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    assert cmap.reaches("grid.job", CONTEXT_WORKER)
+    assert cmap.of("grid.run") == {CONTEXT_MAIN}
+
+
+def test_pool_initializer_is_worker_seeded(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "grid.py": """
+            import multiprocessing as mp
+
+            def setup(seed):
+                pass
+
+            def job(x):
+                return x
+
+            def run(jobs):
+                with mp.Pool(2, initializer=setup, initargs=(0,)) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    assert cmap.reaches("grid.setup", CONTEXT_WORKER)
+
+
+def test_thread_target_is_background_not_worker(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "serve.py": """
+            import threading
+
+            def loop():
+                pass
+
+            def start():
+                threading.Thread(target=loop, daemon=True).start()
+            """,
+    })
+    assert cmap.of("serve.loop") == {CONTEXT_BACKGROUND}
+
+
+def test_retrain_loop_entrypoints_are_background(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "retrain.py": """
+            class RetrainLoop:
+                def poll(self):
+                    self._drain()
+
+                def _drain(self):
+                    pass
+            """,
+    })
+    assert cmap.reaches("retrain.RetrainLoop.poll", CONTEXT_BACKGROUND)
+    assert cmap.reaches("retrain.RetrainLoop._drain", CONTEXT_BACKGROUND)
+
+
+def test_contexts_propagate_through_helpers(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "grid.py": """
+            import multiprocessing as mp
+
+            def leaf():
+                return 1
+
+            def helper():
+                return leaf()
+
+            def job(x):
+                return helper()
+
+            def run(jobs):
+                helper()
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    assert cmap.of("grid.helper") == {CONTEXT_MAIN, CONTEXT_WORKER}
+    assert cmap.is_multi_context("grid.leaf")
+
+
+def test_super_call_edges_reach_base_method(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "models.py": """
+            import multiprocessing as mp
+
+            class Base:
+                def __init__(self):
+                    self.ready = True
+
+            class Child(Base):
+                def __init__(self):
+                    super().__init__()
+
+            def job(x):
+                return Child()
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    assert cmap.reaches("models.Base.__init__", CONTEXT_WORKER)
+
+
+def test_dispatch_table_edges_reach_registered_functions(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "models.py": """
+            import multiprocessing as mp
+
+            def build_fcn():
+                return "fcn"
+
+            def build_mscn():
+                return "mscn"
+
+            REGISTRY = {"fcn": build_fcn, "mscn": build_mscn}
+
+            def job(kind):
+                builder = REGISTRY[kind]
+                return builder()
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    assert cmap.reaches("models.build_fcn", CONTEXT_WORKER)
+    assert cmap.reaches("models.build_mscn", CONTEXT_WORKER)
+
+
+def test_imported_singleton_method_edge(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "perfmod.py": """
+            class SpanRegistry:
+                def record(self, span):
+                    pass
+
+            PERF = SpanRegistry()
+            """,
+        "grid.py": """
+            import multiprocessing as mp
+
+            from perfmod import PERF
+
+            def job(x):
+                PERF.record(x)
+                return x
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    assert cmap.reaches("perfmod.SpanRegistry.record", CONTEXT_WORKER)
+
+
+def test_boundary_calls_record_payloads(tmp_path):
+    program, cmap = contexts_for(tmp_path, {
+        "grid.py": """
+            import multiprocessing as mp
+
+            def job(x):
+                return x
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    boundaries = list(iter_process_boundaries(program))
+    fanouts = [b for b in boundaries if b.kind == "pool-fanout"]
+    assert len(fanouts) == 1
+    assert fanouts[0].crosses_process
+    assert [t.qualname for t in fanouts[0].targets] == ["grid.job"]
+    assert fanouts[0].payloads  # the iterable crossing the pickle boundary
+
+
+def test_describe_names_the_seed(tmp_path):
+    _, cmap = contexts_for(tmp_path, {
+        "grid.py": """
+            import multiprocessing as mp
+
+            def job(x):
+                return x
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    })
+    description = cmap.describe("grid.job")
+    assert "grid-worker" in description
+
+
+def test_context_map_is_memoized_per_program(tmp_path):
+    program, cmap = contexts_for(tmp_path, {
+        "mod.py": """
+            def main():
+                pass
+            """,
+    })
+    assert infer_contexts(program) is cmap

@@ -1,0 +1,163 @@
+"""R013: spawn-unsafe arguments crossing a process boundary."""
+
+from __future__ import annotations
+
+from tests.analysis.concurrency.conftest import rule_ids
+
+
+class TestPositives:
+    def test_lambda_payload_is_flagged(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(lambda j: j + 1, jobs)
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013"]
+        assert "lambda" in findings[0].message
+
+    def test_open_handle_in_initargs_is_flagged(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+
+                def setup(log):
+                    pass
+
+                def job(x):
+                    return x
+
+                def run(jobs):
+                    handle = open("grid.log", "a")
+                    with mp.Pool(2, initializer=setup, initargs=(handle,)) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013"]
+        assert "open" in findings[0].message
+
+    def test_lock_passed_to_worker_is_flagged(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+                import threading
+
+                def job(args):
+                    return args
+
+                def run(jobs):
+                    guard = threading.Lock()
+                    with mp.Pool(2) as pool:
+                        return pool.starmap(job, [(guard, j) for j in jobs])
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013"]
+
+    def test_live_autograd_tensor_through_helper_is_flagged(self, flow):
+        findings = flow({
+            "tensor.py": """
+                class Tensor:
+                    def __init__(self, data, requires_grad=False):
+                        self.data = data
+                        self.requires_grad = requires_grad
+                """,
+            "grid.py": """
+                import multiprocessing as mp
+
+                from tensor import Tensor
+
+                def make_batch():
+                    return Tensor([1.0, 2.0], requires_grad=True)
+
+                def job(t):
+                    return t
+
+                def run():
+                    batch = make_batch()
+                    with mp.Pool(2) as pool:
+                        return pool.apply(job, (batch,))
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013"]
+
+
+class TestNegatives:
+    def test_plain_data_payload_is_clean(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+
+                def job(x):
+                    return x * 2
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, [1, 2, 3])
+                """,
+        }, select=["R013"])
+        assert findings == []
+
+    def test_detached_tensor_is_clean(self, flow):
+        findings = flow({
+            "tensor.py": """
+                class Tensor:
+                    def __init__(self, data, requires_grad=False):
+                        self.data = data
+                        self.requires_grad = requires_grad
+                """,
+            "grid.py": """
+                import multiprocessing as mp
+
+                from tensor import Tensor
+
+                def job(t):
+                    return t
+
+                def run():
+                    batch = Tensor([1.0, 2.0])
+                    with mp.Pool(2) as pool:
+                        return pool.apply(job, (batch,))
+                """,
+        }, select=["R013"])
+        assert findings == []
+
+    def test_thread_target_takes_locks_without_findings(self, flow):
+        # Threads share the address space: a Lock is the *correct* thing
+        # to hand a thread, and must not be confused with a process spawn.
+        findings = flow({
+            "serve.py": """
+                import threading
+
+                def loop(guard):
+                    with guard:
+                        pass
+
+                def run():
+                    guard = threading.Lock()
+                    worker = threading.Thread(target=loop, args=(guard,))
+                    worker.start()
+                """,
+        }, select=["R013"])
+        assert findings == []
+
+    def test_strings_and_tuples_in_initargs_are_clean(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+
+                def setup(name, limits):
+                    pass
+
+                def job(x):
+                    return x
+
+                def run(jobs):
+                    with mp.Pool(2, initializer=setup,
+                                 initargs=("grid", (1, 2))) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R013"])
+        assert findings == []

@@ -1,0 +1,154 @@
+"""R014: lock-order cycles and blocking calls under a held lock."""
+
+from __future__ import annotations
+
+from tests.analysis.concurrency.conftest import rule_ids
+
+
+class TestPositives:
+    def test_opposite_acquisition_order_is_a_cycle(self, flow):
+        findings = flow({
+            "buffers.py": """
+                import threading
+
+                lock_a = threading.Lock()
+                lock_b = threading.Lock()
+
+                def forward():
+                    with lock_a:
+                        with lock_b:
+                            pass
+
+                def backward():
+                    with lock_b:
+                        with lock_a:
+                            pass
+                """,
+        }, select=["R014"])
+        assert "R014" in rule_ids(findings)
+        assert any("cycle" in f.message for f in findings)
+
+    def test_interprocedural_cycle_through_helper(self, flow):
+        findings = flow({
+            "buffers.py": """
+                import threading
+
+                lock_a = threading.Lock()
+                lock_b = threading.Lock()
+
+                def _inner():
+                    with lock_a:
+                        pass
+
+                def forward():
+                    with lock_a:
+                        with lock_b:
+                            pass
+
+                def backward():
+                    with lock_b:
+                        _inner()
+                """,
+        }, select=["R014"])
+        assert "R014" in rule_ids(findings)
+
+    def test_sleep_under_lock_is_flagged(self, flow):
+        findings = flow({
+            "serve.py": """
+                import threading
+                import time
+
+                guard = threading.Lock()
+
+                def flush():
+                    with guard:
+                        time.sleep(1.0)
+                """,
+        }, select=["R014"])
+        assert rule_ids(findings) == ["R014"]
+        assert "blocking" in findings[0].message
+
+    def test_ground_truth_execution_under_lock_is_flagged(self, flow):
+        findings = flow({
+            "serve.py": """
+                import threading
+
+                guard = threading.Lock()
+
+                def retrain(executor, queries):
+                    with guard:
+                        return executor.execute(queries)
+                """,
+        }, select=["R014"])
+        assert rule_ids(findings) == ["R014"]
+
+
+class TestNegatives:
+    def test_consistent_order_is_clean(self, flow):
+        findings = flow({
+            "buffers.py": """
+                import threading
+
+                lock_a = threading.Lock()
+                lock_b = threading.Lock()
+
+                def forward():
+                    with lock_a:
+                        with lock_b:
+                            pass
+
+                def also_forward():
+                    with lock_a:
+                        with lock_b:
+                            pass
+                """,
+        }, select=["R014"])
+        assert findings == []
+
+    def test_blocking_call_with_lock_released_is_clean(self, flow):
+        findings = flow({
+            "serve.py": """
+                import threading
+
+                guard = threading.Lock()
+                buffer = []
+
+                def flush(executor):
+                    with guard:
+                        queries = list(buffer)
+                    return executor.execute(queries)
+                """,
+        }, select=["R014"])
+        assert findings == []
+
+    def test_single_lock_reused_everywhere_is_clean(self, flow):
+        findings = flow({
+            "serve.py": """
+                import threading
+
+                guard = threading.Lock()
+
+                def observe(x, log):
+                    with guard:
+                        log.append(x)
+
+                def drain(log):
+                    with guard:
+                        log.clear()
+                """,
+        }, select=["R014"])
+        assert findings == []
+
+    def test_safe_annotated_blocking_call_is_suppressed(self, flow):
+        findings = flow({
+            "serve.py": """
+                import threading
+
+                guard = threading.Lock()
+
+                def retrain(executor, queries):
+                    with guard:
+                        return executor.execute(queries)  # safe: R014 one retrain round is a single critical section by design
+                """,
+        }, select=["R013", "R014", "R015", "R016"])
+        assert findings == []

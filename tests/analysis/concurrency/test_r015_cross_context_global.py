@@ -1,0 +1,131 @@
+"""R015: mutable globals written from more than one execution context."""
+
+from __future__ import annotations
+
+from tests.analysis.concurrency.conftest import rule_ids
+
+
+GRID = """
+    import multiprocessing as mp
+
+    from state import record, reset
+
+    def job(x):
+        record(x)
+        return x
+
+    def run(jobs):
+        reset()
+        with mp.Pool(2) as pool:
+            return pool.map(job, jobs)
+    """
+
+
+class TestPositives:
+    def test_module_global_written_from_main_and_worker(self, flow):
+        findings = flow({
+            "state.py": """
+                RESULTS = []
+
+                def record(x):
+                    RESULTS.append(x)
+
+                def reset():
+                    global RESULTS
+                    RESULTS = []
+                """,
+            "grid.py": GRID,
+        }, select=["R015"])
+        assert "R015" in rule_ids(findings)
+        assert any(f.path.endswith("state.py") for f in findings)
+
+    def test_lru_cache_on_multi_context_function(self, flow):
+        findings = flow({
+            "state.py": """
+                import functools
+
+                @functools.lru_cache(maxsize=None)
+                def record(x):
+                    return x * 2
+
+                def reset():
+                    record.cache_clear()
+                """,
+            "grid.py": GRID,
+        }, select=["R015"])
+        assert "R015" in rule_ids(findings)
+
+    def test_class_level_cache_attr_written_cross_context(self, flow):
+        findings = flow({
+            "state.py": """
+                class Recorder:
+                    def __init__(self):
+                        self._seen = {}
+
+                    def add(self, x):
+                        self._seen[x] = True
+
+                RECORDER = Recorder()
+
+                def record(x):
+                    RECORDER.add(x)
+
+                def reset():
+                    RECORDER.add(-1)
+                """,
+            "grid.py": GRID,
+        }, select=["R015"])
+        assert "R015" in rule_ids(findings)
+
+
+class TestNegatives:
+    def test_lock_guarded_write_is_clean(self, flow):
+        findings = flow({
+            "state.py": """
+                import threading
+
+                _GUARD = threading.Lock()
+                RESULTS = []
+
+                def record(x):
+                    with _GUARD:
+                        RESULTS.append(x)
+
+                def reset():
+                    with _GUARD:
+                        RESULTS.clear()
+                """,
+            "grid.py": GRID,
+        }, select=["R015"])
+        assert findings == []
+
+    def test_safe_annotation_suppresses_the_finding(self, flow):
+        findings = flow({
+            "state.py": """
+                RESULTS = []  # safe: R015 each worker accumulates privately; the parent never reads these back
+
+                def record(x):
+                    RESULTS.append(x)
+
+                def reset():
+                    global RESULTS
+                    RESULTS = []
+                """,
+            "grid.py": GRID,
+        }, select=["R013", "R014", "R015", "R016"])
+        assert findings == []
+
+    def test_single_context_global_is_clean(self, flow):
+        findings = flow({
+            "state.py": """
+                HISTORY = []
+
+                def observe(x):
+                    HISTORY.append(x)
+
+                def main():
+                    observe(1)
+                    observe(2)
+                """,
+        }, select=["R015"])
+        assert findings == []

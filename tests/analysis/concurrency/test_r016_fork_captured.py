@@ -1,0 +1,143 @@
+"""R016: import-time singletons mutated from worker-reachable code."""
+
+from __future__ import annotations
+
+from tests.analysis.concurrency.conftest import rule_ids
+
+
+class TestPositives:
+    def test_module_level_rng_reseeded_in_worker(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+                import numpy as np
+
+                RNG = np.random.default_rng(0)
+
+                def job(seed):
+                    RNG.shuffle([1, 2, 3])
+                    return seed
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R016"])
+        assert rule_ids(findings) == ["R016"]
+        assert "RNG" in findings[0].message
+
+    def test_captured_clock_callable_swapped_in_worker(self, flow):
+        findings = flow({
+            "timing.py": """
+                import time
+
+                _clock = time.perf_counter
+
+                def install(fn):
+                    global _clock
+                    _clock = fn
+                """,
+            "grid.py": """
+                import multiprocessing as mp
+
+                from timing import install
+
+                def job(x):
+                    install(lambda: 0.0)
+                    return x
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R016"])
+        assert "R016" in rule_ids(findings)
+        assert any(f.path.endswith("timing.py") for f in findings)
+
+    def test_singleton_registry_instance_mutated_in_worker(self, flow):
+        findings = flow({
+            "perfmod.py": """
+                class SpanRegistry:
+                    def __init__(self):
+                        self.spans = []
+
+                    def record(self, span):
+                        self.spans.append(span)
+
+                PERF = SpanRegistry()
+                """,
+            "grid.py": """
+                import multiprocessing as mp
+
+                from perfmod import PERF
+
+                def job(x):
+                    PERF.record(("job", x))
+                    return x
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R016"])
+        assert "R016" in rule_ids(findings)
+        assert any(f.path.endswith("perfmod.py") for f in findings)
+
+
+class TestNegatives:
+    def test_rng_only_read_in_main_is_clean(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+                import numpy as np
+
+                RNG = np.random.default_rng(0)
+
+                def job(seed):
+                    return seed * 2
+
+                def run(jobs):
+                    RNG.shuffle(jobs)
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R016"])
+        assert findings == []
+
+    def test_safe_annotated_definition_is_suppressed(self, flow):
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+                import numpy as np
+
+                RNG = np.random.default_rng(0)  # safe: R016 the pool initializer reseeds every worker from its job seed
+
+                def job(seed):
+                    RNG.shuffle([1, 2, 3])
+                    return seed
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R013", "R014", "R015", "R016"])
+        assert findings == []
+
+    def test_plain_config_constant_is_clean(self, flow):
+        # A module-level value whose name/type doesn't look like process
+        # state is not a singleton, even if a worker touches it.
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+
+                DEFAULTS = {"scale": "smoke"}
+
+                def job(x):
+                    return DEFAULTS.get("scale"), x
+
+                def run(jobs):
+                    with mp.Pool(2) as pool:
+                        return pool.map(job, jobs)
+                """,
+        }, select=["R016"])
+        assert findings == []

@@ -1,0 +1,184 @@
+"""Deterministic race fixtures: the dynamic side of R013-R016.
+
+Each fixture *forces* the interleaving a rule warns about — with
+barriers and bounded try-acquires, never timing luck — and then shows
+the disciplined variant is sound. Together with the static tests these
+prove the rules flag real failure modes, not stylistic preferences.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from tests.analysis.concurrency.conftest import rule_ids
+
+
+class TestLostUpdate:
+    """R015's failure mode: unguarded read-modify-write on shared state."""
+
+    def test_barrier_forced_lost_update(self):
+        state = {"count": 0}
+        barrier = threading.Barrier(2)
+
+        def bump():
+            observed = state["count"]  # both threads read 0...
+            barrier.wait(timeout=5)  # ...provably before either writes
+            state["count"] = observed + 1
+
+        threads = [threading.Thread(target=bump) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert state["count"] == 1  # one increment was lost, deterministically
+
+    def test_lock_guarded_updates_all_land(self):
+        state = {"count": 0}
+        guard = threading.Lock()
+        started = threading.Barrier(2)
+
+        def bump():
+            started.wait(timeout=5)
+            with guard:
+                state["count"] += 1
+
+        threads = [threading.Thread(target=bump) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert state["count"] == 2
+
+
+class TestLockOrderDeadlock:
+    """R014's failure mode: opposite acquisition orders, forced to collide."""
+
+    def test_opposite_orders_deadlock_under_try_acquire(self):
+        lock_a, lock_b = threading.Lock(), threading.Lock()
+        both_hold_first = threading.Barrier(2)
+        both_tried = threading.Barrier(2)
+        outcomes: dict[str, bool] = {}
+
+        def forward():
+            with lock_a:
+                both_hold_first.wait(timeout=5)
+                # The peer provably holds lock_b and won't release until
+                # after both_tried — so this try MUST fail.
+                outcomes["forward"] = lock_b.acquire(blocking=False)
+                both_tried.wait(timeout=5)
+                if outcomes["forward"]:
+                    lock_b.release()
+
+        def backward():
+            with lock_b:
+                both_hold_first.wait(timeout=5)
+                outcomes["backward"] = lock_a.acquire(blocking=False)
+                both_tried.wait(timeout=5)
+                if outcomes["backward"]:
+                    lock_a.release()
+
+        threads = [
+            threading.Thread(target=forward),
+            threading.Thread(target=backward),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        # Each thread holds its first lock and waits on the other's:
+        # without the timeout escape hatch this is a permanent deadlock.
+        assert outcomes == {"forward": False, "backward": False}
+
+    def test_consistent_order_cannot_deadlock(self):
+        lock_a, lock_b = threading.Lock(), threading.Lock()
+        started = threading.Barrier(2)
+        outcomes: list[bool] = []
+
+        def worker():
+            started.wait(timeout=5)
+            with lock_a:
+                acquired = lock_b.acquire(timeout=5)
+                outcomes.append(acquired)
+                if acquired:
+                    lock_b.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert outcomes == [True, True]
+
+
+class TestPickleBoundary:
+    """R013's failure mode: the payload does not survive the crossing."""
+
+    def test_locks_do_not_pickle(self):
+        with pytest.raises(TypeError):
+            pickle.dumps(threading.Lock())
+
+    def test_lambdas_do_not_pickle(self):
+        with pytest.raises(Exception):  # AttributeError or PicklingError
+            pickle.dumps(lambda x: x + 1)
+
+    def test_open_handles_do_not_pickle(self, tmp_path):
+        target = tmp_path / "grid.log"
+        with open(target, "w") as handle:
+            with pytest.raises(TypeError):
+                pickle.dumps(handle)
+
+    def test_static_rule_flags_what_pickle_rejects(self, flow):
+        # The same three payload families, as source: R013 reports each.
+        findings = flow({
+            "grid.py": """
+                import multiprocessing as mp
+                import threading
+
+                def setup(log):
+                    pass
+
+                def job(args):
+                    return args
+
+                def run(jobs):
+                    guard = threading.Lock()
+                    handle = open("grid.log", "a")
+                    with mp.Pool(2, initializer=setup,
+                                 initargs=(handle,)) as pool:
+                        pool.map(lambda j: j, jobs)
+                        return pool.starmap(job, [(guard, j) for j in jobs])
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013", "R013", "R013"]
+
+
+class TestForkCapturedDivergence:
+    """R016's failure mode: per-copy mutation of import-time state.
+
+    Simulated with two dict copies standing in for parent/child address
+    spaces after fork — the mechanism (copied state mutated privately)
+    is identical, without paying for real process spawns in tier-1.
+    """
+
+    def test_mutating_a_forked_copy_diverges_silently(self):
+        parent_rng_state = {"draws": 0, "seed": 1234}
+        child_state = dict(parent_rng_state)  # what fork gives the worker
+
+        child_state["draws"] += 7  # worker "advances" its RNG
+        child_state["seed"] = 99  # and reseeds — parent never sees it
+
+        assert parent_rng_state == {"draws": 0, "seed": 1234}
+        assert child_state != parent_rng_state  # silent divergence
+
+    def test_reinstalling_in_the_child_is_the_fix(self):
+        def make_state(seed):
+            return {"draws": 0, "seed": seed}
+
+        parent = make_state(1234)
+        child = make_state(1234 + 1)  # worker initializer derives its own
+        child["draws"] += 7
+        assert parent == {"draws": 0, "seed": 1234}
+        assert child["seed"] != parent["seed"]  # intentional, not silent

@@ -1,0 +1,110 @@
+"""Degenerate inputs degrade to reported findings — never to a crash."""
+
+from __future__ import annotations
+
+from repro.analysis import run_lint
+from repro.analysis.flow import run_flow
+from repro.analysis.flow.program import build_program
+from tests.analysis.concurrency.conftest import rule_ids, write_tree
+
+
+def test_syntax_error_file_is_reported_not_raised(tmp_path, flow):
+    write_tree(tmp_path, {
+        "broken.py": """
+            def half_a_function(
+            """,
+    })
+    findings = run_lint([tmp_path])
+    assert "E999" in rule_ids(findings)
+    # flow analysis simply excludes the unparseable module
+    assert run_flow([tmp_path]) == []
+
+
+def test_syntax_error_neighbour_does_not_hide_real_findings(flow):
+    findings = flow({
+        "broken.py": "def nope(:\n",
+        "grid.py": """
+            import multiprocessing as mp
+
+            def run(jobs):
+                with mp.Pool(2) as pool:
+                    return pool.map(lambda j: j, jobs)
+            """,
+    }, select=["R013"])
+    assert rule_ids(findings) == ["R013"]
+
+
+def test_empty_file_is_clean_everywhere(tmp_path):
+    (tmp_path / "empty.py").write_text("")
+    (tmp_path / "blank.py").write_text("\n\n\n")
+    assert run_flow([tmp_path]) == []
+    assert run_lint([tmp_path]) == []
+
+
+def test_file_with_only_comments_is_clean(tmp_path):
+    (tmp_path / "notes.py").write_text("# just a comment\n# safe: not here\n")
+    findings = run_flow([tmp_path], select=["R013", "R014", "R015", "R016"])
+    # the malformed '# safe:' is still reported, but nothing crashes
+    assert rule_ids(findings) == ["E998"]
+
+
+def test_undecodable_file_is_skipped_not_raised(tmp_path):
+    (tmp_path / "binary.py").write_bytes(b"\x00\xff\xfe invalid \x80utf8")
+    assert run_flow([tmp_path]) == []
+
+
+def test_safe_on_continuation_line_does_not_crash(flow):
+    # The annotation sits on a *continuation* line of the definition.
+    # Anchoring is to the statement's first line, so the note is stale
+    # (E997) and the finding survives — degraded, never crashed.
+    findings = flow({
+        "grid.py": """
+            import multiprocessing as mp
+
+            RESULTS = [
+            ]  # safe: R015 workers accumulate privately
+
+            def record(x):
+                RESULTS.append(x)
+
+            def job(x):
+                record(x)
+                return x
+
+            def run(jobs):
+                record(-1)
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    }, select=["R013", "R014", "R015", "R016"])
+    assert set(rule_ids(findings)) <= {"R015", "E997"}
+    assert findings  # degraded to findings, not silence or a crash
+
+
+def test_noqa_on_continuation_line_is_inert_not_fatal(tmp_path):
+    write_tree(tmp_path, {
+        "mod.py": """
+            import os
+
+            VALUE = (
+                1  # noqa: R001
+            )
+            """,
+    })
+    findings = run_lint([tmp_path])
+    assert all(f.rule_id != "E999" for f in findings)  # parsed fine
+
+
+def test_program_builder_tolerates_mixed_garbage(tmp_path):
+    write_tree(tmp_path, {
+        "ok.py": """
+            def fine():
+                return 1
+            """,
+        "broken.py": "class Unclosed(:\n",
+    })
+    (tmp_path / "empty.py").write_text("")
+    program = build_program([tmp_path])
+    assert "ok" in program.modules
+    assert "empty" in program.modules
+    assert "broken" not in program.modules

@@ -1,0 +1,113 @@
+"""The '# safe:' structured suppression: parsing, E997/E998, edge cases."""
+
+from __future__ import annotations
+
+from tests.analysis.concurrency.conftest import rule_ids
+
+RACY = """
+    import multiprocessing as mp
+
+    RESULTS = []{annotation}
+
+    def record(x):
+        RESULTS.append(x)
+
+    def job(x):
+        record(x)
+        return x
+
+    def run(jobs):
+        record(-1)
+        with mp.Pool(2) as pool:
+            return pool.map(job, jobs)
+    """
+
+
+def test_well_formed_safe_suppresses_and_is_load_bearing(flow):
+    findings = flow({
+        "grid.py": RACY.format(
+            annotation="  # safe: R015 workers accumulate privately and are never read back"
+        ),
+    }, select=["R013", "R014", "R015", "R016"])
+    assert findings == []
+
+
+def test_bare_safe_without_reason_is_malformed(flow):
+    findings = flow({
+        "grid.py": RACY.format(annotation="  # safe: R015"),
+    }, select=["R013", "R014", "R015", "R016"])
+    ids = rule_ids(findings)
+    assert "E998" in ids  # malformed — no reason given
+    assert "R015" in ids  # and the suppression did NOT take effect
+
+
+def test_safe_without_rule_ids_is_malformed(flow):
+    findings = flow({
+        "grid.py": RACY.format(annotation="  # safe: trust me"),
+    }, select=["R013", "R014", "R015", "R016"])
+    assert "E998" in rule_ids(findings)
+
+
+def test_unused_safe_is_reported_as_e997(flow):
+    findings = flow({
+        "calm.py": """
+            LIMIT = 10  # safe: R015 nothing writes this concurrently
+
+            def main():
+                return LIMIT
+            """,
+    }, select=["R013", "R014", "R015", "R016"])
+    assert rule_ids(findings) == ["E997"]
+    assert "suppresses nothing" in findings[0].message
+
+
+def test_safe_naming_wrong_rule_does_not_suppress(flow):
+    findings = flow({
+        "grid.py": RACY.format(
+            annotation="  # safe: R013 workers accumulate privately"
+        ),
+    }, select=["R013", "R014", "R015", "R016"])
+    ids = rule_ids(findings)
+    assert "R015" in ids  # the real finding survives
+    assert "E997" in ids  # and the mis-targeted annotation is stale
+
+
+def test_safe_inside_docstring_is_not_an_annotation(flow):
+    findings = flow({
+        "docs.py": '''
+            def explain():
+                """Annotate shared state like this:
+
+                    RESULTS = []  # safe: R015 workers never share
+
+                The reason is mandatory.
+                """
+                return 1
+            ''',
+    }, select=["R013", "R014", "R015", "R016"])
+    assert findings == []
+
+
+def test_multi_rule_safe_covers_both_rules(flow):
+    findings = flow({
+        "timing.py": """
+            import multiprocessing as mp
+            import time
+
+            _clock = time.perf_counter  # safe: R015, R016 the pool initializer reinstalls the clock per worker
+
+            def install(fn):
+                global _clock
+                _clock = fn
+
+            def job(x):
+                install(time.monotonic)
+                return x
+
+            def run(jobs):
+                install(time.perf_counter)
+                with mp.Pool(2) as pool:
+                    return pool.map(job, jobs)
+            """,
+    }, select=["R013", "R014", "R015", "R016"])
+    assert findings == []

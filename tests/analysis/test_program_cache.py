@@ -1,0 +1,99 @@
+"""The incremental per-file parse cache behind ``pace-repro analyze``."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.flow import run_flow
+from repro.analysis.flow.cache import ProgramCache, content_digest
+from repro.analysis.flow.program import build_program
+
+SOURCE = """
+    import multiprocessing as mp
+
+    def job(x):
+        return x
+
+    def run(jobs):
+        with mp.Pool(2) as pool:
+            return pool.map(job, jobs)
+    """
+
+
+def write_fixture(root):
+    (root / "grid.py").write_text(textwrap.dedent(SOURCE))
+    return root
+
+
+def test_digest_tracks_content_and_path(tmp_path):
+    a = content_digest(b"x = 1\n", tmp_path / "a.py")
+    assert a == content_digest(b"x = 1\n", tmp_path / "a.py")
+    assert a != content_digest(b"x = 2\n", tmp_path / "a.py")
+    assert a != content_digest(b"x = 1\n", tmp_path / "b.py")
+
+
+def test_second_build_hits_for_every_file(tmp_path):
+    write_fixture(tmp_path)
+    cache = ProgramCache(tmp_path / ".cache")
+    build_program([tmp_path], cache=cache)
+    assert cache.misses == 1 and cache.hits == 0
+
+    warm = ProgramCache(tmp_path / ".cache")
+    build_program([tmp_path], cache=warm)
+    assert warm.hits == 1 and warm.misses == 0
+
+
+def test_editing_a_file_invalidates_only_that_file(tmp_path):
+    write_fixture(tmp_path)
+    (tmp_path / "other.py").write_text("def untouched():\n    return 1\n")
+    cache = ProgramCache(tmp_path / ".cache")
+    build_program([tmp_path], cache=cache)
+
+    (tmp_path / "grid.py").write_text(
+        textwrap.dedent(SOURCE) + "\n\nEXTRA = 1\n"
+    )
+    warm = ProgramCache(tmp_path / ".cache")
+    build_program([tmp_path], cache=warm)
+    assert warm.hits == 1  # other.py
+    assert warm.misses == 1  # edited grid.py
+
+
+def test_cached_and_uncached_findings_are_identical(tmp_path):
+    write_fixture(tmp_path)
+    (tmp_path / "grid.py").write_text(
+        textwrap.dedent(SOURCE).replace("pool.map(job", "pool.map(lambda j: j")
+    )
+    cache = ProgramCache(tmp_path / ".cache")
+    cold = run_flow([tmp_path], program=build_program([tmp_path], cache=cache))
+    warm_cache = ProgramCache(tmp_path / ".cache")
+    warm = run_flow(
+        [tmp_path], program=build_program([tmp_path], cache=warm_cache)
+    )
+    bare = run_flow([tmp_path])
+    assert warm_cache.hits == 1
+    as_tuples = lambda fs: [(f.rule_id, f.path, f.line, f.message) for f in fs]
+    assert as_tuples(cold) == as_tuples(warm) == as_tuples(bare)
+    assert any(f.rule_id == "R013" for f in bare)
+
+
+def test_corrupt_cache_entry_degrades_to_a_miss(tmp_path):
+    write_fixture(tmp_path)
+    cache = ProgramCache(tmp_path / ".cache")
+    build_program([tmp_path], cache=cache)
+
+    for entry in (tmp_path / ".cache").rglob("*.pkl"):
+        entry.write_bytes(b"not a pickle")
+
+    poisoned = ProgramCache(tmp_path / ".cache")
+    program = build_program([tmp_path], cache=poisoned)
+    assert poisoned.misses == 1 and poisoned.hits == 0
+    assert "grid" in program.modules  # re-parsed from source
+
+
+def test_unwritable_cache_dir_never_fails_the_build(tmp_path):
+    write_fixture(tmp_path)
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file where the cache dir should be")
+    cache = ProgramCache(blocked)  # mkdir will fail inside put()
+    program = build_program([tmp_path], cache=cache)
+    assert "grid" in program.modules

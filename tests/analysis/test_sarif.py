@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 output for `analyze --format sarif` and `lint --format sarif`."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import render_sarif, sarif_payload
+from repro.analysis.flow import run_flow
+from repro.analysis.walker import Finding
+
+
+def _finding(**overrides):
+    base = dict(
+        rule_id="R015",
+        message="unguarded write to module-level state 'RESULTS'",
+        path="src/repro/grid.py",
+        line=12,
+        col=5,
+        severity="error",
+        hint="guard the write with a lock",
+        end_line=12,
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+def test_payload_shape_and_version():
+    payload = sarif_payload([_finding()])
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    assert len(payload["runs"]) == 1
+    driver = payload["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "pace-repro"
+
+
+def test_rule_catalog_covers_all_rule_ids():
+    driver = sarif_payload([])["runs"][0]["tool"]["driver"]
+    ids = {rule["id"] for rule in driver["rules"]}
+    expected = {f"R{n:03d}" for n in range(1, 17)} | {"E997", "E998", "E999"}
+    assert expected <= ids
+
+
+def test_result_carries_location_and_level():
+    payload = sarif_payload([_finding()])
+    result = payload["runs"][0]["results"][0]
+    assert result["ruleId"] == "R015"
+    assert result["level"] == "error"
+    assert "RESULTS" in result["message"]["text"]
+    assert "hint:" in result["message"]["text"]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 12
+    assert region["startColumn"] == 5
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert uri == "src/repro/grid.py"
+
+
+def test_warning_severity_maps_to_sarif_warning():
+    payload = sarif_payload([_finding(severity="warning")])
+    assert payload["runs"][0]["results"][0]["level"] == "warning"
+
+
+def test_empty_findings_is_a_valid_empty_run():
+    payload = sarif_payload([])
+    assert payload["runs"][0]["results"] == []
+
+
+def test_render_sarif_is_valid_json():
+    rendered = render_sarif([_finding(), _finding(rule_id="R013", line=3)])
+    parsed = json.loads(rendered)
+    assert len(parsed["runs"][0]["results"]) == 2
+
+
+def test_real_findings_round_trip_through_sarif(tmp_path):
+    (tmp_path / "grid.py").write_text(textwrap.dedent("""
+        import multiprocessing as mp
+
+        def run(jobs):
+            with mp.Pool(2) as pool:
+                return pool.map(lambda j: j, jobs)
+        """))
+    findings = run_flow([tmp_path], select=["R013"])
+    assert findings
+    parsed = json.loads(render_sarif(findings))
+    results = parsed["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["R013"]
+    assert results[0]["locations"][0]["physicalLocation"]["region"]["startLine"] == 6
