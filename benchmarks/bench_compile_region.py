@@ -1,0 +1,125 @@
+"""Compiled-region microbenchmark: Eq. 10 objective + gradient per family.
+
+The end-to-end attack phase is floored by query labeling — real COUNT(*)
+execution against the DBMS — which no compiler touches. This bench
+isolates the region ``repro.nn.compile`` actually compiles: the
+unrolled-update poisoning objective and its gradient w.r.t. the poison
+encodings (the inner loop of PACE's generator training). It reports
+interpreted vs compiled wall-clock per estimator family and asserts the
+two paths agree bitwise, reproducing the "Compiled execution" table in
+EXPERIMENTS.md.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/bench_compile_region.py``
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from common import once, print_table
+
+from repro.attack.algorithms import _Session
+from repro.ce.registry import create_model
+from repro.datasets.registry import load_dataset
+from repro.db.executor import Executor
+from repro.nn.compile import (
+    compile_threshold,
+    compiled_execution,
+    reset_compile_state,
+    set_compile_threshold,
+)
+from repro.nn.tensor import Tensor, grad
+from repro.workload.encoding import QueryEncoder
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.workload import Workload
+
+FAMILIES = ("fcn", "fcn_pool", "mscn", "rnn", "lstm", "linear")
+HIDDEN_DIM = 64
+UPDATE_STEPS = 3
+REPEATS = 5
+
+
+class _Harness:
+    """Carries the ``_Session`` attributes the objective helpers read."""
+
+    poisoning_objective = _Session.poisoning_objective
+    _compiled_poisoning_objective = _Session._compiled_poisoning_objective
+
+    def __init__(self, surrogate, test_x, test_y):
+        self.surrogate = surrogate
+        self.test_x = test_x
+        self.test_y = test_y
+        self.config = type("Cfg", (), {"update_lr": 2.0})()
+
+
+def _objective_and_grad(harness, view, encodings, y_norm):
+    poison = Tensor(encodings.copy(), requires_grad=True)
+    objective = harness.poisoning_objective(view, poison, y_norm, UPDATE_STEPS)
+    (g,) = grad(objective, [poison])
+    return float(objective.item()), g.data.copy()
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_compile_region_speedup(benchmark):
+    database = load_dataset("tpch", scale="smoke", seed=0)
+    encoder = QueryEncoder(database.schema)
+    gen = WorkloadGenerator(database, seed=0)
+    workload = Workload.from_queries(
+        [gen.random_query(max_tables=3) for _ in range(16)], Executor(database)
+    )
+    encodings = np.array(workload.encode(encoder), copy=True)
+    cards = workload.cardinalities
+
+    def run():
+        reset_compile_state()
+        previous_threshold = compile_threshold()
+        set_compile_threshold(1)
+        rows = []
+        all_bitwise = True
+        try:
+            for family in FAMILIES:
+                model = create_model(family, encoder, hidden_dim=HIDDEN_DIM, seed=0)
+                model.calibrate_normalization(cards)
+                y_norm = model.normalize_log(cards)
+                harness = _Harness(model, Tensor(encodings), Tensor(y_norm))
+                view = create_model(family, encoder, hidden_dim=HIDDEN_DIM, seed=1)
+                view.calibrate_normalization(cards)
+
+                with compiled_execution(False):
+                    interp_s, (obj_i, grad_i) = _best_of(
+                        lambda: _objective_and_grad(harness, view, encodings, y_norm)
+                    )
+                with compiled_execution(True):
+                    _objective_and_grad(harness, view, encodings, y_norm)  # build plan
+                    compiled_s, (obj_c, grad_c) = _best_of(
+                        lambda: _objective_and_grad(harness, view, encodings, y_norm)
+                    )
+                bitwise = obj_i == obj_c and np.array_equal(grad_i, grad_c)
+                all_bitwise = all_bitwise and bitwise
+                rows.append([
+                    family, f"{interp_s * 1e3:.2f}", f"{compiled_s * 1e3:.2f}",
+                    f"{interp_s / compiled_s:.2f}x", str(bitwise),
+                ])
+        finally:
+            set_compile_threshold(previous_threshold)
+        return rows, all_bitwise
+
+    rows, all_bitwise = once(benchmark, run)
+    print()
+    print_table(
+        ["family", "interpreted (ms)", "compiled (ms)", "speedup", "bitwise"],
+        rows,
+        title=f"Eq. 10 objective + grad, hidden_dim={HIDDEN_DIM}, "
+              f"steps={UPDATE_STEPS} (best of {REPEATS})",
+    )
+    assert all_bitwise, "compiled objective/gradient diverged from interpreter"

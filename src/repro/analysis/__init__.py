@@ -11,9 +11,11 @@ Four tools live here, all wired into the CLI:
   concurrency-safety rules (R013-R016,
   :mod:`repro.analysis.concurrency`), the gradient audit, sanitized
   end-to-end smoke passes over the autograd engine and the serving layer
-  (:mod:`repro.analysis.smoke`), and a dynamic 2-worker write-trace
+  (:mod:`repro.analysis.smoke`), a dynamic 2-worker write-trace
   cross-check of the process-context labels
-  (:mod:`repro.analysis.concurrency.smoke`).
+  (:mod:`repro.analysis.concurrency.smoke`), and the compiled-vs-
+  interpreted equivalence sweep over every estimator family
+  (:mod:`repro.analysis.equivalence`).
 - ``pace-repro gradcheck`` — a finite-difference audit of every layer and
   loss in the hand-rolled ``repro.nn`` autograd engine.
 
@@ -22,12 +24,18 @@ Findings render as text, JSON, or SARIF 2.1.0
 per-file parse cache (:mod:`repro.analysis.flow.cache`).
 """
 
+from repro.analysis.equivalence import (
+    EquivalenceCase,
+    EquivalenceResult,
+    run_equivalence,
+)
 from repro.analysis.flow import all_flow_rules, flow_rule_ids, run_flow
 from repro.analysis.gradcheck import (
     DEFAULT_TOLERANCE,
     GradCheckResult,
     case_names,
     max_relative_error,
+    run_compiled_gradcheck,
     run_gradcheck,
 )
 from repro.analysis.report import (
@@ -77,6 +85,7 @@ __all__ = [
     "render_gradcheck_json",
     "GradCheckResult",
     "run_gradcheck",
+    "run_compiled_gradcheck",
     "max_relative_error",
     "case_names",
     "DEFAULT_TOLERANCE",
@@ -86,6 +95,9 @@ __all__ = [
     "run_serve_smoke",
     "TraceSmokeResult",
     "run_trace_smoke",
+    "EquivalenceCase",
+    "EquivalenceResult",
+    "run_equivalence",
     "render_sarif",
     "sarif_payload",
 ]

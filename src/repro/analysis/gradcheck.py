@@ -44,12 +44,18 @@ _FD_STEP = 1e-6
 
 @dataclasses.dataclass(frozen=True)
 class GradCheckResult:
-    """Outcome of one layer/loss sweep."""
+    """Outcome of one layer/loss sweep.
+
+    ``kernels`` is non-empty for compiled cases: the fused-kernel names
+    (``site:forwardN``/``site:backwardN``) whose emitted code the case
+    audited.
+    """
 
     name: str
     max_rel_error: float
     checked: int
     tolerance: float
+    kernels: tuple[str, ...] = ()
 
     @property
     def passed(self) -> bool:
@@ -295,16 +301,173 @@ _CASES: tuple[_Case, ...] = (
 )
 
 
+# ----------------------------------------------------------------------
+# compiled cases — FD audit of the fused kernels repro.nn.compile emits
+# ----------------------------------------------------------------------
+
+#: Families whose fused training-loss plan is audited (one plan each,
+#: forward + backward kernels), mirroring ``repro.ce.MODEL_TYPES``.
+_COMPILED_FAMILIES: tuple[str, ...] = (
+    "fcn", "fcn_pool", "mscn", "rnn", "lstm", "linear"
+)
+
+#: FD probes per compiled case. Each probe re-executes the whole fused
+#: plan, so compiled cases sample coordinates instead of sweeping all of
+#: them — the kernels are shared across coordinates anyway.
+_COMPILED_MAX_COORDS = 40
+
+
+def _check_sampled(
+    forward: Callable[[], Tensor],
+    wrt: Sequence[tuple[str, Tensor]],
+    tolerance: float,
+    name: str,
+    max_coords: int,
+    rng: np.random.Generator,
+    kernels: Sequence[str] = (),
+) -> GradCheckResult:
+    """:func:`_check` on a fixed-seed sample of the ``wrt`` coordinates."""
+    tensors = [t for _, t in wrt]
+    analytic = [g.data.copy() for g in grad(forward(), tensors)]
+    coords = [
+        (ti, i) for ti, t in enumerate(tensors) for i in range(t.data.size)
+    ]
+    if len(coords) > max_coords:
+        picked = rng.choice(len(coords), size=max_coords, replace=False)
+        coords = [coords[int(k)] for k in sorted(picked)]
+    max_rel = 0.0
+    for ti, i in coords:
+        flat = tensors[ti].data.reshape(-1)
+        original = flat[i]
+        step = _FD_STEP * max(1.0, abs(original))
+        flat[i] = original + step
+        upper = forward().item()
+        flat[i] = original - step
+        lower = forward().item()
+        flat[i] = original
+        numeric = (upper - lower) / (2.0 * step)
+        a = analytic[ti].reshape(-1)[i]
+        rel = abs(a - numeric) / max(1.0, abs(a), abs(numeric))
+        max_rel = max(max_rel, rel)
+    return GradCheckResult(
+        name=name, max_rel_error=max_rel, checked=len(coords),
+        tolerance=tolerance, kernels=tuple(kernels),
+    )
+
+
+def run_compiled_gradcheck(
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_coords: int = _COMPILED_MAX_COORDS,
+) -> list[GradCheckResult]:
+    """FD audit of the fused kernels, through the real call-site wiring.
+
+    Per family, the training-loss plan (``_compiled_batch_loss``) is
+    compiled and its analytic gradients — produced by the plan's fused
+    *backward* kernels — are checked against central finite differences
+    of the plan's fused *forward* kernels. One second-order case then
+    audits Eq. 10's unrolled-update plan w.r.t. the poison encodings.
+    Every result carries the names of the kernels the plan emitted.
+    """
+    from repro.analysis.equivalence import _force_compiled
+    from repro.attack.algorithms import _Session
+    from repro.ce.registry import create_model
+    from repro.ce.trainer import _compiled_batch_loss
+    from repro.datasets.registry import load_dataset
+    from repro.db.executor import Executor
+    from repro.nn.compile import iter_plans, reset_compile_state
+    from repro.workload.encoding import QueryEncoder
+    from repro.workload.generator import WorkloadGenerator
+    from repro.workload.workload import Workload
+
+    reset_compile_state()
+    database = load_dataset("tpch", scale="smoke", seed=0)
+    encoder = QueryEncoder(database.schema)
+    gen = WorkloadGenerator(database, seed=0)
+    workload = Workload.from_queries(
+        [gen.random_query(max_tables=3) for _ in range(6)], Executor(database)
+    )
+    encodings = np.array(workload.encode(encoder), copy=True)
+    cards = workload.cardinalities
+    rng = derive_rng(31)
+
+    def new_kernels(seen: int) -> tuple[list[str], int]:
+        plans = iter_plans()
+        names = [k["name"] for plan in plans[seen:] for k in plan.kernels()]
+        return names, len(plans)
+
+    results: list[GradCheckResult] = []
+    seen_plans = 0
+    for family in _COMPILED_FAMILIES:
+        model = create_model(family, encoder, hidden_dim=8, seed=7)
+        model.calibrate_normalization(cards)
+        x = Tensor(encodings)
+        y = Tensor(model.normalize_log(cards))
+
+        def forward() -> Tensor:
+            with _force_compiled():
+                loss = _compiled_batch_loss(model, x, y)
+            if loss is None:
+                raise RuntimeError(
+                    f"_compiled_batch_loss declined compilation for {family}"
+                )
+            return loss
+
+        forward()  # build the plan before enumerating its kernels
+        kernels, seen_plans = new_kernels(seen_plans)
+        results.append(_check_sampled(
+            forward, _named_parameters(model), tolerance,
+            f"compiled.{family}.train_step", max_coords, rng, kernels,
+        ))
+
+    # Second order: the plan PACE differentiates through — its backward
+    # kernels compute d(post-update test error)/d(poison encodings).
+    surrogate = create_model("fcn", encoder, hidden_dim=8, seed=7)
+    surrogate.calibrate_normalization(cards)
+    y_norm = surrogate.normalize_log(cards)
+    harness = type("Harness", (), {
+        "_compiled_poisoning_objective": _Session._compiled_poisoning_objective,
+    })()
+    harness.surrogate = surrogate
+    harness.test_x = Tensor(encodings)
+    harness.test_y = Tensor(y_norm)
+    harness.config = type("Cfg", (), {"update_lr": 2.0})()
+    poison = Tensor(encodings.copy(), requires_grad=True)
+    view = create_model("fcn", encoder, hidden_dim=8, seed=8)
+    view.calibrate_normalization(cards)
+
+    def second_order() -> Tensor:
+        with _force_compiled():
+            objective = harness._compiled_poisoning_objective(
+                view, poison, y_norm, 3
+            )
+        if objective is None:
+            raise RuntimeError("poisoning objective declined compilation")
+        return objective
+
+    second_order()
+    kernels, seen_plans = new_kernels(seen_plans)
+    results.append(_check_sampled(
+        second_order, [("encodings", poison)], tolerance,
+        "compiled.fcn.second_order", max_coords // 2, rng, kernels,
+    ))
+    return results
+
+
 def case_names() -> list[str]:
-    return [case.name for case in _CASES]
+    return (
+        [case.name for case in _CASES]
+        + [f"compiled.{family}.train_step" for family in _COMPILED_FAMILIES]
+        + ["compiled.fcn.second_order"]
+    )
 
 
 def run_gradcheck(tolerance: float = DEFAULT_TOLERANCE) -> list[GradCheckResult]:
-    """Sweep every registered layer/loss case; returns one result per case."""
+    """Sweep every registered layer/loss case plus the compiled plans."""
     results = []
     for case in _CASES:
         forward, wrt = case.build()
         results.append(_check(forward, wrt, tolerance, case.name))
+    results.extend(run_compiled_gradcheck(tolerance=tolerance))
     return results
 
 

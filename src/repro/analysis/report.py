@@ -68,6 +68,7 @@ def gradcheck_payload(results) -> dict:
                 "checked": int(r.checked),
                 "tolerance": float(r.tolerance),
                 "passed": bool(r.passed),
+                "kernels": list(r.kernels),
             }
             for r in results
         ],

@@ -34,6 +34,7 @@ from repro.attack.generator import GeneratedBatch, PoisonQueryGenerator
 from repro.ce.base import CardinalityEstimator
 from repro.ce.trainer import training_loss, unrolled_update
 from repro.db.executor import Executor
+from repro.nn.compile import CompiledInput, compiled_call, compiled_forward
 from repro.nn.losses import bce_loss
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, grad, sanitize_scope
@@ -227,9 +228,44 @@ class _Session:
         loss.backward()
         self.join_optimizer.step()
 
+    def _compiled_poisoning_objective(self, view, encodings: Tensor,
+                                      labels_norm: np.ndarray, steps: int):
+        """Eq. 10 through the JIT plan cache; ``None`` -> interpreted path.
+
+        The returned objective is a super node whose only graph parent is
+        ``encodings``, so the generator's interpreted graph picks up exactly
+        where the compiled region ends.
+        """
+        named = list(view.named_parameters())
+        names = [name for name, _ in named]
+        params = [param for _, param in named]
+        lr = self.config.update_lr
+
+        def build(enc, lab, tx, ty, *param_tensors):
+            inner = view.clone_with_parameters(dict(zip(names, param_tensors)))
+            poisoned = unrolled_update(inner, enc, lab, steps=steps, lr=lr)
+            return (poisoned(tx) - ty).abs().mean()
+
+        outputs = compiled_call(
+            ("attack.poisoning_objective", type(self.surrogate).__name__),
+            build,
+            [
+                CompiledInput(encodings, diff=True, want_grad=True),
+                CompiledInput(Tensor(labels_norm)),
+                CompiledInput(self.test_x),
+                CompiledInput(self.test_y),
+                *[CompiledInput(p, diff=True) for p in params],
+            ],
+            static=(steps, repr(float(lr))),
+        )
+        return None if outputs is None else outputs[0]
+
     def poisoning_objective(self, view, encodings: Tensor, labels_norm: np.ndarray,
                             steps: int) -> Tensor:
         """Eq. 10's inner value: post-update test error (to be maximized)."""
+        compiled = self._compiled_poisoning_objective(view, encodings, labels_norm, steps)
+        if compiled is not None:
+            return compiled
         poisoned = unrolled_update(
             view, encodings, Tensor(labels_norm),
             steps=steps, lr=self.config.update_lr,
@@ -306,8 +342,10 @@ class _Session:
         view, _ = self.fresh_view(final)
         from repro.nn.tensor import no_grad
 
-        with no_grad():
-            prediction = view(self.test_x)
+        prediction = compiled_forward(view, self.test_x)
+        if prediction is None:
+            with no_grad():
+                prediction = view(self.test_x)
         return float(np.abs(prediction.data - self.test_y.data).mean())
 
     def _detached_steps(
@@ -320,6 +358,9 @@ class _Session:
         pass is taped, never the gradient values — but never materializes
         the K-step graph, which is the attack loop's dominant cost.
         """
+        compiled = self._compiled_detached_steps(x, y, state, steps)
+        if compiled is not None:
+            return compiled
         current = dict(state)
         for _ in range(steps):
             view, mapping = self.fresh_view(current)
@@ -331,6 +372,47 @@ class _Session:
                 for name, g in zip(mapping, grads)
             }
         return current
+
+    def _compiled_detached_steps(
+        self, x: Tensor, y: Tensor, state: dict[str, np.ndarray], steps: int
+    ) -> dict[str, np.ndarray] | None:
+        """:meth:`_detached_steps` as one compiled plan; ``None`` -> interpreted.
+
+        The traced update ``p - lr * g`` evaluates the same NumPy expression
+        as the interpreted ``mapping[name].data - lr * g.data`` (IEEE
+        multiplication and subtraction, same operand order), so the final
+        state is bit-identical.
+        """
+        names = list(state)
+        lr = self.config.update_lr
+
+        def build(xi, yi, *values):
+            current = list(values)
+            for _ in range(steps):
+                view = self.surrogate.clone_with_parameters(dict(zip(names, current)))
+                loss = training_loss(view, xi, yi)
+                grads = grad(loss, current)
+                current = [p - lr * g for p, g in zip(current, grads)]
+            return tuple(current)
+
+        outputs = compiled_call(
+            ("attack.detached_steps", type(self.surrogate).__name__),
+            build,
+            [
+                CompiledInput(x),
+                CompiledInput(y),
+                *[CompiledInput(Tensor(state[name]), diff=True) for name in names],
+            ],
+            static=(steps, repr(float(lr))),
+            # Compiled detached steps save well under a millisecond per
+            # call against a trace costing tens of milliseconds; only
+            # long-running sessions that reuse one shape across dozens of
+            # snapshots come out ahead.
+            min_uses=32,
+        )
+        if outputs is None:
+            return None
+        return {name: out.data for name, out in zip(names, outputs)}
 
     def commit_update(self, state: dict[str, np.ndarray], steps: int) -> dict[str, np.ndarray]:
         """Advance surrogate parameters ``steps`` detached GD steps (Eq. 9).

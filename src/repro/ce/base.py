@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.compile import compiled_forward
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
 from repro.utils.errors import TrainingError
@@ -88,8 +89,11 @@ class CardinalityEstimator(Module):
     # ------------------------------------------------------------------
     def estimate_encoded(self, encodings: np.ndarray) -> np.ndarray:
         """Estimated cardinalities for pre-encoded queries (no gradients)."""
-        with no_grad():
-            out = self.forward(Tensor(np.atleast_2d(encodings)))
+        x = Tensor(np.atleast_2d(encodings))
+        out = compiled_forward(self, x)
+        if out is None:
+            with no_grad():
+                out = self.forward(x)
         return self.denormalize_log(out.data)
 
     def estimate(self, queries) -> np.ndarray:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ce.base import CardinalityEstimator
+from repro.nn.compile import CompiledInput, compiled_call
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, grad, no_grad, sanitize_scope
@@ -52,6 +53,33 @@ class TrainResult:
     losses: list[float] = field(default_factory=list)
 
 
+def _compiled_batch_loss(model: CardinalityEstimator, x: Tensor, y: Tensor):
+    """Batch loss through the JIT plan cache; ``None`` -> interpreted path.
+
+    Gradients are requested w.r.t. every parameter, so the returned loss
+    tensor backpropagates into ``model``'s parameters exactly like the
+    interpreted ``mse_loss(model(x), y)`` graph would.
+    """
+    named = list(model.named_parameters())
+    names = [name for name, _ in named]
+    params = [param for _, param in named]
+
+    def build(xi, yi, *param_tensors):
+        view = model.clone_with_parameters(dict(zip(names, param_tensors)))
+        return mse_loss(view(xi), yi)
+
+    outputs = compiled_call(
+        ("ce.train_model", type(model).__name__),
+        build,
+        [
+            CompiledInput(x),
+            CompiledInput(y),
+            *[CompiledInput(p, diff=True, want_grad=True) for p in params],
+        ],
+    )
+    return None if outputs is None else outputs[0]
+
+
 def train_model(
     model: CardinalityEstimator,
     workload: Workload,
@@ -79,8 +107,10 @@ def train_model(
                 idx = order[start : start + batch]
                 x = Tensor(x_all[idx])
                 y = Tensor(y_all[idx])
-                prediction = model(x)
-                loss = mse_loss(prediction, y)
+                loss = _compiled_batch_loss(model, x, y)
+                if loss is None:
+                    prediction = model(x)
+                    loss = mse_loss(prediction, y)
                 optimizer.zero_grad()
                 loss.backward()
                 optimizer.step()
@@ -93,6 +123,46 @@ def train_model(
 def training_loss(model: CardinalityEstimator, x: Tensor, y_norm: Tensor) -> Tensor:
     """The CE model's own training loss on a batch (normalized-log MSE)."""
     return mse_loss(model(x), y_norm)
+
+
+def _compiled_update_run(
+    model: CardinalityEstimator, x: Tensor, y: Tensor, steps: int, lr: float
+):
+    """All ``steps`` update iterations as one plan; ``None`` -> interpreted.
+
+    Outputs are ``(*per_step_losses, *final_parameters)``. The traced update
+    ``p - lr * g`` evaluates the same NumPy expression as the interpreted
+    in-place ``p.data -= lr * p.grad.data``, and ``grad``'s zeros fallback
+    makes a no-gradient parameter a no-op update, matching the interpreted
+    ``if p.grad is not None`` guard bit for bit.
+    """
+    named = list(model.named_parameters())
+    names = [name for name, _ in named]
+    params = [param for _, param in named]
+
+    def build(xi, yi, *param_tensors):
+        current = model.clone_with_parameters(dict(zip(names, param_tensors)))
+        losses = []
+        for _ in range(steps):
+            loss = training_loss(current, xi, yi)
+            ps = [p for _, p in current.named_parameters()]
+            gs = grad(loss, ps)
+            current = current.clone_with_parameters(
+                {name: p - lr * g for name, p, g in zip(names, ps, gs)}
+            )
+            losses.append(loss)
+        return (*losses, *(p for _, p in current.named_parameters()))
+
+    return compiled_call(
+        ("ce.incremental_update", type(model).__name__),
+        build,
+        [
+            CompiledInput(x),
+            CompiledInput(y),
+            *[CompiledInput(p, diff=True) for p in params],
+        ],
+        static=(steps, repr(float(lr))),
+    )
 
 
 def incremental_update(
@@ -114,6 +184,13 @@ def incremental_update(
     params = model.parameters()
     losses = []
     with sanitize_scope("ce.incremental_update"):
+        compiled = _compiled_update_run(model, x, y, steps, lr)
+        if compiled is not None:
+            with no_grad():
+                for p, updated in zip(params, compiled[steps:]):
+                    p.data = updated.data
+            model.zero_grad()
+            return [float(t.data) for t in compiled[:steps]]
         for _ in range(steps):
             loss = training_loss(model, x, y)
             model.zero_grad()

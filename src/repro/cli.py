@@ -67,14 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--real-timing", action="store_true",
                          help="use the real clock for speculation latency "
                               "probes (default: deterministic fake clock)")
+    profile.add_argument("--compile", action="store_true",
+                         help="force compiled execution on for the run "
+                              "(default: honor REPRO_COMPILE)")
 
     bench = sub.add_parser(
         "bench", help="run the smoke benchmark grid and write BENCH_*.json"
     )
     bench.add_argument("--scale", choices=available_scales(), default="smoke")
     bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument("--output", default="BENCH_PR2.json",
-                       help="report path (default: BENCH_PR2.json)")
+    bench.add_argument("--output", default="BENCH_PR7.json",
+                       help="report path; bare filenames land under benchmarks/ "
+                            "(default: BENCH_PR7.json)")
     bench.add_argument("--baseline", default=None,
                        help="baseline BENCH_*.json to compute speedups against "
                             "(default: benchmarks/baselines/BENCH_SEED.json if present)")
@@ -82,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the baseline comparison even if one exists")
     bench.add_argument("--real-timing", action="store_true",
                        help="use the real clock for speculation latency probes")
+    bench.add_argument("--compile", action="store_true",
+                       help="force compiled execution on for every cell and "
+                            "record the equivalence-sweep verdict in the report "
+                            "(default: honor REPRO_COMPILE)")
 
     lint = sub.add_parser(
         "lint", help="run the repo-specific per-file static-analysis rules (R001-R006)"
@@ -100,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="full audit: lint + whole-program flow rules (R007-R012) "
              "+ concurrency rules (R013-R016) + gradient audit + sanitized "
-             "autograd/serve smoke passes + dynamic context-label trace smoke",
+             "autograd/serve smoke passes + dynamic context-label trace smoke "
+             "+ compiled-vs-interpreted equivalence sweep",
     )
     analyze.add_argument("paths", nargs="*", metavar="PATH",
                          help="files/directories to analyze (default: the repro package)")
@@ -120,7 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the finite-difference gradient audit")
     analyze.add_argument("--skip-smoke", action="store_true",
                          help="skip the sanitized autograd, serve, and "
-                              "context-trace smoke passes")
+                              "context-trace smoke passes and the "
+                              "compiled-vs-interpreted equivalence sweep")
     analyze.add_argument("--seed", type=int, default=0,
                          help="seed for the sanitized smoke pass")
 
@@ -297,6 +307,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         deterministic_timing=not args.real_timing,
+        compile_enabled=True if args.compile else None,
     )
     print(format_profile(profile))
     return 0
@@ -316,7 +327,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         deterministic_timing=not args.real_timing,
+        compile_enabled=True if args.compile else None,
     )
+    if report["compile"]["enabled"]:
+        # A compiled bench is only publishable alongside proof that the
+        # compiled numerics match the interpreter, so run the sweep and
+        # stamp its verdict into the report.
+        from repro.analysis.equivalence import run_equivalence
+
+        equivalence = run_equivalence(seed=args.seed)
+        report["compile"]["byte_identical_equivalence"] = bool(
+            equivalence["byte_identical"]
+        )
+        report["compile"]["equivalence_max_abs_diff"] = float(
+            equivalence["max_abs_diff"]
+        )
     baseline_path = args.baseline
     if baseline_path is None and not args.no_baseline and DEFAULT_BASELINE.exists():
         baseline_path = str(DEFAULT_BASELINE)
@@ -417,6 +442,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         gradcheck_payload,
         max_relative_error,
         render_text,
+        run_equivalence,
         run_flow,
         run_gradcheck,
         run_lint,
@@ -457,12 +483,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     smoke = None if skip_smoke else run_smoke(seed=args.seed)
     serve_smoke = None if skip_smoke else run_serve_smoke(seed=args.seed)
     trace_smoke = None if skip_smoke else run_trace_smoke(seed=args.seed)
+    equivalence = None if skip_smoke else run_equivalence(seed=args.seed)
 
     gradcheck_ok = gradcheck_results is None or all(r.passed for r in gradcheck_results)
     smoke_ok = smoke is None or smoke.passed
     serve_ok = serve_smoke is None or serve_smoke.passed
     trace_ok = trace_smoke is None or trace_smoke.passed
-    ok = not findings and gradcheck_ok and smoke_ok and serve_ok and trace_ok
+    equivalence_ok = equivalence is None or equivalence.passed
+    ok = (not findings and gradcheck_ok and smoke_ok and serve_ok and trace_ok
+          and equivalence_ok)
 
     if args.format == "json":
         payload = {
@@ -473,6 +502,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             "smoke": None if smoke is None else smoke.as_dict(),
             "serve_smoke": None if serve_smoke is None else serve_smoke.as_dict(),
             "trace_smoke": None if trace_smoke is None else trace_smoke.as_dict(),
+            "equivalence": None if equivalence is None else equivalence.as_dict(),
         }
         print(json.dumps(payload, indent=2))
         return 0 if ok else 1
@@ -508,6 +538,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                   "statically labeled)")
         else:
             print(f"trace-smoke: FAIL — {trace_smoke.detail}")
+    if equivalence is not None:
+        if equivalence.passed:
+            identical = "byte-identical" if equivalence.byte_identical else (
+                f"max |diff| {equivalence.max_abs_diff:.3e}"
+            )
+            print(f"equivalence: ok ({len(equivalence.cases)} compiled-vs-"
+                  f"interpreted cases, {identical})")
+        else:
+            failing = [c.name for c in equivalence.cases if not c.passed]
+            print(f"equivalence: FAIL — {', '.join(failing)}")
     print(f"analyze: {'ok' if ok else 'FAIL'}")
     return 0 if ok else 1
 
@@ -534,6 +574,11 @@ def cmd_gradcheck(args: argparse.Namespace) -> int:
         rows,
         title="repro.nn gradient audit (analytic vs central finite differences)",
     ))
+    compiled = [r for r in results if r.kernels]
+    if compiled:
+        print("\nfused kernels audited:")
+        for r in compiled:
+            print(f"  {r.name}: {', '.join(r.kernels)}")
     worst = max_relative_error(results)
     print(f"\nmax relative error: {worst:.3e} (tolerance {tolerance:g})")
     return 0 if all(r.passed for r in results) else 1

@@ -1,0 +1,53 @@
+"""Trace-and-fuse JIT compiler for ``repro.nn``.
+
+Records a tensor computation's autograd graph once per shape signature,
+collapses it into preallocated-buffer NumPy kernels (forward and
+backward, including second-order unrolled-update graphs), and caches the
+plan. Execution is bit-identical to the interpreter; any op, shape, or
+situation the compiler cannot honor falls back to the unmodified
+interpreted code path. Off by default — enable with ``REPRO_COMPILE=1``,
+the CLI ``--compile`` flags, or :func:`set_enabled`.
+"""
+
+from repro.nn.compile.api import (
+    CompiledInput,
+    compile_threshold,
+    compiled_call,
+    compiled_execution,
+    compiled_forward,
+    is_enabled,
+    set_compile_threshold,
+    set_enabled,
+)
+from repro.nn.compile.cache import (
+    compile_stats,
+    iter_plans,
+    reset_compile_state,
+    stats_delta,
+)
+from repro.nn.compile.ir import TraceGraph, TraceNode
+from repro.nn.compile.plan import CompiledPlan, CompileError, build_plan
+from repro.nn.compile.tracer import GraphTracer, TraceReject, trace_function
+
+__all__ = [
+    "CompiledInput",
+    "CompiledPlan",
+    "CompileError",
+    "GraphTracer",
+    "TraceGraph",
+    "TraceNode",
+    "TraceReject",
+    "build_plan",
+    "compile_stats",
+    "compile_threshold",
+    "compiled_call",
+    "compiled_execution",
+    "compiled_forward",
+    "is_enabled",
+    "iter_plans",
+    "reset_compile_state",
+    "set_compile_threshold",
+    "set_enabled",
+    "stats_delta",
+    "trace_function",
+]

@@ -1,0 +1,286 @@
+"""Call-site API: ``compiled_call`` and the ``REPRO_COMPILE`` switch.
+
+The contract with call sites is deliberately narrow:
+
+* a site wraps the tensor computation it wants compiled in a function of
+  its declared inputs and calls :func:`compiled_call`;
+* ``None`` means "not compiled" (switch off, site declined, reentrant) —
+  the caller runs its unmodified interpreted branch, which is what makes
+  the fallback bitwise-identical by construction;
+* otherwise the site gets the outputs of a cached plan execution. When
+  gradients were requested (``want_grad``), output[0] is a *super node*:
+  a tensor whose parents are the caller's own input tensors and whose
+  backward rule replays the plan's static backward schedule, so outer
+  ``grad()``/``backward()`` calls flow through the compiled region
+  transparently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import tensor as _tensor
+from repro.nn.compile.cache import (
+    CACHE,
+    DEFAULT_COMPILE_THRESHOLD,
+    STATS,
+    Fallback,
+    Pending,
+)
+from repro.nn.compile.plan import CompiledPlan, CompileError, build_plan
+from repro.nn.compile.tracer import TraceReject, trace_function
+from repro.nn.tensor import Tensor, _wrap, is_grad_enabled
+
+_ENABLED = os.environ.get("REPRO_COMPILE", "").strip() not in ("", "0")
+
+_THRESHOLD = int(
+    os.environ.get("REPRO_COMPILE_THRESHOLD", "") or DEFAULT_COMPILE_THRESHOLD
+)
+
+_TRACE_LOCK = threading.RLock()
+
+#: A freshly compiled plan is kept only when its probe execution runs in
+#: at most this fraction of the fastest warm-up interpreted run. By probe
+#: time the trace cost is sunk, so any solid per-call win is worth
+#: keeping; the margin below 1.0 only guards against keeping plans whose
+#: "win" is timing noise (tiny graphs where numpy call overhead dominates
+#: both paths and the interpreter is effectively as fast).
+_PROFIT_RATIO = 0.9
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def set_enabled(enabled: bool) -> None:
+    """Flip the process-wide compile switch (CLI flags, tests)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def compile_threshold() -> int:
+    return _THRESHOLD
+
+
+def set_compile_threshold(threshold: int) -> None:
+    """Compile a key on its Nth request (1 = compile immediately)."""
+    global _THRESHOLD
+    _THRESHOLD = max(int(threshold), 1)
+
+
+@contextlib.contextmanager
+def compiled_execution(enabled: bool = True):
+    """Enable (or force off) compiled execution inside the block."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+@dataclass
+class CompiledInput:
+    """One declared input of a compiled call.
+
+    Args:
+        tensor: the caller's tensor for this call.
+        diff: trace with a requires-grad leaf (needed whenever anything
+            inside the traced function differentiates w.r.t. it).
+        want_grad: the caller wants d(output[0])/d(this input) to flow
+            back out of the compiled region (implies ``diff``).
+    """
+
+    tensor: Tensor
+    diff: bool = False
+    want_grad: bool = False
+
+
+def _site_label(site) -> str:
+    if isinstance(site, tuple):
+        return ":".join(str(part) for part in site)
+    return str(site)
+
+
+def compiled_call(
+    site,
+    fn,
+    inputs: list[CompiledInput],
+    static: tuple = (),
+    min_uses: int | None = None,
+):
+    """Run ``fn`` through a cached compiled plan, or return ``None``.
+
+    ``site`` identifies the call site (hashable; conventionally a tuple of
+    strings); ``static`` captures non-tensor arguments baked into the
+    trace (step counts, learning rates) so different values get different
+    plans. ``min_uses`` raises the compile threshold for sites whose
+    per-call compiled saving is small relative to trace/codegen cost —
+    a global threshold of 1 overrides it and compiles immediately.
+    Returns a tuple of output tensors, or ``None`` when the call is not
+    compiled and the caller must take its interpreted branch.
+    """
+    if not _ENABLED:
+        return None
+    tracer = _tensor._TRACER
+    if tracer is not None and tracer.tracing_here():
+        # Reentrant site inside an active trace: interpret it so the outer
+        # trace records its ops.
+        return None
+
+    key = (
+        site,
+        static,
+        tuple(
+            (spec.tensor.data.shape, spec.tensor.data.dtype.str, spec.diff, spec.want_grad)
+            for spec in inputs
+        ),
+    )
+    entry = CACHE.get(key)
+    if isinstance(entry, CompiledPlan):
+        STATS.record_hit()
+        return _run_plan(entry, inputs)
+    if isinstance(entry, Fallback):
+        STATS.record_fallback(entry.reason)
+        return None
+    return _compile_miss(key, site, fn, inputs, min_uses)
+
+
+def _effective_threshold(min_uses: int | None) -> int:
+    if _THRESHOLD <= 1:
+        return 1
+    return max(_THRESHOLD, min_uses or 1)
+
+
+def _compile_miss(key, site, fn, inputs, min_uses):
+    """Warm up, compile, or decline ``key``; returns outputs or ``None``.
+
+    Warm-up calls run the build function through the interpreter with the
+    caller's own tensors as arguments — the same ops, values, and graph
+    wiring as the caller's fallback branch, so returning these outputs is
+    bit-identical to returning ``None`` and letting the caller interpret.
+    The fastest warm-up duration is kept; when the key reaches the compile
+    threshold the freshly built plan's first (probe) execution is timed
+    against it and plans without a clear per-call win are negatively
+    cached, so a one-time trace is the most an unprofitable site can cost.
+    """
+    with _TRACE_LOCK:
+        entry = CACHE.get(key)
+        if isinstance(entry, CompiledPlan):
+            STATS.record_hit()
+            return _run_plan(entry, inputs)
+        if isinstance(entry, Fallback):
+            STATS.record_fallback(entry.reason)
+            return None
+        STATS.record_miss()
+        pending = entry if isinstance(entry, Pending) else Pending()
+        pending.count += 1
+        if pending.count < _effective_threshold(min_uses):
+            # Warm-up: not hot enough to pay tracing/codegen yet. Run the
+            # interpreted equivalent here so it can be timed.
+            CACHE.put(key, pending)
+            args = [
+                spec.tensor
+                if spec.tensor.requires_grad or not spec.diff
+                else Tensor(spec.tensor.data, requires_grad=True)
+                for spec in inputs
+            ]
+            start = time.perf_counter()
+            result = fn(*args)
+            elapsed = time.perf_counter() - start
+            if pending.interp_seconds is None or elapsed < pending.interp_seconds:
+                pending.interp_seconds = elapsed
+            return result if isinstance(result, tuple) else (result,)
+        want_slots = tuple(i for i, spec in enumerate(inputs) if spec.want_grad)
+        if any(spec.diff for spec in inputs) and not is_grad_enabled():
+            entry = Fallback("gradients requested while grad is disabled")
+        else:
+            try:
+                leaves = [
+                    Tensor(spec.tensor.data, requires_grad=spec.diff) for spec in inputs
+                ]
+                graph, _ = trace_function(fn, leaves)
+                entry = build_plan(graph, _site_label(site), want_slots)
+            except TraceReject as exc:
+                entry = Fallback(str(exc))
+        if isinstance(entry, Fallback):
+            STATS.record_fallback(entry.reason)
+            CACHE.put(key, entry)
+            return None
+        start = time.perf_counter()
+        result = _run_plan(entry, inputs)
+        elapsed = time.perf_counter() - start
+        baseline = pending.interp_seconds
+        if baseline is not None and elapsed > baseline * _PROFIT_RATIO:
+            # The plan's outputs are still exact — return them — but a
+            # per-call win this thin never repays the trace; decline the
+            # key from here on.
+            reason = (
+                f"unprofitable: compiled {elapsed * 1e3:.2f}ms vs "
+                f"interpreted {baseline * 1e3:.2f}ms"
+            )
+            STATS.record_fallback(reason)
+            CACHE.put(key, Fallback(reason))
+        else:
+            STATS.record_compiled()
+            CACHE.put(key, entry)
+        return result
+
+
+def _run_plan(plan: CompiledPlan, inputs: list[CompiledInput]) -> tuple[Tensor, ...]:
+    arrays = [spec.tensor.data for spec in inputs]
+    outputs, serial = plan.execute(arrays)
+    tensors = tuple(_wrap(arr) for arr in outputs)
+    want_parents = tuple(spec.tensor for spec in inputs if spec.want_grad)
+    if (
+        want_parents
+        and plan._has_backward
+        and is_grad_enabled()
+        and any(p.requires_grad for p in want_parents)
+    ):
+        head = tensors[0]
+        head.requires_grad = True
+        head._parents = want_parents
+        head._op = f"compiled:{plan.label}"
+        head._grad_fn_data = lambda g: tuple(plan.backward(g, serial))
+
+        def _no_taped_rule(_g):
+            raise CompileError(
+                f"create_graph backward through compiled region {plan.label!r}; "
+                "disable compilation for higher-order differentiation of this site"
+            )
+
+        head._grad_fn = _no_taped_rule
+    return tensors
+
+
+def compiled_forward(model, x: Tensor):
+    """Compiled inference forward ``model(x)``; ``None`` when not compiled.
+
+    Parameters are declared as plan inputs (not baked), so the same plan
+    stays valid across retraining — only shapes key the cache.
+    """
+    if not _ENABLED:
+        return None
+    named = list(model.named_parameters())
+    names = [name for name, _ in named]
+    params = [param for _, param in named]
+
+    def build(xi, *param_tensors):
+        view = model.clone_with_parameters(dict(zip(names, param_tensors)))
+        with _tensor.no_grad():
+            return view(xi)
+
+    outputs = compiled_call(
+        ("nn.forward", type(model).__name__),
+        build,
+        [CompiledInput(x), *[CompiledInput(p) for p in params]],
+    )
+    return None if outputs is None else outputs[0]

@@ -1,0 +1,162 @@
+"""Plan cache and compile statistics.
+
+Lookup is keyed by ``(site, static args, per-input (shape, dtype, diff,
+want_grad))`` — everything known *before* tracing. Plan identity (the
+``graph hash``) is computed after the trace and recorded on the plan, so
+two sites that happen to record identical graphs still report the same
+hash in diagnostics. Declined sites are negatively cached as
+:class:`Fallback` entries so a hot loop pays the trace attempt once.
+
+All counters are mirrored into the ``repro.perf`` registry under
+``compile.*`` whenever it is enabled, which makes them show up in
+``pace-repro profile`` and bench reports without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.nn.compile.plan import CompiledPlan
+from repro.perf.registry import PERF
+
+#: Compile a cache key on its Nth request; earlier requests interpret.
+#: A threshold of 1 forces immediate compilation everywhere, overriding
+#: per-site ``min_uses`` hints (used by tests and the equivalence sweep).
+DEFAULT_COMPILE_THRESHOLD = 3
+
+
+@dataclass
+class Fallback:
+    """Negative cache entry: why a site declined compilation."""
+
+    reason: str
+
+
+@dataclass
+class Pending:
+    """Warm-up entry: calls seen for a key not yet hot enough to compile.
+
+    Tracing and code generation cost ~10-200ms per plan, so shapes that
+    occur once (e.g. a rare non-empty-row count in the attack loop) must
+    not pay it. A key compiles only on its Nth request (the compile
+    threshold); until then ``compiled_call`` runs the build function
+    through the interpreter — bit-identical to the caller's own fallback
+    branch — and keeps the fastest observed duration so the freshly
+    compiled plan can be probed for profitability against it.
+    """
+
+    count: int = 0
+    interp_seconds: float | None = None
+
+
+class CompileStats:
+    """Process-wide plan-cache counters (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.plans_compiled = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.fallback_calls = 0
+        self.fallback_reasons: dict[str, int] = {}
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.plan_hits += 1
+        if PERF.enabled:
+            PERF.incr("compile.plan_hits")
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.plan_misses += 1
+        if PERF.enabled:
+            PERF.incr("compile.plan_misses")
+
+    def record_compiled(self) -> None:
+        with self._lock:
+            self.plans_compiled += 1
+        if PERF.enabled:
+            PERF.incr("compile.plans_compiled")
+
+    def record_fallback(self, reason: str) -> None:
+        with self._lock:
+            self.fallback_calls += 1
+            self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+        if PERF.enabled:
+            PERF.incr("compile.fallback_calls")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "plans_compiled": self.plans_compiled,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "fallback_calls": self.fallback_calls,
+                "fallback_reasons": dict(self.fallback_reasons),
+            }
+
+
+def stats_delta(now: dict, baseline: dict) -> dict:
+    """Counter-wise ``now - baseline`` for two snapshots."""
+    reasons = {}
+    base_reasons = baseline.get("fallback_reasons", {})
+    for reason, count in now.get("fallback_reasons", {}).items():
+        diff = count - base_reasons.get(reason, 0)
+        if diff:
+            reasons[reason] = diff
+    return {
+        "plans_compiled": now["plans_compiled"] - baseline.get("plans_compiled", 0),
+        "plan_hits": now["plan_hits"] - baseline.get("plan_hits", 0),
+        "plan_misses": now["plan_misses"] - baseline.get("plan_misses", 0),
+        "fallback_calls": now["fallback_calls"] - baseline.get("fallback_calls", 0),
+        "fallback_reasons": reasons,
+    }
+
+
+class PlanCache:
+    """Process-wide cache of compiled plans and negative entries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, CompiledPlan | Fallback] = {}
+
+    def get(self, key: tuple):
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: tuple, entry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def plans(self) -> list[CompiledPlan]:
+        with self._lock:
+            return [e for e in self._entries.values() if isinstance(e, CompiledPlan)]
+
+    def fallbacks(self) -> list[tuple[tuple, str]]:
+        with self._lock:
+            return [(k, e.reason) for k, e in self._entries.items() if isinstance(e, Fallback)]
+
+
+STATS = CompileStats()
+CACHE = PlanCache()  # safe: R016 pure memoization of deterministic traces — a forked worker that re-compiles locally produces bit-identical plans, so per-process divergence costs repeat trace time, never correctness
+
+
+def compile_stats() -> dict:
+    """Snapshot of the global compile counters."""
+    return STATS.snapshot()
+
+
+def iter_plans() -> list[CompiledPlan]:
+    """All live compiled plans (gradcheck enumerates their kernels)."""
+    return CACHE.plans()
+
+
+def reset_compile_state() -> None:
+    """Drop all cached plans and zero the counters (tests/benchmarks)."""
+    CACHE.clear()
+    STATS.__init__()

@@ -1,0 +1,92 @@
+"""Trace IR: the flat op graph a trace records and a stable hash over it.
+
+A :class:`TraceGraph` is a DAG in SSA form: every node is produced exactly
+once, parents always have smaller indices than their consumers (recording
+order is a topological order), and the graph is immutable once the trace
+finishes. Three node kinds exist:
+
+* ``input`` — a placeholder rebound to a caller array on every plan run;
+* ``const`` — a value captured at trace time (shape/seed/zero tensors that
+  are provably call-invariant; anything call-variant must be an input);
+* ``op`` — a recorded tensor operation, including the *derived* helper
+  nodes (masks, signs) that backward rules consume. Helpers never require
+  grad, so they appear in forward schedules but never in backward ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class TraceNode:
+    idx: int
+    kind: str  # "input" | "const" | "op"
+    op: str | None
+    parents: tuple[int, ...]
+    aux: dict[str, Any]
+    shape: tuple[int, ...]
+    requires_grad: bool
+    value: np.ndarray | None = None  # consts only
+    slot: int | None = None  # inputs only
+
+
+@dataclass
+class TraceGraph:
+    nodes: list[TraceNode] = field(default_factory=list)
+    outputs: tuple[int, ...] = ()
+    input_idxs: tuple[int, ...] = ()  # slot -> node idx
+
+    def op_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            if node.kind == "op":
+                counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def graph_hash(self) -> str:
+        """SHA-256 over the full structure, aux payloads, and const bytes."""
+        digest = hashlib.sha256()
+        for node in self.nodes:
+            digest.update(
+                repr(
+                    (
+                        node.idx,
+                        node.kind,
+                        node.op,
+                        node.parents,
+                        _canonical_aux(node.aux),
+                        node.shape,
+                        node.requires_grad,
+                        node.slot,
+                    )
+                ).encode()
+            )
+            if node.value is not None:
+                digest.update(node.value.tobytes())
+        digest.update(repr((self.outputs, self.input_idxs)).encode())
+        return digest.hexdigest()
+
+
+def _canonical_aux(value: Any) -> Any:
+    """Deterministic, hashable rendering of an aux payload.
+
+    Index objects may embed ndarrays (fancy indexing) and slices, neither
+    of which has a stable ``repr`` for hashing; both are rewritten into
+    value-based tuples.
+    """
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.dtype.str, value.shape, hashlib.sha256(value.tobytes()).hexdigest())
+    if isinstance(value, slice):
+        return ("slice", value.start, value.stop, value.step)
+    if isinstance(value, dict):
+        return tuple((k, _canonical_aux(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical_aux(v) for v in value)
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    return value

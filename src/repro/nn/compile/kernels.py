@@ -1,0 +1,288 @@
+"""NumPy source emitters for fused kernels.
+
+Every emitter mirrors one op's interpreter arithmetic *textually*: the
+forward lines reproduce the exact ufunc sequence the op runs in
+``repro.nn.tensor`` (into preallocated buffers where the ufunc supports
+``out=``), and the backward lines reproduce the op's ``_grad_fn_data``
+rule term for term — same operand order, same intermediate roundings.
+That one-to-one mapping is what makes the compiled plan bit-identical to
+the interpreter rather than merely close.
+
+Generated code runs with three names in scope: ``B`` (per-node forward
+buffers), ``G`` (per-node gradient buffers), ``AUX`` (constant index
+objects). Data-dependent helper masks are recomputed from live buffers
+every call; they are never baked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.compile.ir import TraceGraph, TraceNode
+from repro.nn.tensor import _scatter_data, _unbroadcast_data
+
+
+def _mask_gt0(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(np.float64)
+
+
+def _mask_range(x: np.ndarray, low: float, high: float) -> np.ndarray:
+    return ((x >= low) & (x <= high)).astype(np.float64)
+
+
+def _mask_ge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a >= b).astype(np.float64)
+
+
+def _mask_lt(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a < b).astype(np.float64)
+
+
+def _amask(x: np.ndarray) -> np.ndarray:
+    mask = np.zeros_like(x)
+    mask.reshape(-1)[int(np.argmax(x))] = 1.0
+    return mask
+
+
+#: Names available inside every generated kernel.
+KERNEL_NAMESPACE = {
+    "np": np,
+    "_unb": _unbroadcast_data,
+    "_scat": _scatter_data,
+    "_mask_gt0": _mask_gt0,
+    "_mask_range": _mask_range,
+    "_mask_ge": _mask_ge,
+    "_mask_lt": _mask_lt,
+    "_amask": _amask,
+}
+
+
+class UnsupportedOp(Exception):
+    """An op kind the code generator has no emitter for (plan declines)."""
+
+
+def _sum_kept_shape(in_shape, axis, keepdims):
+    """Replicate ``Tensor.sum``'s kept-shape computation exactly."""
+    if axis is not None and not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        kept = list(in_shape)
+        for ax in sorted(a % len(in_shape) for a in axes):
+            kept[ax] = 1
+        return tuple(kept)
+    return None
+
+
+def _sigmoid_into(src: str, dst: str) -> list[str]:
+    # Stage-for-stage rendering of 1.0 / (1.0 + np.exp(-x)).
+    return [
+        f"np.negative({src}, out={dst})",
+        f"np.exp({dst}, out={dst})",
+        f"np.add({dst}, 1.0, out={dst})",
+        f"np.divide(1.0, {dst}, out={dst})",
+    ]
+
+
+def forward_lines(node: TraceNode, graph: TraceGraph, aux_ref) -> tuple[list[str], bool]:
+    """Source lines computing ``B[node.idx]``; returns (lines, needs_prealloc).
+
+    ``aux_ref(obj)`` interns a constant Python object (index tuples and
+    the like) and returns the ``AUX[k]`` expression referencing it.
+    """
+    i = node.idx
+    out = f"B[{i}]"
+    p = [f"B[{j}]" for j in node.parents]
+    op = node.op
+
+    if op in ("add", "sub", "mul"):
+        ufunc = {"add": "add", "sub": "subtract", "mul": "multiply"}[op]
+        return [f"np.{ufunc}({p[0]}, {p[1]}, out={out})"], True
+    if op == "neg":
+        return [f"np.negative({p[0]}, out={out})"], True
+    if op == "pow":
+        return [f"np.power({p[0]}, {node.aux['exponent']!r}, out={out})"], True
+    if op == "matmul":
+        return [f"{out} = {p[0]} @ {p[1]}"], False
+    if op in ("exp", "log", "tanh"):
+        return [f"np.{op}({p[0]}, out={out})"], True
+    if op == "abs":
+        return [f"np.absolute({p[0]}, out={out})"], True
+    if op == "sigmoid":
+        return _sigmoid_into(p[0], out), True
+    if op == "relu":
+        return [f"np.maximum({p[0]}, 0.0, out={out})"], True
+    if op == "clip":
+        return [f"np.clip({p[0]}, {node.aux['low']!r}, {node.aux['high']!r}, out={out})"], True
+    if op == "sum":
+        axis, keepdims = node.aux["axis"], node.aux["keepdims"]
+        return [f"np.sum({p[0]}, axis={axis!r}, keepdims={keepdims!r}, out={out})"], True
+    if op == "max_reduce":
+        return [f"{out}[...] = np.max({p[0]})"], True
+    if op == "reshape":
+        return [f"{out} = {p[0]}.reshape({node.aux['shape']!r})"], False
+    if op == "transpose":
+        return [f"{out} = {p[0]}.transpose({node.aux['axes']!r})"], False
+    if op == "broadcast_to":
+        return [f"np.copyto({out}, {p[0]})"], True
+    if op == "getitem":
+        return [f"{out} = np.array({p[0]}[{aux_ref(node.aux['index'])}], copy=True)"], False
+    if op == "scatter":
+        return [
+            f"{out}[...] = 0.0",
+            f"np.add.at({out}, {aux_ref(node.aux['index'])}, {p[0]})",
+        ], True
+    if op == "concat":
+        args = ", ".join(p)
+        return [f"np.concatenate(({args}), axis={node.aux['axis']!r}, out={out})"], True
+    if op == "affine":
+        activation = node.aux["activation"]
+        lines = [f"_t = {p[0]} @ {p[1]}"]
+        if node.aux["has_bias"]:
+            lines.append(f"_t = _t + {p[2]}")
+        if activation is None:
+            return lines + [f"{out} = _t"], False
+        if activation == "relu":
+            return lines + [f"np.maximum(_t, 0.0, out={out})"], True
+        if activation == "sigmoid":
+            return lines + _sigmoid_into("_t", out), True
+        if activation == "tanh":
+            return lines + [f"np.tanh(_t, out={out})"], True
+        raise UnsupportedOp(f"affine activation {activation!r}")
+    # Derived helper masks (recomputed from live buffers each call).
+    if op == "sign":
+        return [f"np.sign({p[0]}, out={out})"], True
+    if op == "gt_zero_mask":
+        return [f"{out} = _mask_gt0({p[0]})"], False
+    if op == "range_mask":
+        return [f"{out} = _mask_range({p[0]}, {node.aux['low']!r}, {node.aux['high']!r})"], False
+    if op == "ge_mask":
+        return [f"{out} = _mask_ge({p[0]}, {p[1]})"], False
+    if op == "lt_mask":
+        return [f"{out} = _mask_lt({p[0]}, {p[1]})"], False
+    if op == "argmax_mask":
+        return [f"{out} = _amask({p[0]})"], False
+    raise UnsupportedOp(f"no forward emitter for op {op!r}")
+
+
+def _wrap_unb(expr: str, from_shape, to_shape) -> str:
+    """Mirror ``_unbroadcast_data``, skipping the call when it is identity."""
+    if from_shape == to_shape:
+        return expr
+    return f"_unb({expr}, {to_shape!r})"
+
+
+def backward_contributions(
+    node: TraceNode, graph: TraceGraph, aux_ref
+) -> tuple[list[str], list[tuple[int, str]]]:
+    """Backward rule for ``node``: (setup lines, [(parent idx, expr), ...]).
+
+    Each expr evaluates to that parent's gradient contribution given the
+    node gradient ``G[node.idx]``, mirroring the op's ``_grad_fn_data``
+    text. The scheduler wraps exprs with first-write / accumulate logic.
+    """
+    i = node.idx
+    g = f"G[{i}]"
+    parents = node.parents
+    shapes = [graph.nodes[j].shape for j in parents]
+    p = [f"B[{j}]" for j in parents]
+    op = node.op
+
+    if op == "add":
+        return [], [
+            (parents[0], _wrap_unb(g, node.shape, shapes[0])),
+            (parents[1], _wrap_unb(g, node.shape, shapes[1])),
+        ]
+    if op == "sub":
+        return [], [
+            (parents[0], _wrap_unb(g, node.shape, shapes[0])),
+            (parents[1], _wrap_unb(f"-{g}", node.shape, shapes[1])),
+        ]
+    if op == "neg":
+        return [], [(parents[0], f"-{g}")]
+    if op == "mul":
+        return [], [
+            (parents[0], _wrap_unb(f"{g} * {p[1]}", node.shape, shapes[0])),
+            (parents[1], _wrap_unb(f"{g} * {p[0]}", node.shape, shapes[1])),
+        ]
+    if op == "pow":
+        e = node.aux["exponent"]
+        return [], [(parents[0], f"{g} * np.power({p[0]}, {e - 1.0!r}) * {e!r}")]
+    if op == "matmul":
+        return [], [
+            (parents[0], f"{g} @ {p[1]}.transpose()"),
+            (parents[1], f"{p[0]}.transpose() @ {g}"),
+        ]
+    if op == "exp":
+        return [], [(parents[0], f"{g} * B[{i}]")]
+    if op == "log":
+        return [], [(parents[0], f"{g} * np.power({p[0]}, -1.0)")]
+    if op == "abs":
+        return [], [(parents[0], f"{g} * np.sign({p[0]})")]
+    if op == "tanh":
+        return [], [(parents[0], f"{g} * (1.0 - B[{i}] * B[{i}])")]
+    if op == "sigmoid":
+        return [], [(parents[0], f"{g} * B[{i}] * (1.0 - B[{i}])")]
+    if op == "relu":
+        return [], [(parents[0], f"{g} * _mask_gt0({p[0]})")]
+    if op == "clip":
+        low, high = node.aux["low"], node.aux["high"]
+        return [], [(parents[0], f"{g} * _mask_range({p[0]}, {low!r}, {high!r})")]
+    if op == "sum":
+        in_shape = shapes[0]
+        kept = _sum_kept_shape(in_shape, node.aux["axis"], node.aux["keepdims"])
+        src = g if kept is None else f"{g}.reshape({kept!r})"
+        return [], [(parents[0], f"np.broadcast_to({src}, {in_shape!r}).copy()")]
+    if op == "max_reduce":
+        in_shape = shapes[0]
+        return [], [(parents[0], f"np.broadcast_to({g} * _amask({p[0]}), {in_shape!r}).copy()")]
+    if op == "reshape":
+        return [], [(parents[0], f"{g}.reshape({shapes[0]!r})")]
+    if op == "transpose":
+        axes = node.aux["axes"]
+        inverse = None if axes is None else tuple(int(k) for k in np.argsort(axes))
+        return [], [(parents[0], f"{g}.transpose({inverse!r})")]
+    if op == "broadcast_to":
+        return [], [(parents[0], _wrap_unb(g, node.shape, shapes[0]))]
+    if op == "getitem":
+        index = aux_ref(node.aux["index"])
+        return [], [(parents[0], f"_scat({g}, {index}, {shapes[0]!r})")]
+    if op == "scatter":
+        index = aux_ref(node.aux["index"])
+        return [], [(parents[0], f"np.array({g}[{index}], copy=True)")]
+    if op == "concat":
+        axis = node.aux["axis"]
+        ndim = len(node.shape)
+        contribs = []
+        offset = 0
+        for j, parent in enumerate(parents):
+            span = shapes[j][axis]
+            index = [slice(None)] * ndim
+            index[axis] = slice(offset, offset + span)
+            offset += span
+            contribs.append((parent, f"np.array({g}[{aux_ref(tuple(index))}], copy=True)"))
+        return [], contribs
+    if op == "affine":
+        activation = node.aux["activation"]
+        if activation == "relu":
+            # (z > 0) == (out > 0) bitwise for relu, so the mask derives
+            # from the output buffer exactly as the interpreter's does
+            # from the preactivation.
+            setup = [f"_gz = {g} * _mask_gt0(B[{i}])"]
+        elif activation == "sigmoid":
+            setup = [f"_gz = {g} * B[{i}] * (1.0 - B[{i}])"]
+        elif activation == "tanh":
+            setup = [f"_gz = {g} * (1.0 - B[{i}] * B[{i}])"]
+        else:
+            setup = [f"_gz = {g}"]
+        contribs = [
+            (parents[0], f"_gz @ {p[1]}.transpose()"),
+            (parents[1], f"{p[0]}.transpose() @ _gz"),
+        ]
+        if node.aux["has_bias"]:
+            contribs.append((parents[2], _wrap_unb("_gz", node.shape, shapes[2])))
+        return setup, contribs
+    if op == "maximum":
+        return [], [
+            (parents[0], _wrap_unb(f"{g} * _mask_ge({p[0]}, {p[1]})", node.shape, shapes[0])),
+            (parents[1], _wrap_unb(f"{g} * _mask_lt({p[0]}, {p[1]})", node.shape, shapes[1])),
+        ]
+    raise UnsupportedOp(f"no backward emitter for op {op!r}")

@@ -1,0 +1,375 @@
+"""Compiled plans: fused-kernel code generation and execution.
+
+A :class:`CompiledPlan` turns a :class:`~repro.nn.compile.ir.TraceGraph`
+into
+
+* a **forward schedule** — live ops in topological order, chunked into
+  generated Python functions ("fused kernels") that run the ops
+  back-to-back into preallocated buffers with zero graph bookkeeping;
+* a **backward schedule** — a static replay of the interpreter's
+  ``_backward_pass``: same DFS postorder from the first output, same
+  parent order, same ``existing + contribution`` accumulation, with the
+  emitted arithmetic mirroring each op's ``_grad_fn_data`` rule. The
+  schedule is pruned to nodes from which a gradient-requesting input is
+  reachable; every contribution feeding a kept node comes from a kept
+  node, so pruning never changes a returned value.
+
+When the ``REPRO_SANITIZE`` sanitizer is active, execution switches to an
+instrumented build of the *same* generated lines with a finite-check
+after every node, so a NaN inside a fused region is blamed on the exact
+original op (name, shapes, scope chain) rather than on the kernel blob.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.nn import tensor as _tensor
+from repro.nn.compile.ir import TraceGraph
+from repro.nn.compile.kernels import (
+    KERNEL_NAMESPACE,
+    UnsupportedOp,
+    backward_contributions,
+    forward_lines,
+)
+from repro.nn.tensor import SanitizeError, _nonfinite_kinds
+
+#: Max ops per generated kernel function. Chunking keeps any single
+#: compiled code object at a size CPython's parser handles instantly while
+#: preserving the exact overall op order.
+SEGMENT_OPS = 250
+
+
+class CompileError(RuntimeError):
+    """A compiled plan was used in a way the recorded trace cannot honor."""
+
+
+def _compile_segments(per_node_lines, label: str, tag: str, extra_ns=None):
+    """Chunk per-node line lists into compiled kernel functions."""
+    segments = []
+    chunk: list[str] = []
+    ops_in_chunk = 0
+
+    def flush():
+        nonlocal chunk, ops_in_chunk
+        if not chunk:
+            return
+        body = "".join(f"    {line}\n" for line in chunk)
+        src = f"def _kernel(B, G, AUX):\n{body}"
+        code = compile(src, f"<repro-compile:{label}:{tag}{len(segments)}>", "exec")
+        namespace = dict(KERNEL_NAMESPACE)
+        if extra_ns:
+            namespace.update(extra_ns)
+        exec(code, namespace)  # noqa: S102 - our own generated source
+        segments.append((namespace["_kernel"], ops_in_chunk))
+        chunk = []
+        ops_in_chunk = 0
+
+    for lines in per_node_lines:
+        chunk.extend(lines)
+        ops_in_chunk += 1
+        if ops_in_chunk >= SEGMENT_OPS:
+            flush()
+    flush()
+    return segments
+
+
+def _backward_topo(graph: TraceGraph, root: int) -> list[int]:
+    """The interpreter's exact DFS postorder over requires-grad nodes."""
+    topo: list[int] = []
+    visited: set[int] = set()
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        idx, processed = stack.pop()
+        if processed:
+            topo.append(idx)
+            continue
+        if idx in visited:
+            continue
+        visited.add(idx)
+        stack.append((idx, True))
+        for parent in graph.nodes[idx].parents:
+            if graph.nodes[parent].requires_grad and parent not in visited:
+                stack.append((parent, False))
+    return topo
+
+
+class CompiledPlan:
+    """Executable forward (and optional backward) schedule for one trace."""
+
+    def __init__(self, graph: TraceGraph, label: str, want_slots: tuple[int, ...]) -> None:
+        self.graph = graph
+        self.label = label
+        self._graph_hash: str | None = None
+        self.want_slots = want_slots
+        self._lock = threading.Lock()
+        self._serial = 0
+
+        self._aux: list = []
+        self._aux_index: dict[int, int] = {}
+        # _aux_index keys are id()s; the originals must outlive plan
+        # construction or CPython may recycle a freed temporary's id and
+        # alias two different aux values to one slot.
+        self._aux_keepalive: list = []
+
+        n = len(graph.nodes)
+        live = self._liveness()
+        self._buffers: list = [None] * n
+        self._input_idxs = list(graph.input_idxs)
+        self._out_idxs = list(graph.outputs)
+        for node in graph.nodes:
+            if node.kind == "const" and node.idx in live:
+                self._buffers[node.idx] = node.value
+
+        # Forward: (node_idx, lines) in recording order (already topological).
+        self._fwd_per_node: list[tuple[int, list[str]]] = []
+        for node in graph.nodes:
+            if node.kind != "op" or node.idx not in live:
+                continue
+            lines, prealloc = forward_lines(node, graph, self._aux_ref)
+            if prealloc:
+                self._buffers[node.idx] = np.empty(node.shape)
+            self._fwd_per_node.append((node.idx, lines))
+        self._fwd_segments = _compile_segments(
+            [lines for _, lines in self._fwd_per_node], label, "fwd"
+        )
+        self._fwd_checked = None
+
+        # Backward: static replay of _backward_pass rooted at output[0].
+        self._want_idxs = [graph.input_idxs[slot] for slot in want_slots]
+        root = graph.outputs[0]
+        self._root = root
+        self._has_backward = bool(want_slots) and graph.nodes[root].requires_grad
+        self._bwd_per_node: list[dict] = []
+        self._reached_wants: set[int] = set()
+        if self._has_backward:
+            self._build_backward(root)
+        self._bwd_segments = _compile_segments(
+            [entry["lines"] for entry in self._bwd_per_node], label, "bwd"
+        )
+        self._bwd_checked = None
+        # Aux interning happens only during construction; drop the
+        # originals now that no further _aux_ref calls can occur.
+        self._aux_index.clear()
+        self._aux_keepalive.clear()
+
+    @property
+    def graph_hash(self) -> str:
+        """Plan identity, hashed lazily — it is diagnostic-only and costs
+        a few milliseconds on large traces."""
+        if self._graph_hash is None:
+            self._graph_hash = self.graph.graph_hash()
+        return self._graph_hash
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _aux_ref(self, obj) -> str:
+        key = id(obj)
+        if key not in self._aux_index:
+            self._aux_index[key] = len(self._aux)
+            self._aux.append(_freeze_index(obj))
+            self._aux_keepalive.append(obj)
+        return f"AUX[{self._aux_index[key]}]"
+
+    def _liveness(self) -> set[int]:
+        live: set[int] = set()
+        stack = list(self.graph.outputs)
+        while stack:
+            idx = stack.pop()
+            if idx in live:
+                continue
+            live.add(idx)
+            stack.extend(self.graph.nodes[idx].parents)
+        return live
+
+    def _build_backward(self, root: int) -> None:
+        graph = self.graph
+        topo = _backward_topo(graph, root)
+        want_set = set(self._want_idxs)
+
+        # Keep only nodes from which a wanted input is reachable. Postorder
+        # lists parents before children, so one forward sweep suffices.
+        needed: set[int] = set()
+        for idx in topo:
+            if idx in want_set or any(p in needed for p in graph.nodes[idx].parents):
+                needed.add(idx)
+
+        has_grad = {root}
+        written: set[int] = set()
+        for idx in reversed(topo):
+            if idx not in has_grad:
+                continue
+            node = graph.nodes[idx]
+            if node.kind != "op":
+                continue  # leaf: gradient is captured, nothing to propagate
+            setup, contribs = backward_contributions(node, graph, self._aux_ref)
+            lines: list[str] = []
+            checks: list[int] = []
+            for parent, expr in contribs:
+                if parent not in needed or not graph.nodes[parent].requires_grad:
+                    continue
+                if not lines:
+                    lines.extend(setup)
+                if parent in written:
+                    lines.append(f"G[{parent}] = G[{parent}] + ({expr})")
+                else:
+                    lines.append(f"G[{parent}] = {expr}")
+                    written.add(parent)
+                has_grad.add(parent)
+                checks.append(parent)
+            if lines:
+                self._bwd_per_node.append({"node": idx, "lines": lines, "checks": checks})
+        self._reached_wants = {idx for idx in self._want_idxs if idx in has_grad}
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, arrays: list[np.ndarray]) -> tuple[list[np.ndarray], int]:
+        """Run the forward schedule; returns (output copies, run serial)."""
+        with self._lock:
+            self._serial += 1
+            serial = self._serial
+            buffers = self._buffers
+            for idx, arr in zip(self._input_idxs, arrays):
+                buffers[idx] = arr
+            segments = (
+                self._sanitized_forward() if _tensor.is_sanitize_enabled() else self._fwd_segments
+            )
+            aux = self._aux
+            for kernel, _ in segments:
+                kernel(buffers, None, aux)
+            outputs = [np.array(buffers[idx], copy=True) for idx in self._out_idxs]
+            return outputs, serial
+
+    def backward(self, seed: np.ndarray, serial: int) -> list[np.ndarray | None]:
+        """Gradients of output[0] w.r.t. the wanted inputs, in slot order.
+
+        ``serial`` must be the value :meth:`execute` returned for the
+        forward pass these gradients belong to; the buffers still hold
+        that pass's values only until the next ``execute``.
+        """
+        with self._lock:
+            if not self._has_backward:
+                raise CompileError(f"plan {self.label} was compiled without a backward schedule")
+            if serial != self._serial:
+                raise CompileError(
+                    f"stale backward for plan {self.label}: forward buffers were "
+                    f"overwritten by a later execution (serial {serial} != {self._serial})"
+                )
+            grads: list = [None] * len(self.graph.nodes)
+            grads[self._root] = np.asarray(seed)
+            segments = (
+                self._sanitized_backward() if _tensor.is_sanitize_enabled() else self._bwd_segments
+            )
+            for kernel, _ in segments:
+                kernel(self._buffers, grads, self._aux)
+            return [
+                grads[idx] if idx in self._reached_wants else None for idx in self._want_idxs
+            ]
+
+    # ------------------------------------------------------------------
+    # sanitizer instrumentation
+    # ------------------------------------------------------------------
+    def _sanitized_forward(self):
+        if self._fwd_checked is None:
+            per_node = [
+                lines + [f"_ck(B[{idx}], {idx})"] for idx, lines in self._fwd_per_node
+            ]
+            self._fwd_checked = _compile_segments(
+                per_node, self.label, "fwdchk", {"_ck": self._check_forward_value}
+            )
+        return self._fwd_checked
+
+    def _sanitized_backward(self):
+        if self._bwd_checked is None:
+            per_node = [
+                entry["lines"]
+                + [f"_ckg(G[{p}], {entry['node']})" for p in entry["checks"]]
+                for entry in self._bwd_per_node
+            ]
+            self._bwd_checked = _compile_segments(
+                per_node, self.label, "bwdchk", {"_ckg": self._check_grad_value}
+            )
+        return self._bwd_checked
+
+    def _check_forward_value(self, arr: np.ndarray, idx: int) -> None:
+        _tensor._SANITIZE_CHECKS += 1
+        if np.isfinite(arr).all():
+            return
+        node = self.graph.nodes[idx]
+        parent_shapes = [self.graph.nodes[p].shape for p in node.parents]
+        tainted = any(
+            self._buffers[p] is not None and not np.isfinite(self._buffers[p]).all()
+            for p in node.parents
+        )
+        raise SanitizeError(
+            node.op or node.kind,
+            "forward",
+            _nonfinite_kinds(arr),
+            arr.shape,
+            parent_shapes,
+            list(_tensor._SCOPE_STACK) + [f"compiled:{self.label}"],
+            tainted,
+        )
+
+    def _check_grad_value(self, arr: np.ndarray, idx: int) -> None:
+        _tensor._SANITIZE_CHECKS += 1
+        if np.isfinite(arr).all():
+            return
+        node = self.graph.nodes[idx]
+        raise SanitizeError(
+            node.op or node.kind,
+            "backward",
+            _nonfinite_kinds(arr),
+            arr.shape,
+            [self.graph.nodes[p].shape for p in node.parents],
+            list(_tensor._SCOPE_STACK) + [f"compiled:{self.label}"],
+            False,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def kernels(self) -> list[dict]:
+        """One entry per generated fused kernel (for gradcheck/profile)."""
+        entries = []
+        for tag, segments in (("forward", self._fwd_segments), ("backward", self._bwd_segments)):
+            for seg_no, (_, ops) in enumerate(segments):
+                entries.append({"name": f"{self.label}:{tag}{seg_no}", "ops": ops})
+        return entries
+
+    def describe(self) -> dict:
+        return {
+            "label": self.label,
+            "graph_hash": self.graph_hash,
+            "nodes": len(self.graph.nodes),
+            "op_counts": self.graph.op_counts(),
+            "kernels": self.kernels(),
+            "wants": len(self._want_idxs),
+            "has_backward": self._has_backward,
+        }
+
+
+def _freeze_index(obj):
+    """Deep-copy ndarray components of an index so later caller-side
+    mutation of a position array cannot silently change a cached plan."""
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    if isinstance(obj, tuple):
+        return tuple(_freeze_index(v) for v in obj)
+    if isinstance(obj, list):
+        return [_freeze_index(v) for v in obj]
+    return obj
+
+
+def build_plan(graph: TraceGraph, label: str, want_slots: tuple[int, ...]) -> CompiledPlan:
+    """Build a plan, translating emitter gaps into trace rejections."""
+    from repro.nn.compile.tracer import TraceReject
+
+    try:
+        return CompiledPlan(graph, label, want_slots)
+    except UnsupportedOp as exc:
+        raise TraceReject(str(exc)) from exc

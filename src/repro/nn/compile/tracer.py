@@ -1,0 +1,177 @@
+"""Graph tracer: runs a function once through the interpreter and records it.
+
+The tracer installs itself as ``repro.nn.tensor._TRACER`` (under the
+compiler's trace lock) and receives a callback from every tensor op. The
+traced function runs through the *real* interpreter, so the recorded
+values are by construction the interpreted values; the resulting
+:class:`~repro.nn.compile.ir.TraceGraph` is a faithful flat rendering of
+one call at one shape signature.
+
+Inner ``grad()``/second-order computations inside the traced function are
+forced through the taped backward rules (see ``_backward_pass``), whose
+ops land in the recording like any forward op — the unrolled-update graph
+PACE differentiates through is captured whole.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.nn import tensor as _tensor
+from repro.nn.compile.ir import TraceGraph, TraceNode
+from repro.nn.tensor import Tensor
+
+
+class TraceReject(Exception):
+    """Raised inside a trace when the recorded function cannot be compiled.
+
+    The call site treats this as a (cached) decline: the caller falls back
+    to its unmodified interpreted branch, so behavior is exactly legacy.
+    """
+
+
+class GraphTracer:
+    """Records every tensor op executed by the owning thread.
+
+    Holds a strong reference to each recorded tensor: the ``id()`` ->
+    node-index map stays valid only while the referenced objects are
+    alive (a freed tensor's id could be recycled mid-trace otherwise).
+    """
+
+    def __init__(self) -> None:
+        self.nodes: list[TraceNode] = []
+        self._index: dict[int, int] = {}
+        self._refs: list[Tensor] = []
+        self._thread = threading.get_ident()
+
+    # ------------------------------------------------------------------
+    # hooks called from repro.nn.tensor
+    # ------------------------------------------------------------------
+    def tracing_here(self) -> bool:
+        return threading.get_ident() == self._thread
+
+    def op(self, out: Tensor, name: str, parents: tuple, **aux) -> None:
+        if not self.tracing_here():
+            return
+        parent_idxs = tuple(self._ensure(p) for p in parents)
+        self._bind(
+            out,
+            TraceNode(
+                idx=len(self.nodes),
+                kind="op",
+                op=name,
+                parents=parent_idxs,
+                aux=aux,
+                shape=out.data.shape,
+                requires_grad=out.requires_grad,
+            ),
+        )
+
+    def helper(self, derived: Tensor, kind: str, parents: tuple, **aux) -> None:
+        """Record a data-dependent helper (mask/sign) as a derived node.
+
+        Helpers are materialized by backward rules from forward values; at
+        plan-execution time they are recomputed from the live buffers, so
+        baking them as constants (which would freeze one call's mask) is
+        never correct.
+        """
+        if not self.tracing_here() or id(derived) in self._index:
+            return
+        parent_idxs = tuple(self._ensure(p) for p in parents)
+        self._bind(
+            derived,
+            TraceNode(
+                idx=len(self.nodes),
+                kind="op",
+                op=kind,
+                parents=parent_idxs,
+                aux=aux,
+                shape=derived.data.shape,
+                requires_grad=False,
+            ),
+        )
+
+    def unsupported(self, reason: str) -> None:
+        if self.tracing_here():
+            raise TraceReject(reason)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def add_input(self, leaf: Tensor, slot: int) -> None:
+        self._bind(
+            leaf,
+            TraceNode(
+                idx=len(self.nodes),
+                kind="input",
+                op=None,
+                parents=(),
+                aux={},
+                shape=leaf.data.shape,
+                requires_grad=leaf.requires_grad,
+                slot=slot,
+            ),
+        )
+
+    def _bind(self, tensor: Tensor, node: TraceNode) -> None:
+        self.nodes.append(node)
+        self._index[id(tensor)] = node.idx
+        self._refs.append(tensor)
+
+    def _ensure(self, tensor: Tensor) -> int:
+        """Node index for ``tensor``, baking unknown tensors as constants.
+
+        Anything the trace did not produce and was not declared an input
+        must be call-invariant (seed/zero/one-hot tensors built inside the
+        function). A requires-grad tensor sneaking in this way means a
+        parameter was not declared as an input — reject the trace rather
+        than silently freezing it.
+        """
+        idx = self._index.get(id(tensor))
+        if idx is not None:
+            return idx
+        if tensor.requires_grad:
+            raise TraceReject("untracked requires-grad tensor entered the trace")
+        node = TraceNode(
+            idx=len(self.nodes),
+            kind="const",
+            op=None,
+            parents=(),
+            aux={},
+            shape=tensor.data.shape,
+            requires_grad=False,
+            value=np.array(tensor.data, copy=True),
+        )
+        self._bind(tensor, node)
+        return node.idx
+
+
+def trace_function(fn, leaves: list[Tensor]) -> tuple[TraceGraph, tuple[int, ...]]:
+    """Run ``fn(*leaves)`` once under a fresh tracer and return its graph.
+
+    The caller must hold the compiler's trace lock; only one trace can be
+    active per process because the tracer hook is a module global.
+    """
+    if _tensor._TRACER is not None:
+        raise RuntimeError("a trace is already active")
+    tracer = GraphTracer()
+    for slot, leaf in enumerate(leaves):
+        tracer.add_input(leaf, slot)
+    _tensor._install_tracer(tracer)
+    try:
+        result = fn(*leaves)
+    finally:
+        _tensor._install_tracer(None)
+    outputs = result if isinstance(result, tuple) else (result,)
+    for out in outputs:
+        if not isinstance(out, Tensor):
+            raise TraceReject(f"traced function returned a non-tensor: {type(out).__name__}")
+    out_idxs = tuple(tracer._ensure(out) for out in outputs)
+    graph = TraceGraph(
+        nodes=tracer.nodes,
+        outputs=out_idxs,
+        input_idxs=tuple(range(len(leaves))),
+    )
+    return graph, out_idxs

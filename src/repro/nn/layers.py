@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module
+from repro.nn import tensor as _tensor
 from repro.nn.tensor import Tensor, affine
 from repro.utils.rng import derive_rng
 
@@ -126,6 +127,10 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p <= 0.0:
             return x
+        if _tensor._TRACER is not None:
+            # The mask draw advances the layer's RNG per call; baking one
+            # draw into a replayed plan would freeze it. Decline the trace.
+            _tensor._TRACER.unsupported("Dropout in training mode")
         keep = 1.0 - self.p
         mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
         return x * Tensor(mask)

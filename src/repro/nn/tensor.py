@@ -33,6 +33,12 @@ from repro.perf.registry import PERF
 
 _GRAD_ENABLED = True  # safe: R015 per-process autograd mode, flipped only around single-threaded eval blocks
 
+#: Graph tracer installed by :mod:`repro.nn.compile` while it records one
+#: call of a compiled function. ``None`` in normal execution, so every op
+#: pays a single attribute test. The tracer itself ignores ops from other
+#: threads, and installation happens only under the compiler's trace lock.
+_TRACER = None
+
 #: Graph-sanitizer switch. When on, every op checks its forward value and
 #: every backward rule checks the gradients it emits for NaN/Inf, and the
 #: first non-finite value raises :class:`SanitizeError` naming the op that
@@ -292,6 +298,8 @@ class Tensor:
             out.requires_grad = True
             out._parents = parents
             out._grad_fn = grad_fn
+        if _TRACER is not None:
+            _TRACER.unsupported("legacy _make_child node")
         if _SANITIZE:
             _sanitize_forward(out, "child", parents)
         return out
@@ -305,6 +313,10 @@ class Tensor:
             create_graph: keep the gradient computation on the tape so the
                 resulting ``.grad`` tensors can themselves be differentiated.
         """
+        if _TRACER is not None:
+            # ``.grad`` mutation is side state a replayed plan cannot
+            # reproduce; traced functions must use :func:`grad` instead.
+            _TRACER.unsupported("Tensor.backward inside a traced function")
         captured = _backward_pass(self, grad, create_graph)
         for leaf, contribution in captured.values():
             leaf.grad = contribution if leaf.grad is None else leaf.grad + contribution
@@ -324,6 +336,8 @@ class Tensor:
                 _unbroadcast_data(g, s_shape),
                 _unbroadcast_data(g, o_shape),
             )
+        if _TRACER is not None:
+            _TRACER.op(out, "add", (self, other))
         if _SANITIZE:
             _sanitize_forward(out, "add", (self, other))
         return out
@@ -337,6 +351,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (-g,)
             out._grad_fn_data = lambda g: (-g,)
+        if _TRACER is not None:
+            _TRACER.op(out, "neg", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "neg", (self,))
         return out
@@ -353,6 +369,8 @@ class Tensor:
                 _unbroadcast_data(g, s_shape),
                 _unbroadcast_data(-g, o_shape),
             )
+        if _TRACER is not None:
+            _TRACER.op(out, "sub", (self, other))
         if _SANITIZE:
             _sanitize_forward(out, "sub", (self, other))
         return out
@@ -376,6 +394,8 @@ class Tensor:
                 _unbroadcast_data(g * other.data, s_shape),
                 _unbroadcast_data(g * self.data, o_shape),
             )
+        if _TRACER is not None:
+            _TRACER.op(out, "mul", (self, other))
         if _SANITIZE:
             _sanitize_forward(out, "mul", (self, other))
         return out
@@ -401,6 +421,8 @@ class Tensor:
             out._grad_fn_data = lambda g: (
                 g * np.power(self.data, exponent - 1.0) * exponent,
             )
+        if _TRACER is not None:
+            _TRACER.op(out, "pow", (self,), exponent=exponent)
         if _SANITIZE:
             _sanitize_forward(out, "pow", (self,))
         return out
@@ -416,6 +438,8 @@ class Tensor:
                 g @ other.data.transpose(),
                 self.data.transpose() @ g,
             )
+        if _TRACER is not None:
+            _TRACER.op(out, "matmul", (self, other))
         if _SANITIZE:
             _sanitize_forward(out, "matmul", (self, other))
         return out
@@ -430,6 +454,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * out,)
             out._grad_fn_data = lambda g: (g * out.data,)
+        if _TRACER is not None:
+            _TRACER.op(out, "exp", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "exp", (self,))
         return out
@@ -442,6 +468,8 @@ class Tensor:
             out._grad_fn = lambda g: (g / self,)
             # Mirror the taped rule exactly: g * self ** -1.0 (two roundings).
             out._grad_fn_data = lambda g: (g * np.power(self.data, -1.0),)
+        if _TRACER is not None:
+            _TRACER.op(out, "log", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "log", (self,))
         return out
@@ -458,6 +486,10 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * sign_t,)
             out._grad_fn_data = lambda g: (g * sign,)
+            if _TRACER is not None:
+                _TRACER.helper(sign_t, "sign", (self,))
+        if _TRACER is not None:
+            _TRACER.op(out, "abs", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "abs", (self,))
         return out
@@ -469,6 +501,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * (1.0 - out * out),)
             out._grad_fn_data = lambda g: (g * (1.0 - out.data * out.data),)
+        if _TRACER is not None:
+            _TRACER.op(out, "tanh", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "tanh", (self,))
         return out
@@ -480,6 +514,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * out * (1.0 - out),)
             out._grad_fn_data = lambda g: (g * out.data * (1.0 - out.data),)
+        if _TRACER is not None:
+            _TRACER.op(out, "sigmoid", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "sigmoid", (self,))
         return out
@@ -493,6 +529,10 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * mask_t,)
             out._grad_fn_data = lambda g: (g * mask,)
+            if _TRACER is not None:
+                _TRACER.helper(mask_t, "gt_zero_mask", (self,))
+        if _TRACER is not None:
+            _TRACER.op(out, "relu", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "relu", (self,))
         return out
@@ -507,6 +547,10 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g * mask_t,)
             out._grad_fn_data = lambda g: (g * mask,)
+            if _TRACER is not None:
+                _TRACER.helper(mask_t, "range_mask", (self,), low=low, high=high)
+        if _TRACER is not None:
+            _TRACER.op(out, "clip", (self,), low=low, high=high)
         if _SANITIZE:
             _sanitize_forward(out, "clip", (self,))
         return out
@@ -541,6 +585,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = grad_fn
             out._grad_fn_data = grad_fn_data
+        if _TRACER is not None:
+            _TRACER.op(out, "sum", (self,), axis=axis, keepdims=keepdims)
         if _SANITIZE:
             _sanitize_forward(out, "sum", (self,))
         return out
@@ -566,6 +612,10 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: ((g * mask_t).broadcast_to(in_shape),)
             out._grad_fn_data = lambda g: (np.broadcast_to(g * mask, in_shape).copy(),)
+            if _TRACER is not None:
+                _TRACER.helper(mask_t, "argmax_mask", (self,))
+        if _TRACER is not None:
+            _TRACER.op(out, "max_reduce", (self,))
         if _SANITIZE:
             _sanitize_forward(out, "max_reduce", (self,))
         return out
@@ -581,6 +631,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g.reshape(original),)
             out._grad_fn_data = lambda g: (g.reshape(original),)
+        if _TRACER is not None:
+            _TRACER.op(out, "reshape", (self,), shape=shape)
         if _SANITIZE:
             _sanitize_forward(out, "reshape", (self,))
         return out
@@ -596,6 +648,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (g.transpose(inverse),)
             out._grad_fn_data = lambda g: (g.transpose(inverse),)
+        if _TRACER is not None:
+            _TRACER.op(out, "transpose", (self,), axes=axes)
         if _SANITIZE:
             _sanitize_forward(out, "transpose", (self,))
         return out
@@ -612,6 +666,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (_unbroadcast(g, original),)
             out._grad_fn_data = lambda g: (_unbroadcast_data(g, original),)
+        if _TRACER is not None:
+            _TRACER.op(out, "broadcast_to", (self,), shape=shape)
         if _SANITIZE:
             _sanitize_forward(out, "broadcast_to", (self,))
         return out
@@ -624,6 +680,8 @@ class Tensor:
             out._parents = (self,)
             out._grad_fn = lambda g: (_scatter(g, index, in_shape),)
             out._grad_fn_data = lambda g: (_scatter_data(g, index, in_shape),)
+        if _TRACER is not None:
+            _TRACER.op(out, "getitem", (self,), index=index)
         if _SANITIZE:
             _sanitize_forward(out, "getitem", (self,))
         return out
@@ -697,6 +755,13 @@ def affine(x, weight, bias=None, activation: str | None = None) -> Tensor:
         out._parents = parents
         out._grad_fn = grad_fn
         out._grad_fn_data = grad_fn_data
+    if _TRACER is not None:
+        _TRACER.op(out, "affine", parents, activation=activation, has_bias=bias is not None)
+        if activation == "relu" and out.requires_grad:
+            # (z > 0) and (out > 0) agree bitwise for relu, so the mask is
+            # derivable from the recorded output buffer. Recorded after the
+            # affine op itself so its parent is already bound.
+            _TRACER.helper(relu_mask_t, "gt_zero_mask", (out,))
     if _SANITIZE:
         _sanitize_forward(out, "affine", parents)
     return out
@@ -738,6 +803,12 @@ def _backward_pass(
         raise RuntimeError("backward() called on a tensor that does not require grad")
     if seed is None and output.data.size != 1:
         raise RuntimeError("backward() without a gradient requires a scalar output")
+    if _TRACER is not None and not create_graph and _TRACER.tracing_here():
+        # Inside a trace, first-order gradients must run through the taped
+        # rules so the recorded graph captures the backward computation.
+        # The two rule sets agree bit-for-bit (see module docstring), so
+        # this does not change any value the traced function observes.
+        create_graph = True
 
     topo: list[Tensor] = []
     visited: set[int] = set()
@@ -812,6 +883,15 @@ def _backward_pass(
     return captured
 
 
+def _install_tracer(tracer) -> None:
+    """Install (or clear, with ``None``) the compile-time graph tracer.
+
+    Called only by :mod:`repro.nn.compile` under its trace lock.
+    """
+    global _TRACER
+    _TRACER = tracer
+
+
 def _as_tensor(value) -> Tensor:
     return value if isinstance(value, Tensor) else Tensor(value)
 
@@ -855,6 +935,8 @@ def _scatter(grad: Tensor, index, shape: tuple[int, ...]) -> Tensor:
         out._parents = (grad,)
         out._grad_fn = lambda g: (g[index],)
         out._grad_fn_data = lambda g: (np.array(g[index], copy=True),)
+    if _TRACER is not None:
+        _TRACER.op(out, "scatter", (grad,), index=index, shape=shape)
     if _SANITIZE:
         _sanitize_forward(out, "scatter", (grad,))
     return out
@@ -899,6 +981,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         out._parents = tuple(tensors)
         out._grad_fn = grad_fn
         out._grad_fn_data = grad_fn_data
+    if _TRACER is not None:
+        _TRACER.op(out, "concat", tuple(tensors), axis=axis)
     if _SANITIZE:
         _sanitize_forward(out, "concat", tuple(tensors))
     return out
@@ -936,6 +1020,11 @@ def maximum(a: Tensor, b) -> Tensor:
             _unbroadcast_data(g * take_a, a_shape),
             _unbroadcast_data(g * take_b, b_shape),
         )
+        if _TRACER is not None:
+            _TRACER.helper(take_a_t, "ge_mask", (a, b))
+            _TRACER.helper(take_b_t, "lt_mask", (a, b))
+    if _TRACER is not None:
+        _TRACER.op(out, "maximum", (a, b))
     if _SANITIZE:
         _sanitize_forward(out, "maximum", (a, b))
     return out

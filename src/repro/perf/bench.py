@@ -37,9 +37,19 @@ def run_bench(
     grid: tuple[tuple[str, str, str], ...] | None = None,
     seed: int = 0,
     deterministic_timing: bool = True,
+    compile_enabled: bool | None = None,
 ) -> dict:
-    """Execute the grid and return a JSON-ready report (no baseline yet)."""
+    """Execute the grid and return a JSON-ready report (no baseline yet).
+
+    ``compile_enabled`` forces compiled execution on (or off) for every
+    cell; ``None`` keeps the process-wide ``REPRO_COMPILE`` setting. The
+    report's ``compile`` section records the setting and the plan-cache
+    activity aggregated across the grid.
+    """
+    from repro.nn.compile import compile_stats, is_enabled, stats_delta
+
     grid = SMOKE_GRID if grid is None else tuple(grid)
+    compile_before = compile_stats()
     scenarios = []
     for dataset, model_type, method in grid:
         profile = profile_scenario(
@@ -49,6 +59,7 @@ def run_bench(
             scale=scale,
             seed=seed,
             deterministic_timing=deterministic_timing,
+            compile_enabled=compile_enabled,
         )
         scenarios.append(profile.to_json())
     return {
@@ -59,6 +70,10 @@ def run_bench(
         "deterministic_timing": deterministic_timing,
         "recorded_unix": time.time(),
         "phases": list(PHASES),
+        "compile": {
+            "enabled": is_enabled() if compile_enabled is None else bool(compile_enabled),
+            "stats": stats_delta(compile_stats(), compile_before),
+        },
         "grid": scenarios,
         "total_seconds": float(sum(s["total_seconds"] for s in scenarios)),
     }
@@ -72,6 +87,12 @@ def load_report(path: str | Path) -> dict:
 def write_report(report: dict, path: str | Path) -> Path:
     from repro.store.io import atomic_write_json
 
+    # Bare filenames land under benchmarks/ so reports never accumulate
+    # at the repo root; explicit directories are honored as given.
+    path = Path(path)
+    if path.parent == Path("."):
+        path = Path("benchmarks") / path
+    path.parent.mkdir(parents=True, exist_ok=True)
     # sort_keys=False keeps the report's authored section order; the
     # atomic write-then-rename means a crash mid-bench never leaves a
     # truncated report where a baseline used to be.
@@ -149,6 +170,14 @@ def format_report(report: dict) -> str:
         title=f"pace-repro bench · scale={report['scale']} · seed={report['seed']}",
     )]
     lines.append(f"\ngrid total: {report['total_seconds']:.3f}s")
+    compile_section = report.get("compile")
+    if compile_section:
+        stats = compile_section.get("stats", {})
+        lines.append(
+            f"compile:    enabled={str(compile_section.get('enabled', False)).lower()} "
+            f"plans={stats.get('plans_compiled', 0)} hits={stats.get('plan_hits', 0)} "
+            f"misses={stats.get('plan_misses', 0)} fallbacks={stats.get('fallback_calls', 0)}"
+        )
     baseline = report.get("baseline")
     if baseline:
         speedup = baseline.get("speedup")

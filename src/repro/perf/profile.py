@@ -40,6 +40,7 @@ class PhaseProfile:
     spans: dict[str, float] = field(default_factory=dict)
     degradation: float = 0.0
     poison_queries: int = 0
+    compile: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -57,6 +58,7 @@ class PhaseProfile:
             "degradation": self.degradation,
             "poison_queries": self.poison_queries,
             "counters": dict(self.counters),
+            "compile": dict(self.compile),
         }
 
 
@@ -67,6 +69,7 @@ def profile_scenario(
     scale: ScaleConfig | str | None = None,
     seed: int = 0,
     deterministic_timing: bool = False,
+    compile_enabled: bool | None = None,
 ) -> PhaseProfile:
     """Build a fresh scenario and run one attack, timing each phase.
 
@@ -74,7 +77,10 @@ def profile_scenario(
     scenario — the point is to measure the full pipeline. With
     ``deterministic_timing`` a :class:`FakeClock` drives the speculation
     latency probes, pinning the speculated type across runs so successive
-    benchmark reports measure the same workload.
+    benchmark reports measure the same workload. ``compile_enabled``
+    forces compiled execution on (or off) for the run; ``None`` keeps the
+    process-wide ``REPRO_COMPILE`` setting. The resulting plan-cache
+    activity lands in ``PhaseProfile.compile``.
     """
     # Imported here so the perf layer stays importable even when heavier
     # subsystems are broken — `pace-repro profile` then fails loudly.
@@ -92,6 +98,7 @@ def profile_scenario(
     )
     from repro.metrics.divergence import workload_divergence
     from repro.metrics.qerror import degradation_factor
+    from repro.nn.compile import compile_stats, compiled_execution, is_enabled, stats_delta
     from repro.workload.encoding import QueryEncoder
 
     if isinstance(scale, str) or scale is None:
@@ -101,8 +108,13 @@ def profile_scenario(
     PERF.reset()
     PERF.enable()
     clock_scope = use_clock(FakeClock()) if deterministic_timing else nullcontext()
+    compile_scope = (
+        nullcontext() if compile_enabled is None else compiled_execution(compile_enabled)
+    )
+    compile_before = compile_stats()
     try:
-        with clock_scope:
+        with clock_scope, compile_scope:
+            compile_active = is_enabled()
             with PERF.span("phase.setup"):
                 database = load_dataset(dataset, scale=scale, seed=seed)
                 executor = Executor(database)
@@ -181,6 +193,10 @@ def profile_scenario(
         spans=other_spans,
         degradation=float(degradation_factor(before, after)),
         poison_queries=len(queries),
+        compile={
+            "enabled": compile_active,
+            "stats": stats_delta(compile_stats(), compile_before),
+        },
     )
 
 
@@ -211,4 +227,16 @@ def format_profile(profile: PhaseProfile) -> str:
     if profile.counters:
         counter_rows = [[k, str(v)] for k, v in sorted(profile.counters.items())]
         lines += ["", render_table(["counter", "value"], counter_rows)]
+    if profile.compile:
+        stats = profile.compile.get("stats", {})
+        rows = [
+            ["enabled", str(profile.compile.get("enabled", False)).lower()],
+            *[
+                [name, str(stats.get(name, 0))]
+                for name in ("plans_compiled", "plan_hits", "plan_misses", "fallback_calls")
+            ],
+        ]
+        for reason, count in sorted(stats.get("fallback_reasons", {}).items()):
+            rows.append([f"fallback: {reason}", str(count)])
+        lines += ["", render_table(["plan cache", "value"], rows)]
     return "\n".join(lines)

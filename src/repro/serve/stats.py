@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.compile import compile_stats, is_enabled, stats_delta
 from repro.perf.registry import PERF
 
 #: Latency percentiles reported by :meth:`ServeStats.latency_summary`.
@@ -37,6 +38,9 @@ class ServeStats:
         self.rollbacks = 0
         self.update_rejected = 0  # queries gates screened out of updates
         self._latencies: list[float] = []  # safe: R015 appended only on the serve thread; the retrain thread touches counters only
+        # The plan cache is process-global; snapshotting it at construction
+        # scopes the reported compile activity to this serving session.
+        self._compile_baseline = compile_stats()
 
     # ------------------------------------------------------------------
     # recording (each mirrors into PERF when profiling is enabled)
@@ -124,6 +128,13 @@ class ServeStats:
             return 0.0
         return self.batched_requests / self.batches
 
+    def compile_snapshot(self) -> dict:
+        """Plan-cache activity since this session started."""
+        return {
+            "enabled": is_enabled(),
+            "stats": stats_delta(compile_stats(), self._compile_baseline),
+        }
+
     def snapshot(self) -> dict:
         """A JSON-ready copy of every counter plus the latency summary."""
         return {
@@ -142,4 +153,5 @@ class ServeStats:
             "rollbacks": self.rollbacks,
             "update_rejected": self.update_rejected,
             "latency": self.latency_summary(),
+            "compile": self.compile_snapshot(),
         }

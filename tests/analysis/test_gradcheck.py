@@ -23,6 +23,15 @@ EXPECTED_COVERAGE = {
     "losses.mse_loss",
     "losses.bce_loss",
     "losses.kl_standard_normal",
+    # Fused-kernel audits: one per estimator family, through the real
+    # compiled training-loss plan, plus the second-order unrolled update.
+    "compiled.fcn.train_step",
+    "compiled.fcn_pool.train_step",
+    "compiled.mscn.train_step",
+    "compiled.rnn.train_step",
+    "compiled.lstm.train_step",
+    "compiled.linear.train_step",
+    "compiled.fcn.second_order",
 }
 
 

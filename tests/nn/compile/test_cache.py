@@ -1,0 +1,153 @@
+"""``compiled_call`` caching semantics: warm-up, probe, thresholds, stats."""
+
+import numpy as np
+import pytest
+
+from repro.nn.compile import api as compile_api
+from repro.nn.compile.cache import CACHE
+from repro.nn.compile import (
+    CompiledInput,
+    compile_stats,
+    compile_threshold,
+    compiled_call,
+    compiled_execution,
+    iter_plans,
+    reset_compile_state,
+    set_compile_threshold,
+    stats_delta,
+)
+from repro.nn.layers import Dropout
+from repro.nn.tensor import Tensor, grad, no_grad
+
+XV = np.linspace(-1.0, 1.0, 12).reshape(3, 4)
+WV = np.linspace(0.5, -0.5, 12).reshape(3, 4)
+
+
+def _fn(x, w):
+    return ((x * w).tanh() + x.sigmoid()).sum()
+
+
+def _call(site, xv=XV, wv=WV, min_uses=None):
+    x = Tensor(xv)
+    w = Tensor(wv, requires_grad=True)
+    out = compiled_call(
+        site,
+        _fn,
+        [CompiledInput(x), CompiledInput(w, diff=True, want_grad=True)],
+        min_uses=min_uses,
+    )
+    return out, w
+
+
+@pytest.fixture(autouse=True)
+def _clean_compile_state():
+    previous = compile_threshold()
+    reset_compile_state()
+    yield
+    set_compile_threshold(previous)
+    reset_compile_state()
+
+
+class TestWarmupAndThreshold:
+    def test_warmup_interprets_then_compiles_at_threshold(self, monkeypatch):
+        monkeypatch.setattr(compile_api, "_PROFIT_RATIO", float("inf"))
+        set_compile_threshold(3)
+        base = compile_stats()
+        results = []
+        with compiled_execution(True):
+            for i in range(4):
+                out, w = _call(("test", "warmup"))
+                assert out is not None
+                if i < 2:
+                    assert len(iter_plans()) == 0, "warm-up call must not compile"
+                (g,) = grad(out[0], [w])
+                results.append((float(out[0].item()), g.data.copy()))
+        assert len(iter_plans()) == 1
+        delta = stats_delta(compile_stats(), base)
+        assert delta["plans_compiled"] == 1
+        assert delta["plan_misses"] == 3  # two warm-ups + the compiling call
+        assert delta["plan_hits"] == 1
+        ref_obj, ref_grad = results[0]
+        for obj, g in results[1:]:
+            assert obj == ref_obj
+            np.testing.assert_array_equal(g, ref_grad)
+
+    def test_min_uses_raises_warmup_window(self, monkeypatch):
+        monkeypatch.setattr(compile_api, "_PROFIT_RATIO", float("inf"))
+        set_compile_threshold(2)
+        with compiled_execution(True):
+            for _ in range(4):
+                _call(("test", "min_uses"), min_uses=5)
+                assert len(iter_plans()) == 0
+            _call(("test", "min_uses"), min_uses=5)
+        assert len(iter_plans()) == 1
+
+    def test_threshold_one_forces_compile_and_overrides_min_uses(self):
+        set_compile_threshold(1)
+        with compiled_execution(True):
+            out, _ = _call(("test", "force"), min_uses=64)
+        assert out is not None
+        assert len(iter_plans()) == 1
+        # No warm-up baseline exists in force mode, so the profitability
+        # probe cannot decline the plan.
+        assert compile_stats()["plans_compiled"] == 1
+
+    def test_shape_change_keys_a_new_plan(self):
+        set_compile_threshold(1)
+        wide_x = np.linspace(-1.0, 1.0, 20).reshape(5, 4)
+        wide_w = np.linspace(0.5, -0.5, 20).reshape(5, 4)
+        with compiled_execution(True):
+            _call(("test", "shapes"))
+            _call(("test", "shapes"), xv=wide_x, wv=wide_w)
+        assert len(iter_plans()) == 2
+
+
+class TestDeclines:
+    def test_disabled_returns_none_without_cache_activity(self):
+        set_compile_threshold(1)
+        base = compile_stats()
+        with compiled_execution(False):
+            out, _ = _call(("test", "disabled"))
+        assert out is None
+        assert stats_delta(compile_stats(), base)["plan_misses"] == 0
+
+    def test_unprofitable_probe_returns_exact_outputs_then_declines(self, monkeypatch):
+        monkeypatch.setattr(compile_api, "_PROFIT_RATIO", 0.0)
+        set_compile_threshold(2)
+        with compiled_execution(True):
+            warm, _ = _call(("test", "unprofitable"))
+            probe, _ = _call(("test", "unprofitable"))
+            declined, _ = _call(("test", "unprofitable"))
+        assert warm is not None
+        assert probe is not None, "probe outputs are exact and must be returned"
+        assert float(probe[0].item()) == float(warm[0].item())
+        assert declined is None, "an unprofitable key is negatively cached"
+        assert len(iter_plans()) == 0
+        reasons = compile_stats()["fallback_reasons"]
+        assert any(r.startswith("unprofitable") for r in reasons)
+        cached = [reason for _, reason in CACHE.fallbacks()]
+        assert cached and all(r.startswith("unprofitable") for r in cached)
+
+    def test_diff_inputs_under_no_grad_decline(self):
+        set_compile_threshold(1)
+        with compiled_execution(True), no_grad():
+            out, _ = _call(("test", "no_grad"))
+            again, _ = _call(("test", "no_grad"))
+        assert out is None
+        assert again is None
+        reasons = compile_stats()["fallback_reasons"]
+        assert any("grad is disabled" in r for r in reasons)
+
+    def test_dropout_in_training_mode_declines_trace(self):
+        layer = Dropout(p=0.5, rng=3)
+        set_compile_threshold(1)
+        with compiled_execution(True):
+            out = compiled_call(
+                ("test", "dropout"),
+                lambda t: layer(t).sum(),
+                [CompiledInput(Tensor(np.ones((4, 4))))],
+            )
+        assert out is None
+        assert len(iter_plans()) == 0
+        reasons = compile_stats()["fallback_reasons"]
+        assert any("Dropout" in r for r in reasons)

@@ -1,0 +1,154 @@
+"""Compiled-plan execution semantics: bitwise outputs, sanitize, guards."""
+
+import numpy as np
+import pytest
+
+from repro.nn.compile import (
+    CompiledInput,
+    CompileError,
+    compile_threshold,
+    compiled_call,
+    compiled_execution,
+    iter_plans,
+    reset_compile_state,
+    set_compile_threshold,
+)
+from repro.nn.tensor import SanitizeError, Tensor, grad, sanitize
+
+
+@pytest.fixture(autouse=True)
+def _clean_compile_state():
+    previous = compile_threshold()
+    reset_compile_state()
+    set_compile_threshold(1)
+    yield
+    set_compile_threshold(previous)
+    reset_compile_state()
+
+
+def _gather_fn(x):
+    # Row getitems plus reductions: every slice becomes a distinct aux
+    # object during tracing, which is what the keepalive regression needs.
+    rows = [x[i] for i in range(x.shape[0])]
+    acc = rows[0]
+    for row in rows[1:]:
+        acc = acc + row
+    return ((acc * acc).exp() + 1.0).log().sum()
+
+
+class TestBitwiseEquivalence:
+    def test_compiled_matches_interpreter_value_and_grad(self):
+        xv = np.linspace(-0.9, 0.9, 15).reshape(5, 3)
+        with compiled_execution(False):
+            x = Tensor(xv, requires_grad=True)
+            (interp_grad,) = grad(_gather_fn(x), [x])
+            interp_value = float(_gather_fn(Tensor(xv)).item())
+        with compiled_execution(True):
+            x = Tensor(xv, requires_grad=True)
+            out = compiled_call(
+                ("test", "gather"),
+                _gather_fn,
+                [CompiledInput(x, diff=True, want_grad=True)],
+            )
+            assert out is not None
+            (compiled_grad,) = grad(out[0], [x])
+        assert float(out[0].item()) == interp_value
+        np.testing.assert_array_equal(compiled_grad.data, interp_grad.data)
+
+    def test_aux_index_cleared_after_build(self):
+        # The build-time id()-keyed aux index must be dropped once the plan
+        # exists: live entries would alias recycled object ids on replay.
+        with compiled_execution(True):
+            x = Tensor(np.linspace(-0.9, 0.9, 15).reshape(5, 3), requires_grad=True)
+            compiled_call(
+                ("test", "aux"),
+                _gather_fn,
+                [CompiledInput(x, diff=True, want_grad=True)],
+            )
+        (plan,) = iter_plans()
+        assert plan._aux_index == {}
+
+    def test_replay_is_deterministic_across_runs(self):
+        xv = np.linspace(0.1, 2.0, 12).reshape(4, 3)
+        values = []
+        with compiled_execution(True):
+            for _ in range(3):
+                x = Tensor(xv, requires_grad=True)
+                out = compiled_call(
+                    ("test", "replay"),
+                    _gather_fn,
+                    [CompiledInput(x, diff=True, want_grad=True)],
+                )
+                (g,) = grad(out[0], [x])
+                values.append((float(out[0].item()), g.data.copy()))
+        ref_value, ref_grad = values[0]
+        for value, g in values[1:]:
+            assert value == ref_value
+            np.testing.assert_array_equal(g, ref_grad)
+
+
+class TestKernels:
+    def test_kernel_names_enumerate_forward_and_backward(self):
+        with compiled_execution(True):
+            x = Tensor(np.linspace(-0.9, 0.9, 15).reshape(5, 3), requires_grad=True)
+            compiled_call(
+                ("test", "kernels"),
+                _gather_fn,
+                [CompiledInput(x, diff=True, want_grad=True)],
+            )
+        (plan,) = iter_plans()
+        names = [kernel["name"] for kernel in plan.kernels()]
+        assert any(":forward" in name for name in names)
+        assert any(":backward" in name for name in names)
+        assert all(name.startswith("test:kernels:") for name in names)
+
+
+class TestGuards:
+    def test_sanitize_detects_nonfinite_in_compiled_region(self):
+        def fn(x):
+            return (x.log() * 2.0).sum()
+
+        with compiled_execution(True):
+            out = compiled_call(
+                ("test", "sanitize"), fn, [CompiledInput(Tensor(np.full((3, 3), 2.0)))]
+            )
+            assert out is not None
+            assert np.isfinite(out[0].item())
+            with sanitize(True):
+                with pytest.raises(SanitizeError, match="compiled:test:sanitize"):
+                    compiled_call(
+                        ("test", "sanitize"),
+                        fn,
+                        [CompiledInput(Tensor(np.full((3, 3), -1.0)))],
+                    )
+
+    def test_stale_serial_backward_raises(self):
+        def fn(x):
+            return (x * x).sum()
+
+        xv = np.linspace(1.0, 2.0, 6).reshape(2, 3)
+        with compiled_execution(True):
+            first = Tensor(xv, requires_grad=True)
+            out = compiled_call(
+                ("test", "serial"), fn, [CompiledInput(first, diff=True, want_grad=True)]
+            )
+            second = Tensor(xv + 1.0, requires_grad=True)
+            compiled_call(
+                ("test", "serial"), fn, [CompiledInput(second, diff=True, want_grad=True)]
+            )
+            with pytest.raises(CompileError, match="serial"):
+                grad(out[0], [first])
+
+    def test_create_graph_through_compiled_region_raises(self):
+        def fn(x):
+            return (x * x).sum()
+
+        with compiled_execution(True):
+            x = Tensor(np.linspace(1.0, 2.0, 6).reshape(2, 3), requires_grad=True)
+            out = compiled_call(
+                ("test", "create_graph"),
+                fn,
+                [CompiledInput(x, diff=True, want_grad=True)],
+            )
+            with pytest.raises(CompileError, match="create_graph"):
+                grad(out[0], [x], create_graph=True)

@@ -1,0 +1,158 @@
+"""Compiled execution wired into the real call sites, plus its telemetry.
+
+Covers the ``ce.trainer`` / ``nn.forward`` integration bitwise against the
+interpreter, the ``pace-repro analyze`` equivalence sweep, the fused-kernel
+gradcheck audit, and the plan-cache statistics surfaced through
+``ServeStats`` and ``PhaseProfile``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.equivalence import run_equivalence
+from repro.analysis.gradcheck import run_compiled_gradcheck
+from repro.ce.registry import create_model
+from repro.ce.trainer import _compiled_batch_loss, training_loss
+from repro.datasets.registry import load_dataset
+from repro.db.executor import Executor
+from repro.nn.compile import (
+    compile_threshold,
+    compiled_execution,
+    compiled_forward,
+    reset_compile_state,
+    set_compile_threshold,
+)
+from repro.nn.tensor import Tensor, grad, no_grad
+from repro.perf.profile import PhaseProfile, format_profile
+from repro.serve.stats import ServeStats
+from repro.workload.encoding import QueryEncoder
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def env():
+    database = load_dataset("tpch", scale="smoke", seed=0)
+    encoder = QueryEncoder(database.schema)
+    gen = WorkloadGenerator(database, seed=0)
+    workload = Workload.from_queries(
+        [gen.random_query(max_tables=3) for _ in range(8)], Executor(database)
+    )
+    encodings = np.array(workload.encode(encoder), copy=True)
+    return encoder, encodings, workload.cardinalities
+
+
+@pytest.fixture(autouse=True)
+def _clean_compile_state():
+    previous = compile_threshold()
+    reset_compile_state()
+    set_compile_threshold(1)
+    yield
+    set_compile_threshold(previous)
+    reset_compile_state()
+
+
+def _fresh_model(encoder, cards, seed=0):
+    model = create_model("fcn", encoder, hidden_dim=8, seed=seed)
+    model.calibrate_normalization(cards)
+    return model
+
+
+class TestCallSites:
+    def test_compiled_forward_matches_interpreter(self, env):
+        encoder, encodings, cards = env
+        model = _fresh_model(encoder, cards)
+        x = Tensor(encodings)
+        with compiled_execution(False), no_grad():
+            interpreted = model(x).data.copy()
+        with compiled_execution(True):
+            compiled = compiled_forward(model, x)
+        assert compiled is not None
+        np.testing.assert_array_equal(compiled.data, interpreted)
+
+    def test_compiled_batch_loss_matches_interpreter(self, env):
+        encoder, encodings, cards = env
+        model = _fresh_model(encoder, cards)
+        x = Tensor(encodings)
+        y = Tensor(model.normalize_log(cards))
+        params = [p for _, p in model.named_parameters()]
+        with compiled_execution(False):
+            interp_loss = training_loss(model, x, y)
+            interp_grads = grad(interp_loss, params)
+        with compiled_execution(True):
+            compiled_loss = _compiled_batch_loss(model, x, y)
+            assert compiled_loss is not None
+            compiled_grads = grad(compiled_loss, params)
+        assert float(compiled_loss.item()) == float(interp_loss.item())
+        for gi, gc in zip(interp_grads, compiled_grads):
+            np.testing.assert_array_equal(gc.data, gi.data)
+
+
+class TestAnalysisGates:
+    def test_equivalence_sweep_is_byte_identical(self):
+        result = run_equivalence(seed=0)
+        failing = [case.name for case in result.cases if not case.passed]
+        assert result.passed, f"equivalence sweep failed: {failing}"
+        assert result.byte_identical
+        assert result.max_abs_diff == 0.0
+        # Six families x (forward, train_step, incremental_update,
+        # second_order): a shrinking case list means a path went untested.
+        assert len(result.cases) == 24
+
+    def test_compiled_gradcheck_audits_fused_kernels(self):
+        results = run_compiled_gradcheck()
+        assert results, "compiled gradcheck produced no cases"
+        for r in results:
+            assert r.passed, f"{r.name}: max_abs_err={r.max_abs_err}"
+            assert r.kernels, f"{r.name} audited no fused kernels"
+            assert any("forward" in k for k in r.kernels)
+        names = {r.name for r in results}
+        assert "compiled.fcn.second_order" in names
+
+
+class TestTelemetry:
+    def test_serve_stats_compile_section(self, env):
+        encoder, encodings, cards = env
+        stats = ServeStats()
+        model = _fresh_model(encoder, cards)
+        with compiled_execution(True):
+            assert compiled_forward(model, Tensor(encodings)) is not None
+            snapshot = stats.compile_snapshot()
+        assert snapshot["enabled"] is True
+        assert snapshot["stats"]["plans_compiled"] >= 1
+        assert stats.snapshot()["compile"]["stats"]["plans_compiled"] >= 1
+
+    def test_serve_stats_baseline_scopes_to_session(self, env):
+        encoder, encodings, cards = env
+        model = _fresh_model(encoder, cards)
+        with compiled_execution(True):
+            assert compiled_forward(model, Tensor(encodings)) is not None
+        late = ServeStats()  # constructed after the compile activity
+        delta = late.compile_snapshot()["stats"]
+        assert delta["plans_compiled"] == 0
+        assert delta["plan_hits"] == 0
+
+    def test_phase_profile_renders_plan_cache_table(self):
+        profile = PhaseProfile(
+            dataset="dmv",
+            model_type="fcn",
+            method="pace",
+            scale="smoke",
+            seed=0,
+            phases={"train": 1.0},
+            compile={
+                "enabled": True,
+                "stats": {
+                    "plans_compiled": 2,
+                    "plan_hits": 10,
+                    "plan_misses": 3,
+                    "fallback_calls": 1,
+                    "fallback_reasons": {"unprofitable: thin win": 1},
+                },
+            },
+        )
+        rendered = format_profile(profile)
+        assert "plan cache" in rendered
+        assert "plans_compiled" in rendered
+        assert "unprofitable" in rendered
+        assert profile.to_json()["compile"]["stats"]["plan_hits"] == 10

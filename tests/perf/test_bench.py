@@ -83,6 +83,20 @@ class TestReportIO:
         assert path.exists()
         assert load_report(path) == report
 
+    def test_bare_filename_lands_under_benchmarks(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        report = _report([_entry("dmv", "fcn", "pace", 1.0)])
+        path = write_report(report, "BENCH_X.json")
+        assert path.resolve() == tmp_path / "benchmarks" / "BENCH_X.json"
+        assert load_report(path) == report
+
+    def test_explicit_directory_is_honored(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        report = _report([_entry("dmv", "fcn", "pace", 1.0)])
+        path = write_report(report, "reports/BENCH_X.json")
+        assert path.resolve() == tmp_path / "reports" / "BENCH_X.json"
+        assert load_report(path) == report
+
 
 class TestFormatReport:
     def test_mentions_every_scenario_and_the_speedup(self):
