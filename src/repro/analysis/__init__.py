@@ -18,6 +18,10 @@ Four tools live here, all wired into the CLI:
   (:mod:`repro.analysis.equivalence`).
 - ``pace-repro gradcheck`` — a finite-difference audit of every layer and
   loss in the hand-rolled ``repro.nn`` autograd engine.
+- ``pace-repro verify-ir`` — the static IR verifier and translation
+  validator for compiled plans (R017-R019, :mod:`repro.analysis.ir`),
+  plus the compile-site coverage flow rule (R020); also folded into
+  ``analyze``.
 
 Findings render as text, JSON, or SARIF 2.1.0
 (:mod:`repro.analysis.sarif`); repeated runs reuse the content-addressed
@@ -30,6 +34,15 @@ from repro.analysis.equivalence import (
     run_equivalence,
 )
 from repro.analysis.flow import all_flow_rules, flow_rule_ids, run_flow
+from repro.analysis.ir import (
+    IRVerificationResult,
+    PlanReport,
+    fixture_plans,
+    ir_rule_ids,
+    run_ir_verification,
+    verify_plan,
+    verify_plans,
+)
 from repro.analysis.gradcheck import (
     DEFAULT_TOLERANCE,
     GradCheckResult,
@@ -98,6 +111,13 @@ __all__ = [
     "EquivalenceCase",
     "EquivalenceResult",
     "run_equivalence",
+    "IRVerificationResult",
+    "PlanReport",
+    "fixture_plans",
+    "ir_rule_ids",
+    "run_ir_verification",
+    "verify_plan",
+    "verify_plans",
     "render_sarif",
     "sarif_payload",
 ]

@@ -30,8 +30,13 @@ import weakref
 from repro.analysis.flow.program import ModuleInfo, Program
 from repro.analysis.walker import Finding
 
-#: Rules the structured suppression applies to.
+#: The concurrency rules the structured suppression originally covered.
 CONCURRENCY_RULE_IDS = frozenset({"R013", "R014", "R015", "R016"})
+
+#: Every rule the structured suppression may name: the concurrency rules
+#: plus compile-site coverage (an uncovered ``compiled_call`` site is
+#: likewise either a gap or deliberately exempt *for a stated reason*).
+STRUCTURED_RULE_IDS = CONCURRENCY_RULE_IDS | {"R020"}
 
 MALFORMED_SAFE_ID = "E998"
 UNUSED_SAFE_ID = "E997"
@@ -136,12 +141,23 @@ class SafeSuppressions:
                 hit = True
         return hit
 
-    def findings(self) -> list[Finding]:
-        """Malformed annotations plus annotations that suppressed nothing."""
+    def findings(self, ran_ids: frozenset[str] | set[str] | None = None) -> list[Finding]:
+        """Malformed annotations plus annotations that suppressed nothing.
+
+        ``ran_ids`` is the set of rule ids that actually ran. A note is
+        only reportable as unused when *every* rule it names ran — a
+        partial ``--select`` must not produce false "not load-bearing"
+        findings — and malformed notes are reported whenever at least one
+        structured-suppression rule ran.
+        """
+        if ran_ids is not None and not (set(ran_ids) & STRUCTURED_RULE_IDS):
+            return []
         out = list(self.malformed)
         for notes in self.notes.values():
             for note in notes:
                 if note.used:
+                    continue
+                if ran_ids is not None and not note.rule_ids <= set(ran_ids):
                     continue
                 ids = ", ".join(sorted(note.rule_ids))
                 out.append(Finding(

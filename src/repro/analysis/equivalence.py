@@ -14,7 +14,9 @@ array:
   DBMS's K-step update (per-step losses and final parameters);
 - ``attack.algorithms._Session._compiled_poisoning_objective`` — the
   second-order path: Eq. 10's unrolled-update objective and its gradient
-  w.r.t. the poison encodings.
+  w.r.t. the poison encodings;
+- ``attack.algorithms._Session._compiled_detached_steps`` — Eq. 9's
+  detached K-step simulation (the attack loop's snapshot-selection path).
 
 ``pace-repro analyze`` runs the sweep by default (``--fast`` skips it)
 and ``pace-repro bench --compile`` stamps its verdict into the report.
@@ -160,13 +162,18 @@ def run_equivalence(seed: int = 0, tolerance: float = DEFAULT_TOLERANCE) -> Equi
     from repro.workload.workload import Workload
 
     class _ObjectiveHarness:
-        """Carries exactly the ``_Session`` attributes Eq. 10's helper reads."""
+        """Carries exactly the ``_Session`` attributes the Eq. 9/Eq. 10
+        helpers read, so the sweep runs the *real* unbound methods."""
 
         poisoning_objective = _Session.poisoning_objective
         _compiled_poisoning_objective = _Session._compiled_poisoning_objective
+        _detached_steps = _Session._detached_steps
+        _compiled_detached_steps = _Session._compiled_detached_steps
+        fresh_view = _Session.fresh_view
 
         def __init__(self, surrogate, test_x, test_y, update_lr):
             self.surrogate = surrogate
+            self.clean_state = surrogate.state_dict()
             self.test_x = test_x
             self.test_y = test_y
             self.config = type("Cfg", (), {"update_lr": update_lr})()
@@ -253,8 +260,25 @@ def run_equivalence(seed: int = 0, tolerance: float = DEFAULT_TOLERANCE) -> Equi
             tolerance,
         ))
 
-        # -- second order (Eq. 10 objective + d/d-encodings) ------------
+        # -- detached update steps (Eq. 9 simulation path) --------------
         harness = _ObjectiveHarness(model, x, y, update_lr=2.0)
+        state = model.state_dict()
+        with compiled_execution(False):
+            interp_state = harness._detached_steps(x, y, state, _UPDATE_STEPS)
+        with _force_compiled():
+            compiled_state = harness._compiled_detached_steps(x, y, state, _UPDATE_STEPS)
+        if compiled_state is None:
+            result.cases.append(_declined(
+                f"{family}.detached_steps", "_compiled_detached_steps"
+            ))
+        else:
+            result.cases.append(_compare(
+                f"{family}.detached_steps",
+                [(interp_state[name], compiled_state[name]) for name in state],
+                tolerance,
+            ))
+
+        # -- second order (Eq. 10 objective + d/d-encodings) ------------
         poison_i = Tensor(encodings.copy(), requires_grad=True)
         with compiled_execution(False):
             obj_i = harness.poisoning_objective(fresh(), poison_i, y_norm, _UPDATE_STEPS)

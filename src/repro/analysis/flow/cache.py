@@ -5,8 +5,10 @@ wall-clock on warm trees: the flow rules re-read every file on every run
 even though almost none of them changed. This cache stores each file's
 parsed :class:`~repro.analysis.flow.program.ModuleInfo` (tree, symbol
 tables) and its reference list, keyed by the sha256 of the file's
-*content* plus its resolved path — edit a file or move it and its entry
-simply misses; stale entries can never be served.
+*content*, its resolved path, and the analyzer's rule-set digest — edit
+a file, move it, or change the set of registered rules (a new analyzer
+version) and its entry simply misses; stale entries can never be
+served.
 
 Entries are written through :func:`repro.store.io.atomic_write_bytes`
 (write-then-rename, same guarantees as the artifact store), so a killed
@@ -29,13 +31,45 @@ CACHE_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".pace-analyze-cache"
 
+_RULESET_DIGEST: str | None = None
+
+
+def ruleset_digest() -> str:
+    """Digest of the registered rule ids (lint + flow + IR) and version.
+
+    Cached entries written by an analyzer with a different rule set must
+    miss: a ModuleInfo parsed before a rule existed may lack whatever
+    index that rule consults, and serving it would silently skip the
+    rule. The imports are deferred (and the result memoized) because the
+    rule registries import this module's writer indirectly.
+    """
+    global _RULESET_DIGEST
+    if _RULESET_DIGEST is None:
+        from repro.analysis.flow.engine import flow_rule_ids
+        from repro.analysis.ir.rules import ir_rule_ids
+        from repro.analysis.walker import rule_ids
+
+        fingerprint = repr(
+            (CACHE_VERSION, rule_ids(), flow_rule_ids(), ir_rule_ids())
+        )
+        _RULESET_DIGEST = hashlib.sha256(
+            fingerprint.encode("utf-8")
+        ).hexdigest()
+    return _RULESET_DIGEST
+
+
+def _reset_ruleset_digest() -> None:
+    """Drop the memoized digest (tests that register temporary rules)."""
+    global _RULESET_DIGEST
+    _RULESET_DIGEST = None
+
 
 def content_digest(source: bytes, path: Path) -> str:
-    """sha256 over content + resolved path + cache version."""
+    """sha256 over content + resolved path + analyzer rule-set digest."""
     hasher = hashlib.sha256()
     hasher.update(source)
     hasher.update(str(path.resolve()).encode("utf-8"))
-    hasher.update(str(CACHE_VERSION).encode("ascii"))
+    hasher.update(ruleset_digest().encode("ascii"))
     return hasher.hexdigest()
 
 

@@ -108,13 +108,13 @@ def run_flow(
     without themselves being flagged. A prebuilt ``program`` (e.g. from
     the incremental cache) skips the parse.
 
-    Concurrency findings (R013–R016) honor the structured ``# safe:``
-    suppression in addition to ``# noqa``; when all four concurrency
-    rules run, malformed and non-load-bearing ``# safe:`` annotations
-    are themselves reported (E998/E997).
+    Concurrency findings (R013–R016) and compile-site coverage (R020)
+    honor the structured ``# safe:`` suppression in addition to
+    ``# noqa``; malformed and non-load-bearing ``# safe:`` annotations
+    are themselves reported (E998/E997) against the rules that ran.
     """
     from repro.analysis.concurrency.safe import (
-        CONCURRENCY_RULE_IDS,
+        STRUCTURED_RULE_IDS,
         safe_suppressions,
     )
 
@@ -132,21 +132,20 @@ def run_flow(
                     module.suppressions, finding.rule_id, finding.line, finding.end_line
                 ):
                     continue
-                if finding.rule_id in CONCURRENCY_RULE_IDS and safe.suppresses(
+                if finding.rule_id in STRUCTURED_RULE_IDS and safe.suppresses(
                     module, finding.rule_id, finding.line, finding.end_line
                 ):
                     continue
             findings.append(finding)
-    # Only audit the structured suppressions when every rule they can
-    # name actually ran — a partial --select must not report false
-    # "unused annotation" findings.
-    if CONCURRENCY_RULE_IDS <= {rule.rule_id for rule in rules}:
-        for finding in safe.findings():
-            module = by_display.get(finding.path)
-            if module is not None and suppressed_in_range(
-                module.suppressions, finding.rule_id, finding.line, finding.end_line
-            ):
-                continue
-            findings.append(finding)
+    # Audit the structured suppressions against the rules that actually
+    # ran: a note is "unused" only if every rule it names ran and none
+    # fired, so a partial --select never produces false E997 findings.
+    for finding in safe.findings(ran_ids={rule.rule_id for rule in rules}):
+        module = by_display.get(finding.path)
+        if module is not None and suppressed_in_range(
+            module.suppressions, finding.rule_id, finding.line, finding.end_line
+        ):
+            continue
+        findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings

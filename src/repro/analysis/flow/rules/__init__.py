@@ -11,4 +11,5 @@ from repro.analysis.flow.rules import (  # noqa: F401 — imports register rules
     r014_lock_discipline,
     r015_cross_context_global,
     r016_fork_captured_singleton,
+    r020_compile_site_coverage,
 )

@@ -1,0 +1,119 @@
+"""R020 compile-site-coverage: every ``compiled_call`` site is gated.
+
+The compile pipeline's whole safety story is dynamic: the equivalence
+sweep and the compiled gradcheck force-compile every call site and compare
+against the interpreter. That story silently breaks the moment someone
+adds a ``compiled_call`` site the sweeps never reach — the site ships
+with *zero* evidence its plan matches the interpreter. This rule closes
+the loop statically: it walks the call graph from the verification
+entry points (``run_equivalence``, ``run_compiled_gradcheck``) and flags
+any ``compiled_call`` site in a target module whose enclosing function is
+unreachable from both.
+
+Reachability is deliberately over-approximate: besides resolvable calls,
+any ``Name``/``Attribute`` reference to a known function name counts as
+an edge, so harness aliasing (``cls_attr = _Session.helper``) and bound
+method dispatch (``harness.helper(...)``) keep a genuinely exercised
+site out of the findings. An unreachable verdict therefore means *no
+reference chain at all* connects the sweeps to the site.
+
+A site that must stay uncovered (e.g. verified by a dedicated test
+instead) carries the structured suppression ``# safe: R020 <reason>``,
+which is audited for staleness like the concurrency annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.flow.engine import FlowRule, register_flow
+from repro.analysis.flow.program import FunctionInfo, Program
+from repro.analysis.walker import Finding, canonical_call_name
+
+#: Functions whose bodies (and transitive callees) constitute the
+#: dynamic verification gate for compiled plans.
+GATE_FUNCTIONS = frozenset({"run_equivalence", "run_compiled_gradcheck"})
+
+
+def _referenced_names(fn: FunctionInfo) -> set[str]:
+    """Every plain or attribute name mentioned inside a function body.
+
+    Dunder names are excluded: ``STATS.__init__()``-style references would
+    otherwise edge to *every* constructor in the program and collapse the
+    reachability set into "everything", making the rule vacuous.
+    """
+    names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return {n for n in names if not (n.startswith("__") and n.endswith("__"))}
+
+
+def _site_label(call: ast.Call) -> str:
+    """The leading string constant of the site argument, if present."""
+    if not call.args:
+        return "<unknown>"
+    site = call.args[0]
+    if isinstance(site, ast.Tuple) and site.elts:
+        site = site.elts[0]
+    if isinstance(site, ast.Constant) and isinstance(site.value, str):
+        return site.value
+    return "<dynamic>"
+
+
+@register_flow
+class CompileSiteCoverage(FlowRule):
+    rule_id = "R020"
+    title = "compile-site-coverage"
+    severity = "error"
+    hint = (
+        "add an equivalence-sweep case (repro.analysis.equivalence) or "
+        "gradcheck case exercising this site so its compiled plan is "
+        "proven against the interpreter; a site verified by a dedicated "
+        "test instead may carry '# safe: R020 <reason>'"
+    )
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        by_name: dict[str, list[FunctionInfo]] = {}
+        for fn in program.functions.values():
+            by_name.setdefault(fn.name, []).append(fn)
+
+        reachable: set[str] = set()
+        work = [
+            fn for name in GATE_FUNCTIONS for fn in by_name.get(name, ())
+        ]
+        reachable.update(fn.qualname for fn in work)
+        while work:
+            fn = work.pop()
+            for name in _referenced_names(fn):
+                for target in by_name.get(name, ()):
+                    if target.qualname not in reachable:
+                        reachable.add(target.qualname)
+                        work.append(target)
+
+        for module in program.target_modules():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                canonical = canonical_call_name(node, module.aliases)
+                if canonical is None or canonical.split(".")[-1] != "compiled_call":
+                    continue
+                enclosing = program.enclosing_function(module, node.lineno)
+                if enclosing is not None and enclosing.qualname in reachable:
+                    continue
+                where = (
+                    "at module level"
+                    if enclosing is None
+                    else f"in {enclosing.qualname}"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"compiled_call site {_site_label(node)!r} {where} is not "
+                    f"reachable from the equivalence sweep or the compiled "
+                    f"gradcheck — its plan ships with no proof it matches "
+                    f"the interpreter",
+                )

@@ -1,0 +1,38 @@
+"""Static IR verifier for the ``repro.nn.compile`` pipeline.
+
+Proves — without executing a single kernel — that every compiled plan is
+shape/dtype-consistent (R017), buffer-safe across its forward/backward
+schedules (R018), and a faithful re-linearization of the trace it was
+built from (R019). Compile-site coverage (R020) is the companion flow
+rule in :mod:`repro.analysis.flow.rules.r020_compile_site_coverage`.
+"""
+
+from repro.analysis.ir.buffers import check_plan_buffers, line_accesses
+from repro.analysis.ir.fixtures import fixture_plans
+from repro.analysis.ir.interp import IRIssue, check_plan_shapes, infer_graph
+from repro.analysis.ir.rules import IR_RULES, ir_rule_ids
+from repro.analysis.ir.translate import check_plan_translation
+from repro.analysis.ir.verify import (
+    IRVerificationResult,
+    PlanReport,
+    run_ir_verification,
+    verify_plan,
+    verify_plans,
+)
+
+__all__ = [
+    "IRIssue",
+    "IRVerificationResult",
+    "IR_RULES",
+    "PlanReport",
+    "check_plan_buffers",
+    "check_plan_shapes",
+    "check_plan_translation",
+    "fixture_plans",
+    "infer_graph",
+    "ir_rule_ids",
+    "line_accesses",
+    "run_ir_verification",
+    "verify_plan",
+    "verify_plans",
+]

@@ -1,0 +1,194 @@
+"""R018 ir-buffer-safety: liveness and aliasing over the generated lines.
+
+The plan's kernels are generated Python over three arrays: ``B`` (per-node
+forward buffers), ``G`` (per-node gradient buffers) and ``AUX`` (interned
+constants). This checker parses every scheduled line back into its buffer
+reads and writes and proves the discipline the runtime silently relies on:
+
+* forward is SSA — each scheduled op writes exactly its own ``B[idx]``,
+  exactly once, and only reads buffers an earlier op (or an input/const
+  binding) already produced this run;
+* backward never writes a forward buffer and only reads buffers the
+  forward schedule produced — a read of anything else is stale data from
+  a previous execution;
+* each gradient is written before any line reads it (a dropped or
+  reordered backward segment shows up here as a read of an unwritten
+  ``G[p]``);
+* the run-serial guard is **necessary iff** the backward reads a buffer
+  that a later forward run would overwrite (inputs and preallocated op
+  buffers; captured consts are immortal). A guard on a plan whose
+  backward reads none of those is flagged as provably unnecessary, and a
+  missing guard on one that does is an unsoundness error.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.ir.interp import IRIssue
+
+_B_TOKEN = re.compile(r"B\[(\d+)\]")
+_G_TOKEN = re.compile(r"G\[(\d+)\]")
+
+#: Positions where a ``B[i]``/``G[i]`` token is the *destination* of its
+#: line. Everything not matched by one of these is a read.
+_B_ASSIGN = re.compile(r"^\s*(B\[(\d+)\])(?:\[[^\]]*\])?\s*=(?!=)")
+_G_ASSIGN = re.compile(r"^\s*(G\[(\d+)\])\s*=(?!=)")
+_B_OUT = re.compile(r"out=(B\[(\d+)\])")
+_B_COPYTO = re.compile(r"np\.copyto\((B\[(\d+)\])")
+_B_ADD_AT = re.compile(r"np\.add\.at\((B\[(\d+)\])")
+
+
+def line_accesses(line: str) -> dict[str, set[int]]:
+    """Classify every buffer token on one generated line.
+
+    Returns ``{"b_writes", "b_reads", "g_writes", "g_reads"}``. A token is
+    a write when it sits in a destination position (assignment target,
+    ``out=`` kwarg, ``np.copyto``/``np.add.at`` first argument); all other
+    occurrences are reads. ``np.add.at`` accumulates in place, so its
+    target counts as a write (the zero-fill on the previous generated line
+    provides the initial value).
+    """
+    write_spans: set[int] = set()
+    b_writes: set[int] = set()
+    g_writes: set[int] = set()
+    for pattern in (_B_ASSIGN, _B_OUT, _B_COPYTO, _B_ADD_AT):
+        for match in pattern.finditer(line):
+            write_spans.add(match.start(1))
+            b_writes.add(int(match.group(2)))
+    match = _G_ASSIGN.match(line)
+    if match:
+        write_spans.add(match.start(1))
+        g_writes.add(int(match.group(2)))
+    b_reads = {
+        int(m.group(1)) for m in _B_TOKEN.finditer(line) if m.start() not in write_spans
+    }
+    g_reads = {
+        int(m.group(1)) for m in _G_TOKEN.finditer(line) if m.start() not in write_spans
+    }
+    return {
+        "b_writes": b_writes,
+        "b_reads": b_reads,
+        "g_writes": g_writes,
+        "g_reads": g_reads,
+    }
+
+
+def check_plan_buffers(plan) -> tuple[list[IRIssue], int]:
+    """R018 over one plan; returns ``(issues, checks proved)``."""
+    issues: list[IRIssue] = []
+    checks = 0
+    table = plan.buffer_table()
+    inputs = set(plan.input_nodes())
+    consts = {idx for idx, meta in table.items() if meta["kind"] == "const"}
+
+    # ---- forward: SSA discipline ------------------------------------
+    scheduled: set[int] = set()
+    for idx, lines in plan.forward_schedule():
+        checks += 1
+        writes: set[int] = set()
+        reads: set[int] = set()
+        for line in lines:
+            acc = line_accesses(line)
+            writes |= acc["b_writes"]
+            reads |= acc["b_reads"]
+            if acc["g_writes"] or acc["g_reads"]:
+                issues.append(IRIssue(
+                    "R018", idx,
+                    f"forward kernel for node {idx} touches a gradient buffer: {line!r}",
+                ))
+        if idx in scheduled:
+            issues.append(IRIssue(
+                "R018", idx,
+                f"node {idx} is scheduled twice — forward buffers are SSA, "
+                f"the second write clobbers every reader of the first",
+            ))
+        if writes != {idx}:
+            issues.append(IRIssue(
+                "R018", idx,
+                f"node {idx}'s kernel writes buffers {sorted(writes)} instead of "
+                f"exactly its own B[{idx}]",
+            ))
+        for r in sorted(reads - {idx}):
+            if r not in inputs and r not in consts and r not in scheduled:
+                issues.append(IRIssue(
+                    "R018", idx,
+                    f"node {idx} reads B[{r}] before any kernel of this run wrote "
+                    f"it — stale data from a previous execution",
+                ))
+        scheduled.add(idx)
+
+    # ---- backward: read-only over B, write-before-read over G -------
+    root = plan.backward_root()
+    g_written: set[int] = set() if root is None else {root}
+    alive = inputs | consts | scheduled
+    backward_b_reads: set[int] = set()
+    declared_writes: set[int] = set()
+    for entry in plan.backward_schedule():
+        checks += 1
+        node = entry["node"]
+        parsed_writes: set[int] = set()
+        stale_reported: set[int] = set()
+        for line in entry["lines"]:
+            acc = line_accesses(line)
+            if acc["b_writes"]:
+                issues.append(IRIssue(
+                    "R018", node,
+                    f"backward entry for node {node} writes forward buffer(s) "
+                    f"{sorted(acc['b_writes'])}: {line!r}",
+                ))
+            for r in sorted(acc["b_reads"] - alive):
+                issues.append(IRIssue(
+                    "R018", node,
+                    f"backward entry for node {node} reads B[{r}], which no "
+                    f"forward kernel or binding of this plan produces",
+                ))
+            backward_b_reads |= acc["b_reads"]
+            for p in sorted(acc["g_reads"] - g_written - stale_reported):
+                stale_reported.add(p)
+                issues.append(IRIssue(
+                    "R018", node,
+                    f"backward entry for node {node} reads G[{p}] before any "
+                    f"entry wrote it — a backward segment was dropped or "
+                    f"reordered",
+                ))
+            g_written |= acc["g_writes"]
+            parsed_writes |= acc["g_writes"]
+        declared = set(entry["writes"])
+        declared_writes |= declared
+        if parsed_writes != declared:
+            issues.append(IRIssue(
+                "R018", node,
+                f"backward entry for node {node} declares gradient writes "
+                f"{sorted(declared)} but its lines write {sorted(parsed_writes)}",
+            ))
+
+    # ---- the run-serial guard ---------------------------------------
+    if plan.has_backward:
+        checks += 1
+        # Consts are captured at trace time and never rebound; inputs and
+        # preallocated/rebound op buffers are overwritten by every run.
+        volatile_reads = backward_b_reads - consts
+        if volatile_reads and not plan.guards_serial():
+            issues.append(IRIssue(
+                "R018", None,
+                f"backward reads run-volatile buffers {sorted(volatile_reads)} "
+                f"but the plan does not guard against a later forward "
+                f"overwriting them (no run-serial check)",
+            ))
+        if not volatile_reads and plan.guards_serial():
+            issues.append(IRIssue(
+                "R018", None,
+                "run-serial guard is provably unnecessary: the backward reads "
+                "no buffer a later forward execution could overwrite",
+                severity="warning",
+            ))
+        for want in plan.reached_wants():
+            checks += 1
+            if want not in declared_writes:
+                issues.append(IRIssue(
+                    "R018", want,
+                    f"plan reports gradient for input node {want} as reachable "
+                    f"but no backward entry writes G[{want}]",
+                ))
+    return issues, checks

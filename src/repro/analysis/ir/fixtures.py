@@ -1,0 +1,54 @@
+"""Deterministic fixture plans for the IR verifier.
+
+``pace-repro analyze --fast`` and ``verify-ir --fast`` skip the (slow)
+equivalence sweep, but the verifier must still exercise real plans — so
+these build three tiny ones directly from traced functions, covering the
+structurally distinct plan shapes: a matmul/affine net with a backward, a
+pure-elementwise chain with a backward, and a forward-only view pipeline.
+All values are fixed arithmetic sequences: the fixtures must be clean
+under R017–R019 on every run, anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.compile.plan import CompiledPlan, build_plan
+from repro.nn.compile.tracer import trace_function
+from repro.nn.tensor import Tensor
+
+
+def fixture_plans() -> list[CompiledPlan]:
+    """Build the three fixture plans fresh (never cached: tests mutate them)."""
+    plans = []
+
+    # 1. matmul + bias + relu + reduction, gradients for w and b.
+    x = Tensor(np.linspace(-1.0, 1.0, 12).reshape(4, 3))
+    w = Tensor(np.linspace(0.5, -0.5, 6).reshape(3, 2), requires_grad=True)
+    b = Tensor(np.array([0.1, -0.2]), requires_grad=True)
+
+    def mlp(x, w, b):
+        h = ((x @ w) + b).relu()
+        return (h * h).sum()
+
+    graph, _ = trace_function(mlp, [x, w, b])
+    plans.append(build_plan(graph, "fixture.mlp", want_slots=(1, 2)))
+
+    # 2. elementwise chain whose backward reads forward buffers.
+    a = Tensor(np.linspace(0.1, 2.0, 8).reshape(2, 4), requires_grad=True)
+
+    def chain(a):
+        return (a.exp().tanh() * a).sum()
+
+    graph, _ = trace_function(chain, [a])
+    plans.append(build_plan(graph, "fixture.chain", want_slots=(0,)))
+
+    # 3. forward-only view pipeline (reshape/transpose rebind, no prealloc).
+    m = Tensor(np.linspace(0.0, 1.0, 24).reshape(2, 3, 4))
+
+    def views(m):
+        return m.reshape((4, 6)).transpose((1, 0)).sum(axis=1)
+
+    graph, _ = trace_function(views, [m])
+    plans.append(build_plan(graph, "fixture.views", want_slots=()))
+    return plans

@@ -1,0 +1,311 @@
+"""R017 ir-shape-dtype: abstract interpretation over a :class:`TraceGraph`.
+
+The interpreter re-derives every node's shape and dtype *symbolically*
+from its parents and aux payload — numpy's broadcasting/promotion rules
+reimplemented over shape tuples, never over the recorded arrays — and
+compares the result against what the trace recorded and what the plan
+preallocated. A divergence means the generated kernel would read or
+write the wrong extent (or silently cast), which the dynamic equivalence
+sweep only notices when that exact plan executes; here it is proved
+before any kernel runs.
+
+Two entry points:
+
+* :func:`infer_graph` — per-node ``(shape, dtype)`` plus the issues found
+  while propagating (works on bare graphs, no plan required);
+* :func:`check_plan_shapes` — :func:`infer_graph` plus the buffer audit:
+  every preallocated forward buffer must match its node's inferred shape
+  and dtype exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from math import prod
+
+import numpy as np
+
+from repro.nn.compile.ir import TraceGraph, TraceNode
+
+
+@dataclasses.dataclass(frozen=True)
+class IRIssue:
+    """One verifier defect, anchored to a graph node (or a plan buffer)."""
+
+    rule_id: str
+    node: int | None
+    message: str
+    severity: str = "error"
+
+
+@dataclasses.dataclass
+class Abstract:
+    """Symbolic value of one node: its shape and dtype, nothing else."""
+
+    shape: tuple[int, ...]
+    dtype: np.dtype
+
+
+class _ShapeError(Exception):
+    """An op's parents cannot produce a value (raised by shape rules)."""
+
+
+# ----------------------------------------------------------------------
+# shape rules (numpy semantics re-derived over tuples)
+# ----------------------------------------------------------------------
+def _broadcast(*shapes: tuple[int, ...]) -> tuple[int, ...]:
+    try:
+        return tuple(np.broadcast_shapes(*shapes))
+    except ValueError as exc:
+        raise _ShapeError(f"shapes {shapes} do not broadcast: {exc}") from exc
+
+
+def _matmul_shape(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    if len(a) == 1 and len(b) == 1:
+        if a[0] != b[0]:
+            raise _ShapeError(f"matmul inner dims differ: {a} @ {b}")
+        return ()
+    if len(a) == 2 and len(b) == 2:
+        if a[1] != b[0]:
+            raise _ShapeError(f"matmul inner dims differ: {a} @ {b}")
+        return (a[0], b[1])
+    if len(a) == 1 and len(b) == 2:
+        if a[0] != b[0]:
+            raise _ShapeError(f"matmul inner dims differ: {a} @ {b}")
+        return (b[1],)
+    if len(a) == 2 and len(b) == 1:
+        if a[1] != b[0]:
+            raise _ShapeError(f"matmul inner dims differ: {a} @ {b}")
+        return (a[0],)
+    raise _ShapeError(f"no shape rule for matmul of ndim {len(a)} @ {len(b)}")
+
+
+def _sum_shape(shape: tuple[int, ...], axis, keepdims: bool) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    norm = {a % len(shape) for a in axes}
+    if keepdims:
+        return tuple(1 if i in norm else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i not in norm)
+
+
+def _reshape_shape(shape: tuple[int, ...], new) -> tuple[int, ...]:
+    new = tuple(int(d) for d in new)
+    total = prod(shape)
+    if -1 in new:
+        known = prod(d for d in new if d != -1)
+        if new.count(-1) > 1 or known == 0 or total % known:
+            raise _ShapeError(f"cannot reshape {shape} into {new}")
+        new = tuple(total // known if d == -1 else d for d in new)
+    if prod(new) != total:
+        raise _ShapeError(f"reshape changes element count: {shape} -> {new}")
+    return new
+
+
+def _transpose_shape(shape: tuple[int, ...], axes) -> tuple[int, ...]:
+    if axes is None:
+        return tuple(reversed(shape))
+    axes = tuple(int(a) for a in axes)
+    if sorted(a % len(shape) for a in axes) != list(range(len(shape))):
+        raise _ShapeError(f"transpose axes {axes} are not a permutation of {shape}")
+    return tuple(shape[a] for a in axes)
+
+
+def _broadcast_to_shape(shape: tuple[int, ...], target) -> tuple[int, ...]:
+    target = tuple(int(d) for d in target)
+    if _broadcast(shape, target) != target:
+        raise _ShapeError(f"{shape} does not broadcast to {target}")
+    return target
+
+
+def _indexed_shape(shape: tuple[int, ...], index) -> tuple[int, ...]:
+    # Indexing semantics are numpy's own; apply the recorded index object
+    # to an *empty* array of the right shape. This never runs a kernel —
+    # it is the cheapest sound way to honor every fancy-indexing corner.
+    try:
+        return np.empty(shape)[index].shape
+    except (IndexError, TypeError, ValueError) as exc:
+        raise _ShapeError(f"index {index!r} invalid for shape {shape}: {exc}") from exc
+
+
+def _concat_shape(shapes: list[tuple[int, ...]], axis: int) -> tuple[int, ...]:
+    if not shapes:
+        raise _ShapeError("concat of zero tensors")
+    ndim = len(shapes[0])
+    axis = axis % ndim if ndim else 0
+    for s in shapes:
+        if len(s) != ndim:
+            raise _ShapeError(f"concat rank mismatch: {shapes}")
+        for i, (a, b) in enumerate(zip(s, shapes[0])):
+            if i != axis and a != b:
+                raise _ShapeError(f"concat off-axis dims differ: {shapes}")
+    return tuple(
+        sum(s[i] for s in shapes) if i == axis else d
+        for i, d in enumerate(shapes[0])
+    )
+
+
+# ----------------------------------------------------------------------
+# dtype rules
+# ----------------------------------------------------------------------
+_FLOAT64 = np.dtype(np.float64)
+
+#: Ops whose result is float even for integral inputs (numpy promotes
+#: integer inputs of these ufuncs to float64; the mask helpers astype).
+_FLOAT_FORCING = frozenset({
+    "exp", "log", "tanh", "sigmoid", "pow", "relu", "sign",
+})
+_MASK_OPS = frozenset({
+    "gt_zero_mask", "range_mask", "ge_mask", "lt_mask", "argmax_mask",
+})
+
+
+def _as_float(dtype: np.dtype) -> np.dtype:
+    return dtype if dtype.kind == "f" else _FLOAT64
+
+
+def _infer_op(node: TraceNode, parents: list[Abstract]) -> Abstract:
+    """Shape/dtype of one op node from its parents' abstract values."""
+    op = node.op
+    shapes = [p.shape for p in parents]
+    promoted = np.result_type(*[p.dtype for p in parents]) if parents else _FLOAT64
+
+    if op in ("add", "sub", "mul", "maximum"):
+        return Abstract(_broadcast(shapes[0], shapes[1]), promoted)
+    if op in ("neg", "abs", "clip"):
+        return Abstract(shapes[0], parents[0].dtype)
+    if op in _FLOAT_FORCING:
+        return Abstract(shapes[0], _as_float(parents[0].dtype))
+    if op in _MASK_OPS:
+        return Abstract(_broadcast(*shapes) if len(shapes) > 1 else shapes[0], _FLOAT64)
+    if op == "matmul":
+        return Abstract(_matmul_shape(shapes[0], shapes[1]), promoted)
+    if op == "sum":
+        return Abstract(
+            _sum_shape(shapes[0], node.aux["axis"], node.aux["keepdims"]),
+            parents[0].dtype,
+        )
+    if op == "max_reduce":
+        return Abstract((), parents[0].dtype)
+    if op == "reshape":
+        return Abstract(_reshape_shape(shapes[0], node.aux["shape"]), parents[0].dtype)
+    if op == "transpose":
+        return Abstract(_transpose_shape(shapes[0], node.aux["axes"]), parents[0].dtype)
+    if op == "broadcast_to":
+        return Abstract(
+            _broadcast_to_shape(shapes[0], node.aux["shape"]), parents[0].dtype
+        )
+    if op == "getitem":
+        return Abstract(_indexed_shape(shapes[0], node.aux["index"]), parents[0].dtype)
+    if op == "scatter":
+        target = tuple(int(d) for d in node.aux["shape"])
+        # add.at writes the source through the index: the indexed view of
+        # the target must be able to absorb the source by broadcasting.
+        view = _indexed_shape(target, node.aux["index"])
+        if _broadcast(view, shapes[0]) != tuple(view):
+            raise _ShapeError(
+                f"scatter source {shapes[0]} does not broadcast into "
+                f"indexed view {view} of {target}"
+            )
+        return Abstract(target, _as_float(parents[0].dtype))
+    if op == "concat":
+        return Abstract(_concat_shape(shapes, node.aux["axis"]), promoted)
+    if op == "affine":
+        x, w = shapes[0], shapes[1]
+        out = _matmul_shape(x, w)
+        if node.aux["has_bias"]:
+            if _broadcast(out, shapes[2]) != out:
+                raise _ShapeError(f"affine bias {shapes[2]} does not broadcast to {out}")
+        dtype = _as_float(promoted) if node.aux["activation"] else promoted
+        return Abstract(out, dtype)
+    raise _ShapeError(f"no shape rule for op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# graph / plan entry points
+# ----------------------------------------------------------------------
+def infer_graph(graph: TraceGraph) -> tuple[dict[int, Abstract], list[IRIssue]]:
+    """Propagate shapes/dtypes through every node; report divergences.
+
+    Inputs are trusted (their shape IS the plan's cache key); consts are
+    cross-checked against their captured value; every op is re-derived
+    and compared against what the trace recorded.
+    """
+    issues: list[IRIssue] = []
+    values: dict[int, Abstract] = {}
+
+    def problem(node: TraceNode, message: str) -> None:
+        issues.append(IRIssue("R017", node.idx, f"node {node.idx} ({node.op or node.kind}): {message}"))
+
+    for node in graph.nodes:
+        declared = Abstract(tuple(node.shape), np.dtype(node.dtype))
+        if node.kind == "input":
+            values[node.idx] = declared
+            continue
+        if node.kind == "const":
+            if node.value is None:
+                problem(node, "const node carries no captured value")
+            else:
+                if tuple(node.value.shape) != declared.shape:
+                    problem(node, f"captured value has shape {tuple(node.value.shape)}, "
+                                  f"declared {declared.shape}")
+                if node.value.dtype.str != node.dtype:
+                    problem(node, f"captured value has dtype {node.value.dtype.str}, "
+                                  f"declared {node.dtype}")
+            values[node.idx] = declared
+            continue
+        # op node: every parent must already have a value (SSA order).
+        parent_values = []
+        broken = False
+        for parent in node.parents:
+            if parent >= node.idx or parent not in values:
+                problem(node, f"parent {parent} is not defined before use")
+                broken = True
+                break
+            parent_values.append(values[parent])
+        if broken:
+            values[node.idx] = declared
+            continue
+        try:
+            inferred = _infer_op(node, parent_values)
+        except _ShapeError as exc:
+            problem(node, str(exc))
+            values[node.idx] = declared
+            continue
+        if inferred.shape != declared.shape:
+            problem(node, f"inferred shape {inferred.shape}, trace recorded {declared.shape}")
+        if inferred.dtype.str != node.dtype:
+            problem(node, f"inferred dtype {inferred.dtype.str}, trace recorded {node.dtype}")
+        values[node.idx] = inferred
+    return values, issues
+
+
+def check_plan_shapes(plan) -> tuple[list[IRIssue], int]:
+    """R017 over one plan: graph inference plus the preallocation audit.
+
+    Returns ``(issues, checks)`` where ``checks`` counts the individual
+    facts proved (per-node inferences plus per-buffer comparisons).
+    """
+    values, issues = infer_graph(plan.graph)
+    checks = len(plan.graph.nodes)
+    for idx, meta in plan.buffer_table().items():
+        if meta["kind"] != "prealloc":
+            continue
+        checks += 1
+        inferred = values.get(idx)
+        if inferred is None:
+            continue
+        if tuple(meta["shape"]) != inferred.shape:
+            issues.append(IRIssue(
+                "R017", idx,
+                f"preallocated buffer for node {idx} has shape {tuple(meta['shape'])}, "
+                f"inferred {inferred.shape} — the fused kernel writes the wrong extent",
+            ))
+        if meta["dtype"] != inferred.dtype.str:
+            issues.append(IRIssue(
+                "R017", idx,
+                f"preallocated buffer for node {idx} has dtype {meta['dtype']}, "
+                f"inferred {inferred.dtype.str} — ufunc out= would cast silently",
+            ))
+    return issues, checks

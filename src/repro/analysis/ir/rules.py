@@ -1,0 +1,50 @@
+"""Catalog of the IR-verifier rules (R017–R019).
+
+Unlike the lint (R001–R006) and flow (R007+) rules, the IR rules do not
+run over source files: they run over :class:`~repro.nn.compile.ir.TraceGraph`
+and :class:`~repro.nn.compile.plan.CompiledPlan` objects, so they have no
+``Rule``/``FlowRule`` class. This module is their registry equivalent —
+one entry per rule with the title and hint the SARIF catalog and the
+README rule table render — kept next to the checkers that emit them.
+
+R020 (compile-site coverage) is a genuine flow rule and lives in
+:mod:`repro.analysis.flow.rules.r020_compile_site_coverage`.
+"""
+
+from __future__ import annotations
+
+#: id -> (title, hint) for every plan-level verifier rule.
+IR_RULES: dict[str, dict[str, str]] = {
+    "R017": {
+        "title": "ir-shape-dtype",
+        "hint": (
+            "the abstract interpreter re-derived a different shape or dtype "
+            "for this node than the trace recorded (or than its preallocated "
+            "buffer holds) — the generated kernel would read or write the "
+            "wrong extent; re-trace the function, do not patch the plan"
+        ),
+    },
+    "R018": {
+        "title": "ir-buffer-safety",
+        "hint": (
+            "a fused kernel reads a buffer no earlier kernel of the same run "
+            "wrote (stale data from a previous execution), writes a buffer it "
+            "does not own, or carries a run-serial guard that protects "
+            "nothing; fix the schedule, never widen the guard"
+        ),
+    },
+    "R019": {
+        "title": "ir-translation",
+        "hint": (
+            "the plan's schedules diverge from an independent re-linearization "
+            "of its trace: a live op is missing/duplicated, runs out of "
+            "topological order, or the backward replay is not adjoint-complete "
+            "for a requires-grad input; rebuild the plan from the trace"
+        ),
+    },
+}
+
+
+def ir_rule_ids() -> list[str]:
+    """Sorted ids of the plan-level IR verifier rules."""
+    return sorted(IR_RULES)

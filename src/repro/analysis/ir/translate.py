@@ -1,0 +1,199 @@
+"""R019 ir-translation: structural diff of a plan against its own trace.
+
+Translation validation in the classic sense: instead of trusting the plan
+builder, re-linearize the :class:`~repro.nn.compile.ir.TraceGraph` with an
+*independent* implementation of the scheduling rules and require the
+built plan to match structurally —
+
+* the forward schedule covers every live op exactly once, in an order
+  where every producer precedes its consumers (recording order, which the
+  builder also uses, is the canonical witness);
+* the kernel segmentation repartitions exactly the scheduled ops, no
+  segment exceeding :data:`~repro.nn.compile.plan.SEGMENT_OPS`;
+* the backward schedule equals an independent replay of the interpreter's
+  DFS-postorder backward pass — same entries, same order, same per-entry
+  gradient writes — and is adjoint-complete: every requires-grad input
+  the trace connects to the root receives a gradient.
+
+The checks are pure structure; no kernel runs and no array is touched.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ir.interp import IRIssue
+from repro.nn.compile.ir import TraceGraph
+from repro.nn.compile.plan import SEGMENT_OPS
+
+
+def _live_set(graph: TraceGraph) -> set[int]:
+    live: set[int] = set()
+    stack = list(graph.outputs)
+    while stack:
+        idx = stack.pop()
+        if idx in live:
+            continue
+        live.add(idx)
+        stack.extend(graph.nodes[idx].parents)
+    return live
+
+
+def _reference_backward(
+    graph: TraceGraph, root: int, want_idxs: tuple[int, ...]
+) -> tuple[list[tuple[int, tuple[int, ...]]], set[int]]:
+    """Independent replay of the pruned backward schedule.
+
+    Mirrors the interpreter's ``_backward_pass`` contract: DFS postorder
+    over requires-grad nodes from the root, gradient flowing only through
+    nodes that actually receive one, entries pruned to parents from which
+    a wanted input is reachable. Returns ``(entries, reached wants)`` with
+    each entry ``(node idx, gradients written in parent order)``.
+    """
+    topo: list[int] = []
+    visited: set[int] = set()
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        idx, processed = stack.pop()
+        if processed:
+            topo.append(idx)
+            continue
+        if idx in visited:
+            continue
+        visited.add(idx)
+        stack.append((idx, True))
+        for parent in graph.nodes[idx].parents:
+            if graph.nodes[parent].requires_grad and parent not in visited:
+                stack.append((parent, False))
+
+    want_set = set(want_idxs)
+    needed: set[int] = set()
+    for idx in topo:  # postorder lists parents before children
+        if idx in want_set or any(p in needed for p in graph.nodes[idx].parents):
+            needed.add(idx)
+
+    has_grad = {root}
+    entries: list[tuple[int, tuple[int, ...]]] = []
+    for idx in reversed(topo):
+        if idx not in has_grad:
+            continue
+        node = graph.nodes[idx]
+        if node.kind != "op":
+            continue
+        writes = tuple(
+            parent
+            for parent in node.parents
+            if parent in needed and graph.nodes[parent].requires_grad
+        )
+        if writes:
+            has_grad.update(writes)
+            entries.append((idx, writes))
+    reached = {idx for idx in want_idxs if idx in has_grad}
+    return entries, reached
+
+
+def check_plan_translation(plan) -> tuple[list[IRIssue], int]:
+    """R019 over one plan; returns ``(issues, checks proved)``."""
+    issues: list[IRIssue] = []
+    graph = plan.graph
+    live = _live_set(graph)
+    checks = 0
+
+    def problem(node: int | None, message: str) -> None:
+        issues.append(IRIssue("R019", node, message))
+
+    # ---- output mapping ---------------------------------------------
+    checks += 1
+    if plan.output_nodes() != tuple(graph.outputs):
+        problem(None, f"plan outputs map to nodes {list(plan.output_nodes())}, "
+                      f"the trace's outputs are {list(graph.outputs)}")
+
+    # ---- forward coverage and order ---------------------------------
+    expected_fwd = [n.idx for n in graph.nodes if n.kind == "op" and n.idx in live]
+    actual_fwd = [idx for idx, _ in plan.forward_schedule()]
+    checks += len(expected_fwd) + 1
+    missing = set(expected_fwd) - set(actual_fwd)
+    extra = set(actual_fwd) - set(expected_fwd)
+    for idx in sorted(missing):
+        problem(idx, f"live op node {idx} ({graph.nodes[idx].op}) is missing from "
+                     f"the forward schedule — its consumers read an unwritten buffer")
+    for idx in sorted(extra):
+        problem(idx, f"node {idx} is scheduled but is not a live op of the trace "
+                     f"(dead code or a non-op node in the schedule)")
+    if len(actual_fwd) != len(set(actual_fwd)):
+        dupes = sorted({i for i in actual_fwd if actual_fwd.count(i) > 1})
+        problem(dupes[0], f"forward schedule lists node(s) {dupes} more than once")
+    # Topological consistency, reported per offending edge so a swapped
+    # pair is named even when coverage is otherwise complete.
+    position = {idx: pos for pos, idx in enumerate(actual_fwd)}
+    for idx in actual_fwd:
+        for parent in graph.nodes[idx].parents:
+            if graph.nodes[parent].kind != "op" or parent not in live:
+                continue
+            if parent not in position or position[parent] >= position.get(idx, -1):
+                problem(idx, f"node {idx} runs before its producer {parent} — the "
+                             f"schedule is not topologically ordered")
+
+    # ---- segmentation repartitions the schedules exactly ------------
+    seg = plan.segment_op_counts()
+    for tag, schedule_len in (("forward", len(actual_fwd)),
+                              ("backward", len(plan.backward_schedule()))):
+        checks += 1
+        counts = seg[tag]
+        if sum(counts) != schedule_len:
+            problem(None, f"{tag} kernel segments hold {sum(counts)} ops but the "
+                          f"{tag} schedule has {schedule_len}")
+        for seg_no, ops in enumerate(counts):
+            if ops > SEGMENT_OPS:
+                problem(None, f"{tag} segment {seg_no} fuses {ops} ops, over the "
+                              f"{SEGMENT_OPS}-op chunking bound")
+
+    # ---- backward: diff against the independent replay --------------
+    root = graph.outputs[0]
+    wants = plan.wanted_inputs()
+    expected_wants = tuple(graph.input_idxs[slot] for slot in plan.want_slots)
+    checks += 1
+    if wants != expected_wants:
+        problem(None, f"plan gradient slots map to nodes {wants}, trace says "
+                      f"{expected_wants}")
+    should_have_backward = bool(plan.want_slots) and graph.nodes[root].requires_grad
+    checks += 1
+    if plan.has_backward != should_have_backward:
+        problem(root, f"plan has_backward={plan.has_backward} but the trace "
+                      f"{'requires' if should_have_backward else 'cannot support'} "
+                      f"a backward schedule")
+
+    actual_bwd = [(e["node"], tuple(e["writes"])) for e in plan.backward_schedule()]
+    if not should_have_backward:
+        checks += 1
+        if actual_bwd:
+            problem(None, "plan carries backward entries despite having no "
+                          "gradient-requesting input")
+        return issues, checks
+
+    expected_bwd, expected_reached = _reference_backward(graph, root, wants)
+    checks += len(expected_bwd) + 1
+    if actual_bwd != expected_bwd:
+        actual_nodes = [n for n, _ in actual_bwd]
+        expected_nodes = [n for n, _ in expected_bwd]
+        for node in sorted(set(expected_nodes) - set(actual_nodes)):
+            problem(node, f"backward entry for node {node} was dropped — its "
+                          f"parents' gradients are never computed")
+        for node in sorted(set(actual_nodes) - set(expected_nodes)):
+            problem(node, f"backward entry for node {node} does not appear in the "
+                          f"reference replay (gradient flows where none should)")
+        if sorted(actual_nodes) == sorted(expected_nodes) and actual_nodes != expected_nodes:
+            problem(actual_nodes[0], "backward entries run out of replay order — "
+                                     "accumulation order (and therefore rounding) "
+                                     "diverges from the interpreter")
+        for (a_node, a_writes), (e_node, e_writes) in zip(actual_bwd, expected_bwd):
+            if a_node == e_node and a_writes != e_writes:
+                problem(a_node, f"backward entry for node {a_node} writes gradients "
+                                f"{list(a_writes)}, reference replay writes "
+                                f"{list(e_writes)}")
+
+    checks += 1
+    if plan.reached_wants() != frozenset(expected_reached):
+        problem(None, f"plan reports gradient-reached inputs "
+                      f"{sorted(plan.reached_wants())}, reference replay reaches "
+                      f"{sorted(expected_reached)} — the backward is not "
+                      f"adjoint-complete for every requires-grad input")
+    return issues, checks

@@ -1,0 +1,149 @@
+"""Driver: run R017–R019 over plans and fold results into findings.
+
+:func:`verify_plan` checks one plan; :func:`run_ir_verification` is the
+CLI-facing sweep — it force-compiles every real call site through the
+equivalence sweep, then verifies every plan the cache holds plus the
+static fixtures. A site that declines compilation under force mode is a
+verification *gap* (nothing to verify where the product would compile),
+so declines fail the run just as findings do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.ir.buffers import check_plan_buffers
+from repro.analysis.ir.interp import IRIssue, check_plan_shapes
+from repro.analysis.ir.rules import IR_RULES
+from repro.analysis.ir.translate import check_plan_translation
+from repro.analysis.walker import Finding
+
+
+@dataclasses.dataclass
+class PlanReport:
+    """Verifier verdict for one compiled plan."""
+
+    label: str
+    graph_hash: str
+    nodes: int
+    kernels: int
+    checks: dict[str, int]
+    findings: list[Finding]
+
+    @property
+    def passed(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "graph_hash": self.graph_hash,
+            "nodes": self.nodes,
+            "kernels": self.kernels,
+            "checks": dict(self.checks),
+            "findings": [
+                {"rule": f.rule_id, "severity": f.severity, "message": f.message}
+                for f in self.findings
+            ],
+            "passed": self.passed,
+        }
+
+
+@dataclasses.dataclass
+class IRVerificationResult:
+    """Whole-run verdict: every plan verified, plus compilation gaps."""
+
+    source: str
+    reports: list[PlanReport]
+    declined: list[str]
+
+    @property
+    def findings(self) -> list[Finding]:
+        return [f for report in self.reports for f in report.findings]
+
+    @property
+    def passed(self) -> bool:
+        return not self.declined and all(report.passed for report in self.reports)
+
+    def as_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "passed": self.passed,
+            "plans": [report.as_dict() for report in self.reports],
+            "declined": list(self.declined),
+        }
+
+
+def _to_finding(plan, issue: IRIssue) -> Finding:
+    """Render an :class:`IRIssue` as a standard analysis finding.
+
+    Plans have no file location, so the path is the synthetic
+    ``<plan:label>`` and the precise anchor (plan + node) rides in the
+    ``logical`` field, which the SARIF writer emits as a logicalLocation.
+    """
+    logical = f"plan:{plan.label}"
+    if issue.node is not None:
+        logical = f"{logical}/node:{issue.node}"
+    return Finding(
+        rule_id=issue.rule_id,
+        message=issue.message,
+        path=f"<plan:{plan.label}>",
+        line=1,
+        col=1,
+        severity=issue.severity,
+        hint=IR_RULES[issue.rule_id]["hint"],
+        logical=logical,
+    )
+
+
+def verify_plan(plan) -> PlanReport:
+    """Run all three IR rules over one plan without executing it."""
+    issues: list[IRIssue] = []
+    checks: dict[str, int] = {}
+    for rule_id, checker in (
+        ("R017", check_plan_shapes),
+        ("R018", check_plan_buffers),
+        ("R019", check_plan_translation),
+    ):
+        rule_issues, proved = checker(plan)
+        issues.extend(rule_issues)
+        checks[rule_id] = proved
+    return PlanReport(
+        label=plan.label,
+        graph_hash=plan.graph_hash,
+        nodes=len(plan.graph.nodes),
+        kernels=len(plan.kernels()),
+        checks=checks,
+        findings=[_to_finding(plan, issue) for issue in issues],
+    )
+
+
+def verify_plans(plans, source: str, declined: list[str] | None = None) -> IRVerificationResult:
+    """Verify a batch of plans under a common provenance label."""
+    return IRVerificationResult(
+        source=source,
+        reports=[verify_plan(plan) for plan in plans],
+        declined=list(declined or []),
+    )
+
+
+def run_ir_verification(seed: int = 0, fast: bool = False) -> IRVerificationResult:
+    """The ``verify-ir`` sweep.
+
+    ``fast`` verifies only the static fixture plans. The full run drives
+    the compiled-vs-interpreted equivalence sweep first (so the plan cache
+    holds a force-compiled plan for every real call site) and then
+    verifies everything in the cache plus the fixtures.
+    """
+    from repro.analysis.ir.fixtures import fixture_plans
+
+    if fast:
+        return verify_plans(fixture_plans(), "fixtures")
+
+    from repro.analysis.equivalence import run_equivalence
+    from repro.nn.compile import iter_plans
+
+    equivalence = run_equivalence(seed=seed)
+    declined = [case.name for case in equivalence.cases if "declined" in case.detail]
+    plans = list(iter_plans()) + fixture_plans()
+    return verify_plans(plans, "sweep+fixtures", declined=declined)

@@ -4,8 +4,15 @@ SARIF (Static Analysis Results Interchange Format) is what code-scanning
 UIs ingest; emitting it makes ``pace-repro analyze --format sarif`` and
 ``pace-repro lint --format sarif`` uploadable as CI artifacts and
 viewable inline on pull requests. One run object carries the full rule
-catalog (R001–R016 plus the synthetic E-codes) so every result links
-back to its rule's description, even for rules that fired zero times.
+catalog (R001–R020, the IR-verifier rules, plus the synthetic E-codes)
+so every result links back to its rule's description, even for rules
+that fired zero times.
+
+IR-verifier findings (R017–R019, and any other finding whose path is a
+``<plan:...>`` pseudo-path) have no file to point at — the defect lives
+in a compiled plan, not a source line — so they carry a
+``logicalLocations`` entry naming the plan (and node) instead of a
+``physicalLocation``.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ _LEVELS = {"error": "error", "warning": "warning"}
 def _rule_catalog() -> list[dict]:
     """Every known rule id with its one-line description."""
     from repro.analysis.flow.engine import _FLOW_REGISTRY, flow_rule_ids
+    from repro.analysis.ir.rules import IR_RULES
     from repro.analysis.walker import _REGISTRY, rule_ids
 
     flow_rule_ids()  # import side effect: registers flow rules
@@ -46,6 +54,9 @@ def _rule_catalog() -> list[dict]:
     for rule_id in sorted(_FLOW_REGISTRY):
         cls = _FLOW_REGISTRY[rule_id]
         catalog.append(_rule_entry(rule_id, cls.title, getattr(cls, "hint", "")))
+    for rule_id in sorted(IR_RULES):  # R020 registers as a flow rule above
+        spec = IR_RULES[rule_id]
+        catalog.append(_rule_entry(rule_id, spec["title"], spec["hint"]))
     for rule_id, title in sorted(_SYNTHETIC_RULES.items()):
         catalog.append(_rule_entry(rule_id, title, ""))
     return catalog
@@ -62,21 +73,24 @@ def _rule_entry(rule_id: str, title: str, hint: str) -> dict:
 
 
 def _result(finding: Finding) -> dict:
-    region: dict = {"startLine": finding.line, "startColumn": finding.col}
-    if finding.end_line is not None and finding.end_line >= finding.line:
-        region["endLine"] = finding.end_line
+    location: dict = {}
+    if not finding.path.startswith("<"):
+        region: dict = {"startLine": finding.line, "startColumn": finding.col}
+        if finding.end_line is not None and finding.end_line >= finding.line:
+            region["endLine"] = finding.end_line
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+            "region": region,
+        }
+    if finding.logical:
+        location["logicalLocations"] = [
+            {"name": finding.logical, "kind": "member"}
+        ]
     result = {
         "ruleId": finding.rule_id,
         "level": _LEVELS.get(finding.severity, "error"),
         "message": {"text": finding.message},
-        "locations": [
-            {
-                "physicalLocation": {
-                    "artifactLocation": {"uri": finding.path.replace("\\", "/")},
-                    "region": region,
-                }
-            }
-        ],
+        "locations": [location] if location else [],
     }
     if finding.hint:
         result["message"] = {

@@ -15,6 +15,12 @@ model under a :class:`~repro.utils.clock.ManualClock` and checks the
 dynamic invariants R011 cannot see statically — micro-batched estimates
 bitwise-matching the sequential path, deadline shedding, backpressure
 rejection, and cache-hit consistency.
+
+Both smokes run everything through the interpreter — compilation is
+never forced here. The compiled paths get their own dedicated gates
+later in the ``analyze`` pipeline: the equivalence sweep (dynamic,
+byte-identical outputs) and the IR verifier (static, R017–R019 over
+every plan the sweep built).
 """
 
 from __future__ import annotations

@@ -42,6 +42,10 @@ class Finding:
     severity: str = "error"
     hint: str | None = None
     end_line: int | None = None
+    #: Logical anchor for findings without a real file location (IR
+    #: verifier findings name the plan and node here; SARIF emits it as a
+    #: logicalLocation).
+    logical: str | None = None
 
     @property
     def location(self) -> str:

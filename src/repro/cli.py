@@ -9,6 +9,8 @@ Examples::
     python -m repro serve-bench --requests 512
     python -m repro lint --format json
     python -m repro analyze
+    python -m repro analyze --changed
+    python -m repro verify-ir --format sarif --output ir-verify.sarif
     python -m repro gradcheck --format json
     python -m repro info
 """
@@ -107,9 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="full audit: lint + whole-program flow rules (R007-R012) "
-             "+ concurrency rules (R013-R016) + gradient audit + sanitized "
-             "autograd/serve smoke passes + dynamic context-label trace smoke "
-             "+ compiled-vs-interpreted equivalence sweep",
+             "+ concurrency rules (R013-R016) + compile-site coverage (R020) "
+             "+ gradient audit + sanitized autograd/serve smoke passes "
+             "+ dynamic context-label trace smoke "
+             "+ compiled-vs-interpreted equivalence sweep "
+             "+ IR verification of the compiled plans (R017-R019)",
     )
     analyze.add_argument("paths", nargs="*", metavar="PATH",
                          help="files/directories to analyze (default: the repro package)")
@@ -133,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "compiled-vs-interpreted equivalence sweep")
     analyze.add_argument("--seed", type=int, default=0,
                          help="seed for the sanitized smoke pass")
+    analyze.add_argument("--changed", action="store_true",
+                         help="scope the static pass to files modified in the "
+                              "git working tree (diff vs HEAD + untracked); "
+                              "runs lint + flow rules only — the concurrency "
+                              "layer, IR verification, and dynamic passes are "
+                              "skipped (they need the whole program)")
+
+    verify_ir = sub.add_parser(
+        "verify-ir",
+        help="static IR verifier + translation validator for compiled plans "
+             "(R017 shape/dtype, R018 buffer safety, R019 translation); "
+             "verifies every plan the equivalence sweep builds, plus the "
+             "deterministic fixture plans — no kernel is executed",
+    )
+    verify_ir.add_argument("--fast", action="store_true",
+                           help="verify only the fixture plans (skip the "
+                                "equivalence sweep that builds the real ones)")
+    verify_ir.add_argument("--seed", type=int, default=0,
+                           help="seed for the plan-building sweep")
+    verify_ir.add_argument("--format", choices=("text", "json", "sarif"),
+                           default="text")
+    verify_ir.add_argument("--output", default=None, metavar="PATH",
+                           help="also write the report to this path "
+                                "(atomic write)")
 
     serve_sim = sub.add_parser(
         "serve-sim",
@@ -404,6 +432,105 @@ def _default_analysis_targets(paths: list[str]) -> list[Path]:
     return [Path(__file__).resolve().parent]
 
 
+def _changed_python_files(targets: list[Path]) -> list[Path] | None:
+    """Modified/untracked ``.py`` files under ``targets``, None off-git.
+
+    "Modified" is the union of ``git diff --name-only HEAD`` (staged or
+    not) and untracked non-ignored files; deleted files drop out because
+    there is nothing left to analyze.
+    """
+    import subprocess
+
+    def _git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True
+        )
+        return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+    try:
+        top = Path(_git("rev-parse", "--show-toplevel")[0])
+        names = set(_git("diff", "--name-only", "HEAD"))
+        names.update(_git("ls-files", "--others", "--exclude-standard"))
+    except (OSError, IndexError, subprocess.CalledProcessError):
+        return None
+    roots = [t.resolve() for t in targets]
+    changed: list[Path] = []
+    for name in sorted(names):
+        path = top / name
+        if path.suffix != ".py" or not path.exists():
+            continue
+        resolved = path.resolve()
+        if any(resolved == root or root in resolved.parents for root in roots):
+            changed.append(path)
+    return changed
+
+
+def _analyze_changed(
+    args: argparse.Namespace,
+    targets: list[Path],
+    reference_roots: list[Path],
+    select: list[str] | None,
+) -> int:
+    """The diff-scoped static pass behind ``analyze --changed``."""
+    import json
+
+    from repro.analysis import (
+        Finding,
+        findings_payload,
+        flow_rule_ids,
+        render_text,
+        run_flow,
+        run_lint,
+    )
+    from repro.analysis.concurrency.safe import CONCURRENCY_RULE_IDS
+
+    changed = _changed_python_files(targets)
+    if changed is None:
+        print("analyze: error: --changed requires a git work tree",
+              file=sys.stderr)
+        return 2
+    if not changed:
+        print("analyze --changed: no modified python files under the targets")
+        return 0
+    if select is None:
+        # The concurrency rules (R013-R016) and compile-site coverage
+        # (R020) judge a file against context that lives mostly in
+        # *unchanged* files; a diff-scoped run of them would produce
+        # verdicts the full pass might contradict, so they only run in
+        # the whole-program mode.
+        select = sorted(
+            set(flow_rule_ids()) - set(CONCURRENCY_RULE_IDS) - {"R020"}
+        )
+    try:
+        findings = run_lint(changed)
+        # The unchanged source plus the usual test/benchmark roots stay
+        # visible as references so e.g. dead-code verdicts don't flip.
+        findings += run_flow(
+            changed,
+            reference_paths=[*targets, *reference_roots],
+            select=select,
+        )
+    except (KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"analyze: error: {message}", file=sys.stderr)
+        return 2
+    findings.sort(key=Finding.sort_key)
+    if args.format == "json":
+        print(json.dumps({
+            "ok": not findings,
+            "changed": [str(path) for path in changed],
+            "findings": findings_payload(findings),
+        }, indent=2))
+    elif args.format == "sarif":
+        from repro.analysis import render_sarif
+
+        print(render_sarif(findings))
+    else:
+        print(f"analyze --changed: {len(changed)} modified file(s)")
+        print(render_text(findings, show_hints=args.fix_hints))
+    return 1 if findings else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import flow_rule_ids, render_json, render_text, run_lint
 
@@ -462,6 +589,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if (candidate := Path.cwd() / name).exists()
     ]
     select = args.select.split(",") if args.select else None
+    if args.changed:
+        return _analyze_changed(args, targets, reference_roots, select)
     cache = None if args.no_cache else ProgramCache()
     try:
         findings = run_lint(targets)
@@ -485,13 +614,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     trace_smoke = None if skip_smoke else run_trace_smoke(seed=args.seed)
     equivalence = None if skip_smoke else run_equivalence(seed=args.seed)
 
+    # IR verification always runs: over every plan the sweep just built
+    # (plus the fixtures) normally, or over the fixture plans alone when
+    # the sweep was skipped — the static layers stay exercised even under
+    # --fast.
+    from repro.analysis.ir import fixture_plans, verify_plans
+
+    if equivalence is None:
+        verify_ir = verify_plans(fixture_plans(), "fixtures")
+    else:
+        from repro.nn.compile import iter_plans
+
+        declined = [c.name for c in equivalence.cases if "declined" in c.detail]
+        verify_ir = verify_plans(
+            [*iter_plans(), *fixture_plans()], "sweep+fixtures", declined
+        )
+    findings += verify_ir.findings
+    findings.sort(key=Finding.sort_key)
+
     gradcheck_ok = gradcheck_results is None or all(r.passed for r in gradcheck_results)
     smoke_ok = smoke is None or smoke.passed
     serve_ok = serve_smoke is None or serve_smoke.passed
     trace_ok = trace_smoke is None or trace_smoke.passed
     equivalence_ok = equivalence is None or equivalence.passed
     ok = (not findings and gradcheck_ok and smoke_ok and serve_ok and trace_ok
-          and equivalence_ok)
+          and equivalence_ok and verify_ir.passed)
 
     if args.format == "json":
         payload = {
@@ -503,6 +650,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             "serve_smoke": None if serve_smoke is None else serve_smoke.as_dict(),
             "trace_smoke": None if trace_smoke is None else trace_smoke.as_dict(),
             "equivalence": None if equivalence is None else equivalence.as_dict(),
+            "verify_ir": verify_ir.as_dict(),
         }
         print(json.dumps(payload, indent=2))
         return 0 if ok else 1
@@ -548,8 +696,64 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         else:
             failing = [c.name for c in equivalence.cases if not c.passed]
             print(f"equivalence: FAIL — {', '.join(failing)}")
+    if verify_ir.passed:
+        checks = sum(sum(r.checks.values()) for r in verify_ir.reports)
+        print(f"verify-ir: ok ({len(verify_ir.reports)} plans, "
+              f"{checks} static checks, source {verify_ir.source})")
+    else:
+        failing = [r.label for r in verify_ir.reports if not r.passed]
+        failing += [f"{name} (declined)" for name in verify_ir.declined]
+        print(f"verify-ir: FAIL — {', '.join(failing)}")
     print(f"analyze: {'ok' if ok else 'FAIL'}")
     return 0 if ok else 1
+
+
+def cmd_verify_ir(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.ir import run_ir_verification
+
+    result = run_ir_verification(seed=args.seed, fast=args.fast)
+    if args.format == "json":
+        text = json.dumps(result.as_dict(), indent=2)
+    elif args.format == "sarif":
+        from repro.analysis import render_sarif
+
+        text = render_sarif(result.findings)
+    else:
+        lines = []
+        for report in result.reports:
+            checks = sum(report.checks.values())
+            status = "ok" if report.passed else "FAIL"
+            lines.append(
+                f"{report.label}: {status} ({report.nodes} nodes, "
+                f"{report.kernels} kernels, {checks} checks)"
+            )
+            for finding in report.findings:
+                lines.append(
+                    f"  {finding.rule_id} [{finding.severity}] {finding.message}"
+                )
+        for name in result.declined:
+            lines.append(
+                f"declined: {name} — the site never compiled, so no plan "
+                f"exists to verify"
+            )
+        verdict = "ok" if result.passed else "FAIL"
+        lines.append(
+            f"verify-ir: {verdict} ({len(result.reports)} plans, "
+            f"source {result.source})"
+        )
+        text = "\n".join(lines)
+    if args.output:
+        from repro.store.io import atomic_write_bytes
+
+        out = atomic_write_bytes(
+            Path(args.output), (text + "\n").encode("utf-8")
+        )
+        print(f"report written to {out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if result.passed else 1
 
 
 def cmd_gradcheck(args: argparse.Namespace) -> int:
@@ -712,6 +916,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": cmd_serve_bench,
         "lint": cmd_lint,
         "analyze": cmd_analyze,
+        "verify-ir": cmd_verify_ir,
         "gradcheck": cmd_gradcheck,
         "grid": cmd_grid,
         "runs": cmd_runs,

@@ -22,6 +22,11 @@ from typing import Any
 import numpy as np
 
 
+#: Canonical dtype string of the interpreter's tensors — ``Tensor`` casts
+#: everything to float64, so every recorded node defaults to it.
+DEFAULT_DTYPE = np.dtype(np.float64).str
+
+
 @dataclass
 class TraceNode:
     idx: int
@@ -33,6 +38,7 @@ class TraceNode:
     requires_grad: bool
     value: np.ndarray | None = None  # consts only
     slot: int | None = None  # inputs only
+    dtype: str = DEFAULT_DTYPE  # numpy dtype.str of the recorded array
 
 
 @dataclass
@@ -63,6 +69,7 @@ class TraceGraph:
                         node.shape,
                         node.requires_grad,
                         node.slot,
+                        node.dtype,
                     )
                 ).encode()
             )

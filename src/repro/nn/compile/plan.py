@@ -333,6 +333,92 @@ class CompiledPlan:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    # The static IR verifier (repro.analysis.ir) consumes the plan solely
+    # through these accessors: they expose the *schedules and buffer
+    # metadata the generated kernels actually run against*, as plain
+    # values, so the verifier never executes a kernel and never reaches
+    # into construction internals.
+
+    @property
+    def has_backward(self) -> bool:
+        """Whether this plan carries a static backward schedule."""
+        return self._has_backward
+
+    def forward_schedule(self) -> list[tuple[int, tuple[str, ...]]]:
+        """``(node idx, generated source lines)`` per live op, in run order."""
+        return [(idx, tuple(lines)) for idx, lines in self._fwd_per_node]
+
+    def backward_schedule(self) -> list[dict]:
+        """Static backward entries: node, generated lines, gradients written."""
+        return [
+            {
+                "node": entry["node"],
+                "lines": tuple(entry["lines"]),
+                "writes": tuple(entry["checks"]),
+            }
+            for entry in self._bwd_per_node
+        ]
+
+    def buffer_table(self) -> dict[int, dict]:
+        """Per-node buffer metadata: kind (input/const/prealloc), shape, dtype.
+
+        Nodes whose forward line rebinds ``B[i]`` instead of writing into a
+        preallocated buffer (matmul, reshape, ...) have no entry — their
+        buffer exists only at run time.
+        """
+        table: dict[int, dict] = {}
+        for node in self.graph.nodes:
+            if node.kind == "input":
+                table[node.idx] = {
+                    "kind": "input", "shape": tuple(node.shape), "dtype": node.dtype,
+                }
+                continue
+            buffer = self._buffers[node.idx]
+            if buffer is None:
+                continue
+            table[node.idx] = {
+                "kind": "const" if node.kind == "const" else "prealloc",
+                "shape": tuple(buffer.shape),
+                "dtype": buffer.dtype.str,
+            }
+        return table
+
+    def segment_op_counts(self) -> dict[str, tuple[int, ...]]:
+        """Ops per generated kernel segment for each direction."""
+        return {
+            "forward": tuple(ops for _, ops in self._fwd_segments),
+            "backward": tuple(ops for _, ops in self._bwd_segments),
+        }
+
+    def input_nodes(self) -> tuple[int, ...]:
+        """Graph node index of each declared input, in slot order."""
+        return tuple(self._input_idxs)
+
+    def output_nodes(self) -> tuple[int, ...]:
+        """Graph node index of each plan output."""
+        return tuple(self._out_idxs)
+
+    def wanted_inputs(self) -> tuple[int, ...]:
+        """Node indices of the inputs whose gradients the caller wants."""
+        return tuple(self._want_idxs)
+
+    def reached_wants(self) -> frozenset[int]:
+        """Wanted inputs the backward schedule actually writes."""
+        return frozenset(self._reached_wants)
+
+    def backward_root(self) -> int | None:
+        """Node the backward replay is seeded from, if a backward exists."""
+        return self._root if self._has_backward else None
+
+    def guards_serial(self) -> bool:
+        """Whether :meth:`backward` rejects stale forward buffers.
+
+        Always true for this implementation (``backward`` checks the run
+        serial); exposed so the verifier states the requirement against
+        the interface rather than the implementation.
+        """
+        return True
+
     def kernels(self) -> list[dict]:
         """One entry per generated fused kernel (for gradcheck/profile)."""
         entries = []

@@ -66,6 +66,7 @@ class GraphTracer:
                 aux=aux,
                 shape=out.data.shape,
                 requires_grad=out.requires_grad,
+                dtype=out.data.dtype.str,
             ),
         )
 
@@ -90,6 +91,7 @@ class GraphTracer:
                 aux=aux,
                 shape=derived.data.shape,
                 requires_grad=False,
+                dtype=derived.data.dtype.str,
             ),
         )
 
@@ -112,6 +114,7 @@ class GraphTracer:
                 shape=leaf.data.shape,
                 requires_grad=leaf.requires_grad,
                 slot=slot,
+                dtype=leaf.data.dtype.str,
             ),
         )
 
@@ -143,6 +146,7 @@ class GraphTracer:
             shape=tensor.data.shape,
             requires_grad=False,
             value=np.array(tensor.data, copy=True),
+            dtype=tensor.data.dtype.str,
         )
         self._bind(tensor, node)
         return node.idx

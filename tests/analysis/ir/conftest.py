@@ -1,0 +1,24 @@
+"""Shared fixtures for the IR-verifier tests.
+
+``fixture_plans()`` builds fresh plans on every call precisely so these
+tests can mutate their schedules and buffers without poisoning each
+other; the ``plans`` fixture hands each test its own private set keyed
+by label.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ir import fixture_plans
+
+FIXTURE_LABELS = ("fixture.mlp", "fixture.chain", "fixture.views")
+
+
+@pytest.fixture
+def plans():
+    return {plan.label: plan for plan in fixture_plans()}
+
+
+def rule_ids(issues):
+    return [issue.rule_id for issue in issues]

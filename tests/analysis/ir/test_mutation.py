@@ -1,0 +1,79 @@
+"""End-to-end mutation testing of the IR verifier.
+
+The acceptance bar for the verifier is not "fixtures pass" but "a
+mis-fused plan cannot slip through": each test here corrupts a real plan
+the way a plan-builder bug would and requires :func:`verify_plan` to
+fail loudly, with findings anchored to the plan via logical locations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ir import verify_plan, verify_plans
+
+
+def _errors(report):
+    return [f for f in report.findings if f.severity == "error"]
+
+
+class TestCleanVerification:
+    def test_clean_fixture_passes_all_three_layers(self, plans):
+        report = verify_plan(plans["fixture.mlp"])
+        assert report.passed
+        assert report.findings == []
+        assert set(report.checks) == {"R017", "R018", "R019"}
+        assert all(count > 0 for count in report.checks.values())
+        assert report.graph_hash
+
+    def test_verify_plans_aggregates_and_serializes(self, plans):
+        result = verify_plans(list(plans.values()), "fixtures")
+        assert result.passed
+        payload = result.as_dict()
+        assert payload["source"] == "fixtures"
+        assert payload["passed"] is True
+        assert len(payload["plans"]) == 3
+
+
+class TestMutationsAreCaught:
+    def test_swapped_segment_order(self, plans):
+        plan = plans["fixture.chain"]
+        plan._fwd_per_node[0], plan._fwd_per_node[1] = (
+            plan._fwd_per_node[1], plan._fwd_per_node[0],
+        )
+        report = verify_plan(plan)
+        assert not report.passed
+        assert {f.rule_id for f in _errors(report)} >= {"R018", "R019"}
+
+    def test_wrong_buffer_shape(self, plans):
+        plan = plans["fixture.mlp"]
+        idx = next(
+            idx for idx, entry in plan.buffer_table().items()
+            if entry["kind"] == "prealloc"
+        )
+        plan._buffers[idx] = np.empty((7, 7))
+        report = verify_plan(plan)
+        assert not report.passed
+        assert "R017" in {f.rule_id for f in _errors(report)}
+
+    def test_dropped_backward_segment(self, plans):
+        plan = plans["fixture.mlp"]
+        del plan._bwd_per_node[0]
+        report = verify_plan(plan)
+        assert not report.passed
+        assert {f.rule_id for f in _errors(report)} >= {"R018", "R019"}
+
+    def test_findings_carry_plan_logical_locations(self, plans):
+        plan = plans["fixture.mlp"]
+        del plan._bwd_per_node[0]
+        report = verify_plan(plan)
+        for finding in report.findings:
+            assert finding.path == "<plan:fixture.mlp>"
+            assert finding.logical.startswith("plan:fixture.mlp")
+
+    def test_declined_site_fails_the_aggregate(self, plans):
+        result = verify_plans(
+            [plans["fixture.views"]], "sweep", declined=["fcn.forward"]
+        )
+        assert not result.passed
+        assert result.declined == ["fcn.forward"]

@@ -1,0 +1,81 @@
+"""R017 ir-shape-dtype: abstract interpretation of plan shapes/dtypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ir import check_plan_shapes, infer_graph
+
+from tests.analysis.ir.conftest import FIXTURE_LABELS, rule_ids
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("label", FIXTURE_LABELS)
+    def test_fixture_plan_is_shape_and_dtype_clean(self, plans, label):
+        issues, checks = check_plan_shapes(plans[label])
+        assert issues == []
+        assert checks > 0
+
+    def test_inference_rederives_every_declared_shape(self, plans):
+        plan = plans["fixture.mlp"]
+        abstracts, issues = infer_graph(plan.graph)
+        assert issues == []
+        for node in plan.graph.nodes:
+            assert abstracts[node.idx].shape == node.shape
+
+
+class TestViolations:
+    def test_wrong_declared_op_shape_is_flagged(self, plans):
+        plan = plans["fixture.mlp"]
+        node = next(n for n in plan.graph.nodes if n.kind == "op")
+        node.shape = (7, 7)
+        issues, _ = check_plan_shapes(plan)
+        assert "R017" in rule_ids(issues)
+        assert any(issue.node == node.idx for issue in issues)
+
+    def test_wrong_declared_dtype_is_flagged(self, plans):
+        plan = plans["fixture.chain"]
+        node = next(n for n in plan.graph.nodes if n.kind == "op")
+        node.dtype = "<i8"
+        issues, _ = check_plan_shapes(plan)
+        assert "R017" in rule_ids(issues)
+
+    def test_tampered_prealloc_buffer_shape_is_flagged(self, plans):
+        plan = plans["fixture.mlp"]
+        idx = next(
+            idx for idx, entry in plan.buffer_table().items()
+            if entry["kind"] == "prealloc"
+        )
+        plan._buffers[idx] = np.empty((7, 7))
+        issues, _ = check_plan_shapes(plan)
+        assert "R017" in rule_ids(issues)
+
+    def test_tampered_prealloc_buffer_dtype_is_flagged(self, plans):
+        plan = plans["fixture.mlp"]
+        idx, entry = next(
+            (idx, entry) for idx, entry in plan.buffer_table().items()
+            if entry["kind"] == "prealloc"
+        )
+        plan._buffers[idx] = np.empty(entry["shape"], dtype=np.float32)
+        issues, _ = check_plan_shapes(plan)
+        assert "R017" in rule_ids(issues)
+
+    def test_tampered_const_value_is_flagged(self):
+        from repro.nn.compile.plan import build_plan
+        from repro.nn.compile.tracer import trace_function
+        from repro.nn.tensor import Tensor
+
+        x = Tensor(np.linspace(0.0, 1.0, 6).reshape(2, 3))
+
+        def body(x):
+            return (x * Tensor(np.ones((2, 3)))).sum()
+
+        graph, _ = trace_function(body, [x])
+        plan = build_plan(graph, "fixture.const", want_slots=())
+        clean, _ = check_plan_shapes(plan)
+        assert clean == []
+        const = next(n for n in plan.graph.nodes if n.kind == "const")
+        const.value = np.zeros((9, 9))
+        issues, _ = check_plan_shapes(plan)
+        assert "R017" in rule_ids(issues)

@@ -1,0 +1,76 @@
+"""R018 ir-buffer-safety: liveness, write-once, and guard necessity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ir import check_plan_buffers
+
+from tests.analysis.ir.conftest import FIXTURE_LABELS, rule_ids
+
+
+def _guardless_plan():
+    """A plan whose backward reads no forward buffer: ``(x + x).sum()``.
+
+    ``add``'s backward is shape bookkeeping only, so the run-serial guard
+    protects nothing — the verifier must call that out as a warning.
+    """
+    from repro.nn.compile.plan import build_plan
+    from repro.nn.compile.tracer import trace_function
+    from repro.nn.tensor import Tensor
+
+    x = Tensor(np.linspace(0.0, 1.0, 6).reshape(2, 3), requires_grad=True)
+
+    def body(x):
+        return (x + x).sum()
+
+    graph, _ = trace_function(body, [x])
+    return build_plan(graph, "fixture.guardless", want_slots=(0,))
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("label", FIXTURE_LABELS)
+    def test_fixture_plan_is_buffer_clean(self, plans, label):
+        issues, checks = check_plan_buffers(plans[label])
+        assert issues == []
+        assert checks > 0
+
+    def test_backward_reading_forward_buffers_needs_the_guard(self, plans):
+        # fixture.chain's backward reads exp/tanh outputs, so its guard is
+        # necessary — no unnecessary-guard warning may appear.
+        issues, _ = check_plan_buffers(plans["fixture.chain"])
+        assert issues == []
+        assert plans["fixture.chain"].guards_serial()
+
+
+class TestViolations:
+    def test_swapped_forward_entries_read_before_write(self, plans):
+        plan = plans["fixture.chain"]
+        plan._fwd_per_node[0], plan._fwd_per_node[1] = (
+            plan._fwd_per_node[1], plan._fwd_per_node[0],
+        )
+        issues, _ = check_plan_buffers(plan)
+        assert "R018" in rule_ids(issues)
+
+    def test_dropped_forward_entry_leaves_buffer_unwritten(self, plans):
+        plan = plans["fixture.mlp"]
+        del plan._fwd_per_node[1]
+        issues, _ = check_plan_buffers(plan)
+        assert "R018" in rule_ids(issues)
+
+    def test_backward_writing_a_forward_buffer_is_flagged(self, plans):
+        plan = plans["fixture.chain"]
+        plan._bwd_per_node[0]["lines"] = list(
+            plan._bwd_per_node[0]["lines"]
+        ) + ["np.copyto(B[1], B[2])"]
+        issues, _ = check_plan_buffers(plan)
+        assert "R018" in rule_ids(issues)
+        assert any("forward buffer" in issue.message.lower()
+                   or "b[" in issue.message.lower() for issue in issues)
+
+    def test_unnecessary_guard_is_a_warning_not_an_error(self):
+        plan = _guardless_plan()
+        issues, _ = check_plan_buffers(plan)
+        assert [(i.rule_id, i.severity) for i in issues] == [("R018", "warning")]
+        assert "unnecessary" in issues[0].message

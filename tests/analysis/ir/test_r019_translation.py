@@ -1,0 +1,62 @@
+"""R019 ir-translation: plan vs independent re-linearization of the trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ir import check_plan_translation
+
+from tests.analysis.ir.conftest import FIXTURE_LABELS, rule_ids
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("label", FIXTURE_LABELS)
+    def test_fixture_plan_matches_its_own_trace(self, plans, label):
+        issues, checks = check_plan_translation(plans[label])
+        assert issues == []
+        assert checks > 0
+
+    def test_forward_only_plan_has_no_backward_entries(self, plans):
+        plan = plans["fixture.views"]
+        assert not plan.has_backward
+        issues, _ = check_plan_translation(plan)
+        assert issues == []
+
+
+class TestViolations:
+    def test_swapped_forward_order_breaks_topology(self, plans):
+        plan = plans["fixture.chain"]  # exp -> tanh -> mul -> sum, one chain
+        plan._fwd_per_node[0], plan._fwd_per_node[1] = (
+            plan._fwd_per_node[1], plan._fwd_per_node[0],
+        )
+        issues, _ = check_plan_translation(plan)
+        assert "R019" in rule_ids(issues)
+        assert any("topolog" in issue.message for issue in issues)
+
+    def test_duplicated_forward_entry_is_flagged(self, plans):
+        plan = plans["fixture.chain"]
+        plan._fwd_per_node.append(plan._fwd_per_node[0])
+        issues, _ = check_plan_translation(plan)
+        assert "R019" in rule_ids(issues)
+        assert any("more than once" in issue.message for issue in issues)
+
+    def test_dropped_backward_entry_is_flagged(self, plans):
+        plan = plans["fixture.mlp"]
+        del plan._bwd_per_node[0]
+        issues, _ = check_plan_translation(plan)
+        assert "R019" in rule_ids(issues)
+        assert any("dropped" in issue.message for issue in issues)
+
+    def test_tampered_gradient_writes_are_flagged(self, plans):
+        plan = plans["fixture.mlp"]
+        entry = next(e for e in plan._bwd_per_node if len(e["checks"]) >= 1)
+        entry["checks"] = []
+        issues, _ = check_plan_translation(plan)
+        assert "R019" in rule_ids(issues)
+
+    def test_tampered_output_mapping_is_flagged(self, plans):
+        plan = plans["fixture.views"]
+        plan._out_idxs = [0]
+        issues, _ = check_plan_translation(plan)
+        assert "R019" in rule_ids(issues)
+        assert any("outputs" in issue.message for issue in issues)

@@ -1,0 +1,51 @@
+"""The ``pace-repro verify-ir`` subcommand and its analyze wiring."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestVerifyIrCommand:
+    def test_fast_text_mode_exits_zero(self, capsys):
+        assert main(["verify-ir", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fixture.mlp: ok" in out
+        assert "verify-ir: ok (3 plans, source fixtures)" in out
+
+    def test_json_mode_round_trips(self, capsys):
+        assert main(["verify-ir", "--fast", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["source"] == "fixtures"
+        labels = [plan["label"] for plan in payload["plans"]]
+        assert labels == ["fixture.mlp", "fixture.chain", "fixture.views"]
+        for plan in payload["plans"]:
+            assert set(plan["checks"]) == {"R017", "R018", "R019"}
+
+    def test_sarif_mode_carries_the_ir_rule_catalog(self, capsys):
+        assert main(["verify-ir", "--fast", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rules = {r["id"] for r in payload["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"R017", "R018", "R019", "R020"} <= rules
+
+    def test_output_flag_writes_the_report(self, tmp_path, capsys):
+        out_path = tmp_path / "ir.json"
+        assert main([
+            "verify-ir", "--fast", "--format", "json", "--output", str(out_path)
+        ]) == 0
+        capsys.readouterr()
+        assert json.loads(out_path.read_text())["passed"] is True
+
+
+class TestAnalyzeWiring:
+    def test_analyze_fast_embeds_fixture_verification(self, tmp_path, capsys):
+        mod = tmp_path / "mod.py"
+        mod.write_text('"""A tiny target module."""\n\nVALUE = 1\n')
+        assert main(["analyze", "--fast", "--format", "json", str(mod)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["verify_ir"]["passed"] is True
+        assert payload["verify_ir"]["source"] == "fixtures"
+        assert len(payload["verify_ir"]["plans"]) == 3

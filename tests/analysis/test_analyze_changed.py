@@ -1,0 +1,101 @@
+"""``pace-repro analyze --changed``: the git-diff-scoped static pass."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git is not available"
+)
+
+CLEAN = '"""A well-behaved module."""\n\nVALUE = 1\n'
+VIOLATION = (
+    '"""A module drawing randomness outside repro.utils.rng."""\n\n'
+    "import numpy as np\n\n\n"
+    "def draw():\n"
+    "    return np.random.rand(3)\n"
+)
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=dev@example.com", "-c", "user.name=dev", *args],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "clean.py").write_text(CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return pkg
+
+
+def test_no_changes_exits_zero(repo, capsys):
+    assert main(["analyze", "--changed", str(repo)]) == 0
+    assert "no modified python files" in capsys.readouterr().out
+
+
+def test_clean_modified_subset_exits_zero(repo, capsys):
+    (repo / "clean.py").write_text(CLEAN + "OTHER = 2\n")
+    assert main(["analyze", "--changed", str(repo)]) == 0
+    out = capsys.readouterr().out
+    assert "1 modified file(s)" in out
+    assert "clean: no findings" in out
+
+
+def test_untracked_violation_is_caught(repo, capsys):
+    (repo / "fresh.py").write_text(VIOLATION)
+    assert main(["analyze", "--changed", str(repo)]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out
+    assert "fresh.py" in out
+
+
+def test_unchanged_violations_stay_out_of_scope(repo, capsys):
+    # A pre-existing (committed) violation must not fail a scoped run
+    # that only touched a clean file: --changed audits the diff, the full
+    # pass audits the tree.
+    (repo / "legacy.py").write_text(VIOLATION)
+    _git(repo.parent, "add", ".")
+    _git(repo.parent, "commit", "-q", "-m", "legacy")
+    (repo / "clean.py").write_text(CLEAN + "OTHER = 2\n")
+    assert main(["analyze", "--changed", str(repo)]) == 0
+    capsys.readouterr()
+
+
+def test_deleted_files_are_skipped(repo, capsys):
+    (repo / "clean.py").unlink()
+    assert main(["analyze", "--changed", str(repo)]) == 0
+    assert "no modified python files" in capsys.readouterr().out
+
+
+def test_outside_a_git_repo_exits_two(tmp_path, monkeypatch, capsys):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(CLEAN)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "definitely-missing"))
+    assert main(["analyze", "--changed", str(pkg)]) == 2
+    assert "--changed requires a git work tree" in capsys.readouterr().err
+
+
+def test_json_format_reports_the_changed_set(repo, capsys):
+    import json
+
+    (repo / "clean.py").write_text(CLEAN + "OTHER = 2\n")
+    assert main(["analyze", "--changed", "--format", "json", str(repo)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert len(payload["changed"]) == 1 and payload["changed"][0].endswith("clean.py")

@@ -28,10 +28,10 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_flow_rules_are_r007_through_r016(self):
+    def test_flow_rules_are_r007_through_r016_plus_r020(self):
         assert flow_rule_ids() == [
             "R007", "R008", "R009", "R010", "R011", "R012",
-            "R013", "R014", "R015", "R016",
+            "R013", "R014", "R015", "R016", "R020",
         ]
 
     def test_select_validates_ids(self):

@@ -97,3 +97,29 @@ def test_unwritable_cache_dir_never_fails_the_build(tmp_path):
     cache = ProgramCache(blocked)  # mkdir will fail inside put()
     program = build_program([tmp_path], cache=cache)
     assert "grid" in program.modules
+
+
+def test_ruleset_digest_is_part_of_the_cache_key(tmp_path):
+    from repro.analysis.flow import cache as cache_mod
+    from repro.analysis.flow.engine import _FLOW_REGISTRY, FlowRule, register_flow
+
+    before = cache_mod.content_digest(b"x = 1\n", tmp_path / "a.py")
+
+    @register_flow
+    class _Probe(FlowRule):
+        rule_id = "R999"
+        title = "probe"
+
+        def check(self, program):
+            return iter(())
+
+    try:
+        cache_mod._reset_ruleset_digest()
+        after = cache_mod.content_digest(b"x = 1\n", tmp_path / "a.py")
+        # A new registered rule means a new analyzer version: same bytes,
+        # different key, so stale entries miss instead of being served.
+        assert after != before
+    finally:
+        del _FLOW_REGISTRY["R999"]
+        cache_mod._reset_ruleset_digest()
+    assert cache_mod.content_digest(b"x = 1\n", tmp_path / "a.py") == before

@@ -1,0 +1,167 @@
+"""R020 compile-site-coverage: every compiled_call site reaches a gate."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import run_flow
+
+def write_tree(root, files):
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+@pytest.fixture
+def coverage(tmp_path):
+    def run(files, reference=None):
+        write_tree(tmp_path, files)
+        reference_paths = [tmp_path / r for r in reference] if reference else []
+        return run_flow(
+            [tmp_path], reference_paths=reference_paths, select=["R020"]
+        )
+
+    return run
+
+
+class TestUncoveredSites:
+    def test_site_with_no_reference_chain_is_flagged(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                def covered():
+                    compiled_call(("app.covered",), None, [])
+
+                def orphan():
+                    compiled_call(("app.orphan",), None, [])
+                """,
+            "gate.py": """
+                from sites import covered
+
+                def run_equivalence():
+                    covered()
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["R020"]
+        assert "app.orphan" in findings[0].message
+        assert "orphan" in findings[0].message
+
+    def test_module_level_site_is_flagged(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                compiled_call(("app.toplevel",), None, [])
+
+                def run_equivalence():
+                    pass
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["R020"]
+        assert "at module level" in findings[0].message
+
+    def test_every_site_flagged_when_no_gate_exists(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                def first():
+                    compiled_call(("app.first",), None, [])
+
+                def second():
+                    compiled_call(("app.second",), None, [])
+                """,
+        })
+        assert [f.rule_id for f in findings] == ["R020", "R020"]
+
+    def test_stale_safe_annotation_is_audited(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                def run_equivalence():
+                    covered()
+
+                def covered():  # safe: R020 exercised by a dedicated test
+                    compiled_call(("app.covered",), None, [])
+                """,
+        })
+        # The site is reachable, so the annotation suppresses nothing.
+        assert [f.rule_id for f in findings] == ["E997"]
+
+
+class TestCoveredSites:
+    def test_directly_called_site_is_clean(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                def helper():
+                    compiled_call(("app.helper",), None, [])
+
+                def run_equivalence():
+                    helper()
+                """,
+        })
+        assert findings == []
+
+    def test_transitively_reached_site_is_clean(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                def inner():
+                    compiled_call(("app.inner",), None, [])
+
+                def outer():
+                    return inner()
+                """,
+            "gate.py": """
+                from sites import outer
+
+                def run_compiled_gradcheck():
+                    outer()
+                """,
+        })
+        assert findings == []
+
+    def test_attribute_aliased_dispatch_is_clean(self, coverage):
+        # Harness-style aliasing: the gate never names the function
+        # directly, only as a bound attribute — the over-approximate
+        # name edge must keep the site covered.
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                class Session:
+                    def helper(self):
+                        compiled_call(("app.session",), None, [])
+                """,
+            "gate.py": """
+                from sites import Session
+
+                def run_equivalence():
+                    harness = Session()
+                    harness.helper()
+                """,
+        })
+        assert findings == []
+
+    def test_safe_annotation_suppresses_an_uncovered_site(self, coverage):
+        findings = coverage({
+            "sites.py": """
+                from repro.nn.compile.api import compiled_call
+
+                def run_equivalence():
+                    pass
+
+                def orphan():
+                    compiled_call(("app.orphan",), None, [])  # safe: R020 verified by a dedicated reject-path test
+                """,
+        })
+        assert findings == []

@@ -37,7 +37,7 @@ def test_payload_shape_and_version():
 def test_rule_catalog_covers_all_rule_ids():
     driver = sarif_payload([])["runs"][0]["tool"]["driver"]
     ids = {rule["id"] for rule in driver["rules"]}
-    expected = {f"R{n:03d}" for n in range(1, 17)} | {"E997", "E998", "E999"}
+    expected = {f"R{n:03d}" for n in range(1, 21)} | {"E997", "E998", "E999"}
     assert expected <= ids
 
 
@@ -53,6 +53,30 @@ def test_result_carries_location_and_level():
     assert region["startColumn"] == 5
     uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
     assert uri == "src/repro/grid.py"
+
+
+def test_ir_finding_uses_logical_location_not_physical():
+    finding = _finding(
+        rule_id="R019",
+        path="<plan:fcn.forward>",
+        line=1,
+        col=1,
+        end_line=None,
+        logical="plan:fcn.forward/node:3",
+    )
+    result = sarif_payload([finding])["runs"][0]["results"][0]
+    location = result["locations"][0]
+    assert "physicalLocation" not in location
+    assert location["logicalLocations"] == [
+        {"name": "plan:fcn.forward/node:3", "kind": "member"}
+    ]
+
+
+def test_file_finding_with_logical_anchor_keeps_both_locations():
+    finding = _finding(logical="plan:fcn.forward")
+    location = sarif_payload([finding])["runs"][0]["results"][0]["locations"][0]
+    assert location["physicalLocation"]["artifactLocation"]["uri"] == "src/repro/grid.py"
+    assert location["logicalLocations"][0]["name"] == "plan:fcn.forward"
 
 
 def test_warning_severity_maps_to_sarif_warning():

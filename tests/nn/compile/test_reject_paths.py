@@ -1,0 +1,140 @@
+"""Tracer rejection paths: a declined trace must cost nothing but time.
+
+A ``TraceReject`` (Dropout's per-call RNG draw, an untracked
+requires-grad tensor) must leave the plan cache without a plan for the
+site — only a negative entry — and the caller's interpreted branch must
+produce results bitwise identical to a run where compilation was never
+attempted. A shape-signature change must likewise never reuse a stale
+plan traced at a different shape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.nn.compile import (
+    compile_threshold,
+    compiled_execution,
+    iter_plans,
+    reset_compile_state,
+    set_compile_threshold,
+)
+from repro.nn.compile.api import CACHE, CompiledInput, compiled_call
+from repro.nn.layers import Dropout
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_state():
+    reset_compile_state()
+    yield
+    reset_compile_state()
+
+
+@contextlib.contextmanager
+def force_compiled():
+    previous = compile_threshold()
+    set_compile_threshold(1)
+    try:
+        with compiled_execution(True):
+            yield
+    finally:
+        set_compile_threshold(previous)
+
+
+def _dropout_body(seed: int):
+    layer = Dropout(p=0.5, rng=seed)
+    layer.train()
+
+    def body(x):
+        return (layer(x) * 2.0).sum()
+
+    return body
+
+
+class TestDropoutReject:
+    def test_no_plan_is_cached_and_fallback_names_dropout(self):
+        x = Tensor(np.linspace(-1.0, 1.0, 12).reshape(3, 4))
+        with force_compiled():
+            result = compiled_call(
+                ("test.dropout",), _dropout_body(7), [CompiledInput(x)]
+            )
+        assert result is None
+        assert iter_plans() == []
+        reasons = [reason for _, reason in CACHE.fallbacks()]
+        assert len(reasons) == 1 and "Dropout" in reasons[0]
+
+    def test_interpreted_fallback_is_bitwise_identical(self):
+        x = Tensor(np.linspace(-1.0, 1.0, 12).reshape(3, 4))
+        baseline = _dropout_body(7)(Tensor(x.data.copy())).data.copy()
+
+        body = _dropout_body(7)
+        with force_compiled():
+            assert compiled_call(("test.dropout",), body, [CompiledInput(x)]) is None
+            # The rejected trace must not have advanced the layer's RNG:
+            # the caller's interpreted branch sees the exact same draw.
+            fallback = body(x).data.copy()
+        assert fallback.tobytes() == baseline.tobytes()
+
+
+class TestUntrackedGradReject:
+    def _body_with_closure(self):
+        w = Tensor(np.linspace(0.0, 1.0, 4), requires_grad=True)
+
+        def body(x):
+            return (x * w).sum()
+
+        return body
+
+    def test_no_plan_is_cached(self):
+        x = Tensor(np.linspace(0.0, 3.0, 4))
+        body = self._body_with_closure()
+        with force_compiled():
+            assert compiled_call(("test.closure",), body, [CompiledInput(x)]) is None
+        assert iter_plans() == []
+        reasons = [reason for _, reason in CACHE.fallbacks()]
+        assert len(reasons) == 1 and "untracked requires-grad" in reasons[0]
+
+    def test_interpreted_fallback_is_bitwise_identical(self):
+        x = Tensor(np.linspace(0.0, 3.0, 4))
+        body = self._body_with_closure()
+        baseline = body(Tensor(x.data.copy())).data.copy()
+        with force_compiled():
+            assert compiled_call(("test.closure",), body, [CompiledInput(x)]) is None
+            fallback = body(x).data.copy()
+        assert fallback.tobytes() == baseline.tobytes()
+
+
+class TestShapeSignatureChange:
+    @staticmethod
+    def _body(x):
+        return (x * x + 1.0).sum()
+
+    def test_new_shape_compiles_a_new_plan_not_a_stale_reuse(self):
+        a = Tensor(np.linspace(-1.0, 1.0, 12).reshape(3, 4))
+        b = Tensor(np.linspace(-2.0, 2.0, 10).reshape(2, 5))
+        with force_compiled():
+            (out_a,) = compiled_call(("test.shape",), self._body, [CompiledInput(a)])
+            plans_after_first = iter_plans()
+            assert len(plans_after_first) == 1
+            (out_b,) = compiled_call(("test.shape",), self._body, [CompiledInput(b)])
+        plans = iter_plans()
+        # The first plan survives untouched; the new shape got its own.
+        assert len(plans) == 2
+        assert plans_after_first[0] in plans
+
+        interp_a = self._body(Tensor(a.data.copy())).data
+        interp_b = self._body(Tensor(b.data.copy())).data
+        assert out_a.data.tobytes() == interp_a.tobytes()
+        assert out_b.data.tobytes() == interp_b.tobytes()
+
+    def test_each_signature_keys_its_own_cache_entry(self):
+        a = Tensor(np.linspace(-1.0, 1.0, 12).reshape(3, 4))
+        with force_compiled():
+            compiled_call(("test.shape",), self._body, [CompiledInput(a)])
+            # Same site, same shape: a cache hit, not a second plan.
+            compiled_call(("test.shape",), self._body, [CompiledInput(a)])
+        assert len(iter_plans()) == 1

@@ -96,8 +96,9 @@ class TestAnalysisGates:
         assert result.byte_identical
         assert result.max_abs_diff == 0.0
         # Six families x (forward, train_step, incremental_update,
-        # second_order): a shrinking case list means a path went untested.
-        assert len(result.cases) == 24
+        # detached_steps, second_order): a shrinking case list means a
+        # path went untested.
+        assert len(result.cases) == 30
 
     def test_compiled_gradcheck_audits_fused_kernels(self):
         results = run_compiled_gradcheck()
