@@ -1,8 +1,10 @@
 """R011 blocking-call-in-server-loop: keep ground truth off the hot path.
 
 The serving subsystem splits into a latency-critical estimate path
-(``serve/server.py``, ``serve/cache.py``, ``serve/stats.py``) and a
-background retrain path (``serve/retrain.py``). The paper's whole threat
+(``serve/server.py``, ``serve/cache.py``, ``serve/stats.py``, and the
+cluster's request loops ``cluster/router.py``/``cluster/worker.py``) and
+a background retrain path (``serve/retrain.py``,
+``cluster/promotion.py``). The paper's whole threat
 model rides on that split: estimates must come from the model alone,
 while ``COUNT(*)`` execution and incremental retraining — both unbounded
 in cost (a single count scans the table; an update runs K full-batch GD
@@ -39,17 +41,20 @@ _BLOCKING_FUNCTIONS = frozenset({
     "repro.ce.trainer.train_model",
 })
 
-#: The latency-critical serve modules (the retrain module is background
-#: by design and exempt).
-_HOT_PATH_FILES = frozenset({"server.py", "cache.py", "stats.py"})
+#: The latency-critical modules, per package. The background modules
+#: (``serve/retrain.py``, ``cluster/promotion.py``, the sim/bench
+#: drivers) are exempt by design — that is where blocking work belongs.
+_HOT_PATH_FILES: dict[str, frozenset[str]] = {
+    "serve": frozenset({"server.py", "cache.py", "stats.py"}),
+    "cluster": frozenset({"router.py", "worker.py"}),
+}
 
 
 def _is_hot_path_module(module: ModuleInfo) -> bool:
     parts = module.path_parts
     return (
         len(parts) >= 2
-        and parts[-2] == "serve"
-        and parts[-1] in _HOT_PATH_FILES
+        and parts[-1] in _HOT_PATH_FILES.get(parts[-2], frozenset())
     )
 
 

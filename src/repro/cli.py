@@ -182,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_sim.add_argument("--guard-factor", type=float, default=1.5,
                            help="promotion envelope: candidate mean q-error may "
                                 "be at most factor x clean baseline (default: 1.5)")
+    serve_sim.add_argument("--compile", action="store_true",
+                           help="force compiled execution on for both arms "
+                                "(default: inherit the process-wide toggle)")
     serve_sim.add_argument("--output", default=None,
                            help="also write the JSON report to this path")
 
@@ -197,8 +200,78 @@ def build_parser() -> argparse.ArgumentParser:
                              help="micro-batch size cap (default: 32)")
     serve_bench.add_argument("--repeats", type=int, default=3,
                              help="timing repeats, best kept (default: 3)")
+    serve_bench.add_argument("--compile", action="store_true",
+                             help="force compiled execution on for both paths "
+                                  "(default: inherit the process-wide toggle)")
     serve_bench.add_argument("--output", default=None,
                              help="report path (default: benchmarks/BENCH_PR4.json)")
+
+    cluster_sim = sub.add_parser(
+        "cluster-sim",
+        help="sharded multi-worker serving simulation: consistent-hash "
+             "router, replicated promotion, deterministic failure drills",
+    )
+    _add_common(cluster_sim)
+    cluster_sim.add_argument("--workers", type=int, default=2,
+                             help="shard workers (default: 2)")
+    cluster_sim.add_argument("--tenants", type=int, default=4,
+                             help="tenant estimator families (default: 4)")
+    cluster_sim.add_argument("--rounds", type=int, default=2,
+                             help="retrain rounds per arm (default: 2)")
+    cluster_sim.add_argument("--requests", type=int, default=48,
+                             help="arrivals per round (default: 48)")
+    cluster_sim.add_argument("--qps", type=float, default=512.0,
+                             help="mean arrival rate (default: 512)")
+    cluster_sim.add_argument("--poison-fraction", type=float, default=0.5,
+                             help="probability an arrival is the attacker's "
+                                  "(default: 0.5)")
+    cluster_sim.add_argument("--method", choices=METHODS, default="pace",
+                             help="attack crafting the poison pool "
+                                  "(default: pace)")
+    cluster_sim.add_argument("--guard-factor", type=float, default=1.5,
+                             help="promotion envelope for the guarded arm "
+                                  "(default: 1.5)")
+    cluster_sim.add_argument("--transport", choices=("inline", "process"),
+                             default="inline",
+                             help="worker transport: deterministic in-process "
+                                  "or real spawned processes (default: inline)")
+    cluster_sim.add_argument("--store", default="cluster-store",
+                             help="shared promotion store root "
+                                  "(default: cluster-store)")
+    cluster_sim.add_argument("--drill", action="store_true",
+                             help="kill-a-worker drill: run the session "
+                                  "undisturbed and with a mid-traffic worker "
+                                  "crash, compare scenario digests; exits 1 "
+                                  "on divergence")
+    cluster_sim.add_argument("--drill-worker", type=int, default=0,
+                             help="worker the drill kills (default: 0)")
+    cluster_sim.add_argument("--output", default=None,
+                             help="also write the JSON report to this path")
+
+    cluster_bench = sub.add_parser(
+        "cluster-bench",
+        help="QPS scaling across 1/2/4/8 workers + the kill-a-worker "
+             "digest drill; writes BENCH_PR9.json",
+    )
+    _add_common(cluster_bench)
+    cluster_bench.add_argument("--workers", type=int, nargs="+",
+                               default=[1, 2, 4, 8],
+                               help="worker counts to sweep (default: 1 2 4 8)")
+    cluster_bench.add_argument("--tenants", type=int, default=64,
+                               help="tenant estimator families (default: 64)")
+    cluster_bench.add_argument("--requests", type=int, default=512,
+                               help="request-trace length (default: 512)")
+    cluster_bench.add_argument("--transport", choices=("inline", "process"),
+                               default="inline",
+                               help="worker transport (default: inline)")
+    cluster_bench.add_argument("--store", default="cluster-store",
+                               help="shared promotion store root "
+                                    "(default: cluster-store)")
+    cluster_bench.add_argument("--no-drill", action="store_true",
+                               help="skip the embedded kill-a-worker drill")
+    cluster_bench.add_argument("--output", default=None,
+                               help="report path "
+                                    "(default: benchmarks/BENCH_PR9.json)")
 
     gradcheck = sub.add_parser(
         "gradcheck",
@@ -396,6 +469,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         poison_fraction=args.poison_fraction,
         attack_method=args.method,
         guard_factor=args.guard_factor,
+        compile_enabled=True if args.compile else None,
     )
     report = run_serve_sim(config)
     print(format_serve_report(report))
@@ -418,10 +492,85 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         requests=args.requests,
         max_batch=args.max_batch,
         repeats=args.repeats,
+        compile_enabled=True if args.compile else None,
     )
     out = write_report(report, args.output or DEFAULT_REPORT)
     print(format_serve_bench(report))
     print(f"\nreport written to {out}")
+    return 0
+
+
+def cmd_cluster_sim(args: argparse.Namespace) -> int:
+    from repro.cluster.sim import (
+        ClusterSimConfig,
+        format_cluster_report,
+        format_drill_report,
+        run_cluster_drill,
+        run_cluster_sim,
+    )
+    from repro.store.io import atomic_write_json
+
+    config = ClusterSimConfig(
+        dataset=args.dataset,
+        model_type=args.model,
+        scale=args.scale or "smoke",
+        seed=args.seed,
+        workers=args.workers,
+        tenants=args.tenants,
+        rounds=args.rounds,
+        requests_per_round=args.requests,
+        qps=args.qps,
+        poison_fraction=args.poison_fraction,
+        attack_method=args.method,
+        guard_factor=args.guard_factor,
+        transport=args.transport,
+        store_root=args.store,
+        drill_worker=args.drill_worker,
+    )
+    if args.drill:
+        report = run_cluster_drill(config)
+        print(format_drill_report(report))
+        ok = report["identical"] and report["drill"]["fired"]
+    else:
+        report = run_cluster_sim(config)
+        print(format_cluster_report(report))
+        ok = True
+    if args.output:
+        # sort_keys makes equal-seed runs byte-identical on disk.
+        out = atomic_write_json(Path(args.output), report, sort_keys=True)
+        print(f"\nreport written to {out}")
+    return 0 if ok else 1
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.cluster.bench import (
+        DEFAULT_REPORT,
+        ClusterBenchConfig,
+        format_cluster_bench,
+        run_cluster_bench,
+    )
+    from repro.perf import write_report
+
+    config = ClusterBenchConfig(
+        dataset=args.dataset,
+        model_type=args.model,
+        scale=args.scale or "smoke",
+        seed=args.seed,
+        worker_counts=tuple(args.workers),
+        tenants=args.tenants,
+        requests=args.requests,
+        transport=args.transport,
+        store_root=args.store,
+        drill=not args.no_drill,
+    )
+    report = run_cluster_bench(config)
+    out = write_report(report, args.output or DEFAULT_REPORT)
+    print(format_cluster_bench(report))
+    print(f"\nreport written to {out}")
+    if "drill" in report and not (
+        report["drill"]["identical"] and report["drill"]["fired"]
+    ):
+        return 1
     return 0
 
 
@@ -872,10 +1021,19 @@ def cmd_runs(args: argparse.Namespace) -> int:
         final = store.open_run(args.run_id).step(result.final_step)
         print(f"final artifact: {final['artifact']}")
         return 0
-    report = store.gc()
+    from repro.utils.errors import StoreError
+
+    try:
+        report = store.gc()
+    except StoreError as exc:
+        # Live manifest locks: a concurrent writer is mid-commit and
+        # sweeping now could free blobs its manifest still references.
+        print(f"gc declined: {exc}")
+        return 1
     print(f"gc: removed {report['removed_objects']} objects "
           f"({report['bytes_freed']} bytes), kept {report['kept_objects']}, "
           f"swept {report['stray_tmp_removed']} temp files "
+          f"and {report['stale_locks_removed']} stale locks "
           f"across {report['runs']} runs")
     return 0
 
@@ -914,6 +1072,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "serve-sim": cmd_serve_sim,
         "serve-bench": cmd_serve_bench,
+        "cluster-sim": cmd_cluster_sim,
+        "cluster-bench": cmd_cluster_bench,
         "lint": cmd_lint,
         "analyze": cmd_analyze,
         "verify-ir": cmd_verify_ir,

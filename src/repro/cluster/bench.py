@@ -1,0 +1,250 @@
+"""``pace-repro cluster-bench``: QPS scaling + the kill-a-worker drill.
+
+Serves one fixed seeded request trace through clusters of 1, 2, 4, and 8
+workers under the router's :class:`~repro.utils.clock.ManualClock` and
+measures *simulated* throughput: requests completed divided by the
+simulated makespan (arrival span + drain waves at ``service_hz``). Under
+the wave-service model each worker serves up to ``max_batch`` requests
+per ``1/service_hz`` instant, so the makespan for a fixed load is set by
+the most-loaded shard — the bench therefore measures exactly what
+sharding buys (parallel service) and exactly what limits it (ring
+balance), and is bit-reproducible run to run. Real wall-clock seconds are
+recorded alongside for reference, never used in the scaling number.
+
+The report also embeds the :func:`~repro.cluster.sim.run_cluster_drill`
+digest comparison, so ``benchmarks/BENCH_PR9.json`` carries both PR-9
+acceptance facts: near-linear scaling to 8 workers and a kill-a-worker
+drill whose scenario digest equals the undisturbed run's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.cluster.router import ClusterRouter
+from repro.cluster.sim import (
+    ClusterSimConfig,
+    ClusterTraffic,
+    drive_round,
+    run_cluster_drill,
+)
+from repro.cluster.worker import WorkerSpec
+from repro.harness.experiments import get_scenario
+from repro.serve.server import DONE, REJECTED
+from repro.serve.stats import ServeStats
+from repro.store.store import ArtifactStore
+from repro.utils.clock import ManualClock, use_clock
+
+SCHEMA_VERSION = 1
+
+#: Where the cluster benchmark report lands by default.
+DEFAULT_REPORT = Path("benchmarks") / "BENCH_PR9.json"
+
+
+@dataclass(frozen=True)
+class ClusterBenchConfig:
+    """Everything one cluster-bench run depends on."""
+
+    dataset: str = "dmv"
+    model_type: str = "fcn"
+    scale: str = "smoke"
+    seed: int = 0
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8)
+    tenants: int = 64
+    vnodes: int = 128
+    requests: int = 512
+    # Offered load far above any arm's service capacity: the makespan must
+    # measure drain rate, not the arrival window.
+    qps: float = 65536.0
+    service_hz: float = 64.0
+    max_batch: int = 16
+    max_queue: int = 4096
+    cache_capacity: int = 512
+    transport: str = "inline"
+    store_root: str = "cluster-store"
+    drill: bool = True
+
+
+def _bench_arm(
+    config: ClusterBenchConfig,
+    store: ArtifactStore,
+    initial_digest: str,
+    pool,
+    workers: int,
+) -> dict:
+    """Serve the fixed trace with ``workers`` shards; measure the makespan."""
+    tenants = [f"tenant-{i:02d}" for i in range(config.tenants)]
+    specs = [
+        WorkerSpec(
+            worker_id=wid,
+            dataset=config.dataset,
+            model_type=config.model_type,
+            scale=config.scale,
+            seed=config.seed,
+            store_root=str(store.root),
+            initial_digest=initial_digest,
+            tenants=tuple(tenants),
+            cache_capacity=config.cache_capacity,
+        )
+        for wid in range(workers)
+    ]
+    stats = ServeStats()
+    clock = ManualClock(domain="router")
+    wall_start = time.perf_counter()
+    with use_clock(clock):
+        router = ClusterRouter(
+            specs,
+            transport=config.transport,
+            vnodes=config.vnodes,
+            max_queue=config.max_queue,
+            max_batch=config.max_batch,
+            stats=stats,
+            clock=clock,
+        )
+        router.start()
+        # A fresh traffic object per arm replays the *identical* seeded
+        # trace: every worker count serves the same requests.
+        traffic = ClusterTraffic(
+            benign_pool=pool,
+            poison_pool=[],
+            tenants=tenants,
+            qps=config.qps,
+            poison_fraction=0.0,
+            seed=config.seed,
+        )
+        try:
+            submitted, waves = drive_round(
+                router, traffic, clock,
+                requests=config.requests,
+                service_hz=config.service_hz,
+                timeout=None,  # bench measures capacity, not shedding
+                heartbeat_every=0,
+            )
+            session_seconds = clock()
+            served = {
+                str(wid): int(snapshot.get("served", 0))
+                for wid, snapshot in router.worker_stats().items()
+            }
+        finally:
+            router.shutdown()
+    wall_seconds = time.perf_counter() - wall_start
+    completed = sum(1 for r in submitted if r.status == DONE)
+    loads = list(served.values()) or [0]
+    mean_load = sum(loads) / len(loads)
+    return {
+        "workers": workers,
+        "requests": len(submitted),
+        "completed": completed,
+        "rejected": sum(1 for r in submitted if r.status == REJECTED),
+        "waves": waves,
+        "session_seconds": session_seconds,
+        "qps": completed / session_seconds if session_seconds > 0.0 else None,
+        "wall_seconds": wall_seconds,
+        "per_worker_served": served,
+        "balance": (max(loads) / mean_load) if mean_load > 0.0 else None,
+        "mean_latency": stats.latency_summary()["mean"],
+    }
+
+
+def run_cluster_bench(config: ClusterBenchConfig | None = None) -> dict:
+    """Measure QPS scaling across worker counts; run the kill drill."""
+    config = config or ClusterBenchConfig()
+    scenario = get_scenario(
+        config.dataset, config.model_type, scale=config.scale, seed=config.seed
+    )
+    scenario.reset()
+    store = ArtifactStore(config.store_root)
+    from repro.cluster.promotion import seed_checkpoint
+
+    initial_digest = seed_checkpoint(store, scenario.model)
+    pool = scenario.train_workload.queries
+    arms = [
+        _bench_arm(config, store, initial_digest, pool, workers)
+        for workers in config.worker_counts
+    ]
+    base = arms[0]
+    peak = arms[-1]
+    scaling = (
+        peak["qps"] / base["qps"]
+        if base["qps"] and peak["qps"] else None
+    )
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro cluster-bench",
+        "config": asdict(config),
+        "recorded_unix": time.time(),
+        "arms": arms,
+        "scaling": {
+            "base_workers": base["workers"],
+            "peak_workers": peak["workers"],
+            "base_qps": base["qps"],
+            "peak_qps": peak["qps"],
+            "speedup": scaling,
+            "target_speedup": 5.0,
+            "meets_target": bool(scaling is not None and scaling >= 5.0),
+        },
+    }
+    if config.drill:
+        drill = run_cluster_drill(ClusterSimConfig(
+            dataset=config.dataset,
+            model_type=config.model_type,
+            scale=config.scale,
+            seed=config.seed,
+            transport=config.transport,
+            store_root=config.store_root,
+        ))
+        report["drill"] = {
+            "workers": drill["config"]["workers"],
+            "killed_worker": drill["drill"]["worker"],
+            "ordinal": drill["drill"]["ordinal"],
+            "fired": drill["drill"]["fired"],
+            "reference_digest": drill["reference"]["digest"],
+            "drilled_digest": drill["drilled"]["digest"],
+            "identical": drill["identical"],
+        }
+    return report
+
+
+def format_cluster_bench(report: dict) -> str:
+    """Console summary for ``pace-repro cluster-bench``."""
+    from repro.metrics import render_table
+
+    config = report["config"]
+    rows = []
+    for arm in report["arms"]:
+        rows.append([
+            str(arm["workers"]),
+            str(arm["completed"]),
+            str(arm["waves"]),
+            f"{arm['session_seconds']:.4f}s",
+            f"{arm['qps']:.0f}" if arm["qps"] else "-",
+            f"{arm['balance']:.2f}" if arm["balance"] else "-",
+            f"{arm['wall_seconds']:.2f}s",
+        ])
+    scaling = report["scaling"]
+    lines = [render_table(
+        ["workers", "completed", "waves", "sim time", "qps", "balance", "wall"],
+        rows,
+        title=(
+            f"pace-repro cluster-bench · {config['dataset']}/{config['model_type']} · "
+            f"{config['requests']} requests x {config['tenants']} tenants · "
+            f"seed={config['seed']}"
+        ),
+    )]
+    lines.append(
+        f"\nscaling: {scaling['base_qps']:.0f} qps @ {scaling['base_workers']}w -> "
+        f"{scaling['peak_qps']:.0f} qps @ {scaling['peak_workers']}w = "
+        f"{scaling['speedup']:.2f}x "
+        f"({'meets' if scaling['meets_target'] else 'MISSES'} "
+        f">={scaling['target_speedup']:.0f}x target)"
+    )
+    if "drill" in report:
+        drill = report["drill"]
+        verdict = "IDENTICAL" if drill["identical"] else "DIVERGED"
+        lines.append(
+            f"drill: killed worker {drill['killed_worker']} at estimate frame "
+            f"{drill['ordinal']} (fired={drill['fired']}) — scenario digest {verdict}"
+        )
+    return "\n".join(lines)

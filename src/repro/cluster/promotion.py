@@ -1,0 +1,100 @@
+"""Replicated promotion: retrain once, checkpoint once, fan out bitwise.
+
+The cluster trains exactly one *primary* model — at the router, through
+the existing :class:`~repro.serve.retrain.RetrainLoop` and (optionally)
+:class:`~repro.serve.retrain.PromotionGuard`. Every promoted update is
+checkpointed into the shared :class:`~repro.store.ArtifactStore` with a
+lineage edge to the previous promotion (PR 5's durable-run machinery,
+unchanged), and then *fanned out by digest*: each shard ``warm_restart``s
+from the store, never from bytes on the RPC wire. Replicas are therefore
+bitwise replicas, and a worker respawned mid-session restores the same
+lineage digest every healthy shard is serving — which is why a
+kill-a-worker drill leaves the scenario digest untouched.
+
+This module is the cluster's *background* path: it may execute ground
+truth and retrain, which is exactly what flow rule R011 bans from
+``cluster/router.py`` and ``cluster/worker.py``.
+"""
+
+from __future__ import annotations
+
+from repro.ce.deployment import DeployedEstimator
+from repro.cluster.router import ClusterRequest, ClusterRouter
+from repro.serve.retrain import PromotionGuard, RetrainEvent, RetrainLoop
+from repro.serve.server import DONE
+from repro.serve.stats import ServeStats
+from repro.store.store import ArtifactStore, RunHandle
+from repro.workload.workload import Workload
+
+
+def seed_checkpoint(store: ArtifactStore, model) -> str:
+    """Store the primary's current parameters; every worker boots from it."""
+    return store.put_checkpoint(model.full_state_dict()).digest
+
+
+class ClusterPromotion:
+    """Wires the retrain loop's promotions into a cluster-wide fan-out."""
+
+    def __init__(
+        self,
+        deployed: DeployedEstimator,
+        router: ClusterRouter,
+        run: RunHandle,
+        validation: Workload | None = None,
+        guard_factor: float | None = None,
+        retrain_every: int = 64,
+        stats: ServeStats | None = None,
+    ) -> None:
+        self.router = router
+        self.run = run
+        self.guard = (
+            PromotionGuard(validation, factor=guard_factor)
+            if guard_factor is not None and validation is not None
+            else None
+        )
+        self.retrain = RetrainLoop(
+            deployed,
+            retrain_every=retrain_every,
+            guard=self.guard,
+            on_promote=self._fan_out,
+            stats=stats,
+            run=run,
+        )
+        self.broadcasts: list[dict] = []
+        # The router consults the promotion lineage when it warm-restarts
+        # a respawned replacement, and feeds every completed request back
+        # as retrain-observation input.
+        router.lineage_digest = self.lineage_digest
+        router.on_complete = self.observe
+
+    # ------------------------------------------------------------------
+    # observation + lineage
+    # ------------------------------------------------------------------
+    def observe(self, request: ClusterRequest) -> None:
+        """Completed requests are the executed workload the DBMS retrains on."""
+        if request.status == DONE:
+            self.retrain.observe(request.query)
+
+    def lineage_digest(self) -> str | None:
+        """The digest every replica should currently be serving."""
+        last = self.run.last_event("promotion")
+        return None if last is None else last.get("digest")
+
+    # ------------------------------------------------------------------
+    # the promotion round
+    # ------------------------------------------------------------------
+    def flush(self) -> RetrainEvent | None:
+        """Run one retrain round on the buffered workload (see RetrainLoop)."""
+        return self.retrain.flush()
+
+    def _fan_out(self) -> None:
+        """A promotion landed: broadcast its digest to every shard."""
+        digest = self.lineage_digest()
+        if digest is None:  # pragma: no cover - on_promote implies a digest
+            return
+        replicas = self.router.warm_restart_all(digest)
+        self.broadcasts.append({
+            "digest": digest,
+            "round": len(self.retrain.events) - 1,
+            "replicas": dict(replicas),
+        })

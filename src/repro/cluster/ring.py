@@ -1,0 +1,125 @@
+"""Consistent-hash ring: shard keys to workers, stable under churn.
+
+The router shards traffic by *join template* — the sorted table set of a
+query, prefixed with the tenant that issued it — so every estimate for
+one (tenant, template) pair lands on the same worker, whose per-tenant
+estimator instance and cache stay hot. A consistent-hash ring keeps that
+assignment stable when the worker set changes: removing one of N workers
+remaps only the keys in its ring span (≈ K/N of K keys), never reshuffles
+the survivors.
+
+Hash positions come from SHA-256, **not** Python's builtin ``hash``:
+string hashing is salted per process (PYTHONHASHSEED), and the whole
+point of the ring is that the router and every worker process — and a
+re-spawned replacement — independently derive the identical mapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable
+
+from repro.utils.errors import ReproError
+
+#: Virtual nodes per worker; more vnodes = smoother load at ring cost.
+DEFAULT_VNODES = 64
+
+
+def ring_position(label: str) -> int:
+    """The 64-bit ring position of ``label`` (process-independent)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_key(tenant: str, tables: Iterable[str]) -> str:
+    """The routing key for one request: tenant + canonical join template."""
+    return f"{tenant}|{'+'.join(sorted(tables))}"
+
+
+class HashRing:
+    """A consistent-hash ring over named worker nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ReproError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._points: list[int] = []        # sorted vnode positions
+        self._owners: dict[int, str] = {}   # position -> node
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        """Insert ``node`` (its vnodes claim their spans from neighbors)."""
+        if node in self._nodes:
+            raise ReproError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for position in self._positions_of(node):
+            # Ties are astronomically unlikely with 64-bit positions, but
+            # deterministic: the lexicographically smaller node wins.
+            owner = self._owners.get(position)
+            if owner is not None:
+                if node < owner:
+                    self._owners[position] = node
+                continue
+            self._owners[position] = node
+            idx = bisect_right(self._points, position)
+            self._points.insert(idx, position)
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``; its spans fall to each span's ring successor."""
+        if node not in self._nodes:
+            raise ReproError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        for position in self._positions_of(node):
+            if self._owners.get(position) != node:
+                continue  # lost a (theoretical) tie to another node
+            del self._owners[position]
+            idx = bisect_right(self._points, position) - 1
+            if 0 <= idx < len(self._points) and self._points[idx] == position:
+                del self._points[idx]
+
+    def _positions_of(self, node: str) -> list[int]:
+        return [ring_position(f"{node}#{i}") for i in range(self.vnodes)]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The worker owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise ReproError("the ring has no nodes")
+        position = ring_position(key)
+        idx = bisect_right(self._points, position)
+        if idx == len(self._points):
+            idx = 0  # wrap past the top of the ring
+        return self._owners[self._points[idx]]
+
+    def mapping_of(self, keys: Iterable[str]) -> dict[str, str]:
+        """Key -> owning node, for a whole batch of keys."""
+        return {key: self.node_for(key) for key in keys}
+
+    def spans(self) -> dict[str, float]:
+        """Fraction of the ring each node owns (sums to 1.0)."""
+        if not self._points:
+            return {}
+        total = float(2**64)
+        fractions = {node: 0.0 for node in self._nodes}
+        for i, position in enumerate(self._points):
+            previous = self._points[i - 1] if i > 0 else self._points[-1] - 2**64
+            fractions[self._owners[position]] += (position - previous) / total
+        return fractions

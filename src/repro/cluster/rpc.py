@@ -1,0 +1,268 @@
+"""Framed RPC over multiprocessing pipes (and an in-process twin).
+
+Every message between the router and a shard worker is one *frame*:
+
+    ``magic(4) | version(1) | crc32(4) | length(4) | body``
+
+where the body is canonical JSON ``{"kind", "seq", "payload"}``. The CRC
+and length make torn or corrupted transport bytes a loud
+:class:`RpcError` instead of a silently wrong estimate, and the sequence
+number lets a retrying client discard stale replies.
+
+Two transports implement the same :class:`Endpoint` byte interface:
+
+* :class:`PipeEndpoint` wraps a ``multiprocessing.Connection`` — the real
+  thing, used when workers are separate spawned processes;
+* :class:`InlineEndpoint` hosts a handler in-process — the deterministic
+  simulation transport. It still routes every message through
+  ``encode_frame``/``decode_frame``, so the sim exercises the identical
+  serialization path, and it catches :class:`~repro.store.faults.CrashPoint`
+  (a ``BaseException``) at the boundary, which is exactly what a worker
+  process dying mid-request looks like to the router: a closed endpoint.
+
+:class:`RpcChannel` adds request/response semantics with timeouts and
+bounded retries on top of any endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from collections import deque
+from typing import Callable
+
+from repro.store.faults import CrashPoint
+from repro.utils.errors import ReproError
+
+MAGIC = b"PRPC"
+VERSION = 1
+_HEADER = struct.Struct(">4sBII")  # magic, version, crc32, body length
+
+#: Hard cap on one frame's body; a frame this large is a bug, not traffic.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class RpcError(ReproError):
+    """Malformed frame, protocol violation, or transport failure."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived within the deadline."""
+
+
+class EndpointClosed(RpcError):
+    """The peer is gone (process died, pipe closed, inline host crashed)."""
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(kind: str, seq: int, payload) -> bytes:
+    """Serialize one message into a framed byte string."""
+    body = json.dumps(
+        {"kind": kind, "seq": int(seq), "payload": payload},
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    return _HEADER.pack(MAGIC, VERSION, zlib.crc32(body), len(body)) + body
+
+
+def decode_frame(data: bytes) -> tuple[str, int, object]:
+    """Parse and validate a framed byte string -> (kind, seq, payload)."""
+    if len(data) < _HEADER.size:
+        raise RpcError(f"short frame: {len(data)} bytes < {_HEADER.size}-byte header")
+    magic, version, crc, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise RpcError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise RpcError(f"unsupported frame version {version} (expected {VERSION})")
+    if length > MAX_BODY_BYTES:
+        raise RpcError(f"frame body of {length} bytes exceeds cap {MAX_BODY_BYTES}")
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise RpcError(f"torn frame: header says {length} body bytes, got {len(body)}")
+    if zlib.crc32(body) != crc:
+        raise RpcError("frame CRC mismatch (corrupted in transport)")
+    message = json.loads(body.decode("utf-8"))
+    return str(message["kind"]), int(message["seq"]), message["payload"]
+
+
+# ----------------------------------------------------------------------
+# endpoints
+# ----------------------------------------------------------------------
+class Endpoint:
+    """One side of a bidirectional framed byte channel."""
+
+    def send(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+
+class PipeEndpoint(Endpoint):
+    """Frames over a ``multiprocessing.Connection`` (the real transport)."""
+
+    def __init__(self, connection) -> None:
+        self._conn = connection
+        self._closed = False
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise EndpointClosed("endpoint is closed")
+        try:
+            self._conn.send_bytes(data)
+        except (OSError, ValueError, BrokenPipeError, EOFError) as exc:
+            self._closed = True
+            raise EndpointClosed(f"peer went away during send: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        if self._closed:
+            raise EndpointClosed("endpoint is closed")
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                raise RpcTimeout(f"no frame within {timeout}s")
+            return self._conn.recv_bytes()
+        except EOFError as exc:
+            self._closed = True
+            raise EndpointClosed("peer closed the pipe") from exc
+        except (OSError, ValueError) as exc:
+            self._closed = True
+            raise EndpointClosed(f"pipe failed during recv: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            return False
+        try:
+            return bool(self._conn.poll(timeout))
+        except (OSError, EOFError, ValueError):
+            self._closed = True
+            return False
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class InlineEndpoint(Endpoint):
+    """In-process endpoint hosting a frame handler (simulation transport).
+
+    ``send`` runs ``handler(frame_bytes)`` synchronously and queues its
+    reply frames for ``recv``. A :class:`CrashPoint` escaping the handler
+    — a fault drill killing the hosted worker — permanently closes the
+    endpoint, mirroring a dead worker process.
+    """
+
+    def __init__(self, handler: Callable[[bytes], list[bytes]]) -> None:
+        self._handler = handler
+        self._replies: deque[bytes] = deque()
+        self._closed = False
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise EndpointClosed("inline worker is dead")
+        try:
+            self._replies.extend(self._handler(data))
+        except CrashPoint as exc:
+            self._closed = True
+            raise EndpointClosed(f"inline worker crashed: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        if self._closed:
+            raise EndpointClosed("inline worker is dead")
+        if not self._replies:
+            # The inline transport is synchronous: no pending reply now
+            # means none will ever arrive, however long we wait.
+            raise RpcTimeout("inline endpoint has no pending reply")
+        return self._replies.popleft()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return bool(self._replies) and not self._closed
+
+    def close(self) -> None:
+        self._closed = True
+        self._replies.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+# ----------------------------------------------------------------------
+# request/response channel
+# ----------------------------------------------------------------------
+class RpcChannel:
+    """Request/response client over an :class:`Endpoint`.
+
+    Retries are only safe because every worker operation is idempotent by
+    design: estimates are pure given the replica's parameters, and
+    ``warm_restart``/``ping``/``stats`` can be re-applied freely. The
+    sequence number identifies each request's reply; stale replies (from
+    a timed-out earlier attempt) are discarded, never mis-delivered.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        timeout: float = 10.0,
+        retries: int = 1,
+    ) -> None:
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self.retries = int(retries)
+        self._seq = 0
+
+    def begin(self, kind: str, payload) -> int:
+        """Send one request frame; returns its sequence number."""
+        self._seq += 1
+        self.endpoint.send(encode_frame(kind, self._seq, payload))
+        return self._seq
+
+    def finish(self, seq: int, timeout: float | None = None):
+        """Wait for the reply to request ``seq`` and return its payload."""
+        deadline_timeout = self.timeout if timeout is None else timeout
+        while True:
+            reply_kind, reply_seq, payload = decode_frame(
+                self.endpoint.recv(timeout=deadline_timeout)
+            )
+            if reply_seq < seq:
+                continue  # stale reply from a timed-out earlier attempt
+            if reply_seq != seq:
+                raise RpcError(
+                    f"out-of-order reply: expected seq {seq}, got {reply_seq}"
+                )
+            if reply_kind == "error":
+                raise RpcError(f"worker error: {payload}")
+            return payload
+
+    def call(self, kind: str, payload, timeout: float | None = None,
+             retries: int | None = None):
+        """``begin`` + ``finish`` with bounded retries on timeout."""
+        attempts = 1 + (self.retries if retries is None else int(retries))
+        last: RpcTimeout | None = None
+        for _ in range(attempts):
+            seq = self.begin(kind, payload)
+            try:
+                return self.finish(seq, timeout=timeout)
+            except RpcTimeout as exc:
+                last = exc
+        raise RpcTimeout(
+            f"rpc {kind!r} timed out after {attempts} attempt(s): {last}"
+        )

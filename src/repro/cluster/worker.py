@@ -1,0 +1,299 @@
+"""One shard of the serve cluster: per-tenant replicas behind framed RPC.
+
+A :class:`ShardWorker` owns everything its ring span needs — the dataset
+schema, the query encoder, and one estimator replica (plus estimate
+cache) *per tenant* — and answers the router's frames: ``ping``,
+``estimate`` (shed expired requests, batch the rest per tenant through
+one ``encode_many`` + one fused forward), ``warm_restart`` (reseat every
+replica bitwise from a store checkpoint digest), ``stats``, and
+``shutdown``.
+
+Workers never train. They are pure replicas: parameters only ever change
+through ``warm_restart`` from the shared :class:`~repro.store.ArtifactStore`,
+which is what makes the replicated promotion protocol deterministic — a
+respawned replacement loading the same lineage digest is byte-for-byte
+the worker it replaced. This module is an estimate hot path, so flow
+rule R011 bans ground-truth/retrain calls here exactly as it does in
+``serve/server.py``; retraining lives in :mod:`repro.cluster.promotion`.
+
+:func:`worker_main` is the spawned-process entrypoint; its argument
+:class:`WorkerSpec` is deliberately plain data (strings, ints, tuples)
+so it crosses the pickle boundary that concurrency rule R013 audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.cache import EstimateCache
+from repro.serve.server import DONE, SHED
+from repro.store.faults import FaultInjector, FaultSpec
+from repro.utils.clock import ManualClock, install_clock
+
+#: Fault site reached at the top of every ``estimate`` frame a worker
+#: handles; drills kill worker W at its n-th batch via
+#: ``FaultSpec(site=f"cluster:worker:{W}:estimate", ordinal=n)``.
+ESTIMATE_SITE = "cluster:worker:{worker_id}:estimate"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs, as spawn-safe plain data.
+
+    Attributes:
+        worker_id: stable shard identity; survives respawn (the
+            replacement takes over the dead worker's ring spans).
+        dataset / model_type / scale / seed: the scenario coordinates;
+            the worker rebuilds schema + encoder + model skeletons from
+            these, then loads parameters from the store.
+        store_root: artifact-store root; checkpoints never cross the RPC
+            wire, only their digests do.
+        initial_digest: checkpoint every replica boots from.
+        tenants: tenant names this cluster serves (replicas instantiate
+            lazily, only for tenants actually routed here).
+        cache_capacity: per-tenant estimate-cache capacity.
+        faults: drill schedule as ``(site, kind, ordinal)`` tuples —
+            kept as plain tuples (not FaultSpec objects) so the spec
+            stays trivially picklable across the spawn boundary.
+    """
+
+    worker_id: int
+    dataset: str
+    model_type: str
+    scale: str
+    seed: int
+    store_root: str
+    initial_digest: str
+    tenants: tuple[str, ...] = ()
+    cache_capacity: int = 512
+    faults: tuple[tuple[str, str, int], ...] = ()
+
+
+@dataclass
+class WorkerTelemetry:
+    """Counters one worker reports through the ``stats`` frame."""
+
+    frames: int = 0
+    served: int = 0
+    shed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    restarts: int = 0
+    tenants_active: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "frames": self.frames,
+            "served": self.served,
+            "shed": self.shed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "batches": self.batches,
+            "restarts": self.restarts,
+            "tenants_active": self.tenants_active,
+        }
+
+
+def serialize_query(query) -> list:
+    """Wire form of a query: canonical tables + sorted predicate rows."""
+    return [
+        sorted(query.tables),
+        sorted(
+            [table, column, float(low), float(high)]
+            for (table, column), (low, high) in query.predicates.items()
+        ),
+    ]
+
+
+class ShardWorker:
+    """The request handler hosted by one worker (process or inline)."""
+
+    def __init__(self, spec: WorkerSpec, clock: ManualClock | None = None) -> None:
+        from repro.datasets.registry import load_dataset
+        from repro.store.store import ArtifactStore
+        from repro.utils.config import get_scale
+        from repro.workload.encoding import QueryEncoder
+
+        self.spec = spec
+        self.clock = clock or ManualClock(domain=f"worker-{spec.worker_id}")
+        self.telemetry = WorkerTelemetry()
+        self.injector = FaultInjector(
+            [FaultSpec(site=site, kind=kind, ordinal=ordinal)
+             for site, kind, ordinal in spec.faults]
+        )
+        self._estimate_site = ESTIMATE_SITE.format(worker_id=spec.worker_id)
+        self._store = ArtifactStore(spec.store_root)
+        self._scale = get_scale(spec.scale)
+        database = load_dataset(spec.dataset, scale=self._scale, seed=spec.seed)
+        self._schema = database.schema
+        self._encoder = QueryEncoder(self._schema)
+        self._current_digest = spec.initial_digest
+        self._state = self._store.get_checkpoint(spec.initial_digest)
+        self._models: dict[str, object] = {}
+        self._caches: dict[str, EstimateCache] = {}
+        self._queries: dict[tuple, object] = {}  # wire form -> Query memo
+
+    # ------------------------------------------------------------------
+    # replicas
+    # ------------------------------------------------------------------
+    def replica(self, tenant: str):
+        """The tenant's estimator replica (lazily built, then reused)."""
+        model = self._models.get(tenant)
+        if model is None:
+            from repro.ce.registry import create_model
+
+            model = create_model(
+                self.spec.model_type,
+                self._encoder,
+                hidden_dim=self._scale.hidden_dim,
+                seed=self.spec.seed,
+            )
+            model.load_full_state_dict(self._state)
+            self._models[tenant] = model
+            self._caches[tenant] = EstimateCache(capacity=self.spec.cache_capacity)
+            self.telemetry.tenants_active = len(self._models)
+        return model
+
+    def _rebuild_query(self, wire: list):
+        from repro.db.query import Query
+
+        key = (tuple(wire[0]), tuple(tuple(row) for row in wire[1]))
+        query = self._queries.get(key)
+        if query is None:
+            predicates = {
+                (table, column): (low, high)
+                for table, column, low, high in wire[1]
+            }
+            query = Query.build(self._schema, wire[0], predicates)
+            self._queries[key] = query
+        return query
+
+    # ------------------------------------------------------------------
+    # frame handlers
+    # ------------------------------------------------------------------
+    def handle(self, kind: str, payload):
+        """Dispatch one request payload; returns the reply payload."""
+        if kind == "ping":
+            self.clock.sync(float(payload.get("now", 0.0)))
+            return {"worker_id": self.spec.worker_id, "now": self.clock()}
+        if kind == "estimate":
+            return self._handle_estimate(payload)
+        if kind == "warm_restart":
+            return self._handle_warm_restart(payload)
+        if kind == "stats":
+            return self.telemetry.as_dict()
+        if kind == "shutdown":
+            return {"worker_id": self.spec.worker_id, "stopping": True}
+        raise ValueError(f"unknown frame kind {kind!r}")
+
+    def _handle_estimate(self, payload) -> dict:
+        self.telemetry.frames += 1
+        self.injector.reach(self._estimate_site)
+        now = float(payload["now"])
+        self.clock.sync(now)
+        requests = payload["requests"]
+        results: list[list] = [None] * len(requests)  # type: ignore[list-item]
+        by_tenant: dict[str, list[int]] = {}
+        for index, (tenant, wire, deadline) in enumerate(requests):
+            if deadline is not None and now > float(deadline):
+                results[index] = [None, SHED, False]
+                self.telemetry.shed += 1
+                continue
+            by_tenant.setdefault(tenant, []).append(index)
+        for tenant in sorted(by_tenant):
+            indices = by_tenant[tenant]
+            model = self.replica(tenant)
+            cache = self._caches[tenant]
+            misses: list[int] = []
+            for index in indices:
+                query = self._rebuild_query(requests[index][1])
+                cached = cache.get(query)
+                if cached is None:
+                    misses.append(index)
+                else:
+                    results[index] = [cached, DONE, True]
+                    self.telemetry.cache_hits += 1
+            if misses:
+                queries = [self._rebuild_query(requests[i][1]) for i in misses]
+                encodings = self._encoder.encode_many(queries)
+                # One single-row forward per miss, never one fused GEMM:
+                # a batched matmul's low bits depend on which rows share
+                # the batch, so a cached value would not be bitwise equal
+                # to its recomputation — and the kill-drill digest rests
+                # on exactly that equality.
+                for offset, index in enumerate(misses):
+                    value = float(
+                        model.estimate_encoded(encodings[offset:offset + 1])[0]
+                    )
+                    cache.put(queries[offset], value)
+                    results[index] = [value, DONE, False]
+                self.telemetry.cache_misses += len(misses)
+            self.telemetry.batches += 1
+        self.telemetry.served += sum(1 for r in results if r[1] == DONE)
+        return {"worker_id": self.spec.worker_id, "results": results}
+
+    def _handle_warm_restart(self, payload) -> dict:
+        digest = str(payload["digest"])
+        if digest != self._current_digest:
+            self._state = self._store.get_checkpoint(digest)
+            self._current_digest = digest
+            for model in self._models.values():
+                model.load_full_state_dict(self._state)
+            self.telemetry.restarts += 1
+        # A stale cached estimate under new parameters would be silently
+        # wrong; promotion always invalidates, exactly like serve's
+        # on_promote wiring.
+        for cache in self._caches.values():
+            cache.invalidate()
+        return {
+            "worker_id": self.spec.worker_id,
+            "digest": self._current_digest,
+            "replicas": len(self._models),
+        }
+
+    # ------------------------------------------------------------------
+    # framed-bytes surface (shared by both transports)
+    # ------------------------------------------------------------------
+    def handle_bytes(self, data: bytes) -> list[bytes]:
+        """Decode one request frame, handle it, return the reply frames."""
+        from repro.cluster.rpc import decode_frame, encode_frame
+
+        kind, seq, payload = decode_frame(data)
+        try:
+            reply = self.handle(kind, payload)
+        except Exception as exc:  # noqa: R003 - the RPC boundary must answer, not die
+            return [encode_frame("error", seq, f"{type(exc).__name__}: {exc}")]
+        return [encode_frame(kind, seq, reply)]
+
+
+def worker_main(connection, spec: WorkerSpec) -> int:
+    """Spawned-process entrypoint: serve frames until shutdown or crash.
+
+    Pins this process's clock domain (``worker-<id>``) and serves the
+    pipe. An injected :class:`~repro.store.faults.CrashPoint` terminates
+    the process — the one place "swallowing" it is correct, because the
+    process exiting *is* the simulated death the router must observe as
+    a closed pipe.
+    """
+    from repro.cluster.rpc import EndpointClosed, PipeEndpoint, decode_frame
+    from repro.store.faults import CrashPoint
+
+    clock = ManualClock(domain=f"worker-{spec.worker_id}")
+    install_clock(clock)
+    worker = ShardWorker(spec, clock=clock)
+    endpoint = PipeEndpoint(connection)
+    try:
+        while True:
+            data = endpoint.recv()
+            kind, _seq, _payload = decode_frame(data)
+            for reply in worker.handle_bytes(data):
+                endpoint.send(reply)
+            if kind == "shutdown":
+                return 0
+    except CrashPoint:
+        return 3
+    except EndpointClosed:
+        return 0  # router went away: nothing left to serve
+    finally:
+        endpoint.close()

@@ -40,45 +40,59 @@ def run_serve_bench(
     requests: int = 512,
     max_batch: int = 32,
     repeats: int = 3,
+    compile_enabled: bool | None = None,
 ) -> dict:
     """Time sequential vs micro-batched serving of one request stream.
 
     Both paths answer the identical query sequence against the identical
     clean model; each is run ``repeats`` times and the best wall-clock
     time is kept (standard microbenchmark practice — the minimum is the
-    least noisy estimator of the achievable time).
+    least noisy estimator of the achievable time). ``compile_enabled``
+    forces compiled execution on (or off) for both paths; ``None``
+    inherits the process-wide toggle — the same knob ``profile`` and
+    ``bench`` expose.
     """
+    from contextlib import nullcontext
+
+    from repro.nn.compile import compiled_execution, is_enabled
+
     scenario = get_scenario(dataset, model_type, scale=scale, seed=seed)
     scenario.reset()
     queries = _request_stream(scenario, requests, seed)
     deployed = scenario.deployed
 
-    sequential_best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for query in queries:
-            deployed.explain(query)
-        sequential_best = min(sequential_best, time.perf_counter() - start)
+    context = (
+        nullcontext() if compile_enabled is None
+        else compiled_execution(compile_enabled)
+    )
+    with context:
+        compile_on = is_enabled()
+        sequential_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for query in queries:
+                deployed.explain(query)
+            sequential_best = min(sequential_best, time.perf_counter() - start)
 
-    batched_best = float("inf")
-    batched_stats = None
-    for _ in range(repeats):
-        stats = ServeStats()
-        server = EstimatorServer(
-            deployed,
-            max_queue=requests,
-            max_batch=max_batch,
-            cache=None,  # every request must pay a forward pass
-            stats=stats,
-        )
-        start = time.perf_counter()
-        for query in queries:
-            server.submit(query)
-        server.run_until_idle()
-        elapsed = time.perf_counter() - start
-        if elapsed < batched_best:
-            batched_best = elapsed
-            batched_stats = stats
+        batched_best = float("inf")
+        batched_stats = None
+        for _ in range(repeats):
+            stats = ServeStats()
+            server = EstimatorServer(
+                deployed,
+                max_queue=requests,
+                max_batch=max_batch,
+                cache=None,  # every request must pay a forward pass
+                stats=stats,
+            )
+            start = time.perf_counter()
+            for query in queries:
+                server.submit(query)
+            server.run_until_idle()
+            elapsed = time.perf_counter() - start
+            if elapsed < batched_best:
+                batched_best = elapsed
+                batched_stats = stats
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -90,6 +104,7 @@ def run_serve_bench(
         "requests": requests,
         "max_batch": max_batch,
         "repeats": repeats,
+        "compile": {"enabled": compile_on},
         "recorded_unix": time.time(),
         "sequential": {
             "seconds": sequential_best,

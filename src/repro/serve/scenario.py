@@ -58,6 +58,9 @@ class ServeSimConfig:
     max_batch: int = 16
     guard_factor: float = 1.5
     cache_capacity: int = 512
+    #: ``None`` inherits the process-wide compile toggle; ``True``/``False``
+    #: force compiled execution on/off for the whole simulation (both arms).
+    compile_enabled: bool | None = None
 
 
 def _run_arm(
@@ -169,8 +172,23 @@ def run_serve_sim(config: ServeSimConfig | None = None) -> dict:
             scenario, config.attack_method, use_detector=False
         )
     validation, evaluation = scenario.test_workload.split(0.5, seed=config.seed + 23)
-    unguarded = _run_arm(scenario, poison, validation, evaluation, config, guarded=False)
-    guarded = _run_arm(scenario, poison, validation, evaluation, config, guarded=True)
+    from contextlib import nullcontext
+
+    from repro.nn.compile import compiled_execution, is_enabled
+
+    context = (
+        nullcontext()
+        if config.compile_enabled is None
+        else compiled_execution(config.compile_enabled)
+    )
+    with context:
+        compile_on = is_enabled()
+        unguarded = _run_arm(
+            scenario, poison, validation, evaluation, config, guarded=False
+        )
+        guarded = _run_arm(
+            scenario, poison, validation, evaluation, config, guarded=True
+        )
     scenario.reset()
     unguarded_final = unguarded["final_qerror"]
     guarded_final = guarded["final_qerror"]
@@ -181,6 +199,7 @@ def run_serve_sim(config: ServeSimConfig | None = None) -> dict:
         "poison_pool": len(poison),
         "validation_queries": len(validation),
         "evaluation_queries": len(evaluation),
+        "compile": {"enabled": compile_on},
         "arms": {"unguarded": unguarded, "guarded": guarded},
         "guard_effect": {
             "unguarded_final_qerror": unguarded_final,

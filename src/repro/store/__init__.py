@@ -13,6 +13,9 @@ Three layers:
     Deterministic fault injection (crashes, transient IO errors, torn
     writes) used to *prove* the above under a kill-at-every-boundary
     sweep.
+:mod:`repro.store.lock`
+    O_EXCL manifest locks with stale-holder detection, making the store
+    safe for concurrent multi-process writers (the serve cluster).
 """
 
 from repro.store.faults import (
@@ -31,6 +34,14 @@ from repro.store.io import (
     atomic_write_json,
     canonical_json_bytes,
     jsonify,
+)
+from repro.store.lock import (
+    DEFAULT_STALE_SECONDS,
+    LockHeld,
+    ManifestLock,
+    is_stale,
+    lock_path_for,
+    read_lock,
 )
 from repro.store.pipeline import (
     PIPELINE_BUILDERS,
@@ -59,8 +70,11 @@ __all__ = [
     "CrashPoint",
     "FaultInjector",
     "FaultSpec",
+    "DEFAULT_STALE_SECONDS",
     "FiredFault",
     "InjectedIoError",
+    "LockHeld",
+    "ManifestLock",
     "PIPELINE_BUILDERS",
     "Pipeline",
     "PipelineResult",
@@ -76,8 +90,11 @@ __all__ = [
     "get_injector",
     "inject",
     "install_injector",
+    "is_stale",
     "jsonify",
+    "lock_path_for",
     "params_digest",
+    "read_lock",
     "register_pipeline",
     "resume_run",
     "step_seed",

@@ -1,0 +1,192 @@
+"""O_EXCL manifest locks: concurrent multi-process writers, no daemon.
+
+The cluster puts several *processes* behind one
+:class:`~repro.store.store.ArtifactStore` root, so a run manifest can
+have concurrent writers (router promotion commits racing a drill's
+respawned worker, parallel CLI invocations, CI jobs sharing a store).
+The mutual exclusion primitive is the oldest one that works on every
+filesystem: ``open(path + ".lock", O_CREAT | O_EXCL)`` — atomic on POSIX
+and NFS alike, no server, no fcntl ranges to leak across ``fork``.
+
+The lock body is a small JSON record (`pid`, `host`, `unix`, `owner`)
+used for *stale* detection: a holder that died without releasing (a
+``SIGKILL``-ed worker process, a crashed CLI) leaves a lock whose pid is
+dead on this host, or whose age exceeds ``stale_seconds`` — either way
+the next acquirer breaks it and proceeds. In-process crash drills
+(:class:`~repro.store.faults.CrashPoint` is a ``BaseException``) unwind
+the ``with`` block, so they release promptly and never depend on
+staleness.
+
+``ArtifactStore.gc`` refuses to sweep while any *live* lock exists —
+a locked manifest is mid-rewrite, and sweeping against its half-updated
+reference set could free blobs the committed manifest still needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+
+from repro.utils.errors import StoreError
+
+#: A manifest's lock file lives beside it: ``manifest.json.lock``.
+LOCK_SUFFIX = ".lock"
+
+#: A lock older than this is presumed abandoned even if we cannot prove
+#: its holder dead (e.g. the holder ran on another host).
+DEFAULT_STALE_SECONDS = 300.0
+
+
+class LockHeld(StoreError):
+    """The lock stayed held (and fresh) past the acquisition deadline."""
+
+
+def lock_path_for(path: str | Path) -> Path:
+    """Where the lock file for ``path`` lives."""
+    path = Path(path)
+    return path.with_name(path.name + LOCK_SUFFIX)
+
+
+def read_lock(lock_path: str | Path) -> dict | None:
+    """The lock body, or ``None`` if the lock vanished or is unreadable."""
+    try:
+        return json.loads(Path(lock_path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        # Torn mid-write by a dying holder; age (mtime) still works.
+        return {}
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except (OverflowError, ValueError):
+        return False  # nonsense pid in a corrupt body
+    return True
+
+
+def is_stale(
+    lock_path: str | Path, stale_seconds: float = DEFAULT_STALE_SECONDS
+) -> bool:
+    """Is this lock abandoned? (Dead holder on this host, or too old.)
+
+    Returns ``False`` when the lock no longer exists — "not stale" and
+    "not held" both mean an acquirer may proceed to the O_EXCL attempt.
+    """
+    lock_path = Path(lock_path)
+    info = read_lock(lock_path)
+    if info is None:
+        return False
+    pid = info.get("pid")
+    host = info.get("host")
+    if isinstance(pid, int) and host == socket.gethostname():
+        if not _pid_alive(pid):
+            return True
+    stamp = info.get("unix")
+    if not isinstance(stamp, (int, float)):
+        try:
+            stamp = lock_path.stat().st_mtime
+        except OSError:
+            return False  # vanished while we looked: treat as released
+    return (time.time() - float(stamp)) > stale_seconds
+
+
+class ManifestLock:
+    """Advisory exclusive lock on one file, via an O_EXCL sibling.
+
+    Usage::
+
+        with ManifestLock(manifest_path, owner="run:attack-seed0"):
+            atomic_write_json(manifest_path, manifest, sort_keys=True)
+
+    Acquisition spins (bounded by ``timeout``) breaking stale locks as it
+    finds them; contention from a *live* holder ends in :class:`LockHeld`
+    rather than a silent lost update.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        owner: str = "",
+        timeout: float = 10.0,
+        poll_interval: float = 0.05,
+        stale_seconds: float = DEFAULT_STALE_SECONDS,
+    ) -> None:
+        self.path = Path(path)
+        self.lock_path = lock_path_for(path)
+        self.owner = owner
+        self.timeout = float(timeout)
+        self.poll_interval = float(poll_interval)
+        self.stale_seconds = float(stale_seconds)
+        self.broke_stale = 0
+        self._held = False
+
+    def acquire(self) -> "ManifestLock":
+        if self._held:
+            raise StoreError(f"lock on {self.path} is already held by this handle")
+        self.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps({
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "unix": time.time(),
+            "owner": self.owner,
+        }, sort_keys=True).encode("utf-8")
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if is_stale(self.lock_path, self.stale_seconds):
+                    # Break it; losing the unlink race to another breaker
+                    # is fine — both proceed to a fresh O_EXCL attempt.
+                    try:
+                        self.lock_path.unlink()
+                        self.broke_stale += 1
+                    except FileNotFoundError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    holder = read_lock(self.lock_path) or {}
+                    raise LockHeld(
+                        f"{self.lock_path} held by "
+                        f"pid={holder.get('pid')} owner={holder.get('owner')!r} "
+                        f"for more than {self.timeout}s"
+                    )
+                time.sleep(self.poll_interval)
+                continue
+            try:
+                os.write(fd, body)
+            finally:
+                os.close(fd)
+            self._held = True
+            return self
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        # Missing is fine: someone declared us stale and broke the lock.
+        self.lock_path.unlink(missing_ok=True)
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> "ManifestLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Runs for BaseException too: an injected CrashPoint unwinding
+        # through here still releases, so in-process crash drills never
+        # leave locks that only staleness can clear.
+        self.release()

@@ -278,8 +278,42 @@ class ArtifactStore:
                     referenced.add(event["digest"])
         return referenced
 
+    def live_locks(self) -> list[Path]:
+        """Manifest locks held by live writers (stale ones are excluded)."""
+        from repro.store.lock import LOCK_SUFFIX, is_stale
+
+        return [
+            lock
+            for lock in sorted(self.runs_dir.glob(f"*/manifest.json{LOCK_SUFFIX}"))
+            if not is_stale(lock)
+        ]
+
     def gc(self) -> dict:
-        """Remove unreferenced blobs and stray temp files; report what happened."""
+        """Remove unreferenced blobs and stray temp files; report what happened.
+
+        Refuses (raises :class:`StoreError`) while any *live* manifest
+        lock exists: a locked manifest is mid-rewrite, and sweeping
+        against its in-flight reference set could free blobs the
+        committed manifest still needs. Stale locks (dead holders) are
+        swept instead of respected.
+        """
+        from repro.store.lock import LOCK_SUFFIX, is_stale
+
+        stale_locks = 0
+        if self.runs_dir.is_dir():
+            live = []
+            for lock in sorted(self.runs_dir.glob(f"*/manifest.json{LOCK_SUFFIX}")):
+                if is_stale(lock):
+                    lock.unlink(missing_ok=True)
+                    stale_locks += 1
+                else:
+                    live.append(lock)
+            if live:
+                held = ", ".join(str(lock.parent.name) for lock in live)
+                raise StoreError(
+                    f"refusing to gc: {len(live)} live manifest lock(s) "
+                    f"({held}); a writer is mid-commit"
+                )
         referenced = self.referenced_digests()
         removed = 0
         freed = 0
@@ -303,6 +337,7 @@ class ArtifactStore:
             "kept_objects": kept,
             "bytes_freed": freed,
             "stray_tmp_removed": stray_tmp,
+            "stale_locks_removed": stale_locks,
             "runs": len(self.run_ids()),
         }
 
@@ -393,6 +428,16 @@ class RunHandle:
         self.manifest["status"] = status
 
     def commit(self) -> None:
-        """Atomically persist the manifest — the durability boundary."""
+        """Atomically persist the manifest — the durability boundary.
+
+        Guarded by an O_EXCL :class:`~repro.store.lock.ManifestLock` so
+        concurrent writers (cluster processes, parallel CLI invocations)
+        serialize instead of silently losing updates. The atomic rename
+        alone guarantees readers a consistent file; the lock guarantees
+        *writers* a consistent read-modify-write.
+        """
+        from repro.store.lock import ManifestLock
+
         self.manifest["updated_unix"] = time.time()
-        atomic_write_json(self.path, self.manifest, sort_keys=True)
+        with ManifestLock(self.path, owner=f"run:{self.run_id}"):
+            atomic_write_json(self.path, self.manifest, sort_keys=True)

@@ -57,13 +57,23 @@ class ManualClock:
     explicitly — the serve-layer traffic replay sets it to each request's
     arrival time and to each service instant, so queueing delays and
     deadline expiries are exact functions of the seeded arrival process.
+
+    The optional ``domain`` label names the clock's timebase. The cluster
+    layer runs one clock domain per worker process (``worker-3``) plus the
+    router's (``router``); every RPC frame carries the router's ``now`` and
+    workers :meth:`sync` onto it, so each domain only ever moves forward
+    and all domains agree on simulated time at every message boundary.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, domain: str = "main") -> None:
         self._now = float(start)
+        self.domain = str(domain)
 
     def __call__(self) -> float:
         return self._now
+
+    def __repr__(self) -> str:
+        return f"ManualClock(domain={self.domain!r}, now={self._now!r})"
 
     def advance(self, seconds: float) -> float:
         """Move time forward by ``seconds`` (must be non-negative)."""
@@ -75,8 +85,22 @@ class ManualClock:
     def set(self, now: float) -> float:
         """Jump to an absolute instant (monotonicity enforced)."""
         if now < self._now:
-            raise ValueError(f"clock cannot go backwards: {now} < {self._now}")
+            raise ValueError(
+                f"clock domain {self.domain!r} cannot go backwards: {now} < {self._now}"
+            )
         self._now = float(now)
+        return self._now
+
+    def sync(self, now: float) -> float:
+        """Fold another domain's instant into this one (take the max).
+
+        Message-driven domains (cluster workers) call this with the
+        sender's timestamp: time never goes backwards, and re-delivered
+        frames carrying an already-seen instant are harmless no-ops —
+        exactly what retry-safe RPC needs.
+        """
+        if now > self._now:
+            self._now = float(now)
         return self._now
 
 

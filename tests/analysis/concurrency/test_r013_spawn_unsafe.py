@@ -56,6 +56,41 @@ class TestPositives:
         }, select=["R013"])
         assert rule_ids(findings) == ["R013"]
 
+    def test_open_handle_in_process_args_is_flagged(self, flow):
+        # The cluster's worker-spawn boundary: ctx.Process(target=...,
+        # args=...) is audited exactly like a Pool submission.
+        findings = flow({
+            "cluster.py": """
+                import multiprocessing as mp
+
+                def worker_main(connection, log):
+                    pass
+
+                def spawn():
+                    ctx = mp.get_context("spawn")
+                    log = open("worker.log", "a")
+                    parent, child = ctx.Pipe()
+                    proc = ctx.Process(target=worker_main, args=(child, log))
+                    proc.start()
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013"]
+        assert "open" in findings[0].message
+
+    def test_lambda_process_target_is_flagged(self, flow):
+        findings = flow({
+            "cluster.py": """
+                import multiprocessing as mp
+
+                def spawn():
+                    ctx = mp.get_context("spawn")
+                    proc = ctx.Process(target=lambda: None, args=())
+                    proc.start()
+                """,
+        }, select=["R013"])
+        assert rule_ids(findings) == ["R013"]
+        assert "lambda" in findings[0].message
+
     def test_live_autograd_tensor_through_helper_is_flagged(self, flow):
         findings = flow({
             "tensor.py": """
@@ -120,6 +155,33 @@ class TestNegatives:
                     batch = Tensor([1.0, 2.0])
                     with mp.Pool(2) as pool:
                         return pool.apply(job, (batch,))
+                """,
+        }, select=["R013"])
+        assert findings == []
+
+    def test_plain_data_worker_spec_through_process_is_clean(self, flow):
+        # WorkerSpec-style frozen plain data is exactly what should cross
+        # the spawn boundary.
+        findings = flow({
+            "cluster.py": """
+                import multiprocessing as mp
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class WorkerSpec:
+                    worker_id: int
+                    store_root: str
+                    tenants: tuple
+
+                def worker_main(connection, spec):
+                    pass
+
+                def spawn(spec_args):
+                    ctx = mp.get_context("spawn")
+                    spec = WorkerSpec(0, "store", ("tenant-a",))
+                    parent, child = ctx.Pipe()
+                    proc = ctx.Process(target=worker_main, args=(child, spec))
+                    proc.start()
                 """,
         }, select=["R013"])
         assert findings == []

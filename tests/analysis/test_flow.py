@@ -399,6 +399,37 @@ class TestR011BlockingCall:
         }, select=["R011"])
         assert findings == []
 
+    def test_cluster_router_is_a_hot_path(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "cluster/__init__.py": "",
+            "cluster/router.py": """
+                def dispatch(executor, batch):
+                    return [executor.count(request.query) for request in batch]
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+        assert "'count'" in findings[0].message
+
+    def test_cluster_worker_is_a_hot_path(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "cluster/__init__.py": "",
+            "cluster/worker.py": """
+                def handle_estimate(deployed, queries):
+                    return deployed.execute(queries)
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+
+    def test_cluster_promotion_module_is_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "cluster/__init__.py": "",
+            "cluster/promotion.py": """
+                def retrain(deployed, queries):
+                    return deployed.execute(queries)
+                """,
+        }, select=["R011"])
+        assert findings == []
+
 
 class TestR012AdhocArtifactWrite:
     def test_open_for_write_is_flagged(self, tmp_path):

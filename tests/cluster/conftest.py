@@ -1,0 +1,65 @@
+"""Shared fixtures: a tiny store-backed cluster world on DMV smoke.
+
+The world mirrors exactly what a :class:`~repro.cluster.worker.ShardWorker`
+rebuilds from its spec — same dataset call, same encoder, same model
+skeleton — so the checkpoint seeded here loads bitwise into every
+replica a test spawns.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.ce import create_model
+from repro.cluster.worker import WorkerSpec
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.store import ArtifactStore
+from repro.utils.config import get_scale
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+TENANTS = ("tenant-a", "tenant-b", "tenant-c")
+
+
+@pytest.fixture(scope="session")
+def cluster_world(tmp_path_factory):
+    """One dataset + encoder + seeded checkpoints shared by every test."""
+    scale = get_scale("smoke")
+    db = load_dataset("dmv", scale=scale, seed=0)
+    encoder = QueryEncoder(db.schema)
+    model = create_model("fcn", encoder, hidden_dim=scale.hidden_dim, seed=0)
+    store = ArtifactStore(tmp_path_factory.mktemp("cluster-store"))
+    digest = store.put_checkpoint(model.full_state_dict()).digest
+    # A second, different checkpoint to promote replicas onto.
+    other = create_model("fcn", encoder, hidden_dim=scale.hidden_dim, seed=1)
+    promoted = store.put_checkpoint(other.full_state_dict()).digest
+    queries = WorkloadGenerator(db, Executor(db), seed=7).generate(24).queries
+    return SimpleNamespace(
+        db=db,
+        encoder=encoder,
+        model=model,
+        store=store,
+        digest=digest,
+        promoted=promoted,
+        queries=queries,
+    )
+
+
+def make_specs(world, n, faults=None, tenants=TENANTS, **overrides):
+    """N spawn-safe worker specs over the shared world's store."""
+    faults = faults or {}
+    return [
+        WorkerSpec(
+            worker_id=wid,
+            dataset="dmv",
+            model_type="fcn",
+            scale="smoke",
+            seed=0,
+            store_root=str(world.store.root),
+            initial_digest=world.digest,
+            tenants=tuple(tenants),
+            faults=faults.get(wid, ()),
+            **overrides,
+        )
+        for wid in range(n)
+    ]

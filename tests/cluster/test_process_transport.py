@@ -1,0 +1,43 @@
+"""The process transport is bitwise-equivalent to the inline one.
+
+Kept to two tests — each spawns real worker processes, which pay a
+dataset+model import per process — but those two carry the claim the
+whole simulation rests on: the inline transport is a faithful twin.
+"""
+
+from repro.cluster.router import ClusterRouter
+from repro.utils.clock import ManualClock
+from tests.cluster.conftest import TENANTS, make_specs
+
+
+def drive(world, transport, kill=False):
+    router = ClusterRouter(
+        make_specs(world, 2), transport=transport,
+        clock=ManualClock(domain="router"),
+    )
+    router.start()
+    try:
+        submitted = [
+            router.submit(TENANTS[i % len(TENANTS)], query)
+            for i, query in enumerate(world.queries[:8])
+        ]
+        if kill:
+            router.kill_worker(submitted[0].worker_id)
+        done = router.dispatch(1.0)
+        trace = [(r.tenant, r.status, r.estimate) for r in done]
+        return trace, router.respawns
+    finally:
+        router.shutdown()
+
+
+def test_process_transport_matches_inline_bitwise(cluster_world):
+    inline, _ = drive(cluster_world, "inline")
+    process, _ = drive(cluster_world, "process")
+    assert process == inline
+
+
+def test_process_worker_respawn_preserves_the_trace(cluster_world):
+    inline, _ = drive(cluster_world, "inline")
+    drilled, respawns = drive(cluster_world, "process", kill=True)
+    assert respawns == 1
+    assert drilled == inline

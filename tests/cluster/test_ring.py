@@ -1,0 +1,89 @@
+"""Property tests for the consistent-hash ring (PR 9 satellite).
+
+The three properties the router leans on: positions are
+process-independent (SHA-256, not salted ``hash``), removing one of N
+nodes remaps only that node's span (≈ K/N of K keys, survivors
+untouched), and re-adding the node restores the exact prior mapping
+(affinity stability across a leave/rejoin cycle).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster.ring import HashRing, ring_position, shard_key
+from repro.utils.errors import ReproError
+
+KEYS = [f"tenant-{i % 13:02d}|t{i % 7}+t{i % 11}" for i in range(1000)]
+NODES = [f"worker-{i}" for i in range(8)]
+
+
+class TestPositions:
+    def test_ring_position_is_sha256_prefix(self):
+        label = "worker-3#17"
+        digest = hashlib.sha256(label.encode("utf-8")).digest()
+        assert ring_position(label) == int.from_bytes(digest[:8], "big")
+
+    def test_positions_are_deterministic_across_instances(self):
+        # Two rings built in different insertion orders agree everywhere:
+        # the mapping is a pure function of the membership set.
+        forward = HashRing(NODES, vnodes=32)
+        backward = HashRing(reversed(NODES), vnodes=32)
+        assert forward.mapping_of(KEYS) == backward.mapping_of(KEYS)
+
+    def test_shard_key_canonicalizes_table_order(self):
+        assert shard_key("t", ["b", "a"]) == shard_key("t", ["a", "b"])
+        assert shard_key("t", ["a", "b"]) == "t|a+b"
+
+
+class TestChurn:
+    def test_remove_one_of_n_remaps_only_its_span(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = ring.mapping_of(KEYS)
+        victim = NODES[3]
+        ring.remove(victim)
+        after = ring.mapping_of(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # Every moved key was the victim's; no survivor-to-survivor churn.
+        assert all(before[k] == victim for k in moved)
+        assert all(after[k] != victim for k in KEYS)
+        # ≈ K/N keys move; allow 2x headroom over the 1/8 expectation.
+        assert len(moved) == sum(1 for k in KEYS if before[k] == victim)
+        assert len(moved) / len(KEYS) < 0.25
+
+    def test_rejoin_restores_the_exact_prior_mapping(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = ring.mapping_of(KEYS)
+        ring.remove(NODES[5])
+        ring.add(NODES[5])
+        assert ring.mapping_of(KEYS) == before
+
+    def test_spans_sum_to_one(self):
+        ring = HashRing(NODES, vnodes=64)
+        spans = ring.spans()
+        assert set(spans) == set(NODES)
+        assert sum(spans.values()) == pytest.approx(1.0)
+        ring.remove(NODES[0])
+        assert sum(ring.spans().values()) == pytest.approx(1.0)
+
+
+class TestMembership:
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ReproError, match="already on the ring"):
+            ring.add("a")
+
+    def test_unknown_remove_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ReproError, match="not on the ring"):
+            ring.remove("b")
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(ReproError, match="no nodes"):
+            HashRing().node_for("key")
+
+    def test_contains_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ("a", "b")

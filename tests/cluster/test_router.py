@@ -1,0 +1,136 @@
+"""ClusterRouter: ring dispatch, backpressure, recovery in both modes."""
+
+import pytest
+
+from repro.cluster.router import ClusterError, ClusterRouter, node_label
+from repro.serve.server import DONE, REJECTED, SHED
+from repro.utils.clock import ManualClock
+from tests.cluster.conftest import TENANTS, make_specs
+
+
+def make_router(world, n=2, **kwargs):
+    kwargs.setdefault("clock", ManualClock(domain="router"))
+    router = ClusterRouter(make_specs(world, n), transport="inline", **kwargs)
+    router.start()
+    return router
+
+
+class TestDispatch:
+    def test_requests_route_per_ring_and_complete(self, cluster_world):
+        router = make_router(cluster_world, n=3)
+        try:
+            submitted = [
+                router.submit(TENANTS[i % len(TENANTS)], query)
+                for i, query in enumerate(cluster_world.queries[:12])
+            ]
+            for request in submitted:
+                assert request.worker_id == router.worker_for(
+                    request.tenant, request.query
+                )
+            assert router.pending() == 12
+            done = router.dispatch(1.0)
+            assert router.pending() == 0
+            assert len(done) == 12
+            assert all(r.status == DONE and r.estimate > 0.0 for r in done)
+            assert {r.worker_id for r in done} <= set(router.worker_ids)
+        finally:
+            router.shutdown()
+
+    def test_bounded_queue_rejects(self, cluster_world):
+        router = make_router(cluster_world, n=1, max_queue=1)
+        try:
+            query = cluster_world.queries[0]
+            first = router.submit(TENANTS[0], query)
+            second = router.submit(TENANTS[0], query)
+            assert first.status != REJECTED
+            assert second.status == REJECTED and second.completed_at is not None
+            assert router.stats.snapshot()["rejected"] == 1
+        finally:
+            router.shutdown()
+
+    def test_expired_requests_are_shed_by_the_worker(self, cluster_world):
+        clock = ManualClock(domain="router")
+        router = make_router(cluster_world, n=1, clock=clock)
+        try:
+            request = router.submit(TENANTS[0], cluster_world.queries[0], timeout=1.0)
+            clock.set(5.0)
+            (served,) = router.dispatch(5.0)
+            assert served is request
+            assert served.status == SHED and served.estimate is None
+        finally:
+            router.shutdown()
+
+
+class TestRecovery:
+    def test_respawn_retries_the_batch_on_promoted_lineage(self, cluster_world):
+        router = make_router(
+            cluster_world, n=2, lineage_digest=lambda: cluster_world.promoted
+        )
+        try:
+            submitted = [
+                router.submit(TENANTS[i % len(TENANTS)], query)
+                for i, query in enumerate(cluster_world.queries[:8])
+            ]
+            victim = submitted[0].worker_id
+            router.kill_worker(victim)
+            done = router.dispatch(1.0)
+            assert len(done) == len(submitted)
+            assert all(r.status == DONE for r in done)
+            assert router.respawns == 1
+            # The replacement warm-restarted off the lineage digest, not
+            # its birth checkpoint — that is one restart in telemetry.
+            assert router.worker_stats()[victim]["restarts"] == 1
+        finally:
+            router.shutdown()
+
+    def test_reroute_mode_rekeys_the_dead_workers_spans(self, cluster_world):
+        router = make_router(cluster_world, n=2, respawn=False)
+        try:
+            submitted = [
+                router.submit(TENANTS[i % len(TENANTS)], query)
+                for i, query in enumerate(cluster_world.queries[:8])
+            ]
+            victim = submitted[0].worker_id
+            router.kill_worker(victim)
+            first_wave = router.dispatch(1.0)
+            # The victim's batch went back through the ring, not to /dev/null.
+            while router.pending():
+                first_wave += router.dispatch(2.0)
+            assert router.reroutes == 1
+            assert node_label(victim) not in router.ring
+            assert victim not in router.worker_ids
+            assert len(first_wave) == len(submitted)
+            assert all(r.status == DONE for r in first_wave)
+            assert all(r.worker_id != victim for r in first_wave)
+        finally:
+            router.shutdown()
+
+    def test_heartbeat_detects_and_heals(self, cluster_world):
+        router = make_router(cluster_world, n=2)
+        try:
+            router.kill_worker(1)
+            health = router.heartbeat(1.0)
+            assert health == {0: True, 1: False}
+            assert router.respawns == 1
+            assert router.heartbeat(2.0) == {0: True, 1: True}
+        finally:
+            router.shutdown()
+
+
+class TestValidation:
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ClusterError, match="at least one worker"):
+            ClusterRouter([])
+
+    def test_duplicate_worker_ids_rejected(self, cluster_world):
+        spec = make_specs(cluster_world, 1)[0]
+        with pytest.raises(ClusterError, match="unique"):
+            ClusterRouter([spec, spec])
+
+    def test_kill_unknown_worker_rejected(self, cluster_world):
+        router = make_router(cluster_world, n=1)
+        try:
+            with pytest.raises(ClusterError, match="unknown worker"):
+                router.kill_worker(7)
+        finally:
+            router.shutdown()

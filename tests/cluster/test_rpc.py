@@ -1,0 +1,140 @@
+"""Framed RPC: framing validation, inline endpoint, channel semantics."""
+
+import struct
+
+import pytest
+
+from repro.cluster.rpc import (
+    MAGIC,
+    MAX_BODY_BYTES,
+    EndpointClosed,
+    InlineEndpoint,
+    RpcChannel,
+    RpcError,
+    RpcTimeout,
+    decode_frame,
+    encode_frame,
+)
+from repro.store.faults import CrashPoint
+
+_HEADER = struct.Struct(">4sBII")
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"requests": [["tenant-a", [["t1"], []], None]], "now": 1.5}
+        frame = encode_frame("estimate", 7, payload)
+        assert decode_frame(frame) == ("estimate", 7, payload)
+
+    def test_corrupted_body_fails_crc(self):
+        frame = bytearray(encode_frame("ping", 1, {"now": 0.0}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(RpcError, match="CRC mismatch"):
+            decode_frame(bytes(frame))
+
+    def test_short_frame(self):
+        with pytest.raises(RpcError, match="short frame"):
+            decode_frame(b"PR")
+
+    def test_bad_magic(self):
+        frame = b"XXXX" + encode_frame("ping", 1, {})[4:]
+        with pytest.raises(RpcError, match="bad frame magic"):
+            decode_frame(frame)
+
+    def test_bad_version(self):
+        body = b"{}"
+        frame = _HEADER.pack(MAGIC, 99, 0, len(body)) + body
+        with pytest.raises(RpcError, match="unsupported frame version"):
+            decode_frame(frame)
+
+    def test_oversize_length_rejected_without_allocating(self):
+        frame = _HEADER.pack(MAGIC, 1, 0, MAX_BODY_BYTES + 1)
+        with pytest.raises(RpcError, match="exceeds cap"):
+            decode_frame(frame)
+
+    def test_torn_frame(self):
+        frame = encode_frame("ping", 1, {"now": 0.0})
+        with pytest.raises(RpcError, match="torn frame"):
+            decode_frame(frame[:-3])
+
+
+class TestInlineEndpoint:
+    def test_echo_handler(self):
+        endpoint = InlineEndpoint(lambda data: [data])
+        frame = encode_frame("ping", 1, {"now": 2.0})
+        endpoint.send(frame)
+        assert endpoint.poll()
+        assert endpoint.recv() == frame
+        assert not endpoint.poll()
+
+    def test_crash_closes_permanently(self):
+        def dying(data):
+            raise CrashPoint("site", 1)
+
+        endpoint = InlineEndpoint(dying)
+        with pytest.raises(EndpointClosed, match="crashed"):
+            endpoint.send(b"x")
+        assert endpoint.closed
+        with pytest.raises(EndpointClosed):
+            endpoint.send(b"x")
+        with pytest.raises(EndpointClosed):
+            endpoint.recv()
+
+    def test_recv_with_no_reply_times_out(self):
+        endpoint = InlineEndpoint(lambda data: [])
+        endpoint.send(encode_frame("ping", 1, {}))
+        with pytest.raises(RpcTimeout):
+            endpoint.recv()
+
+
+class TestChannel:
+    def test_stale_reply_discarded(self):
+        # The handler answers every request twice: once with a stale
+        # sequence number (a timed-out earlier attempt's reply arriving
+        # late) and once fresh; the channel must deliver only the fresh.
+        def handler(data):
+            kind, seq, _payload = decode_frame(data)
+            return [
+                encode_frame(kind, seq - 1, "stale"),
+                encode_frame(kind, seq, "fresh"),
+            ]
+
+        channel = RpcChannel(InlineEndpoint(handler))
+        assert channel.call("ping", {}) == "fresh"
+
+    def test_out_of_order_future_reply_is_an_error(self):
+        def handler(data):
+            kind, seq, _payload = decode_frame(data)
+            return [encode_frame(kind, seq + 5, "future")]
+
+        channel = RpcChannel(InlineEndpoint(handler))
+        with pytest.raises(RpcError, match="out-of-order reply"):
+            channel.call("ping", {}, retries=0)
+
+    def test_error_frame_raises(self):
+        def handler(data):
+            _kind, seq, _payload = decode_frame(data)
+            return [encode_frame("error", seq, "ValueError: boom")]
+
+        channel = RpcChannel(InlineEndpoint(handler))
+        with pytest.raises(RpcError, match="worker error: ValueError: boom"):
+            channel.call("ping", {})
+
+    def test_retry_recovers_a_dropped_reply(self):
+        calls = {"n": 0}
+
+        def flaky(data):
+            kind, seq, _payload = decode_frame(data)
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return []  # drop the first reply on the floor
+            return [encode_frame(kind, seq, "ok")]
+
+        channel = RpcChannel(InlineEndpoint(flaky), retries=1)
+        assert channel.call("ping", {}) == "ok"
+        assert calls["n"] == 2
+
+    def test_retries_exhausted(self):
+        channel = RpcChannel(InlineEndpoint(lambda data: []), retries=2)
+        with pytest.raises(RpcTimeout, match="after 3 attempt"):
+            channel.call("ping", {})

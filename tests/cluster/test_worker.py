@@ -1,0 +1,102 @@
+"""ShardWorker: frame handlers, caching, warm restart, fault drills."""
+
+import pytest
+
+from repro.cluster.rpc import EndpointClosed, InlineEndpoint, decode_frame, encode_frame
+from repro.cluster.worker import ShardWorker, serialize_query
+from repro.serve.server import DONE, SHED
+from tests.cluster.conftest import make_specs
+
+
+def estimate_payload(queries, tenant="tenant-a", now=0.0, deadline=None):
+    return {
+        "now": now,
+        "requests": [[tenant, serialize_query(q), deadline] for q in queries],
+    }
+
+
+@pytest.fixture()
+def worker(cluster_world):
+    return ShardWorker(make_specs(cluster_world, 1)[0])
+
+
+class TestFrames:
+    def test_ping_syncs_clock(self, worker):
+        reply = worker.handle("ping", {"now": 42.5})
+        assert reply == {"worker_id": 0, "now": 42.5}
+        assert worker.clock() == 42.5
+
+    def test_estimate_miss_then_hit(self, worker, cluster_world):
+        query = cluster_world.queries[0]
+        first = worker.handle("estimate", estimate_payload([query]))
+        value, status, from_cache = first["results"][0]
+        assert status == DONE and not from_cache and value > 0.0
+        second = worker.handle("estimate", estimate_payload([query]))
+        assert second["results"][0] == [value, DONE, True]
+        assert worker.telemetry.cache_hits == 1
+        assert worker.telemetry.cache_misses == 1
+
+    def test_estimate_sheds_past_deadline(self, worker, cluster_world):
+        payload = estimate_payload([cluster_world.queries[0]], now=5.0, deadline=4.0)
+        reply = worker.handle("estimate", payload)
+        assert reply["results"][0] == [None, SHED, False]
+        assert worker.telemetry.shed == 1
+
+    def test_batched_estimate_matches_solo_estimate_bitwise(
+        self, worker, cluster_world
+    ):
+        # The kill-drill digest rests on this: a value computed alongside
+        # batch peers must equal the same query's value computed alone,
+        # so the per-miss forward is single-row by construction.
+        batch = worker.handle(
+            "estimate", estimate_payload(cluster_world.queries[:8])
+        )
+        solo = ShardWorker(make_specs(cluster_world, 1)[0]).handle(
+            "estimate", estimate_payload([cluster_world.queries[3]])
+        )
+        assert batch["results"][3][0] == solo["results"][0][0]
+
+    def test_unknown_kind_becomes_error_frame(self, worker):
+        replies = worker.handle_bytes(encode_frame("mystery", 9, {}))
+        kind, seq, payload = decode_frame(replies[0])
+        assert kind == "error" and seq == 9
+        assert "unknown frame kind" in payload
+
+
+class TestWarmRestart:
+    def test_restart_reseats_replicas_and_invalidates_caches(
+        self, worker, cluster_world
+    ):
+        query = cluster_world.queries[0]
+        before = worker.handle("estimate", estimate_payload([query]))
+        reply = worker.handle("warm_restart", {"digest": cluster_world.promoted})
+        assert reply == {"worker_id": 0, "digest": cluster_world.promoted, "replicas": 1}
+        assert worker.telemetry.restarts == 1
+        after = worker.handle("estimate", estimate_payload([query]))
+        # New parameters, cold cache: a recomputed (different) estimate.
+        assert not after["results"][0][2]
+        assert after["results"][0][0] != before["results"][0][0]
+
+    def test_same_digest_restart_is_a_cache_flush_only(self, worker, cluster_world):
+        query = cluster_world.queries[0]
+        worker.handle("estimate", estimate_payload([query]))
+        worker.handle("warm_restart", {"digest": cluster_world.digest})
+        assert worker.telemetry.restarts == 0
+        reply = worker.handle("estimate", estimate_payload([query]))
+        assert not reply["results"][0][2]  # cache was still invalidated
+
+
+class TestFaults:
+    def test_drill_fault_crashes_the_estimate_frame(self, cluster_world):
+        from repro.cluster.worker import ESTIMATE_SITE
+
+        site = ESTIMATE_SITE.format(worker_id=0)
+        spec = make_specs(cluster_world, 1, faults={0: ((site, "crash", 2),)})[0]
+        worker = ShardWorker(spec)
+        endpoint = InlineEndpoint(worker.handle_bytes)
+        payload = estimate_payload([cluster_world.queries[0]])
+        endpoint.send(encode_frame("estimate", 1, payload))
+        endpoint.recv()  # ordinal 1: survives
+        with pytest.raises(EndpointClosed, match="crashed"):
+            endpoint.send(encode_frame("estimate", 2, payload))
+        assert endpoint.closed

@@ -1,0 +1,129 @@
+"""O_EXCL manifest locks: bodies, contention, staleness, gc refusal."""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    CrashPoint,
+    LockHeld,
+    ManifestLock,
+    is_stale,
+    lock_path_for,
+    read_lock,
+)
+from repro.utils.errors import StoreError
+
+
+@pytest.fixture()
+def target(tmp_path):
+    return tmp_path / "manifest.json"
+
+
+def write_lock_body(target, **overrides):
+    body = {
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "unix": time.time(),
+        "owner": "test",
+    }
+    body.update(overrides)
+    path = lock_path_for(target)
+    path.write_text(json.dumps(body), encoding="utf-8")
+    return path
+
+
+class TestManifestLock:
+    def test_acquire_writes_body_release_removes(self, target):
+        with ManifestLock(target, owner="run:probe") as lock:
+            assert lock.held
+            body = read_lock(lock.lock_path)
+            assert body["pid"] == os.getpid()
+            assert body["owner"] == "run:probe"
+            assert body["host"] == socket.gethostname()
+        assert not lock.held
+        assert not lock_path_for(target).exists()
+
+    def test_live_contention_raises_lock_held(self, target):
+        with ManifestLock(target, owner="first"):
+            contender = ManifestLock(
+                target, owner="second", timeout=0.2, poll_interval=0.01
+            )
+            with pytest.raises(LockHeld, match="held by"):
+                contender.acquire()
+
+    def test_dead_holder_is_broken(self, target):
+        # A real pid that provably exited: the next acquirer must treat
+        # its lock as stale and break it instead of waiting out the age.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        write_lock_body(target, pid=proc.pid, owner="dead")
+        lock = ManifestLock(target, timeout=1.0).acquire()
+        try:
+            assert lock.broke_stale == 1
+            assert read_lock(lock.lock_path)["pid"] == os.getpid()
+        finally:
+            lock.release()
+
+    def test_foreign_host_lock_goes_stale_by_age_only(self, target):
+        # We can't probe pids on another host, so age decides.
+        path = write_lock_body(target, host="elsewhere", unix=time.time() - 1000.0)
+        assert is_stale(path)
+        assert not is_stale(path, stale_seconds=10_000.0)
+        write_lock_body(target, host="elsewhere")
+        assert not is_stale(path)
+
+    def test_missing_lock_is_not_stale(self, target):
+        assert not is_stale(lock_path_for(target))
+        assert read_lock(lock_path_for(target)) is None
+
+    def test_corrupt_body_still_ages_out(self, target):
+        path = lock_path_for(target)
+        path.write_text("not json", encoding="utf-8")
+        assert read_lock(path) == {}
+        assert not is_stale(path)  # fresh mtime: someone may be mid-write
+        old = time.time() - 1000.0
+        os.utime(path, (old, old))
+        assert is_stale(path)
+
+    def test_crash_drill_unwind_still_releases(self, target):
+        # CrashPoint is a BaseException; __exit__ must run for it so
+        # in-process drills never leave locks behind.
+        with pytest.raises(CrashPoint):
+            with ManifestLock(target, owner="drill"):
+                raise CrashPoint("store:commit", 1)
+        assert not lock_path_for(target).exists()
+
+
+class TestStoreGc:
+    def test_gc_refuses_while_a_writer_is_live(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.create_run("test", "r1", params={}, seed=0)
+        with ManifestLock(store.manifest_path("r1"), owner="run:r1"):
+            assert store.live_locks() == [
+                lock_path_for(store.manifest_path("r1"))
+            ]
+            with pytest.raises(StoreError, match="refusing to gc.*r1"):
+                store.gc()
+        assert store.live_locks() == []
+        report = store.gc()
+        assert report["stale_locks_removed"] == 0
+        assert report["runs"] == 1
+
+    def test_gc_sweeps_stale_locks_instead_of_refusing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.create_run("test", "r1", params={}, seed=0)
+        path = write_lock_body(
+            store.manifest_path("r1"), host="elsewhere",
+            unix=time.time() - 1000.0,
+        )
+        assert store.live_locks() == []
+        report = store.gc()
+        assert report["stale_locks_removed"] == 1
+        assert not path.exists()
