@@ -1,10 +1,12 @@
 """R011 blocking-call-in-server-loop: keep ground truth off the hot path.
 
 The serving subsystem splits into a latency-critical estimate path
-(``serve/server.py``, ``serve/cache.py``, ``serve/stats.py``, and the
-cluster's request loops ``cluster/router.py``/``cluster/worker.py``) and
-a background retrain path (``serve/retrain.py``,
-``cluster/promotion.py``). The paper's whole threat
+(``serve/server.py``, ``serve/cache.py``, ``serve/stats.py``, the
+cluster's request loops ``cluster/router.py``/``cluster/worker.py``, and
+the ops plane's per-tick monitoring path
+``ops/tsdb.py``/``ops/detect.py``/``ops/loop.py``) and a background
+retrain/repair path (``serve/retrain.py``, ``cluster/promotion.py``,
+``ops/actions.py``). The paper's whole threat
 model rides on that split: estimates must come from the model alone,
 while ``COUNT(*)`` execution and incremental retraining — both unbounded
 in cost (a single count scans the table; an update runs K full-batch GD
@@ -42,11 +44,13 @@ _BLOCKING_FUNCTIONS = frozenset({
 })
 
 #: The latency-critical modules, per package. The background modules
-#: (``serve/retrain.py``, ``cluster/promotion.py``, the sim/bench
-#: drivers) are exempt by design — that is where blocking work belongs.
+#: (``serve/retrain.py``, ``cluster/promotion.py``, ``ops/actions.py``,
+#: the sim/bench drivers) are exempt by design — that is where blocking
+#: work belongs.
 _HOT_PATH_FILES: dict[str, frozenset[str]] = {
     "serve": frozenset({"server.py", "cache.py", "stats.py"}),
     "cluster": frozenset({"router.py", "worker.py"}),
+    "ops": frozenset({"tsdb.py", "detect.py", "loop.py"}),
 }
 
 

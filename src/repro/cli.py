@@ -7,6 +7,8 @@ Examples::
     python -m repro speculate --dataset dmv --model lstm
     python -m repro serve-sim --dataset dmv --model mscn --rounds 3
     python -m repro serve-bench --requests 512
+    python -m repro ops-sim --chaos --output OPS_SIM.json
+    python -m repro ops-bench --sweeps 500
     python -m repro lint --format json
     python -m repro analyze
     python -m repro analyze --changed
@@ -272,6 +274,61 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_bench.add_argument("--output", default=None,
                                help="report path "
                                     "(default: benchmarks/BENCH_PR9.json)")
+
+    ops_sim = sub.add_parser(
+        "ops-sim",
+        help="autonomous-ops simulation: unannounced mid-session poisoning, "
+             "detect -> diagnose -> rollback/guard, with and without the "
+             "ops controller; digests byte-identical per seed",
+    )
+    _add_common(ops_sim)
+    ops_sim.add_argument("--rounds", type=int, default=5,
+                         help="retrain rounds per arm (default: 5)")
+    ops_sim.add_argument("--requests", type=int, default=192,
+                         help="arrivals per round (default: 192)")
+    ops_sim.add_argument("--qps", type=float, default=256.0,
+                         help="mean arrival rate (default: 256)")
+    ops_sim.add_argument("--poison-fraction", type=float, default=0.5,
+                         help="attacker share of arrivals once chaos starts "
+                              "(default: 0.5)")
+    ops_sim.add_argument("--method", choices=METHODS, default="pace",
+                         help="attack crafting the poison pool (default: pace)")
+    ops_sim.add_argument("--chaos-round", type=int, default=2,
+                         help="first round whose arrivals include the attacker "
+                              "(default: 2)")
+    ops_sim.add_argument("--guard-factor", type=float, default=1.1,
+                         help="envelope of the guard the controller installs "
+                              "on recovery (default: 1.1)")
+    ops_sim.add_argument("--store", default="ops-store",
+                         help="lineage store root (default: ops-store)")
+    ops_sim.add_argument("--chaos", action="store_true",
+                         help="gate mode: exit 1 unless the controller "
+                              "detected the attack, recovered within the "
+                              "envelope, recorded lineage, and the repeated "
+                              "run's scenario digest matched byte-for-byte")
+    ops_sim.add_argument("--no-stability", action="store_true",
+                         help="skip the repeated ops arm (faster; digest "
+                              "stability is then not checked)")
+    ops_sim.add_argument("--output", default=None,
+                         help="also write the JSON report to this path")
+
+    ops_bench = sub.add_parser(
+        "ops-bench",
+        help="monitoring-plane overhead: TSDB ingest, stats snapshots, "
+             "detector sweeps; writes BENCH_PR10.json",
+    )
+    ops_bench.add_argument("--seed", type=int, default=0)
+    ops_bench.add_argument("--points", type=int, default=20000,
+                           help="raw points per series in the ingest stage "
+                                "(default: 20000)")
+    ops_bench.add_argument("--snapshots", type=int, default=2000,
+                           help="ServeStats snapshots ingested (default: 2000)")
+    ops_bench.add_argument("--sweeps", type=int, default=500,
+                           help="detector-bank sweeps (default: 500)")
+    ops_bench.add_argument("--repeats", type=int, default=3,
+                           help="timing repeats, best kept (default: 3)")
+    ops_bench.add_argument("--output", default=None,
+                           help="report path (default: benchmarks/BENCH_PR10.json)")
 
     gradcheck = sub.add_parser(
         "gradcheck",
@@ -571,6 +628,60 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         report["drill"]["identical"] and report["drill"]["fired"]
     ):
         return 1
+    if "reroute_drill" in report and not report["reroute_drill"]["ok"]:
+        return 1
+    return 0
+
+
+def cmd_ops_sim(args: argparse.Namespace) -> int:
+    from repro.ops.sim import OpsSimConfig, format_ops_report, run_ops_sim
+    from repro.store.io import atomic_write_json
+
+    config = OpsSimConfig(
+        dataset=args.dataset,
+        model_type=args.model,
+        scale=args.scale or "smoke",
+        seed=args.seed,
+        rounds=args.rounds,
+        chaos_round=args.chaos_round,
+        requests_per_round=args.requests,
+        qps=args.qps,
+        poison_fraction=args.poison_fraction,
+        attack_method=args.method,
+        guard_factor=args.guard_factor,
+        store_root=args.store,
+    )
+    report = run_ops_sim(config, stability=not args.no_stability)
+    print(format_ops_report(report))
+    if args.output:
+        # sort_keys makes equal-seed runs byte-identical on disk.
+        out = atomic_write_json(Path(args.output), report, sort_keys=True)
+        print(f"\nreport written to {out}")
+    if args.chaos and not report["verdict"]["ok"]:
+        return 1
+    return 0
+
+
+def cmd_ops_bench(args: argparse.Namespace) -> int:
+    from repro.ops.bench import (
+        DEFAULT_REPORT,
+        OpsBenchConfig,
+        format_ops_bench,
+        run_ops_bench,
+    )
+    from repro.perf import write_report
+
+    config = OpsBenchConfig(
+        seed=args.seed,
+        points=args.points,
+        snapshots=args.snapshots,
+        sweeps=args.sweeps,
+        repeats=args.repeats,
+    )
+    report = run_ops_bench(config)
+    out = write_report(report, args.output or DEFAULT_REPORT)
+    print(format_ops_bench(report))
+    print(f"\nreport written to {out}")
     return 0
 
 
@@ -1074,6 +1185,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": cmd_serve_bench,
         "cluster-sim": cmd_cluster_sim,
         "cluster-bench": cmd_cluster_bench,
+        "ops-sim": cmd_ops_sim,
+        "ops-bench": cmd_ops_bench,
         "lint": cmd_lint,
         "analyze": cmd_analyze,
         "verify-ir": cmd_verify_ir,

@@ -14,7 +14,10 @@ recorded alongside for reference, never used in the scaling number.
 The report also embeds the :func:`~repro.cluster.sim.run_cluster_drill`
 digest comparison, so ``benchmarks/BENCH_PR9.json`` carries both PR-9
 acceptance facts: near-linear scaling to 8 workers and a kill-a-worker
-drill whose scenario digest equals the undisturbed run's.
+drill whose scenario digest equals the undisturbed run's. Alongside it
+rides the degraded-mode :func:`~repro.cluster.sim.run_reroute_drill`
+verdict — the same kill with respawn disabled, recovered by dropping the
+node from the ring and re-keying its work to the survivors.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.cluster.sim import (
     ClusterTraffic,
     drive_round,
     run_cluster_drill,
+    run_reroute_drill,
 )
 from repro.cluster.worker import WorkerSpec
 from repro.harness.experiments import get_scenario
@@ -204,6 +208,24 @@ def run_cluster_bench(config: ClusterBenchConfig | None = None) -> dict:
             "drilled_digest": drill["drilled"]["digest"],
             "identical": drill["identical"],
         }
+        reroute = run_reroute_drill(ClusterSimConfig(
+            dataset=config.dataset,
+            model_type=config.model_type,
+            scale=config.scale,
+            seed=config.seed,
+            transport=config.transport,
+            store_root=config.store_root,
+        ))
+        report["reroute_drill"] = {
+            "workers": reroute["config"]["workers"],
+            "killed_worker": reroute["drill"]["worker"],
+            "ordinal": reroute["drill"]["ordinal"],
+            "fired": reroute["drill"]["fired"],
+            "all_finalized": reroute["drill"]["all_finalized"],
+            "workers_after": reroute["drill"]["workers_after"],
+            "survivors_ok": reroute["drill"]["survivors_ok"],
+            "ok": reroute["drill"]["ok"],
+        }
     return report
 
 
@@ -246,5 +268,14 @@ def format_cluster_bench(report: dict) -> str:
         lines.append(
             f"drill: killed worker {drill['killed_worker']} at estimate frame "
             f"{drill['ordinal']} (fired={drill['fired']}) — scenario digest {verdict}"
+        )
+    if "reroute_drill" in report:
+        reroute = report["reroute_drill"]
+        lines.append(
+            f"reroute drill: killed worker {reroute['killed_worker']} with "
+            f"respawn off (fired={reroute['fired']}) — "
+            f"{reroute['workers_after']} survivor(s), all requests "
+            f"finalized={reroute['all_finalized']} — "
+            f"{'ok' if reroute['ok'] else 'FAIL'}"
         )
     return "\n".join(lines)

@@ -201,6 +201,7 @@ class ClusterRouter:
         self.respawns = 0
         self.reroutes = 0
         self.heartbeats = 0
+        self.quarantines = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -435,6 +436,48 @@ class ClusterRouter:
             except (EndpointClosed, RpcTimeout, RpcError):
                 out[wid] = {"unreachable": True}
         return out
+
+    def quarantine(self, wid: int) -> dict:
+        """Drain one worker out of the ring (the ops plane's planned removal).
+
+        Unlike :meth:`_recover`'s re-route branch — which reacts to a
+        worker that already died — quarantine is deliberate: the worker
+        gets a ``quarantine`` frame (so it stops accepting estimate work
+        and acks with final telemetry), its ring spans fall to its
+        successors, its queued requests are re-keyed through the ring
+        (nothing is lost), and the handle is stopped.
+        """
+        if wid not in self._handles:
+            raise ClusterError(f"unknown worker {wid}")
+        if len(self._queues) <= 1:
+            raise ClusterError("cannot quarantine the last worker")
+        handle = self._handles[wid]
+        acked = False
+        final_telemetry: dict | None = None
+        try:
+            reply = handle.channel.call("quarantine", {}, retries=0)
+            acked = bool(reply.get("quarantined"))
+            final_telemetry = reply.get("telemetry")
+        except (EndpointClosed, RpcTimeout, RpcError):
+            acked = False  # already dead: proceed with the removal anyway
+        self.ring.remove(node_label(wid))
+        if not len(self.ring):
+            raise ClusterError("quarantine would leave an empty ring")
+        stranded = list(self._queues.pop(wid))
+        handle.stop()
+        del self._handles[wid]
+        del self._specs[wid]
+        for request in stranded:
+            new_wid = int(self.ring.node_for(request.key).rsplit("-", 1)[1])
+            request.worker_id = new_wid
+            self._queues[new_wid].append(request)
+        self.quarantines += 1
+        return {
+            "worker_id": wid,
+            "acked": acked,
+            "requeued": len(stranded),
+            "telemetry": final_telemetry,
+        }
 
     def kill_worker(self, wid: int) -> None:
         """Drill helper: forcibly end one worker mid-traffic."""

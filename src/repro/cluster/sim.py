@@ -236,8 +236,14 @@ def run_session(
     guarded: bool,
     run_id: str,
     faults: dict[int, tuple[tuple[str, str, int], ...]] | None = None,
+    respawn: bool = True,
 ) -> dict:
-    """Serve one full cluster session from clean parameters; one arm."""
+    """Serve one full cluster session from clean parameters; one arm.
+
+    ``respawn=False`` runs the router in degraded mode: a failed worker is
+    dropped from the ring and its work re-keyed to the survivors instead
+    of being replaced (:func:`run_reroute_drill` exercises this).
+    """
     scenario.reset()
     model = scenario.model
     deployed = DeployedEstimator(
@@ -256,6 +262,7 @@ def run_session(
             max_queue=config.max_queue,
             max_batch=config.max_batch,
             stats=stats,
+            respawn=respawn,
             clock=clock,
         )
         router.start()
@@ -347,10 +354,13 @@ def run_session(
         "final_checkpoint": final_checkpoint,
         "promotions": promotions,
         "respawns": router.respawns,
+        "reroutes": router.reroutes,
+        "quarantines": router.quarantines,
+        "workers_after": len(worker_stats),
         "run_id": run_id,
         "workers": worker_stats,
         "ring_spans": router.ring.spans(),
-        "stats": stats.snapshot(),
+        "stats": stats.to_json(),
         "retrain_events": [e.as_dict() for e in promotion.retrain.events],
     }
     if promotion.guard is not None:
@@ -474,6 +484,76 @@ def run_cluster_drill(config: ClusterSimConfig | None = None) -> dict:
         "reference": reference,
         "drilled": drilled,
         "identical": reference["digest"] == drilled["digest"],
+    }
+
+
+def run_reroute_drill(config: ClusterSimConfig | None = None) -> dict:
+    """Kill one worker mid-traffic with respawn *disabled*; prove service.
+
+    The degraded-mode counterpart of :func:`run_cluster_drill`: the same
+    fault kills the same worker at the same estimate frame, but the router
+    runs with ``respawn=False``, so recovery is a ring removal plus
+    re-keying the stranded work to the survivors. A digest equality is
+    impossible here by construction — the surviving topology serves
+    different shards — so the verdict is liveness instead:
+
+    * the re-route branch actually fired (``reroutes >= 1``);
+    * every submitted request was still finalized (nothing lost);
+    * exactly one worker is gone at session end.
+    """
+    config = config or ClusterSimConfig()
+    if config.workers < 2:
+        raise ReproError(
+            f"the re-route drill needs >= 2 workers, got {config.workers}"
+        )
+    if not 1 <= config.drill_round <= config.rounds:
+        raise ReproError(
+            f"drill_round must be in [1, {config.rounds}], got {config.drill_round}"
+        )
+    scenario, poison, validation, evaluation = _build_world(config)
+    store = ArtifactStore(config.store_root)
+    reference = run_session(
+        scenario, poison, validation, evaluation, config, store,
+        guarded=False, run_id=f"cluster-reroute-ref-seed{config.seed}",
+    )
+    target = str(config.drill_worker)
+    prior = config.drill_round - 2  # index of the last pre-drill round
+    frames_before = (
+        reference["rounds"][prior]["worker_frames"].get(target, 0)
+        if prior >= 0 else 0
+    )
+    site = ESTIMATE_SITE.format(worker_id=config.drill_worker)
+    faults = {
+        config.drill_worker: ((site, "crash", int(frames_before) + 1),),
+    }
+    drilled = run_session(
+        scenario, poison, validation, evaluation, config, store,
+        guarded=False, run_id=f"cluster-reroute-kill-seed{config.seed}",
+        faults=faults, respawn=False,
+    )
+    scenario.reset()
+    stats = drilled["stats"]
+    finalized = stats["completed"] + stats["shed"] + stats["rejected"]
+    fired = drilled["reroutes"] > 0
+    all_finalized = finalized == stats["submitted"]
+    survivors_ok = drilled["workers_after"] == config.workers - 1
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro cluster-sim --reroute-drill",
+        "config": asdict(config),
+        "drill": {
+            "worker": config.drill_worker,
+            "round": config.drill_round,
+            "site": site,
+            "ordinal": int(frames_before) + 1,
+            "fired": fired,
+            "all_finalized": all_finalized,
+            "workers_after": drilled["workers_after"],
+            "survivors_ok": survivors_ok,
+            "ok": bool(fired and all_finalized and survivors_ok),
+        },
+        "reference": reference,
+        "drilled": drilled,
     }
 
 

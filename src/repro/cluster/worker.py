@@ -5,7 +5,9 @@ schema, the query encoder, and one estimator replica (plus estimate
 cache) *per tenant* — and answers the router's frames: ``ping``,
 ``estimate`` (shed expired requests, batch the rest per tenant through
 one ``encode_many`` + one fused forward), ``warm_restart`` (reseat every
-replica bitwise from a store checkpoint digest), ``stats``, and
+replica bitwise from a store checkpoint digest), ``stats``,
+``quarantine`` (stop accepting estimate work — the ops plane's planned
+removal, acknowledged with a final telemetry snapshot), and
 ``shutdown``.
 
 Workers never train. They are pure replicas: parameters only ever change
@@ -118,6 +120,7 @@ class ShardWorker:
         self.spec = spec
         self.clock = clock or ManualClock(domain=f"worker-{spec.worker_id}")
         self.telemetry = WorkerTelemetry()
+        self.quarantined = False
         self.injector = FaultInjector(
             [FaultSpec(site=site, kind=kind, ordinal=ordinal)
              for site, kind, ordinal in spec.faults]
@@ -183,11 +186,26 @@ class ShardWorker:
             return self._handle_warm_restart(payload)
         if kind == "stats":
             return self.telemetry.as_dict()
+        if kind == "quarantine":
+            self.quarantined = True
+            return {
+                "worker_id": self.spec.worker_id,
+                "quarantined": True,
+                "telemetry": self.telemetry.as_dict(),
+            }
         if kind == "shutdown":
             return {"worker_id": self.spec.worker_id, "stopping": True}
         raise ValueError(f"unknown frame kind {kind!r}")
 
     def _handle_estimate(self, payload) -> dict:
+        if self.quarantined:
+            # The router must never route here after a quarantine ack;
+            # answering with an error (not silence) makes a routing bug
+            # loud instead of a hang.
+            raise ValueError(
+                f"worker {self.spec.worker_id} is quarantined and no "
+                f"longer accepts estimate frames"
+            )
         self.telemetry.frames += 1
         self.injector.reach(self._estimate_site)
         now = float(payload["now"])

@@ -1,0 +1,305 @@
+"""Guarded repair actuators the closed loop can fire.
+
+This is the ops plane's *background* module — like ``serve/retrain.py``
+it is exempt from flow rule R011 and may do unbounded work (checkpoint
+IO, held-out evaluation through the promotion guard, a forced retrain
+round). The per-tick monitoring path (:mod:`repro.ops.loop`) only ever
+calls into it when a diagnosis demands repair.
+
+:class:`ServePlant` is the actuator surface over one serving stack
+(deployed estimator + retrain loop + cache, optionally a cluster router
+and an artifact-store run). The actions are small verbs on top of it:
+
+* :class:`RollbackAction` — bitwise restore of the last known-good
+  promoted checkpoint digest + cache invalidation;
+* :class:`GuardedRetrainAction` — install/tighten a calibrated
+  :class:`~repro.serve.retrain.PromotionGuard` so every later update
+  must pass held-out validation, then force one guarded retrain round;
+* :class:`QuarantineAction` — drain unreachable shard workers out of the
+  ring via :meth:`~repro.cluster.router.ClusterRouter.quarantine`;
+* :class:`AdvisoryAction` — record the incident without actuating.
+
+Every alarm/diagnosis/action is committed into the plant's store run as
+lineage events (``ops_alarm`` / ``ops_action``), so a post-mortem can
+replay exactly what the controller saw and did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ce.deployment import DeployedEstimator
+from repro.ops.diagnose import Diagnosis
+from repro.ops.tsdb import OpsError
+from repro.serve.cache import EstimateCache
+from repro.serve.retrain import PromotionGuard, RetrainLoop
+from repro.store.store import RunHandle
+from repro.workload.workload import Workload
+
+
+@dataclass(frozen=True)
+class ActionResult:
+    """What one actuator did (and whether it worked)."""
+
+    action: str
+    ok: bool
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "ok": self.ok,
+            "detail": self.detail,
+            "data": dict(self.data),
+        }
+
+
+class ServePlant:
+    """The actuator surface over one serving stack.
+
+    Args:
+        deployed: the serving facade whose model the actions repair.
+        retrain: the background retrain loop (guard installation target).
+        cache: optional estimate cache, invalidated on every restore.
+        router: optional cluster router for shard quarantine.
+        run: optional artifact-store run; known-good checkpoints are
+            content-addressed into its store and every alarm/action is
+            committed as a lineage event.
+        validation: held-out workload the installed guard validates
+            against (required for :class:`GuardedRetrainAction`).
+        guard_factor: envelope the installed guard enforces — candidate
+            mean Q-error must stay within ``factor x`` its calibrated
+            baseline.
+    """
+
+    def __init__(
+        self,
+        deployed: DeployedEstimator,
+        retrain: RetrainLoop,
+        cache: EstimateCache | None = None,
+        router=None,
+        run: RunHandle | None = None,
+        validation: Workload | None = None,
+        guard_factor: float = 1.1,
+    ) -> None:
+        if guard_factor <= 1.0:
+            raise OpsError(f"guard_factor must exceed 1, got {guard_factor}")
+        self.deployed = deployed
+        self.retrain = retrain
+        self.cache = cache
+        self.router = router
+        self.run = run
+        self.validation = validation
+        self.guard_factor = float(guard_factor)
+        self.good_digest: str | None = None
+        self._good_state: dict | None = None
+        self.marks = 0
+        self.restores = 0
+
+    # ------------------------------------------------------------------
+    # health signals the controller polls
+    # ------------------------------------------------------------------
+    def promotions_total(self) -> int:
+        """Model promotions since boot (for promotion-vs-drift diagnosis)."""
+        if self.retrain.stats is not None:
+            return int(self.retrain.stats.promotions)
+        return sum(1 for event in self.retrain.events if event.promoted)
+
+    def unreachable_ids(self) -> tuple[int, ...]:
+        """Shard workers whose stats frame went unanswered (dead shards)."""
+        if self.router is None:
+            return ()
+        return tuple(
+            wid
+            for wid, snapshot in sorted(self.router.worker_stats().items())
+            if snapshot.get("unreachable")
+        )
+
+    # ------------------------------------------------------------------
+    # known-good lineage
+    # ------------------------------------------------------------------
+    def mark_good(self) -> str | None:
+        """Checkpoint the *current* serving parameters as known-good.
+
+        With a store run attached the state is content-addressed (so
+        repeated marks of an unchanged model dedup to one blob) and the
+        digest returned; without one an in-memory bitwise copy is kept
+        and ``None`` returned.
+        """
+        state = self.deployed.inspect_model().full_state_dict()
+        if self.run is not None:
+            artifact = self.run.store.put_checkpoint(state)
+            self.good_digest = artifact.digest
+        else:
+            self._good_state = {
+                key: value.copy() if hasattr(value, "copy") else value
+                for key, value in state.items()
+            }
+        self.marks += 1
+        return self.good_digest
+
+    def restore_good(self) -> str | None:
+        """Bitwise-restore the last known-good checkpoint; flush the cache."""
+        if self.good_digest is None and self._good_state is None:
+            raise OpsError("no known-good checkpoint marked yet — cannot roll back")
+        if self.good_digest is not None:
+            state = self.run.store.get_checkpoint(self.good_digest)
+        else:
+            state = self._good_state
+        self.deployed.inspect_model().load_full_state_dict(state)
+        if self.cache is not None:
+            self.cache.invalidate()
+        self.restores += 1
+        return self.good_digest
+
+    # ------------------------------------------------------------------
+    # guard installation
+    # ------------------------------------------------------------------
+    def install_guard(self) -> PromotionGuard:
+        """Install (or tighten) a promotion guard calibrated on the
+        *current* model, wiring it into both the gate stack and the
+        retrain loop."""
+        if self.validation is None:
+            raise OpsError("the plant has no validation workload to calibrate a guard")
+        guard = self.retrain.guard
+        if guard is None:
+            guard = PromotionGuard(self.validation, factor=self.guard_factor)
+            self.retrain.guard = guard
+        else:
+            guard.factor = min(guard.factor, self.guard_factor)
+        guard.calibrate(self.deployed.inspect_model())
+        if guard not in self.deployed.gates:
+            self.deployed.add_gate(guard)
+        return guard
+
+    # ------------------------------------------------------------------
+    # cluster repair
+    # ------------------------------------------------------------------
+    def quarantine_workers(self, worker_ids: tuple[int, ...]) -> list[dict]:
+        """Drain the listed workers out of the ring (planned removal)."""
+        if self.router is None:
+            raise OpsError("the plant has no cluster router to quarantine workers on")
+        return [self.router.quarantine(wid) for wid in worker_ids]
+
+    # ------------------------------------------------------------------
+    # lineage
+    # ------------------------------------------------------------------
+    def record(self, diagnosis: Diagnosis, results: tuple[ActionResult, ...]) -> None:
+        """Commit the incident — alarms, cause, actions — into the run."""
+        if self.run is None:
+            return
+        for alarm in diagnosis.alarms:
+            self.run.record_event("ops_alarm", **alarm.as_dict())
+        for result in results:
+            self.run.record_event(
+                "ops_action",
+                cause=diagnosis.cause,
+                confidence=diagnosis.confidence,
+                **result.as_dict(),
+            )
+        self.run.commit()
+
+
+class Action:
+    """One repair verb the controller's policy can name."""
+
+    name = "action"
+
+    def apply(self, plant: ServePlant, diagnosis: Diagnosis) -> ActionResult:
+        raise NotImplementedError
+
+
+class RollbackAction(Action):
+    """Bitwise rollback to the last known-good promoted digest."""
+
+    name = "rollback"
+
+    def apply(self, plant: ServePlant, diagnosis: Diagnosis) -> ActionResult:
+        try:
+            digest = plant.restore_good()
+        except OpsError as exc:
+            return ActionResult(self.name, False, str(exc))
+        where = (
+            f"store checkpoint {digest[:12]}…"
+            if digest is not None
+            else "in-memory known-good snapshot"
+        )
+        return ActionResult(
+            self.name,
+            True,
+            f"restored {where} and invalidated the estimate cache "
+            f"(cause: {diagnosis.cause})",
+            {"digest": digest},
+        )
+
+
+class GuardedRetrainAction(Action):
+    """Install a calibrated promotion guard, then retrain through it."""
+
+    name = "guarded_retrain"
+
+    def apply(self, plant: ServePlant, diagnosis: Diagnosis) -> ActionResult:
+        try:
+            guard = plant.install_guard()
+        except OpsError as exc:
+            return ActionResult(self.name, False, str(exc))
+        event = plant.retrain.flush()
+        data = {
+            "guard_factor": guard.factor,
+            "guard_baseline_qerror": guard.baseline_qerror,
+            "flushed": event is not None,
+            "promoted": bool(event.promoted) if event is not None else False,
+            "rolled_back": bool(event.rolled_back) if event is not None else False,
+        }
+        outcome = (
+            "no buffered workload to retrain on"
+            if event is None
+            else ("update promoted" if event.promoted else "update vetoed/rolled back")
+        )
+        return ActionResult(
+            self.name,
+            True,
+            f"promotion guard armed at {guard.factor:g}x "
+            f"(baseline {guard.baseline_qerror:.4g}); {outcome}",
+            data,
+        )
+
+
+class QuarantineAction(Action):
+    """Drain every unreachable shard worker out of the ring."""
+
+    name = "quarantine"
+
+    def apply(self, plant: ServePlant, diagnosis: Diagnosis) -> ActionResult:
+        dead = plant.unreachable_ids()
+        if not dead:
+            return ActionResult(
+                self.name, False, "no unreachable workers left to quarantine"
+            )
+        try:
+            reports = plant.quarantine_workers(dead)
+        except OpsError as exc:
+            return ActionResult(self.name, False, str(exc))
+        requeued = sum(int(r.get("requeued", 0)) for r in reports)
+        return ActionResult(
+            self.name,
+            True,
+            f"quarantined worker(s) {list(dead)}; re-keyed {requeued} "
+            f"queued request(s) through the ring",
+            {"workers": list(dead), "requeued": requeued},
+        )
+
+
+class AdvisoryAction(Action):
+    """Record the incident; no actuator is safe/configured for it."""
+
+    name = "advisory"
+
+    def __init__(self, note: str = "no automated repair configured for this cause") -> None:
+        self.note = note
+
+    def apply(self, plant: ServePlant, diagnosis: Diagnosis) -> ActionResult:
+        return ActionResult(
+            self.name, True, f"{self.note} (cause: {diagnosis.cause})"
+        )

@@ -1,0 +1,182 @@
+"""``pace-repro ops-bench``: what the monitoring plane costs.
+
+The ops plane rides on the serving box, so its overhead budget is the
+serve hot path's latency headroom. This bench measures the three per-tick
+costs on seeded synthetic streams — raw point ingest into the TSDB,
+``ServeStats`` snapshot ingestion (schema check + counter deltas), and a
+full :func:`~repro.ops.detect.default_bank` sweep — and folds them into a
+per-tick overhead estimate against the serve loop's service period.
+
+Timings use ``time.perf_counter`` (best-of-``repeats``), so the report's
+numbers vary run to run; the *workload* driving them is seed-derived and
+fixed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.ops.detect import default_bank
+from repro.ops.tsdb import STATS_METRICS, TimeSeriesDB
+from repro.serve.stats import ServeStats
+from repro.utils.rng import derive_rng
+
+SCHEMA_VERSION = 1
+
+DEFAULT_REPORT = Path("benchmarks") / "BENCH_PR10.json"
+
+
+@dataclass(frozen=True)
+class OpsBenchConfig:
+    """Workload knobs for one ops-bench run."""
+
+    seed: int = 0
+    #: Raw points pushed per series in the ingest measurement.
+    points: int = 20_000
+    #: Distinct metric series in the ingest measurement.
+    series: int = 8
+    #: ServeStats snapshots pushed through ``ingest_stats``.
+    snapshots: int = 2_000
+    #: Detector-bank sweeps (each over one fresh batch of points).
+    sweeps: int = 500
+    #: Canary points per sweep batch.
+    batch: int = 4
+    #: Best-of-N wall-clock repetitions per measurement.
+    repeats: int = 3
+    #: Serve-loop service rate the overhead is judged against.
+    service_hz: float = 32.0
+
+
+def _best_of(repeats: int, measure) -> tuple[float, dict]:
+    best = None
+    extra: dict = {}
+    for _ in range(max(1, repeats)):
+        seconds, info = measure()
+        if best is None or seconds < best:
+            best, extra = seconds, info
+    return best, extra
+
+
+def _measure_ingest(config: OpsBenchConfig) -> tuple[float, dict]:
+    rng = derive_rng(config.seed)
+    names = [f"bench.metric_{i}" for i in range(config.series)]
+    values = rng.random(config.points * config.series)
+    tsdb = TimeSeriesDB(retention=4096)
+    start = time.perf_counter()
+    at = 0.0
+    cursor = 0
+    for _ in range(config.points):
+        at += 1.0
+        for name in names:
+            tsdb.ingest(name, float(values[cursor]), at=at)
+            cursor += 1
+    seconds = time.perf_counter() - start
+    return seconds, {"points": cursor, "series": config.series}
+
+
+def _measure_snapshots(config: OpsBenchConfig) -> tuple[float, dict]:
+    stats = ServeStats()
+    tsdb = TimeSeriesDB(retention=4096)
+    start = time.perf_counter()
+    for index in range(config.snapshots):
+        stats.record_submitted()
+        stats.record_cache(index % 2, (index + 1) % 2)
+        stats.record_completed(0.001)
+        tsdb.ingest_stats(stats.to_json(), at=float(index))
+    seconds = time.perf_counter() - start
+    return seconds, {
+        "snapshots": config.snapshots,
+        "metrics_per_snapshot": len(STATS_METRICS),
+    }
+
+
+def _measure_sweeps(config: OpsBenchConfig) -> tuple[float, dict]:
+    rng = derive_rng(config.seed + 1)
+    tsdb = TimeSeriesDB(retention=8192)
+    bank = default_bank()
+    metrics = [metric for metric, _ in bank.wiring()]
+    noise = rng.random(config.sweeps * config.batch * len(metrics))
+    cursor = 0
+    at = 0.0
+    start = time.perf_counter()
+    for _ in range(config.sweeps):
+        for _ in range(config.batch):
+            at += 1.0
+            for metric in metrics:
+                # Calm values: measure the sweep, not alarm bookkeeping.
+                tsdb.ingest(metric, 1.0 + 0.01 * float(noise[cursor]), at=at)
+                cursor += 1
+        bank.sweep(tsdb)
+    seconds = time.perf_counter() - start
+    return seconds, {
+        "sweeps": config.sweeps,
+        "points_swept": cursor,
+        "alarms": len(bank.alarms),
+        "detectors": len(metrics),
+    }
+
+
+def run_ops_bench(config: OpsBenchConfig | None = None) -> dict:
+    """Measure ops-plane overhead; returns the JSON-ready report."""
+    config = config or OpsBenchConfig()
+    ingest_s, ingest_info = _best_of(config.repeats, lambda: _measure_ingest(config))
+    snap_s, snap_info = _best_of(config.repeats, lambda: _measure_snapshots(config))
+    sweep_s, sweep_info = _best_of(config.repeats, lambda: _measure_sweeps(config))
+    ingest_rate = ingest_info["points"] / ingest_s if ingest_s > 0.0 else None
+    snap_rate = snap_info["snapshots"] / snap_s if snap_s > 0.0 else None
+    sweep_rate = sweep_info["sweeps"] / sweep_s if sweep_s > 0.0 else None
+    # One controller tick ingests one snapshot and sweeps one batch.
+    tick_seconds = (
+        (snap_s / snap_info["snapshots"]) + (sweep_s / sweep_info["sweeps"])
+        if snap_s > 0.0 and sweep_s > 0.0
+        else None
+    )
+    service_period = 1.0 / config.service_hz
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro ops-bench",
+        "config": asdict(config),
+        "ingest": {**ingest_info, "seconds": ingest_s, "points_per_second": ingest_rate},
+        "snapshots": {**snap_info, "seconds": snap_s, "snapshots_per_second": snap_rate},
+        "sweeps": {**sweep_info, "seconds": sweep_s, "sweeps_per_second": sweep_rate},
+        "tick": {
+            "seconds": tick_seconds,
+            "service_period_seconds": service_period,
+            "overhead_fraction": (
+                tick_seconds / service_period if tick_seconds is not None else None
+            ),
+        },
+    }
+
+
+def format_ops_bench(report: dict) -> str:
+    """Console summary for ``pace-repro ops-bench``."""
+    from repro.metrics import render_table
+
+    ingest = report["ingest"]
+    snapshots = report["snapshots"]
+    sweeps = report["sweeps"]
+    tick = report["tick"]
+    rows = [
+        ["tsdb ingest", f"{ingest['points']}", f"{ingest['seconds'] * 1e3:.1f}ms",
+         f"{ingest['points_per_second']:,.0f} pts/s"],
+        ["stats snapshots", f"{snapshots['snapshots']}",
+         f"{snapshots['seconds'] * 1e3:.1f}ms",
+         f"{snapshots['snapshots_per_second']:,.0f} snap/s"],
+        ["detector sweeps", f"{sweeps['sweeps']}", f"{sweeps['seconds'] * 1e3:.1f}ms",
+         f"{sweeps['sweeps_per_second']:,.0f} sweep/s"],
+    ]
+    lines = [render_table(
+        ["stage", "units", "wall", "rate"],
+        rows,
+        title="pace-repro ops-bench · monitoring-plane overhead",
+    )]
+    if tick["seconds"] is not None:
+        lines.append(
+            f"\nper-tick overhead: {tick['seconds'] * 1e6:.1f}us "
+            f"({tick['overhead_fraction']:.2%} of one "
+            f"{tick['service_period_seconds'] * 1e3:.1f}ms service period)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Chaos traffic: unannounced, round-gated poisoning + a canary probe.
+
+The whole point of ``ops-sim`` is that the controller is **not told**
+about the attack: :class:`ChaosTraffic` replays the exact seeded arrival
+process of :class:`~repro.serve.replay.TrafficReplay`, but the attacker
+only goes live from ``start_round`` on. Every arrival consumes the same
+three RNG draws (interarrival, attacker coin, pool index) whether or not
+chaos is active, so two arms replaying the same seed see one
+byte-identical arrival trace, and a run with a later ``start_round``
+matches it exactly up to the round where their gating first differs.
+
+:class:`CanaryProbe` is the monitoring side: a small held-out labeled
+workload re-evaluated against the *live serving model* between rounds.
+Its mean Q-error is what feeds the ops TSDB's quality stream — this is
+legitimate telemetry (the operator owns the probe queries and their
+truths), not attack knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.ce.base import CardinalityEstimator
+from repro.ce.trainer import evaluate_q_errors
+from repro.ops.tsdb import OpsError
+from repro.serve.replay import Arrival, TrafficReplay
+from repro.workload.workload import Workload
+
+
+class ChaosTraffic(TrafficReplay):
+    """A traffic replay whose attacker only acts from ``start_round`` on."""
+
+    def __init__(self, *args, start_round: int = 0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if start_round < 0:
+            raise OpsError(f"start_round must be >= 0, got {start_round}")
+        self.start_round = int(start_round)
+        self._round = 0
+
+    @property
+    def chaos_active(self) -> bool:
+        return self._round >= self.start_round
+
+    def set_round(self, index: int) -> None:
+        """Tell the replay which scenario round the next arrivals belong to."""
+        self._round = int(index)
+
+    def arrivals(self, n: int, start: float = 0.0) -> list[Arrival]:
+        """Identical RNG consumption to the base replay; gated attacker.
+
+        The attacker coin is always flipped — only its *interpretation*
+        depends on the round — so traces with different ``start_round``
+        (or none at all) agree byte-for-byte up to the first round where
+        their gating differs.
+        """
+        out: list[Arrival] = []
+        now = float(start)
+        active = self.chaos_active
+        for _ in range(n):
+            now += float(self._rng.exponential(1.0 / self.config.qps))
+            coin = float(self._rng.random())
+            attacker = (
+                active
+                and bool(self.poison_pool)
+                and coin < self.config.poison_fraction
+            )
+            pool = self.poison_pool if attacker else self.benign_pool
+            query = pool[int(self._rng.integers(len(pool)))]
+            out.append(Arrival(
+                at=now, query=query, client="attacker" if attacker else "benign"
+            ))
+        return out
+
+
+class CanaryProbe:
+    """Held-out labeled probes evaluated against the live serving model."""
+
+    def __init__(self, workload: Workload) -> None:
+        if len(workload) == 0:
+            raise OpsError("the canary probe needs a non-empty labeled workload")
+        self.workload = workload
+        self.samples = 0
+
+    def sample(self, model: CardinalityEstimator) -> float:
+        """Mean held-out Q-error of ``model`` on the probe workload."""
+        self.samples += 1
+        return float(evaluate_q_errors(model, self.workload).mean())

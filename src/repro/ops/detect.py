@@ -1,0 +1,334 @@
+"""Streaming anomaly detectors over TSDB metric streams.
+
+Three detector families, mirroring DBMind's anomaly-detection plane:
+
+* :class:`SpikeDetector` — the newest value jumps by a ratio against the
+  trailing median (direction ``"up"`` or ``"down"``);
+* :class:`CusumDetector` — CUSUM level-shift: the cumulative relative
+  excursion above a calibrated reference drifts past a threshold;
+* :class:`ForecastResidualDetector` — an EWMA one-step forecast whose
+  residual leaves its own trailing scale by a ratio.
+
+Every detector is a pure function of the points it has been fed — no
+RNG, no wall clock — so identical metric streams produce byte-identical
+alarm sequences in any process (the determinism contract ``ops-sim``'s
+scenario digest rests on). A :class:`DetectorBank` wires detectors to
+named streams and replays only never-seen points on each sweep.
+
+This module is on the ops hot path (swept every controller tick), so
+flow rule R011 bans ground-truth execution and retraining here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.ops.tsdb import OpsError, TimeSeriesDB
+
+#: Alarm severities, mild to severe.
+SEVERITIES = ("warning", "critical")
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One detector firing: which stream, when, how far out of band."""
+
+    metric: str
+    detector: str
+    at: float
+    value: float
+    score: float
+    severity: str
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "detector": self.detector,
+            "at": self.at,
+            "value": self.value,
+            "score": self.score,
+            "severity": self.severity,
+            "detail": self.detail,
+        }
+
+
+def _median(values: list[float]) -> float:
+    ranked = sorted(values)
+    mid = len(ranked) // 2
+    if len(ranked) % 2 == 1:
+        return ranked[mid]
+    return 0.5 * (ranked[mid - 1] + ranked[mid])
+
+
+class Detector:
+    """Base streaming detector: feed points, maybe get an alarm back."""
+
+    name = "detector"
+
+    def update(self, t: float, value: float) -> Alarm | None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget learned state (called after a corrective action)."""
+        raise NotImplementedError
+
+    def _alarm(
+        self, metric_hint: str, t: float, value: float, score: float, detail: str,
+        severity: str = "critical",
+    ) -> Alarm:
+        return Alarm(
+            metric=metric_hint,
+            detector=self.name,
+            at=t,
+            value=value,
+            score=score,
+            severity=severity,
+            detail=detail,
+        )
+
+
+class SpikeDetector(Detector):
+    """The newest value jumps by ``ratio`` against the trailing median.
+
+    ``direction="up"`` fires on ``value > ratio * median``;
+    ``direction="down"`` fires on ``value < median / ratio``. ``floor``
+    suppresses alarms while the trailing median is still tiny (a 3x jump
+    from 1e-6 is noise, not a spike).
+    """
+
+    name = "spike"
+
+    def __init__(
+        self,
+        ratio: float = 1.3,
+        window: int = 8,
+        min_points: int = 2,
+        direction: str = "up",
+        floor: float = 0.0,
+    ) -> None:
+        if ratio <= 1.0:
+            raise OpsError(f"spike ratio must exceed 1, got {ratio}")
+        if direction not in ("up", "down"):
+            raise OpsError(f"direction must be 'up' or 'down', got {direction!r}")
+        self.ratio = float(ratio)
+        self.window = int(window)
+        self.min_points = int(min_points)
+        self.direction = direction
+        self.floor = float(floor)
+        self._trail: deque[float] = deque(maxlen=self.window)
+
+    def reset(self) -> None:
+        self._trail.clear()
+
+    def update(self, t: float, value: float) -> Alarm | None:
+        alarm = None
+        if len(self._trail) >= self.min_points:
+            reference = _median(list(self._trail))
+            if reference >= self.floor:
+                if self.direction == "up" and value > self.ratio * reference:
+                    score = value / reference if reference > 0.0 else float("inf")
+                    alarm = self._alarm(
+                        "", t, value, score,
+                        f"value {value:.6g} is {score:.2f}x the trailing "
+                        f"median {reference:.6g} (ratio {self.ratio:g})",
+                    )
+                elif self.direction == "down" and value * self.ratio < reference:
+                    score = reference / value if value > 0.0 else float("inf")
+                    alarm = self._alarm(
+                        "", t, value, score,
+                        f"value {value:.6g} fell to 1/{score:.2f} of the "
+                        f"trailing median {reference:.6g} (ratio {self.ratio:g})",
+                    )
+        self._trail.append(float(value))
+        return alarm
+
+
+class CusumDetector(Detector):
+    """CUSUM level-shift detection on relative excursions.
+
+    Calibrates a reference level from the first ``calibrate`` points,
+    then accumulates ``max(0, S + (value - ref)/scale - slack)`` (or the
+    mirrored sum for ``direction="down"``) and fires once ``S`` crosses
+    ``threshold`` — the standard one-sided CUSUM, robust to single-point
+    noise that a spike detector would have to ignore.
+    """
+
+    name = "cusum"
+
+    def __init__(
+        self,
+        slack: float = 0.05,
+        threshold: float = 0.25,
+        calibrate: int = 3,
+        direction: str = "up",
+    ) -> None:
+        if threshold <= 0.0:
+            raise OpsError(f"cusum threshold must be positive, got {threshold}")
+        if calibrate < 1:
+            raise OpsError(f"cusum needs >=1 calibration points, got {calibrate}")
+        if direction not in ("up", "down"):
+            raise OpsError(f"direction must be 'up' or 'down', got {direction!r}")
+        self.slack = float(slack)
+        self.threshold = float(threshold)
+        self.calibrate = int(calibrate)
+        self.direction = direction
+        self._samples: list[float] = []
+        self._reference: float | None = None
+        self._sum = 0.0
+
+    def reset(self) -> None:
+        self._samples = []
+        self._reference = None
+        self._sum = 0.0
+
+    @property
+    def reference(self) -> float | None:
+        return self._reference
+
+    def update(self, t: float, value: float) -> Alarm | None:
+        if self._reference is None:
+            self._samples.append(float(value))
+            if len(self._samples) >= self.calibrate:
+                self._reference = sum(self._samples) / len(self._samples)
+                self._samples = []
+            return None
+        scale = abs(self._reference) if abs(self._reference) > 1e-12 else 1.0
+        excursion = (value - self._reference) / scale
+        if self.direction == "down":
+            excursion = -excursion
+        self._sum = max(0.0, self._sum + excursion - self.slack)
+        if self._sum > self.threshold:
+            alarm = self._alarm(
+                "", t, value, self._sum / self.threshold,
+                f"cusum sum {self._sum:.4f} crossed threshold "
+                f"{self.threshold:g} (reference {self._reference:.6g}, "
+                f"direction {self.direction})",
+            )
+            self._sum = 0.0  # re-arm; the controller handles dedup/cooldown
+            return alarm
+        return None
+
+
+class ForecastResidualDetector(Detector):
+    """EWMA forecast; alarm when the residual leaves its trailing scale.
+
+    Forecasts the next value with an exponentially weighted moving
+    average, tracks the EWMA of absolute residuals as the noise scale,
+    and fires when ``|value - forecast| > ratio * scale`` (after a
+    warm-up of ``min_points`` observations). ``floor`` is the smallest
+    residual worth alarming on regardless of how quiet the stream was.
+    """
+
+    name = "forecast"
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        ratio: float = 4.0,
+        min_points: int = 4,
+        floor: float = 0.0,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise OpsError(f"alpha must be in (0, 1], got {alpha}")
+        if ratio <= 1.0:
+            raise OpsError(f"forecast ratio must exceed 1, got {ratio}")
+        self.alpha = float(alpha)
+        self.ratio = float(ratio)
+        self.min_points = int(min_points)
+        self.floor = float(floor)
+        self._forecast: float | None = None
+        self._scale: float | None = None
+        self._seen = 0
+
+    def reset(self) -> None:
+        self._forecast = None
+        self._scale = None
+        self._seen = 0
+
+    def update(self, t: float, value: float) -> Alarm | None:
+        alarm = None
+        if self._forecast is not None:
+            residual = value - self._forecast
+            scale = self._scale if self._scale is not None else abs(residual)
+            band = max(self.ratio * scale, self.floor)
+            if self._seen >= self.min_points and abs(residual) > band > 0.0:
+                score = abs(residual) / band
+                alarm = self._alarm(
+                    "", t, value, score,
+                    f"residual {residual:+.6g} left the forecast band "
+                    f"±{band:.6g} (forecast {self._forecast:.6g})",
+                )
+            self._scale = (
+                abs(residual) if self._scale is None
+                else (1.0 - self.alpha) * self._scale + self.alpha * abs(residual)
+            )
+            self._forecast = (
+                (1.0 - self.alpha) * self._forecast + self.alpha * value
+            )
+        else:
+            self._forecast = float(value)
+        self._seen += 1
+        return alarm
+
+
+class DetectorBank:
+    """Detectors wired to named streams; sweeps replay only new points."""
+
+    def __init__(self, wiring: list[tuple[str, Detector]]) -> None:
+        self._wiring = list(wiring)
+        self._cursor: dict[int, int] = {}
+        self.alarms: list[Alarm] = []
+
+    def wiring(self) -> list[tuple[str, str]]:
+        """(metric, detector-name) pairs, in sweep order."""
+        return [(metric, det.name) for metric, det in self._wiring]
+
+    def sweep(self, tsdb: TimeSeriesDB) -> list[Alarm]:
+        """Feed every never-seen point to its detectors; new alarms out."""
+        fresh: list[Alarm] = []
+        for index, (metric, detector) in enumerate(self._wiring):
+            points = tsdb.series(metric).points()
+            start = self._cursor.get(index, 0)
+            for t, value in points[start:]:
+                alarm = detector.update(t, value)
+                if alarm is not None:
+                    fresh.append(
+                        Alarm(**{**alarm.as_dict(), "metric": metric})
+                    )
+            self._cursor[index] = len(points)
+        self.alarms.extend(fresh)
+        return fresh
+
+    def rearm(self) -> None:
+        """Reset every detector's learned state (post-action re-baseline).
+
+        Cursors are kept: already-swept points are never replayed, the
+        detectors simply re-calibrate on whatever the plant looks like
+        after the corrective action.
+        """
+        for _, detector in self._wiring:
+            detector.reset()
+
+
+def default_bank(
+    qerror_metric: str = "serve.canary_qerror",
+    spike_ratio: float = 1.25,
+    cusum_threshold: float = 0.25,
+) -> DetectorBank:
+    """The standard wiring ``ops-sim`` and the controller deploy.
+
+    Q-error gets all three families (it is the signal poisoning moves);
+    latency and shed rate get spike detection; the cache hit rate gets a
+    *downward* spike detector (a miss storm is a falling hit rate).
+    """
+    return DetectorBank([
+        (qerror_metric, SpikeDetector(ratio=spike_ratio, floor=1.0)),
+        (qerror_metric, CusumDetector(threshold=cusum_threshold)),
+        (qerror_metric, ForecastResidualDetector(floor=1.0)),
+        ("serve.p99_latency", SpikeDetector(ratio=2.0, floor=1e-4)),
+        ("serve.shed_rate", SpikeDetector(ratio=2.0, floor=0.05)),
+        ("serve.cache_hit_rate",
+         SpikeDetector(ratio=2.0, direction="down", floor=0.05)),
+    ])

@@ -1,0 +1,170 @@
+"""Root-cause classification: alarm combinations → named causes.
+
+The detectors say *that* a stream left its band; this module says *why*,
+by combining which streams alarmed with context the serve/cluster layers
+already expose (did a promotion land since the last sweep? are any shard
+workers unreachable?). The mapping is a deliberately small rule table —
+auditable, deterministic, and exactly as strong as the telemetry:
+
+========================  ==============================================
+cause                     evidence pattern
+========================  ==============================================
+``dead_shard``            unreachable workers reported by the router
+``poisoning``             quality (Q-error) alarm *and* a model
+                          promotion landed since the previous sweep —
+                          the serving model changed and got worse
+``model_drift``           quality alarm with *no* recent promotion —
+                          the model is stale against moving data
+``cache_miss_storm``      cache-hit-rate / latency / shed alarms with
+                          the quality streams quiet
+``unknown``               alarms that match no pattern above
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ops.detect import Alarm
+from repro.ops.tsdb import OpsError
+
+#: Every cause the classifier can emit, in priority order: when several
+#: patterns match at once the earliest wins (a dead shard explains the
+#: latency spike it causes; poisoning explains the drift it looks like).
+CAUSES: tuple[str, ...] = (
+    "dead_shard",
+    "poisoning",
+    "model_drift",
+    "cache_miss_storm",
+    "unknown",
+)
+
+#: Streams that measure estimate *quality* (vs. traffic/health).
+_QUALITY_SUBSTRINGS = ("qerror", "q_error")
+_CACHE_SUBSTRINGS = ("cache_hit_rate",)
+_PRESSURE_SUBSTRINGS = ("latency", "shed_rate", "reject_rate")
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One classified incident: the cause and the evidence behind it."""
+
+    cause: str
+    confidence: float
+    detail: str
+    alarms: tuple[Alarm, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict:
+        return {
+            "cause": self.cause,
+            "confidence": self.confidence,
+            "detail": self.detail,
+            "alarms": [alarm.as_dict() for alarm in self.alarms],
+        }
+
+
+def _is_quality(alarm: Alarm) -> bool:
+    return any(tag in alarm.metric for tag in _QUALITY_SUBSTRINGS)
+
+
+def _is_cache(alarm: Alarm) -> bool:
+    return any(tag in alarm.metric for tag in _CACHE_SUBSTRINGS)
+
+
+def _is_pressure(alarm: Alarm) -> bool:
+    return any(tag in alarm.metric for tag in _PRESSURE_SUBSTRINGS)
+
+
+class RootCauseClassifier:
+    """Map one sweep's fresh alarms (plus plant context) to a cause."""
+
+    def __init__(self, min_quality_alarms: int = 1) -> None:
+        if min_quality_alarms < 1:
+            raise OpsError(
+                f"min_quality_alarms must be >= 1, got {min_quality_alarms}"
+            )
+        self.min_quality_alarms = int(min_quality_alarms)
+        self.history: list[Diagnosis] = []
+
+    def classify(
+        self,
+        alarms: list[Alarm],
+        promotions_since_last: int = 0,
+        unreachable_workers: int = 0,
+    ) -> Diagnosis | None:
+        """One diagnosis for this sweep, or ``None`` when all is quiet.
+
+        ``promotions_since_last`` is how many model promotions landed
+        since the previous sweep (from the ``serve.promotions`` delta
+        stream or the retrain loop's counters); ``unreachable_workers``
+        comes from the cluster router's worker stats.
+        """
+        diagnosis = self._classify(
+            list(alarms), int(promotions_since_last), int(unreachable_workers)
+        )
+        if diagnosis is not None:
+            self.history.append(diagnosis)
+        return diagnosis
+
+    def _classify(
+        self, alarms: list[Alarm], promotions: int, unreachable: int
+    ) -> Diagnosis | None:
+        if unreachable > 0:
+            return Diagnosis(
+                cause="dead_shard",
+                confidence=1.0,
+                detail=(
+                    f"{unreachable} shard worker(s) unreachable per router "
+                    f"stats ({len(alarms)} concurrent alarm(s))"
+                ),
+                alarms=tuple(alarms),
+            )
+        if not alarms:
+            return None
+        quality = [a for a in alarms if _is_quality(a)]
+        cache = [a for a in alarms if _is_cache(a)]
+        pressure = [a for a in alarms if _is_pressure(a)]
+        if len(quality) >= self.min_quality_alarms:
+            detectors = sorted({a.detector for a in quality})
+            if promotions > 0:
+                return Diagnosis(
+                    cause="poisoning",
+                    confidence=min(1.0, 0.5 + 0.25 * len(quality)),
+                    detail=(
+                        f"quality regression flagged by {'+'.join(detectors)} "
+                        f"right after {promotions} model promotion(s) — the "
+                        f"update stream moved the model the wrong way"
+                    ),
+                    alarms=tuple(quality),
+                )
+            return Diagnosis(
+                cause="model_drift",
+                confidence=min(1.0, 0.4 + 0.2 * len(quality)),
+                detail=(
+                    f"quality regression flagged by {'+'.join(detectors)} "
+                    f"with no recent promotion — the serving model went "
+                    f"stale against the data"
+                ),
+                alarms=tuple(quality),
+            )
+        if cache or pressure:
+            flagged = sorted({a.metric for a in cache + pressure})
+            return Diagnosis(
+                cause="cache_miss_storm",
+                confidence=min(1.0, 0.4 + 0.2 * len(cache + pressure)),
+                detail=(
+                    f"traffic-side pressure on {', '.join(flagged)} while "
+                    f"quality streams stayed in band"
+                ),
+                alarms=tuple(cache + pressure),
+            )
+        return Diagnosis(
+            cause="unknown",
+            confidence=0.25,
+            detail=(
+                "alarms on "
+                + ", ".join(sorted({a.metric for a in alarms}))
+                + " match no known cause pattern"
+            ),
+            alarms=tuple(alarms),
+        )

@@ -1,0 +1,242 @@
+"""The closed loop: ingest telemetry → detect → diagnose → repair.
+
+:class:`OpsController` is the autonomic manager gluing the ops plane
+together. Each :meth:`~OpsController.tick`:
+
+1. sweeps the :class:`~repro.ops.detect.DetectorBank` over the TSDB
+   (only never-seen points are replayed);
+2. classifies any fresh alarms (plus plant context: promotions since the
+   previous tick, unreachable shard workers) into one diagnosis;
+3. fires the policy's actions for that cause through the plant, commits
+   the incident as store-run lineage, re-arms the detectors, and starts
+   a cooldown so one incident yields one repair, not a retrigger storm;
+4. when healthy, marks the current serving parameters known-good — the
+   restore point the next rollback returns to — but only while the
+   canary Q-error stream sits inside its own baseline envelope, so a
+   poisoned model that detection has not caught *yet* is never blessed.
+
+This module is the per-tick monitoring hot path: flow rule R011 bans
+ground-truth execution and retraining here. All unbounded repair work
+lives behind the action verbs in :mod:`repro.ops.actions` (exempt, like
+``serve/retrain.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ops.actions import (
+    Action,
+    ActionResult,
+    AdvisoryAction,
+    GuardedRetrainAction,
+    QuarantineAction,
+    RollbackAction,
+    ServePlant,
+)
+from repro.ops.detect import Alarm, DetectorBank, default_bank
+from repro.ops.diagnose import CAUSES, Diagnosis, RootCauseClassifier
+from repro.ops.tsdb import OpsError, TimeSeriesDB
+from repro.utils.clock import get_clock
+
+#: Metric stream the canary probe feeds (held-out Q-error of the live
+#: serving model) — both the quality detectors' input and the gate on
+#: marking checkpoints known-good.
+CANARY_METRIC = "serve.canary_qerror"
+
+#: cause → ordered action names. ``poisoning`` rolls back *then* arms
+#: the guard: the rollback restores a clean model for the guard to
+#: calibrate against, and the guard keeps later poisoned updates out.
+DEFAULT_POLICY: dict[str, tuple[str, ...]] = {
+    "poisoning": ("rollback", "guarded_retrain"),
+    "model_drift": ("guarded_retrain",),
+    "dead_shard": ("quarantine",),
+    "cache_miss_storm": ("advisory",),
+    "unknown": ("advisory",),
+}
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """Everything one controller tick observed and did."""
+
+    at: float
+    alarms: tuple[Alarm, ...]
+    diagnosis: Diagnosis | None
+    results: tuple[ActionResult, ...]
+    marked_good: bool
+    cooling: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "alarms": [alarm.as_dict() for alarm in self.alarms],
+            "diagnosis": None if self.diagnosis is None else self.diagnosis.as_dict(),
+            "actions": [result.as_dict() for result in self.results],
+            "marked_good": self.marked_good,
+            "cooling": self.cooling,
+        }
+
+
+@dataclass
+class _ControllerState:
+    """Mutable loop state, kept separate so ticks stay auditable."""
+
+    cooldown: int = 0
+    last_promotions: int = 0
+    canary_baseline: float | None = None
+    actions_taken: int = 0
+    incidents: int = 0
+    ticks: list[TickResult] = field(default_factory=list)
+
+
+class OpsController:
+    """Deterministic autonomic manager over one :class:`ServePlant`.
+
+    Args:
+        plant: the actuator surface (and context source) to manage.
+        tsdb: metric store; a fresh one by default.
+        bank: detector wiring; :func:`~repro.ops.detect.default_bank`
+            by default (which watches :data:`CANARY_METRIC`).
+        classifier: alarm → cause mapper.
+        policy: cause → ordered action-name tuple; unknown causes fall
+            back to an advisory record.
+        cooldown_ticks: ticks to stay passive after a corrective action,
+            letting the re-armed detectors re-baseline on the repaired
+            plant before they may fire again.
+        mark_factor: known-good marking envelope — the newest canary
+            Q-error must be within ``mark_factor x`` the first observed
+            canary value (no canary stream → always eligible).
+    """
+
+    def __init__(
+        self,
+        plant: ServePlant,
+        tsdb: TimeSeriesDB | None = None,
+        bank: DetectorBank | None = None,
+        classifier: RootCauseClassifier | None = None,
+        policy: dict[str, tuple[str, ...]] | None = None,
+        cooldown_ticks: int = 1,
+        mark_factor: float = 1.1,
+    ) -> None:
+        if cooldown_ticks < 0:
+            raise OpsError(f"cooldown_ticks must be >= 0, got {cooldown_ticks}")
+        if mark_factor <= 1.0:
+            raise OpsError(f"mark_factor must exceed 1, got {mark_factor}")
+        self.plant = plant
+        self.tsdb = tsdb if tsdb is not None else TimeSeriesDB()
+        self.bank = bank if bank is not None else default_bank(CANARY_METRIC)
+        self.classifier = classifier if classifier is not None else RootCauseClassifier()
+        self.policy = dict(DEFAULT_POLICY if policy is None else policy)
+        for cause, names in self.policy.items():
+            if cause not in CAUSES:
+                raise OpsError(f"policy names unknown cause {cause!r}")
+            if not names:
+                raise OpsError(f"policy for {cause!r} must name at least one action")
+        self.cooldown_ticks = int(cooldown_ticks)
+        self.mark_factor = float(mark_factor)
+        self.actions: dict[str, Action] = {
+            action.name: action
+            for action in (
+                RollbackAction(),
+                GuardedRetrainAction(),
+                QuarantineAction(),
+                AdvisoryAction(),
+            )
+        }
+        self.state = _ControllerState(last_promotions=plant.promotions_total())
+
+    # ------------------------------------------------------------------
+    # telemetry intake (thin shims over the TSDB)
+    # ------------------------------------------------------------------
+    def ingest(self, snapshot: dict, at: float | None = None, source: str = "serve") -> dict:
+        """Feed one ``ServeStats.to_json()`` snapshot into the TSDB."""
+        return self.tsdb.ingest_stats(snapshot, at=at, source=source)
+
+    def observe_canary(self, qerror: float, at: float | None = None) -> None:
+        """Feed one canary-probe held-out Q-error observation."""
+        self.tsdb.ingest(CANARY_METRIC, float(qerror), at=at)
+
+    # ------------------------------------------------------------------
+    # the loop body
+    # ------------------------------------------------------------------
+    def tick(self, at: float | None = None) -> TickResult:
+        """One monitoring interval: sweep, diagnose, repair, re-baseline."""
+        at = get_clock()() if at is None else float(at)
+        state = self.state
+        alarms = tuple(self.bank.sweep(self.tsdb))
+        promotions = self.plant.promotions_total()
+        promotions_since = promotions - state.last_promotions
+        state.last_promotions = promotions
+        unreachable = self.plant.unreachable_ids()
+
+        cooling = state.cooldown > 0
+        diagnosis: Diagnosis | None = None
+        results: tuple[ActionResult, ...] = ()
+        if cooling:
+            state.cooldown -= 1
+        elif alarms or unreachable:
+            diagnosis = self.classifier.classify(
+                list(alarms),
+                promotions_since_last=promotions_since,
+                unreachable_workers=len(unreachable),
+            )
+            if diagnosis is not None:
+                results = self._repair(diagnosis)
+                state.incidents += 1
+                state.actions_taken += len(results)
+
+        marked = False
+        healthy = not alarms and not unreachable and not cooling and diagnosis is None
+        if healthy and self._canary_in_band():
+            self.plant.mark_good()
+            marked = True
+
+        result = TickResult(
+            at=at,
+            alarms=alarms,
+            diagnosis=diagnosis,
+            results=results,
+            marked_good=marked,
+            cooling=cooling,
+        )
+        state.ticks.append(result)
+        return result
+
+    def _repair(self, diagnosis: Diagnosis) -> tuple[ActionResult, ...]:
+        names = self.policy.get(diagnosis.cause, ("advisory",))
+        results = tuple(
+            self.actions[name].apply(self.plant, diagnosis) for name in names
+        )
+        self.plant.record(diagnosis, results)
+        if any(r.ok and r.action != "advisory" for r in results):
+            # The plant just changed under the detectors: drop learned
+            # baselines and sit out the cooldown so one incident maps to
+            # one repair.
+            self.bank.rearm()
+            self.state.cooldown = self.cooldown_ticks
+        return results
+
+    def _canary_in_band(self) -> bool:
+        points = self.tsdb.series(CANARY_METRIC).values()
+        if not points:
+            return True
+        if self.state.canary_baseline is None:
+            self.state.canary_baseline = points[0]
+        return points[-1] <= self.mark_factor * self.state.canary_baseline
+
+    # ------------------------------------------------------------------
+    # report surface
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready controller history (alarm/action/tick log)."""
+        return {
+            "ticks": [tick.as_dict() for tick in self.state.ticks],
+            "incidents": self.state.incidents,
+            "actions_taken": self.state.actions_taken,
+            "alarms_total": len(self.bank.alarms),
+            "marks": self.plant.marks,
+            "restores": self.plant.restores,
+            "canary_baseline": self.state.canary_baseline,
+            "wiring": [list(pair) for pair in self.bank.wiring()],
+        }

@@ -1,0 +1,371 @@
+"""``pace-repro ops-sim``: unannounced poisoning vs the autonomic loop.
+
+One seeded world (dataset + trained model + crafted poison pool) is
+served twice over the identical chaos traffic trace — benign arrivals
+that silently turn 50% poisoned at ``chaos_round``:
+
+* **no_ops** — the plain serving stack: unguarded retrain promotes
+  whatever the update stream produces, exactly the paper's threat model;
+* **ops** — the same stack watched by an :class:`~repro.ops.loop.
+  OpsController` that is *not told about the attack*: it only sees the
+  TSDB streams (ServeStats snapshots + a held-out canary probe). It must
+  detect the quality regression, diagnose poisoning, roll back bitwise
+  to the last known-good promoted digest, and arm a promotion guard so
+  later poisoned updates stay out.
+
+Everything runs under a :class:`~repro.utils.clock.ManualClock`, so each
+arm collapses into one *scenario digest* (SHA-256 over the canonical
+JSON of its deterministic core: config coordinates, Q-error/canary
+trajectories, the full alarm and action log, retrain events, final
+checkpoint digest). ``run_ops_sim`` replays the ops arm a second time at
+the same seed and embeds the digest equality — detection *and* recovery,
+byte-reproducible, in one report. The ``verdict`` block is the CI gate:
+detection fired, lineage recorded, ops arm within ``recovery_factor`` of
+clean baseline, no-ops arm degraded past ``degrade_factor``, digests
+stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.ce.deployment import DeployedEstimator
+from repro.ce.trainer import evaluate_q_errors
+from repro.cluster.sim import scenario_digest
+from repro.harness.experiments import (
+    AttackScenario,
+    craft_poison,
+    get_scenario,
+    get_surrogate,
+)
+from repro.ops.chaos import CanaryProbe, ChaosTraffic
+from repro.ops.loop import OpsController
+from repro.ops.actions import ServePlant
+from repro.serve.cache import EstimateCache
+from repro.serve.replay import ReplayConfig
+from repro.serve.retrain import RetrainLoop
+from repro.serve.server import EstimatorServer
+from repro.serve.stats import ServeStats
+from repro.store.store import ArtifactStore
+from repro.utils.clock import ManualClock, use_clock
+from repro.workload.workload import Workload
+
+SCHEMA_VERSION = 1
+
+#: Default on-disk location of the ops-sim lineage store.
+DEFAULT_OPS_STORE = "ops-store"
+
+
+@dataclass(frozen=True)
+class OpsSimConfig:
+    """Everything one ops-sim run depends on (and nothing else)."""
+
+    dataset: str = "dmv"
+    model_type: str = "mscn"
+    scale: str = "smoke"
+    seed: int = 0
+    rounds: int = 5
+    #: First round whose arrivals include the attacker (unannounced).
+    chaos_round: int = 2
+    #: Large enough that *clean* incremental updates stay representative
+    #: (small rounds overfit the observed queries and the clean canary
+    #: gets as noisy as the attack signal it must be separated from).
+    requests_per_round: int = 192
+    qps: float = 256.0
+    service_hz: float = 32.0
+    poison_fraction: float = 0.5
+    attack_method: str = "pace"
+    timeout: float = 0.5
+    max_queue: int = 128
+    max_batch: int = 16
+    #: Envelope the controller's installed guard enforces post-recovery.
+    guard_factor: float = 1.1
+    cache_capacity: int = 512
+    cooldown_ticks: int = 1
+    #: Acceptance: ops arm's final held-out Q-error vs clean baseline.
+    recovery_factor: float = 1.1
+    #: Acceptance: no-ops arm must degrade at least this far.
+    degrade_factor: float = 1.5
+    store_root: str = DEFAULT_OPS_STORE
+
+
+def _digest_config(config: OpsSimConfig) -> dict:
+    """Config coordinates for the scenario digest (paths stay out)."""
+    core = asdict(config)
+    core.pop("store_root")
+    return core
+
+
+def _fresh_run(store: ArtifactStore, run_id: str, params: dict, seed: int):
+    if store.has_run(run_id):
+        store.delete_run(run_id)
+    return store.create_run("ops-sim", run_id, params=params, seed=seed)
+
+
+def _run_ops_arm(
+    scenario: AttackScenario,
+    poison,
+    validation: Workload,
+    canary: Workload,
+    evaluation: Workload,
+    config: OpsSimConfig,
+    store: ArtifactStore,
+    ops_enabled: bool,
+    run_id: str,
+) -> dict:
+    """Serve the full chaos session from clean parameters; one arm."""
+    scenario.reset()
+    model = scenario.model
+    deployed = DeployedEstimator(
+        model, scenario.executor, update_steps=scenario.scale.update_steps
+    )
+    stats = ServeStats()
+    cache = EstimateCache(capacity=config.cache_capacity)
+    run = _fresh_run(store, run_id, params=_digest_config(config), seed=config.seed)
+    # Both arms start UNGUARDED: installing the guard is the controller's
+    # job, and only after it has diagnosed why quality regressed.
+    retrain = RetrainLoop(
+        deployed,
+        retrain_every=config.requests_per_round,
+        guard=None,
+        on_promote=cache.invalidate,
+        stats=stats,
+        run=run,
+    )
+    server = EstimatorServer(
+        deployed,
+        max_queue=config.max_queue,
+        max_batch=config.max_batch,
+        cache=cache,
+        retrain=retrain,
+        stats=stats,
+        default_timeout=config.timeout,
+    )
+    plant = ServePlant(
+        deployed,
+        retrain,
+        cache=cache,
+        run=run,
+        validation=validation,
+        guard_factor=config.guard_factor,
+    )
+    controller = (
+        OpsController(plant, cooldown_ticks=config.cooldown_ticks)
+        if ops_enabled
+        else None
+    )
+    traffic = ChaosTraffic(
+        scenario.train_workload.queries,
+        list(poison),
+        ReplayConfig(
+            qps=config.qps,
+            poison_fraction=config.poison_fraction if poison else 0.0,
+            timeout=config.timeout,
+            service_hz=config.service_hz,
+            seed=config.seed,
+        ),
+        start_round=config.chaos_round,
+    )
+    probe = CanaryProbe(canary)
+    rounds: list[dict] = []
+    with use_clock(ManualClock()) as clock:
+        baseline = float(evaluate_q_errors(model, evaluation).mean())
+        canary_value = probe.sample(model)
+        if controller is not None:
+            # Tick 0 baselines the detectors and marks the clean model
+            # known-good before any traffic arrives.
+            controller.ingest(stats.to_json(), at=clock())
+            controller.observe_canary(canary_value, at=clock())
+            controller.tick(at=clock())
+        for index in range(config.rounds):
+            traffic.set_round(index)
+            result = traffic.drive(server, config.requests_per_round, clock=clock)
+            event = retrain.flush()
+            canary_value = probe.sample(model)
+            tick = None
+            if controller is not None:
+                controller.ingest(stats.to_json(), at=clock())
+                controller.observe_canary(canary_value, at=clock())
+                tick = controller.tick(at=clock())
+                if any(r.ok and r.action in ("rollback", "guarded_retrain")
+                       for r in tick.results):
+                    # Re-probe after a repair so the trajectory records
+                    # what the *recovered* model serves.
+                    canary_value = probe.sample(model)
+            mean_qerror = float(evaluate_q_errors(model, evaluation).mean())
+            rounds.append({
+                "round": index,
+                "chaos_active": traffic.chaos_active,
+                "arrivals": result.arrivals,
+                "benign": result.benign,
+                "attacker": result.attacker,
+                "mean_qerror": mean_qerror,
+                "canary_qerror": canary_value,
+                "promoted": bool(event.promoted) if event else False,
+                "rolled_back": bool(event.rolled_back) if event else False,
+                "update_rejected": event.rejected if event else 0,
+                "tick": None if tick is None else tick.as_dict(),
+            })
+        session_seconds = clock()
+        final_checkpoint = store.put_checkpoint(model.full_state_dict()).digest
+        run.set_status("done")
+        run.commit()
+    final = rounds[-1]["mean_qerror"] if rounds else baseline
+    alarms = [] if controller is None else [a.as_dict() for a in controller.bank.alarms]
+    actions = []
+    if controller is not None:
+        for tick_result in controller.state.ticks:
+            actions.extend(result.as_dict() for result in tick_result.results)
+    core = {
+        "config": _digest_config(config),
+        "ops_enabled": ops_enabled,
+        "baseline_qerror": baseline,
+        "qerror_trajectory": [r["mean_qerror"] for r in rounds],
+        "canary_trajectory": [r["canary_qerror"] for r in rounds],
+        "alarms": alarms,
+        "actions": actions,
+        "retrain_events": [e.as_dict() for e in retrain.events],
+        "final_checkpoint": final_checkpoint,
+    }
+    return {
+        "ops_enabled": ops_enabled,
+        "digest": scenario_digest(core),
+        "run_id": run_id,
+        "baseline_qerror": baseline,
+        "final_qerror": final,
+        "degradation": final / baseline if baseline > 0.0 else None,
+        "qerror_trajectory": core["qerror_trajectory"],
+        "canary_trajectory": core["canary_trajectory"],
+        "rounds": rounds,
+        "session_seconds": session_seconds,
+        "final_checkpoint": final_checkpoint,
+        "stats": stats.to_json(),
+        "retrain_events": core["retrain_events"],
+        "controller": None if controller is None else controller.as_dict(),
+        "lineage": {
+            "ops_alarm": len(run.events("ops_alarm")),
+            "ops_action": len(run.events("ops_action")),
+            "promotion": len(run.events("promotion")),
+            "rollback": len(run.events("rollback")),
+        },
+    }
+
+
+def _build_world(config: OpsSimConfig):
+    scenario = get_scenario(
+        config.dataset, config.model_type, scale=config.scale, seed=config.seed
+    )
+    poison = []
+    if config.poison_fraction > 0.0 and config.attack_method != "clean":
+        # Pre-seat the true-family surrogate so crafting never gambles the
+        # simulation on smoke-scale type speculation (as serve-sim does).
+        get_surrogate(scenario, model_type=scenario.model_type)
+        poison, *_ = craft_poison(scenario, config.attack_method, use_detector=False)
+    validation, held_out = scenario.test_workload.split(0.5, seed=config.seed + 23)
+    canary, evaluation = held_out.split(0.5, seed=config.seed + 29)
+    return scenario, poison, validation, canary, evaluation
+
+
+def run_ops_sim(config: OpsSimConfig | None = None, stability: bool = True) -> dict:
+    """Run the chaos scenario: no-ops vs ops arms + a digest-stability replay."""
+    config = config or OpsSimConfig()
+    scenario, poison, validation, canary, evaluation = _build_world(config)
+    store = ArtifactStore(config.store_root)
+    no_ops = _run_ops_arm(
+        scenario, poison, validation, canary, evaluation, config, store,
+        ops_enabled=False, run_id=f"ops-noops-seed{config.seed}",
+    )
+    ops = _run_ops_arm(
+        scenario, poison, validation, canary, evaluation, config, store,
+        ops_enabled=True, run_id=f"ops-ctrl-seed{config.seed}",
+    )
+    repeat_digest = None
+    if stability:
+        repeat = _run_ops_arm(
+            scenario, poison, validation, canary, evaluation, config, store,
+            ops_enabled=True, run_id=f"ops-ctrl-repeat-seed{config.seed}",
+        )
+        repeat_digest = repeat["digest"]
+    scenario.reset()
+    recovery_ratio = (
+        ops["final_qerror"] / ops["baseline_qerror"]
+        if ops["baseline_qerror"] > 0.0 else None
+    )
+    noops_ratio = (
+        no_ops["final_qerror"] / no_ops["baseline_qerror"]
+        if no_ops["baseline_qerror"] > 0.0 else None
+    )
+    detected = ops["lineage"]["ops_alarm"] > 0
+    acted = ops["lineage"]["ops_action"] > 0
+    recovered = recovery_ratio is not None and recovery_ratio <= config.recovery_factor
+    degraded = noops_ratio is not None and noops_ratio >= config.degrade_factor
+    digest_stable = repeat_digest is None or ops["digest"] == repeat_digest
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "pace-repro ops-sim",
+        "config": asdict(config),
+        "poison_pool": len(poison),
+        "validation_queries": len(validation),
+        "canary_queries": len(canary),
+        "evaluation_queries": len(evaluation),
+        "arms": {"no_ops": no_ops, "ops": ops},
+        "repeat_digest": repeat_digest,
+        "verdict": {
+            "detected": detected,
+            "lineage_recorded": acted,
+            "recovery_ratio": recovery_ratio,
+            "recovered": recovered,
+            "noops_ratio": noops_ratio,
+            "noops_degraded": degraded,
+            "digest_stable": digest_stable,
+            "ok": bool(
+                detected and acted and recovered and degraded and digest_stable
+            ),
+        },
+    }
+
+
+def format_ops_report(report: dict) -> str:
+    """Console summary for ``pace-repro ops-sim``."""
+    from repro.metrics import render_table
+
+    config = report["config"]
+    rows = []
+    for arm_name in ("no_ops", "ops"):
+        arm = report["arms"][arm_name]
+        stats = arm["stats"]
+        controller = arm["controller"]
+        rows.append([
+            arm_name,
+            f"{arm['baseline_qerror']:.3f}",
+            f"{arm['final_qerror']:.3f}",
+            f"{arm['degradation']:.2f}x" if arm["degradation"] is not None else "-",
+            f"{stats['promotions']}/{stats['rollbacks']}",
+            "-" if controller is None else str(controller["alarms_total"]),
+            "-" if controller is None else str(controller["actions_taken"]),
+            arm["digest"][:12],
+        ])
+    verdict = report["verdict"]
+    lines = [render_table(
+        ["arm", "clean q-err", "final q-err", "degradation",
+         "promote/rollback", "alarms", "actions", "digest"],
+        rows,
+        title=(
+            f"pace-repro ops-sim · {config['dataset']}/{config['model_type']} · "
+            f"{config['attack_method']} @ poison={config['poison_fraction']:.0%} "
+            f"from round {config['chaos_round']} · seed={config['seed']}"
+        ),
+    )]
+    ratio = verdict["recovery_ratio"]
+    noops = verdict["noops_ratio"]
+    lines.append(
+        f"\nchaos verdict: detected={verdict['detected']} "
+        f"lineage={verdict['lineage_recorded']} "
+        f"recovery={ratio:.3f}x (<= {config['recovery_factor']:g}x: "
+        f"{verdict['recovered']}) "
+        f"no-ops={noops:.3f}x (>= {config['degrade_factor']:g}x: "
+        f"{verdict['noops_degraded']}) "
+        f"digest_stable={verdict['digest_stable']}"
+    )
+    lines.append(f"ops-sim: {'ok' if verdict['ok'] else 'FAIL'}")
+    return "\n".join(lines)

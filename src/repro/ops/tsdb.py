@@ -1,0 +1,191 @@
+"""In-memory time-series store for serving telemetry.
+
+One :class:`TimeSeriesDB` holds named metric streams as bounded ring
+buffers of ``(t, value)`` points. Time always comes from the caller (or
+the ambient :func:`repro.utils.clock.get_clock`), never from the wall
+directly, so every ingest/query sequence is a deterministic function of
+the clock the session installed — ``ops-sim`` runs under a
+:class:`~repro.utils.clock.ManualClock` and digests byte-identically.
+
+The store understands the schema-versioned
+:meth:`~repro.serve.stats.ServeStats.to_json` snapshot shared by
+serve-sim and cluster-sim: :meth:`TimeSeriesDB.ingest_stats` turns one
+snapshot into the per-interval metric catalog below, deriving rates from
+cumulative counter deltas against the previously ingested snapshot.
+
+This module is on the ops hot path (the controller ticks it every
+monitoring interval), so flow rule R011 bans ground-truth execution and
+retraining here exactly as it does in ``serve/server.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serve.stats import STATS_SCHEMA_VERSION
+from repro.utils.clock import get_clock
+from repro.utils.errors import ReproError
+
+
+class OpsError(ReproError):
+    """The ops plane was fed something it cannot monitor."""
+
+
+#: Metric streams :meth:`TimeSeriesDB.ingest_stats` derives from one
+#: ServeStats snapshot. Counter-backed streams are per-interval deltas
+#: (promotions this interval, not since boot); rate streams are ratios
+#: over the interval's deltas; gauge streams are read as-is.
+STATS_METRICS: tuple[str, ...] = (
+    "serve.completed",       # requests completed this interval (delta)
+    "serve.shed_rate",       # shed / submitted over the interval
+    "serve.reject_rate",     # rejected / submitted over the interval
+    "serve.cache_hit_rate",  # hits / lookups over the interval
+    "serve.p99_latency",     # cumulative p99 seconds (gauge)
+    "serve.promotions",      # promotions this interval (delta)
+    "serve.rollbacks",       # rollbacks this interval (delta)
+)
+
+#: Counter fields whose per-interval deltas feed the derived streams.
+_COUNTER_FIELDS = (
+    "submitted", "completed", "rejected", "shed",
+    "cache_hits", "cache_misses", "promotions", "rollbacks",
+)
+
+
+class MetricSeries:
+    """One named stream: a bounded ring buffer of ``(t, value)`` points."""
+
+    def __init__(self, name: str, retention: int = 1024) -> None:
+        if retention <= 0:
+            raise OpsError(f"retention must be positive, got {retention}")
+        self.name = name
+        self.retention = int(retention)
+        self._points: deque[tuple[float, float]] = deque(maxlen=self.retention)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, t: float, value: float) -> None:
+        """Record one observation; time must not move backwards."""
+        t = float(t)
+        if self._points and t < self._points[-1][0]:
+            raise OpsError(
+                f"series {self.name!r} cannot go back in time: "
+                f"{t} < {self._points[-1][0]}"
+            )
+        self._points.append((t, float(value)))
+
+    def points(self) -> list[tuple[float, float]]:
+        """Every retained point, oldest first."""
+        return list(self._points)
+
+    def values(self) -> list[float]:
+        return [v for _, v in self._points]
+
+    def latest(self) -> tuple[float, float] | None:
+        return self._points[-1] if self._points else None
+
+    def window(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Points with ``start <= t <= end`` (inclusive both ends)."""
+        return [(t, v) for t, v in self._points if start <= t <= end]
+
+    def window_sum(self, start: float, end: float) -> float:
+        return sum(v for _, v in self.window(start, end))
+
+    def window_mean(self, start: float, end: float) -> float | None:
+        window = self.window(start, end)
+        if not window:
+            return None
+        return sum(v for _, v in window) / len(window)
+
+
+class TimeSeriesDB:
+    """Named metric streams plus the ServeStats snapshot ingester."""
+
+    def __init__(self, retention: int = 1024) -> None:
+        self.retention = int(retention)
+        self._series: dict[str, MetricSeries] = {}
+        # Previous cumulative counters per source, for delta derivation.
+        self._last_counters: dict[str, dict[str, float]] = {}
+        self.ingested_snapshots = 0
+        self.ingested_points = 0
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> MetricSeries:
+        """The stream called ``name`` (created empty on first use)."""
+        found = self._series.get(name)
+        if found is None:
+            found = MetricSeries(name, retention=self.retention)
+            self._series[name] = found
+        return found
+
+    def ingest(self, name: str, value: float, at: float | None = None) -> None:
+        """Append one point to ``name`` (``at=None`` reads the clock)."""
+        at = get_clock()() if at is None else float(at)
+        self.series(name).append(at, float(value))
+        self.ingested_points += 1
+
+    def latest(self, name: str) -> float | None:
+        """The newest value of ``name`` (None for an empty stream)."""
+        point = self.series(name).latest()
+        return None if point is None else point[1]
+
+    def window(self, name: str, start: float, end: float) -> list[tuple[float, float]]:
+        return self.series(name).window(start, end)
+
+    # ------------------------------------------------------------------
+    # the ServeStats ingester
+    # ------------------------------------------------------------------
+    def ingest_stats(
+        self, snapshot: dict, at: float | None = None, source: str = "serve"
+    ) -> dict[str, float]:
+        """Turn one ``ServeStats.to_json()`` snapshot into metric points.
+
+        Counter-backed streams record per-interval deltas against the
+        previous snapshot from the same ``source``; the first snapshot
+        seeds the baseline (deltas measured from zero). Returns the
+        values ingested, keyed by metric name.
+        """
+        version = snapshot.get("schema_version")
+        if version != STATS_SCHEMA_VERSION:
+            raise OpsError(
+                f"stats snapshot schema_version {version!r} from {source!r} "
+                f"is not the supported {STATS_SCHEMA_VERSION}"
+            )
+        at = get_clock()() if at is None else float(at)
+        previous = self._last_counters.get(source, {})
+        current = {field: float(snapshot[field]) for field in _COUNTER_FIELDS}
+        delta = {
+            field: current[field] - previous.get(field, 0.0)
+            for field in _COUNTER_FIELDS
+        }
+        self._last_counters[source] = current
+
+        lookups = delta["cache_hits"] + delta["cache_misses"]
+        arrived = delta["submitted"]
+        values = {
+            "serve.completed": delta["completed"],
+            "serve.shed_rate": delta["shed"] / arrived if arrived > 0.0 else 0.0,
+            "serve.reject_rate": (
+                delta["rejected"] / arrived if arrived > 0.0 else 0.0
+            ),
+            "serve.cache_hit_rate": (
+                delta["cache_hits"] / lookups if lookups > 0.0 else 0.0
+            ),
+            "serve.p99_latency": float(snapshot["latency"]["p99"]),
+            "serve.promotions": delta["promotions"],
+            "serve.rollbacks": delta["rollbacks"],
+        }
+        for name, value in values.items():
+            self.ingest(name, value, at=at)
+        self.ingested_snapshots += 1
+        return values
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump of every stream (oldest point first)."""
+        return {
+            name: [[t, v] for t, v in self._series[name].points()]
+            for name in self.names()
+        }

@@ -139,7 +139,7 @@ def _run_arm(
         "session_seconds": session_seconds,
         "throughput_qps": stats.throughput(session_seconds),
         "cache_invalidations": cache.invalidations,
-        "stats": stats.snapshot(),
+        "stats": stats.to_json(),
         "retrain_events": [e.as_dict() for e in retrain.events],
     }
     if guard is not None:

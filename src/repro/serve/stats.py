@@ -19,6 +19,11 @@ from repro.perf.registry import PERF
 #: Latency percentiles reported by :meth:`ServeStats.latency_summary`.
 LATENCY_PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0)
 
+#: Version tag carried by :meth:`ServeStats.to_json` snapshots. Bump it
+#: whenever a field is renamed/removed so downstream ingesters (the ops
+#: TSDB, serve-sim, cluster-sim) fail loudly instead of misreading.
+STATS_SCHEMA_VERSION = 1
+
 
 class ServeStats:
     """Mutable telemetry for one serving session."""
@@ -155,3 +160,13 @@ class ServeStats:
             "latency": self.latency_summary(),
             "compile": self.compile_snapshot(),
         }
+
+    def to_json(self) -> dict:
+        """The stable, schema-versioned wire form of :meth:`snapshot`.
+
+        This is the one snapshot shape shared by serve-sim, cluster-sim,
+        and the ops TSDB ingester
+        (:meth:`repro.ops.tsdb.TimeSeriesDB.ingest_stats`): consumers
+        check ``schema_version`` instead of duck-typing the dict.
+        """
+        return {"schema_version": STATS_SCHEMA_VERSION, **self.snapshot()}

@@ -430,6 +430,60 @@ class TestR011BlockingCall:
         }, select=["R011"])
         assert findings == []
 
+    def test_ops_tsdb_is_a_hot_path(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "ops/__init__.py": "",
+            "ops/tsdb.py": """
+                def ingest_truth(executor, query, tsdb):
+                    tsdb.ingest("truth", executor.count(query))
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+        assert "'count'" in findings[0].message
+
+    def test_ops_detect_is_a_hot_path(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "ops/__init__.py": "",
+            "ops/detect.py": """
+                def verify_alarm(deployed, queries):
+                    return deployed.execute(queries)
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+
+    def test_ops_loop_retrain_call_is_flagged(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "ops/__init__.py": "",
+            "ops/loop.py": """
+                from repro.ce.trainer import incremental_update
+
+                def tick(model, workload):
+                    return incremental_update(model, workload)
+                """,
+        }, select=["R011"])
+        assert rule_ids(findings) == ["R011"]
+        assert "incremental_update" in findings[0].message
+
+    def test_ops_actions_module_is_exempt(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "ops/__init__.py": "",
+            "ops/actions.py": """
+                def guarded_retrain(deployed, queries):
+                    return deployed.execute(queries)
+                """,
+        }, select=["R011"])
+        assert findings == []
+
+    def test_ops_monitoring_only_loop_is_clean(self, tmp_path):
+        findings = flow_findings(tmp_path, {
+            "ops/__init__.py": "",
+            "ops/loop.py": """
+                def tick(bank, tsdb):
+                    return bank.sweep(tsdb)
+                """,
+        }, select=["R011"])
+        assert findings == []
+
 
 class TestR012AdhocArtifactWrite:
     def test_open_for_write_is_flagged(self, tmp_path):

@@ -1,0 +1,66 @@
+"""Shared fixtures for ops tests: a small serving stack to actuate on."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.ce import DeployedEstimator, TrainConfig, create_model, train_model
+from repro.datasets import load_dataset
+from repro.db import Executor
+from repro.serve.cache import EstimateCache
+from repro.serve.retrain import RetrainLoop
+from repro.workload import QueryEncoder, WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def ops_world():
+    """One trained smoke-scale model plus held-out workloads."""
+    db = load_dataset("dmv", scale="smoke", seed=0)
+    executor = Executor(db)
+    generator = WorkloadGenerator(db, executor, seed=3)
+    train = generator.generate(60)
+    validation = generator.generate(12)
+    encoder = QueryEncoder(db.schema)
+    model = create_model("fcn", encoder, hidden_dim=12, seed=0)
+    train_model(model, train, TrainConfig(epochs=15, seed=0))
+    return SimpleNamespace(
+        db=db,
+        executor=executor,
+        generator=generator,
+        train=train,
+        validation=validation,
+        encoder=encoder,
+        model=model,
+        clean_state=model.state_dict(),
+    )
+
+
+@pytest.fixture()
+def stack(ops_world):
+    """A fresh deployment + retrain loop + cache over clean parameters."""
+    ops_world.model.load_state_dict(ops_world.clean_state)
+    deployed = DeployedEstimator(
+        ops_world.model, ops_world.executor, update_steps=3
+    )
+    retrain = RetrainLoop(deployed, retrain_every=4)
+    cache = EstimateCache(capacity=64)
+    return SimpleNamespace(deployed=deployed, retrain=retrain, cache=cache)
+
+
+class FakeRouter:
+    """The two-method router surface :class:`ServePlant` polls."""
+
+    def __init__(self, unreachable=(1,), workers=(0, 1)):
+        self.stats = {
+            wid: ({"unreachable": True} if wid in unreachable else {"served": 3})
+            for wid in workers
+        }
+        self.quarantined: list[int] = []
+
+    def worker_stats(self):
+        return {wid: dict(snapshot) for wid, snapshot in self.stats.items()}
+
+    def quarantine(self, wid):
+        self.quarantined.append(wid)
+        self.stats.pop(wid)
+        return {"worker": wid, "requeued": 2}

@@ -1,0 +1,223 @@
+"""ServePlant and the repair verbs: rollback, guard, quarantine, record."""
+
+import numpy as np
+import pytest
+
+from repro.ops.actions import (
+    AdvisoryAction,
+    GuardedRetrainAction,
+    QuarantineAction,
+    RollbackAction,
+    ServePlant,
+)
+from repro.ops.detect import Alarm
+from repro.ops.diagnose import Diagnosis
+from repro.ops.tsdb import OpsError
+from repro.serve.retrain import RetrainEvent
+from repro.serve.stats import ServeStats
+from repro.store import ArtifactStore
+from tests.ops.conftest import FakeRouter
+
+
+def make_plant(stack, **kwargs):
+    kwargs.setdefault("cache", stack.cache)
+    return ServePlant(stack.deployed, stack.retrain, **kwargs)
+
+
+def diagnosis(cause="poisoning"):
+    return Diagnosis(
+        cause=cause,
+        confidence=0.75,
+        detail="test incident",
+        alarms=(
+            Alarm(
+                metric="serve.canary_qerror", detector="spike", at=1.0,
+                value=30.0, score=3.0, severity="critical", detail="test",
+            ),
+        ),
+    )
+
+
+def perturb(deployed):
+    """Knock the serving parameters visibly off their current values."""
+    model = deployed.inspect_model()
+    state = model.full_state_dict()
+    bumped = {
+        key: value + 1.0 if np.issubdtype(value.dtype, np.floating) else value
+        for key, value in state.items()
+    }
+    model.load_full_state_dict(bumped)
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(
+        np.array_equal(a[key], b[key]) for key in a
+    )
+
+
+class TestPlantSignals:
+    def test_guard_factor_must_exceed_one(self, stack):
+        with pytest.raises(OpsError, match="guard_factor"):
+            make_plant(stack, guard_factor=1.0)
+
+    def test_promotions_total_prefers_stats_counters(self, stack):
+        stats = ServeStats()
+        stats.record_retrain(promoted=True, rolled_back=False, rejected=0)
+        stats.record_retrain(promoted=True, rolled_back=False, rejected=0)
+        stack.retrain.stats = stats
+        assert make_plant(stack).promotions_total() == 2
+
+    def test_promotions_total_falls_back_to_the_event_log(self, stack):
+        stack.retrain.events.append(RetrainEvent(0, 4, 0, {}, True, False))
+        stack.retrain.events.append(RetrainEvent(1, 4, 0, {}, False, True))
+        assert make_plant(stack).promotions_total() == 1
+
+    def test_unreachable_ids_without_a_router_is_empty(self, stack):
+        assert make_plant(stack).unreachable_ids() == ()
+
+    def test_unreachable_ids_reads_router_stats(self, stack):
+        plant = make_plant(stack, router=FakeRouter(unreachable=(1,)))
+        assert plant.unreachable_ids() == (1,)
+
+
+class TestMarkAndRestore:
+    def test_in_memory_mark_restores_bitwise_and_flushes_the_cache(self, stack):
+        plant = make_plant(stack)
+        clean = stack.deployed.inspect_model().full_state_dict()
+        assert plant.mark_good() is None  # no store: in-memory copy
+        perturb(stack.deployed)
+        assert not states_equal(
+            clean, stack.deployed.inspect_model().full_state_dict()
+        )
+        plant.restore_good()
+        assert states_equal(
+            clean, stack.deployed.inspect_model().full_state_dict()
+        )
+        assert stack.cache.invalidations == 1
+        assert plant.marks == 1 and plant.restores == 1
+
+    def test_restore_before_any_mark_refuses(self, stack):
+        with pytest.raises(OpsError, match="known-good"):
+            make_plant(stack).restore_good()
+
+    def test_store_backed_mark_content_addresses_the_checkpoint(
+        self, stack, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        run = store.create_run("ops-test", "run-mark", params={}, seed=0)
+        plant = make_plant(stack, run=run)
+        digest = plant.mark_good()
+        assert digest is not None
+        # Marking an unchanged model dedups to the same blob.
+        assert plant.mark_good() == digest
+        clean = stack.deployed.inspect_model().full_state_dict()
+        perturb(stack.deployed)
+        assert plant.restore_good() == digest
+        assert states_equal(
+            clean, stack.deployed.inspect_model().full_state_dict()
+        )
+
+
+class TestRollbackAction:
+    def test_reports_failure_when_nothing_was_marked(self, stack):
+        result = RollbackAction().apply(make_plant(stack), diagnosis())
+        assert result.action == "rollback" and not result.ok
+
+    def test_restores_and_names_the_checkpoint(self, stack):
+        plant = make_plant(stack)
+        plant.mark_good()
+        perturb(stack.deployed)
+        result = RollbackAction().apply(plant, diagnosis())
+        assert result.ok
+        assert "known-good" in result.detail
+        assert result.data["digest"] is None  # in-memory restore
+
+
+class TestGuardedRetrainAction:
+    def test_needs_a_validation_workload(self, stack):
+        result = GuardedRetrainAction().apply(make_plant(stack), diagnosis())
+        assert not result.ok and "validation" in result.detail
+
+    def test_installs_a_calibrated_guard_into_loop_and_gates(
+        self, stack, ops_world
+    ):
+        plant = make_plant(stack, validation=ops_world.validation,
+                           guard_factor=1.5)
+        result = GuardedRetrainAction().apply(plant, diagnosis())
+        assert result.ok
+        guard = stack.retrain.guard
+        assert guard is not None and guard in stack.deployed.gates
+        assert guard.factor == 1.5
+        assert guard.baseline_qerror is not None
+        assert result.data["guard_factor"] == 1.5
+        assert result.data["flushed"] is False  # nothing buffered
+
+    def test_reinstalling_only_tightens_the_envelope(self, stack, ops_world):
+        loose = make_plant(stack, validation=ops_world.validation,
+                           guard_factor=1.5)
+        GuardedRetrainAction().apply(loose, diagnosis())
+        tight = make_plant(stack, validation=ops_world.validation,
+                           guard_factor=1.2)
+        GuardedRetrainAction().apply(tight, diagnosis())
+        assert stack.retrain.guard.factor == 1.2
+        # One guard instance, installed once.
+        assert stack.deployed.gates.count(stack.retrain.guard) == 1
+
+    def test_flushes_buffered_workload_through_the_guard(
+        self, stack, ops_world
+    ):
+        plant = make_plant(stack, validation=ops_world.validation)
+        for query in ops_world.train.queries[:4]:
+            stack.retrain.observe(query)
+        result = GuardedRetrainAction().apply(plant, diagnosis())
+        assert result.ok and result.data["flushed"] is True
+        assert len(stack.retrain.events) == 1
+
+
+class TestQuarantineAction:
+    def test_no_router_or_no_dead_workers_fails_closed(self, stack):
+        result = QuarantineAction().apply(make_plant(stack), diagnosis("dead_shard"))
+        assert not result.ok
+
+    def test_drains_every_unreachable_worker(self, stack):
+        router = FakeRouter(unreachable=(1,), workers=(0, 1, 2))
+        plant = make_plant(stack, router=router)
+        result = QuarantineAction().apply(plant, diagnosis("dead_shard"))
+        assert result.ok
+        assert router.quarantined == [1]
+        assert result.data == {"workers": [1], "requeued": 2}
+        # The shard is gone: a second pass has nothing left to drain.
+        assert not QuarantineAction().apply(plant, diagnosis("dead_shard")).ok
+
+    def test_quarantine_without_a_router_raises(self, stack):
+        with pytest.raises(OpsError, match="router"):
+            make_plant(stack).quarantine_workers((0,))
+
+
+class TestAdvisoryAndLineage:
+    def test_advisory_always_succeeds_and_names_the_cause(self, stack):
+        result = AdvisoryAction(note="watching").apply(
+            make_plant(stack), diagnosis("cache_miss_storm")
+        )
+        assert result.ok and "cache_miss_storm" in result.detail
+
+    def test_record_commits_alarms_and_actions_into_the_run(
+        self, stack, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        run = store.create_run("ops-test", "run-lineage", params={}, seed=0)
+        plant = make_plant(stack, run=run)
+        incident = diagnosis()
+        result = AdvisoryAction().apply(plant, incident)
+        plant.record(incident, (result,))
+        alarms = run.events("ops_alarm")
+        actions = run.events("ops_action")
+        assert len(alarms) == 1
+        assert alarms[0]["metric"] == "serve.canary_qerror"
+        assert len(actions) == 1
+        assert actions[0]["cause"] == "poisoning"
+        assert actions[0]["action"] == "advisory"
+
+    def test_record_without_a_run_is_a_no_op(self, stack):
+        plant = make_plant(stack)
+        plant.record(diagnosis(), ())  # must not raise

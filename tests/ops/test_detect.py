@@ -1,0 +1,254 @@
+"""Detectors: firing semantics, bank sweeps, the determinism contract."""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.ops.detect import (
+    CusumDetector,
+    DetectorBank,
+    ForecastResidualDetector,
+    SpikeDetector,
+    default_bank,
+)
+from repro.ops.tsdb import OpsError, TimeSeriesDB
+from repro.utils.rng import derive_rng
+
+
+class TestSpikeDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(OpsError, match="ratio"):
+            SpikeDetector(ratio=1.0)
+        with pytest.raises(OpsError, match="direction"):
+            SpikeDetector(direction="sideways")
+
+    def test_fires_on_an_upward_jump_against_the_trailing_median(self):
+        detector = SpikeDetector(ratio=1.5, min_points=2)
+        assert detector.update(0.0, 10.0) is None
+        assert detector.update(1.0, 10.0) is None
+        alarm = detector.update(2.0, 16.0)
+        assert alarm is not None
+        assert alarm.detector == "spike"
+        assert alarm.at == 2.0 and alarm.value == 16.0
+        assert alarm.score == pytest.approx(1.6)
+
+    def test_floor_suppresses_jumps_from_tiny_baselines(self):
+        detector = SpikeDetector(ratio=1.5, min_points=2, floor=1.0)
+        detector.update(0.0, 1e-6)
+        detector.update(1.0, 1e-6)
+        assert detector.update(2.0, 1e-3) is None
+
+    def test_downward_direction_watches_collapses(self):
+        detector = SpikeDetector(ratio=2.0, min_points=2, direction="down")
+        detector.update(0.0, 0.9)
+        detector.update(1.0, 0.9)
+        alarm = detector.update(2.0, 0.2)
+        assert alarm is not None and "fell" in alarm.detail
+
+    def test_reset_forgets_the_trail(self):
+        detector = SpikeDetector(ratio=1.5, min_points=2)
+        detector.update(0.0, 10.0)
+        detector.update(1.0, 10.0)
+        detector.reset()
+        assert detector.update(2.0, 100.0) is None  # warming up again
+
+
+class TestCusumDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(OpsError, match="threshold"):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(OpsError, match="calibration"):
+            CusumDetector(calibrate=0)
+
+    def test_calibrates_then_accumulates_a_level_shift(self):
+        detector = CusumDetector(slack=0.05, threshold=0.25, calibrate=3)
+        for t in range(3):
+            assert detector.update(float(t), 10.0) is None
+        assert detector.reference == pytest.approx(10.0)
+        # A sustained +12% shift no single-point spike rule would call:
+        # each step adds 0.12 - 0.05 = 0.07 to the sum.
+        alarms = [detector.update(3.0 + t, 11.2) for t in range(4)]
+        fired = [a for a in alarms if a is not None]
+        assert len(fired) == 1
+        assert fired[0].detector == "cusum"
+        # The sum re-arms after firing.
+        assert detector.update(10.0, 10.0) is None
+
+    def test_down_direction_mirrors_the_excursion(self):
+        detector = CusumDetector(
+            slack=0.05, threshold=0.2, calibrate=2, direction="down"
+        )
+        detector.update(0.0, 10.0)
+        detector.update(1.0, 10.0)
+        alarms = [detector.update(2.0 + t, 8.5) for t in range(3)]
+        assert any(a is not None for a in alarms)
+
+
+class TestForecastResidualDetector:
+    def test_parameter_validation(self):
+        with pytest.raises(OpsError, match="alpha"):
+            ForecastResidualDetector(alpha=0.0)
+        with pytest.raises(OpsError, match="ratio"):
+            ForecastResidualDetector(ratio=1.0)
+
+    def test_fires_once_a_residual_leaves_the_learned_scale(self):
+        detector = ForecastResidualDetector(alpha=0.5, ratio=3.0, min_points=3)
+        values = [10.0, 10.1, 9.9, 10.0, 10.1]
+        assert all(
+            detector.update(float(t), v) is None for t, v in enumerate(values)
+        )
+        alarm = detector.update(5.0, 30.0)
+        assert alarm is not None
+        assert alarm.detector == "forecast"
+        assert "residual" in alarm.detail
+
+    def test_warmup_points_never_alarm(self):
+        detector = ForecastResidualDetector(min_points=4)
+        assert detector.update(0.0, 10.0) is None
+        assert detector.update(1.0, 50.0) is None
+
+
+class TestDetectorBank:
+    def test_sweep_feeds_only_never_seen_points(self):
+        tsdb = TimeSeriesDB()
+        bank = DetectorBank([("x", SpikeDetector(ratio=1.5, min_points=2))])
+        for t, v in enumerate([10.0, 10.0, 20.0]):
+            tsdb.ingest("x", v, at=float(t))
+        first = bank.sweep(tsdb)
+        assert len(first) == 1
+        assert first[0].metric == "x"  # the bank stamps the stream name
+        # Nothing new: the cursor prevents any replay (and re-alarm).
+        assert bank.sweep(tsdb) == []
+        assert bank.alarms == first
+
+    def test_rearm_resets_detectors_but_keeps_cursors(self):
+        tsdb = TimeSeriesDB()
+        bank = DetectorBank([("x", SpikeDetector(ratio=1.5, min_points=2))])
+        for t, v in enumerate([10.0, 10.0, 20.0]):
+            tsdb.ingest("x", v, at=float(t))
+        bank.sweep(tsdb)
+        bank.rearm()
+        # Old points are never replayed; the detector re-baselines on
+        # whatever arrives next.
+        tsdb.ingest("x", 100.0, at=3.0)
+        assert bank.sweep(tsdb) == []  # spike trail is warming up again
+
+    def test_default_bank_wiring_covers_quality_and_health_streams(self):
+        bank = default_bank()
+        wiring = bank.wiring()
+        assert wiring.count(("serve.canary_qerror", "spike")) == 1
+        assert ("serve.canary_qerror", "cusum") in wiring
+        assert ("serve.canary_qerror", "forecast") in wiring
+        assert ("serve.p99_latency", "spike") in wiring
+        assert ("serve.shed_rate", "spike") in wiring
+        assert ("serve.cache_hit_rate", "spike") in wiring
+
+
+# A handcrafted stream that makes several detector families fire: a calm
+# baseline, a sustained quality excursion, a recovery, then a late spike.
+CANARY_STREAM = [10.0, 10.0, 10.05, 9.95, 10.0, 26.0, 27.5, 26.5, 10.2, 10.0, 31.0]
+LATENCY_STREAM = [0.002] * 8 + [0.02, 0.002, 0.002]
+
+DETERMINISM_SNIPPET = """
+import hashlib, json
+from repro.ops.detect import default_bank
+from repro.ops.tsdb import TimeSeriesDB
+
+canary = {canary!r}
+latency = {latency!r}
+tsdb = TimeSeriesDB()
+bank = default_bank()
+for t, (q, lat) in enumerate(zip(canary, latency)):
+    tsdb.ingest("serve.canary_qerror", q, at=float(t))
+    tsdb.ingest("serve.p99_latency", lat, at=float(t))
+    bank.sweep(tsdb)
+payload = json.dumps([a.as_dict() for a in bank.alarms], sort_keys=True)
+print(hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def _alarm_digest():
+    tsdb = TimeSeriesDB()
+    bank = default_bank()
+    for t, (q, lat) in enumerate(zip(CANARY_STREAM, LATENCY_STREAM)):
+        tsdb.ingest("serve.canary_qerror", q, at=float(t))
+        tsdb.ingest("serve.p99_latency", lat, at=float(t))
+        bank.sweep(tsdb)
+    payload = json.dumps([a.as_dict() for a in bank.alarms], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest(), bank.alarms
+
+
+class TestDeterminism:
+    def test_the_stream_actually_alarms(self):
+        _, alarms = _alarm_digest()
+        assert len(alarms) >= 2
+        assert {a.detector for a in alarms} >= {"spike"}
+
+    def test_incremental_and_batch_sweeps_agree(self):
+        _, incremental = _alarm_digest()
+        tsdb = TimeSeriesDB()
+        bank = default_bank()
+        for t, (q, lat) in enumerate(zip(CANARY_STREAM, LATENCY_STREAM)):
+            tsdb.ingest("serve.canary_qerror", q, at=float(t))
+            tsdb.ingest("serve.p99_latency", lat, at=float(t))
+        batch = bank.sweep(tsdb)
+        # A single batch sweep emits per wiring entry, an incremental
+        # sweep per tick — same alarm *set*, possibly different order.
+        def canonical(alarms):
+            return sorted(
+                json.dumps(a.as_dict(), sort_keys=True) for a in alarms
+            )
+
+        assert canonical(batch) == canonical(incremental)
+
+    @pytest.mark.parametrize("hashseed", ["0", "4242"])
+    def test_identical_streams_alarm_byte_identically_across_processes(
+        self, hashseed
+    ):
+        expected, _ = _alarm_digest()
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env = {
+            **os.environ,
+            "PYTHONPATH": src_root,
+            "PYTHONHASHSEED": hashseed,
+        }
+        script = DETERMINISM_SNIPPET.format(
+            canary=CANARY_STREAM, latency=LATENCY_STREAM
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == expected
+
+
+class TestFalsePositiveBounds:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_clean_traffic_never_alarms(self, seed):
+        """Calm streams with realistic jitter stay silent for 200 ticks."""
+        rng = derive_rng(seed)
+        tsdb = TimeSeriesDB()
+        bank = default_bank()
+        for t in range(200):
+            noise = rng.random(4)
+            tsdb.ingest(
+                "serve.canary_qerror", 10.0 * (1.0 + 0.02 * (noise[0] - 0.5)),
+                at=float(t),
+            )
+            tsdb.ingest(
+                "serve.p99_latency", 0.002 * (1.0 + 0.1 * (noise[1] - 0.5)),
+                at=float(t),
+            )
+            tsdb.ingest("serve.shed_rate", 0.0, at=float(t))
+            tsdb.ingest(
+                "serve.cache_hit_rate", 0.8 + 0.05 * (noise[3] - 0.5),
+                at=float(t),
+            )
+            bank.sweep(tsdb)
+        assert bank.alarms == []

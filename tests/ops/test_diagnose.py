@@ -1,0 +1,98 @@
+"""Root-cause classifier: the rule table, its priority order, history."""
+
+import pytest
+
+from repro.ops.detect import Alarm
+from repro.ops.diagnose import CAUSES, RootCauseClassifier
+from repro.ops.tsdb import OpsError
+
+
+def alarm(metric, detector="spike", at=1.0):
+    return Alarm(
+        metric=metric, detector=detector, at=at, value=1.0, score=2.0,
+        severity="critical", detail="test",
+    )
+
+
+class TestRuleTable:
+    def test_quiet_sweep_yields_no_diagnosis(self):
+        classifier = RootCauseClassifier()
+        assert classifier.classify([]) is None
+        assert classifier.history == []
+
+    def test_dead_shard_wins_even_over_quality_evidence(self):
+        classifier = RootCauseClassifier()
+        diagnosis = classifier.classify(
+            [alarm("serve.canary_qerror")],
+            promotions_since_last=2,
+            unreachable_workers=1,
+        )
+        assert diagnosis.cause == "dead_shard"
+        assert diagnosis.confidence == 1.0
+        assert "1 shard worker" in diagnosis.detail
+
+    def test_dead_shard_needs_no_alarms_at_all(self):
+        diagnosis = RootCauseClassifier().classify([], unreachable_workers=2)
+        assert diagnosis.cause == "dead_shard"
+
+    def test_quality_alarm_after_a_promotion_is_poisoning(self):
+        diagnosis = RootCauseClassifier().classify(
+            [alarm("serve.canary_qerror", "spike"),
+             alarm("serve.canary_qerror", "cusum"),
+             alarm("serve.p99_latency")],
+            promotions_since_last=1,
+        )
+        assert diagnosis.cause == "poisoning"
+        assert "cusum+spike" in diagnosis.detail  # detectors, sorted
+        # Only the quality evidence is attached, not the latency noise.
+        assert all("qerror" in a.metric for a in diagnosis.alarms)
+
+    def test_quality_alarm_without_promotion_is_drift(self):
+        diagnosis = RootCauseClassifier().classify(
+            [alarm("serve.canary_qerror")], promotions_since_last=0
+        )
+        assert diagnosis.cause == "model_drift"
+
+    def test_traffic_pressure_without_quality_is_a_cache_miss_storm(self):
+        diagnosis = RootCauseClassifier().classify(
+            [alarm("serve.cache_hit_rate"), alarm("serve.shed_rate")]
+        )
+        assert diagnosis.cause == "cache_miss_storm"
+        assert "serve.cache_hit_rate" in diagnosis.detail
+
+    def test_unmatched_alarms_fall_through_to_unknown(self):
+        diagnosis = RootCauseClassifier().classify([alarm("serve.completed")])
+        assert diagnosis.cause == "unknown"
+        assert diagnosis.confidence == 0.25
+
+    def test_every_emitted_cause_is_registered(self):
+        assert set(CAUSES) == {
+            "dead_shard", "poisoning", "model_drift",
+            "cache_miss_storm", "unknown",
+        }
+
+
+class TestThresholdsAndHistory:
+    def test_min_quality_alarms_gates_the_quality_causes(self):
+        classifier = RootCauseClassifier(min_quality_alarms=2)
+        # One quality alarm is below the bar; with no cache/pressure
+        # evidence either, the sweep is unexplained.
+        diagnosis = classifier.classify(
+            [alarm("serve.canary_qerror")], promotions_since_last=1
+        )
+        assert diagnosis.cause == "unknown"
+
+    def test_min_quality_alarms_must_be_positive(self):
+        with pytest.raises(OpsError, match="min_quality_alarms"):
+            RootCauseClassifier(min_quality_alarms=0)
+
+    def test_history_accumulates_and_as_dict_round_trips(self):
+        classifier = RootCauseClassifier()
+        classifier.classify([alarm("serve.canary_qerror")])
+        classifier.classify([alarm("serve.cache_hit_rate")])
+        assert [d.cause for d in classifier.history] == [
+            "model_drift", "cache_miss_storm",
+        ]
+        payload = classifier.history[0].as_dict()
+        assert payload["cause"] == "model_drift"
+        assert payload["alarms"][0]["metric"] == "serve.canary_qerror"

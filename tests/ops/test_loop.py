@@ -1,0 +1,193 @@
+"""OpsController: the closed loop from telemetry to guarded repair."""
+
+import numpy as np
+import pytest
+
+from repro.ops.actions import ServePlant
+from repro.ops.loop import CANARY_METRIC, DEFAULT_POLICY, OpsController
+from repro.ops.tsdb import OpsError
+from repro.serve.retrain import RetrainEvent
+from repro.serve.stats import ServeStats
+from repro.store import ArtifactStore
+from tests.ops.conftest import FakeRouter
+
+
+def make_controller(stack, ops_world, router=None, run=None, **kwargs):
+    plant = ServePlant(
+        stack.deployed,
+        stack.retrain,
+        cache=stack.cache,
+        router=router,
+        run=run,
+        validation=ops_world.validation,
+        guard_factor=1.5,
+    )
+    kwargs.setdefault("cooldown_ticks", 1)
+    return OpsController(plant, **kwargs)
+
+
+def fake_promotion(stack):
+    stack.retrain.events.append(
+        RetrainEvent(len(stack.retrain.events), 4, 0, {}, True, False)
+    )
+
+
+def settle(controller, qerror=10.0, ticks=2, start=0.0):
+    """Feed calm canary points so the clean model gets marked good."""
+    for i in range(ticks):
+        controller.observe_canary(qerror, at=start + i)
+        controller.tick(at=start + i)
+    return start + ticks
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_knobs(self, stack, ops_world):
+        with pytest.raises(OpsError, match="cooldown"):
+            make_controller(stack, ops_world, cooldown_ticks=-1)
+        with pytest.raises(OpsError, match="mark_factor"):
+            make_controller(stack, ops_world, mark_factor=1.0)
+
+    def test_policy_causes_must_be_known_and_non_empty(self, stack, ops_world):
+        with pytest.raises(OpsError, match="unknown cause"):
+            make_controller(
+                stack, ops_world, policy={"gremlins": ("advisory",)}
+            )
+        with pytest.raises(OpsError, match="at least one action"):
+            make_controller(stack, ops_world, policy={"poisoning": ()})
+
+    def test_default_policy_covers_every_cause_it_names(self, stack, ops_world):
+        controller = make_controller(stack, ops_world)
+        for names in DEFAULT_POLICY.values():
+            for name in names:
+                assert name in controller.actions
+
+
+class TestHealthyTicks:
+    def test_quiet_ticks_mark_the_model_known_good(self, stack, ops_world):
+        controller = make_controller(stack, ops_world)
+        settle(controller, ticks=3)
+        assert controller.plant.marks == 3
+        assert all(t.marked_good for t in controller.state.ticks)
+        assert controller.state.incidents == 0
+
+    def test_canary_drift_outside_the_band_blocks_marking(
+        self, stack, ops_world
+    ):
+        controller = make_controller(stack, ops_world, mark_factor=1.1)
+        at = settle(controller, ticks=3)
+        # 11.5 is quiet for every detector (spike needs >12.5, cusum's
+        # excursion stays under its threshold for one step, forecast is
+        # floored at 1.0) but sits outside the 1.1x mark envelope.
+        controller.observe_canary(11.5, at=at)
+        tick = controller.tick(at=at)
+        assert tick.alarms == ()
+        assert not tick.marked_good
+        assert controller.plant.marks == 3
+        assert controller.state.canary_baseline == 10.0
+
+
+class TestPoisoningIncident:
+    def test_detect_diagnose_rollback_and_guard(self, stack, ops_world):
+        controller = make_controller(stack, ops_world)
+        at = settle(controller)
+        clean = stack.deployed.inspect_model().full_state_dict()
+        fake_promotion(stack)
+        # The "promoted" model serves garbage: poison the parameters and
+        # let the canary see it.
+        model = stack.deployed.inspect_model()
+        state = model.full_state_dict()
+        model.load_full_state_dict({
+            key: value + 1.0
+            if np.issubdtype(value.dtype, np.floating) else value
+            for key, value in state.items()
+        })
+        controller.observe_canary(40.0, at=at)
+        tick = controller.tick(at=at)
+
+        assert len(tick.alarms) >= 1
+        assert tick.alarms[0].metric == CANARY_METRIC
+        assert tick.diagnosis.cause == "poisoning"
+        assert [r.action for r in tick.results] == [
+            "rollback", "guarded_retrain",
+        ]
+        assert all(r.ok for r in tick.results)
+        # The rollback restored the marked parameters bitwise.
+        restored = stack.deployed.inspect_model().full_state_dict()
+        assert all(
+            np.array_equal(clean[key], restored[key]) for key in clean
+        )
+        assert stack.cache.invalidations >= 1
+        # The guard is armed for every later update.
+        assert stack.retrain.guard is not None
+        assert stack.retrain.guard in stack.deployed.gates
+
+    def test_one_incident_means_one_repair_then_cooldown(
+        self, stack, ops_world
+    ):
+        controller = make_controller(stack, ops_world, cooldown_ticks=1)
+        at = settle(controller)
+        fake_promotion(stack)
+        controller.observe_canary(40.0, at=at)
+        assert controller.tick(at=at).results != ()
+        # Same bad canary again: the loop is cooling, not re-firing.
+        controller.observe_canary(40.0, at=at + 1)
+        second = controller.tick(at=at + 1)
+        assert second.cooling and second.results == ()
+        assert controller.state.incidents == 1
+        assert controller.state.cooldown == 0
+
+
+class TestOtherCauses:
+    def test_dead_shard_quarantines_and_recovers(self, stack, ops_world):
+        router = FakeRouter(unreachable=(1,), workers=(0, 1))
+        controller = make_controller(stack, ops_world, router=router)
+        controller.observe_canary(10.0, at=0.0)
+        tick = controller.tick(at=0.0)
+        assert tick.diagnosis.cause == "dead_shard"
+        assert [r.action for r in tick.results] == ["quarantine"]
+        assert tick.results[0].ok and router.quarantined == [1]
+        assert not tick.marked_good
+        controller.tick(at=1.0)  # cooldown
+        # Healthy again: the survivors' plant gets blessed.
+        controller.observe_canary(10.0, at=2.0)
+        assert controller.tick(at=2.0).marked_good
+
+    def test_cache_miss_storm_stays_advisory(self, stack, ops_world):
+        controller = make_controller(stack, ops_world)
+        for t, rate in enumerate([0.9, 0.9, 0.2]):
+            controller.tsdb.ingest("serve.cache_hit_rate", rate, at=float(t))
+        tick = controller.tick(at=3.0)
+        assert tick.diagnosis.cause == "cache_miss_storm"
+        assert [r.action for r in tick.results] == ["advisory"]
+        # Advisory actions change nothing, so no cooldown is spent.
+        assert controller.state.cooldown == 0
+        assert not controller.tick(at=4.0).cooling
+
+
+class TestLineageAndReport:
+    def test_incident_lands_in_the_run_manifest(
+        self, stack, ops_world, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        run = store.create_run("ops-test", "run-loop", params={}, seed=0)
+        controller = make_controller(stack, ops_world, run=run)
+        at = settle(controller)
+        fake_promotion(stack)
+        controller.observe_canary(40.0, at=at)
+        tick = controller.tick(at=at)
+        assert len(run.events("ops_alarm")) == len(tick.alarms)
+        actions = run.events("ops_action")
+        assert [e["action"] for e in actions] == [
+            "rollback", "guarded_retrain",
+        ]
+        assert all(e["cause"] == "poisoning" for e in actions)
+
+    def test_as_dict_reports_the_whole_tick_log(self, stack, ops_world):
+        controller = make_controller(stack, ops_world)
+        settle(controller, ticks=2)
+        payload = controller.as_dict()
+        assert len(payload["ticks"]) == 2
+        assert payload["incidents"] == 0
+        assert payload["marks"] == 2
+        assert payload["canary_baseline"] == 10.0
+        assert [CANARY_METRIC, "spike"] in payload["wiring"]

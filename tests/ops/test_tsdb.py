@@ -1,0 +1,131 @@
+"""TimeSeriesDB: ring retention, windows, the ServeStats ingester."""
+
+import pytest
+
+from repro.ops.tsdb import STATS_METRICS, MetricSeries, OpsError, TimeSeriesDB
+from repro.serve.stats import ServeStats
+from repro.utils.clock import ManualClock, use_clock
+
+
+class TestMetricSeries:
+    def test_retention_must_be_positive(self):
+        with pytest.raises(OpsError, match="retention"):
+            MetricSeries("x", retention=0)
+
+    def test_ring_buffer_drops_the_oldest(self):
+        series = MetricSeries("x", retention=3)
+        for t in range(5):
+            series.append(float(t), float(t * 10))
+        assert len(series) == 3
+        assert series.values() == [20.0, 30.0, 40.0]
+        assert series.points()[0] == (2.0, 20.0)
+
+    def test_time_must_not_go_backwards(self):
+        series = MetricSeries("x")
+        series.append(5.0, 1.0)
+        series.append(5.0, 2.0)  # equal timestamps are fine
+        with pytest.raises(OpsError, match="back in time"):
+            series.append(3.0, 3.0)
+
+    def test_latest_and_windows(self):
+        series = MetricSeries("x")
+        for t in range(5):
+            series.append(float(t), float(t))
+        assert series.latest() == (4.0, 4.0)
+        assert series.window(1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert series.window_sum(1.0, 3.0) == 6.0
+        assert series.window_mean(1.0, 3.0) == 2.0
+        assert series.window_mean(10.0, 20.0) is None
+
+    def test_empty_series(self):
+        series = MetricSeries("x")
+        assert series.latest() is None
+        assert series.values() == []
+
+
+class TestTimeSeriesDB:
+    def test_streams_appear_on_first_use_and_names_sort(self):
+        tsdb = TimeSeriesDB()
+        tsdb.ingest("b.metric", 1.0, at=0.0)
+        tsdb.ingest("a.metric", 2.0, at=0.0)
+        assert tsdb.names() == ["a.metric", "b.metric"]
+        assert tsdb.latest("a.metric") == 2.0
+        assert tsdb.latest("never.seen") is None
+        assert tsdb.ingested_points == 2
+
+    def test_ingest_reads_the_ambient_clock_when_at_is_omitted(self):
+        clock = ManualClock()
+        with use_clock(clock):
+            tsdb = TimeSeriesDB()
+            clock.set(7.5)
+            tsdb.ingest("x", 1.0)
+        assert tsdb.series("x").points() == [(7.5, 1.0)]
+
+    def test_window_queries_route_to_the_series(self):
+        tsdb = TimeSeriesDB()
+        for t in range(4):
+            tsdb.ingest("x", float(t), at=float(t))
+        assert tsdb.window("x", 1.0, 2.0) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_as_dict_is_json_ready(self):
+        tsdb = TimeSeriesDB()
+        tsdb.ingest("x", 1.5, at=0.0)
+        assert tsdb.as_dict() == {"x": [[0.0, 1.5]]}
+
+
+class TestStatsIngester:
+    def test_first_snapshot_seeds_then_deltas_per_interval(self):
+        stats = ServeStats()
+        tsdb = TimeSeriesDB()
+        for _ in range(4):
+            stats.record_submitted()
+        stats.record_cache(3, 1)
+        for _ in range(3):
+            stats.record_completed(0.002)
+        stats.record_shed()
+        first = tsdb.ingest_stats(stats.to_json(), at=0.0)
+        assert set(first) == set(STATS_METRICS)
+        assert first["serve.completed"] == 3.0
+        assert first["serve.shed_rate"] == 0.25
+        assert first["serve.cache_hit_rate"] == 0.75
+        assert first["serve.promotions"] == 0.0
+
+        for _ in range(2):
+            stats.record_submitted()
+        stats.record_completed(0.002)
+        stats.record_retrain(promoted=True, rolled_back=False, rejected=0)
+        second = tsdb.ingest_stats(stats.to_json(), at=1.0)
+        assert second["serve.completed"] == 1.0
+        assert second["serve.promotions"] == 1.0
+        assert second["serve.shed_rate"] == 0.0
+        assert tsdb.ingested_snapshots == 2
+        # Both intervals landed as points on each derived stream.
+        assert len(tsdb.series("serve.completed")) == 2
+
+    def test_quiet_interval_yields_zero_rates_not_nan(self):
+        stats = ServeStats()
+        tsdb = TimeSeriesDB()
+        tsdb.ingest_stats(stats.to_json(), at=0.0)
+        values = tsdb.ingest_stats(stats.to_json(), at=1.0)
+        assert values["serve.shed_rate"] == 0.0
+        assert values["serve.cache_hit_rate"] == 0.0
+
+    def test_sources_keep_independent_delta_baselines(self):
+        stats = ServeStats()
+        stats.record_submitted()
+        stats.record_completed(0.001)
+        snapshot = stats.to_json()
+        tsdb = TimeSeriesDB()
+        a = tsdb.ingest_stats(snapshot, at=0.0, source="worker-a")
+        b = tsdb.ingest_stats(snapshot, at=0.0, source="worker-b")
+        # worker-b's first snapshot measures from zero, not from worker-a.
+        assert a["serve.completed"] == b["serve.completed"] == 1.0
+
+    def test_wrong_schema_version_fails_loudly(self):
+        stats = ServeStats()
+        snapshot = stats.to_json()
+        snapshot["schema_version"] = 999
+        with pytest.raises(OpsError, match="schema_version"):
+            TimeSeriesDB().ingest_stats(snapshot)
+        with pytest.raises(OpsError, match="schema_version"):
+            TimeSeriesDB().ingest_stats({"submitted": 1})

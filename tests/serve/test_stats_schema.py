@@ -1,0 +1,37 @@
+"""ServeStats.to_json: the schema-versioned snapshot every ingester shares."""
+
+import json
+
+from repro.ops.tsdb import STATS_METRICS, TimeSeriesDB
+from repro.serve.stats import STATS_SCHEMA_VERSION, ServeStats
+
+
+class TestToJson:
+    def test_carries_the_schema_version_over_the_full_snapshot(self):
+        stats = ServeStats()
+        payload = stats.to_json()
+        assert payload["schema_version"] == STATS_SCHEMA_VERSION == 1
+        # Everything snapshot() reports rides along unchanged.
+        for key, value in stats.snapshot().items():
+            assert payload[key] == value
+
+    def test_is_json_serializable(self):
+        stats = ServeStats()
+        stats.record_submitted()
+        stats.record_completed(0.002)
+        stats.record_cache(1, 0)
+        stats.record_batch(4)
+        stats.record_retrain(promoted=True, rolled_back=False, rejected=1)
+        json.dumps(stats.to_json(), sort_keys=True)
+
+    def test_round_trips_through_the_tsdb_ingester(self):
+        stats = ServeStats()
+        for _ in range(4):
+            stats.record_submitted()
+        for _ in range(3):
+            stats.record_completed(0.001)
+        tsdb = TimeSeriesDB()
+        values = tsdb.ingest_stats(stats.to_json(), at=0.0)
+        assert set(values) == set(STATS_METRICS)
+        assert values["serve.completed"] == 3.0
+        assert tsdb.latest("serve.p99_latency") == stats.latency_summary()["p99"]
